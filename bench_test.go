@@ -1,0 +1,508 @@
+// Package promises_test holds the testing.B benchmarks, one per
+// experiment E1–E10 (see DESIGN.md for the experiment index and
+// cmd/benchtab for the full-sweep table regenerator). Each benchmark
+// exercises the same code path as its experiment at a fixed operating
+// point, so `go test -bench=.` doubles as a regression check on the
+// claims' direction.
+package promises_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"promises/internal/app/cascade"
+	"promises/internal/app/grades"
+	"promises/internal/bench"
+	"promises/internal/futures"
+	"promises/internal/guardian"
+	"promises/internal/promise"
+	"promises/internal/rpcbase"
+	"promises/internal/simnet"
+	"promises/internal/stream"
+)
+
+var bg = context.Background()
+
+// benchCost is a scaled-down network cost model so auto-tuned b.N stays
+// reasonable while the kernel-overhead/propagation structure is retained.
+func benchCost() simnet.Config {
+	return simnet.Config{
+		KernelOverhead: 5 * time.Microsecond,
+		Propagation:    40 * time.Microsecond,
+		PerByte:        5 * time.Nanosecond,
+	}
+}
+
+func benchOpts() stream.Options {
+	return stream.Options{MaxBatch: 16, MaxBatchDelay: 200 * time.Microsecond}
+}
+
+// echoWorld builds the standard guardian pair for transport benchmarks.
+type echoWorld struct {
+	net    *simnet.Network
+	server *guardian.Guardian
+	client *guardian.Guardian
+	echo   guardian.Ref
+}
+
+func newEchoWorld(b *testing.B) *echoWorld {
+	b.Helper()
+	n := simnet.New(benchCost())
+	server := guardian.MustNew(n, "server", benchOpts())
+	client := guardian.MustNew(n, "client", benchOpts())
+	echo := server.AddHandler("echo", func(call *guardian.Call) ([]any, error) {
+		return call.Args, nil
+	})
+	server.AddHandler("note", func(*guardian.Call) ([]any, error) { return nil, nil })
+	b.Cleanup(func() {
+		client.Close()
+		server.Close()
+		n.Close()
+	})
+	return &echoWorld{net: n, server: server, client: client, echo: echo}
+}
+
+// BenchmarkE1_RPCvsStream: per-call cost of plain RPC vs pipelined stream
+// calls (claim window 64 deep).
+func BenchmarkE1_RPCvsStream(b *testing.B) {
+	b.Run("rpc", func(b *testing.B) {
+		n := simnet.New(benchCost())
+		srv := rpcbase.NewServer(n.MustAddNode("server"))
+		srv.Handle("echo", func(args []byte) stream.Outcome {
+			return stream.NormalOutcome(args)
+		})
+		cli := rpcbase.NewClient(n.MustAddNode("client"), rpcbase.Config{})
+		b.Cleanup(func() { cli.Close(); srv.Close(); n.Close() })
+		arg := []byte("0123456789abcdef")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cli.Call(bg, "server", "echo", arg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("stream", func(b *testing.B) {
+		w := newEchoWorld(b)
+		s := w.echo.Stream(w.client.Agent("bench"))
+		const window = 64
+		ps := make([]*promise.Promise[[]byte], 0, window)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p, err := promise.Call(s, "echo", promise.Bytes, []byte("0123456789abcdef"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			ps = append(ps, p)
+			if len(ps) == window {
+				for _, p := range ps {
+					if _, err := p.Claim(bg); err != nil {
+						b.Fatal(err)
+					}
+				}
+				ps = ps[:0]
+			}
+		}
+		for _, p := range ps {
+			if _, err := p.Claim(bg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE2_Batching: per-call cost at different batch limits.
+func BenchmarkE2_Batching(b *testing.B) {
+	for _, batch := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("maxbatch=%d", batch), func(b *testing.B) {
+			n := simnet.New(benchCost())
+			opts := benchOpts()
+			opts.MaxBatch = batch
+			server := guardian.MustNew(n, "server", opts)
+			client := guardian.MustNew(n, "client", opts)
+			echo := server.AddHandler("echo", func(call *guardian.Call) ([]any, error) {
+				return call.Args, nil
+			})
+			b.Cleanup(func() { client.Close(); server.Close(); n.Close() })
+			s := echo.Stream(client.Agent("bench"))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := promise.Call(s, "echo", promise.Bytes, []byte("x")); err != nil {
+					b.Fatal(err)
+				}
+				if (i+1)%256 == 0 {
+					if err := s.Synch(bg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			if err := s.Synch(bg); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			st := n.Stats()
+			b.ReportMetric(float64(st.KernelCalls)/float64(b.N), "kernelcalls/op")
+		})
+	}
+}
+
+// BenchmarkE3_CallModes: per-op cost of rpc vs stream-call vs send.
+func BenchmarkE3_CallModes(b *testing.B) {
+	b.Run("rpc", func(b *testing.B) {
+		w := newEchoWorld(b)
+		s := w.echo.Stream(w.client.Agent("bench"))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := promise.RPC(bg, s, "note", promise.None); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("call", func(b *testing.B) {
+		w := newEchoWorld(b)
+		s := w.echo.Stream(w.client.Agent("bench"))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := promise.Call(s, "echo", promise.Bytes, []byte("x")); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := s.Synch(bg); err != nil {
+			b.Fatal(err)
+		}
+	})
+	b.Run("send", func(b *testing.B) {
+		w := newEchoWorld(b)
+		s := w.echo.Stream(w.client.Agent("bench"))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := promise.Send(s, "note", []byte("x")); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := s.Synch(bg); err != nil {
+			b.Fatal(err)
+		}
+	})
+}
+
+// gradesBench builds a grades world with light costs and returns the
+// client.
+func gradesBench(b *testing.B) *grades.Client {
+	b.Helper()
+	n := simnet.New(benchCost())
+	db, err := grades.NewDB(n, "gradesdb", benchOpts())
+	if err != nil {
+		b.Fatal(err)
+	}
+	pr, err := grades.NewPrinter(n, "printer", benchOpts())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl, err := grades.NewClient(n, "client", benchOpts(), db.Ref(), pr.Ref())
+	if err != nil {
+		b.Fatal(err)
+	}
+	db.SetDelay(50 * time.Microsecond)
+	pr.SetDelay(50 * time.Microsecond)
+	cl.ProduceCost = 50 * time.Microsecond
+	b.Cleanup(func() {
+		cl.G.Close()
+		db.G.Close()
+		pr.G.Close()
+		n.Close()
+	})
+	return cl
+}
+
+// BenchmarkE4_Composition: one full grades run (30 students) per op, for
+// each composition strategy.
+func BenchmarkE4_Composition(b *testing.B) {
+	load := grades.Workload(30)
+	for name, f := range map[string]func(*grades.Client, context.Context, []grades.SInfo) error{
+		"sequential": (*grades.Client).RunSequential,
+		"forks":      (*grades.Client).RunForks,
+		"coenter":    (*grades.Client).RunCoenter,
+	} {
+		b.Run(name, func(b *testing.B) {
+			cl := gradesBench(b)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := f(cl, bg, load); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// cascadeBench builds a cascade world and returns the client.
+func cascadeBench(b *testing.B, filter time.Duration) *cascade.Client {
+	b.Helper()
+	n := simnet.New(benchCost())
+	src, err := cascade.NewSource(n, "source", benchOpts(), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cmp, err := cascade.NewCompute(n, "compute", benchOpts())
+	if err != nil {
+		b.Fatal(err)
+	}
+	snk, err := cascade.NewSink(n, "sink", benchOpts())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl, err := cascade.NewClient(n, "client", benchOpts(), src.Ref(), cmp.Ref(), snk.Ref())
+	if err != nil {
+		b.Fatal(err)
+	}
+	src.SetDelay(50 * time.Microsecond)
+	cmp.SetDelay(50 * time.Microsecond)
+	snk.SetDelay(50 * time.Microsecond)
+	cl.FilterCost = filter
+	b.Cleanup(func() {
+		cl.G.Close()
+		src.G.Close()
+		cmp.G.Close()
+		snk.G.Close()
+		n.Close()
+	})
+	return cl
+}
+
+// BenchmarkE5_Cascade: one 32-item cascade run per op, sequential vs
+// per-stream.
+func BenchmarkE5_Cascade(b *testing.B) {
+	for name, f := range map[string]func(*cascade.Client, context.Context, int) error{
+		"sequential": (*cascade.Client).RunSequential,
+		"per-stream": (*cascade.Client).RunPerStream,
+	} {
+		b.Run(name, func(b *testing.B) {
+			cl := cascadeBench(b, 0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := f(cl, bg, 32); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE6_PromiseVsFuture: per-access cost of the placeholder
+// designs.
+func BenchmarkE6_PromiseVsFuture(b *testing.B) {
+	b.Run("typed-direct", func(b *testing.B) {
+		p := promise.Resolved(1.5)
+		v, err := p.MustClaim()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sink float64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sink += v
+		}
+		_ = sink
+	})
+	b.Run("promise-reclaim", func(b *testing.B) {
+		p := promise.Resolved(1.5)
+		var sink float64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			v, _, _ := p.TryClaim()
+			sink += v
+		}
+		_ = sink
+	})
+	b.Run("future-touch", func(b *testing.B) {
+		f := futures.New(func() any { return 1.5 })
+		futures.Touch(f)
+		var sink float64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sink += futures.Touch(f).(float64)
+		}
+		_ = sink
+	})
+	b.Run("future-arith", func(b *testing.B) {
+		f := futures.New(func() any { return 1.5 })
+		futures.Touch(f)
+		acc := any(0.0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			acc = futures.Add(acc, f)
+		}
+		_ = acc
+	})
+}
+
+// BenchmarkE7_BreakHandling: time for the coenter composition to
+// terminate after the recorder dies mid-run.
+func BenchmarkE7_BreakHandling(b *testing.B) {
+	load := grades.Workload(16)
+	b.Run("coenter-terminate", func(b *testing.B) {
+		cl := gradesBench(b)
+		cl.FailRecordingAfter = 8
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := cl.RunCoenter(bg, load); err == nil {
+				b.Fatal("expected injected failure")
+			}
+		}
+	})
+	b.Run("forks-fixed-terminate", func(b *testing.B) {
+		cl := gradesBench(b)
+		cl.FailRecordingAfter = 8
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := cl.RunForks(bg, load); err == nil {
+				b.Fatal("expected injected failure")
+			}
+		}
+	})
+}
+
+// BenchmarkE8_PerStreamVsPerItem: 32 items with a 100µs filter.
+func BenchmarkE8_PerStreamVsPerItem(b *testing.B) {
+	for name, f := range map[string]func(*cascade.Client, context.Context, int) error{
+		"per-stream": (*cascade.Client).RunPerStream,
+		"per-item":   (*cascade.Client).RunPerItem,
+	} {
+		b.Run(name, func(b *testing.B) {
+			cl := cascadeBench(b, 100*time.Microsecond)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := f(cl, bg, 32); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE9_LossRecovery: per-call cost of pipelined stream calls at
+// increasing loss rates.
+func BenchmarkE9_LossRecovery(b *testing.B) {
+	for _, loss := range []float64{0, 0.05} {
+		b.Run(fmt.Sprintf("loss=%.2f", loss), func(b *testing.B) {
+			cfg := benchCost()
+			cfg.LossRate = loss
+			cfg.Seed = 1988
+			n := simnet.New(cfg)
+			opts := benchOpts()
+			opts.RTO = 2 * time.Millisecond
+			opts.MaxRetries = 100
+			server := guardian.MustNew(n, "server", opts)
+			client := guardian.MustNew(n, "client", opts)
+			echo := server.AddHandler("echo", func(call *guardian.Call) ([]any, error) {
+				return call.Args, nil
+			})
+			b.Cleanup(func() { client.Close(); server.Close(); n.Close() })
+			s := echo.Stream(client.Agent("bench"))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := promise.Call(s, "echo", promise.Bytes, []byte("x")); err != nil {
+					b.Fatal(err)
+				}
+				if (i+1)%128 == 0 {
+					if err := s.Synch(bg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			if err := s.Synch(bg); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkE10_SendRecv: per-call cost, promises vs user-matched
+// send/receive.
+func BenchmarkE10_SendRecv(b *testing.B) {
+	b.Run("promises", func(b *testing.B) {
+		w := newEchoWorld(b)
+		s := w.echo.Stream(w.client.Agent("bench"))
+		const window = 64
+		ps := make([]*promise.Promise[[]byte], 0, window)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p, err := promise.Call(s, "echo", promise.Bytes, []byte("x"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			ps = append(ps, p)
+			if len(ps) == window {
+				for _, p := range ps {
+					if _, err := p.Claim(bg); err != nil {
+						b.Fatal(err)
+					}
+				}
+				ps = ps[:0]
+			}
+		}
+		for _, p := range ps {
+			if _, err := p.Claim(bg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sendrecv", func(b *testing.B) {
+		n := simnet.New(benchCost())
+		srv := rpcbase.NewServer(n.MustAddNode("server"))
+		srv.Handle("echo", func(args []byte) stream.Outcome {
+			return stream.NormalOutcome(args)
+		})
+		cli := rpcbase.NewClient(n.MustAddNode("client"), rpcbase.Config{})
+		b.Cleanup(func() { cli.Close(); srv.Close(); n.Close() })
+		m := rpcbase.NewMatcher()
+		const window = 64
+		outstanding := 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			id, err := cli.SendAsync("server", "echo", []byte("x"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			m.Expect(id, "")
+			outstanding++
+			if outstanding == window {
+				for outstanding > 0 {
+					r, err := cli.RecvReply(bg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, ok := m.Match(r); ok {
+						outstanding--
+					}
+				}
+			}
+		}
+		for outstanding > 0 {
+			r, err := cli.RecvReply(bg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, ok := m.Match(r); ok {
+				outstanding--
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(m.Ops())/float64(b.N), "matchops/op")
+	})
+}
+
+// quickTableCheck ensures the table regenerators stay runnable from the
+// root test target too.
+func TestBenchTablesQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table sweep")
+	}
+	for _, e := range bench.Experiments() {
+		if tab := e.Quick(); len(tab.Rows) == 0 {
+			t.Errorf("%s produced no rows", e.ID)
+		}
+	}
+}

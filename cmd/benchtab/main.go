@@ -1,0 +1,72 @@
+// Command benchtab regenerates the experiment tables (E1–E10) that
+// reproduce the paper's performance and structure claims. See DESIGN.md
+// for the experiment index and EXPERIMENTS.md for paper-vs-measured
+// discussion.
+//
+// Usage:
+//
+//	benchtab              # run every experiment at full scale
+//	benchtab -exp e4      # run one experiment
+//	benchtab -exp e1,e2   # run several
+//	benchtab -quick       # smoke-test scale (sub-second per experiment)
+//	benchtab -list        # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"promises/internal/bench"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment id(s): e1..e10, comma-separated, or 'all'")
+		quick = flag.Bool("quick", false, "run at smoke-test scale")
+		list  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		for _, e := range bench.Ablations() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var ids []string
+	switch *exp {
+	case "all", "":
+		for _, e := range bench.Experiments() {
+			ids = append(ids, e.ID)
+		}
+		for _, e := range bench.Ablations() {
+			ids = append(ids, e.ID)
+		}
+	default:
+		for _, id := range strings.Split(*exp, ",") {
+			ids = append(ids, strings.ToUpper(strings.TrimSpace(id)))
+		}
+	}
+
+	for _, id := range ids {
+		e, ok := bench.Find(id)
+		if !ok {
+			e, ok = bench.FindAblation(id)
+		}
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchtab: unknown experiment %q (try -list)\n", id)
+			os.Exit(2)
+		}
+		run := e.Run
+		if *quick {
+			run = e.Quick
+		}
+		run().Print(os.Stdout)
+	}
+}

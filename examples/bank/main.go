@@ -1,0 +1,85 @@
+// Bank: atomic transfers over streams, with compensation.
+//
+// Two bank guardians hold accounts; a teller composes withdraw+deposit
+// calls into transfers that are all-or-nothing in the §4.2 sense: if the
+// deposit leg cannot complete (here, the destination bank is
+// partitioned away), the action aborts and a compensating deposit
+// restores the source account. Money is conserved through the failure.
+//
+// Run with: go run ./examples/bank
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"promises/internal/app/bank"
+	"promises/internal/simnet"
+	"promises/internal/stream"
+)
+
+func main() {
+	net := simnet.New(simnet.Config{Propagation: 200 * time.Microsecond})
+	defer net.Close()
+	opts := stream.Options{MaxBatch: 8, MaxBatchDelay: time.Millisecond,
+		RTO: 10 * time.Millisecond, MaxRetries: 4}
+
+	east, err := bank.New(net, "bank-east", opts)
+	must(err)
+	defer east.G.Close()
+	west, err := bank.New(net, "bank-west", opts)
+	must(err)
+	defer west.G.Close()
+	teller, err := bank.NewTeller(net, "teller", opts)
+	must(err)
+	defer teller.G.Close()
+
+	ctx := context.Background()
+	ann := bank.Account{Bank: east.Ref(bank.DepositPort), Name: "ann"}
+	zoe := bank.Account{Bank: west.Ref(bank.DepositPort), Name: "zoe"}
+	must(teller.Open(ctx, ann))
+	must(teller.Open(ctx, zoe))
+	_, err = teller.Deposit(ctx, ann, 100)
+	must(err)
+
+	report := func(when string) {
+		show := func(acct bank.Account) string {
+			bal, err := teller.Balance(ctx, acct)
+			if err != nil {
+				return "?"
+			}
+			return fmt.Sprint(bal)
+		}
+		fmt.Printf("%-28s ann=%3s  zoe=%3s  total=%3d\n",
+			when, show(ann), show(zoe), east.Total()+west.Total())
+	}
+	report("initially:")
+
+	// A normal cross-bank transfer.
+	must(teller.Transfer(ctx, ann, zoe, 30))
+	report("after transfer of 30:")
+
+	// A transfer that fails mid-way: the destination bank is unreachable,
+	// so the withdrawal is compensated and money is conserved.
+	net.Partition("teller", "bank-west")
+	err = teller.Transfer(ctx, ann, zoe, 50)
+	fmt.Printf("partitioned transfer failed: %v\n", err)
+	must(teller.Drain(ctx, east))
+	report("during the partition:")
+	net.HealAll()
+	report("after the partition heals:")
+
+	// An insufficient-funds transfer fails up front, with the balance in
+	// the exception.
+	err = teller.Transfer(ctx, ann, zoe, 10_000)
+	fmt.Printf("oversized transfer failed:  %v\n", err)
+	report("finally:")
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,76 @@
+// Coenter: grouped processes, early termination, and the wound protocol
+// (§4.2).
+//
+// Three arms run as one group. One blocks on a queue that will never be
+// filled, one loops forever checking for wounds, and one hits an
+// exception. The exception terminates the whole group: the blocked arm is
+// released, the looping arm notices it is wounded at its next
+// cancellation point, and an arm inside a critical section is not
+// interrupted until it leaves the section.
+//
+// Run with: go run ./examples/coenter
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"promises/internal/coenter"
+	"promises/internal/exception"
+	"promises/internal/pqueue"
+)
+
+func main() {
+	q := pqueue.New[int](0)
+	start := time.Now()
+
+	err := coenter.Run(
+		// Arm 1: blocked dequeuing, like the printer in Figure 4-2.
+		// Without group termination it would hang forever.
+		func(p *coenter.Proc) error {
+			fmt.Println("arm1: waiting on the queue")
+			_, err := q.Deq(p.Context())
+			fmt.Printf("arm1: released after %v (%v)\n",
+				time.Since(start).Round(time.Millisecond), err)
+			return err
+		},
+
+		// Arm 2: a long computation with periodic cancellation points.
+		func(p *coenter.Proc) error {
+			for i := 0; ; i++ {
+				if err := p.Check(); err != nil {
+					fmt.Printf("arm2: wounded at iteration %d, terminating\n", i)
+					return err
+				}
+				time.Sleep(100 * time.Microsecond)
+			}
+		},
+
+		// Arm 3: enters a critical section, then the group is terminated
+		// by arm 4; termination of THIS arm is delayed until it exits the
+		// section (the paper's "middle of dequeuing" safety rule).
+		func(p *coenter.Proc) error {
+			p.Enter()
+			fmt.Println("arm3: inside critical section")
+			time.Sleep(20 * time.Millisecond) // arm 4 escapes meanwhile
+			interrupted := p.Context().Err() != nil
+			fmt.Printf("arm3: still uninterrupted inside section: %v (wounded: %v)\n",
+				!interrupted, p.Wounded())
+			p.Exit()
+			<-p.Context().Done()
+			fmt.Println("arm3: terminated after leaving the critical section")
+			return coenter.ErrTerminated
+		},
+
+		// Arm 4: raises the exception that terminates the group.
+		func(p *coenter.Proc) error {
+			time.Sleep(5 * time.Millisecond)
+			fmt.Println("arm4: raising cannot_record")
+			return exception.New("cannot_record")
+		},
+	)
+
+	fmt.Printf("\ncoenter returned after %v with: %v\n",
+		time.Since(start).Round(time.Millisecond), err)
+	fmt.Println("every arm terminated; nothing is left hanging (§4.2)")
+}

@@ -1,0 +1,87 @@
+// Quickstart: the smallest complete promises program.
+//
+// It builds a two-node network, defines a guardian with one handler,
+// makes stream calls that return typed promises, keeps computing while
+// the calls are in flight, and then claims the results — including an
+// exception, handled at the claim site.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"promises/internal/exception"
+	"promises/internal/guardian"
+	"promises/internal/promise"
+	"promises/internal/simnet"
+	"promises/internal/stream"
+)
+
+func main() {
+	// A simulated network with realistic-feeling costs: every message
+	// pays a kernel-call overhead and a propagation delay.
+	net := simnet.New(simnet.Config{
+		KernelOverhead: 20 * time.Microsecond,
+		Propagation:    500 * time.Microsecond,
+	})
+	defer net.Close()
+	opts := stream.Options{MaxBatch: 16, MaxBatchDelay: time.Millisecond}
+
+	// The server guardian provides a "square" handler. A handler that
+	// returns an error terminates the call with that exception.
+	server := guardian.MustNew(net, "server", opts)
+	defer server.Close()
+	square := server.AddHandler("square", func(call *guardian.Call) ([]any, error) {
+		x, err := call.IntArg(0)
+		if err != nil {
+			return nil, err
+		}
+		if x < 0 {
+			return nil, exception.New("negative", fmt.Sprint(x))
+		}
+		return []any{x * x}, nil
+	})
+
+	// The client guardian makes stream calls through an agent. All calls
+	// by one agent to one port group travel on one stream, in order.
+	client := guardian.MustNew(net, "client", opts)
+	defer client.Close()
+	s := square.Stream(client.Agent("main"))
+
+	// Make several calls without waiting. Each returns a typed
+	// Promise[int64] immediately; the calls are buffered, batched, and
+	// processed in order at the server.
+	var ps []*promise.Promise[int64]
+	for _, x := range []int64{3, 4, 5, -1, 6} {
+		p, err := promise.Call(s, square.Port, promise.Int, x)
+		if err != nil {
+			log.Fatal(err) // encoding failed or stream broken: no promise
+		}
+		ps = append(ps, p)
+	}
+
+	// The caller runs in parallel with the calls.
+	fmt.Println("calls in flight; caller still running...")
+
+	// Claim the results. A claim waits if needed, then returns the value
+	// or the exception the call terminated with. Claims can happen in any
+	// order and any number of times.
+	for i, p := range ps {
+		v, err := p.MustClaim()
+		switch {
+		case err == nil:
+			fmt.Printf("call %d: square = %d\n", i, v)
+		case exception.Is(err, "negative"):
+			fmt.Printf("call %d: rejected (negative input)\n", i)
+		default:
+			fmt.Printf("call %d: system exception: %v\n", i, err)
+		}
+	}
+
+	// Ordered readiness: because promise 4 was claimed, promises 0..3 are
+	// necessarily ready too.
+	fmt.Println("earlier promises ready:", ps[0].Ready(), ps[1].Ready(), ps[2].Ready())
+}

@@ -1,0 +1,101 @@
+// Tree: promises inside a recursive data structure (§3.2).
+//
+// A binary search tree whose links are promises is built by forked
+// processes, one per subtree. Searches start immediately — before
+// construction has finished — and simply wait whenever they reach a node
+// that cannot be claimed yet. This is the paper's "parallel insertion and
+// searching of elements in a binary tree in which the nodes of the tree
+// are promises."
+//
+// Run with: go run ./examples/tree
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"promises/internal/fork"
+	"promises/internal/promise"
+	"promises/internal/ptree"
+)
+
+func main() {
+	ctx := context.Background()
+
+	// Build a tree of 10,000 keys with one forked producer per subtree.
+	keys := make([]int64, 10_000)
+	for i := range keys {
+		keys[i] = int64((i * 7919) % 100_000)
+	}
+	start := time.Now()
+	tr := ptree.BuildParallel(keys)
+	fmt.Printf("BuildParallel returned in %v — construction continues behind the promises\n",
+		time.Since(start).Round(time.Microsecond))
+
+	// Search from many processes while construction races on. Searches
+	// that reach unbuilt regions wait at the frontier.
+	var wg sync.WaitGroup
+	found := make([]bool, 0, 8)
+	var mu sync.Mutex
+	for i := 0; i < 8; i++ {
+		k := keys[i*1000]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ok, err := tr.Contains(ctx, k)
+			if err != nil {
+				log.Fatal(err)
+			}
+			mu.Lock()
+			found = append(found, ok)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	fmt.Printf("8 concurrent searches done, all found: %v\n", all(found))
+
+	// A full in-order walk claims every promise in the tree.
+	sorted, err := tr.InOrder(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("in-order walk claimed %d unique keys (sorted: %v)\n",
+		len(sorted), isSorted(sorted))
+
+	// The frontier-waiting behavior, explicitly: a search against a tree
+	// whose root has not been produced yet blocks until a producer
+	// fulfills it.
+	rootP := promise.New[*ptree.Node]()
+	lazy := ptree.FromRoot(rootP)
+	probe := fork.Go(func() (bool, error) { return lazy.Contains(ctx, 42) })
+	time.Sleep(2 * time.Millisecond)
+	fmt.Printf("search over unbuilt tree still waiting: %v\n", !probe.Ready())
+	rootP.Fulfill(&ptree.Node{Key: 42,
+		Left: ptree.Empty().Root(), Right: ptree.Empty().Root()})
+	ok, err := probe.MustClaim()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after the producer fulfilled the root, the search found 42: %v\n", ok)
+}
+
+func all(bs []bool) bool {
+	for _, b := range bs {
+		if !b {
+			return false
+		}
+	}
+	return true
+}
+
+func isSorted(xs []int64) bool {
+	for i := 1; i < len(xs); i++ {
+		if xs[i-1] >= xs[i] {
+			return false
+		}
+	}
+	return true
+}

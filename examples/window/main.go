@@ -1,0 +1,81 @@
+// Window: dynamic port creation and ports as values (§2).
+//
+// The window system's create_window handler returns a struct of newly
+// created ports — putc, puts, change_color — all placed in a fresh port
+// group, so one agent's operations on a window are sequenced while
+// different windows proceed independently. Ports travel through the wire
+// encoding as first-class values, exactly as "ports may be sent as
+// arguments and results of remote calls" requires.
+//
+// Run with: go run ./examples/window
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"promises/internal/app/window"
+	"promises/internal/guardian"
+	"promises/internal/promise"
+	"promises/internal/simnet"
+	"promises/internal/stream"
+)
+
+func main() {
+	net := simnet.New(simnet.Config{Propagation: 100 * time.Microsecond})
+	defer net.Close()
+	opts := stream.Options{MaxBatch: 8, MaxBatchDelay: 500 * time.Microsecond}
+
+	srv, err := window.NewServer(net, "winsys", opts)
+	must(err)
+	defer srv.G.Close()
+	home, err := guardian.New(net, "home", opts)
+	must(err)
+	defer home.Close()
+
+	ctx := context.Background()
+	agent := home.Agent("ui")
+	create, _ := srv.G.Ref(window.CreatePort)
+
+	// Create two windows; each reply carries freshly created ports.
+	open := func() (int64, window.Window) {
+		vals, err := promise.RPC(ctx, create.Stream(agent), window.CreatePort,
+			func(vals []any) ([]any, error) { return vals, nil })
+		must(err)
+		id, win, err := window.DecodeWindow(vals)
+		must(err)
+		return id, win
+	}
+	id1, w1 := open()
+	id2, w2 := open()
+	fmt.Printf("created window %d (ports in group %q) and window %d (group %q)\n",
+		id1, w1.Putc.Group, id2, w2.Putc.Group)
+
+	// Stream operations to each window. Within one window they are
+	// sequenced (same group => same stream); across windows they are not.
+	s1 := w1.Puts.Stream(agent)
+	s2 := w2.Puts.Stream(agent)
+	for _, ch := range []string{"h", "e", "l", "l", "o"} {
+		_, err := promise.Call(s1, w1.Putc.Port, promise.None, ch)
+		must(err)
+	}
+	_, err = promise.Call(s1, w1.ChangeColor.Port, promise.None, "green")
+	must(err)
+	_, err = promise.Call(s2, w2.Puts.Port, promise.None, "second window")
+	must(err)
+	must(s1.Synch(ctx))
+	must(s2.Synch(ctx))
+
+	t1, c1, _ := srv.Contents(int(id1))
+	t2, c2, _ := srv.Contents(int(id2))
+	fmt.Printf("window %d: %q in %s\n", id1, t1, c1)
+	fmt.Printf("window %d: %q in %s\n", id2, t2, c2)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module promises
+
+go 1.22

@@ -1,0 +1,420 @@
+package promises_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"promises/internal/app/grades"
+	"promises/internal/coenter"
+	"promises/internal/compose"
+	"promises/internal/exception"
+	"promises/internal/guardian"
+	"promises/internal/handlertype"
+	"promises/internal/pqueue"
+	"promises/internal/promise"
+	"promises/internal/simnet"
+	"promises/internal/stream"
+	"promises/internal/wire"
+)
+
+// These integration tests exercise the system across module boundaries:
+// user codecs through guardian calls, crash/recovery during compositions,
+// lossy networks under full applications, and the compose construct over
+// real streams.
+
+func integOpts() stream.Options {
+	return stream.Options{MaxBatch: 8, MaxBatchDelay: time.Millisecond,
+		RTO: 8 * time.Millisecond, MaxRetries: 6}
+}
+
+// gradeRecord is a user-defined abstract type transmitted by value via a
+// user-provided codec (§3: "when an argument or result is an object
+// belonging to some abstract type, encoding and decoding are done by
+// user-provided code, which may contain errors").
+type gradeRecord struct {
+	Student string
+	Grade   float64
+}
+
+type gradeCodec struct {
+	failEncode bool
+	failDecode bool
+}
+
+func (c *gradeCodec) TypeName() string { return "test.gradeRecord" }
+
+func (c *gradeCodec) Encode(v any) ([]byte, error) {
+	if c.failEncode {
+		return nil, errors.New("injected encode failure")
+	}
+	r := v.(gradeRecord)
+	return []byte(fmt.Sprintf("%s|%g", r.Student, r.Grade)), nil
+}
+
+func (c *gradeCodec) Decode(b []byte) (any, error) {
+	if c.failDecode {
+		return nil, errors.New("injected decode failure")
+	}
+	var r gradeRecord
+	if _, err := fmt.Sscanf(string(b), "%s", &r.Student); err != nil {
+		return nil, err
+	}
+	for i := range b {
+		if b[i] == '|' {
+			r.Student = string(b[:i])
+			if _, err := fmt.Sscanf(string(b[i+1:]), "%g", &r.Grade); err != nil {
+				return nil, err
+			}
+			return r, nil
+		}
+	}
+	return nil, errors.New("malformed gradeRecord")
+}
+
+func TestIntegrationUserCodecRoundTrip(t *testing.T) {
+	codec := &gradeCodec{}
+	wire.Register(gradeRecord{}, codec)
+
+	net := simnet.New(simnet.Config{})
+	defer net.Close()
+	server := guardian.MustNew(net, "server", integOpts())
+	defer server.Close()
+	client := guardian.MustNew(net, "client", integOpts())
+	defer client.Close()
+
+	ref := server.AddHandler("describe", func(call *guardian.Call) ([]any, error) {
+		r, ok := call.Args[0].(gradeRecord)
+		if !ok {
+			return nil, exception.Failuref("got %T", call.Args[0])
+		}
+		return []any{fmt.Sprintf("%s scored %.0f", r.Student, r.Grade)}, nil
+	})
+	s := ref.Stream(client.Agent("a"))
+	v, err := promise.RPC(context.Background(), s, ref.Port, promise.String,
+		gradeRecord{Student: "ann", Grade: 91})
+	if err != nil || v != "ann scored 91" {
+		t.Fatalf("RPC = %q, %v", v, err)
+	}
+}
+
+func TestIntegrationUserCodecEncodeFailureAtCaller(t *testing.T) {
+	codec := &gradeCodec{failEncode: true}
+	wire.Register(gradeRecord{}, codec)
+	defer wire.Register(gradeRecord{}, &gradeCodec{})
+
+	net := simnet.New(simnet.Config{})
+	defer net.Close()
+	client := guardian.MustNew(net, "client", integOpts())
+	defer client.Close()
+
+	s := client.Agent("a").Stream("server", guardian.DefaultGroup)
+	// Step 1 of §3: encoding fails => the call fails, no promise created.
+	p, err := promise.Call(s, "describe", promise.String, gradeRecord{Student: "x"})
+	if p != nil || !exception.IsFailure(err) {
+		t.Fatalf("Call = %v, %v", p, err)
+	}
+}
+
+func TestIntegrationGuardianCrashDuringComposition(t *testing.T) {
+	// The grades DB crashes mid-composition; the coenter terminates,
+	// recovery brings it back, and a rerun completes.
+	net := simnet.New(simnet.Config{})
+	defer net.Close()
+	db, err := grades.NewDB(net, "gradesdb", integOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.G.Close()
+	pr, err := grades.NewPrinter(net, "printer", integOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pr.G.Close()
+	client, err := grades.NewClient(net, "client", integOpts(), db.Ref(), pr.Ref())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.G.Close()
+
+	// Crash the DB while calls are in flight.
+	db.SetDelay(2 * time.Millisecond)
+	load := grades.Workload(30)
+	crashed := make(chan struct{})
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		db.G.Crash()
+		close(crashed)
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := client.RunCoenter(ctx, load); err == nil {
+		t.Fatal("composition should fail when the DB crashes")
+	}
+	if ctx.Err() != nil {
+		t.Fatal("composition hung through the crash")
+	}
+	<-crashed
+
+	// Recover and run again cleanly.
+	db.G.Recover()
+	db.Reset()
+	db.SetDelay(0)
+	pr.Reset()
+	if err := client.RunCoenter(ctx, load); err != nil {
+		t.Fatalf("rerun after recovery: %v", err)
+	}
+	if got := len(pr.Lines()); got != len(load) {
+		t.Fatalf("printed %d lines after recovery", got)
+	}
+}
+
+func TestIntegrationGradesOverLossyNetwork(t *testing.T) {
+	// Full application over a 10%-loss network: slower, but the output is
+	// exactly right (exactly-once ordered delivery).
+	net := simnet.New(simnet.Config{LossRate: 0.1, Jitter: 200 * time.Microsecond, Seed: 7})
+	defer net.Close()
+	opts := integOpts()
+	opts.RTO = 5 * time.Millisecond
+	opts.MaxRetries = 40
+
+	db, err := grades.NewDB(net, "gradesdb", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.G.Close()
+	pr, err := grades.NewPrinter(net, "printer", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pr.G.Close()
+	client, err := grades.NewClient(net, "client", opts, db.Ref(), pr.Ref())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.G.Close()
+
+	load := grades.Workload(50)
+	if err := client.RunCoenter(context.Background(), load); err != nil {
+		t.Fatal(err)
+	}
+	lines := pr.Lines()
+	if len(lines) != len(load) {
+		t.Fatalf("printed %d lines, want %d", len(lines), len(load))
+	}
+	for i, s := range load {
+		if db.Count(s.Student) != 1 {
+			t.Fatalf("student %s recorded %d times", s.Student, db.Count(s.Student))
+		}
+		want := fmt.Sprintf("%s %.2f", s.Student, s.Grade)
+		if lines[i] != want {
+			t.Fatalf("line %d = %q, want %q", i, lines[i], want)
+		}
+	}
+}
+
+func TestIntegrationTypedPortsAcrossGuardians(t *testing.T) {
+	// A typed port's contract enforced across the full stack, with a
+	// declared exception claimed through a promise.
+	net := simnet.New(simnet.Config{})
+	defer net.Close()
+	server := guardian.MustNew(net, "server", integOpts())
+	defer server.Close()
+	client := guardian.MustNew(net, "client", integOpts())
+	defer client.Close()
+
+	sig := handlertype.MustParse("port (string) returns (real) signals (no_such_student(string))")
+	boxes := map[string]float64{"ann": 91.5}
+	ref := server.AddTypedHandler("average", sig, func(call *guardian.Call) ([]any, error) {
+		stu, err := call.StringArg(0)
+		if err != nil {
+			return nil, err
+		}
+		avg, ok := boxes[stu]
+		if !ok {
+			return nil, exception.New("no_such_student", stu)
+		}
+		return []any{avg}, nil
+	})
+
+	s := ref.Stream(client.Agent("a"))
+	p1, err := promise.CallTyped(s, ref.Port, sig, promise.Float, "ann")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := promise.CallTyped(s, ref.Port, sig, promise.Float, "zoe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Flush()
+	if v, err := p1.MustClaim(); err != nil || v != 91.5 {
+		t.Fatalf("ann = %v, %v", v, err)
+	}
+	_, err = p2.MustClaim()
+	if !exception.Is(err, "no_such_student") {
+		t.Fatalf("zoe err = %v", err)
+	}
+}
+
+func TestIntegrationComposeOverLossyStreams(t *testing.T) {
+	net := simnet.New(simnet.Config{LossRate: 0.08, Seed: 3})
+	defer net.Close()
+	opts := integOpts()
+	opts.RTO = 5 * time.Millisecond
+	opts.MaxRetries = 40
+
+	server := guardian.MustNew(net, "server", opts)
+	defer server.Close()
+	inc := server.AddHandler("inc", func(call *guardian.Call) ([]any, error) {
+		x, err := call.IntArg(0)
+		if err != nil {
+			return nil, err
+		}
+		return []any{x + 1}, nil
+	})
+	client := guardian.MustNew(net, "client", opts)
+	defer client.Close()
+	s := inc.Stream(client.Agent("flow"))
+
+	const k = 40
+	flow := compose.Via(
+		compose.Produce(k, func(i int) (int64, error) { return int64(i), nil }),
+		func(x int64) (*promise.Promise[int64], error) {
+			return promise.Call(s, inc.Port, promise.Int, x)
+		})
+	got, err := compose.Collect(context.Background(), flow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != k {
+		t.Fatalf("got %d values", len(got))
+	}
+	for i, v := range got {
+		if v != int64(i+1) {
+			t.Fatalf("got[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestIntegrationDynamicGroupFanOutFanIn(t *testing.T) {
+	// A dynamic coenter group fans out one forked-claim process per call
+	// and fans results into a queue — the §4.3 process-per-item shape over
+	// a real guardian.
+	net := simnet.New(simnet.Config{Jitter: 100 * time.Microsecond, Seed: 5})
+	defer net.Close()
+	server := guardian.MustNew(net, "server", integOpts())
+	defer server.Close()
+	sq := server.AddHandler("square", func(call *guardian.Call) ([]any, error) {
+		x, err := call.IntArg(0)
+		if err != nil {
+			return nil, err
+		}
+		return []any{x * x}, nil
+	})
+	client := guardian.MustNew(net, "client", integOpts())
+	defer client.Close()
+	s := sq.Stream(client.Agent("fan"))
+
+	const n = 25
+	results := pqueue.New[int64](0)
+	g := coenter.NewGroup(context.Background())
+	for i := 0; i < n; i++ {
+		i := i
+		g.Spawn(func(p *coenter.Proc) error {
+			pr, err := promise.Call(s, sq.Port, promise.Int, int64(i))
+			if err != nil {
+				return err
+			}
+			v, err := pr.Claim(p.Context())
+			if err != nil {
+				return err
+			}
+			return results.Enq(p.Context(), v)
+		})
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	results.Close()
+	var sum int64
+	var count int
+	for {
+		v, err := results.Deq(context.Background())
+		if err != nil {
+			break
+		}
+		sum += v
+		count++
+	}
+	var want int64
+	for i := 0; i < n; i++ {
+		want += int64(i * i)
+	}
+	if count != n || sum != want {
+		t.Fatalf("collected %d results, sum %d (want %d)", count, sum, want)
+	}
+}
+
+func TestIntegrationManyClientsOneGuardian(t *testing.T) {
+	// 8 client activities hammer one guardian concurrently; per-stream
+	// ordering holds for each while the streams interleave.
+	net := simnet.New(simnet.Config{Jitter: 150 * time.Microsecond, Seed: 11})
+	defer net.Close()
+	server := guardian.MustNew(net, "server", integOpts())
+	defer server.Close()
+
+	var mu sync.Mutex
+	lastSeen := make(map[string]int64)
+	violations := 0
+	server.AddHandler("ordered", func(call *guardian.Call) ([]any, error) {
+		x, err := call.IntArg(0)
+		if err != nil {
+			return nil, err
+		}
+		mu.Lock()
+		if x != lastSeen[call.Agent]+1 {
+			violations++
+		}
+		lastSeen[call.Agent] = x
+		mu.Unlock()
+		return []any{x}, nil
+	})
+
+	client := guardian.MustNew(net, "client", integOpts())
+	defer client.Close()
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			agent := client.Agent(fmt.Sprintf("activity-%d", c))
+			s := agent.Stream("server", guardian.DefaultGroup)
+			for i := 1; i <= 30; i++ {
+				if _, err := promise.Call(s, "ordered", promise.Int, int64(i)); err != nil {
+					t.Errorf("client %d call %d: %v", c, i, err)
+					return
+				}
+			}
+			if err := s.Synch(context.Background()); err != nil {
+				t.Errorf("client %d synch: %v", c, err)
+			}
+		}(c)
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if violations != 0 {
+		t.Fatalf("%d per-stream ordering violations", violations)
+	}
+	if len(lastSeen) != 8 {
+		t.Fatalf("saw %d agents", len(lastSeen))
+	}
+	for agent, last := range lastSeen {
+		if last != 30 {
+			t.Fatalf("agent %s finished at %d", agent, last)
+		}
+	}
+}

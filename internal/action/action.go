@@ -1,0 +1,290 @@
+// Package action provides in-memory atomic actions, the Argus transaction
+// facility the paper leans on for higher-level safety (Liskov & Shrira,
+// PLDI 1988, §4.2): "recording grades is not something that should be done
+// part way... an atomic transaction either completes entirely or is
+// guaranteed to have no effect."
+//
+// An Action collects undo steps as it makes changes; Abort runs them in
+// reverse order, Commit discards them (or, for a subaction, hands them to
+// the parent, so aborting the parent undoes committed children too).
+// Remote work started under an action can be registered as a potential
+// orphan: when the action aborts, the registered destructors run
+// asynchronously — "we do not wait to terminate any calls that may be
+// running elsewhere; the system guarantees that it will find these
+// computations and destroy them later."
+//
+// Scope note (documented substitution): the paper defers the full
+// transaction story — stable storage, two-phase commit, locking — to the
+// Argus papers. This package models exactly what the paper's examples
+// need: all-or-nothing effects on in-memory state, abort on early
+// termination of a coenter arm, and orphan destruction. Isolation is
+// provided by the call-stream layer's per-stream serial execution, not by
+// locking here.
+package action
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"promises/internal/exception"
+)
+
+// State is an action's lifecycle state.
+type State int
+
+const (
+	// Active means the action is running and can still commit or abort.
+	Active State = iota
+	// Committed means the action's effects are permanent (or inherited by
+	// its parent, for a subaction).
+	Committed
+	// Aborted means the action's effects have been undone.
+	Aborted
+)
+
+func (s State) String() string {
+	switch s {
+	case Active:
+		return "active"
+	case Committed:
+		return "committed"
+	case Aborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// ErrNotActive is returned by Commit on an action that has already
+// committed or aborted.
+var ErrNotActive = errors.New("action: not active")
+
+// Action is one atomic action. Create top-level actions with Begin and
+// subactions with (*Action).Sub. All methods are safe for concurrent use;
+// undo steps run one at a time.
+type Action struct {
+	parent *Action
+
+	mu      sync.Mutex
+	state   State
+	undo    []func()
+	orphans []func()
+	wg      *sync.WaitGroup // shared by the whole action tree, for Drain
+}
+
+// Begin starts a top-level action.
+func Begin() *Action {
+	return &Action{wg: &sync.WaitGroup{}}
+}
+
+// Sub starts a subaction. Committing a subaction transfers its undo steps
+// and orphan registrations to the parent (so a later parent abort undoes
+// the child); aborting a subaction undoes only the child's own effects.
+func (a *Action) Sub() *Action {
+	return &Action{parent: a, wg: a.wg}
+}
+
+// State returns the action's current state.
+func (a *Action) State() State {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.state
+}
+
+// OnAbort registers an undo step, run (in reverse registration order) if
+// the action aborts. Calling OnAbort on a non-active action runs the step
+// immediately when the action has aborted — the change it guards is
+// already doomed — and panics if the action committed, since an undo
+// registered after commit can never run and indicates a bug.
+func (a *Action) OnAbort(undo func()) {
+	a.mu.Lock()
+	switch a.state {
+	case Active:
+		a.undo = append(a.undo, undo)
+		a.mu.Unlock()
+	case Aborted:
+		a.mu.Unlock()
+		undo()
+	case Committed:
+		a.mu.Unlock()
+		panic("action: OnAbort after Commit")
+	}
+}
+
+// RegisterOrphan registers remote work to destroy if the action aborts.
+// Destructors run asynchronously after abort; use Drain to wait for them
+// (tests do).
+func (a *Action) RegisterOrphan(destroy func()) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.state == Aborted {
+		a.wg.Add(1)
+		go func() {
+			defer a.wg.Done()
+			destroy()
+		}()
+		return
+	}
+	a.orphans = append(a.orphans, destroy)
+}
+
+// Commit makes the action's effects permanent. For a subaction the effects
+// become part of the parent: they are undone if the parent later aborts.
+// Commit fails with ErrNotActive if the action already finished.
+func (a *Action) Commit() error {
+	a.mu.Lock()
+	if a.state != Active {
+		a.mu.Unlock()
+		return ErrNotActive
+	}
+	a.state = Committed
+	undo := a.undo
+	orphans := a.orphans
+	a.undo = nil
+	a.orphans = nil
+	a.mu.Unlock()
+
+	if a.parent != nil {
+		// Inherited effects undo in reverse order overall, so append the
+		// child's steps to the parent's log in order.
+		a.parent.mu.Lock()
+		if a.parent.state == Active {
+			a.parent.undo = append(a.parent.undo, undo...)
+			a.parent.orphans = append(a.parent.orphans, orphans...)
+			a.parent.mu.Unlock()
+			return nil
+		}
+		parentAborted := a.parent.state == Aborted
+		a.parent.mu.Unlock()
+		if parentAborted {
+			// The parent aborted while the child raced to commit: the
+			// child's effects must not survive.
+			runUndo(undo)
+			a.destroyOrphans(orphans)
+		}
+	}
+	return nil
+}
+
+// Abort undoes the action's effects: undo steps run synchronously in
+// reverse order, then orphan destructors are launched asynchronously.
+// Aborting a finished action does nothing.
+func (a *Action) Abort() {
+	a.mu.Lock()
+	if a.state != Active {
+		a.mu.Unlock()
+		return
+	}
+	a.state = Aborted
+	undo := a.undo
+	orphans := a.orphans
+	a.undo = nil
+	a.orphans = nil
+	a.mu.Unlock()
+
+	runUndo(undo)
+	a.destroyOrphans(orphans)
+}
+
+func runUndo(undo []func()) {
+	for i := len(undo) - 1; i >= 0; i-- {
+		undo[i]()
+	}
+}
+
+func (a *Action) destroyOrphans(orphans []func()) {
+	for _, destroy := range orphans {
+		a.wg.Add(1)
+		go func(destroy func()) {
+			defer a.wg.Done()
+			destroy()
+		}(destroy)
+	}
+}
+
+// Drain waits for all orphan destructors launched anywhere in this
+// action's tree to finish.
+func (a *Action) Drain() { a.wg.Wait() }
+
+// Run executes f inside a fresh top-level action: if f returns nil the
+// action commits; if f returns an error or panics the action aborts and
+// the error (or a failure exception for the panic) propagates. This is
+// the shape of a coenter arm "run as an action."
+func Run(f func(a *Action) error) error {
+	a := Begin()
+	return runIn(a, f)
+}
+
+// RunSub is Run inside a subaction of parent.
+func RunSub(parent *Action, f func(a *Action) error) error {
+	return runIn(parent.Sub(), f)
+}
+
+func runIn(a *Action, f func(a *Action) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			a.Abort()
+			err = exception.Failuref("action panicked: %v", r)
+		}
+	}()
+	if err := f(a); err != nil {
+		a.Abort()
+		return err
+	}
+	return a.Commit()
+}
+
+// Cell is a mutable variable with action-aware writes: Set inside an
+// action logs the previous value so an abort restores it. Reads and writes
+// are individually atomic; serialization across concurrent actions is the
+// caller's affair (the paper's examples serialize via streams).
+type Cell[T any] struct {
+	mu sync.Mutex
+	v  T
+}
+
+// NewCell creates a cell holding v.
+func NewCell[T any](v T) *Cell[T] {
+	return &Cell[T]{v: v}
+}
+
+// Get returns the current value.
+func (c *Cell[T]) Get() T {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}
+
+// Set writes v under the action: if a aborts, the previous value is
+// restored. A nil action writes unconditionally.
+func (c *Cell[T]) Set(a *Action, v T) {
+	c.mu.Lock()
+	prev := c.v
+	c.v = v
+	c.mu.Unlock()
+	if a != nil {
+		a.OnAbort(func() {
+			c.mu.Lock()
+			c.v = prev
+			c.mu.Unlock()
+		})
+	}
+}
+
+// Update applies f to the current value under the action.
+func (c *Cell[T]) Update(a *Action, f func(T) T) T {
+	c.mu.Lock()
+	prev := c.v
+	c.v = f(prev)
+	next := c.v
+	c.mu.Unlock()
+	if a != nil {
+		a.OnAbort(func() {
+			c.mu.Lock()
+			c.v = prev
+			c.mu.Unlock()
+		})
+	}
+	return next
+}

@@ -1,0 +1,312 @@
+package action
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"promises/internal/exception"
+)
+
+func TestCommitKeepsEffects(t *testing.T) {
+	c := NewCell(1)
+	a := Begin()
+	c.Set(a, 2)
+	if err := a.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Get() != 2 {
+		t.Fatalf("cell = %d", c.Get())
+	}
+	if a.State() != Committed {
+		t.Fatalf("state = %v", a.State())
+	}
+}
+
+func TestAbortUndoesEffects(t *testing.T) {
+	c := NewCell("before")
+	a := Begin()
+	c.Set(a, "during")
+	a.Abort()
+	if c.Get() != "before" {
+		t.Fatalf("cell = %q", c.Get())
+	}
+	if a.State() != Aborted {
+		t.Fatalf("state = %v", a.State())
+	}
+}
+
+func TestUndoRunsInReverseOrder(t *testing.T) {
+	var order []int
+	a := Begin()
+	for i := 0; i < 3; i++ {
+		i := i
+		a.OnAbort(func() { order = append(order, i) })
+	}
+	a.Abort()
+	if len(order) != 3 || order[0] != 2 || order[1] != 1 || order[2] != 0 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestCommitTwiceFails(t *testing.T) {
+	a := Begin()
+	if err := a.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Commit(); !errors.Is(err, ErrNotActive) {
+		t.Fatalf("second commit = %v", err)
+	}
+}
+
+func TestAbortAfterCommitIsNoop(t *testing.T) {
+	c := NewCell(1)
+	a := Begin()
+	c.Set(a, 2)
+	a.Commit()
+	a.Abort()
+	if c.Get() != 2 {
+		t.Fatalf("cell = %d; abort after commit must not undo", c.Get())
+	}
+}
+
+func TestSubactionCommitInheritedByParentAbort(t *testing.T) {
+	c := NewCell(0)
+	parent := Begin()
+	child := parent.Sub()
+	c.Set(child, 5)
+	if err := child.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Get() != 5 {
+		t.Fatalf("cell after child commit = %d", c.Get())
+	}
+	parent.Abort() // undoes the committed child too
+	if c.Get() != 0 {
+		t.Fatalf("cell after parent abort = %d", c.Get())
+	}
+}
+
+func TestSubactionAbortLeavesParentEffects(t *testing.T) {
+	c := NewCell(0)
+	d := NewCell(0)
+	parent := Begin()
+	c.Set(parent, 1)
+	child := parent.Sub()
+	d.Set(child, 2)
+	child.Abort()
+	if d.Get() != 0 {
+		t.Fatalf("child effect survived its abort: %d", d.Get())
+	}
+	if err := parent.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Get() != 1 {
+		t.Fatalf("parent effect lost: %d", c.Get())
+	}
+}
+
+func TestChildCommitAfterParentAbortUndoes(t *testing.T) {
+	c := NewCell(0)
+	parent := Begin()
+	child := parent.Sub()
+	c.Set(child, 7)
+	parent.Abort()
+	child.Commit() // too late: the parent is gone
+	parent.Drain()
+	if c.Get() != 0 {
+		t.Fatalf("cell = %d; child effects must not survive parent abort", c.Get())
+	}
+}
+
+func TestOrphanDestroyedOnAbort(t *testing.T) {
+	var destroyed atomic.Bool
+	a := Begin()
+	a.RegisterOrphan(func() { destroyed.Store(true) })
+	a.Abort()
+	a.Drain()
+	if !destroyed.Load() {
+		t.Fatal("orphan not destroyed")
+	}
+}
+
+func TestOrphanKeptOnCommit(t *testing.T) {
+	var destroyed atomic.Bool
+	a := Begin()
+	a.RegisterOrphan(func() { destroyed.Store(true) })
+	a.Commit()
+	a.Drain()
+	if destroyed.Load() {
+		t.Fatal("orphan destroyed despite commit")
+	}
+}
+
+func TestOrphanRegisteredAfterAbortDestroyedImmediately(t *testing.T) {
+	var destroyed atomic.Bool
+	a := Begin()
+	a.Abort()
+	a.RegisterOrphan(func() { destroyed.Store(true) })
+	a.Drain()
+	if !destroyed.Load() {
+		t.Fatal("late orphan not destroyed")
+	}
+}
+
+func TestOnAbortAfterAbortRunsImmediately(t *testing.T) {
+	var ran bool
+	a := Begin()
+	a.Abort()
+	a.OnAbort(func() { ran = true })
+	if !ran {
+		t.Fatal("undo registered after abort should run immediately")
+	}
+}
+
+func TestOnAbortAfterCommitPanics(t *testing.T) {
+	a := Begin()
+	a.Commit()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	a.OnAbort(func() {})
+}
+
+func TestRunCommitsOnNil(t *testing.T) {
+	c := NewCell(0)
+	err := Run(func(a *Action) error {
+		c.Set(a, 1)
+		return nil
+	})
+	if err != nil || c.Get() != 1 {
+		t.Fatalf("Run = %v, cell = %d", err, c.Get())
+	}
+}
+
+func TestRunAbortsOnError(t *testing.T) {
+	c := NewCell(0)
+	err := Run(func(a *Action) error {
+		c.Set(a, 1)
+		return exception.New("cannot_record")
+	})
+	if !exception.Is(err, "cannot_record") {
+		t.Fatalf("err = %v", err)
+	}
+	if c.Get() != 0 {
+		t.Fatalf("cell = %d; effects must be undone", c.Get())
+	}
+}
+
+func TestRunAbortsOnPanic(t *testing.T) {
+	c := NewCell(0)
+	err := Run(func(a *Action) error {
+		c.Set(a, 1)
+		panic("boom")
+	})
+	if !exception.IsFailure(err) {
+		t.Fatalf("err = %v", err)
+	}
+	if c.Get() != 0 {
+		t.Fatalf("cell = %d", c.Get())
+	}
+}
+
+func TestRunSub(t *testing.T) {
+	c := NewCell(0)
+	parent := Begin()
+	err := RunSub(parent, func(a *Action) error {
+		c.Set(a, 3)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parent.Abort()
+	if c.Get() != 0 {
+		t.Fatalf("cell = %d; parent abort must undo committed subaction", c.Get())
+	}
+}
+
+func TestCellUpdate(t *testing.T) {
+	c := NewCell(10)
+	a := Begin()
+	got := c.Update(a, func(v int) int { return v + 5 })
+	if got != 15 || c.Get() != 15 {
+		t.Fatalf("Update = %d, cell = %d", got, c.Get())
+	}
+	a.Abort()
+	if c.Get() != 10 {
+		t.Fatalf("cell after abort = %d", c.Get())
+	}
+}
+
+func TestCellNilActionWritesUnconditionally(t *testing.T) {
+	c := NewCell(1)
+	c.Set(nil, 2)
+	if c.Get() != 2 {
+		t.Fatalf("cell = %d", c.Get())
+	}
+}
+
+func TestConcurrentActionsOnDistinctCells(t *testing.T) {
+	const n = 32
+	cells := make([]*Cell[int], n)
+	for i := range cells {
+		cells[i] = NewCell(0)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			err := Run(func(a *Action) error {
+				cells[i].Set(a, i)
+				if i%2 == 1 {
+					return exception.New("odd")
+				}
+				return nil
+			})
+			if i%2 == 1 && !exception.Is(err, "odd") {
+				t.Errorf("action %d err = %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, c := range cells {
+		want := 0
+		if i%2 == 0 {
+			want = i
+		}
+		if c.Get() != want {
+			t.Fatalf("cell %d = %d, want %d", i, c.Get(), want)
+		}
+	}
+}
+
+// Property: a sequence of Set/Update steps inside an aborted action always
+// restores the initial value; inside a committed action it yields the
+// final value.
+func TestPropertyAllOrNothing(t *testing.T) {
+	f := func(initial int64, deltas []int64, commit bool) bool {
+		c := NewCell(initial)
+		a := Begin()
+		want := initial
+		for _, d := range deltas {
+			d := d
+			c.Update(a, func(v int64) int64 { return v + d })
+			want += d
+		}
+		if commit {
+			a.Commit()
+			return c.Get() == want
+		}
+		a.Abort()
+		return c.Get() == initial
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,282 @@
+// Package bank is a money-transfer application built on the full stack:
+// bank guardians hold accounts, and a teller composes withdraw and
+// deposit calls on different guardians into transfers that are atomic in
+// the §4.2 sense — "an atomic transaction either completes entirely or
+// is guaranteed to have no effect."
+//
+// Durable two-phase commit is out of the paper's scope (it defers to the
+// Argus papers), so a transfer is made all-or-nothing with compensation:
+// the withdrawal registers an abort-time deposit-back, and if the
+// forward deposit cannot complete, the action aborts and the
+// compensating call is issued — the moral equivalent of Argus finding
+// and destroying orphaned effects. The paper's own footnote applies:
+// atomicity cannot unhappen a truly external activity, but it can reduce
+// the window of uncertainty to a very small duration; here the
+// compensation window is exactly that.
+//
+// The package exercises promises (typed calls with declared signatures),
+// streams (batch transfers), actions (compensation), and coenter (batch
+// transfers run as a terminable group).
+package bank
+
+import (
+	"context"
+	"sync"
+
+	"promises/internal/action"
+	"promises/internal/coenter"
+	"promises/internal/exception"
+	"promises/internal/guardian"
+	"promises/internal/handlertype"
+	"promises/internal/promise"
+	"promises/internal/simnet"
+	"promises/internal/stream"
+)
+
+// Port names of a bank guardian.
+const (
+	OpenPort     = "open_account"
+	DepositPort  = "deposit"
+	WithdrawPort = "withdraw"
+	BalancePort  = "balance"
+)
+
+// Signatures of the bank's ports, in the paper's notation.
+var (
+	OpenSig     = handlertype.MustParse("port (string)")
+	DepositSig  = handlertype.MustParse("port (string, int) returns (int) signals (no_such_account(string))")
+	WithdrawSig = handlertype.MustParse("port (string, int) returns (int) signals (no_such_account(string), insufficient_funds(int))")
+	BalanceSig  = handlertype.MustParse("port (string) returns (int) signals (no_such_account(string))")
+)
+
+// Bank is one bank guardian holding accounts.
+type Bank struct {
+	G *guardian.Guardian
+
+	mu       sync.Mutex
+	accounts map[string]int64
+}
+
+// New creates a bank guardian.
+func New(net *simnet.Network, name string, opts stream.Options) (*Bank, error) {
+	g, err := guardian.New(net, name, opts)
+	if err != nil {
+		return nil, err
+	}
+	b := &Bank{G: g, accounts: make(map[string]int64)}
+	g.AddTypedHandler(OpenPort, OpenSig, b.open)
+	g.AddTypedHandler(DepositPort, DepositSig, b.deposit)
+	g.AddTypedHandler(WithdrawPort, WithdrawSig, b.withdraw)
+	g.AddTypedHandler(BalancePort, BalanceSig, b.balance)
+	return b, nil
+}
+
+func (b *Bank) open(call *guardian.Call) ([]any, error) {
+	acct, err := call.StringArg(0)
+	if err != nil {
+		return nil, err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.accounts[acct]; !ok {
+		b.accounts[acct] = 0
+	}
+	return nil, nil
+}
+
+func (b *Bank) deposit(call *guardian.Call) ([]any, error) {
+	acct, amt, err := acctAmt(call)
+	if err != nil {
+		return nil, err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	bal, ok := b.accounts[acct]
+	if !ok {
+		return nil, exception.New("no_such_account", acct)
+	}
+	bal += amt
+	b.accounts[acct] = bal
+	return []any{bal}, nil
+}
+
+func (b *Bank) withdraw(call *guardian.Call) ([]any, error) {
+	acct, amt, err := acctAmt(call)
+	if err != nil {
+		return nil, err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	bal, ok := b.accounts[acct]
+	if !ok {
+		return nil, exception.New("no_such_account", acct)
+	}
+	if bal < amt {
+		return nil, exception.New("insufficient_funds", bal)
+	}
+	bal -= amt
+	b.accounts[acct] = bal
+	return []any{bal}, nil
+}
+
+func (b *Bank) balance(call *guardian.Call) ([]any, error) {
+	acct, err := call.StringArg(0)
+	if err != nil {
+		return nil, err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	bal, ok := b.accounts[acct]
+	if !ok {
+		return nil, exception.New("no_such_account", acct)
+	}
+	return []any{bal}, nil
+}
+
+func acctAmt(call *guardian.Call) (string, int64, error) {
+	acct, err := call.StringArg(0)
+	if err != nil {
+		return "", 0, err
+	}
+	amt, err := call.IntArg(1)
+	if err != nil {
+		return "", 0, err
+	}
+	if amt < 0 {
+		return "", 0, exception.Failure("negative amount")
+	}
+	return acct, amt, nil
+}
+
+// Total returns the sum of all balances at this bank (for conservation
+// checks).
+func (b *Bank) Total() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var sum int64
+	for _, bal := range b.accounts {
+		sum += bal
+	}
+	return sum
+}
+
+// Ref returns the ref for one of the bank's ports.
+func (b *Bank) Ref(port string) guardian.Ref {
+	r, _ := b.G.Ref(port)
+	return r
+}
+
+// Account names one account at one bank.
+type Account struct {
+	Bank guardian.Ref // any port ref of the bank (identifies node+group)
+	Name string
+}
+
+// Teller composes calls on (possibly different) bank guardians into
+// transfers.
+type Teller struct {
+	G *guardian.Guardian
+}
+
+// NewTeller creates a teller guardian.
+func NewTeller(net *simnet.Network, name string, opts stream.Options) (*Teller, error) {
+	g, err := guardian.New(net, name, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Teller{G: g}, nil
+}
+
+// Open creates an account via an RPC.
+func (t *Teller) Open(ctx context.Context, acct Account) error {
+	s := acct.Bank.Stream(t.G.Agent("teller-admin"))
+	_, err := promise.RPCTyped(ctx, s, OpenPort, OpenSig, promise.None, acct.Name)
+	return err
+}
+
+// Deposit adds money via an RPC and returns the new balance.
+func (t *Teller) Deposit(ctx context.Context, acct Account, amt int64) (int64, error) {
+	s := acct.Bank.Stream(t.G.Agent("teller-admin"))
+	return promise.RPCTyped(ctx, s, DepositPort, DepositSig, promise.Int, acct.Name, amt)
+}
+
+// Balance reads a balance via an RPC.
+func (t *Teller) Balance(ctx context.Context, acct Account) (int64, error) {
+	s := acct.Bank.Stream(t.G.Agent("teller-admin"))
+	return promise.RPCTyped(ctx, s, BalancePort, BalanceSig, promise.Int, acct.Name)
+}
+
+// Transfer moves amt from one account to another, all-or-nothing: if the
+// deposit cannot complete, the withdrawal is compensated. The two
+// accounts may live at different bank guardians.
+func (t *Teller) Transfer(ctx context.Context, from, to Account, amt int64) error {
+	agent := t.G.Agent("teller-transfer")
+	fromS := from.Bank.Stream(agent)
+	toS := to.Bank.Stream(agent)
+
+	return action.Run(func(a *action.Action) error {
+		// Withdraw first; its compensation is a deposit back.
+		if _, err := promise.RPCTyped(ctx, fromS, WithdrawPort, WithdrawSig,
+			promise.Int, from.Name, amt); err != nil {
+			return err
+		}
+		a.OnAbort(func() {
+			comp := from.Bank.Stream(t.G.Agent("teller-compensator"))
+			if _, err := promise.SendTyped(comp, DepositPort, depositSendSig,
+				from.Name, amt); err == nil {
+				comp.Flush()
+			}
+		})
+		// Then deposit; failure aborts the action, firing the compensation.
+		if _, err := promise.RPCTyped(ctx, toS, DepositPort, DepositSig,
+			promise.Int, to.Name, amt); err != nil {
+			return err
+		}
+		return nil
+	})
+}
+
+// depositSendSig is the deposit signature viewed as a send (results
+// ignored); sends only check arguments.
+var depositSendSig = handlertype.Handler(handlertype.String, handlertype.Int)
+
+// BatchResult reports one transfer's outcome within a batch.
+type BatchResult struct {
+	Index int
+	Err   error
+}
+
+// TransferBatch runs many transfers as a coenter group: a producer arm
+// issues them (each as its own subprocess via the dynamic group), and
+// the group terminates together if the context ends. Individual transfer
+// failures do not terminate the group — money movement is per-transfer
+// atomic — but are reported per index.
+func (t *Teller) TransferBatch(ctx context.Context, transfers []struct {
+	From, To Account
+	Amt      int64
+}) []BatchResult {
+	results := make([]BatchResult, len(transfers))
+	g := coenter.NewGroup(ctx)
+	for i, tr := range transfers {
+		i, tr := i, tr
+		g.Spawn(func(p *coenter.Proc) error {
+			err := t.Transfer(p.Context(), tr.From, tr.To, tr.Amt)
+			results[i] = BatchResult{Index: i, Err: err}
+			return nil // per-transfer failures are data, not group escapes
+		})
+	}
+	_ = g.Wait()
+	return results
+}
+
+// Drain waits until compensating sends have been processed, for tests
+// that assert conservation after failures.
+func (t *Teller) Drain(ctx context.Context, banks ...*Bank) error {
+	for _, b := range banks {
+		comp := b.Ref(DepositPort).Stream(t.G.Agent("teller-compensator"))
+		if err := comp.Synch(ctx); err != nil && !exception.Is(err, "exception_reply") {
+			return err
+		}
+	}
+	return nil
+}

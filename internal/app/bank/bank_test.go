@@ -1,0 +1,254 @@
+package bank
+
+import (
+	"context"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"promises/internal/exception"
+	"promises/internal/promise"
+	"promises/internal/simnet"
+	"promises/internal/stream"
+)
+
+var bg = context.Background()
+
+func fastOpts() stream.Options {
+	return stream.Options{MaxBatch: 8, MaxBatchDelay: time.Millisecond,
+		RTO: 8 * time.Millisecond, MaxRetries: 5}
+}
+
+type world struct {
+	net    *simnet.Network
+	east   *Bank
+	west   *Bank
+	teller *Teller
+}
+
+func newWorld(t *testing.T, cfg simnet.Config) *world {
+	t.Helper()
+	n := simnet.New(cfg)
+	east, err := New(n, "bank-east", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	west, err := New(n, "bank-west", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	teller, err := NewTeller(n, "teller", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		teller.G.Close()
+		east.G.Close()
+		west.G.Close()
+		n.Close()
+	})
+	return &world{net: n, east: east, west: west, teller: teller}
+}
+
+func (w *world) account(t *testing.T, b *Bank, name string, balance int64) Account {
+	t.Helper()
+	acct := Account{Bank: b.Ref(DepositPort), Name: name}
+	if err := w.teller.Open(bg, acct); err != nil {
+		t.Fatal(err)
+	}
+	if balance > 0 {
+		if _, err := w.teller.Deposit(bg, acct, balance); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return acct
+}
+
+func TestDepositWithdrawBalance(t *testing.T) {
+	w := newWorld(t, simnet.Config{})
+	ann := w.account(t, w.east, "ann", 100)
+	bal, err := w.teller.Balance(bg, ann)
+	if err != nil || bal != 100 {
+		t.Fatalf("balance = %d, %v", bal, err)
+	}
+}
+
+func TestTransferSameBank(t *testing.T) {
+	w := newWorld(t, simnet.Config{})
+	ann := w.account(t, w.east, "ann", 100)
+	bob := w.account(t, w.east, "bob", 0)
+	if err := w.teller.Transfer(bg, ann, bob, 30); err != nil {
+		t.Fatal(err)
+	}
+	if bal, _ := w.teller.Balance(bg, ann); bal != 70 {
+		t.Fatalf("ann = %d", bal)
+	}
+	if bal, _ := w.teller.Balance(bg, bob); bal != 30 {
+		t.Fatalf("bob = %d", bal)
+	}
+}
+
+func TestTransferAcrossBanks(t *testing.T) {
+	w := newWorld(t, simnet.Config{})
+	ann := w.account(t, w.east, "ann", 100)
+	zoe := w.account(t, w.west, "zoe", 5)
+	if err := w.teller.Transfer(bg, ann, zoe, 60); err != nil {
+		t.Fatal(err)
+	}
+	if bal, _ := w.teller.Balance(bg, ann); bal != 40 {
+		t.Fatalf("ann = %d", bal)
+	}
+	if bal, _ := w.teller.Balance(bg, zoe); bal != 65 {
+		t.Fatalf("zoe = %d", bal)
+	}
+	if w.east.Total()+w.west.Total() != 105 {
+		t.Fatalf("money not conserved: %d + %d", w.east.Total(), w.west.Total())
+	}
+}
+
+func TestTransferInsufficientFunds(t *testing.T) {
+	w := newWorld(t, simnet.Config{})
+	ann := w.account(t, w.east, "ann", 10)
+	bob := w.account(t, w.east, "bob", 0)
+	err := w.teller.Transfer(bg, ann, bob, 50)
+	if !exception.Is(err, "insufficient_funds") {
+		t.Fatalf("err = %v", err)
+	}
+	ex, _ := exception.As(err)
+	if v, ok := ex.Arg(0); !ok || v != int64(10) {
+		t.Fatalf("exception carries balance %v", v)
+	}
+	if bal, _ := w.teller.Balance(bg, ann); bal != 10 {
+		t.Fatalf("ann = %d after failed transfer", bal)
+	}
+}
+
+func TestTransferToUnknownAccountCompensates(t *testing.T) {
+	// The withdraw succeeds, the deposit signals no_such_account, the
+	// action aborts and the compensation restores ann's money.
+	w := newWorld(t, simnet.Config{})
+	ann := w.account(t, w.east, "ann", 100)
+	ghost := Account{Bank: w.west.Ref(DepositPort), Name: "ghost"}
+	err := w.teller.Transfer(bg, ann, ghost, 40)
+	if !exception.Is(err, "no_such_account") {
+		t.Fatalf("err = %v", err)
+	}
+	if err := w.teller.Drain(bg, w.east); err != nil {
+		t.Fatal(err)
+	}
+	if bal, _ := w.teller.Balance(bg, ann); bal != 100 {
+		t.Fatalf("ann = %d; compensation did not restore the withdrawal", bal)
+	}
+	if w.east.Total() != 100 || w.west.Total() != 0 {
+		t.Fatalf("money not conserved: %d / %d", w.east.Total(), w.west.Total())
+	}
+}
+
+func TestTransferPartitionedDepositCompensates(t *testing.T) {
+	// The destination bank is unreachable: the deposit fails with
+	// unavailable, the withdrawal is compensated, money is conserved.
+	w := newWorld(t, simnet.Config{})
+	ann := w.account(t, w.east, "ann", 100)
+	zoe := w.account(t, w.west, "zoe", 0)
+	w.net.Partition("teller", "bank-west")
+	err := w.teller.Transfer(bg, ann, zoe, 40)
+	if !exception.IsUnavailable(err) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := w.teller.Drain(bg, w.east); err != nil {
+		t.Fatal(err)
+	}
+	if bal, _ := w.teller.Balance(bg, ann); bal != 100 {
+		t.Fatalf("ann = %d after compensation", bal)
+	}
+	if w.east.Total()+w.west.Total() != 100 {
+		t.Fatalf("money not conserved")
+	}
+}
+
+func TestTransferBatch(t *testing.T) {
+	w := newWorld(t, simnet.Config{})
+	ann := w.account(t, w.east, "ann", 100)
+	bob := w.account(t, w.east, "bob", 100)
+	zoe := w.account(t, w.west, "zoe", 0)
+
+	type tr = struct {
+		From, To Account
+		Amt      int64
+	}
+	results := w.teller.TransferBatch(bg, []tr{
+		{ann, zoe, 10},
+		{bob, zoe, 20},
+		{ann, bob, 5},
+		{ann, zoe, 1000}, // fails: insufficient funds
+	})
+	var failed int
+	for _, r := range results {
+		if r.Err != nil {
+			failed++
+			if !exception.Is(r.Err, "insufficient_funds") {
+				t.Fatalf("transfer %d err = %v", r.Index, r.Err)
+			}
+		}
+	}
+	if failed != 1 {
+		t.Fatalf("%d transfers failed", failed)
+	}
+	if got := w.east.Total() + w.west.Total(); got != 200 {
+		t.Fatalf("total = %d", got)
+	}
+	if bal, _ := w.teller.Balance(bg, zoe); bal != 30 {
+		t.Fatalf("zoe = %d", bal)
+	}
+}
+
+func TestTypedPortRejectsIllTypedCall(t *testing.T) {
+	// The declared signature turns an ill-typed deposit (string amount)
+	// into a failure at the call site: no promise, no wire traffic.
+	w := newWorld(t, simnet.Config{})
+	s := w.east.Ref(DepositPort).Stream(w.teller.G.Agent("x"))
+	p, err := promise.CallTyped(s, DepositPort, DepositSig, promise.Int, "ann", "lots")
+	if p != nil {
+		t.Fatal("promise created for ill-typed call")
+	}
+	if !exception.IsFailure(err) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// Property: any sequence of valid transfers between three accounts
+// conserves total money, and no balance goes negative.
+func TestPropertyConservation(t *testing.T) {
+	w := newWorld(t, simnet.Config{})
+	accounts := []Account{
+		w.account(t, w.east, "a0", 300),
+		w.account(t, w.east, "a1", 300),
+		w.account(t, w.west, "a2", 300),
+	}
+	f := func(moves []uint16) bool {
+		for _, m := range moves {
+			from := accounts[int(m)%3]
+			to := accounts[int(m/3)%3]
+			amt := int64(m % 97)
+			err := w.teller.Transfer(bg, from, to, amt)
+			if err != nil && !exception.Is(err, "insufficient_funds") {
+				return false
+			}
+		}
+		if err := w.teller.Drain(bg, w.east, w.west); err != nil {
+			return false
+		}
+		if w.east.Total()+w.west.Total() != 900 {
+			return false
+		}
+		for _, acct := range accounts {
+			if bal, err := w.teller.Balance(bg, acct); err != nil || bal < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,472 @@
+// Package cascade implements the paper's multi-level stream composition
+// (Liskov & Shrira, PLDI 1988, §4): three handlers on three different
+// streams —
+//
+//	read    = handler () returns (argtype1)
+//	compute = handler (argtype1) returns (argtype2)
+//	write   = handler (argtype2)
+//
+// — whose results cascade from each stream into the next, with local
+// "filter" computation done along the way by the client.
+//
+// The client is written three ways:
+//
+//   - Sequential: the Figure 3-1 shape, which the paper criticizes — all
+//     read calls must start before any compute call, and all compute
+//     calls before any write call (RunSequential).
+//   - Process per stream: one coenter arm per stream, adjacent arms
+//     linked by promise queues; this is the structure §4.2 recommends
+//     (RunPerStream).
+//   - Process per item: one subprocess per data item that walks its item
+//     down all three streams, with ticket synchronization to keep calls
+//     on each stream in call order (§4.3). Its advantage is that the
+//     filters run in parallel; its burden is the number of processes
+//     (RunPerItem).
+package cascade
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"promises/internal/coenter"
+	"promises/internal/exception"
+	"promises/internal/guardian"
+	"promises/internal/pqueue"
+	"promises/internal/promise"
+	"promises/internal/simnet"
+	"promises/internal/stream"
+)
+
+// Port names of the three stages.
+const (
+	ReadPort    = "read"
+	ComputePort = "compute"
+	WritePort   = "write"
+)
+
+// Source is the guardian providing read(): each call returns the next
+// item. Calls on one stream are serialized by the stream layer, so the
+// cursor is safe.
+type Source struct {
+	G *guardian.Guardian
+
+	mu     sync.Mutex
+	next   int64
+	total  int64
+	delay  time.Duration
+	cursor int64
+}
+
+// NewSource creates the source guardian serving total items (values
+// 0..total-1). A total of 0 means unlimited.
+func NewSource(net *simnet.Network, name string, opts stream.Options, total int64) (*Source, error) {
+	g, err := guardian.New(net, name, opts)
+	if err != nil {
+		return nil, err
+	}
+	s := &Source{G: g, total: total}
+	g.AddHandler(ReadPort, s.read)
+	return s, nil
+}
+
+// SetDelay adds a fixed cost per read call.
+func (s *Source) SetDelay(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.delay = d
+}
+
+// Reset rewinds the cursor.
+func (s *Source) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cursor = 0
+}
+
+func (s *Source) read(*guardian.Call) ([]any, error) {
+	s.mu.Lock()
+	d := s.delay
+	s.mu.Unlock()
+	if d > 0 {
+		time.Sleep(d)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.total > 0 && s.cursor >= s.total {
+		return nil, exception.New("end_of_data")
+	}
+	v := s.cursor
+	s.cursor++
+	return []any{v}, nil
+}
+
+// Ref returns the read port ref.
+func (s *Source) Ref() guardian.Ref {
+	r, _ := s.G.Ref(ReadPort)
+	return r
+}
+
+// Compute is the guardian providing compute(x) = 3x+1 (an arbitrary but
+// checkable transformation) with a configurable per-call cost.
+type Compute struct {
+	G *guardian.Guardian
+
+	mu    sync.Mutex
+	delay time.Duration
+}
+
+// NewCompute creates the compute guardian.
+func NewCompute(net *simnet.Network, name string, opts stream.Options) (*Compute, error) {
+	g, err := guardian.New(net, name, opts)
+	if err != nil {
+		return nil, err
+	}
+	c := &Compute{G: g}
+	g.AddHandler(ComputePort, c.compute)
+	return c, nil
+}
+
+// SetDelay adds a fixed cost per compute call.
+func (c *Compute) SetDelay(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.delay = d
+}
+
+// Transform is the function compute applies, exported so tests and sinks
+// can verify end-to-end results.
+func Transform(x int64) int64 { return 3*x + 1 }
+
+func (c *Compute) compute(call *guardian.Call) ([]any, error) {
+	x, err := call.IntArg(0)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	d := c.delay
+	c.mu.Unlock()
+	if d > 0 {
+		time.Sleep(d)
+	}
+	return []any{Transform(x)}, nil
+}
+
+// Ref returns the compute port ref.
+func (c *Compute) Ref() guardian.Ref {
+	r, _ := c.G.Ref(ComputePort)
+	return r
+}
+
+// Sink is the guardian providing write(y): it records written values in
+// arrival order. write has no normal results, so clients call it as a
+// send.
+type Sink struct {
+	G *guardian.Guardian
+
+	mu     sync.Mutex
+	values []int64
+	delay  time.Duration
+}
+
+// NewSink creates the sink guardian.
+func NewSink(net *simnet.Network, name string, opts stream.Options) (*Sink, error) {
+	g, err := guardian.New(net, name, opts)
+	if err != nil {
+		return nil, err
+	}
+	s := &Sink{G: g}
+	g.AddHandler(WritePort, s.write)
+	return s, nil
+}
+
+// SetDelay adds a fixed cost per write call.
+func (s *Sink) SetDelay(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.delay = d
+}
+
+func (s *Sink) write(call *guardian.Call) ([]any, error) {
+	y, err := call.IntArg(0)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	d := s.delay
+	s.mu.Unlock()
+	if d > 0 {
+		time.Sleep(d)
+	}
+	s.mu.Lock()
+	s.values = append(s.values, y)
+	s.mu.Unlock()
+	return nil, nil
+}
+
+// Values returns a copy of everything written so far, in arrival order.
+func (s *Sink) Values() []int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]int64, len(s.values))
+	copy(out, s.values)
+	return out
+}
+
+// Reset clears the sink.
+func (s *Sink) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.values = nil
+}
+
+// Ref returns the write port ref.
+func (s *Sink) Ref() guardian.Ref {
+	r, _ := s.G.Ref(WritePort)
+	return r
+}
+
+// Client drives the cascade with the three program structures.
+type Client struct {
+	G       *guardian.Guardian
+	Read    guardian.Ref
+	Compute guardian.Ref
+	Write   guardian.Ref
+
+	// FilterCost is the local computation done per item between claiming
+	// a stage's result and calling the next stage (the paper's "filter").
+	// Per-stream structures run filters serially in the middle arm;
+	// per-item runs them in parallel.
+	FilterCost time.Duration
+}
+
+// NewClient builds a cascade client guardian.
+func NewClient(net *simnet.Network, name string, opts stream.Options, read, compute, write guardian.Ref) (*Client, error) {
+	g, err := guardian.New(net, name, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{G: g, Read: read, Compute: compute, Write: write}, nil
+}
+
+// filter models the local match-up computation between streams. It burns
+// CPU rather than sleeping: a filter is local computation, so running
+// filters in parallel only helps on a multiprocessor — the distinction
+// §4.3's argument turns on.
+func (c *Client) filter(x int64) int64 {
+	if c.FilterCost > 0 {
+		spin(c.FilterCost)
+	}
+	return x
+}
+
+// spin busy-waits for d, occupying a processor.
+func spin(d time.Duration) {
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+	}
+}
+
+// RunSequential pipes k items through the cascade with the Figure 3-1
+// structure: three loops with a barrier between them. "All calls to read
+// must start before any calls to compute can be made," and so on.
+func (c *Client) RunSequential(ctx context.Context, k int) error {
+	agent := c.G.Agent("cascade-main")
+	rs := c.Read.Stream(agent)
+	cs := c.Compute.Stream(agent)
+	ws := c.Write.Stream(agent)
+
+	reads := make([]*promise.Promise[int64], k)
+	for i := range reads {
+		p, err := promise.Call(rs, c.Read.Port, promise.Int)
+		if err != nil {
+			return err
+		}
+		reads[i] = p
+	}
+	rs.Flush()
+
+	computes := make([]*promise.Promise[int64], k)
+	for i := range computes {
+		x, err := reads[i].Claim(ctx)
+		if err != nil {
+			return err
+		}
+		p, err := promise.Call(cs, c.Compute.Port, promise.Int, c.filter(x))
+		if err != nil {
+			return err
+		}
+		computes[i] = p
+	}
+	cs.Flush()
+
+	for i := range computes {
+		y, err := computes[i].Claim(ctx)
+		if err != nil {
+			return err
+		}
+		if _, err := promise.Send(ws, c.Write.Port, c.filter(y)); err != nil {
+			return err
+		}
+	}
+	return ws.Synch(ctx)
+}
+
+// RunPerStream pipes k items through the cascade with one coenter arm per
+// stream, adjacent arms linked by promise queues — the structure the paper
+// recommends. Results flow from each stream into the next as soon as each
+// promise is ready, even while earlier stages are still issuing calls.
+func (c *Client) RunPerStream(ctx context.Context, k int) error {
+	readq := pqueue.New[*promise.Promise[int64]](0)
+	compq := pqueue.New[*promise.Promise[int64]](0)
+	return coenter.RunCtx(ctx,
+		// read arm
+		func(p *coenter.Proc) error {
+			agent := c.G.Agent("cascade-reader")
+			rs := c.Read.Stream(agent)
+			for i := 0; i < k; i++ {
+				pr, err := promise.Call(rs, c.Read.Port, promise.Int)
+				if err != nil {
+					return err
+				}
+				if err := readq.Enq(p.Context(), pr); err != nil {
+					return err
+				}
+			}
+			rs.Flush()
+			return nil
+		},
+		// compute arm: claims read results, runs the filter, streams
+		// compute calls.
+		func(p *coenter.Proc) error {
+			agent := c.G.Agent("cascade-computer")
+			cs := c.Compute.Stream(agent)
+			for i := 0; i < k; i++ {
+				var rp *promise.Promise[int64]
+				var err error
+				p.Critical(func() { rp, err = readq.Deq(p.Context()) })
+				if err != nil {
+					return err
+				}
+				x, err := rp.Claim(p.Context())
+				if err != nil {
+					return err
+				}
+				cp, err := promise.Call(cs, c.Compute.Port, promise.Int, c.filter(x))
+				if err != nil {
+					return err
+				}
+				if err := compq.Enq(p.Context(), cp); err != nil {
+					return err
+				}
+			}
+			cs.Flush()
+			return nil
+		},
+		// write arm
+		func(p *coenter.Proc) error {
+			agent := c.G.Agent("cascade-writer")
+			ws := c.Write.Stream(agent)
+			for i := 0; i < k; i++ {
+				var cp *promise.Promise[int64]
+				var err error
+				p.Critical(func() { cp, err = compq.Deq(p.Context()) })
+				if err != nil {
+					return err
+				}
+				y, err := cp.Claim(p.Context())
+				if err != nil {
+					return err
+				}
+				if _, err := promise.Send(ws, c.Write.Port, c.filter(y)); err != nil {
+					return err
+				}
+			}
+			return ws.Synch(p.Context())
+		},
+	)
+}
+
+// RunPerItem pipes k items through the cascade with one subprocess per
+// item (§4.3). Each process moves its item across all three streams;
+// ticket channels ensure the calls on each stream are made in item order,
+// so the streams' ordering guarantee still pairs call i with item i. The
+// filters run in parallel across items.
+func (c *Client) RunPerItem(ctx context.Context, k int) error {
+	agent := c.G.Agent("cascade-items")
+	rs := c.Read.Stream(agent)
+	cs := c.Compute.Stream(agent)
+	ws := c.Write.Stream(agent)
+
+	// tickets[stage][i] closes when item i may call stage.
+	mkTickets := func() []chan struct{} {
+		ts := make([]chan struct{}, k+1)
+		for i := range ts {
+			ts[i] = make(chan struct{})
+		}
+		close(ts[0])
+		return ts
+	}
+	readT, compT, writeT := mkTickets(), mkTickets(), mkTickets()
+
+	wait := func(p *coenter.Proc, t chan struct{}) error {
+		select {
+		case <-t:
+			return nil
+		case <-p.Context().Done():
+			return p.Context().Err()
+		}
+	}
+
+	g := coenter.NewGroup(ctx)
+	for i := 0; i < k; i++ {
+		i := i
+		g.Spawn(func(p *coenter.Proc) error {
+			// read, in item order
+			if err := wait(p, readT[i]); err != nil {
+				return err
+			}
+			rp, err := promise.Call(rs, c.Read.Port, promise.Int)
+			close(readT[i+1])
+			if err != nil {
+				return err
+			}
+			x, err := rp.Claim(p.Context())
+			if err != nil {
+				return err
+			}
+			x = c.filter(x) // filters run in parallel across items
+
+			// compute, in item order
+			if err := wait(p, compT[i]); err != nil {
+				return err
+			}
+			cp, err := promise.Call(cs, c.Compute.Port, promise.Int, x)
+			close(compT[i+1])
+			if err != nil {
+				return err
+			}
+			y, err := cp.Claim(p.Context())
+			if err != nil {
+				return err
+			}
+			y = c.filter(y)
+
+			// write, in item order
+			if err := wait(p, writeT[i]); err != nil {
+				return err
+			}
+			wp, err := promise.Send(ws, c.Write.Port, y)
+			close(writeT[i+1])
+			if err != nil {
+				return err
+			}
+			_, err = wp.Claim(p.Context())
+			return err
+		})
+	}
+	if err := g.Wait(); err != nil {
+		return err
+	}
+	return ws.Synch(ctx)
+}

@@ -1,0 +1,190 @@
+package cascade
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"promises/internal/exception"
+	"promises/internal/simnet"
+	"promises/internal/stream"
+)
+
+func fastOpts() stream.Options {
+	return stream.Options{MaxBatch: 16, MaxBatchDelay: time.Millisecond,
+		RTO: 10 * time.Millisecond, MaxRetries: 4}
+}
+
+type world struct {
+	net     *simnet.Network
+	source  *Source
+	compute *Compute
+	sink    *Sink
+	client  *Client
+}
+
+func newWorld(t *testing.T, cfg simnet.Config, total int64) *world {
+	t.Helper()
+	n := simnet.New(cfg)
+	src, err := NewSource(n, "source", fastOpts(), total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := NewCompute(n, "compute", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snk, err := NewSink(n, "sink", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := NewClient(n, "client", fastOpts(), src.Ref(), cmp.Ref(), snk.Ref())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		client.G.Close()
+		src.G.Close()
+		cmp.G.Close()
+		snk.G.Close()
+		n.Close()
+	})
+	return &world{net: n, source: src, compute: cmp, sink: snk, client: client}
+}
+
+// checkSink verifies that exactly items 0..k-1 arrived, transformed, in
+// order.
+func checkSink(t *testing.T, w *world, k int) {
+	t.Helper()
+	vals := w.sink.Values()
+	if len(vals) != k {
+		t.Fatalf("sink has %d values, want %d", len(vals), k)
+	}
+	for i, v := range vals {
+		if want := Transform(int64(i)); v != want {
+			t.Fatalf("sink[%d] = %d, want %d", i, v, want)
+		}
+	}
+}
+
+func TestSequentialCascade(t *testing.T) {
+	w := newWorld(t, simnet.Config{}, 0)
+	if err := w.client.RunSequential(context.Background(), 25); err != nil {
+		t.Fatal(err)
+	}
+	checkSink(t, w, 25)
+}
+
+func TestPerStreamCascade(t *testing.T) {
+	w := newWorld(t, simnet.Config{}, 0)
+	if err := w.client.RunPerStream(context.Background(), 25); err != nil {
+		t.Fatal(err)
+	}
+	checkSink(t, w, 25)
+}
+
+func TestPerItemCascade(t *testing.T) {
+	w := newWorld(t, simnet.Config{}, 0)
+	if err := w.client.RunPerItem(context.Background(), 25); err != nil {
+		t.Fatal(err)
+	}
+	checkSink(t, w, 25)
+}
+
+func TestAllStrategiesIdenticalUnderJitter(t *testing.T) {
+	const k = 40
+	for name, run := range map[string]func(*Client, context.Context, int) error{
+		"sequential": (*Client).RunSequential,
+		"per-stream": (*Client).RunPerStream,
+		"per-item":   (*Client).RunPerItem,
+	} {
+		w := newWorld(t, simnet.Config{Jitter: 200 * time.Microsecond, Seed: 13}, 0)
+		if err := run(w.client, context.Background(), k); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		checkSink(t, w, k)
+	}
+}
+
+func TestEndOfDataPropagates(t *testing.T) {
+	// The source has only 5 items; reading 10 raises end_of_data, which
+	// must propagate out of the composition.
+	w := newWorld(t, simnet.Config{}, 5)
+	err := w.client.RunPerStream(context.Background(), 10)
+	if !exception.Is(err, "end_of_data") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPerItemEndOfDataTerminatesGroup(t *testing.T) {
+	w := newWorld(t, simnet.Config{}, 5)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	err := w.client.RunPerItem(ctx, 10)
+	if !exception.Is(err, "end_of_data") {
+		t.Fatalf("err = %v", err)
+	}
+	if ctx.Err() != nil {
+		t.Fatal("per-item composition hung")
+	}
+}
+
+func TestPartitionTerminatesPerStream(t *testing.T) {
+	w := newWorld(t, simnet.Config{}, 0)
+	w.net.Partition("client", "compute")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	err := w.client.RunPerStream(ctx, 10)
+	if err == nil {
+		t.Fatal("expected failure under partition")
+	}
+	if ctx.Err() != nil {
+		t.Fatal("composition hung")
+	}
+}
+
+func TestPipeliningBeatsSequentialWithStageDelays(t *testing.T) {
+	// With real per-stage costs, the per-stream structure should overlap
+	// the stages. Timing-sensitive: logged, not asserted, except for a
+	// very generous bound.
+	const k = 30
+	stage := 300 * time.Microsecond
+
+	seqW := newWorld(t, simnet.Config{}, 0)
+	seqW.source.SetDelay(stage)
+	seqW.compute.SetDelay(stage)
+	seqW.sink.SetDelay(stage)
+	start := time.Now()
+	if err := seqW.client.RunSequential(context.Background(), k); err != nil {
+		t.Fatal(err)
+	}
+	seqT := time.Since(start)
+
+	pipeW := newWorld(t, simnet.Config{}, 0)
+	pipeW.source.SetDelay(stage)
+	pipeW.compute.SetDelay(stage)
+	pipeW.sink.SetDelay(stage)
+	start = time.Now()
+	if err := pipeW.client.RunPerStream(context.Background(), k); err != nil {
+		t.Fatal(err)
+	}
+	pipeT := time.Since(start)
+
+	t.Logf("sequential %v, per-stream %v (k=%d, stage=%v)", seqT, pipeT, k, stage)
+	if pipeT > 3*seqT {
+		t.Fatalf("per-stream (%v) wildly slower than sequential (%v)", pipeT, seqT)
+	}
+}
+
+func TestSourceReset(t *testing.T) {
+	w := newWorld(t, simnet.Config{}, 3)
+	if err := w.client.RunSequential(context.Background(), 3); err != nil {
+		t.Fatal(err)
+	}
+	w.source.Reset()
+	w.sink.Reset()
+	if err := w.client.RunSequential(context.Background(), 3); err != nil {
+		t.Fatal(err)
+	}
+	checkSink(t, w, 3)
+}

@@ -1,0 +1,89 @@
+package grades
+
+import (
+	"context"
+
+	"promises/internal/action"
+	"promises/internal/coenter"
+	"promises/internal/pqueue"
+	"promises/internal/promise"
+)
+
+// RunCoenterAtomic is the §4.2 refinement in which the recording arm runs
+// as an atomic action: "recording grades is not something that should be
+// done part way... running the recording process as an atomic transaction
+// can ensure that if it is not possible to record all grades, none will
+// be recorded."
+//
+// Durable two-phase commit is out of the paper's scope (it defers to the
+// Argus papers), so atomicity is realized with compensation: every grade
+// recorded under the action registers an unrecord_grade call as abort-time
+// work. If either arm escapes, the action aborts and the compensating
+// calls are issued — the moral equivalent of the Argus system finding and
+// destroying the orphaned effects. Printing is an external activity;
+// as the paper's footnote concedes, atomicity cannot unprint a line.
+func (c *Client) RunCoenterAtomic(ctx context.Context, grades []SInfo) error {
+	aveq := pqueue.New[*promise.Promise[float64]](0)
+	act := action.Begin()
+
+	err := coenter.RunCtx(ctx,
+		// recording arm, run as an action
+		func(p *coenter.Proc) error {
+			agent := c.G.Agent("grades-recorder")
+			dbs := c.DB.Stream(agent)
+			for _, s := range grades {
+				c.produce()
+				pr, err := promise.Call(dbs, c.DB.Port, promise.Float, s.Student, s.Grade)
+				if err != nil {
+					return err
+				}
+				// Compensation: if the action aborts, undo this grade with
+				// a send on a fresh compensation agent (the original agent
+				// may be mid-composition).
+				s := s
+				act.OnAbort(func() {
+					comp := c.DB.Stream(c.G.Agent("grades-compensator"))
+					if _, err := promise.Send(comp, UnrecordPort, s.Student, s.Grade); err == nil {
+						comp.Flush()
+					}
+				})
+				if err := aveq.Enq(p.Context(), pr); err != nil {
+					return err
+				}
+			}
+			return dbs.Synch(p.Context())
+		},
+		// printing arm
+		func(p *coenter.Proc) error {
+			agent := c.G.Agent("grades-printer")
+			prs := c.PR.Stream(agent)
+			for i := range grades {
+				var ave *promise.Promise[float64]
+				var err error
+				p.Critical(func() {
+					ave, err = aveq.Deq(p.Context())
+				})
+				if err != nil {
+					return err
+				}
+				avg, err := ave.Claim(p.Context())
+				if err != nil {
+					return err
+				}
+				if _, err := promise.Send(prs, c.PR.Port, makeString(grades[i].Student, avg)); err != nil {
+					return err
+				}
+			}
+			return prs.Synch(p.Context())
+		},
+	)
+	if err != nil {
+		act.Abort()
+		// Make sure the compensating sends drain before reporting, so
+		// callers observe the rolled-back state.
+		comp := c.DB.Stream(c.G.Agent("grades-compensator"))
+		_ = comp.Synch(ctx)
+		return err
+	}
+	return act.Commit()
+}

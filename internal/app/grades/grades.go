@@ -1,0 +1,496 @@
+// Package grades implements the paper's running example (Liskov & Shrira,
+// PLDI 1988, §3.1 Figure 3-1, §4.1 Figure 4-1, §4.2 Figure 4-2): a
+// guardian that stores student grades and returns updated averages, a
+// printer guardian, and a client that records a batch of grades and prints
+// an alphabetical list of students with their new averages.
+//
+// The client is written three ways, exactly as the paper develops it:
+//
+//   - Sequential (Fig 3-1): stream all record_grade calls, flush, then
+//     claim each promise and stream the print calls. Overlapping is
+//     limited — printing cannot begin until all recording calls have been
+//     initiated.
+//   - Forks (Fig 4-1): two forked processes share a queue of promises;
+//     recording and printing overlap. Awkward, and with the paper's
+//     termination problem: if the recorder dies early the printer can
+//     hang forever (RunForksNaive reproduces this; RunForks adds the
+//     queue close that a careful programmer would).
+//   - Coenter (Fig 4-2): the two loops are arms of a coenter; an
+//     exception in either arm terminates the whole group, so nobody
+//     hangs.
+package grades
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"promises/internal/coenter"
+	"promises/internal/exception"
+	"promises/internal/fork"
+	"promises/internal/guardian"
+	"promises/internal/pqueue"
+	"promises/internal/promise"
+	"promises/internal/simnet"
+	"promises/internal/stream"
+)
+
+// SInfo is one student's grade record (the paper's sinfo).
+type SInfo struct {
+	Student string
+	Grade   float64
+}
+
+// Workload builds n students' records, alphabetically ordered as the
+// paper's pre-recorded grades array is.
+func Workload(n int) []SInfo {
+	out := make([]SInfo, n)
+	for i := range out {
+		out[i] = SInfo{
+			Student: fmt.Sprintf("student-%05d", i),
+			Grade:   float64(50 + (i*7)%51),
+		}
+	}
+	return out
+}
+
+// DB is the grades database guardian. Its record_grade handler records a
+// new grade for a student and returns the student's updated average.
+type DB struct {
+	G *guardian.Guardian
+
+	mu     sync.Mutex
+	grades map[string][]float64
+	delay  time.Duration
+}
+
+// RecordPort and UnrecordPort are the DB's port names.
+const (
+	RecordPort   = "record_grade"
+	UnrecordPort = "unrecord_grade"
+)
+
+// NewDB creates the database guardian at a node named name.
+func NewDB(net *simnet.Network, name string, opts stream.Options) (*DB, error) {
+	g, err := guardian.New(net, name, opts)
+	if err != nil {
+		return nil, err
+	}
+	db := &DB{G: g, grades: make(map[string][]float64)}
+	g.AddHandler(RecordPort, db.recordGrade)
+	g.AddHandler(UnrecordPort, db.unrecordGrade)
+	return db, nil
+}
+
+// SetDelay adds a fixed processing cost per record_grade call, modeling a
+// database that does real work (used by the benchmarks to control the
+// compute/communication ratio).
+func (db *DB) SetDelay(d time.Duration) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.delay = d
+}
+
+func (db *DB) recordGrade(call *guardian.Call) ([]any, error) {
+	stu, err := call.StringArg(0)
+	if err != nil {
+		return nil, err
+	}
+	grade, err := call.FloatArg(1)
+	if err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	d := db.delay
+	db.mu.Unlock()
+	if d > 0 {
+		time.Sleep(d)
+	}
+	db.mu.Lock()
+	db.grades[stu] = append(db.grades[stu], grade)
+	avg := averageLocked(db.grades[stu])
+	db.mu.Unlock()
+	return []any{avg}, nil
+}
+
+// unrecordGrade removes one occurrence of a grade — the compensating
+// operation used when a recording action aborts.
+func (db *DB) unrecordGrade(call *guardian.Call) ([]any, error) {
+	stu, err := call.StringArg(0)
+	if err != nil {
+		return nil, err
+	}
+	grade, err := call.FloatArg(1)
+	if err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	gs := db.grades[stu]
+	for i := len(gs) - 1; i >= 0; i-- {
+		if gs[i] == grade {
+			db.grades[stu] = append(gs[:i:i], gs[i+1:]...)
+			break
+		}
+	}
+	return nil, nil
+}
+
+func averageLocked(gs []float64) float64 {
+	if len(gs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, g := range gs {
+		sum += g
+	}
+	return sum / float64(len(gs))
+}
+
+// Average returns the current average for a student.
+func (db *DB) Average(stu string) float64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return averageLocked(db.grades[stu])
+}
+
+// Count returns the number of grades recorded for a student.
+func (db *DB) Count(stu string) int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return len(db.grades[stu])
+}
+
+// Students returns all students with at least one grade, sorted.
+func (db *DB) Students() []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make([]string, 0, len(db.grades))
+	for s, gs := range db.grades {
+		if len(gs) > 0 {
+			out = append(out, s)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Reset discards all recorded grades.
+func (db *DB) Reset() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.grades = make(map[string][]float64)
+}
+
+// Ref returns the record_grade port ref.
+func (db *DB) Ref() guardian.Ref {
+	r, _ := db.G.Ref(RecordPort)
+	return r
+}
+
+// Printer is the printing guardian; its print handler appends a line to
+// the printed output. print has no normal results, so clients call it as
+// a send.
+type Printer struct {
+	G *guardian.Guardian
+
+	mu    sync.Mutex
+	lines []string
+	delay time.Duration
+	fail  bool
+}
+
+// PrintPort is the printer's port name.
+const PrintPort = "print"
+
+// NewPrinter creates the printer guardian at a node named name.
+func NewPrinter(net *simnet.Network, name string, opts stream.Options) (*Printer, error) {
+	g, err := guardian.New(net, name, opts)
+	if err != nil {
+		return nil, err
+	}
+	pr := &Printer{G: g}
+	g.AddHandler(PrintPort, pr.print)
+	return pr, nil
+}
+
+// SetDelay adds a fixed cost per print call.
+func (pr *Printer) SetDelay(d time.Duration) {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	pr.delay = d
+}
+
+// SetFailing makes subsequent print calls terminate with cannot_print.
+func (pr *Printer) SetFailing(fail bool) {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	pr.fail = fail
+}
+
+func (pr *Printer) print(call *guardian.Call) ([]any, error) {
+	line, err := call.StringArg(0)
+	if err != nil {
+		return nil, err
+	}
+	pr.mu.Lock()
+	d, fail := pr.delay, pr.fail
+	pr.mu.Unlock()
+	if d > 0 {
+		time.Sleep(d)
+	}
+	if fail {
+		return nil, exception.New("cannot_print")
+	}
+	pr.mu.Lock()
+	pr.lines = append(pr.lines, line)
+	pr.mu.Unlock()
+	return nil, nil
+}
+
+// Lines returns a copy of everything printed so far.
+func (pr *Printer) Lines() []string {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	out := make([]string, len(pr.lines))
+	copy(out, pr.lines)
+	return out
+}
+
+// Reset clears the printed output.
+func (pr *Printer) Reset() {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	pr.lines = nil
+}
+
+// Ref returns the print port ref.
+func (pr *Printer) Ref() guardian.Ref {
+	r, _ := pr.G.Ref(PrintPort)
+	return r
+}
+
+// makeString is the paper's make_string: one printable line pairing a
+// student with the average.
+func makeString(stu string, avg float64) string {
+	return fmt.Sprintf("%s %.2f", stu, avg)
+}
+
+// Client records grades and prints averages using the three program
+// structures of the paper.
+type Client struct {
+	G  *guardian.Guardian
+	DB guardian.Ref
+	PR guardian.Ref
+
+	// FailRecordingAfter injects an early termination of the recording
+	// process after that many calls (0 disables). It stands in for the
+	// paper's "the recording process terminates early because of a
+	// communication problem" and lets tests demonstrate the termination
+	// problem deterministically.
+	FailRecordingAfter int
+
+	// ProduceCost models the paper's elements iterator, which yields the
+	// grades information incrementally: producing each record costs this
+	// much local work in the recording loop. This is what makes the §4
+	// overlap argument measurable — in the sequential program, printing
+	// cannot begin until ALL records have been produced and their calls
+	// initiated, while the concurrent compositions print record i while
+	// record i+1 is still being produced.
+	ProduceCost time.Duration
+}
+
+// produce models yielding one element from the grades iterator.
+func (c *Client) produce() {
+	if c.ProduceCost > 0 {
+		time.Sleep(c.ProduceCost)
+	}
+}
+
+// recordInjected reports whether the injected failure fires at index i.
+func (c *Client) recordInjected(i int) bool {
+	return c.FailRecordingAfter > 0 && i >= c.FailRecordingAfter
+}
+
+// NewClient builds a client guardian that will talk to the given database
+// and printer ports.
+func NewClient(net *simnet.Network, name string, opts stream.Options, db, pr guardian.Ref) (*Client, error) {
+	g, err := guardian.New(net, name, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{G: g, DB: db, PR: pr}, nil
+}
+
+// RunSequential is Figure 3-1: one process, two loops.
+//
+//	for s in grades: a.addh(stream record_grade(s.stu, s.grade))
+//	flush record_grade
+//	for i in indexes(a): stream print(make_string(grades[i].stu, claim(a[i])))
+//	synch print
+func (c *Client) RunSequential(ctx context.Context, grades []SInfo) error {
+	agent := c.G.Agent("grades-main")
+	dbs := c.DB.Stream(agent)
+	prs := c.PR.Stream(agent)
+
+	// First loop: stream the record_grade calls, collecting promises.
+	a := make([]*promise.Promise[float64], 0, len(grades))
+	for _, s := range grades {
+		c.produce()
+		p, err := promise.Call(dbs, c.DB.Port, promise.Float, s.Student, s.Grade)
+		if err != nil {
+			return err
+		}
+		a = append(a, p)
+	}
+	dbs.Flush()
+
+	// Second loop: claim in call order (= alphabetical) and stream prints.
+	for i, p := range a {
+		avg, err := p.Claim(ctx)
+		if err != nil {
+			return err
+		}
+		if _, err := promise.Send(prs, c.PR.Port, makeString(grades[i].Student, avg)); err != nil {
+			return err
+		}
+	}
+	return prs.Synch(ctx)
+}
+
+// RunForks is Figure 4-1: two forked processes communicate through a
+// queue of promises, so recording and printing overlap. This version
+// closes the queue when the recorder finishes (the fix a careful
+// programmer adds); RunForksNaive reproduces the paper's version, which
+// can hang.
+func (c *Client) RunForks(ctx context.Context, grades []SInfo) error {
+	return c.runForks(ctx, grades, true)
+}
+
+// RunForksNaive is Figure 4-1 exactly as written: if the recording
+// process terminates early because of a communication problem, the
+// printing process may hang forever waiting to dequeue the next promise.
+// Callers must bound it with the context.
+func (c *Client) RunForksNaive(ctx context.Context, grades []SInfo) error {
+	return c.runForks(ctx, grades, false)
+}
+
+func (c *Client) runForks(ctx context.Context, grades []SInfo, closeQueue bool) error {
+	aveq := pqueue.New[*promise.Promise[float64]](0)
+
+	// use_db: stream record_grade calls, enqueue the promises, synch.
+	useDB := func() error {
+		if closeQueue {
+			// The fix the paper's Figure 4-1 lacks: however use_db ends,
+			// tell the printer no more promises are coming.
+			defer aveq.Close()
+		}
+		agent := c.G.Agent("grades-recorder")
+		dbs := c.DB.Stream(agent)
+		for i, s := range grades {
+			if c.recordInjected(i) {
+				return exception.New("cannot_record", "injected early termination")
+			}
+			c.produce()
+			p, err := promise.Call(dbs, c.DB.Port, promise.Float, s.Student, s.Grade)
+			if err != nil {
+				return exception.New("cannot_record", err.Error())
+			}
+			if err := aveq.Enq(ctx, p); err != nil {
+				return exception.New("cannot_record", err.Error())
+			}
+		}
+		if err := dbs.Synch(ctx); err != nil {
+			return exception.New("cannot_record", err.Error())
+		}
+		return nil
+	}
+
+	// do_print: dequeue each promise, claim it, stream the print call.
+	doPrint := func() error {
+		agent := c.G.Agent("grades-printer")
+		prs := c.PR.Stream(agent)
+		for i := range grades {
+			ave, err := aveq.Deq(ctx)
+			if err != nil {
+				return exception.New("cannot_print", err.Error())
+			}
+			avg, err := ave.Claim(ctx)
+			if err != nil {
+				return exception.New("cannot_print", err.Error())
+			}
+			if _, err := promise.Send(prs, c.PR.Port, makeString(grades[i].Student, avg)); err != nil {
+				return exception.New("cannot_print", err.Error())
+			}
+		}
+		if err := prs.Synch(ctx); err != nil {
+			return exception.New("cannot_print", err.Error())
+		}
+		return nil
+	}
+
+	p1 := fork.Do(useDB)
+	p2 := fork.Do(doPrint)
+	_, err1 := p1.Claim(ctx)
+	_, err2 := p2.Claim(ctx)
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// RunCoenter is Figure 4-2: the two loops run as arms of a coenter, so a
+// stream exception in either arm terminates the whole group — without
+// forced termination "the printing process might hang forever waiting to
+// dequeue the next item from the queue."
+func (c *Client) RunCoenter(ctx context.Context, grades []SInfo) error {
+	aveq := pqueue.New[*promise.Promise[float64]](0)
+	return coenter.RunCtx(ctx,
+		// recording arm
+		func(p *coenter.Proc) error {
+			agent := c.G.Agent("grades-recorder")
+			dbs := c.DB.Stream(agent)
+			for i, s := range grades {
+				if c.recordInjected(i) {
+					return exception.New("cannot_record", "injected early termination")
+				}
+				c.produce()
+				pr, err := promise.Call(dbs, c.DB.Port, promise.Float, s.Student, s.Grade)
+				if err != nil {
+					return err
+				}
+				if err := aveq.Enq(p.Context(), pr); err != nil {
+					return err
+				}
+			}
+			return dbs.Synch(p.Context())
+		},
+		// printing arm
+		func(p *coenter.Proc) error {
+			agent := c.G.Agent("grades-printer")
+			prs := c.PR.Stream(agent)
+			for i := range grades {
+				var ave *promise.Promise[float64]
+				var err error
+				// Dequeuing is the paper's critical-section example: don't
+				// terminate a process in the middle of a dequeue.
+				p.Critical(func() {
+					ave, err = aveq.Deq(p.Context())
+				})
+				if err != nil {
+					return err
+				}
+				avg, err := ave.Claim(p.Context())
+				if err != nil {
+					return err
+				}
+				if _, err := promise.Send(prs, c.PR.Port, makeString(grades[i].Student, avg)); err != nil {
+					return err
+				}
+			}
+			return prs.Synch(p.Context())
+		},
+	)
+}

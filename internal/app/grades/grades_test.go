@@ -1,0 +1,321 @@
+package grades
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"promises/internal/exception"
+	"promises/internal/simnet"
+	"promises/internal/stream"
+)
+
+func fastOpts() stream.Options {
+	return stream.Options{MaxBatch: 16, MaxBatchDelay: time.Millisecond,
+		RTO: 10 * time.Millisecond, MaxRetries: 4}
+}
+
+type world struct {
+	net    *simnet.Network
+	db     *DB
+	pr     *Printer
+	client *Client
+}
+
+func newWorld(t *testing.T, cfg simnet.Config) *world {
+	t.Helper()
+	n := simnet.New(cfg)
+	db, err := NewDB(n, "gradesdb", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := NewPrinter(n, "printer", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := NewClient(n, "client", fastOpts(), db.Ref(), pr.Ref())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		client.G.Close()
+		db.G.Close()
+		pr.G.Close()
+		n.Close()
+	})
+	return &world{net: n, db: db, pr: pr, client: client}
+}
+
+// checkOutput verifies the printed list: every student exactly once, in
+// alphabetical order, paired with the correct average.
+func checkOutput(t *testing.T, w *world, grades []SInfo) {
+	t.Helper()
+	lines := w.pr.Lines()
+	if len(lines) != len(grades) {
+		t.Fatalf("printed %d lines, want %d", len(lines), len(grades))
+	}
+	for i, s := range grades {
+		want := fmt.Sprintf("%s %.2f", s.Student, w.db.Average(s.Student))
+		if lines[i] != want {
+			t.Fatalf("line %d = %q, want %q", i, lines[i], want)
+		}
+	}
+}
+
+func TestWorkloadShape(t *testing.T) {
+	g := Workload(10)
+	if len(g) != 10 {
+		t.Fatalf("len = %d", len(g))
+	}
+	for i := 1; i < len(g); i++ {
+		if g[i-1].Student >= g[i].Student {
+			t.Fatal("workload must be alphabetically ordered")
+		}
+	}
+}
+
+func TestSequentialFigure31(t *testing.T) {
+	w := newWorld(t, simnet.Config{})
+	grades := Workload(30)
+	if err := w.client.RunSequential(context.Background(), grades); err != nil {
+		t.Fatal(err)
+	}
+	checkOutput(t, w, grades)
+}
+
+func TestForksFigure41(t *testing.T) {
+	w := newWorld(t, simnet.Config{})
+	grades := Workload(30)
+	if err := w.client.RunForks(context.Background(), grades); err != nil {
+		t.Fatal(err)
+	}
+	checkOutput(t, w, grades)
+}
+
+func TestCoenterFigure42(t *testing.T) {
+	w := newWorld(t, simnet.Config{})
+	grades := Workload(30)
+	if err := w.client.RunCoenter(context.Background(), grades); err != nil {
+		t.Fatal(err)
+	}
+	checkOutput(t, w, grades)
+}
+
+func TestRepeatedGradesUpdateAverage(t *testing.T) {
+	w := newWorld(t, simnet.Config{})
+	grades := []SInfo{
+		{Student: "ann", Grade: 80},
+		{Student: "ann", Grade: 100},
+		{Student: "bob", Grade: 60},
+	}
+	if err := w.client.RunSequential(context.Background(), grades); err != nil {
+		t.Fatal(err)
+	}
+	if avg := w.db.Average("ann"); avg != 90 {
+		t.Fatalf("ann average = %v", avg)
+	}
+	lines := w.pr.Lines()
+	// Second ann line carries the running average at that point: 90.
+	if lines[1] != "ann 90.00" {
+		t.Fatalf("lines = %v", lines)
+	}
+}
+
+func TestCoenterTerminatesOnPrinterFailure(t *testing.T) {
+	// The printer's stream raises cannot_print; the recording arm must be
+	// terminated instead of hanging, and the run must report the problem.
+	w := newWorld(t, simnet.Config{})
+	w.pr.SetFailing(true)
+	grades := Workload(20)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	err := w.client.RunCoenter(ctx, grades)
+	if err == nil {
+		t.Fatal("expected an error from the failing printer")
+	}
+	if ctx.Err() != nil {
+		t.Fatal("run hung until the watchdog; coenter should terminate promptly")
+	}
+}
+
+func TestCoenterTerminatesOnDBPartition(t *testing.T) {
+	// The stream to the grades database breaks; both arms terminate, the
+	// whole composition returns unavailable, and nothing hangs.
+	w := newWorld(t, simnet.Config{})
+	w.net.Partition("client", "gradesdb")
+	grades := Workload(10)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	err := w.client.RunCoenter(ctx, grades)
+	// Either arm may notice first: the printing arm claims unavailable, or
+	// the recording arm's synch reports exception_reply.
+	if !exception.IsUnavailable(err) && !exception.Is(err, "exception_reply") {
+		t.Fatalf("err = %v, want unavailable or exception_reply", err)
+	}
+	if ctx.Err() != nil {
+		t.Fatal("composition hung")
+	}
+}
+
+func TestForksNaiveHangsWhenRecorderDiesEarly(t *testing.T) {
+	// The paper's termination problem, demonstrated deterministically: the
+	// recording process terminates early after 4 of 10 calls; in the naive
+	// Figure 4-1 program the printing process hangs forever waiting to
+	// dequeue the 5th promise (bounded here by a deadline).
+	w := newWorld(t, simnet.Config{})
+	w.client.FailRecordingAfter = 4
+	grades := Workload(10)
+
+	deadline := 250 * time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), deadline)
+	defer cancel()
+	err := w.client.RunForksNaive(ctx, grades)
+	if err == nil {
+		t.Fatal("naive forks run should not succeed")
+	}
+	if ctx.Err() == nil {
+		t.Fatalf("naive forks terminated without hanging: %v", err)
+	}
+}
+
+func TestCoenterTerminatesWhenRecorderDiesEarly(t *testing.T) {
+	// Same early termination, but the coenter wounds the printing arm; the
+	// composition ends promptly with the recorder's exception.
+	w := newWorld(t, simnet.Config{})
+	w.client.FailRecordingAfter = 4
+	grades := Workload(10)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	err := w.client.RunCoenter(ctx, grades)
+	if !exception.Is(err, "cannot_record") {
+		t.Fatalf("err = %v", err)
+	}
+	if ctx.Err() != nil {
+		t.Fatal("coenter run hung")
+	}
+}
+
+func TestForksFixedTerminatesWhenRecorderDiesEarly(t *testing.T) {
+	// The fixed fork version closes the queue, so the printer drains and
+	// fails fast instead of hanging.
+	w := newWorld(t, simnet.Config{})
+	w.client.FailRecordingAfter = 4
+	grades := Workload(10)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	err := w.client.RunForks(ctx, grades)
+	if !exception.Is(err, "cannot_record") {
+		t.Fatalf("err = %v", err)
+	}
+	if ctx.Err() != nil {
+		t.Fatal("fixed forks run hung")
+	}
+}
+
+func TestForksFixedDoesNotHangOnPartition(t *testing.T) {
+	w := newWorld(t, simnet.Config{})
+	w.net.Partition("client", "gradesdb")
+	grades := Workload(10)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	err := w.client.RunForks(ctx, grades)
+	if err == nil {
+		t.Fatal("forks run should fail under partition")
+	}
+	if ctx.Err() != nil {
+		t.Fatal("fixed forks run hung")
+	}
+}
+
+func TestAtomicCommitsOnSuccess(t *testing.T) {
+	w := newWorld(t, simnet.Config{})
+	grades := Workload(15)
+	if err := w.client.RunCoenterAtomic(context.Background(), grades); err != nil {
+		t.Fatal(err)
+	}
+	checkOutput(t, w, grades)
+	for _, s := range grades {
+		if w.db.Count(s.Student) != 1 {
+			t.Fatalf("student %s has %d grades", s.Student, w.db.Count(s.Student))
+		}
+	}
+}
+
+func TestAtomicRollsBackOnPrinterFailure(t *testing.T) {
+	// All-or-nothing: if printing fails partway, the recorded grades are
+	// compensated away.
+	w := newWorld(t, simnet.Config{})
+	w.pr.SetFailing(true)
+	grades := Workload(12)
+	err := w.client.RunCoenterAtomic(context.Background(), grades)
+	if err == nil {
+		t.Fatal("expected failure")
+	}
+	// Compensation is asynchronous at the DB; poll briefly.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		remaining := 0
+		for _, s := range grades {
+			remaining += w.db.Count(s.Student)
+		}
+		if remaining == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d grades still recorded after abort", remaining)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestCompositionOverlapsPipelining(t *testing.T) {
+	// With per-call processing delays, the concurrent compositions should
+	// finish well before the sum of all delays, because recording and
+	// printing overlap. This is the qualitative claim of §4; E4 measures
+	// it quantitatively.
+	w := newWorld(t, simnet.Config{Propagation: 200 * time.Microsecond})
+	const n = 40
+	perCall := 500 * time.Microsecond
+	w.db.SetDelay(perCall)
+	w.pr.SetDelay(perCall)
+	grades := Workload(n)
+
+	start := time.Now()
+	if err := w.client.RunCoenter(context.Background(), grades); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	serialFloor := time.Duration(2*n) * perCall // no-overlap lower bound
+	if elapsed >= serialFloor {
+		t.Logf("coenter run took %v (serial floor %v) — overlap not observed; "+
+			"timing-sensitive, not failing", elapsed, serialFloor)
+	}
+	checkOutput(t, w, grades)
+}
+
+func TestAllThreeProduceIdenticalOutput(t *testing.T) {
+	grades := Workload(25)
+	var outputs [3][]string
+	for i, run := range []func(*Client, context.Context, []SInfo) error{
+		(*Client).RunSequential, (*Client).RunForks, (*Client).RunCoenter,
+	} {
+		w := newWorld(t, simnet.Config{Jitter: 100 * time.Microsecond, Seed: int64(i + 1)})
+		if err := run(w.client, context.Background(), grades); err != nil {
+			t.Fatalf("strategy %d: %v", i, err)
+		}
+		outputs[i] = w.pr.Lines()
+	}
+	for i := 1; i < 3; i++ {
+		if len(outputs[i]) != len(outputs[0]) {
+			t.Fatalf("strategy %d printed %d lines, strategy 0 printed %d",
+				i, len(outputs[i]), len(outputs[0]))
+		}
+		for j := range outputs[0] {
+			if outputs[i][j] != outputs[0][j] {
+				t.Fatalf("strategy %d line %d = %q, strategy 0 = %q",
+					i, j, outputs[i][j], outputs[0][j])
+			}
+		}
+	}
+}

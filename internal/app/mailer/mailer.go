@@ -1,0 +1,183 @@
+// Package mailer implements the mailer guardian of §2.1 (Liskov & Shrira,
+// PLDI 1988): handlers send_mail and read_mail in the same port group,
+// used by several clients at once. Calls by one client on one stream
+// execute in call order; calls by different clients execute concurrently,
+// each in its own process — the example the paper uses to explain
+// per-stream sequencing.
+//
+// read_mail signals no_such_user if the user is not registered.
+package mailer
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"promises/internal/exception"
+	"promises/internal/guardian"
+	"promises/internal/promise"
+	"promises/internal/simnet"
+	"promises/internal/stream"
+	"promises/internal/wire"
+)
+
+// Port names.
+const (
+	RegisterPort = "register"
+	SendPort     = "send_mail"
+	ReadPort     = "read_mail"
+)
+
+// Mailer is the mailer guardian.
+type Mailer struct {
+	G *guardian.Guardian
+
+	mu    sync.Mutex
+	boxes map[string][]string
+	delay time.Duration
+}
+
+// New creates the mailer guardian.
+func New(net *simnet.Network, name string, opts stream.Options) (*Mailer, error) {
+	g, err := guardian.New(net, name, opts)
+	if err != nil {
+		return nil, err
+	}
+	m := &Mailer{G: g, boxes: make(map[string][]string)}
+	g.AddHandler(RegisterPort, m.register)
+	g.AddHandler(SendPort, m.sendMail)
+	g.AddHandler(ReadPort, m.readMail)
+	return m, nil
+}
+
+// SetDelay adds a fixed cost per send_mail/read_mail call.
+func (m *Mailer) SetDelay(d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.delay = d
+}
+
+func (m *Mailer) sleep() {
+	m.mu.Lock()
+	d := m.delay
+	m.mu.Unlock()
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// register creates a mailbox for a user.
+func (m *Mailer) register(call *guardian.Call) ([]any, error) {
+	u, err := call.StringArg(0)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.boxes[u]; !ok {
+		m.boxes[u] = []string{}
+	}
+	return nil, nil
+}
+
+// sendMail appends a message to a user's mailbox.
+func (m *Mailer) sendMail(call *guardian.Call) ([]any, error) {
+	u, err := call.StringArg(0)
+	if err != nil {
+		return nil, err
+	}
+	msg, err := call.StringArg(1)
+	if err != nil {
+		return nil, err
+	}
+	m.sleep()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	box, ok := m.boxes[u]
+	if !ok {
+		return nil, exception.New("no_such_user", u)
+	}
+	m.boxes[u] = append(box, msg)
+	return nil, nil
+}
+
+// readMail returns and drains a user's mailbox.
+func (m *Mailer) readMail(call *guardian.Call) ([]any, error) {
+	u, err := call.StringArg(0)
+	if err != nil {
+		return nil, err
+	}
+	m.sleep()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	box, ok := m.boxes[u]
+	if !ok {
+		return nil, exception.New("no_such_user", u)
+	}
+	msgs := make([]any, len(box))
+	for i, s := range box {
+		msgs[i] = s
+	}
+	m.boxes[u] = nil
+	return []any{msgs}, nil
+}
+
+// Refs returns the send_mail and read_mail port refs (same group, so one
+// client agent's calls to both are sequenced on one stream).
+func (m *Mailer) Refs() (send, read guardian.Ref) {
+	send, _ = m.G.Ref(SendPort)
+	read, _ = m.G.Ref(ReadPort)
+	return send, read
+}
+
+// Client is one mail user: its calls travel on its own stream.
+type Client struct {
+	agent *stream.Agent
+	s     *stream.Stream
+	send  guardian.Ref
+	read  guardian.Ref
+}
+
+// NewClient creates a client activity on an existing guardian. Each
+// concurrent activity must have its own name, so it gets its own agent
+// and stream.
+func NewClient(g *guardian.Guardian, activity string, m *Mailer) *Client {
+	send, read := m.Refs()
+	agent := g.Agent(activity)
+	return &Client{
+		agent: agent,
+		s:     send.Stream(agent),
+		send:  send,
+		read:  read,
+	}
+}
+
+// Register creates the user's mailbox via an RPC.
+func (c *Client) Register(ctx context.Context, user string) error {
+	_, err := promise.RPC(ctx, c.s, RegisterPort, promise.None, user)
+	return err
+}
+
+// SendMail streams a send_mail call and returns its promise. The paper's
+// point: the caller keeps running, and a later ReadMail on the same
+// stream is guaranteed to execute after this call.
+func (c *Client) SendMail(user, msg string) (*promise.Promise[promise.Unit], error) {
+	return promise.Call(c.s, SendPort, promise.None, user, msg)
+}
+
+// ReadMail streams a read_mail call, returning a promise for the user's
+// messages.
+func (c *Client) ReadMail(user string) (*promise.Promise[[]string], error) {
+	return promise.Call(c.s, ReadPort, promise.List(wire.AsString), user)
+}
+
+// ReadMailRPC is ReadMail as a plain RPC.
+func (c *Client) ReadMailRPC(ctx context.Context, user string) ([]string, error) {
+	return promise.RPC(ctx, c.s, ReadPort, promise.List(wire.AsString), user)
+}
+
+// Flush pushes buffered calls out now.
+func (c *Client) Flush() { c.s.Flush() }
+
+// Synch flushes and waits for all this client's calls to complete.
+func (c *Client) Synch(ctx context.Context) error { return c.s.Synch(ctx) }

@@ -1,0 +1,196 @@
+package mailer
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"promises/internal/exception"
+	"promises/internal/guardian"
+	"promises/internal/simnet"
+	"promises/internal/stream"
+)
+
+var bg = context.Background()
+
+func fastOpts() stream.Options {
+	return stream.Options{MaxBatch: 8, MaxBatchDelay: time.Millisecond,
+		RTO: 10 * time.Millisecond, MaxRetries: 4}
+}
+
+type world struct {
+	net    *simnet.Network
+	mailer *Mailer
+	home   *guardian.Guardian // client-side guardian hosting activities
+}
+
+func newWorld(t *testing.T) *world {
+	t.Helper()
+	n := simnet.New(simnet.Config{})
+	m, err := New(n, "mailer", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	home, err := guardian.New(n, "home", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		home.Close()
+		m.G.Close()
+		n.Close()
+	})
+	return &world{net: n, mailer: m, home: home}
+}
+
+func TestSendThenReadSameStream(t *testing.T) {
+	w := newWorld(t)
+	c := NewClient(w.home, "c1", w.mailer)
+	if err := c.Register(bg, "ann"); err != nil {
+		t.Fatal(err)
+	}
+	// Stream the send, then the read, without waiting: the stream
+	// guarantees the read executes after the send.
+	if _, err := c.SendMail("ann", "hello"); err != nil {
+		t.Fatal(err)
+	}
+	rp, err := c.ReadMail("ann")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Flush()
+	msgs, err := rp.MustClaim()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 1 || msgs[0] != "hello" {
+		t.Fatalf("msgs = %v", msgs)
+	}
+}
+
+func TestNoSuchUser(t *testing.T) {
+	w := newWorld(t)
+	c := NewClient(w.home, "c1", w.mailer)
+	rp, err := c.ReadMail("nobody")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Flush()
+	_, err = rp.MustClaim()
+	if !exception.Is(err, "no_such_user") {
+		t.Fatalf("err = %v", err)
+	}
+	ex, _ := exception.As(err)
+	if ex.StringArg(0) != "nobody" {
+		t.Fatalf("exception arg = %q", ex.StringArg(0))
+	}
+}
+
+func TestTwoClientsRunConcurrently(t *testing.T) {
+	// §2.1: C1's send_mail and C2's read_mail are on different streams,
+	// so both run concurrently; C1's later read_mail on its own stream
+	// waits for its send_mail.
+	w := newWorld(t)
+	w.mailer.SetDelay(2 * time.Millisecond)
+	c1 := NewClient(w.home, "c1", w.mailer)
+	c2 := NewClient(w.home, "c2", w.mailer)
+	if err := c1.Register(bg, "u1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Register(bg, "u2"); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := c1.SendMail("u1", "m1"); err != nil {
+		t.Fatal(err)
+	}
+	r1, err := c1.ReadMail("u1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1.Flush()
+
+	// C2 reads while C1's calls are still in progress.
+	msgs2, err := c2.ReadMailRPC(bg, "u2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs2) != 0 {
+		t.Fatalf("u2 msgs = %v", msgs2)
+	}
+
+	msgs1, err := r1.MustClaim()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs1) != 1 || msgs1[0] != "m1" {
+		t.Fatalf("u1 msgs = %v", msgs1)
+	}
+}
+
+func TestManyMessagesInOrder(t *testing.T) {
+	w := newWorld(t)
+	c := NewClient(w.home, "c1", w.mailer)
+	if err := c.Register(bg, "ann"); err != nil {
+		t.Fatal(err)
+	}
+	const n = 40
+	for i := 0; i < n; i++ {
+		if _, err := c.SendMail("ann", string(rune('a'+i%26))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	msgs, err := c.ReadMailRPC(bg, "ann")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != n {
+		t.Fatalf("got %d messages", len(msgs))
+	}
+	for i, m := range msgs {
+		if m != string(rune('a'+i%26)) {
+			t.Fatalf("msg %d = %q", i, m)
+		}
+	}
+}
+
+func TestReadDrainsMailbox(t *testing.T) {
+	w := newWorld(t)
+	c := NewClient(w.home, "c1", w.mailer)
+	if err := c.Register(bg, "ann"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.SendMail("ann", "x"); err != nil {
+		t.Fatal(err)
+	}
+	if msgs, err := c.ReadMailRPC(bg, "ann"); err != nil || len(msgs) != 1 {
+		t.Fatalf("first read = %v, %v", msgs, err)
+	}
+	if msgs, err := c.ReadMailRPC(bg, "ann"); err != nil || len(msgs) != 0 {
+		t.Fatalf("second read = %v, %v", msgs, err)
+	}
+}
+
+func TestSynchReportsSendFailures(t *testing.T) {
+	w := newWorld(t)
+	c := NewClient(w.home, "c1", w.mailer)
+	// No Register: the send raises no_such_user; Synch reports
+	// exception_reply without saying which call.
+	if _, err := c.SendMail("ghost", "boo"); err != nil {
+		t.Fatal(err)
+	}
+	err := c.Synch(bg)
+	if !exception.Is(err, "exception_reply") {
+		t.Fatalf("Synch = %v", err)
+	}
+	// After the boundary, a clean synch succeeds.
+	if err := c.Register(bg, "ghost"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.SendMail("ghost", "boo"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Synch(bg); err != nil {
+		t.Fatalf("second Synch = %v", err)
+	}
+}

@@ -1,0 +1,152 @@
+// Package window implements the window system sketched in §2 of the paper
+// (Liskov & Shrira, PLDI 1988): a create_window port that, when called,
+// returns a struct of newly created ports used to interact with the new
+// window —
+//
+//	create_window: port () returns (window)
+//	window = struct [ putc: port (char), puts: port (string),
+//	                  change_color: port (string) ]
+//
+// All ports of one window are placed in the same group, so one agent's
+// operations on a window are sequenced, while ports of different windows
+// belong to different groups and proceed independently. The example
+// demonstrates dynamic port creation and ports travelling as results of
+// remote calls.
+package window
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"promises/internal/guardian"
+	"promises/internal/simnet"
+	"promises/internal/stream"
+)
+
+// CreatePort is the window server's port for creating windows.
+const CreatePort = "create_window"
+
+// Server is the window-system guardian.
+type Server struct {
+	G *guardian.Guardian
+
+	mu      sync.Mutex
+	nextID  int
+	windows map[int]*state
+}
+
+// state is one window's contents.
+type state struct {
+	mu    sync.Mutex
+	text  strings.Builder
+	color string
+}
+
+// NewServer creates the window-system guardian.
+func NewServer(net *simnet.Network, name string, opts stream.Options) (*Server, error) {
+	g, err := guardian.New(net, name, opts)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{G: g, windows: make(map[int]*state)}
+	g.AddHandler(CreatePort, s.createWindow)
+	return s, nil
+}
+
+// Window is the struct of ports returned by create_window.
+type Window struct {
+	Putc        guardian.Ref
+	Puts        guardian.Ref
+	ChangeColor guardian.Ref
+}
+
+// createWindow allocates a window and dynamically creates its three ports
+// in a fresh group.
+func (s *Server) createWindow(call *guardian.Call) ([]any, error) {
+	s.mu.Lock()
+	s.nextID++
+	id := s.nextID
+	st := &state{color: "white"}
+	s.windows[id] = st
+	s.mu.Unlock()
+
+	group := fmt.Sprintf("window-%d", id)
+	putc := call.Guardian.AddHandlerIn(group, fmt.Sprintf("putc-%d", id),
+		func(c *guardian.Call) ([]any, error) {
+			ch, err := c.StringArg(0)
+			if err != nil {
+				return nil, err
+			}
+			st.mu.Lock()
+			st.text.WriteString(ch)
+			st.mu.Unlock()
+			return nil, nil
+		})
+	puts := call.Guardian.AddHandlerIn(group, fmt.Sprintf("puts-%d", id),
+		func(c *guardian.Call) ([]any, error) {
+			str, err := c.StringArg(0)
+			if err != nil {
+				return nil, err
+			}
+			st.mu.Lock()
+			st.text.WriteString(str)
+			st.mu.Unlock()
+			return nil, nil
+		})
+	chc := call.Guardian.AddHandlerIn(group, fmt.Sprintf("change_color-%d", id),
+		func(c *guardian.Call) ([]any, error) {
+			color, err := c.StringArg(0)
+			if err != nil {
+				return nil, err
+			}
+			st.mu.Lock()
+			st.color = color
+			st.mu.Unlock()
+			return nil, nil
+		})
+
+	return []any{int64(id), putc.Wire(), puts.Wire(), chc.Wire()}, nil
+}
+
+// Contents returns the text and color of a window, for assertions.
+func (s *Server) Contents(id int) (text, color string, ok bool) {
+	s.mu.Lock()
+	st, ok := s.windows[id]
+	s.mu.Unlock()
+	if !ok {
+		return "", "", false
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.text.String(), st.color, true
+}
+
+// DecodeWindow unpacks the result values of a create_window call into the
+// window's ID and port refs.
+func DecodeWindow(vals []any) (id int64, w Window, err error) {
+	if id, err = intArg(vals, 0); err != nil {
+		return 0, Window{}, err
+	}
+	if w.Putc, err = guardian.RefArg(vals, 1); err != nil {
+		return 0, Window{}, err
+	}
+	if w.Puts, err = guardian.RefArg(vals, 2); err != nil {
+		return 0, Window{}, err
+	}
+	if w.ChangeColor, err = guardian.RefArg(vals, 3); err != nil {
+		return 0, Window{}, err
+	}
+	return id, w, nil
+}
+
+func intArg(vals []any, i int) (int64, error) {
+	if i >= len(vals) {
+		return 0, fmt.Errorf("window: missing result %d", i)
+	}
+	v, ok := vals[i].(int64)
+	if !ok {
+		return 0, fmt.Errorf("window: result %d is %T, not int64", i, vals[i])
+	}
+	return v, nil
+}

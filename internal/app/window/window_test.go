@@ -1,0 +1,153 @@
+package window
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"promises/internal/guardian"
+	"promises/internal/promise"
+	"promises/internal/simnet"
+	"promises/internal/stream"
+)
+
+var bg = context.Background()
+
+func fastOpts() stream.Options {
+	return stream.Options{MaxBatch: 8, MaxBatchDelay: time.Millisecond,
+		RTO: 10 * time.Millisecond, MaxRetries: 4}
+}
+
+type world struct {
+	net    *simnet.Network
+	server *Server
+	home   *guardian.Guardian
+}
+
+func newWorld(t *testing.T) *world {
+	t.Helper()
+	n := simnet.New(simnet.Config{})
+	s, err := NewServer(n, "winsys", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	home, err := guardian.New(n, "home", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		home.Close()
+		s.G.Close()
+		n.Close()
+	})
+	return &world{net: n, server: s, home: home}
+}
+
+// create makes a window through the public protocol.
+func create(t *testing.T, w *world, agent *stream.Agent) (int64, Window) {
+	t.Helper()
+	ref, _ := w.server.G.Ref(CreatePort)
+	vals, err := promise.RPC(bg, ref.Stream(agent), CreatePort,
+		func(vals []any) ([]any, error) { return vals, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, win, err := DecodeWindow(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id, win
+}
+
+func TestCreateWindowReturnsPorts(t *testing.T) {
+	w := newWorld(t)
+	agent := w.home.Agent("ui")
+	id, win := create(t, w, agent)
+	if id != 1 {
+		t.Fatalf("id = %d", id)
+	}
+	if win.Putc.Node != "winsys" || win.Putc.Group != win.Puts.Group {
+		t.Fatalf("window ports = %+v", win)
+	}
+	if win.Putc.Group == guardian.DefaultGroup {
+		t.Fatal("window ports should be in their own group")
+	}
+}
+
+func TestWindowOperationsSequenced(t *testing.T) {
+	w := newWorld(t)
+	agent := w.home.Agent("ui")
+	id, win := create(t, w, agent)
+	ws := win.Putc.Stream(agent) // same group => same stream for all ops
+	for _, ch := range []string{"h", "i", "!"} {
+		if _, err := promise.Call(ws, win.Putc.Port, promise.None, ch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := promise.Call(ws, win.ChangeColor.Port, promise.None, "blue"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ws.Synch(bg); err != nil {
+		t.Fatal(err)
+	}
+	text, color, ok := w.server.Contents(int(id))
+	if !ok || text != "hi!" || color != "blue" {
+		t.Fatalf("contents = %q, %q, %v", text, color, ok)
+	}
+}
+
+func TestWindowsAreIndependent(t *testing.T) {
+	w := newWorld(t)
+	agent := w.home.Agent("ui")
+	id1, win1 := create(t, w, agent)
+	id2, win2 := create(t, w, agent)
+	if win1.Putc.Group == win2.Putc.Group {
+		t.Fatal("two windows share a group")
+	}
+	s1 := win1.Puts.Stream(agent)
+	s2 := win2.Puts.Stream(agent)
+	if _, err := promise.Call(s1, win1.Puts.Port, promise.None, "first"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := promise.Call(s2, win2.Puts.Port, promise.None, "second"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Synch(bg); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Synch(bg); err != nil {
+		t.Fatal(err)
+	}
+	t1, _, _ := w.server.Contents(int(id1))
+	t2, _, _ := w.server.Contents(int(id2))
+	if t1 != "first" || t2 != "second" {
+		t.Fatalf("contents = %q, %q", t1, t2)
+	}
+}
+
+func TestCrossWindowPortGroupRejected(t *testing.T) {
+	// Calling window 1's port through window 2's group stream must fail:
+	// sequencing is per group.
+	w := newWorld(t)
+	agent := w.home.Agent("ui")
+	_, win1 := create(t, w, agent)
+	_, win2 := create(t, w, agent)
+	wrong := win2.Puts.Stream(agent)
+	p, err := promise.Call(wrong, win1.Puts.Port, promise.None, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong.Flush()
+	if _, err := p.MustClaim(); err == nil {
+		t.Fatal("cross-group call should fail")
+	}
+}
+
+func TestDecodeWindowErrors(t *testing.T) {
+	if _, _, err := DecodeWindow([]any{}); err == nil {
+		t.Fatal("want error on empty results")
+	}
+	if _, _, err := DecodeWindow([]any{"not-int"}); err == nil {
+		t.Fatal("want error on type mismatch")
+	}
+}

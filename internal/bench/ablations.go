@@ -1,0 +1,204 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"promises/internal/guardian"
+	"promises/internal/handlertype"
+	"promises/internal/promise"
+	"promises/internal/simnet"
+)
+
+// Ablations returns the design-choice ablation experiments: each varies
+// one implementation decision that DESIGN.md calls out, holding the
+// workload fixed, so the cost or benefit of the decision itself is
+// visible.
+func Ablations() []Experiment {
+	return []Experiment{
+		{
+			ID: "A1", Title: "ablation: MaxBatchDelay",
+			Run: func() *Table {
+				return A1BatchDelay([]time.Duration{0, 200 * time.Microsecond, 1 * time.Millisecond, 5 * time.Millisecond}, 256)
+			},
+			Quick: func() *Table { return A1BatchDelay([]time.Duration{200 * time.Microsecond, 1 * time.Millisecond}, 32) },
+		},
+		{
+			ID: "A2", Title: "ablation: parallel-port override",
+			Run:   func() *Table { return A2ParallelPorts(64, 2*time.Millisecond) },
+			Quick: func() *Table { return A2ParallelPorts(8, time.Millisecond) },
+		},
+		{
+			ID: "A3", Title: "ablation: typed-signature checking",
+			Run:   func() *Table { return A3TypedChecking(512) },
+			Quick: func() *Table { return A3TypedChecking(32) },
+		},
+	}
+}
+
+// FindAblation returns the ablation with the given ID.
+func FindAblation(id string) (Experiment, bool) {
+	for _, e := range Ablations() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// A1BatchDelay ablates the MaxBatchDelay knob: how long a buffered call
+// may wait before its batch is forced out. Small delays push batches out
+// before they fill (more messages, lower latency); large delays maximize
+// coalescing but add latency to lightly loaded streams. This is the
+// "sent when convenient" policy of §2 made concrete.
+func A1BatchDelay(delays []time.Duration, n int) *Table {
+	t := &Table{
+		ID:     "A1",
+		Title:  fmt.Sprintf("MaxBatchDelay ablation, %d pipelined calls + 1 solo call", n),
+		Claim:  "ablation: the buffering window trades single-call latency for throughput (§2)",
+		Header: []string{"delay", "pipeline_ms", "msgs", "solo_latency_ms"},
+	}
+	for _, d := range delays {
+		opts := StreamOpts()
+		opts.MaxBatchDelay = d
+		if d == 0 {
+			opts.MaxBatchDelay = time.Nanosecond // effectively no waiting
+		}
+		w := newEchoWorld(LANCost(), opts)
+		s := w.echo.Stream(w.client.Agent("bench"))
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			if _, err := promise.Call(s, EchoPort, promise.Bytes, []byte("x")); err != nil {
+				panic(err)
+			}
+		}
+		if err := s.Synch(bg); err != nil {
+			panic(err)
+		}
+		pipeT := time.Since(start)
+		msgs := w.net.Stats().MessagesSent
+
+		// One lonely call: its latency includes the full batching delay.
+		start = time.Now()
+		p, err := promise.Call(s, EchoPort, promise.Bytes, []byte("y"))
+		if err != nil {
+			panic(err)
+		}
+		if _, err := p.Claim(bg); err != nil {
+			panic(err)
+		}
+		soloT := time.Since(start)
+		w.close()
+		t.AddRow(fmt.Sprint(d), ms(pipeT), fmt.Sprint(msgs), ms(soloT))
+	}
+	return t
+}
+
+// A2ParallelPorts ablates the §2.1 parallel-execution override: n calls
+// to a slow handler on ONE stream, executed serially (the default,
+// preserving call order) versus with the port marked parallel.
+func A2ParallelPorts(n int, handlerCost time.Duration) *Table {
+	t := &Table{
+		ID:     "A2",
+		Title:  fmt.Sprintf("parallel-port ablation: %d calls on one stream, %v handler", n, handlerCost),
+		Claim:  "ablation: the §2.1 override lets one stream's calls overlap at the receiver",
+		Header: []string{"execution", "elapsed_ms", "calls/s"},
+	}
+	for _, parallel := range []bool{false, true} {
+		net := simnet.New(LANCost())
+		opts := StreamOpts()
+		server := guardian.MustNew(net, "server", opts)
+		client := guardian.MustNew(net, "client", opts)
+		ref := server.AddHandler("slow", func(call *guardian.Call) ([]any, error) {
+			time.Sleep(handlerCost)
+			return call.Args, nil
+		})
+		server.SetParallel("slow", parallel)
+		s := ref.Stream(client.Agent("bench"))
+
+		start := time.Now()
+		ps := make([]*promise.Promise[[]byte], n)
+		for i := range ps {
+			p, err := promise.Call(s, "slow", promise.Bytes, []byte{byte(i)})
+			if err != nil {
+				panic(err)
+			}
+			ps[i] = p
+		}
+		for _, p := range ps {
+			if _, err := p.Claim(bg); err != nil {
+				panic(err)
+			}
+		}
+		elapsed := time.Since(start)
+		client.Close()
+		server.Close()
+		net.Close()
+		name := "serial (default)"
+		if parallel {
+			name = "parallel override"
+		}
+		t.AddRow(name, ms(elapsed), persec(n, elapsed))
+	}
+	return t
+}
+
+// A3TypedChecking ablates the run-time cost of declared signatures: the
+// same n calls made untyped (promise.Call) and typed
+// (promise.CallTyped + AddTypedHandler), so the price of defending the
+// declared interface at both boundaries is visible.
+func A3TypedChecking(n int) *Table {
+	t := &Table{
+		ID:     "A3",
+		Title:  fmt.Sprintf("typed-signature ablation, %d calls", n),
+		Claim:  "ablation: what run-time interface enforcement costs (Argus gets it statically)",
+		Header: []string{"mode", "elapsed_ms", "calls/s"},
+	}
+	sig := handlertype.MustParse("(bytes) returns (bytes)")
+	for _, typed := range []bool{false, true} {
+		net := simnet.New(LANCost())
+		opts := StreamOpts()
+		server := guardian.MustNew(net, "server", opts)
+		client := guardian.MustNew(net, "client", opts)
+		h := func(call *guardian.Call) ([]any, error) { return call.Args, nil }
+		var ref guardian.Ref
+		if typed {
+			ref = server.AddTypedHandler("echo", sig, h)
+		} else {
+			ref = server.AddHandler("echo", h)
+		}
+		s := ref.Stream(client.Agent("bench"))
+
+		arg := payload(64)
+		start := time.Now()
+		ps := make([]*promise.Promise[[]byte], n)
+		for i := range ps {
+			var p *promise.Promise[[]byte]
+			var err error
+			if typed {
+				p, err = promise.CallTyped(s, "echo", sig, promise.Bytes, arg)
+			} else {
+				p, err = promise.Call(s, "echo", promise.Bytes, arg)
+			}
+			if err != nil {
+				panic(err)
+			}
+			ps[i] = p
+		}
+		for _, p := range ps {
+			if _, err := p.Claim(bg); err != nil {
+				panic(err)
+			}
+		}
+		elapsed := time.Since(start)
+		client.Close()
+		server.Close()
+		net.Close()
+		name := "untyped"
+		if typed {
+			name = "typed (checked both ends)"
+		}
+		t.AddRow(name, ms(elapsed), persec(n, elapsed))
+	}
+	return t
+}

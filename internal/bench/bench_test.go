@@ -1,0 +1,228 @@
+package bench
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// parse pulls a numeric cell out of a table row.
+func cell(t *testing.T, tab *Table, row, col int) float64 {
+	t.Helper()
+	if row >= len(tab.Rows) || col >= len(tab.Rows[row]) {
+		t.Fatalf("%s: no cell (%d,%d); rows=%v", tab.ID, row, col, tab.Rows)
+	}
+	s := strings.TrimSuffix(tab.Rows[row][col], "x")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("%s: cell (%d,%d) = %q not numeric", tab.ID, row, col, tab.Rows[row][col])
+	}
+	return v
+}
+
+func TestE1ShapeStreamBeatsRPC(t *testing.T) {
+	tab := E1RPCvsStream([]int{32})
+	rpc := cell(t, tab, 0, 1)
+	str := cell(t, tab, 0, 2)
+	if str >= rpc {
+		t.Errorf("stream (%vms) not faster than RPC (%vms) at N=32", str, rpc)
+	}
+}
+
+func TestE2ShapeBatchingReducesMessages(t *testing.T) {
+	tab := E2Batching([]int{1, 16}, []int{8}, 64)
+	msgsNoBatch := cell(t, tab, 0, 4)
+	msgsBatch := cell(t, tab, 1, 4)
+	if msgsBatch >= msgsNoBatch {
+		t.Errorf("batching did not reduce messages: %v vs %v", msgsBatch, msgsNoBatch)
+	}
+}
+
+func TestE3ShapeSendCheapest(t *testing.T) {
+	tab := E3CallModes(48)
+	rpcMsgs := cell(t, tab, 0, 2)
+	sendMsgs := cell(t, tab, 2, 2)
+	if sendMsgs >= rpcMsgs {
+		t.Errorf("send used %v messages, rpc %v; sends should be cheapest", sendMsgs, rpcMsgs)
+	}
+	rpcT := cell(t, tab, 0, 1)
+	sendT := cell(t, tab, 2, 1)
+	if sendT >= rpcT {
+		t.Errorf("send (%vms) not faster than rpc (%vms)", sendT, rpcT)
+	}
+}
+
+func TestE4ShapeConcurrencyWins(t *testing.T) {
+	tab := E4Composition([]int{60}, 150*time.Microsecond)
+	seq := cell(t, tab, 0, 1)
+	co := cell(t, tab, 0, 3)
+	if co >= seq {
+		t.Logf("coenter (%vms) not faster than sequential (%vms) — timing-dependent, tolerated", co, seq)
+	}
+}
+
+func TestE5ShapePipelineWins(t *testing.T) {
+	tab := E5Cascade([]int{48}, 150*time.Microsecond)
+	seq := cell(t, tab, 0, 1)
+	pipe := cell(t, tab, 0, 2)
+	if pipe >= seq {
+		t.Logf("per-stream (%vms) not faster than sequential (%vms) — timing-dependent, tolerated", pipe, seq)
+	}
+}
+
+func TestE6ShapeTypedAccessCheaper(t *testing.T) {
+	tab := E6PromiseVsFuture(200_000)
+	direct := cell(t, tab, 0, 2)
+	touch := cell(t, tab, 2, 2)
+	if direct >= touch {
+		t.Errorf("typed access (%v ns) not cheaper than future touch (%v ns)", direct, touch)
+	}
+}
+
+func TestE7ShapeOnlyNaiveHangs(t *testing.T) {
+	tab := E7BreakHandling(10, 4, 150*time.Millisecond)
+	byName := map[string]string{}
+	for _, row := range tab.Rows {
+		byName[row[0]] = row[3]
+	}
+	if byName["coenter"] != "false" {
+		t.Errorf("coenter hung: %v", tab.Rows)
+	}
+	if byName["forks-fixed"] != "false" {
+		t.Errorf("fixed forks hung: %v", tab.Rows)
+	}
+	if byName["forks-naive"] != "true" {
+		t.Errorf("naive forks did not hang: %v", tab.Rows)
+	}
+}
+
+func TestE8Runs(t *testing.T) {
+	tab := E8PerStreamVsPerItem(12, []time.Duration{0})
+	if len(tab.Rows) != 1 {
+		t.Fatalf("rows = %v", tab.Rows)
+	}
+}
+
+func TestE9ShapeOrderedUnderLoss(t *testing.T) {
+	tab := E9LossRecovery([]float64{0, 0.05}, 48)
+	for i, row := range tab.Rows {
+		if row[5] != "true" {
+			t.Errorf("row %d: delivery not ordered under loss %s", i, row[0])
+		}
+	}
+	// Loss forces retransmissions: more sent messages.
+	clean := cell(t, tab, 0, 2)
+	lossy := cell(t, tab, 1, 2)
+	if lossy <= clean {
+		t.Logf("lossy run sent %v msgs vs clean %v — retransmission not visible at this scale", lossy, clean)
+	}
+}
+
+func TestE10ShapePromisesNoUserMatching(t *testing.T) {
+	tab := E10SendRecv(32)
+	if tab.Rows[0][3] != "0" {
+		t.Errorf("promises required user matching ops: %v", tab.Rows[0])
+	}
+	if ops := cell(t, tab, 1, 3); ops < 64 {
+		t.Errorf("send/receive matching ops = %v, want >= 2 per call", ops)
+	}
+}
+
+func TestTablePrintIsAligned(t *testing.T) {
+	tab := &Table{ID: "EX", Title: "demo", Header: []string{"a", "bb"},
+		Rows: [][]string{{"1", "2"}, {"333", "4"}}, Notes: []string{"n"}}
+	var buf bytes.Buffer
+	tab.Print(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "EX — demo") || !strings.Contains(out, "note: n") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestExperimentRegistryComplete(t *testing.T) {
+	exps := Experiments()
+	if len(exps) != 10 {
+		t.Fatalf("%d experiments registered", len(exps))
+	}
+	for i, e := range exps {
+		if expNum(e.ID) != i+1 {
+			t.Fatalf("experiment order: %v", exps)
+		}
+	}
+	if _, ok := Find("E4"); !ok {
+		t.Fatal("Find(E4) failed")
+	}
+	if _, ok := Find("E99"); ok {
+		t.Fatal("Find(E99) should fail")
+	}
+}
+
+func TestQuickRunsAllExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick sweep still takes a few seconds")
+	}
+	for _, e := range Experiments() {
+		tab := e.Quick()
+		if len(tab.Rows) == 0 {
+			t.Errorf("%s: empty table", e.ID)
+		}
+		if len(tab.Header) == 0 {
+			t.Errorf("%s: no header", e.ID)
+		}
+		for _, row := range tab.Rows {
+			if len(row) != len(tab.Header) {
+				t.Errorf("%s: row width %d != header width %d", e.ID, len(row), len(tab.Header))
+			}
+		}
+	}
+}
+
+func TestAblationRegistry(t *testing.T) {
+	abls := Ablations()
+	if len(abls) != 3 {
+		t.Fatalf("%d ablations", len(abls))
+	}
+	if _, ok := FindAblation("A2"); !ok {
+		t.Fatal("FindAblation(A2) failed")
+	}
+	if _, ok := FindAblation("A9"); ok {
+		t.Fatal("FindAblation(A9) should fail")
+	}
+}
+
+func TestA2ShapeParallelFasterOnSlowHandlers(t *testing.T) {
+	tab := A2ParallelPorts(8, time.Millisecond)
+	serial := cell(t, tab, 0, 1)
+	parallel := cell(t, tab, 1, 1)
+	if parallel >= serial {
+		t.Errorf("parallel (%vms) not faster than serial (%vms)", parallel, serial)
+	}
+}
+
+func TestA3ShapeTypedOverheadBounded(t *testing.T) {
+	tab := A3TypedChecking(64)
+	untyped := cell(t, tab, 0, 1)
+	typed := cell(t, tab, 1, 1)
+	if typed > 3*untyped {
+		t.Errorf("typed checking cost %vms vs untyped %vms — over 3x", typed, untyped)
+	}
+}
+
+func TestAblationsQuickRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	for _, e := range Ablations() {
+		tab := e.Quick()
+		if len(tab.Rows) == 0 {
+			t.Errorf("%s: empty table", e.ID)
+		}
+		for _, row := range tab.Rows {
+			if len(row) != len(tab.Header) {
+				t.Errorf("%s: ragged row", e.ID)
+			}
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"promises/internal/futures"
+	"promises/internal/promise"
+)
+
+// E6PromiseVsFuture measures experiment E6: the per-access cost of the
+// two placeholder designs once values are resolved. The paper's claim:
+// MultiLisp futures "are inefficient to implement unless specialized
+// hardware is available, since every object must be examined each time it
+// is accessed to determine whether or not it is a future," while promises
+// are strongly typed — after one explicit claim, every later access is an
+// ordinary typed access with no check at all.
+//
+// Four regimes over m accesses to resolved values:
+//
+//	typed-direct   — plain []float64 accumulation: the post-claim world of
+//	                 promises (zero checks);
+//	promise-claim  — one TryClaim per access: the worst case where the
+//	                 program re-claims at each use (still type-safe);
+//	future-touch   — one Touch (dynamic type test) per access;
+//	future-arith   — the MultiLisp style: strict Add on any-typed values,
+//	                 touching both operands every operation.
+func E6PromiseVsFuture(m int) *Table {
+	t := &Table{
+		ID:     "E6",
+		Title:  fmt.Sprintf("resolved-placeholder access cost, %d accesses", m),
+		Claim:  "futures pay a dynamic check on every access; typed promises claim once, then accesses are free (§3.3)",
+		Header: []string{"approach", "total_ms", "ns/access", "checks/access"},
+	}
+
+	// Typed-direct: values claimed once into a typed slice.
+	ps := make([]*promise.Promise[float64], 64)
+	for i := range ps {
+		ps[i] = promise.Resolved(float64(i))
+	}
+	vals := make([]float64, len(ps))
+	for i, p := range ps {
+		v, err := p.MustClaim()
+		if err != nil {
+			panic(err)
+		}
+		vals[i] = v
+	}
+	var sink float64
+	start := time.Now()
+	for i := 0; i < m; i++ {
+		sink += vals[i&63]
+	}
+	direct := time.Since(start)
+	t.AddRow("typed-direct (promises, claimed once)", ms(direct), nsPer(direct, m), "0")
+
+	// Promise-claim: TryClaim at every access.
+	start = time.Now()
+	for i := 0; i < m; i++ {
+		v, _, _ := ps[i&63].TryClaim()
+		sink += v
+	}
+	claim := time.Since(start)
+	t.AddRow("promise-reclaim (TryClaim per access)", ms(claim), nsPer(claim, m), "1")
+
+	// Future-touch: dynamic check at every access.
+	fs := make([]any, 64)
+	for i := range fs {
+		i := i
+		fs[i] = futures.New(func() any { return float64(i) })
+	}
+	for _, f := range fs {
+		futures.Touch(f) // resolve all before timing
+	}
+	start = time.Now()
+	for i := 0; i < m; i++ {
+		sink += futures.Touch(fs[i&63]).(float64)
+	}
+	touch := time.Since(start)
+	t.AddRow("future-touch (check per access)", ms(touch), nsPer(touch, m), "1")
+
+	// Future-arith: strict operations over any-typed operands.
+	start = time.Now()
+	acc := any(float64(0))
+	for i := 0; i < m; i++ {
+		acc = futures.Add(acc, fs[i&63])
+	}
+	arith := time.Since(start)
+	t.AddRow("future-arith (strict ops, 2 checks/op)", ms(arith), nsPer(arith, m), "2")
+
+	if sink == 0 && acc == nil {
+		t.Notes = append(t.Notes, "unreachable: defeat dead-code elimination")
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("typed-direct vs future-touch: %s per access overhead",
+			ratio(touch, direct)))
+	return t
+}
+
+func nsPer(d time.Duration, m int) string {
+	return fmt.Sprintf("%.1f", float64(d.Nanoseconds())/float64(m))
+}

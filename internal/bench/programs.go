@@ -1,0 +1,223 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"promises/internal/app/cascade"
+	"promises/internal/app/grades"
+	"promises/internal/simnet"
+)
+
+// gradesWorld builds a fresh grades deployment with the given per-call
+// processing cost at the database and printer. The client's ProduceCost
+// (yielding each record from the grades iterator) is set to the same
+// value, which is the work the concurrent compositions overlap with
+// printing.
+func gradesWorld(perCall time.Duration) (*grades.DB, *grades.Printer, *grades.Client, func()) {
+	net := simnet.New(LANCost())
+	db, err := grades.NewDB(net, "gradesdb", StreamOpts())
+	if err != nil {
+		panic(err)
+	}
+	pr, err := grades.NewPrinter(net, "printer", StreamOpts())
+	if err != nil {
+		panic(err)
+	}
+	cl, err := grades.NewClient(net, "client", StreamOpts(), db.Ref(), pr.Ref())
+	if err != nil {
+		panic(err)
+	}
+	db.SetDelay(perCall)
+	pr.SetDelay(perCall)
+	cl.ProduceCost = perCall
+	close := func() {
+		cl.G.Close()
+		db.G.Close()
+		pr.G.Close()
+		net.Close()
+	}
+	return db, pr, cl, close
+}
+
+// E4Composition measures experiment E4: the grades program (Figures 3-1,
+// 4-1, 4-2) at increasing student counts. The claim: the concurrent
+// compositions (forks, coenter) overlap recording with printing and so
+// finish sooner than the sequential program, increasingly so as the
+// number of calls grows.
+func E4Composition(students []int, perCall time.Duration) *Table {
+	t := &Table{
+		ID:    "E4",
+		Title: fmt.Sprintf("grades composition strategies (per-call cost %v)", perCall),
+		Claim: "concurrency overlaps the two streams; sequential delays printing until all recording starts (§4)",
+		Header: []string{"students", "sequential_ms", "forks_ms", "coenter_ms",
+			"seq/coenter"},
+	}
+	for _, s := range students {
+		load := grades.Workload(s)
+		run := func(f func(*grades.Client, context.Context, []grades.SInfo) error) time.Duration {
+			_, _, cl, close := gradesWorld(perCall)
+			defer close()
+			start := time.Now()
+			if err := f(cl, bg, load); err != nil {
+				panic(err)
+			}
+			return time.Since(start)
+		}
+		seqT := run((*grades.Client).RunSequential)
+		forkT := run((*grades.Client).RunForks)
+		coT := run((*grades.Client).RunCoenter)
+		t.AddRow(fmt.Sprint(s), ms(seqT), ms(forkT), ms(coT), ratio(seqT, coT))
+	}
+	return t
+}
+
+// cascadeWorld builds a fresh 3-stage cascade deployment.
+func cascadeWorld(stageCost, filterCost time.Duration) (*cascade.Sink, *cascade.Client, func()) {
+	net := simnet.New(LANCost())
+	src, err := cascade.NewSource(net, "source", StreamOpts(), 0)
+	if err != nil {
+		panic(err)
+	}
+	cmp, err := cascade.NewCompute(net, "compute", StreamOpts())
+	if err != nil {
+		panic(err)
+	}
+	snk, err := cascade.NewSink(net, "sink", StreamOpts())
+	if err != nil {
+		panic(err)
+	}
+	cl, err := cascade.NewClient(net, "client", StreamOpts(), src.Ref(), cmp.Ref(), snk.Ref())
+	if err != nil {
+		panic(err)
+	}
+	src.SetDelay(stageCost)
+	cmp.SetDelay(stageCost)
+	snk.SetDelay(stageCost)
+	cl.FilterCost = filterCost
+	close := func() {
+		cl.G.Close()
+		src.G.Close()
+		cmp.G.Close()
+		snk.G.Close()
+		net.Close()
+	}
+	return snk, cl, close
+}
+
+// E5Cascade measures experiment E5: K items through the three-level
+// read→compute→write cascade, sequential versus per-stream. The claim:
+// with the sequential structure all reads must start before any compute
+// and all computes before any write, and the local filter computation
+// between streams runs serially in the one controlling process; the
+// per-stream composition pipelines the levels and runs the two filter
+// sites in different processes. (Without local filter work the
+// sequential program's interleaved claim/issue loops already pipeline
+// the servers; the filters are where §4's structure argument bites.)
+func E5Cascade(ks []int, stageCost time.Duration) *Table {
+	t := &Table{
+		ID:    "E5",
+		Title: fmt.Sprintf("3-level cascade (per-stage and per-filter cost %v)", stageCost),
+		Claim: "multi-level cascades need concurrency per stream to pipeline (§4)",
+		Header: []string{"items", "sequential_ms", "per_stream_ms", "speedup",
+			"seq_items/s", "pipe_items/s"},
+	}
+	for _, k := range ks {
+		run := func(f func(*cascade.Client, context.Context, int) error) time.Duration {
+			_, cl, close := cascadeWorld(stageCost, stageCost)
+			defer close()
+			start := time.Now()
+			if err := f(cl, bg, k); err != nil {
+				panic(err)
+			}
+			return time.Since(start)
+		}
+		seqT := run((*cascade.Client).RunSequential)
+		pipeT := run((*cascade.Client).RunPerStream)
+		t.AddRow(fmt.Sprint(k), ms(seqT), ms(pipeT), ratio(seqT, pipeT),
+			persec(k, seqT), persec(k, pipeT))
+	}
+	return t
+}
+
+// E7BreakHandling measures experiment E7: the recording process dies
+// after k of n calls. The claim: with coenter, group termination ends the
+// composition promptly; the naive fork program leaves the printer hanging
+// (bounded here by a watchdog deadline).
+func E7BreakHandling(n, failAfter int, watchdog time.Duration) *Table {
+	t := &Table{
+		ID:    "E7",
+		Title: fmt.Sprintf("early termination: recorder dies after %d of %d calls", failAfter, n),
+		Claim: "coenter terminates the group; naive forks can hang forever (§4.1–4.2)",
+		Header: []string{"strategy", "outcome", "termination_ms",
+			"hung_until_watchdog"},
+	}
+	load := grades.Workload(n)
+
+	type strategy struct {
+		name string
+		run  func(*grades.Client, context.Context, []grades.SInfo) error
+	}
+	for _, s := range []strategy{
+		{"coenter", (*grades.Client).RunCoenter},
+		{"forks-fixed", (*grades.Client).RunForks},
+		{"forks-naive", (*grades.Client).RunForksNaive},
+	} {
+		_, _, cl, close := gradesWorld(0)
+		cl.FailRecordingAfter = failAfter
+		ctx, cancel := context.WithTimeout(bg, watchdog)
+		start := time.Now()
+		err := s.run(cl, ctx, load)
+		elapsed := time.Since(start)
+		hung := ctx.Err() != nil
+		cancel()
+		close()
+		outcome := "ok"
+		if err != nil {
+			outcome = firstWord(err.Error())
+		}
+		t.AddRow(s.name, outcome, ms(elapsed), fmt.Sprint(hung))
+	}
+	return t
+}
+
+func firstWord(s string) string {
+	for i, r := range s {
+		if r == '(' || r == ' ' || r == ':' {
+			return s[:i]
+		}
+	}
+	return s
+}
+
+// E8PerStreamVsPerItem measures experiment E8: the cascade with
+// process-per-stream versus process-per-item at increasing local filter
+// costs. The claim: per-item's extra concurrency only pays off when the
+// filters are lengthy and a multiprocessor is available; otherwise the
+// process management overhead makes per-stream the better structure.
+func E8PerStreamVsPerItem(k int, filters []time.Duration) *Table {
+	t := &Table{
+		ID:    "E8",
+		Title: fmt.Sprintf("per-stream vs per-item, %d items, GOMAXPROCS=%d", k, runtime.GOMAXPROCS(0)),
+		Claim: "per-item wins only with lengthy filters on a multiprocessor; per-stream avoids process overhead (§4.3)",
+		Header: []string{"filter_cost", "per_stream_ms", "per_item_ms",
+			"stream/item"},
+	}
+	for _, f := range filters {
+		run := func(fn func(*cascade.Client, context.Context, int) error) time.Duration {
+			_, cl, close := cascadeWorld(0, f)
+			defer close()
+			start := time.Now()
+			if err := fn(cl, bg, k); err != nil {
+				panic(err)
+			}
+			return time.Since(start)
+		}
+		streamT := run((*cascade.Client).RunPerStream)
+		itemT := run((*cascade.Client).RunPerItem)
+		t.AddRow(fmt.Sprint(f), ms(streamT), ms(itemT), ratio(streamT, itemT))
+	}
+	return t
+}

@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Experiment couples an experiment ID with the runner that regenerates
+// its table at full scale (Run) and at smoke-test scale (Quick).
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func() *Table
+	Quick func() *Table
+}
+
+// Experiments returns all experiment definitions in ID order. Full-scale
+// parameters are sized so the whole suite finishes in a few minutes on a
+// laptop; Quick parameters finish in well under a second each.
+func Experiments() []Experiment {
+	exps := []Experiment{
+		{
+			ID: "E1", Title: "RPC vs stream calls",
+			Run:   func() *Table { return E1RPCvsStream([]int{1, 8, 32, 128, 512, 2048}) },
+			Quick: func() *Table { return E1RPCvsStream([]int{4, 16}) },
+		},
+		{
+			ID: "E2", Title: "batching sweep",
+			Run: func() *Table {
+				return E2Batching([]int{1, 2, 4, 8, 16, 32, 64, 128}, []int{8, 1024}, 512)
+			},
+			Quick: func() *Table { return E2Batching([]int{1, 8}, []int{8}, 32) },
+		},
+		{
+			ID: "E3", Title: "call modes",
+			Run:   func() *Table { return E3CallModes(512) },
+			Quick: func() *Table { return E3CallModes(24) },
+		},
+		{
+			ID: "E4", Title: "grades composition",
+			Run: func() *Table {
+				return E4Composition([]int{10, 50, 200, 1000}, 200*time.Microsecond)
+			},
+			Quick: func() *Table { return E4Composition([]int{10}, 50*time.Microsecond) },
+		},
+		{
+			ID: "E5", Title: "3-level cascade",
+			Run: func() *Table {
+				return E5Cascade([]int{8, 32, 128, 512}, 200*time.Microsecond)
+			},
+			Quick: func() *Table { return E5Cascade([]int{8}, 50*time.Microsecond) },
+		},
+		{
+			ID: "E6", Title: "promise vs future access cost",
+			Run:   func() *Table { return E6PromiseVsFuture(2_000_000) },
+			Quick: func() *Table { return E6PromiseVsFuture(50_000) },
+		},
+		{
+			ID: "E7", Title: "break handling and liveness",
+			Run:   func() *Table { return E7BreakHandling(64, 32, 500*time.Millisecond) },
+			Quick: func() *Table { return E7BreakHandling(10, 4, 100*time.Millisecond) },
+		},
+		{
+			ID: "E8", Title: "per-stream vs per-item",
+			Run: func() *Table {
+				return E8PerStreamVsPerItem(128,
+					[]time.Duration{0, 100 * time.Microsecond, 500 * time.Microsecond})
+			},
+			Quick: func() *Table {
+				return E8PerStreamVsPerItem(16, []time.Duration{0, 100 * time.Microsecond})
+			},
+		},
+		{
+			ID: "E9", Title: "loss recovery",
+			Run:   func() *Table { return E9LossRecovery([]float64{0, 0.01, 0.05, 0.1}, 256) },
+			Quick: func() *Table { return E9LossRecovery([]float64{0, 0.05}, 32) },
+		},
+		{
+			ID: "E10", Title: "promises vs send/receive",
+			Run:   func() *Table { return E10SendRecv(512) },
+			Quick: func() *Table { return E10SendRecv(32) },
+		},
+	}
+	sort.Slice(exps, func(i, j int) bool {
+		// E1 < E2 < ... < E10 numerically, not lexically.
+		return expNum(exps[i].ID) < expNum(exps[j].ID)
+	})
+	return exps
+}
+
+func expNum(id string) int {
+	var n int
+	fmt.Sscanf(id, "E%d", &n)
+	return n
+}
+
+// Find returns the experiment with the given ID (case-sensitive, e.g.
+// "E4").
+func Find(id string) (Experiment, bool) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// RunAll executes every experiment at full scale and prints each table.
+func RunAll(w io.Writer) {
+	for _, e := range Experiments() {
+		e.Run().Print(w)
+	}
+}

@@ -1,0 +1,106 @@
+// Package bench is the measurement harness that regenerates the paper's
+// quantitative claims as tables (Liskov & Shrira, PLDI 1988). The paper is
+// a language-design paper — its evaluation is a set of performance and
+// structure arguments rather than numbered result tables — so each
+// experiment here (E1–E10, indexed in DESIGN.md and EXPERIMENTS.md) turns
+// one claim into a parameter sweep whose output table shows the claimed
+// shape: who wins, by what factor, and where the crossovers fall.
+//
+// All experiments run over the simnet cost model, which charges a fixed
+// kernel overhead per message, a per-byte cost, and a propagation delay —
+// the three quantities the paper's arguments about batching and
+// pipelining rest on.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Table is one experiment's result: a titled grid with a header row.
+type Table struct {
+	ID     string // experiment id, e.g. "E1"
+	Title  string
+	Claim  string // the paper's claim being tested
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends one formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Print renders the table in aligned plain text.
+func (t *Table) Print(w io.Writer) {
+	fmt.Fprintf(w, "%s — %s\n", t.ID, t.Title)
+	if t.Claim != "" {
+		fmt.Fprintf(w, "claim: %s\n", t.Claim)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = pad(c, widths[i])
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Header)
+	rule := make([]string, len(t.Header))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	line(rule)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// ms formats a duration in milliseconds with two decimals.
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.2f", float64(d.Microseconds())/1000)
+}
+
+// persec formats an operations-per-second rate.
+func persec(n int, d time.Duration) string {
+	if d <= 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%.0f", float64(n)/d.Seconds())
+}
+
+// ratio formats a/b.
+func ratio(a, b time.Duration) string {
+	if b <= 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%.2fx", float64(a)/float64(b))
+}

@@ -1,0 +1,317 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"promises/internal/promise"
+	"promises/internal/rpcbase"
+	"promises/internal/simnet"
+	"promises/internal/stream"
+)
+
+var bg = context.Background()
+
+// E1RPCvsStream measures experiment E1: a sequence of N calls to one
+// handler, made as plain RPCs (one round trip each) versus as stream
+// calls (buffered, overlapped, claimed later). The paper's claim: stream
+// calls allow the caller to run in parallel with the sending and
+// processing of the call, so throughput improves with N while RPC pays a
+// full round trip per call.
+func E1RPCvsStream(ns []int) *Table {
+	t := &Table{
+		ID:    "E1",
+		Title: "RPC vs stream calls: N calls to one handler",
+		Claim: "stream calls overlap caller and callee; RPC waits a round trip per call (§1, §2)",
+		Header: []string{"N", "rpc_ms", "stream_ms", "speedup",
+			"rpc_msgs", "stream_msgs", "rpc_calls/s", "stream_calls/s"},
+	}
+	arg := payload(32)
+	for _, n := range ns {
+		rpcT, rpcMsgs := runRPCBaseline(n, arg)
+		strT, strMsgs := runStreamCalls(n, arg)
+		t.AddRow(fmt.Sprint(n), ms(rpcT), ms(strT), ratio(rpcT, strT),
+			fmt.Sprint(rpcMsgs), fmt.Sprint(strMsgs),
+			persec(n, rpcT), persec(n, strT))
+	}
+	return t
+}
+
+// runRPCBaseline times N synchronous calls in the no-streams language
+// baseline.
+func runRPCBaseline(n int, arg []byte) (time.Duration, int64) {
+	net := simnet.New(LANCost())
+	defer net.Close()
+	srv := rpcbase.NewServer(net.MustAddNode("server"))
+	defer srv.Close()
+	srv.Handle(EchoPort, func(args []byte) stream.Outcome {
+		return stream.NormalOutcome(args)
+	})
+	cli := rpcbase.NewClient(net.MustAddNode("client"), rpcbase.Config{})
+	defer cli.Close()
+
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if _, err := cli.Call(bg, "server", EchoPort, arg); err != nil {
+			panic(err)
+		}
+	}
+	elapsed := time.Since(start)
+	return elapsed, net.Stats().MessagesSent
+}
+
+// runStreamCalls times N stream calls followed by a synch.
+func runStreamCalls(n int, arg []byte) (time.Duration, int64) {
+	w := newEchoWorld(LANCost(), StreamOpts())
+	defer w.close()
+	s := w.echo.Stream(w.client.Agent("bench"))
+
+	start := time.Now()
+	ps := make([]*promise.Promise[[]byte], n)
+	for i := range ps {
+		p, err := promise.Call(s, EchoPort, promise.Bytes, arg)
+		if err != nil {
+			panic(err)
+		}
+		ps[i] = p
+	}
+	if err := s.Synch(bg); err != nil {
+		panic(err)
+	}
+	elapsed := time.Since(start)
+	return elapsed, w.net.Stats().MessagesSent
+}
+
+// E2Batching measures experiment E2: the same N stream calls under
+// different batch limits and payload sizes. The paper's claim: buffering
+// amortizes the kernel-call and transmission overhead over several calls,
+// especially for small calls and replies.
+func E2Batching(batches []int, payloads []int, n int) *Table {
+	t := &Table{
+		ID:    "E2",
+		Title: fmt.Sprintf("batching sweep: %d stream calls per cell", n),
+		Claim: "buffering amortizes per-message kernel overhead, especially for small calls (§2)",
+		Header: []string{"payload_B", "max_batch", "elapsed_ms", "kernel_calls",
+			"msgs", "calls/s"},
+	}
+	for _, size := range payloads {
+		arg := payload(size)
+		for _, b := range batches {
+			opts := StreamOpts()
+			opts.MaxBatch = b
+			w := newEchoWorld(LANCost(), opts)
+			s := w.echo.Stream(w.client.Agent("bench"))
+			start := time.Now()
+			for i := 0; i < n; i++ {
+				if _, err := promise.Call(s, EchoPort, promise.Bytes, arg); err != nil {
+					panic(err)
+				}
+			}
+			if err := s.Synch(bg); err != nil {
+				panic(err)
+			}
+			elapsed := time.Since(start)
+			st := w.net.Stats()
+			w.close()
+			t.AddRow(fmt.Sprint(size), fmt.Sprint(b), ms(elapsed),
+				fmt.Sprint(st.KernelCalls), fmt.Sprint(st.MessagesSent),
+				persec(n, elapsed))
+		}
+	}
+	return t
+}
+
+// E3CallModes measures experiment E3: N operations made as RPCs, stream
+// calls, and sends. The paper's claim: sends omit normal replies entirely,
+// so they are cheaper than stream calls, which in turn beat RPCs.
+func E3CallModes(n int) *Table {
+	t := &Table{
+		ID:     "E3",
+		Title:  fmt.Sprintf("call modes: %d one-way notifications", n),
+		Claim:  "sends omit replies < stream calls < RPCs in cost (§2)",
+		Header: []string{"mode", "elapsed_ms", "msgs", "bytes", "ops/s"},
+	}
+	arg := payload(32)
+
+	// RPC mode.
+	{
+		w := newEchoWorld(LANCost(), StreamOpts())
+		s := w.echo.Stream(w.client.Agent("bench"))
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			if _, err := promise.RPC(bg, s, "note", promise.None, arg); err != nil {
+				panic(err)
+			}
+		}
+		elapsed := time.Since(start)
+		st := w.net.Stats()
+		w.close()
+		t.AddRow("rpc", ms(elapsed), fmt.Sprint(st.MessagesSent),
+			fmt.Sprint(st.BytesSent), persec(n, elapsed))
+	}
+	// Stream-call mode (to the echo port, so replies carry data).
+	{
+		w := newEchoWorld(LANCost(), StreamOpts())
+		s := w.echo.Stream(w.client.Agent("bench"))
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			if _, err := promise.Call(s, EchoPort, promise.Bytes, arg); err != nil {
+				panic(err)
+			}
+		}
+		if err := s.Synch(bg); err != nil {
+			panic(err)
+		}
+		elapsed := time.Since(start)
+		st := w.net.Stats()
+		w.close()
+		t.AddRow("stream-call", ms(elapsed), fmt.Sprint(st.MessagesSent),
+			fmt.Sprint(st.BytesSent), persec(n, elapsed))
+	}
+	// Send mode (no-result handler: replies omitted).
+	{
+		w := newEchoWorld(LANCost(), StreamOpts())
+		s := w.echo.Stream(w.client.Agent("bench"))
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			if _, err := promise.Send(s, "note", arg); err != nil {
+				panic(err)
+			}
+		}
+		if err := s.Synch(bg); err != nil {
+			panic(err)
+		}
+		elapsed := time.Since(start)
+		st := w.net.Stats()
+		w.close()
+		t.AddRow("send", ms(elapsed), fmt.Sprint(st.MessagesSent),
+			fmt.Sprint(st.BytesSent), persec(n, elapsed))
+	}
+	return t
+}
+
+// E9LossRecovery measures experiment E9: N stream calls over increasingly
+// lossy links. The claim: the stream layer preserves exactly-once ordered
+// delivery under loss (retransmission), degrading throughput rather than
+// correctness, until loss is bad enough to break the stream.
+func E9LossRecovery(rates []float64, n int) *Table {
+	t := &Table{
+		ID:     "E9",
+		Title:  fmt.Sprintf("loss recovery: %d stream calls per cell", n),
+		Claim:  "exactly-once, ordered delivery holds under loss until the stream breaks (§2)",
+		Header: []string{"loss", "elapsed_ms", "sent", "delivered", "dropped", "ordered", "calls/s"},
+	}
+	arg := payload(32)
+	for _, rate := range rates {
+		cfg := LANCost()
+		cfg.LossRate = rate
+		cfg.Jitter = 100 * time.Microsecond
+		cfg.Seed = 1988
+		opts := StreamOpts()
+		opts.RTO = 5 * time.Millisecond
+		opts.MaxRetries = 50
+		w := newEchoWorld(cfg, opts)
+		s := w.echo.Stream(w.client.Agent("bench"))
+
+		start := time.Now()
+		ps := make([]*promise.Promise[[]byte], n)
+		for i := range ps {
+			p, err := promise.Call(s, EchoPort, promise.Bytes, []byte{byte(i), byte(i >> 8)})
+			if err != nil {
+				panic(err)
+			}
+			ps[i] = p
+		}
+		ordered := true
+		for i, p := range ps {
+			v, err := p.Claim(bg)
+			if err != nil {
+				ordered = false
+				break
+			}
+			if int(v[0])|int(v[1])<<8 != i {
+				ordered = false
+				break
+			}
+		}
+		elapsed := time.Since(start)
+		st := w.net.Stats()
+		w.close()
+		t.AddRow(fmt.Sprintf("%.2f", rate), ms(elapsed),
+			fmt.Sprint(st.MessagesSent), fmt.Sprint(st.MessagesDelivered),
+			fmt.Sprint(st.MessagesDropped), fmt.Sprint(ordered), persec(n, elapsed))
+		_ = arg
+	}
+	return t
+}
+
+// E10SendRecv measures experiment E10: N calls in the promise/stream
+// style versus the explicit send/receive style. Both achieve pipelined
+// throughput; the difference the paper emphasizes is the user-level
+// bookkeeping send/receive requires to pair replies with calls, counted
+// here by the Matcher.
+func E10SendRecv(n int) *Table {
+	t := &Table{
+		ID:     "E10",
+		Title:  fmt.Sprintf("promises vs explicit send/receive: %d calls", n),
+		Claim:  "send/receive reaches stream throughput but forces user reply-matching (§5)",
+		Header: []string{"style", "elapsed_ms", "calls/s", "user_matching_ops"},
+	}
+	arg := payload(32)
+
+	// Promise style: ordering and matching are the system's job.
+	{
+		w := newEchoWorld(LANCost(), StreamOpts())
+		s := w.echo.Stream(w.client.Agent("bench"))
+		start := time.Now()
+		ps := make([]*promise.Promise[[]byte], n)
+		for i := range ps {
+			p, err := promise.Call(s, EchoPort, promise.Bytes, arg)
+			if err != nil {
+				panic(err)
+			}
+			ps[i] = p
+		}
+		for _, p := range ps {
+			if _, err := p.Claim(bg); err != nil {
+				panic(err)
+			}
+		}
+		elapsed := time.Since(start)
+		w.close()
+		t.AddRow("promises", ms(elapsed), persec(n, elapsed), "0")
+	}
+	// Send/receive style: fire everything, then receive and match by hand.
+	{
+		net := simnet.New(LANCost())
+		srv := rpcbase.NewServer(net.MustAddNode("server"))
+		srv.Handle(EchoPort, func(args []byte) stream.Outcome {
+			return stream.NormalOutcome(args)
+		})
+		cli := rpcbase.NewClient(net.MustAddNode("client"), rpcbase.Config{})
+		m := rpcbase.NewMatcher()
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			id, err := cli.SendAsync("server", EchoPort, arg)
+			if err != nil {
+				panic(err)
+			}
+			m.Expect(id, fmt.Sprint(i))
+		}
+		for m.Outstanding() > 0 {
+			r, err := cli.RecvReply(bg)
+			if err != nil {
+				panic(err)
+			}
+			m.Match(r)
+		}
+		elapsed := time.Since(start)
+		cli.Close()
+		srv.Close()
+		net.Close()
+		t.AddRow("send/receive", ms(elapsed), persec(n, elapsed),
+			fmt.Sprint(m.Ops()))
+	}
+	return t
+}

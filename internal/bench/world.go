@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"time"
+
+	"promises/internal/guardian"
+	"promises/internal/simnet"
+	"promises/internal/stream"
+)
+
+// LANCost is the default network cost model for experiments: a fixed
+// kernel-call overhead per message, a propagation delay per hop, and a
+// per-byte transmission cost. The absolute values are scaled down from
+// 1988 hardware so sweeps finish quickly; the RATIOS — kernel overhead
+// comparable to small-message payload cost, round trips much more
+// expensive than either — are what the paper's arguments depend on.
+func LANCost() simnet.Config {
+	return simnet.Config{
+		KernelOverhead: 20 * time.Microsecond,
+		Propagation:    150 * time.Microsecond,
+		PerByte:        10 * time.Nanosecond,
+	}
+}
+
+// StreamOpts is the default stream tuning for experiments.
+func StreamOpts() stream.Options {
+	return stream.Options{
+		MaxBatch:      16,
+		MaxBatchDelay: 500 * time.Microsecond,
+		RTO:           25 * time.Millisecond,
+		MaxRetries:    8,
+	}
+}
+
+// echoWorld is the standard client/server pair used by the
+// transport-level experiments: a server guardian with an echo handler and
+// a client guardian.
+type echoWorld struct {
+	net    *simnet.Network
+	server *guardian.Guardian
+	client *guardian.Guardian
+	echo   guardian.Ref
+}
+
+// EchoPort is the echo handler's port name.
+const EchoPort = "echo"
+
+func newEchoWorld(cfg simnet.Config, opts stream.Options) *echoWorld {
+	n := simnet.New(cfg)
+	server := guardian.MustNew(n, "server", opts)
+	client := guardian.MustNew(n, "client", opts)
+	echo := server.AddHandler(EchoPort, func(call *guardian.Call) ([]any, error) {
+		return call.Args, nil
+	})
+	// A no-result port, so sends truly omit replies.
+	server.AddHandler("note", func(call *guardian.Call) ([]any, error) {
+		return nil, nil
+	})
+	return &echoWorld{net: n, server: server, client: client, echo: echo}
+}
+
+func (w *echoWorld) close() {
+	w.client.Close()
+	w.server.Close()
+	w.net.Close()
+}
+
+// payload builds an n-byte argument value.
+func payload(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i)
+	}
+	return b
+}

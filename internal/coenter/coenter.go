@@ -1,0 +1,282 @@
+// Package coenter implements the coenter statement (Liskov & Shrira, PLDI
+// 1988, §4.2): a structured way to run a group of processes so that the
+// group can be terminated properly when problems arise.
+//
+// A coenter contains a number of arms, each run as a subprocess. The
+// parent is halted until every subprocess completes. Completion happens
+// two ways: each subprocess may simply finish its arm; or a subprocess may
+// cause a control transfer outside the coenter — in this package, by
+// returning a non-nil error — in which case the remaining subprocesses are
+// forced to terminate before the parent continues, and the error
+// propagates from Run.
+//
+// Forced termination raises a safety question: a process might be in the
+// middle of a critical section, and stopping it there could leave damaged
+// data (the paper's example is a process terminated in the middle of
+// dequeuing). Termination is therefore delayed while a process's
+// critical-section count is positive — see Proc.Enter and Proc.Exit — and
+// to encourage a process to leave critical sections rapidly it is
+// "wounded": Proc.Wounded reports true and integration points (remote
+// calls, queue operations) refuse to start new work.
+//
+// Group extends the coenter to a dynamically determined number of
+// processes (§4.3's per-item structure), with the same automatic group
+// termination.
+package coenter
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"promises/internal/exception"
+)
+
+// ErrTerminated is observed by a wounded subprocess at its next
+// cancellation point. An arm that returns it (or the context error caused
+// by its own wounding) is treated as having terminated cooperatively, not
+// as a new escape.
+var ErrTerminated = errors.New("coenter: terminated")
+
+// Arm is the body of one coenter arm. It receives its Proc handle for
+// cancellation points and critical sections. Returning a non-nil error is
+// the control transfer that terminates the whole group.
+type Arm func(p *Proc) error
+
+// Proc is a subprocess handle.
+type Proc struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu           sync.Mutex
+	critical     int
+	wounded      bool
+	cancelOnExit bool
+}
+
+func newProc(parent context.Context) *Proc {
+	ctx, cancel := context.WithCancel(parent)
+	return &Proc{ctx: ctx, cancel: cancel}
+}
+
+// Context is cancelled when the subprocess must terminate and is not in a
+// critical section. Pass it to every blocking operation (Claim, Deq,
+// Synch) so the process terminates at its next cancellation point.
+func (p *Proc) Context() context.Context { return p.ctx }
+
+// Wounded reports whether group termination has been requested. A wounded
+// process is "greatly restricted" — it should not make remote calls or
+// start new work — and should leave any critical section rapidly.
+func (p *Proc) Wounded() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.wounded
+}
+
+// Check is an explicit cancellation point: it returns ErrTerminated once
+// the process is wounded, and nil otherwise. Long computations should call
+// it periodically and return the error.
+func (p *Proc) Check() error {
+	if p.Wounded() {
+		return ErrTerminated
+	}
+	return nil
+}
+
+// Enter begins a critical section. While the critical-section count is
+// positive, wounding does not cancel the context, so blocking operations
+// inside the section complete normally.
+func (p *Proc) Enter() {
+	p.mu.Lock()
+	p.critical++
+	p.mu.Unlock()
+}
+
+// Exit ends a critical section. If the process was wounded while inside,
+// the deferred cancellation fires now.
+func (p *Proc) Exit() {
+	p.mu.Lock()
+	if p.critical > 0 {
+		p.critical--
+	}
+	fire := p.critical == 0 && p.cancelOnExit
+	if fire {
+		p.cancelOnExit = false
+	}
+	p.mu.Unlock()
+	if fire {
+		p.cancel()
+	}
+}
+
+// Critical runs f inside a critical section.
+func (p *Proc) Critical(f func()) {
+	p.Enter()
+	defer p.Exit()
+	f()
+}
+
+// InCritical reports whether the process is currently inside a critical
+// section (for tests and diagnostics).
+func (p *Proc) InCritical() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.critical > 0
+}
+
+// wound requests termination: the process is marked wounded immediately;
+// its context is cancelled now if it is outside critical sections, or when
+// it exits the last one.
+func (p *Proc) wound() {
+	p.mu.Lock()
+	p.wounded = true
+	if p.critical > 0 {
+		p.cancelOnExit = true
+		p.mu.Unlock()
+		return
+	}
+	p.mu.Unlock()
+	p.cancel()
+}
+
+// Run executes the arms as a coenter: each arm runs as a subprocess, the
+// caller is halted until all of them complete, and the first arm to escape
+// (return a non-nil error other than cooperative-termination noise) wounds
+// the others. Run returns that first escaping error, or nil if every arm
+// finished normally.
+func Run(arms ...Arm) error {
+	return RunCtx(context.Background(), arms...)
+}
+
+// RunCtx is Run under a parent context; cancelling it terminates the whole
+// group, and RunCtx returns the context's error if no arm escaped first.
+func RunCtx(ctx context.Context, arms ...Arm) error {
+	g := NewGroup(ctx)
+	for _, arm := range arms {
+		g.Spawn(arm)
+	}
+	return g.Wait()
+}
+
+// Group is a coenter with a dynamically determined number of processes:
+// arms may be spawned while the group runs (the extension §4.3 mentions
+// for process-per-item compositions). Termination semantics are identical
+// to Run.
+type Group struct {
+	parent context.Context
+
+	mu       sync.Mutex
+	procs    []*Proc
+	first    error
+	escaped  bool
+	finished bool
+	wg       sync.WaitGroup
+}
+
+// NewGroup creates an empty group under the given parent context.
+func NewGroup(ctx context.Context) *Group {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &Group{parent: ctx}
+}
+
+// Spawn starts one arm as a subprocess of the group. Spawning after the
+// group has begun terminating starts the arm already wounded, so it
+// terminates at its first cancellation point.
+func (g *Group) Spawn(arm Arm) {
+	p := newProc(g.parent)
+	g.mu.Lock()
+	if g.finished {
+		g.mu.Unlock()
+		panic("coenter: Spawn after Wait returned")
+	}
+	g.procs = append(g.procs, p)
+	if g.escaped {
+		p.wound()
+	}
+	g.wg.Add(1)
+	g.mu.Unlock()
+
+	go func() {
+		defer g.wg.Done()
+		err := runArm(arm, p)
+		if err == nil {
+			return
+		}
+		// A wounded arm reporting its own termination is cooperation, not
+		// a new escape.
+		if p.Wounded() && isTerminationNoise(err) {
+			return
+		}
+		g.escape(err)
+	}()
+}
+
+// runArm runs one arm, converting a panic into a failure exception so a
+// programming error terminates the group instead of the program.
+func runArm(arm Arm, p *Proc) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = exception.Failuref("coenter arm panicked: %v", r)
+		}
+	}()
+	return arm(p)
+}
+
+// isTerminationNoise reports whether err merely reflects the arm's own
+// forced termination.
+func isTerminationNoise(err error) bool {
+	return errors.Is(err, ErrTerminated) ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded)
+}
+
+// escape records the first escaping error and wounds every subprocess.
+func (g *Group) escape(err error) {
+	g.mu.Lock()
+	if !g.escaped {
+		g.escaped = true
+		g.first = err
+	}
+	procs := make([]*Proc, len(g.procs))
+	copy(procs, g.procs)
+	g.mu.Unlock()
+	for _, p := range procs {
+		p.wound()
+	}
+}
+
+// Terminate wounds the whole group from outside, as if an arm had escaped
+// with the given error. Useful when the composition's owner must tear it
+// down (e.g. its own caller was terminated).
+func (g *Group) Terminate(err error) {
+	if err == nil {
+		err = ErrTerminated
+	}
+	g.escape(err)
+}
+
+// Wait blocks until every spawned subprocess has completed, then returns
+// the first escaping error, or the parent context's error, or nil.
+func (g *Group) Wait() error {
+	// If the parent context ends, wound everyone so Wait can return.
+	stop := make(chan struct{})
+	go func() {
+		select {
+		case <-g.parent.Done():
+			g.escape(g.parent.Err())
+		case <-stop:
+		}
+	}()
+	g.wg.Wait()
+	close(stop)
+
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.finished = true
+	if g.escaped {
+		return g.first
+	}
+	return nil
+}

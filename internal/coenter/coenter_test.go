@@ -1,0 +1,294 @@
+package coenter
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"promises/internal/exception"
+	"promises/internal/pqueue"
+)
+
+func TestAllArmsFinishNormally(t *testing.T) {
+	var ran int32
+	err := Run(
+		func(p *Proc) error { atomic.AddInt32(&ran, 1); return nil },
+		func(p *Proc) error { atomic.AddInt32(&ran, 1); return nil },
+		func(p *Proc) error { atomic.AddInt32(&ran, 1); return nil },
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran != 3 {
+		t.Fatalf("ran = %d", ran)
+	}
+}
+
+func TestArmsRunConcurrently(t *testing.T) {
+	// Two arms that must each wait for the other would deadlock if run
+	// sequentially.
+	a, b := make(chan struct{}), make(chan struct{})
+	err := Run(
+		func(p *Proc) error { close(a); <-b; return nil },
+		func(p *Proc) error { close(b); <-a; return nil },
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParentWaitsForAllArms(t *testing.T) {
+	var finished int32
+	err := Run(
+		func(p *Proc) error { return nil },
+		func(p *Proc) error {
+			time.Sleep(5 * time.Millisecond)
+			atomic.StoreInt32(&finished, 1)
+			return nil
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if atomic.LoadInt32(&finished) != 1 {
+		t.Fatal("Run returned before the slow arm finished")
+	}
+}
+
+func TestEscapePropagatesFirstError(t *testing.T) {
+	err := Run(
+		func(p *Proc) error { return exception.New("cannot_record") },
+		func(p *Proc) error { <-p.Context().Done(); return nil },
+	)
+	if !exception.Is(err, "cannot_record") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEscapeWoundsSiblings(t *testing.T) {
+	// The grades scenario: the printing arm blocks dequeuing; the
+	// recording arm hits a stream exception. Without group termination
+	// the printer would hang forever.
+	q := pqueue.New[int](0)
+	err := Run(
+		func(p *Proc) error {
+			return exception.Unavailable("stream broke")
+		},
+		func(p *Proc) error {
+			_, err := q.Deq(p.Context()) // blocks: queue stays empty
+			return err
+		},
+	)
+	if !exception.IsUnavailable(err) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestWoundedArmTerminationIsNotAnEscape(t *testing.T) {
+	// The sibling returns its context error after being wounded; Run must
+	// report the original escape, not the noise.
+	err := Run(
+		func(p *Proc) error { return exception.New("real_problem") },
+		func(p *Proc) error {
+			<-p.Context().Done()
+			return p.Context().Err()
+		},
+		func(p *Proc) error {
+			<-p.Context().Done()
+			return ErrTerminated
+		},
+	)
+	if !exception.Is(err, "real_problem") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCriticalSectionDelaysTermination(t *testing.T) {
+	// An arm inside a critical section must not observe cancellation until
+	// it exits the section (the "middle of dequeuing" example).
+	inCritical := make(chan struct{})
+	var observedInside, observedAfter bool
+	err := Run(
+		func(p *Proc) error {
+			<-inCritical
+			return exception.New("boom")
+		},
+		func(p *Proc) error {
+			p.Enter()
+			close(inCritical)
+			time.Sleep(3 * time.Millisecond) // sibling escapes meanwhile
+			select {
+			case <-p.Context().Done():
+				observedInside = true
+			default:
+			}
+			if !p.Wounded() {
+				t.Error("process should be wounded inside the critical section")
+			}
+			p.Exit()
+			select {
+			case <-p.Context().Done():
+				observedAfter = true
+			case <-time.After(50 * time.Millisecond):
+			}
+			return ErrTerminated
+		},
+	)
+	if !exception.Is(err, "boom") {
+		t.Fatalf("err = %v", err)
+	}
+	if observedInside {
+		t.Error("context cancelled while inside critical section")
+	}
+	if !observedAfter {
+		t.Error("context not cancelled after critical section exit")
+	}
+}
+
+func TestCriticalHelper(t *testing.T) {
+	err := Run(func(p *Proc) error {
+		if p.InCritical() {
+			t.Error("InCritical before Critical")
+		}
+		p.Critical(func() {
+			if !p.InCritical() {
+				t.Error("not InCritical inside Critical")
+			}
+		})
+		if p.InCritical() {
+			t.Error("InCritical after Critical")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckCancellationPoint(t *testing.T) {
+	woundMe := make(chan struct{})
+	err := Run(
+		func(p *Proc) error { <-woundMe; return exception.New("stop") },
+		func(p *Proc) error {
+			if err := p.Check(); err != nil {
+				t.Error("fresh process already wounded")
+			}
+			close(woundMe)
+			for {
+				if err := p.Check(); err != nil {
+					return err
+				}
+				time.Sleep(100 * time.Microsecond)
+			}
+		},
+	)
+	if !exception.Is(err, "stop") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPanicInArmBecomesFailure(t *testing.T) {
+	err := Run(
+		func(p *Proc) error { panic("oops") },
+		func(p *Proc) error { <-p.Context().Done(); return ErrTerminated },
+	)
+	if !exception.IsFailure(err) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunCtxParentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		cancel()
+	}()
+	err := RunCtx(ctx, func(p *Proc) error {
+		<-p.Context().Done()
+		return p.Context().Err()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestGroupDynamicSpawn(t *testing.T) {
+	// Process-per-item: the first arm spawns one process per item.
+	g := NewGroup(context.Background())
+	var sum int64
+	var mu sync.Mutex
+	for i := 1; i <= 10; i++ {
+		i := i
+		g.Spawn(func(p *Proc) error {
+			mu.Lock()
+			sum += int64(i)
+			mu.Unlock()
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if sum != 55 {
+		t.Fatalf("sum = %d", sum)
+	}
+}
+
+func TestGroupSpawnAfterEscapeIsWounded(t *testing.T) {
+	g := NewGroup(context.Background())
+	g.Spawn(func(p *Proc) error { return exception.New("early") })
+	// Give the escape a moment to register.
+	time.Sleep(2 * time.Millisecond)
+	var ranWounded atomic.Bool
+	g.Spawn(func(p *Proc) error {
+		ranWounded.Store(p.Wounded())
+		return p.Check()
+	})
+	err := g.Wait()
+	if !exception.Is(err, "early") {
+		t.Fatalf("err = %v", err)
+	}
+	if !ranWounded.Load() {
+		t.Error("late-spawned arm was not wounded")
+	}
+}
+
+func TestGroupTerminateFromOutside(t *testing.T) {
+	g := NewGroup(context.Background())
+	g.Spawn(func(p *Proc) error {
+		<-p.Context().Done()
+		return ErrTerminated
+	})
+	go func() {
+		time.Sleep(time.Millisecond)
+		g.Terminate(exception.Unavailable("owner torn down"))
+	}()
+	if err := g.Wait(); !exception.IsUnavailable(err) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestGroupTerminateNilError(t *testing.T) {
+	g := NewGroup(context.Background())
+	g.Spawn(func(p *Proc) error { <-p.Context().Done(); return nil })
+	g.Terminate(nil)
+	if err := g.Wait(); !errors.Is(err, ErrTerminated) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestNoGoroutineLeakManyRuns(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		err := Run(
+			func(p *Proc) error { return nil },
+			func(p *Proc) error { <-p.Context().Done(); return ErrTerminated },
+			func(p *Proc) error { return exception.New("x") },
+		)
+		if !exception.Is(err, "x") {
+			t.Fatalf("run %d: err = %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,264 @@
+package compose
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"promises/internal/exception"
+	"promises/internal/fork"
+	"promises/internal/guardian"
+	"promises/internal/promise"
+	"promises/internal/simnet"
+	"promises/internal/stream"
+)
+
+var bg = context.Background()
+
+func TestProduceCollect(t *testing.T) {
+	f := Produce(5, func(i int) (int, error) { return i * i, nil })
+	got, err := Collect(bg, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 4, 9, 16}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMapChain(t *testing.T) {
+	f := Map(
+		Map(Produce(4, func(i int) (int, error) { return i, nil }),
+			func(x int) (int, error) { return x + 10, nil }),
+		func(x int) (string, error) {
+			return string(rune('a' + x - 10)), nil
+		})
+	got, err := Collect(bg, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 || got[0] != "a" || got[3] != "d" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestViaAsyncStagesOverlap(t *testing.T) {
+	// Each Via stage yields a forked promise with a real delay; the flow's
+	// total time should reflect pipelining, not the sum of all delays.
+	const n = 12
+	d := 3 * time.Millisecond
+	slowStage := func(x int) (*promise.Promise[int], error) {
+		return fork.Go(func() (int, error) {
+			time.Sleep(d)
+			return x + 1, nil
+		}), nil
+	}
+	f := Via(Via(Produce(n, func(i int) (int, error) { return i, nil }), slowStage), slowStage)
+	start := time.Now()
+	got, err := Collect(bg, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if len(got) != n || got[0] != 2 || got[n-1] != n+1 {
+		t.Fatalf("got %v", got)
+	}
+	serial := time.Duration(2*n) * d
+	if elapsed >= serial {
+		t.Logf("elapsed %v >= serial %v — no overlap observed (timing-sensitive)", elapsed, serial)
+	}
+}
+
+func TestStageErrorTerminatesGroup(t *testing.T) {
+	f := Via(Produce(100, func(i int) (int, error) { return i, nil }),
+		func(x int) (*promise.Promise[int], error) {
+			if x == 5 {
+				return nil, exception.New("cannot_compute")
+			}
+			return promise.Resolved(x), nil
+		})
+	ctx, cancel := context.WithTimeout(bg, 10*time.Second)
+	defer cancel()
+	err := Run(ctx, f, nil)
+	if !exception.Is(err, "cannot_compute") {
+		t.Fatalf("err = %v", err)
+	}
+	if ctx.Err() != nil {
+		t.Fatal("flow hung after stage error")
+	}
+}
+
+func TestProducerErrorTerminatesGroup(t *testing.T) {
+	f := Produce(10, func(i int) (int, error) {
+		if i == 3 {
+			return 0, exception.New("cannot_produce")
+		}
+		return i, nil
+	})
+	err := Run(bg, f, nil)
+	if !exception.Is(err, "cannot_produce") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestConsumerErrorTerminatesGroup(t *testing.T) {
+	var produced int64
+	f := Produce(1000, func(i int) (int, error) {
+		atomic.AddInt64(&produced, 1)
+		return i, nil
+	})
+	ctx, cancel := context.WithTimeout(bg, 10*time.Second)
+	defer cancel()
+	err := Run(ctx, f, func(v int) error {
+		if v == 5 {
+			return exception.New("cannot_consume")
+		}
+		return nil
+	})
+	if !exception.Is(err, "cannot_consume") {
+		t.Fatalf("err = %v", err)
+	}
+	if ctx.Err() != nil {
+		t.Fatal("flow hung after consumer error")
+	}
+	// Backpressure + termination: the producer did not run to completion.
+	if atomic.LoadInt64(&produced) == 1000 {
+		t.Log("producer finished despite early consumer failure (possible but unlikely)")
+	}
+}
+
+func TestRejectedPromiseTerminatesGroup(t *testing.T) {
+	f := Via(Produce(10, func(i int) (int, error) { return i, nil }),
+		func(x int) (*promise.Promise[int], error) {
+			if x == 2 {
+				return promise.Failed[int](exception.Unavailable("stream broke")), nil
+			}
+			return promise.Resolved(x), nil
+		})
+	err := Run(bg, f, nil)
+	if !exception.IsUnavailable(err) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEmptyFlow(t *testing.T) {
+	f := Produce(0, func(i int) (int, error) { return i, nil })
+	got, err := Collect(bg, f)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+// TestComposeOverStreams runs the paper's read→compute→write cascade as a
+// single compose declaration over real guardians — the "simpler program"
+// §4.3 speculates about.
+func TestComposeOverStreams(t *testing.T) {
+	net := simnet.New(simnet.Config{})
+	defer net.Close()
+	opts := stream.Options{MaxBatch: 8, MaxBatchDelay: time.Millisecond}
+
+	server := guardian.MustNew(net, "server", opts)
+	defer server.Close()
+	double := server.AddHandler("double", func(call *guardian.Call) ([]any, error) {
+		x, err := call.IntArg(0)
+		if err != nil {
+			return nil, err
+		}
+		return []any{2 * x}, nil
+	})
+	plusOne := server.AddHandlerIn("g2", "plus_one", func(call *guardian.Call) ([]any, error) {
+		x, err := call.IntArg(0)
+		if err != nil {
+			return nil, err
+		}
+		return []any{x + 1}, nil
+	})
+
+	client := guardian.MustNew(net, "client", opts)
+	defer client.Close()
+	s1 := double.Stream(client.Agent("stage1"))
+	s2 := plusOne.Stream(client.Agent("stage2"))
+
+	const k = 30
+	flow := Via(
+		Via(Produce(k, func(i int) (int64, error) { return int64(i), nil }),
+			func(x int64) (*promise.Promise[int64], error) {
+				return promise.Call(s1, double.Port, promise.Int, x)
+			}),
+		func(x int64) (*promise.Promise[int64], error) {
+			return promise.Call(s2, plusOne.Port, promise.Int, x)
+		})
+	got, err := Collect(bg, flow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != k {
+		t.Fatalf("got %d values", len(got))
+	}
+	for i, v := range got {
+		if want := int64(2*i + 1); v != want {
+			t.Fatalf("got[%d] = %d, want %d", i, v, want)
+		}
+	}
+}
+
+func TestComposeStreamBreakTerminates(t *testing.T) {
+	net := simnet.New(simnet.Config{})
+	defer net.Close()
+	opts := stream.Options{MaxBatch: 8, MaxBatchDelay: time.Millisecond,
+		RTO: 5 * time.Millisecond, MaxRetries: 3}
+
+	server := guardian.MustNew(net, "server", opts)
+	defer server.Close()
+	echo := server.AddHandler("echo", func(call *guardian.Call) ([]any, error) {
+		return call.Args, nil
+	})
+	client := guardian.MustNew(net, "client", opts)
+	defer client.Close()
+	s := echo.Stream(client.Agent("stage"))
+
+	net.Partition("client", "server")
+	flow := Via(Produce(5, func(i int) (int64, error) { return int64(i), nil }),
+		func(x int64) (*promise.Promise[int64], error) {
+			return promise.Call(s, echo.Port, promise.Int, x)
+		})
+	ctx, cancel := context.WithTimeout(bg, 10*time.Second)
+	defer cancel()
+	err := Run(ctx, flow, nil)
+	if err == nil {
+		t.Fatal("flow should fail under partition")
+	}
+	if ctx.Err() != nil {
+		t.Fatal("flow hung under partition")
+	}
+}
+
+// Property: a Produce→Map→Collect flow computes exactly the mapped
+// sequence, in order, for any input size.
+func TestPropertyFlowPreservesOrder(t *testing.T) {
+	f := func(vals []int32) bool {
+		flow := Map(Produce(len(vals), func(i int) (int32, error) { return vals[i], nil }),
+			func(x int32) (int64, error) { return int64(x) * 3, nil })
+		got, err := Collect(bg, flow)
+		if err != nil || len(got) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if got[i] != int64(vals[i])*3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

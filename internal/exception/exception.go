@@ -1,0 +1,215 @@
+// Package exception implements the termination model of exception handling
+// used by Argus and assumed throughout Liskov & Shrira's "Promises" (PLDI
+// 1988). A call terminates either normally, returning results, or in one of
+// a number of named exceptional conditions, each of which may carry result
+// values of its own.
+//
+// In Go we model an exceptional termination as an error value of type
+// *Exception: a condition name plus a (possibly empty) argument list. Two
+// conditions are special because the Argus system can raise them for any
+// remote call, without the handler listing them:
+//
+//   - unavailable(string): the call could not be completed now; the system
+//     has already tried hard, so there is no point retrying immediately.
+//   - failure(string): the call can never be completed (for example, the
+//     target guardian no longer exists, or encoding of an argument failed).
+//
+// The Switch helper mirrors Argus's "except when" statement for dispatching
+// on the condition name.
+package exception
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Names of the two system exceptions that every remote call may raise.
+const (
+	NameUnavailable = "unavailable"
+	NameFailure     = "failure"
+)
+
+// Exception is an exceptional termination of a call: a condition name plus
+// the exception's result values. It implements error so exceptional
+// outcomes flow through ordinary Go error returns.
+type Exception struct {
+	// Name identifies the condition, e.g. "no_such_user" or "unavailable".
+	Name string
+	// Args holds the exception's results, in signature order. May be nil
+	// for conditions that return nothing.
+	Args []any
+}
+
+// New creates an exception with the given condition name and results.
+func New(name string, args ...any) *Exception {
+	return &Exception{Name: name, Args: args}
+}
+
+// Unavailable creates the system exception meaning the call cannot be
+// completed at the moment (a temporary problem: the stream broke, the node
+// is unreachable, ...). The system has already retried, so callers should
+// not immediately repeat the call.
+func Unavailable(reason string) *Exception {
+	return &Exception{Name: NameUnavailable, Args: []any{reason}}
+}
+
+// Failure creates the system exception meaning the call is a permanent
+// error (the guardian does not exist, an argument could not be encoded, a
+// reply could not be decoded, ...).
+func Failure(reason string) *Exception {
+	return &Exception{Name: NameFailure, Args: []any{reason}}
+}
+
+// Unavailablef is Unavailable with Sprintf formatting of the reason.
+func Unavailablef(format string, args ...any) *Exception {
+	return Unavailable(fmt.Sprintf(format, args...))
+}
+
+// Failuref is Failure with Sprintf formatting of the reason.
+func Failuref(format string, args ...any) *Exception {
+	return Failure(fmt.Sprintf(format, args...))
+}
+
+// Error renders the exception as `name(arg1, arg2)`.
+func (e *Exception) Error() string {
+	if e == nil {
+		return "<nil exception>"
+	}
+	if len(e.Args) == 0 {
+		return e.Name
+	}
+	parts := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		parts[i] = fmt.Sprint(a)
+	}
+	return e.Name + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Is reports whether err is (or wraps) an *Exception with the given
+// condition name.
+func Is(err error, name string) bool {
+	var ex *Exception
+	if errors.As(err, &ex) {
+		return ex.Name == name
+	}
+	return false
+}
+
+// As extracts the *Exception from err, if any.
+func As(err error) (*Exception, bool) {
+	var ex *Exception
+	if errors.As(err, &ex) {
+		return ex, true
+	}
+	return nil, false
+}
+
+// IsUnavailable reports whether err is the system unavailable exception.
+func IsUnavailable(err error) bool { return Is(err, NameUnavailable) }
+
+// IsFailure reports whether err is the system failure exception.
+func IsFailure(err error) bool { return Is(err, NameFailure) }
+
+// IsSystem reports whether err is one of the two system exceptions,
+// unavailable or failure, which any remote call can raise.
+func IsSystem(err error) bool { return IsUnavailable(err) || IsFailure(err) }
+
+// Reason returns the string argument of a system exception, or "" if err is
+// not an exception or carries no string reason.
+func Reason(err error) string {
+	ex, ok := As(err)
+	if !ok || len(ex.Args) == 0 {
+		return ""
+	}
+	s, _ := ex.Args[0].(string)
+	return s
+}
+
+// Arg returns the i'th result of the exception and whether it exists.
+func (e *Exception) Arg(i int) (any, bool) {
+	if e == nil || i < 0 || i >= len(e.Args) {
+		return nil, false
+	}
+	return e.Args[i], true
+}
+
+// StringArg returns the i'th result as a string, or "" if absent or not a
+// string.
+func (e *Exception) StringArg(i int) string {
+	v, ok := e.Arg(i)
+	if !ok {
+		return ""
+	}
+	s, _ := v.(string)
+	return s
+}
+
+// Switch mirrors the Argus "except when" statement. Build one with When,
+// attach arms with Case, a default with Others, and run it with Dispatch:
+//
+//	err := exception.When(callErr).
+//		Case("no_such_user", func(ex *exception.Exception) error { ... }).
+//		Others(func(ex *exception.Exception) error { ... }).
+//		Dispatch()
+//
+// If the original error is nil, Dispatch returns nil without consulting any
+// arm. If no arm matches and there is no Others arm, the original error is
+// returned unchanged (the exception "propagates" to an enclosing handler,
+// as in Argus).
+type Switch struct {
+	err    error
+	ex     *Exception
+	result error
+	done   bool
+}
+
+// When begins an except-when dispatch on err.
+func When(err error) *Switch {
+	s := &Switch{err: err}
+	if err != nil {
+		if ex, ok := As(err); ok {
+			s.ex = ex
+		} else {
+			// Non-exception errors are treated as failure(err.Error()) so
+			// that arbitrary Go errors still flow through "when failure".
+			s.ex = Failure(err.Error())
+		}
+	}
+	return s
+}
+
+// Case attaches an arm for the named condition. The first matching arm
+// wins. The arm's return value becomes the Dispatch result.
+func (s *Switch) Case(name string, arm func(*Exception) error) *Switch {
+	if s.err == nil || s.done || s.ex == nil || s.ex.Name != name {
+		return s
+	}
+	s.result = arm(s.ex)
+	s.done = true
+	return s
+}
+
+// Others attaches the default arm, handling any condition not named by an
+// earlier Case (Argus's "when others").
+func (s *Switch) Others(arm func(*Exception) error) *Switch {
+	if s.err == nil || s.done {
+		return s
+	}
+	s.result = arm(s.ex)
+	s.done = true
+	return s
+}
+
+// Dispatch completes the switch: it returns nil when the original error was
+// nil, the matching arm's result when an arm ran, and the original error
+// when nothing matched (propagation).
+func (s *Switch) Dispatch() error {
+	if s.err == nil {
+		return nil
+	}
+	if s.done {
+		return s.result
+	}
+	return s.err
+}

@@ -1,0 +1,230 @@
+package exception
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndError(t *testing.T) {
+	ex := New("no_such_user", "alice")
+	if got, want := ex.Error(), "no_such_user(alice)"; got != want {
+		t.Errorf("Error() = %q, want %q", got, want)
+	}
+	if got, want := New("e2").Error(), "e2"; got != want {
+		t.Errorf("Error() = %q, want %q", got, want)
+	}
+	if got, want := New("e1", 'x', 3).Error(), "e1(120, 3)"; got != want {
+		t.Errorf("Error() = %q, want %q", got, want)
+	}
+}
+
+func TestNilExceptionError(t *testing.T) {
+	var ex *Exception
+	if got := ex.Error(); got != "<nil exception>" {
+		t.Errorf("nil Error() = %q", got)
+	}
+}
+
+func TestSystemConstructors(t *testing.T) {
+	u := Unavailable("cannot communicate")
+	if !IsUnavailable(u) {
+		t.Error("IsUnavailable(Unavailable(...)) = false")
+	}
+	if IsFailure(u) {
+		t.Error("IsFailure(Unavailable(...)) = true")
+	}
+	if got, want := u.Error(), "unavailable(cannot communicate)"; got != want {
+		t.Errorf("Error() = %q, want %q", got, want)
+	}
+
+	f := Failure("handler does not exist")
+	if !IsFailure(f) {
+		t.Error("IsFailure(Failure(...)) = false")
+	}
+	if !IsSystem(f) || !IsSystem(u) {
+		t.Error("IsSystem should be true for both system exceptions")
+	}
+	if IsSystem(New("foo")) {
+		t.Error("IsSystem(user exception) = true")
+	}
+}
+
+func TestFormattedConstructors(t *testing.T) {
+	u := Unavailablef("node %s down", "n1")
+	if got := Reason(u); got != "node n1 down" {
+		t.Errorf("Reason = %q", got)
+	}
+	f := Failuref("bad arg %d", 7)
+	if got := Reason(f); got != "bad arg 7" {
+		t.Errorf("Reason = %q", got)
+	}
+}
+
+func TestIsUnwrapsWrappedErrors(t *testing.T) {
+	base := New("overdrawn", 42)
+	wrapped := fmt.Errorf("while withdrawing: %w", base)
+	if !Is(wrapped, "overdrawn") {
+		t.Error("Is should see through fmt.Errorf %w wrapping")
+	}
+	ex, ok := As(wrapped)
+	if !ok || ex.Name != "overdrawn" {
+		t.Fatalf("As(wrapped) = %v, %v", ex, ok)
+	}
+	if v, ok := ex.Arg(0); !ok || v != 42 {
+		t.Errorf("Arg(0) = %v, %v", v, ok)
+	}
+}
+
+func TestIsOnPlainError(t *testing.T) {
+	err := errors.New("plain")
+	if Is(err, "plain") {
+		t.Error("Is(plain error) should be false")
+	}
+	if _, ok := As(err); ok {
+		t.Error("As(plain error) should be false")
+	}
+	if Reason(err) != "" {
+		t.Error("Reason(plain error) should be empty")
+	}
+}
+
+func TestArgAccessors(t *testing.T) {
+	ex := New("e", "s", 2)
+	if s := ex.StringArg(0); s != "s" {
+		t.Errorf("StringArg(0) = %q", s)
+	}
+	if s := ex.StringArg(1); s != "" {
+		t.Errorf("StringArg(1) on non-string = %q", s)
+	}
+	if s := ex.StringArg(5); s != "" {
+		t.Errorf("StringArg(5) out of range = %q", s)
+	}
+	if _, ok := ex.Arg(-1); ok {
+		t.Error("Arg(-1) should not exist")
+	}
+	var nilEx *Exception
+	if _, ok := nilEx.Arg(0); ok {
+		t.Error("Arg on nil exception should not exist")
+	}
+}
+
+func TestSwitchMatchesNamedArm(t *testing.T) {
+	var hit string
+	err := When(New("foo")).
+		Case("bar", func(*Exception) error { hit = "bar"; return nil }).
+		Case("foo", func(*Exception) error { hit = "foo"; return nil }).
+		Others(func(*Exception) error { hit = "others"; return nil }).
+		Dispatch()
+	if err != nil {
+		t.Errorf("Dispatch = %v", err)
+	}
+	if hit != "foo" {
+		t.Errorf("arm hit = %q, want foo", hit)
+	}
+}
+
+func TestSwitchFirstMatchWins(t *testing.T) {
+	n := 0
+	_ = When(New("foo")).
+		Case("foo", func(*Exception) error { n++; return nil }).
+		Case("foo", func(*Exception) error { n += 100; return nil }).
+		Dispatch()
+	if n != 1 {
+		t.Errorf("arms run = %d, want 1", n)
+	}
+}
+
+func TestSwitchOthersHandlesUnnamed(t *testing.T) {
+	var got *Exception
+	err := When(Unavailable("x")).
+		Case("foo", func(*Exception) error { t.Error("foo arm ran"); return nil }).
+		Others(func(ex *Exception) error { got = ex; return nil }).
+		Dispatch()
+	if err != nil {
+		t.Errorf("Dispatch = %v", err)
+	}
+	if got == nil || got.Name != NameUnavailable {
+		t.Errorf("others arm saw %v", got)
+	}
+}
+
+func TestSwitchPropagatesWhenNoArmMatches(t *testing.T) {
+	orig := New("mystery")
+	err := When(orig).
+		Case("foo", func(*Exception) error { return nil }).
+		Dispatch()
+	if !errors.Is(err, error(orig)) && err != error(orig) {
+		t.Errorf("unmatched exception should propagate, got %v", err)
+	}
+}
+
+func TestSwitchNilErrorSkipsAllArms(t *testing.T) {
+	err := When(nil).
+		Case("foo", func(*Exception) error { t.Error("arm ran on nil"); return nil }).
+		Others(func(*Exception) error { t.Error("others ran on nil"); return nil }).
+		Dispatch()
+	if err != nil {
+		t.Errorf("Dispatch(nil) = %v", err)
+	}
+}
+
+func TestSwitchTreatsPlainErrorsAsFailure(t *testing.T) {
+	var reason string
+	err := When(errors.New("disk on fire")).
+		Case(NameFailure, func(ex *Exception) error {
+			reason = ex.StringArg(0)
+			return nil
+		}).
+		Dispatch()
+	if err != nil {
+		t.Errorf("Dispatch = %v", err)
+	}
+	if reason != "disk on fire" {
+		t.Errorf("reason = %q", reason)
+	}
+}
+
+func TestSwitchArmResultBecomesDispatchResult(t *testing.T) {
+	sentinel := errors.New("handled but replaced")
+	err := When(New("foo")).
+		Case("foo", func(*Exception) error { return sentinel }).
+		Dispatch()
+	if err != sentinel {
+		t.Errorf("Dispatch = %v, want sentinel", err)
+	}
+}
+
+// Property: New always round-trips its name through Is/As, whatever the
+// name and arity.
+func TestPropertyNewRoundTrip(t *testing.T) {
+	f := func(name string, a, b int64) bool {
+		if name == "" {
+			name = "empty"
+		}
+		ex := New(name, a, b)
+		got, ok := As(error(ex))
+		return ok && Is(error(ex), name) && got.Name == name && len(got.Args) == 2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Reason extracts exactly the string given to
+// Unavailable/Failure.
+func TestPropertyReasonRoundTrip(t *testing.T) {
+	f := func(reason string, failure bool) bool {
+		var ex *Exception
+		if failure {
+			ex = Failure(reason)
+		} else {
+			ex = Unavailable(reason)
+		}
+		return Reason(ex) == reason && IsSystem(ex)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,66 @@
+// Package fork extends promises to local calls (Liskov & Shrira, PLDI
+// 1988, §3.2). A fork causes a call of a local procedure to run in
+// parallel with the caller; when the procedure terminates, its results are
+// stored in a promise, which then becomes claimable.
+//
+// Of the three properties of stream-call promises — concurrency of caller
+// and callee, caller control of claiming, and ordered processing — forked
+// promises have the first two. Their chief virtue, which the paper calls
+// "a solution to a problem that has been a concern to language designers,"
+// is the convenient, type-safe propagation of exceptions from the forked
+// process to whichever process claims the promise.
+//
+// Arguments are passed by sharing, as in Argus: Go closures capture
+// references to heap objects, so no encoding or copying occurs, and there
+// are no lifetime problems — captured objects live as long as any process
+// references them.
+package fork
+
+import (
+	"fmt"
+
+	"promises/internal/exception"
+	"promises/internal/promise"
+)
+
+// Go runs proc in a new process, returning a promise for its result. If
+// proc returns a non-nil error, the promise resolves with that exception
+// (errors that are not exceptions become failure exceptions); if proc
+// panics, the promise resolves with a failure exception describing the
+// panic, so a programming error in a forked process surfaces at the claim
+// site instead of killing the program.
+func Go[T any](proc func() (T, error)) *promise.Promise[T] {
+	p := promise.New[T]()
+	go run(p, proc)
+	return p
+}
+
+// Do is Go for procedures with no normal results: the promise carries only
+// the termination condition, mirroring "promise signals (...)" types like
+// pt1 = promise signals (cannot_record) in Figure 4-1.
+func Do(proc func() error) *promise.Promise[promise.Unit] {
+	return Go(func() (promise.Unit, error) {
+		return promise.Unit{}, proc()
+	})
+}
+
+func run[T any](p *promise.Promise[T], proc func() (T, error)) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.Signal(exception.Failuref("forked process panicked: %v", r))
+		}
+	}()
+	v, err := proc()
+	if err != nil {
+		p.Signal(toException(err))
+		return
+	}
+	p.Fulfill(v)
+}
+
+func toException(err error) *exception.Exception {
+	if ex, ok := exception.As(err); ok {
+		return ex
+	}
+	return exception.Failure(fmt.Sprint(err))
+}

@@ -1,0 +1,152 @@
+package fork
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"promises/internal/exception"
+	"promises/internal/promise"
+)
+
+func TestGoRunsInParallel(t *testing.T) {
+	gate := make(chan struct{})
+	p := Go(func() (int, error) {
+		<-gate
+		return 7, nil
+	})
+	if p.Ready() {
+		t.Fatal("promise ready before procedure finished")
+	}
+	close(gate) // the caller kept running while the fork was blocked
+	v, err := p.MustClaim()
+	if err != nil || v != 7 {
+		t.Fatalf("Claim = %d, %v", v, err)
+	}
+}
+
+func TestGoPropagatesException(t *testing.T) {
+	p := Go(func() (int, error) {
+		return 0, exception.New("e", "arg")
+	})
+	_, err := p.MustClaim()
+	if !exception.Is(err, "e") {
+		t.Fatalf("Claim err = %v", err)
+	}
+}
+
+func TestGoWrapsPlainErrors(t *testing.T) {
+	p := Go(func() (int, error) {
+		return 0, errFake
+	})
+	_, err := p.MustClaim()
+	if !exception.IsFailure(err) {
+		t.Fatalf("Claim err = %v, want failure", err)
+	}
+}
+
+var errFake = errTest("synthetic")
+
+type errTest string
+
+func (e errTest) Error() string { return string(e) }
+
+func TestGoRecoverPanic(t *testing.T) {
+	p := Go(func() (int, error) {
+		panic("boom")
+	})
+	_, err := p.MustClaim()
+	if !exception.IsFailure(err) {
+		t.Fatalf("Claim err = %v, want failure", err)
+	}
+}
+
+func TestDoSignalsOnly(t *testing.T) {
+	p := Do(func() error { return nil })
+	if _, err := p.MustClaim(); err != nil {
+		t.Fatal(err)
+	}
+	q := Do(func() error { return exception.New("cannot_record") })
+	if _, err := q.MustClaim(); !exception.Is(err, "cannot_record") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPassBySharing(t *testing.T) {
+	// Arguments are passed by sharing: the fork sees the same heap object.
+	buf := make([]int, 4)
+	p := Do(func() error {
+		buf[2] = 9
+		return nil
+	})
+	if _, err := p.MustClaim(); err != nil {
+		t.Fatal(err)
+	}
+	if buf[2] != 9 {
+		t.Fatal("fork did not share the argument object")
+	}
+}
+
+func TestManyForks(t *testing.T) {
+	var ran int64
+	const n = 100
+	ps := make([]*promise.Promise[int], n)
+	for i := range ps {
+		i := i
+		ps[i] = Go(func() (int, error) {
+			atomic.AddInt64(&ran, 1)
+			return i * i, nil
+		})
+	}
+	for i, p := range ps {
+		v, err := p.MustClaim()
+		if err != nil || v != i*i {
+			t.Fatalf("fork %d = %d, %v", i, v, err)
+		}
+	}
+	if atomic.LoadInt64(&ran) != n {
+		t.Fatalf("ran = %d", ran)
+	}
+}
+
+func TestForkedTreeSearch(t *testing.T) {
+	// §3.2: nodes of a tree can be promises; a search that reaches a node
+	// not yet claimable waits until the promise is ready.
+	type node struct {
+		val         int
+		left, right *promise.Promise[any]
+	}
+	leftP := promise.New[any]()
+	root := &node{val: 10, left: leftP, right: promise.Resolved[any](nil)}
+	found := Go(func() (bool, error) {
+		v, err := root.left.MustClaim()
+		if err != nil {
+			return false, err
+		}
+		n, _ := v.(*node)
+		return n != nil && n.val == 5, nil
+	})
+	time.Sleep(time.Millisecond) // search is blocked on the unready node
+	if found.Ready() {
+		t.Fatal("search finished before insertion")
+	}
+	leftP.Fulfill(&node{val: 5})
+	ok, err := found.MustClaim()
+	if err != nil || !ok {
+		t.Fatalf("search = %v, %v", ok, err)
+	}
+}
+
+// Property: for any procedure result, claiming the forked promise yields
+// exactly that result.
+func TestPropertyForkDeliversResult(t *testing.T) {
+	f := func(v int64) bool {
+		p := Go(func() (int64, error) { return v, nil })
+		got, err := p.MustClaim()
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,210 @@
+// Package futures is a faithful baseline of the MultiLisp future
+// mechanism (Halstead 1985) that the paper compares promises against
+// (Liskov & Shrira, PLDI 1988, §3.3).
+//
+// In MultiLisp, an object of ANY type can be a future for a value that
+// will arrive later; when the value is needed in a computation, it is
+// claimed automatically ("touched"). The paper identifies two costs that
+// promises avoid:
+//
+//   - Futures are inefficient without specialized hardware, "since every
+//     object must be examined each time it is accessed to determine
+//     whether or not it is a future." Here, values travel as `any` and
+//     every strict operation runs Touch's dynamic type test — the check
+//     the E6 benchmark measures against a typed promise claim.
+//   - "It is difficult to do anything very useful with exceptions":
+//     exceptions become error values that propagate through the
+//     expressions that touch them, so the program that finally observes
+//     the error may be far from a scope that knows what it means. Strict
+//     operations here propagate *ErrorValue operands as their result.
+package futures
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ErrorValue is what an exception becomes in the futures model: a value
+// that propagates through expressions. Trace records each operation the
+// error flowed through — illustrating why discovering the original reason
+// at a distance is hard.
+type ErrorValue struct {
+	Reason string
+	Trace  []string
+}
+
+// Error makes *ErrorValue usable where an error is wanted at the edge of
+// the system.
+func (e *ErrorValue) Error() string { return "futures: error value: " + e.Reason }
+
+// through returns a copy of e extended with one more trace entry.
+func (e *ErrorValue) through(op string) *ErrorValue {
+	t := make([]string, len(e.Trace)+1)
+	copy(t, e.Trace)
+	t[len(e.Trace)] = op
+	return &ErrorValue{Reason: e.Reason, Trace: t}
+}
+
+// future is the hidden placeholder representation. User code never names
+// this type — that is the point of the model.
+type future struct {
+	done chan struct{}
+	once sync.Once
+	val  any
+}
+
+// New runs f in parallel and returns a value that is secretly a future
+// for f's result. If f panics, the future resolves to an *ErrorValue.
+func New(f func() any) any {
+	fu := &future{done: make(chan struct{})}
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				fu.resolve(&ErrorValue{Reason: fmt.Sprint(r)})
+			}
+		}()
+		fu.resolve(f())
+	}()
+	return fu
+}
+
+func (fu *future) resolve(v any) {
+	fu.once.Do(func() {
+		fu.val = v
+		close(fu.done)
+	})
+}
+
+// IsFuture reports whether v is an unresolved-able placeholder. (Only the
+// runtime can ask this; MultiLisp programs cannot.)
+func IsFuture(v any) bool {
+	_, ok := v.(*future)
+	return ok
+}
+
+// Touch is the implicit claim: if v is a future, wait for and return its
+// value (which may itself be a future, touched recursively); otherwise
+// return v unchanged. EVERY strict access must pay this dynamic check —
+// the cost the paper contrasts with typed promises.
+func Touch(v any) any {
+	for {
+		fu, ok := v.(*future)
+		if !ok {
+			return v
+		}
+		<-fu.done
+		v = fu.val
+	}
+}
+
+// Ready reports whether touching v would not block.
+func Ready(v any) bool {
+	fu, ok := v.(*future)
+	if !ok {
+		return true
+	}
+	select {
+	case <-fu.done:
+		return Ready(fu.val)
+	default:
+		return false
+	}
+}
+
+// --- strict operations ---
+//
+// Each operation touches its operands (the per-access check), propagates
+// error values, and produces either a result or a new error value for a
+// type mismatch.
+
+// Add returns a+b for integer or float operands.
+func Add(a, b any) any {
+	return arith("add", a, b, func(x, y int64) int64 { return x + y }, func(x, y float64) float64 { return x + y })
+}
+
+// Sub returns a-b.
+func Sub(a, b any) any {
+	return arith("sub", a, b, func(x, y int64) int64 { return x - y }, func(x, y float64) float64 { return x - y })
+}
+
+// Mul returns a*b.
+func Mul(a, b any) any {
+	return arith("mul", a, b, func(x, y int64) int64 { return x * y }, func(x, y float64) float64 { return x * y })
+}
+
+func arith(op string, a, b any, fi func(int64, int64) int64, ff func(float64, float64) float64) any {
+	a, b = Touch(a), Touch(b)
+	if e, ok := a.(*ErrorValue); ok {
+		return e.through(op)
+	}
+	if e, ok := b.(*ErrorValue); ok {
+		return e.through(op)
+	}
+	switch x := a.(type) {
+	case int64:
+		switch y := b.(type) {
+		case int64:
+			return fi(x, y)
+		case float64:
+			return ff(float64(x), y)
+		}
+	case int:
+		return arith(op, int64(x), b, fi, ff)
+	case float64:
+		switch y := b.(type) {
+		case int64:
+			return ff(x, float64(y))
+		case int:
+			return ff(x, float64(y))
+		case float64:
+			return ff(x, y)
+		}
+	}
+	return &ErrorValue{Reason: fmt.Sprintf("%s: type mismatch (%T, %T)", op, a, b)}
+}
+
+// Less compares numerically; like every strict op it touches and
+// propagates error values (as a false-y error result).
+func Less(a, b any) any {
+	a, b = Touch(a), Touch(b)
+	if e, ok := a.(*ErrorValue); ok {
+		return e.through("less")
+	}
+	if e, ok := b.(*ErrorValue); ok {
+		return e.through("less")
+	}
+	af, aok := toFloat(a)
+	bf, bok := toFloat(b)
+	if !aok || !bok {
+		return &ErrorValue{Reason: fmt.Sprintf("less: type mismatch (%T, %T)", a, b)}
+	}
+	return af < bf
+}
+
+func toFloat(v any) (float64, bool) {
+	switch x := v.(type) {
+	case int:
+		return float64(x), true
+	case int64:
+		return float64(x), true
+	case float64:
+		return x, true
+	default:
+		return 0, false
+	}
+}
+
+// Raise produces the error value a MultiLisp exception turns into.
+func Raise(reason string) any {
+	return &ErrorValue{Reason: reason}
+}
+
+// AsError extracts the error value from a (touched) result, if it is one.
+// This is the explicit claim that Halstead & Loaiza propose programs
+// perform "to ensure that the error value is discovered in a scope that
+// knows what to do with it" — the structure promises force on all
+// programs.
+func AsError(v any) (*ErrorValue, bool) {
+	e, ok := Touch(v).(*ErrorValue)
+	return e, ok
+}

@@ -1,0 +1,141 @@
+package futures
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTouchPlainValue(t *testing.T) {
+	if v := Touch(42); v != 42 {
+		t.Fatalf("Touch(42) = %v", v)
+	}
+	if v := Touch("s"); v != "s" {
+		t.Fatalf("Touch = %v", v)
+	}
+}
+
+func TestFutureResolvesOnTouch(t *testing.T) {
+	f := New(func() any {
+		time.Sleep(time.Millisecond)
+		return int64(7)
+	})
+	if !IsFuture(f) {
+		t.Fatal("New should return a future")
+	}
+	if v := Touch(f); v != int64(7) {
+		t.Fatalf("Touch = %v", v)
+	}
+	// Touching again yields the same value without recomputation.
+	if v := Touch(f); v != int64(7) {
+		t.Fatalf("second Touch = %v", v)
+	}
+}
+
+func TestNestedFuturesTouchRecursively(t *testing.T) {
+	inner := New(func() any { return int64(3) })
+	outer := New(func() any { return inner })
+	if v := Touch(outer); v != int64(3) {
+		t.Fatalf("Touch nested = %v", v)
+	}
+}
+
+func TestReady(t *testing.T) {
+	gate := make(chan struct{})
+	f := New(func() any { <-gate; return int64(1) })
+	if Ready(f) {
+		t.Fatal("future ready before computation finished")
+	}
+	close(gate)
+	Touch(f)
+	if !Ready(f) {
+		t.Fatal("future not ready after touch")
+	}
+	if !Ready(5) {
+		t.Fatal("plain value must always be ready")
+	}
+}
+
+func TestArithmeticOnFutures(t *testing.T) {
+	a := New(func() any { return int64(4) })
+	b := New(func() any { return int64(5) })
+	if v := Add(a, b); v != int64(9) {
+		t.Fatalf("Add = %v", v)
+	}
+	if v := Mul(int64(3), a); v != int64(12) {
+		t.Fatalf("Mul = %v", v)
+	}
+	if v := Sub(10.5, int64(3)); v != 7.5 {
+		t.Fatalf("Sub = %v", v)
+	}
+	if v := Less(int64(1), 2.0); v != true {
+		t.Fatalf("Less = %v", v)
+	}
+}
+
+func TestErrorValuePropagatesThroughExpressions(t *testing.T) {
+	// The paper: "information about the error value propagates through the
+	// expression that caused the future to be claimed and then through
+	// surrounding expressions."
+	bad := New(func() any { return Raise("division by zero") })
+	r := Mul(Add(bad, int64(1)), int64(2))
+	e, ok := AsError(r)
+	if !ok {
+		t.Fatalf("result = %v, want error value", r)
+	}
+	if e.Reason != "division by zero" {
+		t.Fatalf("reason = %q", e.Reason)
+	}
+	// The trace shows the distance between the raise and the observation —
+	// the difficulty promises avoid.
+	if len(e.Trace) != 2 || e.Trace[0] != "add" || e.Trace[1] != "mul" {
+		t.Fatalf("trace = %v", e.Trace)
+	}
+}
+
+func TestPanicBecomesErrorValue(t *testing.T) {
+	f := New(func() any { panic("kaboom") })
+	e, ok := AsError(f)
+	if !ok || !strings.Contains(e.Reason, "kaboom") {
+		t.Fatalf("AsError = %v, %v", e, ok)
+	}
+}
+
+func TestTypeMismatchIsErrorValue(t *testing.T) {
+	r := Add("one", int64(2))
+	if _, ok := AsError(r); !ok {
+		t.Fatalf("Add(string,int) = %v, want error value", r)
+	}
+	if _, ok := AsError(Less("a", int64(1))); !ok {
+		t.Fatal("Less mismatch should be an error value")
+	}
+}
+
+func TestErrorValueInComparisonPropagates(t *testing.T) {
+	bad := Raise("no data")
+	if _, ok := AsError(Less(bad, int64(3))); !ok {
+		t.Fatal("error value should propagate through Less")
+	}
+}
+
+func TestAsErrorOnNormalValue(t *testing.T) {
+	if _, ok := AsError(int64(5)); ok {
+		t.Fatal("AsError on a normal value")
+	}
+}
+
+// Property: arithmetic over futures equals arithmetic over the plain
+// values.
+func TestPropertyFutureArithmeticTransparent(t *testing.T) {
+	f := func(x, y int32) bool {
+		a := New(func() any { return int64(x) })
+		b := New(func() any { return int64(y) })
+		return Add(a, b) == int64(x)+int64(y) &&
+			Mul(a, b) == int64(x)*int64(y) &&
+			Sub(a, b) == int64(x)-int64(y)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,113 @@
+package guardian
+
+import (
+	"context"
+	"sync"
+)
+
+// A guardian "can have many processes running inside it. Some of these
+// are created when a guardian first starts to run (or recovers from a
+// crash)" (§2.1 and its footnote). Background registers such a process:
+// proc starts immediately, is cancelled by a crash (volatile processes
+// die with the guardian), and is started afresh by Recover — mirroring
+// an Argus guardian's recovery code re-creating its internal processes.
+//
+// proc must return when its context is cancelled. The restart count is
+// passed so recovery code can distinguish first start (0) from later
+// recoveries.
+
+// BackgroundFunc is the body of a guardian-internal process.
+type BackgroundFunc func(ctx context.Context, g *Guardian, restarts int)
+
+// bgProc tracks one registered background process across crashes.
+type bgProc struct {
+	f        BackgroundFunc
+	restarts int
+	cancel   context.CancelFunc
+	done     chan struct{}
+}
+
+// bgState is the guardian's background-process manager and crash-hook
+// registry.
+type bgState struct {
+	mu      sync.Mutex
+	procs   []*bgProc
+	onCrash []func()
+}
+
+// OnCrash registers a hook run when the guardian crashes, after its
+// processes have been stopped. Argus guardians distinguish stable state,
+// which survives crashes, from volatile state, which does not; Go data
+// held by the application naturally plays the stable role here, so
+// anything meant to be volatile (caches, in-progress buffers, session
+// tables) should be discarded by an OnCrash hook.
+func (g *Guardian) OnCrash(f func()) {
+	g.bg.mu.Lock()
+	defer g.bg.mu.Unlock()
+	g.bg.onCrash = append(g.bg.onCrash, f)
+}
+
+// runCrashHooks invokes the registered volatile-state hooks.
+func (g *Guardian) runCrashHooks() {
+	g.bg.mu.Lock()
+	hooks := make([]func(), len(g.bg.onCrash))
+	copy(hooks, g.bg.onCrash)
+	g.bg.mu.Unlock()
+	for _, f := range hooks {
+		f()
+	}
+}
+
+// Background registers and starts a guardian-internal process.
+func (g *Guardian) Background(f BackgroundFunc) {
+	p := &bgProc{f: f}
+	g.bg.mu.Lock()
+	g.bg.procs = append(g.bg.procs, p)
+	g.bg.mu.Unlock()
+	if !g.Crashed() {
+		g.startBg(p)
+	}
+}
+
+func (g *Guardian) startBg(p *bgProc) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p.cancel = cancel
+	p.done = make(chan struct{})
+	restarts := p.restarts
+	go func() {
+		defer close(p.done)
+		p.f(ctx, g, restarts)
+	}()
+}
+
+// stopBg cancels every background process and waits for it to exit, as a
+// crash (or shutdown) destroys the guardian's volatile processes.
+func (g *Guardian) stopBg() {
+	g.bg.mu.Lock()
+	procs := make([]*bgProc, len(g.bg.procs))
+	copy(procs, g.bg.procs)
+	g.bg.mu.Unlock()
+	for _, p := range procs {
+		if p.cancel != nil {
+			p.cancel()
+		}
+	}
+	for _, p := range procs {
+		if p.done != nil {
+			<-p.done
+		}
+	}
+}
+
+// restartBg starts fresh instances of every registered background
+// process, as a guardian's recovery code does.
+func (g *Guardian) restartBg() {
+	g.bg.mu.Lock()
+	procs := make([]*bgProc, len(g.bg.procs))
+	copy(procs, g.bg.procs)
+	g.bg.mu.Unlock()
+	for _, p := range procs {
+		p.restarts++
+		g.startBg(p)
+	}
+}

@@ -1,0 +1,134 @@
+package guardian
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"promises/internal/simnet"
+)
+
+func TestBackgroundStartsImmediately(t *testing.T) {
+	w := newWorld(t, simnet.Config{})
+	var ticks atomic.Int64
+	w.server.Background(func(ctx context.Context, g *Guardian, restarts int) {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(100 * time.Microsecond):
+				ticks.Add(1)
+			}
+		}
+	})
+	deadline := time.Now().Add(5 * time.Second)
+	for ticks.Load() < 3 {
+		if time.Now().After(deadline) {
+			t.Fatal("background process never ran")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestBackgroundDiesOnCrashRestartsOnRecover(t *testing.T) {
+	w := newWorld(t, simnet.Config{})
+	var alive atomic.Int32
+	var lastRestarts atomic.Int32
+	w.server.Background(func(ctx context.Context, g *Guardian, restarts int) {
+		alive.Add(1)
+		lastRestarts.Store(int32(restarts))
+		<-ctx.Done()
+		alive.Add(-1)
+	})
+	waitFor(t, func() bool { return alive.Load() == 1 })
+	if lastRestarts.Load() != 0 {
+		t.Fatalf("first start restarts = %d", lastRestarts.Load())
+	}
+
+	w.server.Crash()
+	waitFor(t, func() bool { return alive.Load() == 0 })
+
+	w.server.Recover()
+	waitFor(t, func() bool { return alive.Load() == 1 })
+	if lastRestarts.Load() != 1 {
+		t.Fatalf("restart count = %d, want 1", lastRestarts.Load())
+	}
+
+	// A second crash/recover cycle bumps the count again.
+	w.server.Crash()
+	waitFor(t, func() bool { return alive.Load() == 0 })
+	w.server.Recover()
+	waitFor(t, func() bool { return lastRestarts.Load() == 2 })
+}
+
+func TestBackgroundStoppedByClose(t *testing.T) {
+	n := simnet.New(simnet.Config{})
+	defer n.Close()
+	g := MustNew(n, "solo", fastOpts())
+	var alive atomic.Int32
+	g.Background(func(ctx context.Context, _ *Guardian, _ int) {
+		alive.Add(1)
+		<-ctx.Done()
+		alive.Add(-1)
+	})
+	waitFor(t, func() bool { return alive.Load() == 1 })
+	g.Close() // must wait for the background process to exit
+	if alive.Load() != 0 {
+		t.Fatal("background process survived Close")
+	}
+}
+
+func TestBackgroundRegisteredWhileCrashedStartsOnRecover(t *testing.T) {
+	w := newWorld(t, simnet.Config{})
+	w.server.Crash()
+	var alive atomic.Int32
+	w.server.Background(func(ctx context.Context, _ *Guardian, _ int) {
+		alive.Add(1)
+		<-ctx.Done()
+		alive.Add(-1)
+	})
+	time.Sleep(2 * time.Millisecond)
+	if alive.Load() != 0 {
+		t.Fatal("background process ran while the guardian was crashed")
+	}
+	w.server.Recover()
+	waitFor(t, func() bool { return alive.Load() == 1 })
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached")
+		}
+		time.Sleep(500 * time.Microsecond)
+	}
+}
+
+func TestOnCrashHookDiscardsVolatileState(t *testing.T) {
+	w := newWorld(t, simnet.Config{})
+	// A volatile cache next to stable state: the crash hook clears it.
+	stable := map[string]int{"persisted": 1}
+	volatile := map[string]int{"cached": 2}
+	w.server.OnCrash(func() {
+		for k := range volatile {
+			delete(volatile, k)
+		}
+	})
+	w.server.Crash()
+	if len(volatile) != 0 {
+		t.Fatal("volatile state survived the crash")
+	}
+	if len(stable) != 1 {
+		t.Fatal("stable state must survive")
+	}
+	w.server.Recover()
+	// Hooks fire per crash, not per recovery.
+	volatile["again"] = 3
+	w.server.Crash()
+	if len(volatile) != 0 {
+		t.Fatal("hook did not run on the second crash")
+	}
+}

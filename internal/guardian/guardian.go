@@ -1,0 +1,327 @@
+// Package guardian implements Argus-style active entities (Liskov &
+// Shrira, PLDI 1988, §2.1). A guardian resides at a single node of the
+// network and provides operations called handlers that other guardians
+// call through ports. Creating a handler defines both a port — the name
+// used to identify the handler in calls — and the procedure that runs to
+// process a call.
+//
+// Ports are grouped for sequencing: only calls to ports in the same group
+// (from the same agent) are sequenced, and the stream layer delays a
+// call's execution until all earlier calls on its stream have completed.
+// Calls on different streams are processed in parallel — the mailer
+// example in §2.1: two clients calling read_mail run concurrently, while
+// one client's send_mail then read_mail on the same stream run in order.
+//
+// The guardian layer also implements the argument/result value
+// transmission discipline of §3: arguments arrive encoded and are decoded
+// before the handler runs; results are encoded before the reply is sent.
+// A decode failure at the receiver terminates the call with
+// failure("could not decode") AND breaks the stream, so further calls on
+// that stream are discarded, exactly as the paper prescribes.
+package guardian
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"promises/internal/exception"
+	"promises/internal/simnet"
+	"promises/internal/stream"
+	"promises/internal/wire"
+)
+
+// DefaultGroup is the port group used for handlers created when the
+// guardian is created, mirroring "all ports of handlers created when a
+// guardian is created belong to the same group."
+const DefaultGroup = "main"
+
+// Call is one decoded incoming handler call.
+type Call struct {
+	// Args are the decoded argument values.
+	Args []any
+	// From is the calling node; Agent the calling activity; Seq the call's
+	// position on its stream.
+	From  string
+	Agent string
+	Seq   uint64
+	// Guardian is the receiving guardian, so handlers can create ports
+	// dynamically or call out to other guardians.
+	Guardian *Guardian
+}
+
+// IntArg returns argument i as an int64 (failure exception on mismatch).
+func (c *Call) IntArg(i int) (int64, error) { return wire.IntArg(c.Args, i) }
+
+// FloatArg returns argument i as a float64.
+func (c *Call) FloatArg(i int) (float64, error) { return wire.FloatArg(c.Args, i) }
+
+// StringArg returns argument i as a string.
+func (c *Call) StringArg(i int) (string, error) { return wire.StringArg(c.Args, i) }
+
+// HandlerFunc processes one call. It returns the reply's result values, or
+// an error: an *exception.Exception terminates the call with that
+// exception; any other error terminates it with failure.
+type HandlerFunc func(call *Call) ([]any, error)
+
+// Guardian is one active entity.
+type Guardian struct {
+	name string
+	net  *simnet.Network
+	node *simnet.Node
+	peer *stream.Peer
+
+	mu       sync.Mutex
+	handlers map[string]HandlerFunc // port -> handler
+	groups   map[string]string      // port -> group
+	parallel map[string]bool        // ports opted out of per-stream ordering
+	closed   bool
+
+	bg bgState // guardian-internal background processes
+}
+
+// New creates a guardian with its own node on the network and starts its
+// stream runtime.
+func New(net *simnet.Network, name string, opts stream.Options) (*Guardian, error) {
+	node, err := net.AddNode(name)
+	if err != nil {
+		return nil, err
+	}
+	g := &Guardian{
+		name:     name,
+		net:      net,
+		node:     node,
+		peer:     stream.NewPeer(node, opts),
+		handlers: make(map[string]HandlerFunc),
+		groups:   make(map[string]string),
+		parallel: make(map[string]bool),
+	}
+	g.peer.SetDispatcher(g.dispatch)
+	g.peer.SetParallelPorts(func(port string) bool {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		return g.parallel[port]
+	})
+	return g, nil
+}
+
+// MustNew is New for setup paths where a duplicate name is a programming
+// error.
+func MustNew(net *simnet.Network, name string, opts stream.Options) *Guardian {
+	g, err := New(net, name, opts)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Name returns the guardian's (node) name.
+func (g *Guardian) Name() string { return g.name }
+
+// Peer returns the guardian's stream runtime, for making outgoing calls.
+func (g *Guardian) Peer() *stream.Peer { return g.peer }
+
+// Agent returns a named sending agent of this guardian. Each concurrent
+// activity within the guardian should use its own agent.
+func (g *Guardian) Agent(name string) *stream.Agent { return g.peer.Agent(name) }
+
+// AddHandler creates a handler whose port belongs to DefaultGroup and
+// returns its Ref.
+func (g *Guardian) AddHandler(port string, h HandlerFunc) Ref {
+	return g.AddHandlerIn(DefaultGroup, port, h)
+}
+
+// AddHandlerIn creates a handler whose port belongs to the given group —
+// ports can also be created dynamically, while the guardian runs — and
+// returns its Ref. Re-registering a port replaces its handler.
+func (g *Guardian) AddHandlerIn(group, port string, h HandlerFunc) Ref {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.handlers[port] = h
+	g.groups[port] = group
+	return Ref{Node: g.name, Group: group, Port: port}
+}
+
+// RemoveHandler deletes a port; subsequent calls to it terminate with
+// failure("handler does not exist").
+func (g *Guardian) RemoveHandler(port string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	delete(g.handlers, port)
+	delete(g.groups, port)
+	delete(g.parallel, port)
+}
+
+// SetParallel opts a port out of per-stream serial execution: its calls
+// may be processed in parallel with other calls on the same stream — the
+// explicit override §2.1 anticipates. The handler must tolerate the
+// concurrency; calls to other (serial) ports still wait for all earlier
+// calls.
+func (g *Guardian) SetParallel(port string, parallel bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if parallel {
+		g.parallel[port] = true
+	} else {
+		delete(g.parallel, port)
+	}
+}
+
+// Ref returns the Ref for an existing port, and whether it exists.
+func (g *Guardian) Ref(port string) (Ref, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	group, ok := g.groups[port]
+	if !ok {
+		return Ref{}, false
+	}
+	return Ref{Node: g.name, Group: group, Port: port}, true
+}
+
+// dispatch adapts a registered HandlerFunc to the stream layer: it decodes
+// arguments, runs the handler, and encodes results, applying the paper's
+// failure semantics at each step.
+func (g *Guardian) dispatch(port string) (stream.Handler, bool) {
+	g.mu.Lock()
+	h, ok := g.handlers[port]
+	group := g.groups[port]
+	g.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	return func(in *stream.Incoming) stream.Outcome {
+		// Receiver-side grouping: a port may only be called through its
+		// own group's streams, since sequencing is per group.
+		if in.Group != group {
+			return stream.ExceptionOutcome(exception.Failuref(
+				"port %q is not in group %q", port, in.Group))
+		}
+		args, err := wire.Unmarshal(in.Args)
+		if err != nil {
+			// "When the problem happens at the receiver, the stream breaks
+			// so that further calls on that stream will be discarded."
+			ex := exception.Failure("could not decode")
+			in.BreakStream(ex)
+			return stream.ExceptionOutcome(ex)
+		}
+		call := &Call{
+			Args:     args,
+			From:     in.From,
+			Agent:    in.Agent,
+			Seq:      in.Seq,
+			Guardian: g,
+		}
+		results, err := runHandler(h, call)
+		if err != nil {
+			return stream.ExceptionOutcome(toException(err))
+		}
+		payload, err := wire.Marshal(results...)
+		if err != nil {
+			ex := exception.Failure("could not encode results")
+			in.BreakStream(ex)
+			return stream.ExceptionOutcome(ex)
+		}
+		return stream.NormalOutcome(payload)
+	}, true
+}
+
+// runHandler isolates handler panics: a panicking handler terminates its
+// call with failure instead of killing the guardian.
+func runHandler(h HandlerFunc, call *Call) (results []any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			results = nil
+			err = exception.Failuref("handler panicked: %v", r)
+		}
+	}()
+	return h(call)
+}
+
+func toException(err error) *exception.Exception {
+	if ex, ok := exception.As(err); ok {
+		return ex
+	}
+	return exception.Failure(err.Error())
+}
+
+// Crash takes the guardian down: volatile state (streams in progress,
+// buffered calls, background processes) is lost; outstanding callers see
+// unavailable.
+func (g *Guardian) Crash() {
+	g.peer.Crash()
+	g.stopBg()
+	g.runCrashHooks()
+}
+
+// Recover restarts a crashed guardian. Handlers — the guardian's code —
+// survive; stream state starts fresh; registered background processes
+// are started anew, as a guardian's recovery code does.
+func (g *Guardian) Recover() {
+	g.peer.Recover()
+	g.restartBg()
+}
+
+// Crashed reports whether the guardian is currently down.
+func (g *Guardian) Crashed() bool { return g.node.Crashed() }
+
+// Close shuts the guardian down permanently.
+func (g *Guardian) Close() {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return
+	}
+	g.closed = true
+	g.mu.Unlock()
+	g.stopBg()
+	g.peer.Close()
+}
+
+// Ref identifies a remote handler: the node its guardian lives at, the
+// port group it belongs to, and the port name. Refs are what the paper
+// means by "ports may be sent as arguments and results of remote calls" —
+// they encode to a wire ref value.
+type Ref struct {
+	Node  string
+	Group string
+	Port  string
+}
+
+// String formats the ref as node/group/port.
+func (r Ref) String() string { return r.Node + "/" + r.Group + "/" + r.Port }
+
+// Stream returns the stream an agent would use to call this ref: calls by
+// one agent to ports in the same group travel on the same stream.
+func (r Ref) Stream(a *stream.Agent) *stream.Stream {
+	return a.Stream(r.Node, r.Group)
+}
+
+// Wire encodes the ref for transmission as an argument or result value.
+func (r Ref) Wire() wire.Ref {
+	return wire.Ref{Kind: "port", Name: r.String()}
+}
+
+// RefFromWire decodes a ref transmitted as a value.
+func RefFromWire(v any) (Ref, error) {
+	wr, err := wire.AsRef(v)
+	if err != nil {
+		return Ref{}, err
+	}
+	if wr.Kind != "port" {
+		return Ref{}, fmt.Errorf("guardian: ref kind %q is not a port", wr.Kind)
+	}
+	parts := strings.SplitN(wr.Name, "/", 3)
+	if len(parts) != 3 {
+		return Ref{}, fmt.Errorf("guardian: malformed port ref %q", wr.Name)
+	}
+	return Ref{Node: parts[0], Group: parts[1], Port: parts[2]}, nil
+}
+
+// RefArg decodes argument i of a call as a port ref.
+func RefArg(vals []any, i int) (Ref, error) {
+	v, err := wire.Arg(vals, i)
+	if err != nil {
+		return Ref{}, err
+	}
+	return RefFromWire(v)
+}

@@ -1,0 +1,339 @@
+package guardian
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"promises/internal/exception"
+	"promises/internal/promise"
+	"promises/internal/simnet"
+	"promises/internal/stream"
+)
+
+func fastOpts() stream.Options {
+	return stream.Options{MaxBatch: 8, MaxBatchDelay: time.Millisecond,
+		RTO: 10 * time.Millisecond, MaxRetries: 4}
+}
+
+// world wires a client guardian and a server guardian over one network.
+type world struct {
+	net    *simnet.Network
+	client *Guardian
+	server *Guardian
+}
+
+func newWorld(t *testing.T, cfg simnet.Config) *world {
+	t.Helper()
+	n := simnet.New(cfg)
+	w := &world{
+		net:    n,
+		client: MustNew(n, "client", fastOpts()),
+		server: MustNew(n, "server", fastOpts()),
+	}
+	t.Cleanup(func() {
+		w.client.Close()
+		w.server.Close()
+		n.Close()
+	})
+	return w
+}
+
+func TestHandlerCallRoundTrip(t *testing.T) {
+	w := newWorld(t, simnet.Config{})
+	ref := w.server.AddHandler("double", func(call *Call) ([]any, error) {
+		x, err := call.IntArg(0)
+		if err != nil {
+			return nil, err
+		}
+		return []any{2 * x}, nil
+	})
+	s := ref.Stream(w.client.Agent("a"))
+	p, err := promise.Call(s, ref.Port, promise.Int, int64(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := p.MustClaim()
+	if err != nil || v != 16 {
+		t.Fatalf("Claim = %d, %v", v, err)
+	}
+}
+
+func TestHandlerExceptionPropagates(t *testing.T) {
+	w := newWorld(t, simnet.Config{})
+	ref := w.server.AddHandler("read_mail", func(call *Call) ([]any, error) {
+		return nil, exception.New("no_such_user")
+	})
+	s := ref.Stream(w.client.Agent("a"))
+	p, err := promise.Call(s, ref.Port, promise.None)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.MustClaim(); !exception.Is(err, "no_such_user") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUnknownPortIsFailure(t *testing.T) {
+	w := newWorld(t, simnet.Config{})
+	s := w.client.Agent("a").Stream("server", DefaultGroup)
+	p, err := promise.Call(s, "nonexistent", promise.None)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = p.MustClaim()
+	if !exception.IsFailure(err) || exception.Reason(err) != "handler does not exist" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestWrongGroupIsFailure(t *testing.T) {
+	w := newWorld(t, simnet.Config{})
+	w.server.AddHandlerIn("gA", "op", func(*Call) ([]any, error) { return nil, nil })
+	s := w.client.Agent("a").Stream("server", "gB")
+	p, err := promise.Call(s, "op", promise.None)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.MustClaim(); !exception.IsFailure(err) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestHandlerPanicIsFailure(t *testing.T) {
+	w := newWorld(t, simnet.Config{})
+	ref := w.server.AddHandler("bad", func(*Call) ([]any, error) { panic("bug") })
+	s := ref.Stream(w.client.Agent("a"))
+	p, err := promise.Call(s, "bad", promise.None)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.MustClaim(); !exception.IsFailure(err) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDecodeFailureBreaksStream(t *testing.T) {
+	w := newWorld(t, simnet.Config{})
+	ref := w.server.AddHandler("op", func(*Call) ([]any, error) { return nil, nil })
+	s := ref.Stream(w.client.Agent("a"))
+	// Send garbage bytes directly through the transport so decoding fails
+	// at the receiver.
+	pend, err := s.Call("op", []byte{0xFF, 0xFF, 0xFF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Flush()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	o, err := pend.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Normal || o.Exception != exception.NameFailure {
+		t.Fatalf("outcome = %+v", o)
+	}
+}
+
+func TestSameStreamCallsRunInOrder(t *testing.T) {
+	// §2.1 mailer scenario, same-client half: send_mail then read_mail on
+	// one stream must execute in order even if the first is slow.
+	w := newWorld(t, simnet.Config{})
+	var mu sync.Mutex
+	var order []string
+	w.server.AddHandler("send_mail", func(*Call) ([]any, error) {
+		time.Sleep(3 * time.Millisecond)
+		mu.Lock()
+		order = append(order, "send")
+		mu.Unlock()
+		return nil, nil
+	})
+	w.server.AddHandler("read_mail", func(*Call) ([]any, error) {
+		mu.Lock()
+		order = append(order, "read")
+		mu.Unlock()
+		return []any{"mail"}, nil
+	})
+	a := w.client.Agent("c1")
+	s := a.Stream("server", DefaultGroup)
+	p1, err := promise.Call(s, "send_mail", promise.None)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := promise.Call(s, "read_mail", promise.String)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Flush()
+	if _, err := p1.MustClaim(); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := p2.MustClaim(); err != nil || v != "mail" {
+		t.Fatalf("read = %q, %v", v, err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 2 || order[0] != "send" || order[1] != "read" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestDifferentStreamsRunConcurrently(t *testing.T) {
+	// §2.1 mailer scenario, two-client half: C1's slow call must not delay
+	// C2's call, because they are on different streams.
+	w := newWorld(t, simnet.Config{})
+	c1Started := make(chan struct{})
+	c1Release := make(chan struct{})
+	w.server.AddHandler("send_mail", func(*Call) ([]any, error) {
+		close(c1Started)
+		<-c1Release
+		return nil, nil
+	})
+	w.server.AddHandler("read_mail", func(*Call) ([]any, error) {
+		return []any{"mail"}, nil
+	})
+
+	s1 := w.client.Agent("c1").Stream("server", DefaultGroup)
+	p1, err := promise.Call(s1, "send_mail", promise.None)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.Flush()
+	<-c1Started
+
+	// C2's read_mail completes while C1's send_mail is still running.
+	s2 := w.client.Agent("c2").Stream("server", DefaultGroup)
+	v, err := promise.RPC(context.Background(), s2, "read_mail", promise.String)
+	if err != nil || v != "mail" {
+		t.Fatalf("c2 read = %q, %v", v, err)
+	}
+	if p1.Ready() {
+		t.Fatal("c1 call finished too early")
+	}
+	close(c1Release)
+	if _, err := p1.MustClaim(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDynamicPortCreation(t *testing.T) {
+	// §2's window system: create_window returns newly created ports.
+	w := newWorld(t, simnet.Config{})
+	var n int
+	var mu sync.Mutex
+	w.server.AddHandler("create_window", func(call *Call) ([]any, error) {
+		mu.Lock()
+		n++
+		id := n
+		mu.Unlock()
+		group := "win" + string(rune('0'+id))
+		putc := call.Guardian.AddHandlerIn(group, "putc", func(c *Call) ([]any, error) {
+			s, err := c.StringArg(0)
+			if err != nil {
+				return nil, err
+			}
+			return []any{s}, nil
+		})
+		return []any{putc.Wire()}, nil
+	})
+
+	a := w.client.Agent("ui")
+	s := a.Stream("server", DefaultGroup)
+	winVals, err := promise.RPC(context.Background(), s, "create_window",
+		func(vals []any) ([]any, error) { return vals, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	putcRef, err := RefArg(winVals, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := putcRef.Stream(a)
+	v, err := promise.RPC(context.Background(), ws, putcRef.Port, promise.String, "x")
+	if err != nil || v != "x" {
+		t.Fatalf("putc = %q, %v", v, err)
+	}
+}
+
+func TestRemoveHandler(t *testing.T) {
+	w := newWorld(t, simnet.Config{})
+	ref := w.server.AddHandler("op", func(*Call) ([]any, error) { return nil, nil })
+	w.server.RemoveHandler("op")
+	if _, ok := w.server.Ref("op"); ok {
+		t.Fatal("Ref after RemoveHandler")
+	}
+	s := ref.Stream(w.client.Agent("a"))
+	p, err := promise.Call(s, "op", promise.None)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.MustClaim(); !exception.IsFailure(err) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCrashResolvesCallersWithUnavailable(t *testing.T) {
+	w := newWorld(t, simnet.Config{})
+	started := make(chan struct{})
+	block := make(chan struct{})
+	w.server.AddHandler("slow", func(*Call) ([]any, error) {
+		close(started)
+		<-block
+		return nil, nil
+	})
+	defer close(block)
+	s := w.client.Agent("a").Stream("server", DefaultGroup)
+	p, err := promise.Call(s, "slow", promise.None)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Flush()
+	<-started
+	w.server.Crash()
+	if !w.server.Crashed() {
+		t.Fatal("Crashed not reported")
+	}
+	_, err = p.MustClaim()
+	if !exception.IsUnavailable(err) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCrashRecoverServesAgain(t *testing.T) {
+	w := newWorld(t, simnet.Config{})
+	ref := w.server.AddHandler("echo", func(call *Call) ([]any, error) {
+		return []any{call.Args[0]}, nil
+	})
+	w.server.Crash()
+	w.server.Recover()
+	s := ref.Stream(w.client.Agent("a"))
+	v, err := promise.RPC(context.Background(), s, "echo", promise.String, "alive")
+	if err != nil || v != "alive" {
+		t.Fatalf("after recover: %q, %v", v, err)
+	}
+}
+
+func TestRefWireRoundTrip(t *testing.T) {
+	r := Ref{Node: "srv", Group: "g1", Port: "putc"}
+	got, err := RefFromWire(r.Wire())
+	if err != nil || got != r {
+		t.Fatalf("round trip = %+v, %v", got, err)
+	}
+	if _, err := RefFromWire("not a ref"); err == nil {
+		t.Fatal("want error for non-ref value")
+	}
+}
+
+func TestDuplicateGuardianName(t *testing.T) {
+	n := simnet.New(simnet.Config{})
+	defer n.Close()
+	g1, err := New(n, "dup", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g1.Close()
+	if _, err := New(n, "dup", fastOpts()); err == nil {
+		t.Fatal("duplicate name should fail")
+	}
+}

@@ -1,0 +1,190 @@
+package guardian
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"promises/internal/promise"
+	"promises/internal/simnet"
+)
+
+func TestParallelPortRunsConcurrentlyOnOneStream(t *testing.T) {
+	// Calls to a parallel port on ONE stream overlap: with 4 concurrent
+	// slots and a gate, all 4 handlers must be in flight at once.
+	w := newWorld(t, simnet.Config{})
+	const n = 4
+	var inFlight, peak int32
+	var mu sync.Mutex
+	gate := make(chan struct{})
+	started := make(chan struct{}, n)
+	ref := w.server.AddHandler("crunch", func(call *Call) ([]any, error) {
+		mu.Lock()
+		inFlight++
+		if inFlight > peak {
+			peak = inFlight
+		}
+		mu.Unlock()
+		started <- struct{}{}
+		<-gate
+		mu.Lock()
+		inFlight--
+		mu.Unlock()
+		return call.Args, nil
+	})
+	w.server.SetParallel("crunch", true)
+
+	s := ref.Stream(w.client.Agent("a"))
+	ps := make([]*promise.Promise[[]byte], n)
+	for i := range ps {
+		p, err := promise.Call(s, "crunch", promise.Bytes, []byte{byte(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps[i] = p
+	}
+	s.Flush()
+	for i := 0; i < n; i++ {
+		select {
+		case <-started:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("only %d calls started; parallel port not overlapping", i)
+		}
+	}
+	close(gate)
+	for i, p := range ps {
+		v, err := p.MustClaim()
+		if err != nil || v[0] != byte(i) {
+			t.Fatalf("call %d = %v, %v", i, v, err)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if peak != n {
+		t.Fatalf("peak concurrency = %d, want %d", peak, n)
+	}
+}
+
+func TestSerialCallWaitsForEarlierParallelCalls(t *testing.T) {
+	// A call to a serial port must still wait for all earlier calls on
+	// its stream, including parallel ones.
+	w := newWorld(t, simnet.Config{})
+	var parallelDone atomic.Bool
+	gate := make(chan struct{})
+	pref := w.server.AddHandler("slow_parallel", func(call *Call) ([]any, error) {
+		<-gate
+		parallelDone.Store(true)
+		return nil, nil
+	})
+	w.server.SetParallel("slow_parallel", true)
+	var serialSawCompletion atomic.Bool
+	w.server.AddHandler("serial", func(call *Call) ([]any, error) {
+		serialSawCompletion.Store(parallelDone.Load())
+		return nil, nil
+	})
+
+	s := pref.Stream(w.client.Agent("a"))
+	p1, err := promise.Call(s, "slow_parallel", promise.None)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := promise.Call(s, "serial", promise.None)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Flush()
+	time.Sleep(5 * time.Millisecond) // the serial call must be waiting now
+	if p2.Ready() {
+		t.Fatal("serial call completed before the earlier parallel call")
+	}
+	close(gate)
+	if _, err := p1.MustClaim(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p2.MustClaim(); err != nil {
+		t.Fatal(err)
+	}
+	if !serialSawCompletion.Load() {
+		t.Fatal("serial call ran before the earlier parallel call completed")
+	}
+}
+
+func TestParallelPortOrderedReadinessStillHolds(t *testing.T) {
+	// Even with out-of-order completion at the receiver, the sender's
+	// promises become ready in call order.
+	w := newWorld(t, simnet.Config{})
+	ref := w.server.AddHandler("jitter", func(call *Call) ([]any, error) {
+		// Later calls finish sooner.
+		x, err := call.IntArg(0)
+		if err != nil {
+			return nil, err
+		}
+		time.Sleep(time.Duration(10-x) * time.Millisecond / 2)
+		return []any{x}, nil
+	})
+	w.server.SetParallel("jitter", true)
+
+	s := ref.Stream(w.client.Agent("a"))
+	const n = 8
+	ps := make([]*promise.Promise[int64], n)
+	for i := range ps {
+		p, err := promise.Call(s, "jitter", promise.Int, int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps[i] = p
+	}
+	s.Flush()
+	if _, err := ps[n-1].MustClaim(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if !ps[i].Ready() {
+			t.Fatalf("promise %d not ready although %d is", i, n-1)
+		}
+		v, err := ps[i].MustClaim()
+		if err != nil || v != int64(i) {
+			t.Fatalf("promise %d = %d, %v", i, v, err)
+		}
+	}
+}
+
+func TestSetParallelOffRestoresSerialExecution(t *testing.T) {
+	w := newWorld(t, simnet.Config{})
+	var mu sync.Mutex
+	var active, peak int
+	ref := w.server.AddHandler("op", func(call *Call) ([]any, error) {
+		mu.Lock()
+		active++
+		if active > peak {
+			peak = active
+		}
+		mu.Unlock()
+		time.Sleep(time.Millisecond)
+		mu.Lock()
+		active--
+		mu.Unlock()
+		return nil, nil
+	})
+	w.server.SetParallel("op", true)
+	w.server.SetParallel("op", false)
+
+	s := ref.Stream(w.client.Agent("a"))
+	for i := 0; i < 6; i++ {
+		if _, err := promise.Call(s, "op", promise.None); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Synch(ctx); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if peak != 1 {
+		t.Fatalf("peak concurrency = %d after disabling parallel", peak)
+	}
+}

@@ -1,0 +1,38 @@
+package guardian
+
+import (
+	"promises/internal/exception"
+	"promises/internal/handlertype"
+)
+
+// AddTypedHandler creates a handler with a declared signature in
+// DefaultGroup. The signature is enforced around h: arguments that do not
+// match the declaration terminate the call with failure before h runs,
+// and results or signalled exceptions outside the declaration terminate
+// the call with failure instead of leaking an undeclared interface to the
+// caller. (In Argus these are static checks; here the declared interface
+// is defended at run time.)
+func (g *Guardian) AddTypedHandler(port string, sig handlertype.Signature, h HandlerFunc) Ref {
+	return g.AddTypedHandlerIn(DefaultGroup, port, sig, h)
+}
+
+// AddTypedHandlerIn is AddTypedHandler with an explicit port group.
+func (g *Guardian) AddTypedHandlerIn(group, port string, sig handlertype.Signature, h HandlerFunc) Ref {
+	return g.AddHandlerIn(group, port, func(call *Call) ([]any, error) {
+		if err := sig.CheckArgs(call.Args); err != nil {
+			return nil, exception.Failure(err.Error())
+		}
+		results, err := h(call)
+		if err != nil {
+			ex := toException(err)
+			if cerr := sig.CheckException(ex); cerr != nil {
+				return nil, exception.Failure(cerr.Error())
+			}
+			return nil, ex
+		}
+		if err := sig.CheckResults(results); err != nil {
+			return nil, exception.Failure(err.Error())
+		}
+		return results, nil
+	})
+}

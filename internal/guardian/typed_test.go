@@ -1,0 +1,175 @@
+package guardian
+
+import (
+	"context"
+	"testing"
+
+	"promises/internal/exception"
+	"promises/internal/handlertype"
+	"promises/internal/promise"
+	"promises/internal/simnet"
+)
+
+// recordGradeSig is the paper's §2 port type.
+var recordGradeSig = handlertype.MustParse(
+	"port (string, real) returns (real) signals (no_such_student(string))")
+
+func TestTypedHandlerHappyPath(t *testing.T) {
+	w := newWorld(t, simnet.Config{})
+	ref := w.server.AddTypedHandler("record_grade", recordGradeSig,
+		func(call *Call) ([]any, error) {
+			grade, err := call.FloatArg(1)
+			if err != nil {
+				return nil, err
+			}
+			return []any{grade}, nil
+		})
+	s := ref.Stream(w.client.Agent("a"))
+	p, err := promise.CallTyped(s, ref.Port, recordGradeSig, promise.Float, "ann", 91.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := p.MustClaim()
+	if err != nil || v != 91.5 {
+		t.Fatalf("Claim = %v, %v", v, err)
+	}
+}
+
+func TestTypedCallRejectsBadArgsAtCaller(t *testing.T) {
+	w := newWorld(t, simnet.Config{})
+	ref := w.server.AddTypedHandler("record_grade", recordGradeSig,
+		func(call *Call) ([]any, error) { return []any{1.0}, nil })
+	s := ref.Stream(w.client.Agent("a"))
+	// Wrong type: grade as a string. The call fails at the call site; no
+	// promise is created (the paper's step 1).
+	p, err := promise.CallTyped(s, ref.Port, recordGradeSig, promise.Float, "ann", "not-a-grade")
+	if p != nil {
+		t.Fatal("no promise should be created for an ill-typed call")
+	}
+	if !exception.IsFailure(err) {
+		t.Fatalf("err = %v", err)
+	}
+	// Wrong arity too.
+	if _, err := promise.CallTyped(s, ref.Port, recordGradeSig, promise.Float, "ann"); err == nil {
+		t.Fatal("want arity failure")
+	}
+}
+
+func TestTypedHandlerRejectsBadArgsAtReceiver(t *testing.T) {
+	// An untyped caller sends ill-typed arguments; the typed handler
+	// rejects them before user code runs.
+	w := newWorld(t, simnet.Config{})
+	var ran bool
+	ref := w.server.AddTypedHandler("record_grade", recordGradeSig,
+		func(call *Call) ([]any, error) { ran = true; return []any{1.0}, nil })
+	s := ref.Stream(w.client.Agent("a"))
+	p, err := promise.Call(s, ref.Port, promise.Float, 123, 4.5) // first arg must be string
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = p.MustClaim()
+	if !exception.IsFailure(err) {
+		t.Fatalf("err = %v", err)
+	}
+	if ran {
+		t.Fatal("handler body ran on ill-typed arguments")
+	}
+}
+
+func TestTypedHandlerRejectsUndeclaredResults(t *testing.T) {
+	w := newWorld(t, simnet.Config{})
+	ref := w.server.AddTypedHandler("record_grade", recordGradeSig,
+		func(call *Call) ([]any, error) {
+			return []any{"not-a-real"}, nil // declared: returns (real)
+		})
+	s := ref.Stream(w.client.Agent("a"))
+	p, err := promise.CallTyped(s, ref.Port, recordGradeSig, promise.Float, "ann", 80.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = p.MustClaim()
+	if !exception.IsFailure(err) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTypedHandlerRejectsUndeclaredException(t *testing.T) {
+	w := newWorld(t, simnet.Config{})
+	ref := w.server.AddTypedHandler("record_grade", recordGradeSig,
+		func(call *Call) ([]any, error) {
+			return nil, exception.New("surprise") // not in signals
+		})
+	s := ref.Stream(w.client.Agent("a"))
+	p, err := promise.CallTyped(s, ref.Port, recordGradeSig, promise.Float, "ann", 80.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = p.MustClaim()
+	if !exception.IsFailure(err) {
+		t.Fatalf("undeclared exception should become failure; err = %v", err)
+	}
+}
+
+func TestTypedHandlerPassesDeclaredException(t *testing.T) {
+	w := newWorld(t, simnet.Config{})
+	ref := w.server.AddTypedHandler("record_grade", recordGradeSig,
+		func(call *Call) ([]any, error) {
+			return nil, exception.New("no_such_student", "zoe")
+		})
+	s := ref.Stream(w.client.Agent("a"))
+	p, err := promise.CallTyped(s, ref.Port, recordGradeSig, promise.Float, "ann", 80.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = p.MustClaim()
+	if !exception.Is(err, "no_such_student") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTypedHandlerPassesSystemExceptions(t *testing.T) {
+	w := newWorld(t, simnet.Config{})
+	ref := w.server.AddTypedHandler("record_grade", recordGradeSig,
+		func(call *Call) ([]any, error) {
+			return nil, exception.Unavailable("db offline")
+		})
+	s := ref.Stream(w.client.Agent("a"))
+	p, err := promise.CallTyped(s, ref.Port, recordGradeSig, promise.Float, "ann", 80.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.MustClaim(); !exception.IsUnavailable(err) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSendTypedAndRPCTyped(t *testing.T) {
+	w := newWorld(t, simnet.Config{})
+	noteSig := handlertype.MustParse("(string)")
+	w.server.AddTypedHandler("note", noteSig,
+		func(call *Call) ([]any, error) { return nil, nil })
+	echoSig := handlertype.MustParse("(int) returns (int)")
+	w.server.AddTypedHandler("echo", echoSig,
+		func(call *Call) ([]any, error) { return []any{call.Args[0]}, nil })
+
+	s := w.client.Agent("a").Stream("server", DefaultGroup)
+	if _, err := promise.SendTyped(s, "note", noteSig, 42); err == nil {
+		t.Fatal("ill-typed send should fail at the caller")
+	}
+	p, err := promise.SendTyped(s, "note", noteSig, "hi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Flush()
+	if _, err := p.MustClaim(); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := promise.RPCTyped(context.Background(), s, "echo", echoSig, promise.Int, "x"); err == nil {
+		t.Fatal("ill-typed rpc should fail at the caller")
+	}
+	v, err := promise.RPCTyped(context.Background(), s, "echo", echoSig, promise.Int, int64(7))
+	if err != nil || v != 7 {
+		t.Fatalf("RPCTyped = %d, %v", v, err)
+	}
+}

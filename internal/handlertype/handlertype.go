@@ -1,0 +1,264 @@
+// Package handlertype implements the strongly typed port and handler
+// signatures of the paper (Liskov & Shrira, PLDI 1988, §2–§3). A port is
+// declared with an argument list, a result list, and a signals list:
+//
+//	port (int) returns (real) signals (e1(string), e2)
+//
+// and every handler type induces a related promise type:
+//
+//	promise returns (real) signals (e1(string), e2)
+//
+// Argus checks these statically; a Go library cannot extend the host type
+// system, so this package provides the next best thing: declared
+// signatures, parsed from the paper's notation or built programmatically,
+// that are enforced at the call boundary — arguments are checked before a
+// call message is produced (an ill-typed call fails at the caller, like a
+// compile error surfacing at the call site), and results and signalled
+// exceptions are checked at the receiver before a reply is produced, so a
+// handler cannot return values or raise exceptions outside its declared
+// interface. The system exceptions unavailable and failure are implicit
+// in every signature, as in the paper: "since any call can fail, every
+// handler can raise the exceptions failure and unavailable. We do not
+// bother to list these exceptions explicitly."
+package handlertype
+
+import (
+	"fmt"
+	"strings"
+
+	"promises/internal/exception"
+	"promises/internal/wire"
+)
+
+// Kind is a wire-level value type.
+type Kind int
+
+// The value kinds of the external representation.
+const (
+	// Any matches every value (an escape hatch for generic ports).
+	Any Kind = iota
+	// Int is a 64-bit integer.
+	Int
+	// Real is a 64-bit float (the paper's "real").
+	Real
+	// String is a text string.
+	String
+	// Bool is a boolean.
+	Bool
+	// Bytes is an opaque byte string.
+	Bytes
+	// List is a sequence of values.
+	List
+	// Port is a port reference.
+	Port
+)
+
+var kindNames = map[Kind]string{
+	Any: "any", Int: "int", Real: "real", String: "string",
+	Bool: "bool", Bytes: "bytes", List: "list", Port: "port",
+}
+
+var kindsByName = func() map[string]Kind {
+	m := make(map[string]Kind, len(kindNames))
+	for k, n := range kindNames {
+		m[n] = k
+	}
+	return m
+}()
+
+func (k Kind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// matches reports whether a value inhabits the kind. It accepts both the
+// wire-decoded representations (int64, float64, ...) and the Go-side
+// variants the wire encoder normalizes (int, float32, ...), so arguments
+// can be checked at the caller before encoding.
+func (k Kind) matches(v any) bool {
+	switch k {
+	case Any:
+		return true
+	case Int:
+		return isInt(v)
+	case Real:
+		// Ints widen to reals, as the grades example passes int grades to
+		// a real-averaging handler.
+		return isFloat(v) || isInt(v)
+	case String:
+		_, ok := v.(string)
+		return ok
+	case Bool:
+		_, ok := v.(bool)
+		return ok
+	case Bytes:
+		if v == nil {
+			return true
+		}
+		_, ok := v.([]byte)
+		return ok
+	case List:
+		_, ok := v.([]any)
+		return ok
+	case Port:
+		_, ok := v.(wire.Ref)
+		return ok
+	default:
+		return false
+	}
+}
+
+func isInt(v any) bool {
+	switch v.(type) {
+	case int, int8, int16, int32, int64, uint, uint8, uint16, uint32, uint64:
+		return true
+	default:
+		return false
+	}
+}
+
+func isFloat(v any) bool {
+	switch v.(type) {
+	case float32, float64:
+		return true
+	default:
+		return false
+	}
+}
+
+// Signal declares one exception a handler may signal, with the types of
+// the values it carries.
+type Signal struct {
+	Name string
+	Args []Kind
+}
+
+// Signature is one handler (port) type.
+type Signature struct {
+	Args    []Kind
+	Results []Kind
+	Signals []Signal
+}
+
+// Handler builds a signature fluently:
+//
+//	Handler(Int).Returns(Real).Signals("e1", String).Signals("e2")
+func Handler(args ...Kind) Signature {
+	return Signature{Args: args}
+}
+
+// Returns sets the result kinds.
+func (s Signature) Returns(results ...Kind) Signature {
+	s.Results = results
+	return s
+}
+
+// WithSignal adds one declared exception.
+func (s Signature) WithSignal(name string, args ...Kind) Signature {
+	s.Signals = append(s.Signals, Signal{Name: name, Args: args})
+	return s
+}
+
+// String renders the signature in the paper's notation.
+func (s Signature) String() string {
+	var b strings.Builder
+	b.WriteString("handlertype ")
+	writeKinds(&b, s.Args)
+	if len(s.Results) > 0 {
+		b.WriteString(" returns ")
+		writeKinds(&b, s.Results)
+	}
+	s.writeSignals(&b)
+	return b.String()
+}
+
+// PromiseType renders the related promise type, as in §3: "associated
+// with each handler type is a related promise type."
+func (s Signature) PromiseType() string {
+	var b strings.Builder
+	b.WriteString("promise")
+	if len(s.Results) > 0 {
+		b.WriteString(" returns ")
+		writeKinds(&b, s.Results)
+	}
+	s.writeSignals(&b)
+	return b.String()
+}
+
+func (s Signature) writeSignals(b *strings.Builder) {
+	if len(s.Signals) == 0 {
+		return
+	}
+	b.WriteString(" signals (")
+	for i, sig := range s.Signals {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(sig.Name)
+		if len(sig.Args) > 0 {
+			writeKinds(b, sig.Args)
+		}
+	}
+	b.WriteString(")")
+}
+
+func writeKinds(b *strings.Builder, ks []Kind) {
+	b.WriteString("(")
+	for i, k := range ks {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(k.String())
+	}
+	b.WriteString(")")
+}
+
+// signal looks up a declared signal by name.
+func (s Signature) signal(name string) (Signal, bool) {
+	for _, sig := range s.Signals {
+		if sig.Name == name {
+			return sig, true
+		}
+	}
+	return Signal{}, false
+}
+
+// CheckArgs verifies an argument list against the signature. It is run at
+// the caller, before the call message is produced, so an ill-typed call
+// fails at the call site with no promise created.
+func (s Signature) CheckArgs(vals []any) error {
+	return checkKinds("argument", s.Args, vals)
+}
+
+// CheckResults verifies a handler's normal results.
+func (s Signature) CheckResults(vals []any) error {
+	return checkKinds("result", s.Results, vals)
+}
+
+// CheckException verifies a signalled exception against the declared
+// signals. The system exceptions unavailable and failure are implicitly
+// declared on every handler.
+func (s Signature) CheckException(ex *exception.Exception) error {
+	if ex.Name == exception.NameUnavailable || ex.Name == exception.NameFailure {
+		return nil
+	}
+	sig, ok := s.signal(ex.Name)
+	if !ok {
+		return fmt.Errorf("handlertype: exception %q is not declared (%s)", ex.Name, s)
+	}
+	return checkKinds("exception argument", sig.Args, ex.Args)
+}
+
+func checkKinds(what string, kinds []Kind, vals []any) error {
+	if len(vals) != len(kinds) {
+		return fmt.Errorf("handlertype: %d %ss, want %d", len(vals), what, len(kinds))
+	}
+	for i, k := range kinds {
+		if !k.matches(vals[i]) {
+			return fmt.Errorf("handlertype: %s %d is %T, want %s", what, i, vals[i], k)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,222 @@
+package handlertype
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"promises/internal/exception"
+	"promises/internal/wire"
+)
+
+func TestBuilderAndString(t *testing.T) {
+	sig := Handler(Int).Returns(Real).WithSignal("e1", String).WithSignal("e2")
+	want := "handlertype (int) returns (real) signals (e1(string), e2)"
+	if got := sig.String(); got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+	wantP := "promise returns (real) signals (e1(string), e2)"
+	if got := sig.PromiseType(); got != wantP {
+		t.Fatalf("PromiseType = %q, want %q", got, wantP)
+	}
+}
+
+func TestNoResultsNoSignals(t *testing.T) {
+	sig := Handler(String)
+	if got := sig.String(); got != "handlertype (string)" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := sig.PromiseType(); got != "promise" {
+		t.Fatalf("PromiseType = %q", got)
+	}
+}
+
+func TestParsePaperSignature(t *testing.T) {
+	// The paper's §2 example: port (int) returns (real) signals (e1(char), e2)
+	sig, err := Parse("port (int) returns (real) signals (e1(char), e2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sig.Args) != 1 || sig.Args[0] != Int {
+		t.Fatalf("args = %v", sig.Args)
+	}
+	if len(sig.Results) != 1 || sig.Results[0] != Real {
+		t.Fatalf("results = %v", sig.Results)
+	}
+	if len(sig.Signals) != 2 || sig.Signals[0].Name != "e1" || sig.Signals[1].Name != "e2" {
+		t.Fatalf("signals = %v", sig.Signals)
+	}
+	// char normalizes to string.
+	if len(sig.Signals[0].Args) != 1 || sig.Signals[0].Args[0] != String {
+		t.Fatalf("e1 args = %v", sig.Signals[0].Args)
+	}
+	if len(sig.Signals[1].Args) != 0 {
+		t.Fatalf("e2 args = %v", sig.Signals[1].Args)
+	}
+}
+
+func TestParseVariants(t *testing.T) {
+	cases := map[string]string{
+		"(string, real)":                          "handlertype (string, real)",
+		"handlertype (int) returns (real)":        "handlertype (int) returns (real)",
+		"() signals (cannot_record)":              "handlertype () signals (cannot_record)",
+		"handler (float) returns (int64)":         "handlertype (real) returns (int)",
+		"proc (array) returns (sequence)":         "handlertype (list) returns (list)",
+		"( port ) returns ( bytes , bool , any )": "handlertype (port) returns (bytes, bool, any)",
+	}
+	for src, want := range cases {
+		sig, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		if got := sig.String(); got != want {
+			t.Fatalf("Parse(%q).String() = %q, want %q", src, got, want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"",                                   // no argument list
+		"(int",                               // unclosed
+		"(int) returns",                      // missing result list
+		"(int) returns ()",                   // empty returns
+		"(int) signals ()",                   // empty signals
+		"(frob)",                             // unknown type
+		"(int) returns (real) giggles",       // unknown clause
+		"(int) returns (real) trailing(",     // trailing junk
+		"(int) returns (real) returns (int)", // duplicate clause
+		"(int,)",                             // dangling comma
+		"(int;string)",                       // bad rune
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	MustParse("(bogus)")
+}
+
+// Property: String output re-parses to an identical signature.
+func TestPropertyStringRoundTrip(t *testing.T) {
+	kinds := []Kind{Any, Int, Real, String, Bool, Bytes, List, Port}
+	f := func(argIdx, resIdx []uint8, sigArg uint8) bool {
+		sig := Signature{}
+		for _, i := range argIdx {
+			sig.Args = append(sig.Args, kinds[int(i)%len(kinds)])
+		}
+		if sig.Args == nil {
+			sig.Args = []Kind{}
+		}
+		for _, i := range resIdx {
+			sig.Results = append(sig.Results, kinds[int(i)%len(kinds)])
+		}
+		sig = sig.WithSignal("e_a", kinds[int(sigArg)%len(kinds)]).WithSignal("e_b")
+		got, err := Parse(sig.String())
+		if err != nil {
+			return false
+		}
+		return got.String() == sig.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckArgs(t *testing.T) {
+	sig := Handler(Int, String, Real)
+	if err := sig.CheckArgs([]any{int64(1), "s", 2.5}); err != nil {
+		t.Fatal(err)
+	}
+	// Go-side variants are accepted too (pre-encoding check).
+	if err := sig.CheckArgs([]any{3, "s", float32(1)}); err != nil {
+		t.Fatal(err)
+	}
+	// Ints widen to real.
+	if err := sig.CheckArgs([]any{int64(1), "s", int64(2)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sig.CheckArgs([]any{"wrong", "s", 2.5}); err == nil {
+		t.Fatal("want type error")
+	}
+	if err := sig.CheckArgs([]any{int64(1), "s"}); err == nil {
+		t.Fatal("want arity error")
+	}
+}
+
+func TestCheckArgsKinds(t *testing.T) {
+	ok := []struct {
+		k Kind
+		v any
+	}{
+		{Any, "anything"}, {Bool, true}, {Bytes, []byte{1}}, {Bytes, nil},
+		{List, []any{int64(1)}}, {Port, wire.Ref{Kind: "port", Name: "n/g/p"}},
+	}
+	for _, c := range ok {
+		if err := Handler(c.k).CheckArgs([]any{c.v}); err != nil {
+			t.Errorf("%v should accept %T: %v", c.k, c.v, err)
+		}
+	}
+	bad := []struct {
+		k Kind
+		v any
+	}{
+		{Bool, 1}, {Bytes, "s"}, {List, "s"}, {Port, "s"}, {String, 1},
+	}
+	for _, c := range bad {
+		if err := Handler(c.k).CheckArgs([]any{c.v}); err == nil {
+			t.Errorf("%v should reject %T", c.k, c.v)
+		}
+	}
+}
+
+func TestCheckResults(t *testing.T) {
+	sig := Handler().Returns(Real)
+	if err := sig.CheckResults([]any{70.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sig.CheckResults([]any{"no"}); err == nil {
+		t.Fatal("want type error")
+	}
+	if err := sig.CheckResults([]any{}); err == nil {
+		t.Fatal("want arity error")
+	}
+}
+
+func TestCheckException(t *testing.T) {
+	sig := Handler().WithSignal("no_such_user", String)
+	if err := sig.CheckException(exception.New("no_such_user", "bob")); err != nil {
+		t.Fatal(err)
+	}
+	// Wrong arg types for a declared signal.
+	if err := sig.CheckException(exception.New("no_such_user", 42)); err == nil {
+		t.Fatal("want arg type error")
+	}
+	// Undeclared exception.
+	if err := sig.CheckException(exception.New("surprise")); err == nil {
+		t.Fatal("want undeclared error")
+	}
+	// unavailable and failure are implicit on every handler.
+	if err := sig.CheckException(exception.Unavailable("net down")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sig.CheckException(exception.Failure("bad")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Int.String() != "int" || Kind(99).String() == "" {
+		t.Fatal("Kind.String broken")
+	}
+	if !strings.HasPrefix(Kind(99).String(), "kind(") {
+		t.Fatalf("unknown kind = %q", Kind(99).String())
+	}
+}

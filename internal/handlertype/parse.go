@@ -1,0 +1,244 @@
+package handlertype
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse reads a signature in the paper's notation:
+//
+//	handlertype (int) returns (real) signals (e1(string), e2)
+//
+// The leading "handlertype" (or "port") keyword is optional, as are the
+// returns and signals clauses:
+//
+//	(string, real)
+//	port (int) returns (real)
+//	() signals (cannot_record)
+func Parse(src string) (Signature, error) {
+	p := &parser{toks: lex(src)}
+	sig, err := p.signature()
+	if err != nil {
+		return Signature{}, fmt.Errorf("handlertype: parsing %q: %w", src, err)
+	}
+	return sig, nil
+}
+
+// MustParse is Parse for statically known signatures; it panics on error.
+func MustParse(src string) Signature {
+	sig, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return sig
+}
+
+// --- lexer ---
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokLParen
+	tokRParen
+	tokComma
+	tokErr
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+func lex(src string) []token {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := rune(src[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", i})
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", i})
+			i++
+		case c == '_' || unicode.IsLetter(c) || unicode.IsDigit(c):
+			j := i
+			for j < len(src) {
+				r := rune(src[j])
+				if r != '_' && !unicode.IsLetter(r) && !unicode.IsDigit(r) {
+					break
+				}
+				j++
+			}
+			toks = append(toks, token{tokIdent, src[i:j], i})
+			i = j
+		default:
+			toks = append(toks, token{tokErr, string(c), i})
+			i++
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(src)})
+	return toks
+}
+
+// --- parser ---
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(k tokKind, what string) (token, error) {
+	t := p.next()
+	if t.kind != k {
+		return t, fmt.Errorf("at offset %d: expected %s, found %q", t.pos, what, t.text)
+	}
+	return t, nil
+}
+
+// signature := [keyword] kinds [ "returns" kinds ] [ "signals" signals ]
+func (p *parser) signature() (Signature, error) {
+	var sig Signature
+	if t := p.peek(); t.kind == tokIdent {
+		switch strings.ToLower(t.text) {
+		case "handlertype", "port", "handler", "proc":
+			p.next()
+		}
+	}
+	args, err := p.kinds()
+	if err != nil {
+		return sig, err
+	}
+	sig.Args = args
+
+	for p.peek().kind == tokIdent {
+		switch kw := strings.ToLower(p.peek().text); kw {
+		case "returns":
+			p.next()
+			if sig.Results != nil {
+				return sig, fmt.Errorf("duplicate returns clause")
+			}
+			if sig.Results, err = p.kinds(); err != nil {
+				return sig, err
+			}
+			if len(sig.Results) == 0 {
+				return sig, fmt.Errorf("empty returns clause")
+			}
+		case "signals":
+			p.next()
+			if sig.Signals != nil {
+				return sig, fmt.Errorf("duplicate signals clause")
+			}
+			if sig.Signals, err = p.signals(); err != nil {
+				return sig, err
+			}
+		default:
+			return sig, fmt.Errorf("at offset %d: unexpected %q", p.peek().pos, p.peek().text)
+		}
+	}
+	if t := p.peek(); t.kind != tokEOF {
+		return sig, fmt.Errorf("at offset %d: trailing %q", t.pos, t.text)
+	}
+	return sig, nil
+}
+
+// kinds := "(" [ kind ("," kind)* ] ")"
+func (p *parser) kinds() ([]Kind, error) {
+	if _, err := p.expect(tokLParen, "'('"); err != nil {
+		return nil, err
+	}
+	kinds := []Kind{}
+	if p.peek().kind == tokRParen {
+		p.next()
+		return kinds, nil
+	}
+	for {
+		t, err := p.expect(tokIdent, "type name")
+		if err != nil {
+			return nil, err
+		}
+		k, ok := kindsByName[normalizeKind(t.text)]
+		if !ok {
+			return nil, fmt.Errorf("at offset %d: unknown type %q", t.pos, t.text)
+		}
+		kinds = append(kinds, k)
+		switch t := p.next(); t.kind {
+		case tokComma:
+		case tokRParen:
+			return kinds, nil
+		default:
+			return nil, fmt.Errorf("at offset %d: expected ',' or ')', found %q", t.pos, t.text)
+		}
+	}
+}
+
+// normalizeKind maps notation variants (the paper writes char; CLU writes
+// array) onto wire kinds.
+func normalizeKind(name string) string {
+	switch strings.ToLower(name) {
+	case "char":
+		return "string"
+	case "float", "float64", "double":
+		return "real"
+	case "int64", "integer":
+		return "int"
+	case "array", "sequence":
+		return "list"
+	case "ref":
+		return "port"
+	default:
+		return strings.ToLower(name)
+	}
+}
+
+// signals := "(" signal ("," signal)* ")"
+// signal  := name [ kinds ]
+func (p *parser) signals() ([]Signal, error) {
+	if _, err := p.expect(tokLParen, "'('"); err != nil {
+		return nil, err
+	}
+	var sigs []Signal
+	if p.peek().kind == tokRParen {
+		p.next()
+		return sigs, fmt.Errorf("empty signals clause")
+	}
+	for {
+		t, err := p.expect(tokIdent, "exception name")
+		if err != nil {
+			return nil, err
+		}
+		sig := Signal{Name: t.text}
+		if p.peek().kind == tokLParen {
+			if sig.Args, err = p.kinds(); err != nil {
+				return nil, err
+			}
+		}
+		sigs = append(sigs, sig)
+		switch t := p.next(); t.kind {
+		case tokComma:
+		case tokRParen:
+			return sigs, nil
+		default:
+			return nil, fmt.Errorf("at offset %d: expected ',' or ')', found %q", t.pos, t.text)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+// Package pqueue provides the synchronized queue used to compose streams
+// (Liskov & Shrira, PLDI 1988, §4, Figures 4-1 and 4-2). The producer arm
+// of a composition enqueues promises created by its stream calls; the
+// consumer arm dequeues them, claims them, and makes calls on the next
+// stream. The queue both carries the promises and synchronizes the two
+// processes: Deq waits when the queue is empty, Enq waits when it is full.
+//
+// The paper's "termination problem" — if the producer dies early, the
+// consumer may hang forever waiting to dequeue — is addressed two ways:
+// Close marks the end of production, after which Deq drains the remaining
+// items and then reports ErrClosed; and Terminate tears the queue down
+// immediately with an exception, releasing every waiter — this is what
+// coenter's group termination uses. Deq and Enq also take a context so a
+// wounded process stops waiting when its arm is terminated.
+package pqueue
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"promises/internal/exception"
+)
+
+// ErrClosed is reported by Enq after Close, and by Deq once a closed queue
+// has drained.
+var ErrClosed = errors.New("pqueue: closed")
+
+// Queue is a blocking FIFO queue, safe for any number of concurrent
+// producers and consumers.
+type Queue[T any] struct {
+	mu       sync.Mutex
+	items    []T
+	capacity int // <= 0 means unbounded
+	closed   bool
+	term     *exception.Exception
+	change   chan struct{} // closed & replaced on every state change
+}
+
+// New creates a queue. capacity bounds the number of buffered items;
+// capacity <= 0 means unbounded (Enq never waits).
+func New[T any](capacity int) *Queue[T] {
+	return &Queue[T]{capacity: capacity, change: make(chan struct{})}
+}
+
+// signalLocked wakes every waiter; they re-check their condition.
+func (q *Queue[T]) signalLocked() {
+	close(q.change)
+	q.change = make(chan struct{})
+}
+
+// Enq appends v, waiting while the queue is full. It returns ErrClosed if
+// the queue has been closed, the termination exception if it was
+// terminated, or ctx.Err() if the context ends while waiting.
+func (q *Queue[T]) Enq(ctx context.Context, v T) error {
+	q.mu.Lock()
+	for {
+		switch {
+		case q.term != nil:
+			err := q.term
+			q.mu.Unlock()
+			return err
+		case q.closed:
+			q.mu.Unlock()
+			return ErrClosed
+		case q.capacity <= 0 || len(q.items) < q.capacity:
+			q.items = append(q.items, v)
+			q.signalLocked()
+			q.mu.Unlock()
+			return nil
+		}
+		wait := q.change
+		q.mu.Unlock()
+		select {
+		case <-wait:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		q.mu.Lock()
+	}
+}
+
+// Deq removes and returns the oldest item, waiting while the queue is
+// empty. On a closed queue it drains the remaining items, then reports
+// ErrClosed. On a terminated queue it reports the termination exception
+// immediately, even if items remain — the composition is being torn down.
+func (q *Queue[T]) Deq(ctx context.Context) (T, error) {
+	var zero T
+	q.mu.Lock()
+	for {
+		switch {
+		case q.term != nil:
+			err := q.term
+			q.mu.Unlock()
+			return zero, err
+		case len(q.items) > 0:
+			v := q.items[0]
+			q.items = q.items[1:]
+			q.signalLocked()
+			q.mu.Unlock()
+			return v, nil
+		case q.closed:
+			q.mu.Unlock()
+			return zero, ErrClosed
+		}
+		wait := q.change
+		q.mu.Unlock()
+		select {
+		case <-wait:
+		case <-ctx.Done():
+			return zero, ctx.Err()
+		}
+		q.mu.Lock()
+	}
+}
+
+// TryDeq removes and returns the oldest item without waiting; ok is false
+// if nothing is available right now.
+func (q *Queue[T]) TryDeq() (v T, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.term != nil || len(q.items) == 0 {
+		var zero T
+		return zero, false
+	}
+	v = q.items[0]
+	q.items = q.items[1:]
+	q.signalLocked()
+	return v, true
+}
+
+// Close marks the end of production. Consumers drain the remaining items
+// and then see ErrClosed; producers see ErrClosed at once. Closing twice
+// is harmless.
+func (q *Queue[T]) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.closed = true
+	q.signalLocked()
+}
+
+// Terminate tears the queue down with the given exception: buffered items
+// are discarded and every current and future Enq and Deq reports the
+// exception. Used when a stream composition is terminated as a group.
+func (q *Queue[T]) Terminate(ex *exception.Exception) {
+	if ex == nil {
+		ex = exception.Unavailable("queue terminated")
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.term != nil {
+		return
+	}
+	q.term = ex
+	q.items = nil
+	q.signalLocked()
+}
+
+// Len returns the number of buffered items.
+func (q *Queue[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// Closed reports whether Close has been called.
+func (q *Queue[T]) Closed() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.closed
+}
+
+// Terminated returns the termination exception, or nil.
+func (q *Queue[T]) Terminated() *exception.Exception {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.term
+}

@@ -1,0 +1,281 @@
+package pqueue
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"promises/internal/exception"
+)
+
+var bg = context.Background()
+
+func TestFIFO(t *testing.T) {
+	q := New[int](0)
+	for i := 0; i < 10; i++ {
+		if err := q.Enq(bg, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		v, err := q.Deq(bg)
+		if err != nil || v != i {
+			t.Fatalf("Deq %d = %d, %v", i, v, err)
+		}
+	}
+}
+
+func TestDeqWaitsForEnq(t *testing.T) {
+	q := New[string](0)
+	got := make(chan string)
+	go func() {
+		v, _ := q.Deq(bg)
+		got <- v
+	}()
+	select {
+	case v := <-got:
+		t.Fatalf("Deq returned %q before Enq", v)
+	case <-time.After(2 * time.Millisecond):
+	}
+	if err := q.Enq(bg, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if v := <-got; v != "x" {
+		t.Fatalf("Deq = %q", v)
+	}
+}
+
+func TestEnqWaitsWhenFull(t *testing.T) {
+	q := New[int](1)
+	if err := q.Enq(bg, 1); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error)
+	go func() { done <- q.Enq(bg, 2) }()
+	select {
+	case <-done:
+		t.Fatal("Enq returned despite full queue")
+	case <-time.After(2 * time.Millisecond):
+	}
+	if v, err := q.Deq(bg); err != nil || v != 1 {
+		t.Fatalf("Deq = %d, %v", v, err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if v, err := q.Deq(bg); err != nil || v != 2 {
+		t.Fatalf("Deq = %d, %v", v, err)
+	}
+}
+
+func TestCloseDrainsThenErrClosed(t *testing.T) {
+	q := New[int](0)
+	q.Enq(bg, 1)
+	q.Enq(bg, 2)
+	q.Close()
+	if err := q.Enq(bg, 3); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Enq after close = %v", err)
+	}
+	if v, err := q.Deq(bg); err != nil || v != 1 {
+		t.Fatalf("Deq = %d, %v", v, err)
+	}
+	if v, err := q.Deq(bg); err != nil || v != 2 {
+		t.Fatalf("Deq = %d, %v", v, err)
+	}
+	if _, err := q.Deq(bg); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Deq on drained closed queue = %v", err)
+	}
+}
+
+func TestCloseWakesBlockedDeq(t *testing.T) {
+	q := New[int](0)
+	done := make(chan error)
+	go func() {
+		_, err := q.Deq(bg)
+		done <- err
+	}()
+	time.Sleep(time.Millisecond)
+	q.Close()
+	if err := <-done; !errors.Is(err, ErrClosed) {
+		t.Fatalf("Deq = %v", err)
+	}
+}
+
+func TestTerminateReleasesEveryWaiter(t *testing.T) {
+	// The paper's termination problem: without group termination "the
+	// printing process may hang forever waiting to dequeue the next
+	// promise." Terminate must release all waiters with the exception.
+	q := New[int](1)
+	q.Enq(bg, 1) // fill, so producers also block
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for i := 0; i < 2; i++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			_, err := q.Deq(bg)
+			errs <- err
+		}()
+		go func() {
+			defer wg.Done()
+			errs <- q.Enq(bg, 9)
+		}()
+	}
+	time.Sleep(2 * time.Millisecond)
+	q.Terminate(exception.Unavailable("composition terminated"))
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err == nil {
+			// One Deq may have consumed the pre-filled item before
+			// termination; and one Enq may have slipped into the freed slot.
+			continue
+		}
+		if !exception.IsUnavailable(err) {
+			t.Fatalf("waiter err = %v", err)
+		}
+	}
+	// After termination everything fails immediately.
+	if _, err := q.Deq(bg); !exception.IsUnavailable(err) {
+		t.Fatalf("Deq after terminate = %v", err)
+	}
+	if err := q.Enq(bg, 1); !exception.IsUnavailable(err) {
+		t.Fatalf("Enq after terminate = %v", err)
+	}
+}
+
+func TestTerminateNilException(t *testing.T) {
+	q := New[int](0)
+	q.Terminate(nil)
+	if _, err := q.Deq(bg); !exception.IsUnavailable(err) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDeqHonorsContext(t *testing.T) {
+	q := New[int](0)
+	ctx, cancel := context.WithTimeout(bg, 2*time.Millisecond)
+	defer cancel()
+	if _, err := q.Deq(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEnqHonorsContext(t *testing.T) {
+	q := New[int](1)
+	q.Enq(bg, 1)
+	ctx, cancel := context.WithTimeout(bg, 2*time.Millisecond)
+	defer cancel()
+	if err := q.Enq(ctx, 2); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTryDeq(t *testing.T) {
+	q := New[int](0)
+	if _, ok := q.TryDeq(); ok {
+		t.Fatal("TryDeq on empty queue")
+	}
+	q.Enq(bg, 5)
+	v, ok := q.TryDeq()
+	if !ok || v != 5 {
+		t.Fatalf("TryDeq = %d, %v", v, ok)
+	}
+}
+
+func TestLenAndFlags(t *testing.T) {
+	q := New[int](0)
+	q.Enq(bg, 1)
+	q.Enq(bg, 2)
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	if q.Closed() {
+		t.Fatal("Closed early")
+	}
+	q.Close()
+	if !q.Closed() {
+		t.Fatal("Closed not reported")
+	}
+	if q.Terminated() != nil {
+		t.Fatal("Terminated early")
+	}
+	q.Terminate(exception.Failure("x"))
+	if q.Terminated() == nil {
+		t.Fatal("Terminated not reported")
+	}
+	if q.Len() != 0 {
+		t.Fatal("Terminate should discard items")
+	}
+}
+
+func TestConcurrentProducersConsumers(t *testing.T) {
+	q := New[int](4)
+	const producers, perProducer = 8, 50
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				if err := q.Enq(bg, p*perProducer+i); err != nil {
+					t.Errorf("Enq: %v", err)
+					return
+				}
+			}
+		}(p)
+	}
+	go func() {
+		wg.Wait()
+		q.Close()
+	}()
+	seen := make(map[int]bool)
+	for {
+		v, err := q.Deq(bg)
+		if errors.Is(err, ErrClosed) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[v] {
+			t.Fatalf("value %d delivered twice", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != producers*perProducer {
+		t.Fatalf("delivered %d items", len(seen))
+	}
+}
+
+// Property: single-producer single-consumer preserves order for any
+// sequence and any capacity.
+func TestPropertyFIFOOrder(t *testing.T) {
+	f := func(vals []int8, capRaw uint8) bool {
+		capacity := int(capRaw % 8) // 0 = unbounded
+		q := New[int8](capacity)
+		go func() {
+			for _, v := range vals {
+				if err := q.Enq(bg, v); err != nil {
+					return
+				}
+			}
+			q.Close()
+		}()
+		for i := 0; ; i++ {
+			v, err := q.Deq(bg)
+			if errors.Is(err, ErrClosed) {
+				return i == len(vals)
+			}
+			if err != nil || i >= len(vals) || v != vals[i] {
+				return false
+			}
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,192 @@
+package promise
+
+import (
+	"context"
+
+	"promises/internal/exception"
+	"promises/internal/stream"
+	"promises/internal/wire"
+)
+
+// Unit is the result type of handlers that return nothing. A stream call
+// to such a handler is made as a send: "whenever a stream call is made to
+// a handler with no normal results, the Argus implementation makes the
+// call as a send."
+type Unit = struct{}
+
+// Decoder turns the wire-decoded result values of a normal reply into a
+// T. It is the typed counterpart of a promise type's results part.
+type Decoder[T any] func(vals []any) (T, error)
+
+// Call makes a stream call to the named port, returning a typed promise
+// for the reply. Per §3 of the paper:
+//
+//  1. The arguments are encoded; if encoding fails, or the stream is
+//     already broken, the call fails immediately (failure or unavailable)
+//     and NO promise is created.
+//  2. Otherwise a blocked promise is returned and the caller continues.
+//  3. The promise becomes ready — in strict call order — when the reply
+//     arrives and is decoded; a decode failure yields failure("could not
+//     decode").
+//  4. If the stream breaks first, the promise becomes ready with the
+//     break's exception (unavailable or failure).
+func Call[T any](s *stream.Stream, port string, dec Decoder[T], args ...any) (*Promise[T], error) {
+	payload, err := wire.Marshal(args...)
+	if err != nil {
+		return nil, exception.Failure("could not encode")
+	}
+	pending, err := s.Call(port, payload)
+	if err != nil {
+		return nil, err
+	}
+	return wrapPending(pending, dec), nil
+}
+
+// Send makes a send to the named port: the caller hears back only if the
+// call terminates abnormally, and the normal reply is omitted from the
+// wire. The returned promise resolves with Unit on success. As with Call,
+// an encoding failure or broken stream fails immediately with no promise.
+func Send(s *stream.Stream, port string, args ...any) (*Promise[Unit], error) {
+	payload, err := wire.Marshal(args...)
+	if err != nil {
+		return nil, exception.Failure("could not encode")
+	}
+	pending, err := s.Send(port, payload)
+	if err != nil {
+		return nil, err
+	}
+	return wrapPending(pending, None), nil
+}
+
+// RPC makes an ordinary remote procedure call on the stream: the request
+// is transmitted immediately and the caller waits for the reply, which is
+// decoded and returned directly — no promise is involved. An RPC is also a
+// synch boundary on the stream.
+func RPC[T any](ctx context.Context, s *stream.Stream, port string, dec Decoder[T], args ...any) (T, error) {
+	var zero T
+	payload, err := wire.Marshal(args...)
+	if err != nil {
+		return zero, exception.Failure("could not encode")
+	}
+	outcome, err := s.RPC(ctx, port, payload)
+	if err != nil {
+		return zero, err
+	}
+	return decodeOutcome(outcome, dec)
+}
+
+// wrapPending builds the typed promise over a transport pending.
+func wrapPending[T any](p *stream.Pending, dec Decoder[T]) *Promise[T] {
+	return fromSource(p, func() (T, *exception.Exception) {
+		v, err := decodeOutcome(p.Get(), dec)
+		if err != nil {
+			ex, ok := exception.As(err)
+			if !ok {
+				ex = exception.Failure(err.Error())
+			}
+			return v, ex
+		}
+		return v, nil
+	})
+}
+
+// decodeOutcome turns a transport outcome into a typed result: normal
+// outcomes decode through dec (a mismatch is failure("could not decode")),
+// exceptional outcomes become the exception.
+func decodeOutcome[T any](o stream.Outcome, dec Decoder[T]) (T, error) {
+	var zero T
+	if !o.Normal {
+		return zero, o.Err()
+	}
+	vals, err := o.Results()
+	if err != nil {
+		return zero, err
+	}
+	v, err := dec(vals)
+	if err != nil {
+		return zero, exception.Failure("could not decode")
+	}
+	return v, nil
+}
+
+// None decodes an empty result list into Unit.
+func None(vals []any) (Unit, error) {
+	return Unit{}, nil
+}
+
+// Int decodes a single integer result.
+func Int(vals []any) (int64, error) { return wire.IntArg(vals, 0) }
+
+// Float decodes a single floating-point result.
+func Float(vals []any) (float64, error) { return wire.FloatArg(vals, 0) }
+
+// String decodes a single string result.
+func String(vals []any) (string, error) { return wire.StringArg(vals, 0) }
+
+// Bool decodes a single boolean result.
+func Bool(vals []any) (bool, error) {
+	v, err := wire.Arg(vals, 0)
+	if err != nil {
+		return false, err
+	}
+	return wire.AsBool(v)
+}
+
+// Bytes decodes a single byte-string result.
+func Bytes(vals []any) ([]byte, error) {
+	v, err := wire.Arg(vals, 0)
+	if err != nil {
+		return nil, err
+	}
+	return wire.AsBytes(v)
+}
+
+// List decodes a single list result, applying elem to each element.
+func List[T any](elem func(any) (T, error)) Decoder[[]T] {
+	return func(vals []any) ([]T, error) {
+		raw, err := wire.Arg(vals, 0)
+		if err != nil {
+			return nil, err
+		}
+		list, err := wire.AsList(raw)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]T, len(list))
+		for i, e := range list {
+			if out[i], err = elem(e); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+}
+
+// Pair decodes a two-value result.
+func Pair[A, B any](first func(any) (A, error), second func(any) (B, error)) Decoder[struct {
+	First  A
+	Second B
+}] {
+	type pair = struct {
+		First  A
+		Second B
+	}
+	return func(vals []any) (pair, error) {
+		var p pair
+		a, err := wire.Arg(vals, 0)
+		if err != nil {
+			return p, err
+		}
+		if p.First, err = first(a); err != nil {
+			return p, err
+		}
+		b, err := wire.Arg(vals, 1)
+		if err != nil {
+			return p, err
+		}
+		if p.Second, err = second(b); err != nil {
+			return p, err
+		}
+		return p, nil
+	}
+}

@@ -1,0 +1,132 @@
+package promise
+
+import (
+	"context"
+
+	"promises/internal/exception"
+)
+
+// This file provides composition combinators over promises. They are an
+// extension beyond the 1988 paper (whose only operations are claim and
+// ready); they are the natural "future work" that later promise systems
+// standardized, and they are used by the example programs to keep
+// pipelines terse. Each is a thin layer over Claim and preserves the
+// paper's semantics: typed results, exception propagation, write-once.
+
+// Then returns a promise for f applied to p's eventual value. If p
+// resolves with an exception, the exception propagates and f never runs.
+// If f itself returns an error, the result promise resolves with that
+// error as an exception (failure, unless it already is one).
+func Then[T, U any](p *Promise[T], f func(T) (U, error)) *Promise[U] {
+	out := New[U]()
+	go func() {
+		v, err := p.Claim(context.Background())
+		if err != nil {
+			out.Signal(toException(err))
+			return
+		}
+		u, err := f(v)
+		if err != nil {
+			out.Signal(toException(err))
+			return
+		}
+		out.Fulfill(u)
+	}()
+	return out
+}
+
+// Catch returns a promise that resolves like p, except that if p resolves
+// with an exception named name, handler runs and its result substitutes.
+func Catch[T any](p *Promise[T], name string, handler func(*exception.Exception) (T, error)) *Promise[T] {
+	out := New[T]()
+	go func() {
+		v, err := p.Claim(context.Background())
+		if err == nil {
+			out.Fulfill(v)
+			return
+		}
+		ex := toException(err)
+		if ex.Name != name {
+			out.Signal(ex)
+			return
+		}
+		v, err = handler(ex)
+		if err != nil {
+			out.Signal(toException(err))
+			return
+		}
+		out.Fulfill(v)
+	}()
+	return out
+}
+
+// All waits for every promise and returns their values in order. If any
+// promise resolves with an exception, All returns the exception of the
+// earliest-indexed failed promise (after all have resolved, so callers can
+// still claim the others individually).
+func All[T any](ctx context.Context, ps []*Promise[T]) ([]T, error) {
+	vals := make([]T, len(ps))
+	var firstErr error
+	for i, p := range ps {
+		v, err := p.Claim(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, err
+			}
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		vals[i] = v
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return vals, nil
+}
+
+// Any returns the index and value of the first promise to resolve
+// normally. If every promise resolves exceptionally, it returns the last
+// exception observed. It does not cancel the losers; promises have no
+// cancellation (a claim can simply be abandoned).
+func Any[T any](ctx context.Context, ps []*Promise[T]) (int, T, error) {
+	var zero T
+	if len(ps) == 0 {
+		return -1, zero, exception.Failure("promise.Any of nothing")
+	}
+	type res struct {
+		i   int
+		v   T
+		err error
+	}
+	ch := make(chan res, len(ps))
+	for i, p := range ps {
+		go func(i int, p *Promise[T]) {
+			v, err := p.Claim(ctx)
+			ch <- res{i, v, err}
+		}(i, p)
+	}
+	var lastErr error
+	for range ps {
+		select {
+		case r := <-ch:
+			if r.err == nil {
+				return r.i, r.v, nil
+			}
+			lastErr = r.err
+		case <-ctx.Done():
+			return -1, zero, ctx.Err()
+		}
+	}
+	return -1, zero, lastErr
+}
+
+// toException coerces an error into an exception, preserving exception
+// identity when err already is one.
+func toException(err error) *exception.Exception {
+	if ex, ok := exception.As(err); ok {
+		return ex
+	}
+	return exception.Failure(err.Error())
+}

@@ -1,0 +1,221 @@
+package promise
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"promises/internal/exception"
+	"promises/internal/simnet"
+	"promises/internal/stream"
+	"promises/internal/wire"
+)
+
+func TestDecoderFloat(t *testing.T) {
+	v, err := Float([]any{2.5})
+	if err != nil || v != 2.5 {
+		t.Fatalf("Float = %v, %v", v, err)
+	}
+	// Ints widen.
+	if v, err := Float([]any{int64(3)}); err != nil || v != 3 {
+		t.Fatalf("Float(int) = %v, %v", v, err)
+	}
+	if _, err := Float([]any{"x"}); err == nil {
+		t.Fatal("want error")
+	}
+	if _, err := Float([]any{}); err == nil {
+		t.Fatal("want arity error")
+	}
+}
+
+func TestDecoderString(t *testing.T) {
+	v, err := String([]any{"hello"})
+	if err != nil || v != "hello" {
+		t.Fatalf("String = %q, %v", v, err)
+	}
+	if _, err := String([]any{int64(1)}); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestDecoderBool(t *testing.T) {
+	v, err := Bool([]any{true})
+	if err != nil || !v {
+		t.Fatalf("Bool = %v, %v", v, err)
+	}
+	if _, err := Bool([]any{"t"}); err == nil {
+		t.Fatal("want error")
+	}
+	if _, err := Bool([]any{}); err == nil {
+		t.Fatal("want arity error")
+	}
+}
+
+func TestDecoderBytes(t *testing.T) {
+	v, err := Bytes([]any{[]byte{1, 2}})
+	if err != nil || len(v) != 2 {
+		t.Fatalf("Bytes = %v, %v", v, err)
+	}
+	if _, err := Bytes([]any{int64(1)}); err == nil {
+		t.Fatal("want error")
+	}
+	if _, err := Bytes([]any{}); err == nil {
+		t.Fatal("want arity error")
+	}
+}
+
+func TestDecoderList(t *testing.T) {
+	dec := List(wire.AsString)
+	v, err := dec([]any{[]any{"a", "b"}})
+	if err != nil || len(v) != 2 || v[1] != "b" {
+		t.Fatalf("List = %v, %v", v, err)
+	}
+	if _, err := dec([]any{"not-a-list"}); err == nil {
+		t.Fatal("want error")
+	}
+	if _, err := dec([]any{[]any{"a", int64(1)}}); err == nil {
+		t.Fatal("want element error")
+	}
+	if _, err := dec([]any{}); err == nil {
+		t.Fatal("want arity error")
+	}
+}
+
+func TestDecoderPair(t *testing.T) {
+	dec := Pair(wire.AsString, wire.AsInt)
+	p, err := dec([]any{"k", int64(7)})
+	if err != nil || p.First != "k" || p.Second != 7 {
+		t.Fatalf("Pair = %+v, %v", p, err)
+	}
+	if _, err := dec([]any{"k"}); err == nil {
+		t.Fatal("want arity error")
+	}
+	if _, err := dec([]any{int64(1), int64(2)}); err == nil {
+		t.Fatal("want first type error")
+	}
+	if _, err := dec([]any{"k", "v"}); err == nil {
+		t.Fatal("want second type error")
+	}
+}
+
+func TestTryClaimOnStreamBackedPromise(t *testing.T) {
+	f := newFixture(t, simnet.Config{})
+	started := make(chan struct{})
+	gate := make(chan struct{})
+	f.handle("slow", func(call *stream.Incoming) stream.Outcome {
+		close(started)
+		<-gate
+		return stream.NormalOutcome(call.Args)
+	})
+	s := f.stream()
+	p, err := Call(s, "slow", Bytes, []byte("v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Flush()
+	<-started
+	if _, _, ok := p.TryClaim(); ok {
+		t.Fatal("TryClaim should report blocked while the call runs")
+	}
+	close(gate)
+	if _, err := p.MustClaim(); err != nil {
+		t.Fatal(err)
+	}
+	v, err, ok := p.TryClaim()
+	if !ok || err != nil || string(v) != "v" {
+		t.Fatalf("TryClaim after ready = %q, %v, %v", v, err, ok)
+	}
+	if ex := p.Exception(); ex != nil {
+		t.Fatalf("Exception = %v", ex)
+	}
+}
+
+func TestSendEncodeFailureNoPromise(t *testing.T) {
+	f := newFixture(t, simnet.Config{})
+	type opaque struct{ int }
+	p, err := Send(f.stream(), "note", opaque{})
+	if p != nil || !exception.IsFailure(err) {
+		t.Fatalf("Send = %v, %v", p, err)
+	}
+}
+
+func TestSendOnBrokenStream(t *testing.T) {
+	f := newFixture(t, simnet.Config{})
+	s := f.stream()
+	s.Break(exception.Unavailable("down"))
+	if _, err := Send(s, "note"); !exception.IsUnavailable(err) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRPCEncodeFailure(t *testing.T) {
+	f := newFixture(t, simnet.Config{})
+	type opaque struct{ int }
+	_, err := RPC(context.Background(), f.stream(), "echo", Int, opaque{})
+	if !exception.IsFailure(err) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRPCBrokenStream(t *testing.T) {
+	f := newFixture(t, simnet.Config{})
+	s := f.stream()
+	s.Break(exception.Unavailable("down"))
+	if _, err := RPC(context.Background(), s, "echo", Int, int64(1)); !exception.IsUnavailable(err) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRPCContextCancelled(t *testing.T) {
+	f := newFixture(t, simnet.Config{})
+	f.net.Partition("client", "server")
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Millisecond)
+	defer cancel()
+	_, err := RPC(ctx, f.stream(), "echo", Int, int64(1))
+	if err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestCatchHandlerError(t *testing.T) {
+	p := Failed[int](exception.New("foo"))
+	q := Catch(p, "foo", func(*exception.Exception) (int, error) {
+		return 0, exception.New("bar")
+	})
+	if _, err := q.MustClaim(); !exception.Is(err, "bar") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestThenFunctionError(t *testing.T) {
+	p := Resolved(1)
+	q := Then(p, func(int) (int, error) { return 0, errPlain{} })
+	_, err := q.MustClaim()
+	if !exception.IsFailure(err) {
+		t.Fatalf("plain error should coerce to failure; err = %v", err)
+	}
+}
+
+type errPlain struct{}
+
+func (errPlain) Error() string { return "plain" }
+
+func TestAllContextCancelled(t *testing.T) {
+	ps := []*Promise[int]{New[int]()}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Millisecond)
+	defer cancel()
+	if _, err := All(ctx, ps); err == nil {
+		t.Fatal("want context error")
+	}
+}
+
+func TestAnyEmptyAndContext(t *testing.T) {
+	if _, _, err := Any[int](context.Background(), nil); err == nil {
+		t.Fatal("Any of nothing should fail")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Millisecond)
+	defer cancel()
+	if _, _, err := Any(ctx, []*Promise[int]{New[int]()}); err == nil {
+		t.Fatal("want context error")
+	}
+}

@@ -1,0 +1,211 @@
+// Package promise implements the paper's primary contribution: the promise
+// data type (Liskov & Shrira, PLDI 1988, §3).
+//
+// A promise is a place holder for a value that will exist in the future. It
+// is created at the time a call is made; the call computes the value,
+// running in parallel with the caller. A promise is in one of two states:
+// blocked, then — once the call completes — ready, holding the outcome of
+// the call: either a normal result or an exception. Once ready, a promise
+// stays ready and its value never changes; it can be claimed any number of
+// times with the same outcome each time.
+//
+// Unlike MultiLisp futures, promises are strongly typed — Promise[T] is a
+// distinct compile-time type, so no runtime check is needed to distinguish
+// a promise from an ordinary value — and they propagate exceptions from the
+// called procedure to the claimer in the termination model: Claim either
+// returns the normal result or returns the exception the call signalled
+// (including the system exceptions unavailable and failure, which any
+// remote call can raise).
+//
+// Promises arise three ways:
+//
+//   - stream calls (Call, Send): the promise is backed by the stream
+//     transport's Pending and becomes ready in strict call order;
+//   - local forks (the fork package): a new process runs the procedure and
+//     resolves the promise when it terminates;
+//   - directly (New + Fulfill/Signal), the building block for both.
+package promise
+
+import (
+	"context"
+	"sync"
+
+	"promises/internal/exception"
+)
+
+// Promise is a strongly typed placeholder for a value of type T that will
+// exist in the future. The zero value is not useful; create promises with
+// New, Call, Send, or the fork package.
+type Promise[T any] struct {
+	// Exactly one of the two backings is active:
+	//
+	// Cell backing (New): mu/ready/done guard a write-once cell.
+	// Outcome backing (Call/Send): src supplies a raw outcome when done
+	// closes, and decode (guarded by once) turns it into val/exc.
+	src    source
+	decode func() (T, *exception.Exception)
+	once   sync.Once
+
+	mu    sync.Mutex
+	done  chan struct{}
+	ready bool
+	val   T
+	exc   *exception.Exception
+}
+
+// source is the transport-level backing of a stream-call promise. It is
+// satisfied by *stream.Pending (via an adapter in call.go) but kept
+// abstract so promises do not depend on one transport.
+type source interface {
+	Done() <-chan struct{}
+	Ready() bool
+}
+
+// New creates a promise in the blocked state. It becomes ready when
+// Fulfill or Signal is called.
+func New[T any]() *Promise[T] {
+	return &Promise[T]{done: make(chan struct{})}
+}
+
+// fromSource creates a promise backed by a transport outcome; decode runs
+// exactly once, after src is done.
+func fromSource[T any](src source, decode func() (T, *exception.Exception)) *Promise[T] {
+	return &Promise[T]{src: src, decode: decode}
+}
+
+// Fulfill resolves the promise with a normal result. It reports whether
+// this call performed the resolution: a promise is write-once, so on an
+// already-ready promise Fulfill does nothing and returns false.
+func (p *Promise[T]) Fulfill(v T) bool {
+	if p.src != nil {
+		return false // transport-backed promises resolve via the stream
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.ready {
+		return false
+	}
+	p.val = v
+	p.ready = true
+	close(p.done)
+	return true
+}
+
+// Signal resolves the promise with an exception. Like Fulfill it is
+// write-once and reports whether this call performed the resolution.
+func (p *Promise[T]) Signal(ex *exception.Exception) bool {
+	if ex == nil {
+		ex = exception.Failure("nil exception")
+	}
+	if p.src != nil {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.ready {
+		return false
+	}
+	p.exc = ex
+	p.ready = true
+	close(p.done)
+	return true
+}
+
+// Ready reports whether the promise is ready: true once the call has
+// completed (normally or exceptionally), false while it is blocked.
+func (p *Promise[T]) Ready() bool {
+	if p.src != nil {
+		return p.src.Ready()
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.ready
+}
+
+// Done returns a channel that is closed when the promise becomes ready,
+// for use in select statements.
+func (p *Promise[T]) Done() <-chan struct{} {
+	if p.src != nil {
+		return p.src.Done()
+	}
+	return p.done
+}
+
+// Claim waits until the promise is ready, then returns the call's normal
+// result, or the exception it terminated with as the error. A promise can
+// be claimed multiple times; the same outcome occurs each time. Claim
+// returns ctx.Err() if the context ends first — the promise itself is
+// unaffected and can be claimed again.
+func (p *Promise[T]) Claim(ctx context.Context) (T, error) {
+	select {
+	case <-p.Done():
+	case <-ctx.Done():
+		var zero T
+		return zero, ctx.Err()
+	}
+	v, exc := p.outcome()
+	if exc != nil {
+		return v, exc
+	}
+	return v, nil
+}
+
+// MustClaim is Claim with background context, for callers that cannot be
+// cancelled (examples, tests).
+func (p *Promise[T]) MustClaim() (T, error) {
+	return p.Claim(context.Background())
+}
+
+// TryClaim claims the promise without blocking. ok is false while the
+// promise is blocked; when ok is true, the value and error are exactly
+// what Claim would return.
+func (p *Promise[T]) TryClaim() (v T, err error, ok bool) {
+	if !p.Ready() {
+		var zero T
+		return zero, nil, false
+	}
+	v, exc := p.outcome()
+	if exc != nil {
+		return v, exc, true
+	}
+	return v, nil, true
+}
+
+// Exception returns the exception the promise resolved with, or nil if it
+// is blocked or resolved normally.
+func (p *Promise[T]) Exception() *exception.Exception {
+	if !p.Ready() {
+		return nil
+	}
+	_, exc := p.outcome()
+	return exc
+}
+
+// outcome returns the resolved value/exception pair; the promise must be
+// ready. For transport-backed promises the decode runs exactly once.
+func (p *Promise[T]) outcome() (T, *exception.Exception) {
+	if p.src != nil {
+		p.once.Do(func() {
+			p.val, p.exc = p.decode()
+		})
+		return p.val, p.exc
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.val, p.exc
+}
+
+// Resolved returns a promise already ready with the given value. Useful
+// for composing promise-typed data structures.
+func Resolved[T any](v T) *Promise[T] {
+	p := New[T]()
+	p.Fulfill(v)
+	return p
+}
+
+// Failed returns a promise already ready with the given exception.
+func Failed[T any](ex *exception.Exception) *Promise[T] {
+	p := New[T]()
+	p.Signal(ex)
+	return p
+}

@@ -1,0 +1,544 @@
+package promise
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"promises/internal/exception"
+	"promises/internal/simnet"
+	"promises/internal/stream"
+	"promises/internal/wire"
+)
+
+func TestNewPromiseIsBlocked(t *testing.T) {
+	p := New[int]()
+	if p.Ready() {
+		t.Fatal("fresh promise should be blocked")
+	}
+	if _, _, ok := p.TryClaim(); ok {
+		t.Fatal("TryClaim on blocked promise should report !ok")
+	}
+	if ex := p.Exception(); ex != nil {
+		t.Fatalf("Exception on blocked promise = %v", ex)
+	}
+}
+
+func TestFulfillThenClaim(t *testing.T) {
+	p := New[string]()
+	if !p.Fulfill("hi") {
+		t.Fatal("first Fulfill should win")
+	}
+	if !p.Ready() {
+		t.Fatal("promise should be ready after Fulfill")
+	}
+	v, err := p.MustClaim()
+	if err != nil || v != "hi" {
+		t.Fatalf("Claim = %q, %v", v, err)
+	}
+}
+
+func TestSignalThenClaim(t *testing.T) {
+	p := New[int]()
+	if !p.Signal(exception.New("foo", "detail")) {
+		t.Fatal("first Signal should win")
+	}
+	_, err := p.MustClaim()
+	if !exception.Is(err, "foo") {
+		t.Fatalf("Claim err = %v, want foo", err)
+	}
+	if ex := p.Exception(); ex == nil || ex.Name != "foo" {
+		t.Fatalf("Exception() = %v", ex)
+	}
+}
+
+func TestWriteOnce(t *testing.T) {
+	p := New[int]()
+	p.Fulfill(1)
+	if p.Fulfill(2) {
+		t.Error("second Fulfill should lose")
+	}
+	if p.Signal(exception.Failure("late")) {
+		t.Error("Signal after Fulfill should lose")
+	}
+	v, err := p.MustClaim()
+	if err != nil || v != 1 {
+		t.Fatalf("Claim = %d, %v; want first value", v, err)
+	}
+}
+
+func TestSignalNilBecomesFailure(t *testing.T) {
+	p := New[int]()
+	p.Signal(nil)
+	_, err := p.MustClaim()
+	if !exception.IsFailure(err) {
+		t.Fatalf("Claim err = %v, want failure", err)
+	}
+}
+
+func TestClaimManyTimesSameOutcome(t *testing.T) {
+	p := New[int]()
+	go func() {
+		time.Sleep(time.Millisecond)
+		p.Fulfill(42)
+	}()
+	for i := 0; i < 10; i++ {
+		v, err := p.MustClaim()
+		if err != nil || v != 42 {
+			t.Fatalf("claim %d = %d, %v", i, v, err)
+		}
+	}
+}
+
+func TestClaimBlocksUntilReady(t *testing.T) {
+	p := New[int]()
+	started := make(chan struct{})
+	got := make(chan int)
+	go func() {
+		close(started)
+		v, _ := p.MustClaim()
+		got <- v
+	}()
+	<-started
+	select {
+	case <-got:
+		t.Fatal("Claim returned before Fulfill")
+	case <-time.After(5 * time.Millisecond):
+	}
+	p.Fulfill(7)
+	if v := <-got; v != 7 {
+		t.Fatalf("claimed %d", v)
+	}
+}
+
+func TestClaimHonorsContext(t *testing.T) {
+	p := New[int]()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	_, err := p.Claim(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Claim err = %v", err)
+	}
+	// The promise is unaffected and can be claimed again.
+	p.Fulfill(1)
+	if v, err := p.MustClaim(); err != nil || v != 1 {
+		t.Fatalf("after ctx claim: %d, %v", v, err)
+	}
+}
+
+func TestConcurrentResolutionExactlyOneWins(t *testing.T) {
+	const rounds = 200
+	for r := 0; r < rounds; r++ {
+		p := New[int]()
+		var wins int32
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				var won bool
+				if i%2 == 0 {
+					won = p.Fulfill(i)
+				} else {
+					won = p.Signal(exception.Failuref("loser %d", i))
+				}
+				if won {
+					mu.Lock()
+					wins++
+					mu.Unlock()
+				}
+			}(i)
+		}
+		wg.Wait()
+		if wins != 1 {
+			t.Fatalf("round %d: %d winners", r, wins)
+		}
+	}
+}
+
+func TestResolvedAndFailed(t *testing.T) {
+	p := Resolved(3.5)
+	if v, err := p.MustClaim(); err != nil || v != 3.5 {
+		t.Fatalf("Resolved claim = %v, %v", v, err)
+	}
+	q := Failed[int](exception.Unavailable("nope"))
+	if _, err := q.MustClaim(); !exception.IsUnavailable(err) {
+		t.Fatalf("Failed claim err = %v", err)
+	}
+}
+
+func TestDoneChannelSelect(t *testing.T) {
+	p := New[int]()
+	select {
+	case <-p.Done():
+		t.Fatal("Done closed early")
+	default:
+	}
+	p.Fulfill(0)
+	select {
+	case <-p.Done():
+	default:
+		t.Fatal("Done not closed after Fulfill")
+	}
+}
+
+// Property: a promise resolved with any int value claims back that value,
+// every time, from any number of claimers.
+func TestPropertyClaimIsStable(t *testing.T) {
+	f := func(v int64, claims uint8) bool {
+		p := New[int64]()
+		p.Fulfill(v)
+		n := int(claims%8) + 1
+		for i := 0; i < n; i++ {
+			got, err := p.MustClaim()
+			if err != nil || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: write-once under arbitrary interleavings of one Fulfill and
+// one Signal — the claimed outcome matches whichever won.
+func TestPropertyWriteOnceRace(t *testing.T) {
+	f := func(v int64) bool {
+		p := New[int64]()
+		done := make(chan bool, 2)
+		go func() { done <- p.Fulfill(v) }()
+		go func() { done <- p.Signal(exception.Failure("x")) }()
+		w1, w2 := <-done, <-done
+		if w1 == w2 {
+			return false // exactly one must win
+		}
+		got, err := p.MustClaim()
+		if err == nil {
+			return got == v
+		}
+		return exception.IsFailure(err)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- stream integration ---
+
+// fixture wires a client and server peer over a zero-cost network.
+type fixture struct {
+	net    *simnet.Network
+	client *stream.Peer
+	server *stream.Peer
+	mu     sync.Mutex
+	ports  map[string]stream.Handler
+}
+
+func newFixture(t *testing.T, cfg simnet.Config) *fixture {
+	t.Helper()
+	n := simnet.New(cfg)
+	f := &fixture{net: n, ports: make(map[string]stream.Handler)}
+	opts := stream.Options{MaxBatch: 8, MaxBatchDelay: time.Millisecond, RTO: 10 * time.Millisecond, MaxRetries: 4}
+	f.client = stream.NewPeer(n.MustAddNode("client"), opts)
+	f.server = stream.NewPeer(n.MustAddNode("server"), opts)
+	f.server.SetDispatcher(func(port string) (stream.Handler, bool) {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		h, ok := f.ports[port]
+		return h, ok
+	})
+	t.Cleanup(func() {
+		f.client.Close()
+		f.server.Close()
+		n.Close()
+	})
+	return f
+}
+
+func (f *fixture) handle(port string, h stream.Handler) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ports[port] = h
+}
+
+func (f *fixture) stream() *stream.Stream {
+	return f.client.Agent("main").Stream("server", "grp")
+}
+
+// doubleHandler returns 2*x for an int argument x.
+func doubleHandler(call *stream.Incoming) stream.Outcome {
+	vals, err := wire.Unmarshal(call.Args)
+	if err != nil {
+		return stream.ExceptionOutcome(exception.Failure("could not decode"))
+	}
+	x, err := wire.IntArg(vals, 0)
+	if err != nil {
+		return stream.ExceptionOutcome(exception.Failure("could not decode"))
+	}
+	payload, _ := wire.Marshal(2 * x)
+	return stream.NormalOutcome(payload)
+}
+
+func TestCallReturnsTypedPromise(t *testing.T) {
+	f := newFixture(t, simnet.Config{})
+	f.handle("double", doubleHandler)
+	p, err := Call(f.stream(), "double", Int, int64(21))
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	v, err := p.MustClaim()
+	if err != nil || v != 42 {
+		t.Fatalf("Claim = %d, %v", v, err)
+	}
+	// Claim again: same outcome.
+	v, err = p.MustClaim()
+	if err != nil || v != 42 {
+		t.Fatalf("second Claim = %d, %v", v, err)
+	}
+}
+
+func TestCallExceptionPropagates(t *testing.T) {
+	f := newFixture(t, simnet.Config{})
+	f.handle("grumpy", func(*stream.Incoming) stream.Outcome {
+		return stream.ExceptionOutcome(exception.New("no_such_user", "bob"))
+	})
+	p, err := Call(f.stream(), "grumpy", Int)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = p.MustClaim()
+	if !exception.Is(err, "no_such_user") {
+		t.Fatalf("Claim err = %v", err)
+	}
+	ex, _ := exception.As(err)
+	if ex.StringArg(0) != "bob" {
+		t.Fatalf("exception arg = %q", ex.StringArg(0))
+	}
+}
+
+func TestCallEncodeFailureNoPromise(t *testing.T) {
+	f := newFixture(t, simnet.Config{})
+	// A value of unregistered type cannot be encoded: step 1 fails, no
+	// promise is created, and the failure exception is raised directly.
+	type opaque struct{ x int }
+	p, err := Call(f.stream(), "double", Int, opaque{1})
+	if p != nil {
+		t.Fatal("promise must not be created when encoding fails")
+	}
+	if !exception.IsFailure(err) {
+		t.Fatalf("err = %v, want failure", err)
+	}
+}
+
+func TestCallResultTypeMismatchIsDecodeFailure(t *testing.T) {
+	f := newFixture(t, simnet.Config{})
+	f.handle("str", func(*stream.Incoming) stream.Outcome {
+		payload, _ := wire.Marshal("not an int")
+		return stream.NormalOutcome(payload)
+	})
+	p, err := Call(f.stream(), "str", Int)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = p.MustClaim()
+	if !exception.IsFailure(err) || exception.Reason(err) != "could not decode" {
+		t.Fatalf("Claim err = %v, want failure(could not decode)", err)
+	}
+}
+
+func TestCallBrokenStreamFailsImmediately(t *testing.T) {
+	f := newFixture(t, simnet.Config{})
+	s := f.stream()
+	s.Break(exception.Unavailable("operator break"))
+	p, err := Call(s, "double", Int, int64(1))
+	if p != nil {
+		t.Fatal("no promise on a broken stream")
+	}
+	if !exception.IsUnavailable(err) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestOrderedReadinessOfPromises(t *testing.T) {
+	f := newFixture(t, simnet.Config{Jitter: 300 * time.Microsecond, Seed: 7})
+	f.handle("double", doubleHandler)
+	s := f.stream()
+	const n = 64
+	ps := make([]*Promise[int64], n)
+	for i := range ps {
+		p, err := Call(s, "double", Int, int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps[i] = p
+	}
+	s.Flush()
+	// Claim the last; §3: "if the i+1st result is ready, then so is the ith."
+	if _, err := ps[n-1].MustClaim(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n-1; i++ {
+		if !ps[i].Ready() {
+			t.Fatalf("promise %d not ready although %d is", i, n-1)
+		}
+		v, err := ps[i].MustClaim()
+		if err != nil || v != int64(2*i) {
+			t.Fatalf("promise %d = %d, %v", i, v, err)
+		}
+	}
+}
+
+func TestSendResolvesWithUnit(t *testing.T) {
+	var count int32
+	var mu sync.Mutex
+	f := newFixture(t, simnet.Config{})
+	f.handle("note", func(*stream.Incoming) stream.Outcome {
+		mu.Lock()
+		count++
+		mu.Unlock()
+		return stream.NormalOutcome(nil)
+	})
+	s := f.stream()
+	p, err := Send(s, "note", "hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Flush()
+	if _, err := p.MustClaim(); err != nil {
+		t.Fatalf("send claim: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if count != 1 {
+		t.Fatalf("handler ran %d times", count)
+	}
+}
+
+func TestSendAbnormalTerminationReportsBack(t *testing.T) {
+	f := newFixture(t, simnet.Config{})
+	f.handle("note", func(*stream.Incoming) stream.Outcome {
+		return stream.ExceptionOutcome(exception.New("cannot_print"))
+	})
+	s := f.stream()
+	p, err := Send(s, "note")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Flush()
+	_, err = p.MustClaim()
+	if !exception.Is(err, "cannot_print") {
+		t.Fatalf("Claim err = %v", err)
+	}
+}
+
+func TestRPCDirectResult(t *testing.T) {
+	f := newFixture(t, simnet.Config{})
+	f.handle("double", doubleHandler)
+	v, err := RPC(context.Background(), f.stream(), "double", Int, int64(5))
+	if err != nil || v != 10 {
+		t.Fatalf("RPC = %d, %v", v, err)
+	}
+}
+
+func TestStreamBreakResolvesPromisesWithUnavailable(t *testing.T) {
+	f := newFixture(t, simnet.Config{})
+	f.net.Partition("client", "server")
+	s := f.stream()
+	p, err := Call(s, "double", Int, int64(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Flush()
+	_, err = p.MustClaim()
+	if !exception.IsUnavailable(err) {
+		t.Fatalf("Claim err = %v, want unavailable", err)
+	}
+}
+
+// --- combinator tests ---
+
+func TestThenChains(t *testing.T) {
+	p := New[int]()
+	q := Then(p, func(v int) (string, error) { return fmt.Sprint(v * 2), nil })
+	p.Fulfill(4)
+	v, err := q.MustClaim()
+	if err != nil || v != "8" {
+		t.Fatalf("Then claim = %q, %v", v, err)
+	}
+}
+
+func TestThenPropagatesException(t *testing.T) {
+	p := New[int]()
+	ran := false
+	q := Then(p, func(v int) (int, error) { ran = true; return v, nil })
+	p.Signal(exception.New("foo"))
+	_, err := q.MustClaim()
+	if !exception.Is(err, "foo") {
+		t.Fatalf("err = %v", err)
+	}
+	if ran {
+		t.Fatal("f ran despite exception")
+	}
+}
+
+func TestCatchHandlesNamedException(t *testing.T) {
+	p := Failed[int](exception.New("foo"))
+	q := Catch(p, "foo", func(*exception.Exception) (int, error) { return 99, nil })
+	v, err := q.MustClaim()
+	if err != nil || v != 99 {
+		t.Fatalf("Catch claim = %d, %v", v, err)
+	}
+	// A different exception passes through.
+	r := Catch(Failed[int](exception.New("bar")), "foo",
+		func(*exception.Exception) (int, error) { return 0, nil })
+	if _, err := r.MustClaim(); !exception.Is(err, "bar") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAllCollects(t *testing.T) {
+	ps := []*Promise[int]{Resolved(1), Resolved(2), Resolved(3)}
+	vals, err := All(context.Background(), ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 3 || vals[0] != 1 || vals[2] != 3 {
+		t.Fatalf("vals = %v", vals)
+	}
+}
+
+func TestAllReportsEarliestException(t *testing.T) {
+	ps := []*Promise[int]{Resolved(1), Failed[int](exception.New("e1")), Failed[int](exception.New("e2"))}
+	_, err := All(context.Background(), ps)
+	if !exception.Is(err, "e1") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAnyPrefersNormal(t *testing.T) {
+	slow := New[int]()
+	ps := []*Promise[int]{Failed[int](exception.New("x")), slow}
+	go func() {
+		time.Sleep(time.Millisecond)
+		slow.Fulfill(5)
+	}()
+	i, v, err := Any(context.Background(), ps)
+	if err != nil || i != 1 || v != 5 {
+		t.Fatalf("Any = %d, %d, %v", i, v, err)
+	}
+}
+
+func TestAnyAllFailed(t *testing.T) {
+	ps := []*Promise[int]{Failed[int](exception.New("a")), Failed[int](exception.New("b"))}
+	_, _, err := Any(context.Background(), ps)
+	if err == nil {
+		t.Fatal("want error")
+	}
+}

@@ -1,0 +1,41 @@
+package promise
+
+import (
+	"context"
+
+	"promises/internal/exception"
+	"promises/internal/handlertype"
+	"promises/internal/stream"
+)
+
+// CallTyped is Call with the handler's declared signature enforced at the
+// call site: ill-typed arguments fail immediately with a failure
+// exception and no promise is created — the run-time stand-in for the
+// static check Argus performs when compiling a stream call against a
+// port's type.
+func CallTyped[T any](s *stream.Stream, port string, sig handlertype.Signature,
+	dec Decoder[T], args ...any) (*Promise[T], error) {
+	if err := sig.CheckArgs(args); err != nil {
+		return nil, exception.Failure(err.Error())
+	}
+	return Call(s, port, dec, args...)
+}
+
+// SendTyped is Send with the signature's argument check. The signature
+// should have no results — that is what makes the call a send.
+func SendTyped(s *stream.Stream, port string, sig handlertype.Signature, args ...any) (*Promise[Unit], error) {
+	if err := sig.CheckArgs(args); err != nil {
+		return nil, exception.Failure(err.Error())
+	}
+	return Send(s, port, args...)
+}
+
+// RPCTyped is RPC with the signature's argument check.
+func RPCTyped[T any](ctx context.Context, s *stream.Stream, port string,
+	sig handlertype.Signature, dec Decoder[T], args ...any) (T, error) {
+	if err := sig.CheckArgs(args); err != nil {
+		var zero T
+		return zero, exception.Failure(err.Error())
+	}
+	return RPC(ctx, s, port, dec, args...)
+}

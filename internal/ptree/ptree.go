@@ -1,0 +1,170 @@
+// Package ptree implements the binary tree whose nodes are promises,
+// sketched in §3.2 of the paper (Liskov & Shrira, PLDI 1988): "promises
+// can be used for parallel insertion and searching of elements in a
+// binary tree in which the nodes of the tree are promises. If a search
+// reaches a node that cannot be claimed yet, it waits until the promise
+// is ready."
+//
+// Every link in the tree — including the root — is a Promise[*Node]. An
+// empty subtree is a promise resolved to nil; an unbuilt subtree is a
+// blocked promise some producer will fulfill. Searches claim their way
+// down the tree, so a lookup racing with construction simply waits at the
+// frontier instead of failing, and consumers can search a tree that a
+// forked producer is still building.
+package ptree
+
+import (
+	"context"
+	"sort"
+
+	"promises/internal/fork"
+	"promises/internal/promise"
+)
+
+// Node is one interior node: a key and promised children.
+type Node struct {
+	Key         int64
+	Left, Right *promise.Promise[*Node]
+}
+
+// Tree is a binary search tree with promised links. It is a functional
+// structure: Insert returns a new tree sharing unchanged subtrees.
+type Tree struct {
+	root *promise.Promise[*Node]
+}
+
+// Empty returns the empty tree (a root promise resolved to nil).
+func Empty() Tree {
+	return Tree{root: promise.Resolved[*Node](nil)}
+}
+
+// FromRoot wraps an existing root promise, so producers can hand out a
+// tree before it is built.
+func FromRoot(root *promise.Promise[*Node]) Tree {
+	return Tree{root: root}
+}
+
+// Root returns the root promise.
+func (t Tree) Root() *promise.Promise[*Node] { return t.root }
+
+// leaf returns a resolved promise for an empty subtree.
+func leaf() *promise.Promise[*Node] { return promise.Resolved[*Node](nil) }
+
+// Insert returns the tree with key added (a no-op if present). It claims
+// its way down, waiting at any node that is still being produced.
+func (t Tree) Insert(ctx context.Context, key int64) (Tree, error) {
+	root, err := insert(ctx, t.root, key)
+	if err != nil {
+		return t, err
+	}
+	return Tree{root: root}, nil
+}
+
+func insert(ctx context.Context, p *promise.Promise[*Node], key int64) (*promise.Promise[*Node], error) {
+	n, err := p.Claim(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if n == nil {
+		return promise.Resolved(&Node{Key: key, Left: leaf(), Right: leaf()}), nil
+	}
+	switch {
+	case key == n.Key:
+		return p, nil
+	case key < n.Key:
+		left, err := insert(ctx, n.Left, key)
+		if err != nil {
+			return nil, err
+		}
+		return promise.Resolved(&Node{Key: n.Key, Left: left, Right: n.Right}), nil
+	default:
+		right, err := insert(ctx, n.Right, key)
+		if err != nil {
+			return nil, err
+		}
+		return promise.Resolved(&Node{Key: n.Key, Left: n.Left, Right: right}), nil
+	}
+}
+
+// Contains searches for key, waiting wherever the tree is still under
+// construction.
+func (t Tree) Contains(ctx context.Context, key int64) (bool, error) {
+	p := t.root
+	for {
+		n, err := p.Claim(ctx)
+		if err != nil {
+			return false, err
+		}
+		if n == nil {
+			return false, nil
+		}
+		switch {
+		case key == n.Key:
+			return true, nil
+		case key < n.Key:
+			p = n.Left
+		default:
+			p = n.Right
+		}
+	}
+}
+
+// InOrder claims the whole tree and returns its keys in sorted order.
+func (t Tree) InOrder(ctx context.Context) ([]int64, error) {
+	var out []int64
+	var walk func(p *promise.Promise[*Node]) error
+	walk = func(p *promise.Promise[*Node]) error {
+		n, err := p.Claim(ctx)
+		if err != nil {
+			return err
+		}
+		if n == nil {
+			return nil
+		}
+		if err := walk(n.Left); err != nil {
+			return err
+		}
+		out = append(out, n.Key)
+		return walk(n.Right)
+	}
+	if err := walk(t.root); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// BuildParallel constructs a balanced tree over keys with one forked
+// process per subtree: the root promise is claimable (and searchable)
+// while the deeper levels are still being produced. It returns
+// immediately; claims block at the construction frontier.
+func BuildParallel(keys []int64) Tree {
+	sorted := make([]int64, len(keys))
+	copy(sorted, keys)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	sorted = dedupe(sorted)
+	return Tree{root: buildRange(sorted)}
+}
+
+func buildRange(sorted []int64) *promise.Promise[*Node] {
+	if len(sorted) == 0 {
+		return leaf()
+	}
+	return fork.Go(func() (*Node, error) {
+		mid := len(sorted) / 2
+		return &Node{
+			Key:   sorted[mid],
+			Left:  buildRange(sorted[:mid]),
+			Right: buildRange(sorted[mid:][1:]),
+		}, nil
+	})
+}
+
+func dedupe(sorted []int64) []int64 {
+	out := sorted[:0]
+	for i, k := range sorted {
+		if i == 0 || k != sorted[i-1] {
+			out = append(out, k)
+		}
+	}
+	return out
+}

@@ -1,0 +1,225 @@
+package ptree
+
+import (
+	"context"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"promises/internal/promise"
+)
+
+var bg = context.Background()
+
+func TestEmptyTree(t *testing.T) {
+	tr := Empty()
+	ok, err := tr.Contains(bg, 5)
+	if err != nil || ok {
+		t.Fatalf("Contains on empty = %v, %v", ok, err)
+	}
+	keys, err := tr.InOrder(bg)
+	if err != nil || len(keys) != 0 {
+		t.Fatalf("InOrder on empty = %v, %v", keys, err)
+	}
+}
+
+func TestInsertAndSearch(t *testing.T) {
+	tr := Empty()
+	var err error
+	for _, k := range []int64{5, 3, 8, 1, 4, 9} {
+		tr, err = tr.Insert(bg, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, k := range []int64{5, 3, 8, 1, 4, 9} {
+		ok, err := tr.Contains(bg, k)
+		if err != nil || !ok {
+			t.Fatalf("Contains(%d) = %v, %v", k, ok, err)
+		}
+	}
+	for _, k := range []int64{0, 2, 7, 100} {
+		ok, err := tr.Contains(bg, k)
+		if err != nil || ok {
+			t.Fatalf("Contains(%d) = %v, %v (absent)", k, ok, err)
+		}
+	}
+}
+
+func TestInOrderSorted(t *testing.T) {
+	tr := Empty()
+	var err error
+	keys := []int64{7, 2, 9, 4, 1, 8}
+	for _, k := range keys {
+		tr, err = tr.Insert(bg, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := tr.InOrder(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	if len(got) != len(keys) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range keys {
+		if got[i] != keys[i] {
+			t.Fatalf("got %v, want %v", got, keys)
+		}
+	}
+}
+
+func TestInsertDuplicateIsNoop(t *testing.T) {
+	tr := Empty()
+	tr, _ = tr.Insert(bg, 5)
+	tr, _ = tr.Insert(bg, 5)
+	keys, _ := tr.InOrder(bg)
+	if len(keys) != 1 {
+		t.Fatalf("keys = %v", keys)
+	}
+}
+
+func TestFunctionalSharing(t *testing.T) {
+	t1 := Empty()
+	t1, _ = t1.Insert(bg, 5)
+	t2, _ := t1.Insert(bg, 3)
+	// t1 is unchanged by the insert that produced t2.
+	if ok, _ := t1.Contains(bg, 3); ok {
+		t.Fatal("t1 mutated by insert into t2")
+	}
+	if ok, _ := t2.Contains(bg, 3); !ok {
+		t.Fatal("t2 missing inserted key")
+	}
+}
+
+func TestSearchWaitsAtConstructionFrontier(t *testing.T) {
+	// §3.2: "If a search reaches a node that cannot be claimed yet, it
+	// waits until the promise is ready."
+	rootP := promise.New[*Node]()
+	tr := FromRoot(rootP)
+
+	done := make(chan struct {
+		ok  bool
+		err error
+	}, 1)
+	go func() {
+		ok, err := tr.Contains(bg, 3)
+		done <- struct {
+			ok  bool
+			err error
+		}{ok, err}
+	}()
+	select {
+	case <-done:
+		t.Fatal("search finished before the tree existed")
+	case <-time.After(2 * time.Millisecond):
+	}
+
+	// Produce the root; the left child is itself produced later.
+	leftP := promise.New[*Node]()
+	rootP.Fulfill(&Node{Key: 5, Left: leftP, Right: leaf()})
+	select {
+	case <-done:
+		t.Fatal("search finished before the left subtree existed")
+	case <-time.After(2 * time.Millisecond):
+	}
+
+	leftP.Fulfill(&Node{Key: 3, Left: leaf(), Right: leaf()})
+	r := <-done
+	if r.err != nil || !r.ok {
+		t.Fatalf("search = %v, %v", r.ok, r.err)
+	}
+}
+
+func TestBuildParallel(t *testing.T) {
+	keys := make([]int64, 200)
+	for i := range keys {
+		keys[i] = int64((i * 37) % 1000)
+	}
+	tr := BuildParallel(keys)
+	// Searches proceed while construction races on.
+	for _, k := range keys {
+		ok, err := tr.Contains(bg, k)
+		if err != nil || !ok {
+			t.Fatalf("Contains(%d) = %v, %v", k, ok, err)
+		}
+	}
+	got, err := tr.InOrder(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatalf("not strictly sorted at %d: %v", i, got[i-1:i+1])
+		}
+	}
+}
+
+func TestSearchHonorsContext(t *testing.T) {
+	tr := FromRoot(promise.New[*Node]()) // never produced
+	ctx, cancel := context.WithTimeout(bg, 2*time.Millisecond)
+	defer cancel()
+	_, err := tr.Contains(ctx, 1)
+	if err == nil {
+		t.Fatal("search should fail when the context ends")
+	}
+}
+
+// Property: a parallel-built tree contains exactly the deduplicated key
+// set, in sorted order.
+func TestPropertyBuildParallelComplete(t *testing.T) {
+	f := func(raw []int16) bool {
+		keys := make([]int64, len(raw))
+		for i, k := range raw {
+			keys[i] = int64(k)
+		}
+		tr := BuildParallel(keys)
+		got, err := tr.InOrder(bg)
+		if err != nil {
+			return false
+		}
+		want := map[int64]bool{}
+		for _, k := range keys {
+			want[k] = true
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i, k := range got {
+			if !want[k] || (i > 0 && got[i-1] >= k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: sequential insertion then search finds every inserted key.
+func TestPropertyInsertContains(t *testing.T) {
+	f := func(raw []int16) bool {
+		tr := Empty()
+		var err error
+		for _, k := range raw {
+			tr, err = tr.Insert(bg, int64(k))
+			if err != nil {
+				return false
+			}
+		}
+		for _, k := range raw {
+			ok, err := tr.Contains(bg, int64(k))
+			if err != nil || !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,432 @@
+// Package rpcbase implements the two communication baselines the paper
+// positions promises against (Liskov & Shrira, PLDI 1988, §1, §5):
+//
+//   - Plain remote procedure calls: Client.Call transmits the request
+//     immediately and blocks the caller until the reply arrives. Programs
+//     are easy to reason about, but "remote calls require the caller to
+//     wait for a reply before continuing," so throughput is limited to
+//     one call per round trip and nothing is batched.
+//
+//   - Explicit send/receive (Plits, *MOD): Client.SendAsync fires a
+//     request and returns; Client.RecvReply delivers the next reply —
+//     whichever call it answers. High throughput is possible because many
+//     calls are in progress at once, but "it is entirely the
+//     responsibility of the user code to relate reply messages with the
+//     calls that caused them." The Matcher helper does that bookkeeping
+//     and counts it, so benchmarks can report the burden promises remove.
+//
+// Both baselines speak the same miniature request/reply protocol over the
+// simnet substrate and are served by Server, which executes calls
+// concurrently with no ordering guarantees (the point of streams).
+package rpcbase
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"promises/internal/exception"
+	"promises/internal/simnet"
+	"promises/internal/stream"
+	"promises/internal/wire"
+)
+
+// Config tunes the client's retry behavior.
+type Config struct {
+	// RTO is how long to wait for a reply before retransmitting. Default
+	// 25ms.
+	RTO time.Duration
+	// MaxRetries is how many retransmissions are attempted before the call
+	// terminates with unavailable. Default 8.
+	MaxRetries int
+}
+
+func (c Config) withDefaults() Config {
+	if c.RTO <= 0 {
+		c.RTO = 25 * time.Millisecond
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 8
+	}
+	return c
+}
+
+// Handler executes one call's encoded arguments into an outcome.
+type Handler func(args []byte) stream.Outcome
+
+const (
+	kindRequest = int64(11)
+	kindReply   = int64(12)
+)
+
+// Server serves RPC requests at a node, running each call in its own
+// goroutine — no ordering, no batching. Replies to duplicate requests are
+// served from a per-client cache so retransmissions do not re-execute
+// calls.
+type Server struct {
+	node *simnet.Node
+
+	mu       sync.Mutex
+	handlers map[string]Handler
+	seen     map[string]map[uint64][]byte // client -> reqID -> encoded reply
+	ctx      context.Context
+	cancel   context.CancelFunc
+	wg       sync.WaitGroup
+}
+
+// NewServer starts a server on the node.
+func NewServer(node *simnet.Node) *Server {
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		node:     node,
+		handlers: make(map[string]Handler),
+		seen:     make(map[string]map[uint64][]byte),
+		ctx:      ctx,
+		cancel:   cancel,
+	}
+	s.wg.Add(1)
+	go s.loop()
+	return s
+}
+
+// Handle registers the handler for a port.
+func (s *Server) Handle(port string, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[port] = h
+}
+
+// Close stops the server.
+func (s *Server) Close() {
+	s.cancel()
+	s.wg.Wait()
+}
+
+func (s *Server) loop() {
+	defer s.wg.Done()
+	for {
+		msg, err := s.node.Recv(s.ctx)
+		if err != nil {
+			if errors.Is(err, simnet.ErrCrashed) {
+				// Volatile dedup state is lost in a crash.
+				s.mu.Lock()
+				s.seen = make(map[string]map[uint64][]byte)
+				s.mu.Unlock()
+				select {
+				case <-s.ctx.Done():
+					return
+				case <-time.After(time.Millisecond):
+					continue
+				}
+			}
+			return
+		}
+		s.wg.Add(1)
+		go func(msg simnet.Message) {
+			defer s.wg.Done()
+			s.serve(msg)
+		}(msg)
+	}
+}
+
+func (s *Server) serve(msg simnet.Message) {
+	vals, err := wire.Unmarshal(msg.Payload)
+	if err != nil {
+		return
+	}
+	kind, err := wire.IntArg(vals, 0)
+	if err != nil || kind != kindRequest {
+		return
+	}
+	id, err := wire.IntArg(vals, 1)
+	if err != nil {
+		return
+	}
+	port, err := wire.StringArg(vals, 2)
+	if err != nil {
+		return
+	}
+	argsRaw, err := wire.Arg(vals, 3)
+	if err != nil {
+		return
+	}
+	args, err := wire.AsBytes(argsRaw)
+	if err != nil {
+		return
+	}
+
+	// Duplicate suppression: replay the cached reply.
+	s.mu.Lock()
+	if cached, ok := s.seen[msg.From][uint64(id)]; ok {
+		s.mu.Unlock()
+		_ = s.node.Send(msg.From, cached)
+		return
+	}
+	h, ok := s.handlers[port]
+	s.mu.Unlock()
+
+	var outcome stream.Outcome
+	if ok {
+		outcome = h(args)
+	} else {
+		outcome = stream.ExceptionOutcome(exception.Failure("handler does not exist"))
+	}
+	replyMsg, err := wire.Marshal(kindReply, id, outcome.Normal, outcome.Exception, outcome.Payload)
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	byClient := s.seen[msg.From]
+	if byClient == nil {
+		byClient = make(map[uint64][]byte)
+		s.seen[msg.From] = byClient
+	}
+	byClient[uint64(id)] = replyMsg
+	s.mu.Unlock()
+	_ = s.node.Send(msg.From, replyMsg)
+}
+
+// Client makes calls from a node, in either the RPC or the send/receive
+// style.
+type Client struct {
+	node *simnet.Node
+	cfg  Config
+
+	nextID uint64
+
+	mu      sync.Mutex
+	waiters map[uint64]chan stream.Outcome // Call-style correlation
+	rawCh   chan Reply                     // send/receive-style delivery
+	ctx     context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+}
+
+// Reply is one reply message as the send/receive style sees it: the user
+// gets the request ID and must do the matching.
+type Reply struct {
+	ID      uint64
+	Outcome stream.Outcome
+}
+
+// NewClient starts a client on the node.
+func NewClient(node *simnet.Node, cfg Config) *Client {
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &Client{
+		node:    node,
+		cfg:     cfg.withDefaults(),
+		waiters: make(map[uint64]chan stream.Outcome),
+		rawCh:   make(chan Reply, 4096),
+		ctx:     ctx,
+		cancel:  cancel,
+	}
+	c.wg.Add(1)
+	go c.loop()
+	return c
+}
+
+// Close stops the client.
+func (c *Client) Close() {
+	c.cancel()
+	c.wg.Wait()
+}
+
+func (c *Client) loop() {
+	defer c.wg.Done()
+	for {
+		msg, err := c.node.Recv(c.ctx)
+		if err != nil {
+			if errors.Is(err, simnet.ErrCrashed) {
+				select {
+				case <-c.ctx.Done():
+					return
+				case <-time.After(time.Millisecond):
+					continue
+				}
+			}
+			return
+		}
+		id, outcome, ok := decodeReply(msg.Payload)
+		if !ok {
+			continue
+		}
+		c.mu.Lock()
+		w, waited := c.waiters[id]
+		if waited {
+			delete(c.waiters, id)
+		}
+		c.mu.Unlock()
+		if waited {
+			w <- outcome
+			continue
+		}
+		// No Call is waiting: this is send/receive traffic (or a stale
+		// retransmission, which the user-level matcher tolerates).
+		select {
+		case c.rawCh <- Reply{ID: id, Outcome: outcome}:
+		default:
+			// User code is not consuming replies; drop, like a full inbox.
+		}
+	}
+}
+
+func decodeReply(payload []byte) (uint64, stream.Outcome, bool) {
+	vals, err := wire.Unmarshal(payload)
+	if err != nil {
+		return 0, stream.Outcome{}, false
+	}
+	kind, err := wire.IntArg(vals, 0)
+	if err != nil || kind != kindReply {
+		return 0, stream.Outcome{}, false
+	}
+	id, err := wire.IntArg(vals, 1)
+	if err != nil {
+		return 0, stream.Outcome{}, false
+	}
+	normRaw, err := wire.Arg(vals, 2)
+	if err != nil {
+		return 0, stream.Outcome{}, false
+	}
+	norm, err := wire.AsBool(normRaw)
+	if err != nil {
+		return 0, stream.Outcome{}, false
+	}
+	exc, err := wire.StringArg(vals, 3)
+	if err != nil {
+		return 0, stream.Outcome{}, false
+	}
+	plRaw, err := wire.Arg(vals, 4)
+	if err != nil {
+		return 0, stream.Outcome{}, false
+	}
+	pl, err := wire.AsBytes(plRaw)
+	if err != nil {
+		return 0, stream.Outcome{}, false
+	}
+	return uint64(id), stream.Outcome{Normal: norm, Exception: exc, Payload: pl}, true
+}
+
+func (c *Client) newID() uint64 { return atomic.AddUint64(&c.nextID, 1) }
+
+func encodeRequest(id uint64, port string, args []byte) []byte {
+	payload, err := wire.Marshal(kindRequest, int64(id), port, args)
+	if err != nil {
+		panic(err) // only built-in types
+	}
+	return payload
+}
+
+// Call is a plain RPC: transmit the request now, block until the reply
+// arrives, retransmitting up to the configured limit, then give up with
+// unavailable. One call per round trip — the cost streams amortize away.
+func (c *Client) Call(ctx context.Context, server, port string, args []byte) (stream.Outcome, error) {
+	id := c.newID()
+	w := make(chan stream.Outcome, 1)
+	c.mu.Lock()
+	c.waiters[id] = w
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.waiters, id)
+		c.mu.Unlock()
+	}()
+
+	req := encodeRequest(id, port, args)
+	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
+		if err := c.node.Send(server, req); err != nil {
+			return stream.Outcome{}, exception.Unavailable(err.Error())
+		}
+		select {
+		case o := <-w:
+			return o, nil
+		case <-ctx.Done():
+			return stream.Outcome{}, ctx.Err()
+		case <-time.After(c.cfg.RTO):
+		}
+	}
+	return stream.Outcome{}, exception.Unavailable("cannot communicate")
+}
+
+// SendAsync is the explicit-send primitive: transmit a request and return
+// at once with its ID. The reply — if one comes — must be fished out of
+// RecvReply and matched by the user.
+func (c *Client) SendAsync(server, port string, args []byte) (uint64, error) {
+	id := c.newID()
+	if err := c.node.Send(server, encodeRequest(id, port, args)); err != nil {
+		return 0, exception.Unavailable(err.Error())
+	}
+	return id, nil
+}
+
+// Resend retransmits a request previously sent with SendAsync; the user
+// owns the retry policy in the send/receive style.
+func (c *Client) Resend(server, port string, id uint64, args []byte) error {
+	if err := c.node.Send(server, encodeRequest(id, port, args)); err != nil {
+		return exception.Unavailable(err.Error())
+	}
+	return nil
+}
+
+// RecvReply is the explicit-receive primitive: the next reply message, in
+// arrival order, whichever call it belongs to.
+func (c *Client) RecvReply(ctx context.Context) (Reply, error) {
+	select {
+	case r := <-c.rawCh:
+		return r, nil
+	case <-ctx.Done():
+		return Reply{}, ctx.Err()
+	}
+}
+
+// Matcher is the user-level bookkeeping that the send/receive style
+// forces: it records outstanding request IDs and pairs arriving replies
+// with them. Ops counts every bookkeeping operation performed — the
+// complexity proxy reported by experiment E10.
+type Matcher struct {
+	outstanding map[uint64]string // id -> tag chosen by the user
+	results     map[uint64]stream.Outcome
+	ops         int64
+}
+
+// NewMatcher creates an empty matcher.
+func NewMatcher() *Matcher {
+	return &Matcher{
+		outstanding: make(map[uint64]string),
+		results:     make(map[uint64]stream.Outcome),
+	}
+}
+
+// Expect records that a request with this ID is outstanding.
+func (m *Matcher) Expect(id uint64, tag string) {
+	m.ops++
+	m.outstanding[id] = tag
+}
+
+// Match pairs one received reply with its request. It returns the tag
+// given to Expect; ok is false for replies nobody is waiting for
+// (duplicates, stale retransmissions), which the user must also handle.
+func (m *Matcher) Match(r Reply) (tag string, ok bool) {
+	m.ops++
+	tag, ok = m.outstanding[r.ID]
+	if !ok {
+		return "", false
+	}
+	delete(m.outstanding, r.ID)
+	m.results[r.ID] = r.Outcome
+	return tag, true
+}
+
+// Result returns the outcome matched for an ID.
+func (m *Matcher) Result(id uint64) (stream.Outcome, bool) {
+	m.ops++
+	o, ok := m.results[id]
+	return o, ok
+}
+
+// Outstanding is the number of requests still awaiting replies.
+func (m *Matcher) Outstanding() int { return len(m.outstanding) }
+
+// Ops reports the bookkeeping operations performed so far.
+func (m *Matcher) Ops() int64 { return m.ops }

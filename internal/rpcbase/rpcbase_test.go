@@ -1,0 +1,270 @@
+package rpcbase
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"promises/internal/exception"
+	"promises/internal/simnet"
+	"promises/internal/stream"
+)
+
+var bg = context.Background()
+
+type world struct {
+	net    *simnet.Network
+	server *Server
+	client *Client
+}
+
+func newWorld(t *testing.T, cfg simnet.Config) *world {
+	t.Helper()
+	n := simnet.New(cfg)
+	w := &world{net: n}
+	w.server = NewServer(n.MustAddNode("server"))
+	w.client = NewClient(n.MustAddNode("client"), Config{RTO: 10 * time.Millisecond, MaxRetries: 4})
+	t.Cleanup(func() {
+		w.client.Close()
+		w.server.Close()
+		n.Close()
+	})
+	return w
+}
+
+func echo(args []byte) stream.Outcome { return stream.NormalOutcome(args) }
+
+func TestRPCRoundTrip(t *testing.T) {
+	w := newWorld(t, simnet.Config{})
+	w.server.Handle("echo", echo)
+	o, err := w.client.Call(bg, "server", "echo", []byte("hi"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Normal || string(o.Payload) != "hi" {
+		t.Fatalf("outcome = %+v", o)
+	}
+}
+
+func TestRPCExceptionOutcome(t *testing.T) {
+	w := newWorld(t, simnet.Config{})
+	w.server.Handle("grump", func([]byte) stream.Outcome {
+		return stream.ExceptionOutcome(exception.New("no_such_user"))
+	})
+	o, err := w.client.Call(bg, "server", "grump", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Normal || o.Exception != "no_such_user" {
+		t.Fatalf("outcome = %+v", o)
+	}
+}
+
+func TestRPCUnknownPort(t *testing.T) {
+	w := newWorld(t, simnet.Config{})
+	o, err := w.client.Call(bg, "server", "nope", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Normal || o.Exception != exception.NameFailure {
+		t.Fatalf("outcome = %+v", o)
+	}
+}
+
+func TestRPCRetriesThroughLoss(t *testing.T) {
+	n := simnet.New(simnet.Config{LossRate: 0.3, Seed: 42})
+	w := &world{net: n}
+	w.server = NewServer(n.MustAddNode("server"))
+	// Patient client: at 30% loss each attempt succeeds with p≈0.49, so a
+	// deep retry budget keeps exhaustion vanishingly unlikely.
+	w.client = NewClient(n.MustAddNode("client"), Config{RTO: 5 * time.Millisecond, MaxRetries: 20})
+	t.Cleanup(func() {
+		w.client.Close()
+		w.server.Close()
+		n.Close()
+	})
+	w.server.Handle("echo", echo)
+	for i := 0; i < 20; i++ {
+		o, err := w.client.Call(bg, "server", "echo", []byte{byte(i)})
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if !o.Normal || o.Payload[0] != byte(i) {
+			t.Fatalf("call %d outcome = %+v", i, o)
+		}
+	}
+}
+
+func TestRPCDuplicateSuppression(t *testing.T) {
+	// Retransmissions must not re-execute the handler.
+	var execs int64
+	w := newWorld(t, simnet.Config{LossRate: 0.4, Seed: 9})
+	w.server.Handle("count", func(args []byte) stream.Outcome {
+		atomic.AddInt64(&execs, 1)
+		return stream.NormalOutcome(args)
+	})
+	const n = 15
+	for i := 0; i < n; i++ {
+		if _, err := w.client.Call(bg, "server", "count", []byte{byte(i)}); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	if got := atomic.LoadInt64(&execs); got != n {
+		t.Fatalf("handler executed %d times for %d calls", got, n)
+	}
+}
+
+func TestRPCGivesUpUnavailable(t *testing.T) {
+	w := newWorld(t, simnet.Config{})
+	w.net.Partition("client", "server")
+	_, err := w.client.Call(bg, "server", "echo", nil)
+	if !exception.IsUnavailable(err) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRPCContextCancellation(t *testing.T) {
+	w := newWorld(t, simnet.Config{})
+	w.net.Partition("client", "server")
+	ctx, cancel := context.WithTimeout(bg, 5*time.Millisecond)
+	defer cancel()
+	_, err := w.client.Call(ctx, "server", "echo", nil)
+	if err == nil || exception.IsUnavailable(err) {
+		t.Fatalf("err = %v, want context error before retry exhaustion", err)
+	}
+}
+
+func TestRPCNoOrderingAcrossConcurrentCalls(t *testing.T) {
+	// Unlike streams, concurrent RPCs may execute in any order; all must
+	// complete correctly.
+	w := newWorld(t, simnet.Config{Jitter: 300 * time.Microsecond, Seed: 3})
+	w.server.Handle("echo", echo)
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			o, err := w.client.Call(bg, "server", "echo", []byte{byte(i)})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !o.Normal || o.Payload[0] != byte(i) {
+				errs <- fmt.Errorf("call %d outcome %+v", i, o)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestSendReceiveUserMatching(t *testing.T) {
+	// The send/receive style: fire all requests, then receive replies in
+	// arrival order and match them by hand.
+	w := newWorld(t, simnet.Config{Jitter: 200 * time.Microsecond, Seed: 17})
+	w.server.Handle("echo", echo)
+	m := NewMatcher()
+	const n = 25
+	ids := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		id, err := w.client.SendAsync("server", "echo", []byte{byte(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+		m.Expect(id, fmt.Sprintf("call-%d", i))
+	}
+	for m.Outstanding() > 0 {
+		ctx, cancel := context.WithTimeout(bg, 5*time.Second)
+		r, err := w.client.RecvReply(ctx)
+		cancel()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := m.Match(r); !ok {
+			t.Fatalf("unmatched reply id %d", r.ID)
+		}
+	}
+	// Every call's result is retrievable and correct.
+	for i, id := range ids {
+		o, ok := m.Result(id)
+		if !ok || !o.Normal || o.Payload[0] != byte(i) {
+			t.Fatalf("result %d = %+v, %v", i, o, ok)
+		}
+	}
+	if m.Ops() == 0 {
+		t.Fatal("matcher should have counted bookkeeping operations")
+	}
+}
+
+func TestSendReceiveStaleReplyUnmatched(t *testing.T) {
+	w := newWorld(t, simnet.Config{})
+	w.server.Handle("echo", echo)
+	id, err := w.client.SendAsync("server", "echo", []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// User forgot to Expect: the reply arrives but matches nothing.
+	m := NewMatcher()
+	ctx, cancel := context.WithTimeout(bg, 5*time.Second)
+	defer cancel()
+	r, err := w.client.RecvReply(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ID != id {
+		t.Fatalf("reply id = %d", r.ID)
+	}
+	if _, ok := m.Match(r); ok {
+		t.Fatal("reply should be unmatched")
+	}
+}
+
+func TestResend(t *testing.T) {
+	w := newWorld(t, simnet.Config{})
+	w.server.Handle("echo", echo)
+	args := []byte("again")
+	id, err := w.client.SendAsync("server", "echo", args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.client.Resend("server", "echo", id, args); err != nil {
+		t.Fatal(err)
+	}
+	// Dedup: both transmissions yield replies but the handler ran once;
+	// the matcher sees the second as stale.
+	m := NewMatcher()
+	m.Expect(id, "only")
+	ctx, cancel := context.WithTimeout(bg, 5*time.Second)
+	defer cancel()
+	r, err := w.client.RecvReply(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Match(r); !ok {
+		t.Fatal("first reply should match")
+	}
+}
+
+func TestServerCrashRecover(t *testing.T) {
+	w := newWorld(t, simnet.Config{})
+	w.server.Handle("echo", echo)
+	serverNode, _ := w.net.Node("server")
+	serverNode.Crash()
+	_, err := w.client.Call(bg, "server", "echo", nil)
+	if !exception.IsUnavailable(err) {
+		t.Fatalf("err during crash = %v", err)
+	}
+	serverNode.Recover()
+	o, err := w.client.Call(bg, "server", "echo", []byte("back"))
+	if err != nil || !o.Normal {
+		t.Fatalf("after recover = %+v, %v", o, err)
+	}
+}

@@ -1,0 +1,439 @@
+// Package simnet is the network substrate underneath the call-stream
+// implementation. It stands in for the Mercury communication system and
+// operating-system kernel that the paper's performance arguments rest on.
+//
+// The substitution preserves the phenomena that matter to the paper:
+//
+//   - a fixed per-message kernel-call overhead charged to the caller of
+//     Send and Recv, so batching several calls into one message wins;
+//   - a per-byte transmission cost and a propagation delay, so round
+//     trips are expensive and pipelining wins;
+//   - unreliable delivery: messages can be lost, delayed, and reordered,
+//     and nodes can crash and recover and links can partition, so the
+//     stream layer's exactly-once ordered delivery — and its breaks —
+//     have something real to defend against.
+//
+// All costs are modeled with real sleeps at microsecond-to-millisecond
+// scale; with a zero Config the network is a plain reliable in-process
+// message switch suitable for fast unit tests.
+package simnet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config sets the cost and fault model for a Network.
+type Config struct {
+	// KernelOverhead is the fixed cost of one Send or Recv kernel call,
+	// charged to (slept by) the calling goroutine.
+	KernelOverhead time.Duration
+	// Propagation is the one-way network latency added to every delivery.
+	Propagation time.Duration
+	// PerByte is the transmission cost per payload byte. It is charged
+	// both to the sender (copy into the kernel) and to the delivery delay
+	// (time on the wire).
+	PerByte time.Duration
+	// Jitter is the maximum extra random delivery delay. Jitter makes
+	// reordering possible, which the stream layer must mask.
+	Jitter time.Duration
+	// LossRate is the probability in [0,1] that a message is silently
+	// dropped.
+	LossRate float64
+	// DupRate is the probability in [0,1] that a delivered message is
+	// delivered a second time (with its own delay), as a duplicated
+	// datagram. The stream layer's exactly-once guarantee must suppress
+	// these.
+	DupRate float64
+	// Seed seeds the network's random source; 0 means a fixed default so
+	// runs are reproducible unless a seed is chosen explicitly.
+	Seed int64
+	// InboxDepth is the per-node inbox capacity; messages arriving at a
+	// full inbox are dropped (receiver overload). 0 means 4096.
+	InboxDepth int
+}
+
+// Stats counts network activity since the network was created.
+type Stats struct {
+	MessagesSent       int64 // Send calls that were accepted
+	MessagesDelivered  int64 // messages that reached an inbox
+	MessagesDropped    int64 // lost, partitioned, crashed-target, or overflowed
+	MessagesDuplicated int64 // extra deliveries injected by DupRate
+	BytesSent          int64
+	KernelCalls        int64 // Send + successful Recv kernel calls
+}
+
+// Message is one datagram. Payload is owned by the receiver after
+// delivery; senders must not mutate it after Send.
+type Message struct {
+	From    string
+	To      string
+	Payload []byte
+}
+
+// Errors returned by node operations.
+var (
+	ErrCrashed      = errors.New("simnet: node is crashed")
+	ErrNoSuchNode   = errors.New("simnet: no such node")
+	ErrNetworkDown  = errors.New("simnet: network closed")
+	ErrDuplicateNod = errors.New("simnet: node already exists")
+)
+
+// Network is an in-process datagram network between named nodes.
+type Network struct {
+	cfg Config
+
+	mu         sync.Mutex
+	rng        *rand.Rand
+	nodes      map[string]*Node
+	partitions map[[2]string]bool
+	linkDelay  map[[2]string]time.Duration
+	closed     bool
+	wg         sync.WaitGroup
+
+	stats struct {
+		sent, delivered, dropped, duplicated, bytes, kernel int64
+	}
+}
+
+// New creates a network with the given cost and fault model.
+func New(cfg Config) *Network {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1988 // the year of the paper; fixed for reproducibility
+	}
+	if cfg.InboxDepth <= 0 {
+		cfg.InboxDepth = 4096
+	}
+	return &Network{
+		cfg:        cfg,
+		rng:        rand.New(rand.NewSource(seed)),
+		nodes:      make(map[string]*Node),
+		partitions: make(map[[2]string]bool),
+		linkDelay:  make(map[[2]string]time.Duration),
+	}
+}
+
+// Config returns the network's configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// AddNode creates a node with a unique name.
+func (n *Network) AddNode(name string) (*Node, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrNetworkDown
+	}
+	if _, ok := n.nodes[name]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateNod, name)
+	}
+	nd := &Node{
+		net:   n,
+		name:  name,
+		inbox: make(chan Message, n.cfg.InboxDepth),
+	}
+	n.nodes[name] = nd
+	return nd, nil
+}
+
+// MustAddNode is AddNode for test and example setup paths where a duplicate
+// name is a programming error.
+func (n *Network) MustAddNode(name string) *Node {
+	nd, err := n.AddNode(name)
+	if err != nil {
+		panic(err)
+	}
+	return nd
+}
+
+// Node returns the named node, if it exists.
+func (n *Network) Node(name string) (*Node, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	nd, ok := n.nodes[name]
+	return nd, ok
+}
+
+func pairKey(a, b string) [2]string {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+// Partition blocks all traffic between a and b (both directions) until
+// Heal. Messages in flight when the partition starts are unaffected.
+func (n *Network) Partition(a, b string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partitions[pairKey(a, b)] = true
+}
+
+// Heal removes the partition between a and b.
+func (n *Network) Heal(a, b string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.partitions, pairKey(a, b))
+}
+
+// HealAll removes every partition.
+func (n *Network) HealAll() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partitions = make(map[[2]string]bool)
+}
+
+// SetLinkDelay overrides the propagation delay on the a↔b link (both
+// directions), for asymmetric topologies. A zero duration restores the
+// network default.
+func (n *Network) SetLinkDelay(a, b string, d time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if d == 0 {
+		delete(n.linkDelay, pairKey(a, b))
+	} else {
+		n.linkDelay[pairKey(a, b)] = d
+	}
+}
+
+// Stats returns a snapshot of the network counters.
+func (n *Network) Stats() Stats {
+	return Stats{
+		MessagesSent:       atomic.LoadInt64(&n.stats.sent),
+		MessagesDelivered:  atomic.LoadInt64(&n.stats.delivered),
+		MessagesDropped:    atomic.LoadInt64(&n.stats.dropped),
+		MessagesDuplicated: atomic.LoadInt64(&n.stats.duplicated),
+		BytesSent:          atomic.LoadInt64(&n.stats.bytes),
+		KernelCalls:        atomic.LoadInt64(&n.stats.kernel),
+	}
+}
+
+// Close shuts the network down: pending deliveries finish or are dropped,
+// and all Recv calls unblock with ErrNetworkDown.
+func (n *Network) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	nodes := make([]*Node, 0, len(n.nodes))
+	for _, nd := range n.nodes {
+		nodes = append(nodes, nd)
+	}
+	n.mu.Unlock()
+	for _, nd := range nodes {
+		nd.closeInbox()
+	}
+	n.wg.Wait()
+}
+
+// decideFate rolls loss/duplication/partition/closed checks and computes
+// the delivery delay (and the duplicate's delay, if any). It must be
+// called with n.mu NOT held.
+func (n *Network) decideFate(from, to string, size int) (deliver bool, delay, dupDelay time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return false, 0, 0
+	}
+	if n.partitions[pairKey(from, to)] {
+		return false, 0, 0
+	}
+	if n.cfg.LossRate > 0 && n.rng.Float64() < n.cfg.LossRate {
+		return false, 0, 0
+	}
+	prop := n.cfg.Propagation
+	if d, ok := n.linkDelay[pairKey(from, to)]; ok {
+		prop = d
+	}
+	base := prop + time.Duration(size)*n.cfg.PerByte
+	delay = base
+	if n.cfg.Jitter > 0 {
+		delay += time.Duration(n.rng.Int63n(int64(n.cfg.Jitter)))
+	}
+	if n.cfg.DupRate > 0 && n.rng.Float64() < n.cfg.DupRate {
+		dupDelay = base + 1 // distinct nonzero delay even with zero jitter
+		if n.cfg.Jitter > 0 {
+			dupDelay = base + time.Duration(n.rng.Int63n(int64(n.cfg.Jitter)))
+		}
+	}
+	return true, delay, dupDelay
+}
+
+// Node is one network endpoint. An entity (guardian) owns exactly one
+// node; all its agents and ports share it.
+type Node struct {
+	net  *Network
+	name string
+
+	mu      sync.Mutex
+	inbox   chan Message
+	crashed bool
+	closed  bool
+}
+
+// Name returns the node's unique name.
+func (nd *Node) Name() string { return nd.name }
+
+// Network returns the network the node belongs to.
+func (nd *Node) Network() *Network { return nd.net }
+
+// Send transmits payload to the named node. It charges the sender the
+// kernel-call overhead plus the per-byte copy cost, then schedules
+// asynchronous delivery. Send returns an error only for local conditions
+// (crashed sender, unknown target, closed network); a lost or partitioned
+// message is NOT an error — the sender cannot know.
+func (nd *Node) Send(to string, payload []byte) error {
+	n := nd.net
+	nd.mu.Lock()
+	if nd.crashed {
+		nd.mu.Unlock()
+		return ErrCrashed
+	}
+	nd.mu.Unlock()
+
+	target, ok := n.Node(to)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchNode, to)
+	}
+
+	// Charge the sender: one kernel call plus the copy of the payload.
+	occupancy := n.cfg.KernelOverhead + time.Duration(len(payload))*n.cfg.PerByte
+	if occupancy > 0 {
+		time.Sleep(occupancy)
+	}
+	atomic.AddInt64(&n.stats.kernel, 1)
+	atomic.AddInt64(&n.stats.sent, 1)
+	atomic.AddInt64(&n.stats.bytes, int64(len(payload)))
+
+	deliver, delay, dupDelay := n.decideFate(nd.name, to, len(payload))
+	if !deliver {
+		atomic.AddInt64(&n.stats.dropped, 1)
+		return nil
+	}
+
+	msg := Message{From: nd.name, To: to, Payload: payload}
+	schedule := func(d time.Duration) {
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			if d > 0 {
+				time.Sleep(d)
+			}
+			target.deliver(msg)
+		}()
+	}
+	schedule(delay)
+	if dupDelay > 0 {
+		atomic.AddInt64(&n.stats.duplicated, 1)
+		schedule(dupDelay)
+	}
+	return nil
+}
+
+func (nd *Node) deliver(msg Message) {
+	// The non-blocking send happens under the lock so it cannot race a
+	// concurrent Crash/Close of the inbox channel.
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	if nd.crashed || nd.closed {
+		atomic.AddInt64(&nd.net.stats.dropped, 1)
+		return
+	}
+	select {
+	case nd.inbox <- msg:
+		atomic.AddInt64(&nd.net.stats.delivered, 1)
+	default:
+		// Receiver overloaded: datagram dropped.
+		atomic.AddInt64(&nd.net.stats.dropped, 1)
+	}
+}
+
+// Recv waits for the next message. It charges the receiver one kernel call
+// per message received. It returns ErrCrashed if the node crashes while
+// waiting, ErrNetworkDown if the network closes, or ctx.Err() if the
+// context ends first.
+func (nd *Node) Recv(ctx context.Context) (Message, error) {
+	nd.mu.Lock()
+	if nd.crashed {
+		nd.mu.Unlock()
+		return Message{}, ErrCrashed
+	}
+	inbox := nd.inbox
+	nd.mu.Unlock()
+
+	select {
+	case msg, ok := <-inbox:
+		if !ok {
+			// Inbox was torn down by crash or close; report which.
+			nd.mu.Lock()
+			crashed := nd.crashed
+			nd.mu.Unlock()
+			if crashed {
+				return Message{}, ErrCrashed
+			}
+			return Message{}, ErrNetworkDown
+		}
+		if d := nd.net.cfg.KernelOverhead; d > 0 {
+			time.Sleep(d)
+		}
+		atomic.AddInt64(&nd.net.stats.kernel, 1)
+		return msg, nil
+	case <-ctx.Done():
+		return Message{}, ctx.Err()
+	}
+}
+
+// Crash takes the node down: its inbox is discarded (volatile state is
+// lost), pending and future deliveries are dropped, and Send/Recv fail
+// with ErrCrashed until Recover.
+func (nd *Node) Crash() {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	if nd.crashed || nd.closed {
+		return
+	}
+	nd.crashed = true
+	close(nd.inbox)
+	// Drain so queued messages are counted as dropped.
+	for range nd.inbox {
+		atomic.AddInt64(&nd.net.stats.dropped, 1)
+	}
+}
+
+// Recover brings a crashed node back with an empty inbox, modeling a
+// guardian restarting after a crash.
+func (nd *Node) Recover() {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	if !nd.crashed || nd.closed {
+		return
+	}
+	nd.crashed = false
+	nd.inbox = make(chan Message, nd.net.cfg.InboxDepth)
+}
+
+// Crashed reports whether the node is currently down.
+func (nd *Node) Crashed() bool {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	return nd.crashed
+}
+
+func (nd *Node) closeInbox() {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	if nd.closed {
+		return
+	}
+	nd.closed = true
+	if !nd.crashed {
+		close(nd.inbox)
+	}
+}

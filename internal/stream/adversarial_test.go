@@ -1,0 +1,158 @@
+package stream
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"promises/internal/simnet"
+)
+
+// TestExactlyOnceUnderLossDupReorder is the adversarial delivery test:
+// 10% loss, 15% duplication, and jitter-induced reordering all at once.
+// Every call must execute exactly once, in call order, and every promise
+// must resolve with the right reply.
+func TestExactlyOnceUnderLossDupReorder(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 4, 5} {
+		seed := seed
+		t.Run(time.Duration(seed).String(), func(t *testing.T) {
+			t.Parallel()
+			cfg := simnet.Config{
+				LossRate: 0.10,
+				DupRate:  0.15,
+				Jitter:   300 * time.Microsecond,
+				Seed:     seed,
+			}
+			opts := Options{MaxBatch: 4, MaxBatchDelay: 500 * time.Microsecond,
+				RTO: 4 * time.Millisecond, MaxRetries: 100}
+			f := newFixture(t, cfg, opts)
+
+			var mu sync.Mutex
+			var order []int
+			counts := make(map[int]int)
+			f.handle("rec", func(call *Incoming) Outcome {
+				v := int(call.Args[0]) | int(call.Args[1])<<8
+				mu.Lock()
+				order = append(order, v)
+				counts[v]++
+				mu.Unlock()
+				return NormalOutcome(call.Args)
+			})
+
+			s := f.client.Agent("a1").Stream("server", "g1")
+			const n = 150
+			ps := make([]*Pending, n)
+			for i := range ps {
+				p, err := s.Call("rec", []byte{byte(i), byte(i >> 8)})
+				if err != nil {
+					t.Fatal(err)
+				}
+				ps[i] = p
+			}
+			for i, p := range ps {
+				o := claim(t, p)
+				if !o.Normal {
+					t.Fatalf("call %d outcome = %+v", i, o)
+				}
+				if got := int(o.Payload[0]) | int(o.Payload[1])<<8; got != i {
+					t.Fatalf("call %d reply = %d", i, got)
+				}
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if len(order) != n {
+				t.Fatalf("executed %d calls, want %d", len(order), n)
+			}
+			for i, v := range order {
+				if v != i {
+					t.Fatalf("execution order[%d] = %d", i, v)
+				}
+			}
+			for v, c := range counts {
+				if c != 1 {
+					t.Fatalf("call %d executed %d times", v, c)
+				}
+			}
+			if dup := f.net.Stats().MessagesDuplicated; dup == 0 {
+				t.Log("no duplicates were injected at this seed; weak run")
+			}
+		})
+	}
+}
+
+// TestSynchUnderAdversarialDelivery: synch must eventually return nil
+// when all calls succeed, despite loss and duplication.
+func TestSynchUnderAdversarialDelivery(t *testing.T) {
+	cfg := simnet.Config{LossRate: 0.1, DupRate: 0.1, Jitter: 200 * time.Microsecond, Seed: 99}
+	opts := Options{MaxBatch: 4, MaxBatchDelay: 500 * time.Microsecond,
+		RTO: 4 * time.Millisecond, MaxRetries: 100}
+	f := newFixture(t, cfg, opts)
+	f.handle("echo", echoHandler)
+	s := f.client.Agent("a1").Stream("server", "g1")
+	for i := 0; i < 60; i++ {
+		if _, err := s.Call("echo", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := s.Synch(ctx); err != nil {
+		t.Fatalf("Synch = %v", err)
+	}
+}
+
+// TestExecutorBacklogPressure pushes more in-flight calls than the
+// executor channel holds (1024) while the first call blocks the serial
+// executor: the overflow stays queued at the stream layer and drains on
+// later ticks, preserving exactly-once in-order execution.
+func TestExecutorBacklogPressure(t *testing.T) {
+	opts := Options{MaxBatch: 256, MaxBatchDelay: 500 * time.Microsecond,
+		RTO: 20 * time.Millisecond, MaxRetries: 50}
+	f := newFixture(t, simnet.Config{}, opts)
+
+	release := make(chan struct{})
+	var mu sync.Mutex
+	var order []int
+	f.handle("step", func(call *Incoming) Outcome {
+		v := int(call.Args[0]) | int(call.Args[1])<<8
+		if v == 0 {
+			<-release // block the executor with everything else queued
+		}
+		mu.Lock()
+		order = append(order, v)
+		mu.Unlock()
+		return NormalOutcome(call.Args)
+	})
+
+	s := f.client.Agent("a1").Stream("server", "g1")
+	const n = 1500 // exceeds the 1024-deep executor channel
+	ps := make([]*Pending, n)
+	for i := range ps {
+		p, err := s.Call("step", []byte{byte(i), byte(i >> 8)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps[i] = p
+	}
+	s.Flush()
+	time.Sleep(10 * time.Millisecond) // let the backlog pile up
+	close(release)
+
+	for i, p := range ps {
+		o := claim(t, p)
+		if !o.Normal {
+			t.Fatalf("call %d outcome = %+v", i, o)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != n {
+		t.Fatalf("executed %d calls", len(order))
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d", i, v)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package stream
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"promises/internal/exception"
+)
+
+func TestRequestBatchRoundTrip(t *testing.T) {
+	in := requestBatch{
+		Agent:             "a1",
+		Group:             "g1",
+		Incarnation:       3,
+		AckRepliesThrough: 17,
+		Requests: []request{
+			{Seq: 18, Port: "record_grade", Mode: ModeCall, Args: []byte{1, 2}},
+			{Seq: 19, Port: "print", Mode: ModeSend, Args: nil},
+			{Seq: 20, Port: "read", Mode: ModeRPC, Args: []byte{}},
+		},
+	}
+	kind, rb, pb, bm, err := decodeMessage(encodeRequestBatch(in))
+	if err != nil || kind != kindRequestBatch || pb != nil || bm != nil {
+		t.Fatalf("decode = %d, %v, %v, %v, %v", kind, rb, pb, bm, err)
+	}
+	if rb.Agent != in.Agent || rb.Group != in.Group ||
+		rb.Incarnation != in.Incarnation || rb.AckRepliesThrough != in.AckRepliesThrough {
+		t.Fatalf("header = %+v", rb)
+	}
+	if len(rb.Requests) != 3 {
+		t.Fatalf("requests = %+v", rb.Requests)
+	}
+	for i, r := range rb.Requests {
+		if r.Seq != in.Requests[i].Seq || r.Port != in.Requests[i].Port ||
+			r.Mode != in.Requests[i].Mode || string(r.Args) != string(in.Requests[i].Args) {
+			t.Fatalf("request %d = %+v, want %+v", i, r, in.Requests[i])
+		}
+	}
+}
+
+func TestReplyBatchRoundTrip(t *testing.T) {
+	in := replyBatch{
+		Agent:              "a1",
+		Group:              "g1",
+		Incarnation:        2,
+		Epoch:              99,
+		AckRequestsThrough: 7,
+		CompletedThrough:   5,
+		Replies: []reply{
+			{Seq: 4, Outcome: NormalOutcome([]byte("ok"))},
+			{Seq: 5, Outcome: Outcome{Normal: false, Exception: "no_such_user", Payload: []byte{9}}},
+		},
+	}
+	kind, rb, pb, bm, err := decodeMessage(encodeReplyBatch(in))
+	if err != nil || kind != kindReplyBatch || rb != nil || bm != nil {
+		t.Fatalf("decode = %d, %v, %v, %v, %v", kind, rb, pb, bm, err)
+	}
+	if pb.Epoch != 99 || pb.AckRequestsThrough != 7 || pb.CompletedThrough != 5 {
+		t.Fatalf("header = %+v", pb)
+	}
+	if len(pb.Replies) != 2 || pb.Replies[0].Outcome.Normal == false ||
+		pb.Replies[1].Outcome.Exception != "no_such_user" {
+		t.Fatalf("replies = %+v", pb.Replies)
+	}
+}
+
+func TestBreakMsgRoundTrip(t *testing.T) {
+	in := breakMsg{
+		Agent:       "a",
+		Group:       "g",
+		Incarnation: 4,
+		Synchronous: true,
+		BrokenAfter: 12,
+		ExcName:     exception.NameFailure,
+		Reason:      "could not decode",
+	}
+	kind, rb, pb, bm, err := decodeMessage(encodeBreak(in))
+	if err != nil || kind != kindBreak || rb != nil || pb != nil {
+		t.Fatalf("decode = %d, %v, %v, %v, %v", kind, rb, pb, bm, err)
+	}
+	if *bm != in {
+		t.Fatalf("break = %+v, want %+v", *bm, in)
+	}
+}
+
+// Property: request batches round-trip for arbitrary contents.
+func TestPropertyRequestBatchRoundTrip(t *testing.T) {
+	f := func(agent, group string, inc, ack uint32, seqs []uint16, port string, args []byte) bool {
+		in := requestBatch{
+			Agent: agent, Group: group,
+			Incarnation: uint64(inc), AckRepliesThrough: uint64(ack),
+		}
+		for i, s := range seqs {
+			in.Requests = append(in.Requests, request{
+				Seq: uint64(s), Port: port, Mode: Mode(i % 3), Args: args,
+			})
+		}
+		kind, rb, _, _, err := decodeMessage(encodeRequestBatch(in))
+		if err != nil || kind != kindRequestBatch {
+			return false
+		}
+		if rb.Agent != agent || rb.Group != group || len(rb.Requests) != len(in.Requests) {
+			return false
+		}
+		for i := range in.Requests {
+			if rb.Requests[i].Seq != in.Requests[i].Seq ||
+				rb.Requests[i].Mode != in.Requests[i].Mode ||
+				string(rb.Requests[i].Args) != string(in.Requests[i].Args) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: decodeMessage never panics and reports an error (or a valid
+// kind) for arbitrary garbage — a garbled datagram must not kill a peer.
+func TestPropertyDecodeMessageRobustToGarbage(t *testing.T) {
+	f := func(data []byte) bool {
+		defer func() {
+			if recover() != nil {
+				t.Error("decodeMessage panicked")
+			}
+		}()
+		kind, _, _, _, err := decodeMessage(data)
+		if err != nil {
+			return true
+		}
+		return kind == kindRequestBatch || kind == kindReplyBatch || kind == kindBreak
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Truncating a valid message at every prefix must error, not panic.
+func TestDecodeMessageTruncation(t *testing.T) {
+	full := encodeReplyBatch(replyBatch{
+		Agent: "a", Group: "g", Incarnation: 1, Epoch: 2,
+		Replies: []reply{{Seq: 1, Outcome: NormalOutcome([]byte("abc"))}},
+	})
+	for i := 0; i < len(full); i++ {
+		if _, _, _, _, err := decodeMessage(full[:i]); err == nil {
+			t.Fatalf("truncation at %d decoded successfully", i)
+		}
+	}
+}
+
+// Flipping random bytes of valid messages must never panic.
+func TestDecodeMessageBitflips(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	msgs := [][]byte{
+		encodeRequestBatch(requestBatch{Agent: "a", Group: "g", Incarnation: 1,
+			Requests: []request{{Seq: 1, Port: "p", Args: []byte("xyz")}}}),
+		encodeReplyBatch(replyBatch{Agent: "a", Group: "g", Incarnation: 1, Epoch: 1,
+			Replies: []reply{{Seq: 1, Outcome: NormalOutcome([]byte("xyz"))}}}),
+		encodeBreak(breakMsg{Agent: "a", Group: "g", Incarnation: 1, ExcName: "e", Reason: "r"}),
+	}
+	for _, msg := range msgs {
+		for trial := 0; trial < 200; trial++ {
+			mut := append([]byte(nil), msg...)
+			for flips := 0; flips <= trial%4; flips++ {
+				mut[rng.Intn(len(mut))] ^= byte(1 << rng.Intn(8))
+			}
+			decodeMessage(mut) // must not panic; error or success both fine
+		}
+	}
+}

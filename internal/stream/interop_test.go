@@ -1,0 +1,125 @@
+package stream
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"promises/internal/simnet"
+	"promises/internal/wire"
+)
+
+// TestForeignReceiverInterop is the heterogeneity check the Mercury
+// context implies: the stream protocol is language-independent, so a
+// receiver implemented WITHOUT this package — here, a hand-rolled
+// responder speaking only the wire format — must interoperate with our
+// sender. If this test breaks, the wire format changed incompatibly.
+func TestForeignReceiverInterop(t *testing.T) {
+	net := simnet.New(simnet.Config{})
+	defer net.Close()
+	foreign := net.MustAddNode("foreign")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// The foreign endpoint: decodes request batches by hand, executes an
+	// "upper" operation, and hand-encodes reply batches. It maintains the
+	// protocol obligations: ack requests, report completion, reply in
+	// order, echo the incarnation, and carry a stable epoch.
+	const epoch = int64(7777)
+	go func() {
+		expected := int64(1)
+		var replies []any
+		for {
+			msg, err := foreign.Recv(ctx)
+			if err != nil {
+				return
+			}
+			vals, err := wire.Unmarshal(msg.Payload)
+			if err != nil || len(vals) < 6 {
+				continue
+			}
+			kind, _ := wire.IntArg(vals, 0)
+			if kind != 1 { // request batch
+				continue
+			}
+			agent, _ := wire.StringArg(vals, 1)
+			group, _ := wire.StringArg(vals, 2)
+			inc, _ := wire.IntArg(vals, 3)
+			raw, _ := wire.Arg(vals, 5)
+			reqs, _ := wire.AsList(raw)
+			for _, e := range reqs {
+				fields, _ := wire.AsList(e)
+				seq, _ := wire.IntArg(fields, 0)
+				if seq != expected {
+					continue // out of order or duplicate; this test's net is clean
+				}
+				argsRaw, _ := wire.Arg(fields, 3)
+				argBytes, _ := wire.AsBytes(argsRaw)
+				callVals, _ := wire.Unmarshal(argBytes)
+				s, _ := wire.StringArg(callVals, 0)
+				payload, _ := wire.Marshal(upper(s))
+				replies = append(replies, []any{seq, true, "", payload})
+				expected++
+			}
+			// kind=2 reply batch: agent, group, incarnation, epoch,
+			// ackRequestsThrough, completedThrough, replies
+			reply, err := wire.Marshal(int64(2), agent, group, inc, epoch,
+				expected-1, expected-1, replies)
+			if err != nil {
+				continue
+			}
+			_ = foreign.Send(msg.From, reply)
+		}
+	}()
+
+	// Our sender talks to it through the normal stack.
+	client := NewPeer(net.MustAddNode("client"), fastOpts())
+	defer client.Close()
+	s := client.Agent("a1").Stream("foreign", "g1")
+
+	words := []string{"promise", "stream", "claim"}
+	ps := make([]*Pending, len(words))
+	for i, w := range words {
+		args, err := wire.Marshal(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := s.Call("upper", args)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps[i] = p
+	}
+	s.Flush()
+	for i, p := range ps {
+		o := claim(t, p)
+		if !o.Normal {
+			t.Fatalf("call %d outcome = %+v", i, o)
+		}
+		vals, err := o.Results()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := wire.StringArg(vals, 0)
+		if err != nil || got != upper(words[i]) {
+			t.Fatalf("call %d = %q, %v", i, got, err)
+		}
+	}
+
+	// Synch also completes against the foreign endpoint.
+	sctx, scancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer scancel()
+	if err := s.Synch(sctx); err != nil {
+		t.Fatalf("Synch = %v", err)
+	}
+}
+
+func upper(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if 'a' <= c && c <= 'z' {
+			b[i] = c - 'a' + 'A'
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,321 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"promises/internal/exception"
+	"promises/internal/simnet"
+	"promises/internal/trace"
+)
+
+// Peer is the stream runtime for one entity: it owns the entity's network
+// node, demultiplexes incoming messages to sending streams (replies,
+// breaks) and receiving streams (requests), and drives the background
+// timers for batching and retransmission. One Peer serves both roles at
+// once — an entity can be a client of some streams and the server of
+// others.
+type Peer struct {
+	node *simnet.Node
+	opts Options
+
+	mu       sync.Mutex
+	agents   map[string]*Agent
+	sends    map[streamKey]*Stream
+	recvs    map[streamKey]*rstream
+	dispatch Dispatcher
+	parallel func(port string) bool
+	closed   bool
+
+	tracer atomic.Pointer[trace.Tracer]
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// NewPeer creates the stream runtime on a node and starts its receive and
+// timer loops.
+func NewPeer(node *simnet.Node, opts Options) *Peer {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := &Peer{
+		node:   node,
+		opts:   opts.withDefaults(),
+		agents: make(map[string]*Agent),
+		sends:  make(map[streamKey]*Stream),
+		recvs:  make(map[streamKey]*rstream),
+		ctx:    ctx,
+		cancel: cancel,
+	}
+	p.wg.Add(2)
+	go p.recvLoop()
+	go p.tickLoop()
+	return p
+}
+
+// Node returns the underlying network node.
+func (p *Peer) Node() *simnet.Node { return p.node }
+
+// Options returns the peer's protocol options (defaults applied).
+func (p *Peer) Options() Options { return p.opts }
+
+// SetDispatcher installs the port-to-handler lookup used for incoming
+// calls. Entities that only make calls never set one.
+func (p *Peer) SetDispatcher(d Dispatcher) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.dispatch = d
+}
+
+// SetTracer installs a protocol-event tracer on this peer (nil removes
+// it). Tracing covers both roles: calls this peer sends and calls it
+// receives.
+func (p *Peer) SetTracer(t trace.Tracer) {
+	if t == nil {
+		p.tracer.Store(nil)
+		return
+	}
+	p.tracer.Store(&t)
+}
+
+// emit records a protocol event if a tracer is installed.
+func (p *Peer) emit(kind trace.Kind, stream string, seq uint64, detail string) {
+	tp := p.tracer.Load()
+	if tp == nil {
+		return
+	}
+	(*tp).Record(trace.Event{Kind: kind, Stream: stream, Seq: seq, Detail: detail})
+}
+
+// SetParallelPorts installs the predicate that marks ports whose calls
+// may be processed in parallel with other calls on the same stream — the
+// "explicit override" §2.1 of the paper anticipates for more
+// sophisticated receivers. Calls to unmarked ports still wait for every
+// earlier call on their stream, parallel ones included.
+func (p *Peer) SetParallelPorts(pred func(port string) bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.parallel = pred
+}
+
+func (p *Peer) parallelPredicate() func(port string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.parallel == nil {
+		return neverParallel
+	}
+	return p.parallel
+}
+
+func neverParallel(string) bool { return false }
+
+func (p *Peer) dispatcher() Dispatcher {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.dispatch == nil {
+		return func(string) (Handler, bool) { return nil, false }
+	}
+	return p.dispatch
+}
+
+// Agent returns the named agent, creating it on first use. Each concurrent
+// activity should use its own agent.
+func (p *Peer) Agent(name string) *Agent {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	a, ok := p.agents[name]
+	if !ok {
+		a = &Agent{peer: p, name: name}
+		p.agents[name] = a
+	}
+	return a
+}
+
+func (p *Peer) senderStream(key streamKey) *Stream {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s, ok := p.sends[key]
+	if !ok {
+		s = newStream(p, key, p.opts)
+		p.sends[key] = s
+	}
+	return s
+}
+
+// transmit sends a protocol message, ignoring local send errors: if our
+// node is crashed or the target vanished, retransmission timers and
+// retry exhaustion turn the silence into a broken stream.
+func (p *Peer) transmit(to string, payload []byte) {
+	_ = p.node.Send(to, payload)
+}
+
+// recvLoop demultiplexes every incoming message.
+func (p *Peer) recvLoop() {
+	defer p.wg.Done()
+	for {
+		msg, err := p.node.Recv(p.ctx)
+		switch {
+		case err == nil:
+			p.handleMessage(msg)
+		case errors.Is(err, simnet.ErrCrashed):
+			// The node is down; volatile stream state is gone. Wait for
+			// recovery (the guardian restarting) or shutdown.
+			p.dropAllStreams()
+			select {
+			case <-p.ctx.Done():
+				return
+			case <-time.After(time.Millisecond):
+			}
+		default:
+			return // context cancelled or network closed
+		}
+	}
+}
+
+// dropAllStreams discards all stream state, as a crash would.
+func (p *Peer) dropAllStreams() {
+	p.mu.Lock()
+	sends := p.sends
+	recvs := p.recvs
+	p.sends = make(map[streamKey]*Stream)
+	p.recvs = make(map[streamKey]*rstream)
+	p.mu.Unlock()
+	for _, s := range sends {
+		s.systemBreak(exception.Unavailable("node crashed"))
+	}
+	for _, r := range recvs {
+		r.close()
+	}
+}
+
+func (p *Peer) handleMessage(msg simnet.Message) {
+	kind, rb, pb, bm, err := decodeMessage(msg.Payload)
+	if err != nil {
+		return // garbled datagram; retransmission recovers
+	}
+	switch kind {
+	case kindRequestBatch:
+		key := streamKey{senderNode: msg.From, agent: rb.Agent, recvNode: p.node.Name(), group: rb.Group}
+		if r := p.recvStream(key, rb.Incarnation); r != nil {
+			r.handleRequestBatch(rb)
+		}
+	case kindReplyBatch:
+		key := streamKey{senderNode: p.node.Name(), agent: pb.Agent, recvNode: msg.From, group: pb.Group}
+		p.mu.Lock()
+		s := p.sends[key]
+		p.mu.Unlock()
+		if s != nil {
+			s.handleReplyBatch(pb)
+		}
+	case kindBreak:
+		// A break can be addressed to our receiving end (sender broke) or
+		// to our sending end (receiver broke). Route by key match.
+		rkey := streamKey{senderNode: msg.From, agent: bm.Agent, recvNode: p.node.Name(), group: bm.Group}
+		skey := streamKey{senderNode: p.node.Name(), agent: bm.Agent, recvNode: msg.From, group: bm.Group}
+		p.mu.Lock()
+		r := p.recvs[rkey]
+		s := p.sends[skey]
+		p.mu.Unlock()
+		if r != nil {
+			r.handleBreak(bm)
+		}
+		if s != nil {
+			s.handleBreak(bm)
+		}
+	}
+}
+
+// recvStream returns (creating on first use) the receiving stream for a
+// key. It returns nil once the peer is closed, so a message racing with
+// Close cannot register an executor that shutdown would never stop.
+func (p *Peer) recvStream(key streamKey, incarnation uint64) *rstream {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil
+	}
+	r, ok := p.recvs[key]
+	if !ok {
+		r = newRStream(p, key, incarnation, p.opts)
+		p.recvs[key] = r
+	}
+	return r
+}
+
+// tickLoop drives batching-delay flushes and retransmission for every
+// stream on this peer.
+func (p *Peer) tickLoop() {
+	defer p.wg.Done()
+	interval := p.opts.MaxBatchDelay / 2
+	if rto := p.opts.RTO / 2; rto < interval {
+		interval = rto
+	}
+	if interval < 200*time.Microsecond {
+		interval = 200 * time.Microsecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-p.ctx.Done():
+			return
+		case now := <-ticker.C:
+			p.mu.Lock()
+			sends := make([]*Stream, 0, len(p.sends))
+			for _, s := range p.sends {
+				sends = append(sends, s)
+			}
+			recvs := make([]*rstream, 0, len(p.recvs))
+			for _, r := range p.recvs {
+				recvs = append(recvs, r)
+			}
+			p.mu.Unlock()
+			for _, s := range sends {
+				s.tick(now)
+			}
+			for _, r := range recvs {
+				r.tick(now)
+			}
+		}
+	}
+}
+
+// Crash models a node crash: the network node goes down and all volatile
+// stream state is lost. Outstanding local promises resolve with
+// unavailable.
+func (p *Peer) Crash() {
+	p.node.Crash()
+	p.dropAllStreams()
+}
+
+// Recover brings the node back up, as a guardian recovering from a crash.
+// Streams start over with fresh state when next used.
+func (p *Peer) Recover() {
+	p.node.Recover()
+}
+
+// Close shuts down the peer: all receiving executors stop and background
+// loops exit. Outstanding sender promises resolve with unavailable.
+func (p *Peer) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	sends := p.sends
+	recvs := p.recvs
+	p.mu.Unlock()
+
+	for _, s := range sends {
+		s.Break(exception.Unavailable("peer shut down"))
+	}
+	p.cancel()
+	for _, r := range recvs {
+		r.close()
+	}
+	p.wg.Wait()
+}

@@ -1,0 +1,436 @@
+package stream
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"promises/internal/exception"
+	"promises/internal/trace"
+)
+
+// epochCounter issues unique boot epochs to receiving streams, so a
+// sender can tell a recreated receiving end (crash + recovery) from the
+// one it was talking to.
+var epochCounter atomic.Uint64
+
+func nextEpoch() uint64 { return epochCounter.Add(1) }
+
+// Incoming describes one call request being executed at the receiver.
+type Incoming struct {
+	From  string // sender node name
+	Agent string
+	Group string
+	Port  string
+	Seq   uint64
+	Mode  Mode
+	Args  []byte // encoded argument list
+
+	breakReason *exception.Exception
+}
+
+// BreakStream requests a synchronous break of the stream after this call's
+// reply: this call and all earlier ones are unaffected, but later calls on
+// the stream are discarded and will never have replies. The paper
+// prescribes this when decoding of an argument fails at the receiver.
+func (c *Incoming) BreakStream(reason *exception.Exception) {
+	c.breakReason = reason
+}
+
+// Handler executes one incoming call and produces its outcome. Handlers
+// for calls on the same stream run strictly one at a time, in call order;
+// handlers for calls on different streams run concurrently.
+type Handler func(call *Incoming) Outcome
+
+// Dispatcher finds the handler for a port name. Returning false yields a
+// failure("handler does not exist") reply.
+type Dispatcher func(port string) (Handler, bool)
+
+// rstream is the receiving end of one stream.
+type rstream struct {
+	peer *Peer
+	key  streamKey
+	opts Options
+
+	mu          sync.Mutex
+	incarnation uint64
+	epoch       uint64
+	broken      bool
+
+	// Request ordering and exactly-once delivery.
+	expected uint64 // next seq to hand to the executor
+	oo       map[uint64]request
+
+	// Execution queue (serial executor goroutine drains it).
+	execCh chan request
+	closed bool
+
+	// Out-of-order completion tracking, for ports marked parallel: seqs
+	// completed beyond the contiguous completedThrough prefix.
+	completedSet map[uint64]bool
+	// outstanding counts in-flight parallel calls; the executor waits for
+	// it to drain before running a serial call, so serial calls still
+	// appear to happen in call order.
+	outstanding sync.WaitGroup
+
+	// Reply side.
+	retained          []reply // executed, not yet acked by the sender
+	unsentReplies     int     // suffix of retained not yet transmitted at all
+	oldestUnsentAt    time.Time
+	completedThrough  uint64
+	sentCompleted     uint64 // CompletedThrough value last transmitted
+	ackedThrough      uint64 // sender has resolved replies through this seq
+	lastReplySendAt   time.Time
+	retries           int
+	pendingRetransmit bool // duplicate requests seen: sender missed replies
+}
+
+func newRStream(p *Peer, key streamKey, incarnation uint64, opts Options) *rstream {
+	r := &rstream{
+		peer:         p,
+		key:          key,
+		opts:         opts,
+		incarnation:  incarnation,
+		epoch:        nextEpoch(),
+		expected:     1,
+		oo:           make(map[uint64]request),
+		execCh:       make(chan request, 1024),
+		completedSet: make(map[uint64]bool),
+	}
+	p.wg.Add(1)
+	go r.executor()
+	return r
+}
+
+// handleRequestBatch integrates a request batch from the sender.
+func (r *rstream) handleRequestBatch(b *requestBatch) {
+	r.mu.Lock()
+	if b.Incarnation < r.incarnation {
+		r.mu.Unlock()
+		return // stale
+	}
+	if b.Incarnation > r.incarnation {
+		// The sender reincarnated the stream; adopt the new incarnation
+		// with fresh state. (Old calls were already resolved at the
+		// sender by the break.)
+		r.resetLocked(b.Incarnation)
+	}
+	if r.broken {
+		// Calls on a broken stream are discarded at the receiver.
+		r.mu.Unlock()
+		return
+	}
+
+	// The sender's ack lets us drop retained replies.
+	if b.AckRepliesThrough > r.ackedThrough {
+		r.ackedThrough = b.AckRepliesThrough
+		r.retries = 0
+		r.pruneRetainedLocked()
+	}
+
+	for _, req := range b.Requests {
+		switch {
+		case req.Seq < r.expected:
+			// Duplicate of an already-delivered request: our reply batch
+			// was probably lost; retransmit retained replies soon.
+			r.pendingRetransmit = true
+		case r.inOOLocked(req.Seq):
+			r.pendingRetransmit = true
+		default:
+			r.oo[req.Seq] = req
+		}
+	}
+	r.drainLocked()
+	respond := r.pendingRetransmit && len(r.retained) > 0
+	if respond {
+		r.pendingRetransmit = false
+	}
+	// An empty request batch is the sender probing for liveness (or a
+	// pure ack); answer with our progress so the sender knows this end is
+	// alive and which boot epoch it is talking to.
+	if len(b.Requests) == 0 {
+		respond = true
+	}
+	var msg []byte
+	if respond {
+		msg = r.buildReplyBatchLocked(true)
+	}
+	r.mu.Unlock()
+	if msg != nil {
+		r.peer.transmit(r.key.senderNode, msg)
+	}
+}
+
+func (r *rstream) inOOLocked(seq uint64) bool {
+	_, ok := r.oo[seq]
+	return ok
+}
+
+// pruneRetainedLocked drops retained replies the sender has acknowledged.
+func (r *rstream) pruneRetainedLocked() {
+	kept := r.retained[:0]
+	for _, rep := range r.retained {
+		if rep.Seq > r.ackedThrough {
+			kept = append(kept, rep)
+		}
+	}
+	// Unsent replies are always the newest; clamp in case pruning ate
+	// into the unsent suffix (it cannot, but be safe).
+	if r.unsentReplies > len(kept) {
+		r.unsentReplies = len(kept)
+	}
+	r.retained = kept
+}
+
+// drainLocked moves contiguously-sequenced requests to the executor.
+// Delivery to user code is therefore exactly-once and in call order.
+func (r *rstream) drainLocked() {
+	if r.closed {
+		return
+	}
+	for {
+		req, ok := r.oo[r.expected]
+		if !ok {
+			return
+		}
+		select {
+		case r.execCh <- req:
+			delete(r.oo, r.expected)
+			r.expected++
+		default:
+			return // executor backlogged; retry on a later tick
+		}
+	}
+}
+
+// executor runs calls in seq order. "The Argus system will delay its
+// execution until all earlier calls on its stream have completed" — with
+// one explicit override, anticipated by §2.1: ports marked parallel (see
+// Peer.SetParallelPorts) run concurrently with later calls on the same
+// stream. A serial call still waits for every earlier call, parallel ones
+// included, so ordering is preserved for everything not opted out.
+func (r *rstream) executor() {
+	defer r.peer.wg.Done()
+	for {
+		var req request
+		var ok bool
+		select {
+		case req, ok = <-r.execCh:
+			if !ok {
+				r.outstanding.Wait()
+				return
+			}
+		case <-r.peer.ctx.Done():
+			// Peer shutdown: exit even if nobody closed this stream (a
+			// stream created in a race with Close). Queued requests are
+			// abandoned, as in a crash.
+			r.outstanding.Wait()
+			return
+		}
+		if r.peer.parallelPredicate()(req.Port) {
+			r.outstanding.Add(1)
+			go func(req request) {
+				defer r.outstanding.Done()
+				r.executeOne(req)
+			}(req)
+			continue
+		}
+		r.outstanding.Wait()
+		r.executeOne(req)
+	}
+}
+
+func (r *rstream) executeOne(req request) {
+	r.mu.Lock()
+	if r.broken {
+		r.mu.Unlock()
+		return
+	}
+	inc := r.incarnation
+	r.mu.Unlock()
+
+	call := &Incoming{
+		From:  r.key.senderNode,
+		Agent: r.key.agent,
+		Group: r.key.group,
+		Port:  req.Port,
+		Seq:   req.Seq,
+		Mode:  req.Mode,
+		Args:  req.Args,
+	}
+	var outcome Outcome
+	if h, ok := r.peer.dispatcher()(req.Port); ok {
+		outcome = h(call)
+	} else {
+		outcome = ExceptionOutcome(exception.Failure("handler does not exist"))
+	}
+	r.peer.emit(trace.CallExecuted, r.key.String(), req.Seq, req.Port)
+
+	r.mu.Lock()
+	if r.broken || r.incarnation != inc {
+		r.mu.Unlock()
+		return
+	}
+	// Completion may be out of order when parallel ports are in play;
+	// completedThrough advances over the contiguous prefix only.
+	r.completedSet[req.Seq] = true
+	for r.completedSet[r.completedThrough+1] {
+		r.completedThrough++
+		delete(r.completedSet, r.completedThrough)
+	}
+	// Sends omit normal replies from the wire.
+	if req.Mode != ModeSend || !outcome.Normal {
+		if r.unsentReplies == 0 {
+			r.oldestUnsentAt = time.Now()
+		}
+		r.retained = append(r.retained, reply{Seq: req.Seq, Outcome: outcome})
+		r.unsentReplies++
+	}
+	breakReason := call.breakReason
+	flushNow := req.Mode == ModeRPC || r.unsentReplies >= r.opts.MaxBatch || breakReason != nil
+	var msg []byte
+	if flushNow && (r.unsentReplies > 0 || r.completedThrough > r.sentCompleted) {
+		msg = r.buildReplyBatchLocked(false)
+	}
+	var breakNote []byte
+	if breakReason != nil {
+		// Synchronous break requested by the handler (e.g. decode failure
+		// at the receiver): this call and earlier ones are unaffected,
+		// later calls on the stream are discarded.
+		r.broken = true
+		breakNote = encodeBreak(breakMsg{
+			Agent:       r.key.agent,
+			Group:       r.key.group,
+			Incarnation: r.incarnation,
+			Synchronous: true,
+			BrokenAfter: req.Seq,
+			ExcName:     breakReason.Name,
+			Reason:      breakReason.StringArg(0),
+		})
+	}
+	r.mu.Unlock()
+
+	if msg != nil {
+		r.peer.transmit(r.key.senderNode, msg)
+	}
+	if breakNote != nil {
+		r.peer.transmit(r.key.senderNode, breakNote)
+	}
+}
+
+// buildReplyBatchLocked encodes a reply batch carrying all retained
+// replies (retransmission-inclusive) and current progress. Caller holds
+// r.mu. retransmit batches are identical except for bookkeeping intent.
+func (r *rstream) buildReplyBatchLocked(retransmit bool) []byte {
+	reps := make([]reply, len(r.retained))
+	copy(reps, r.retained)
+	r.unsentReplies = 0
+	r.sentCompleted = r.completedThrough
+	r.lastReplySendAt = time.Now()
+	r.peer.emit(trace.ReplyBatchSent, r.key.String(), r.completedThrough,
+		fmt.Sprintf("n=%d", len(reps)))
+	return encodeReplyBatch(replyBatch{
+		Agent:              r.key.agent,
+		Group:              r.key.group,
+		Incarnation:        r.incarnation,
+		Epoch:              r.epoch,
+		AckRequestsThrough: r.expected - 1,
+		CompletedThrough:   r.completedThrough,
+		Replies:            reps,
+	})
+}
+
+// handleBreak integrates a break notification from the sender: discard
+// stream state; the sender has already resolved its promises.
+func (r *rstream) handleBreak(b *breakMsg) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if b.Incarnation != r.incarnation {
+		return
+	}
+	r.broken = true
+	r.oo = make(map[uint64]request)
+	r.retained = nil
+	r.unsentReplies = 0
+}
+
+// resetLocked adopts a new incarnation with fresh protocol state.
+func (r *rstream) resetLocked(incarnation uint64) {
+	r.incarnation = incarnation
+	r.broken = false
+	r.expected = 1
+	r.oo = make(map[uint64]request)
+	r.retained = nil
+	r.unsentReplies = 0
+	r.completedThrough = 0
+	r.sentCompleted = 0
+	r.ackedThrough = 0
+	r.retries = 0
+	r.pendingRetransmit = false
+	r.completedSet = make(map[uint64]bool)
+	// Drain any stale queued requests from the old incarnation. The
+	// executor may be mid-call; executeOne re-checks the incarnation.
+	for {
+		select {
+		case <-r.execCh:
+		default:
+			return
+		}
+	}
+}
+
+// tick flushes aged reply batches, pushes progress for send-only
+// workloads, and retransmits unacknowledged replies.
+func (r *rstream) tick(now time.Time) {
+	var (
+		msg       []byte
+		breakNote []byte
+	)
+	r.mu.Lock()
+	if r.broken {
+		r.mu.Unlock()
+		return
+	}
+	r.drainLocked()
+	switch {
+	case r.unsentReplies > 0 && now.Sub(r.oldestUnsentAt) >= r.opts.MaxBatchDelay:
+		msg = r.buildReplyBatchLocked(false)
+	case r.completedThrough > r.sentCompleted:
+		// Progress notification so sends resolve at the sender.
+		msg = r.buildReplyBatchLocked(false)
+	case len(r.retained) > 0 && now.Sub(r.lastReplySendAt) >= r.opts.RTO:
+		r.retries++
+		if r.retries > r.opts.MaxRetries {
+			// We cannot get replies through; break the stream from the
+			// receiving side. Further calls will be discarded.
+			r.broken = true
+			breakNote = encodeBreak(breakMsg{
+				Agent:       r.key.agent,
+				Group:       r.key.group,
+				Incarnation: r.incarnation,
+				Synchronous: false,
+				ExcName:     exception.NameUnavailable,
+				Reason:      "cannot communicate",
+			})
+		} else {
+			msg = r.buildReplyBatchLocked(true)
+		}
+	}
+	r.mu.Unlock()
+	if msg != nil {
+		r.peer.transmit(r.key.senderNode, msg)
+	}
+	if breakNote != nil {
+		r.peer.transmit(r.key.senderNode, breakNote)
+	}
+}
+
+func (r *rstream) close() {
+	r.mu.Lock()
+	if !r.closed {
+		r.closed = true
+		close(r.execCh)
+	}
+	r.mu.Unlock()
+}

@@ -1,0 +1,662 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"promises/internal/exception"
+	"promises/internal/trace"
+)
+
+// Agent identifies one activity within an entity; it is the sending end of
+// streams. All calls sent by an agent to ports in one port group travel on
+// the same stream and are therefore sequenced. Separate activities should
+// use separate agents so they do not synchronize with (or deadlock against)
+// one another.
+type Agent struct {
+	peer *Peer
+	name string
+}
+
+// Name returns the agent's name, unique within its peer.
+func (a *Agent) Name() string { return a.name }
+
+// Stream returns the stream from this agent to the given port group of the
+// entity at recvNode, creating it on first use.
+func (a *Agent) Stream(recvNode, group string) *Stream {
+	return a.peer.senderStream(streamKey{
+		senderNode: a.peer.node.Name(),
+		agent:      a.name,
+		recvNode:   recvNode,
+		group:      group,
+	})
+}
+
+// Pending is the transport-level handle for one call's eventual outcome;
+// the promise package wraps it with types. A Pending becomes ready exactly
+// once. Readiness is ordered: the pending for call i+1 becomes ready only
+// after the pending for call i ("if the i+1st result is ready, then so is
+// the ith").
+type Pending struct {
+	Seq  uint64
+	mode Mode
+
+	done    chan struct{}
+	outcome Outcome
+}
+
+func newPending(seq uint64, mode Mode) *Pending {
+	return &Pending{Seq: seq, mode: mode, done: make(chan struct{})}
+}
+
+func (p *Pending) resolve(o Outcome) {
+	p.outcome = o
+	close(p.done)
+}
+
+// Ready reports whether the outcome has arrived.
+func (p *Pending) Ready() bool {
+	select {
+	case <-p.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Done returns a channel closed when the outcome is ready.
+func (p *Pending) Done() <-chan struct{} { return p.done }
+
+// Wait blocks until the outcome is ready or ctx ends.
+func (p *Pending) Wait(ctx context.Context) (Outcome, error) {
+	select {
+	case <-p.done:
+		return p.outcome, nil
+	case <-ctx.Done():
+		return Outcome{}, ctx.Err()
+	}
+}
+
+// Outcome returns the outcome; it must only be called after Ready reports
+// true (or Done is closed).
+func (p *Pending) Get() Outcome {
+	<-p.done
+	return p.outcome
+}
+
+// Stream is the sending end of one call-stream. All methods are safe for
+// concurrent use, though a stream normally belongs to a single activity.
+type Stream struct {
+	peer *Peer
+	key  streamKey
+	opts Options
+
+	mu          sync.Mutex
+	incarnation uint64
+	nextSeq     uint64 // seq to assign to the next call (starts at 1)
+	broken      bool
+	breakErr    *exception.Exception
+
+	// Synchronous-break grace state: the receiver announced a break after
+	// pendingBreakAfter, so replies through that seq were (or are about to
+	// be) delivered. We hold the break open until they drain — or until a
+	// grace timeout, in case the final reply batch was lost.
+	pendingBreak       bool
+	pendingBreakAfter  uint64
+	pendingBreakReason *exception.Exception
+	pendingBreakAt     time.Time
+
+	// Sending state.
+	buffer       []request // accepted but not yet transmitted
+	bufferedAt   time.Time // when buffer[0] was accepted
+	unacked      []request // transmitted but not acked by receiver
+	ackedThrough uint64    // receiver acked requests through this seq
+	lastSendAt   time.Time // when unacked was last (re)transmitted
+	retries      int
+
+	// Receiving state (replies).
+	pending          map[uint64]*Pending
+	nextResolve      uint64 // seq whose outcome is resolved next (ordered readiness)
+	heldReplies      map[uint64]Outcome
+	completedThrough uint64
+
+	// Synch bookkeeping.
+	boundarySeq  uint64          // first seq after the last synch / RPC / incarnation
+	lastExcSeq   uint64          // highest seq that resolved exceptionally
+	synchWaiters []chan struct{} // woken whenever resolution progresses
+
+	// lastAckedReplies is the highest reply ack we have transmitted, so
+	// idle ticks only send a pure ack when the receiver hasn't heard it.
+	lastAckedReplies uint64
+
+	// recvEpoch is the boot epoch of the receiving end we have been
+	// talking to (0 = none seen yet this incarnation). A different epoch
+	// in a reply batch means the receiver lost its stream state.
+	recvEpoch uint64
+
+	// lastProgressAt is the last time we heard from the receiver (any
+	// valid reply batch) or made local progress. While calls are
+	// outstanding and the receiver is silent past RTO, the sender probes
+	// with empty request batches; MaxRetries silent probes break the
+	// stream. This is what detects a receiver that acknowledged requests
+	// and then crashed, leaving nothing to retransmit.
+	lastProgressAt time.Time
+}
+
+func newStream(p *Peer, key streamKey, opts Options) *Stream {
+	return &Stream{
+		peer:           p,
+		key:            key,
+		opts:           opts,
+		incarnation:    1,
+		nextSeq:        1,
+		nextResolve:    1,
+		boundarySeq:    1,
+		pending:        make(map[uint64]*Pending),
+		heldReplies:    make(map[uint64]Outcome),
+		lastProgressAt: time.Now(),
+	}
+}
+
+// Key returns a human-readable identification of the stream.
+func (s *Stream) Key() string { return s.key.String() }
+
+// Incarnation returns the current incarnation number (starting at 1, bumped
+// by each restart).
+func (s *Stream) Incarnation() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.incarnation
+}
+
+// Broken reports whether the stream is currently broken (and, with
+// auto-restart off, unusable until Restart).
+func (s *Stream) Broken() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.broken
+}
+
+// Call makes a stream call to the named port with pre-encoded arguments.
+// It returns a Pending for the reply, or an error if the stream is broken
+// (in which case, per §3, no pending is created). The call is buffered;
+// it is transmitted when the batch fills, when MaxBatchDelay elapses, or
+// at the next Flush.
+func (s *Stream) Call(port string, args []byte) (*Pending, error) {
+	return s.enqueue(port, args, ModeCall)
+}
+
+// Send makes a send to the named port: the sender hears back only if the
+// call terminates abnormally. The returned Pending resolves with an empty
+// normal outcome on success; sends exist so that "normal replies can be
+// omitted" from the wire.
+func (s *Stream) Send(port string, args []byte) (*Pending, error) {
+	return s.enqueue(port, args, ModeSend)
+}
+
+// RPC makes a remote procedure call: the request bypasses the batch buffer
+// and the caller waits for the reply. An RPC also establishes a synch
+// boundary, like Argus's regular calls do.
+func (s *Stream) RPC(ctx context.Context, port string, args []byte) (Outcome, error) {
+	p, err := s.enqueue(port, args, ModeRPC)
+	if err != nil {
+		return Outcome{}, err
+	}
+	s.Flush()
+	o, err := p.Wait(ctx)
+	if err != nil {
+		return Outcome{}, err
+	}
+	s.mu.Lock()
+	if p.Seq+1 > s.boundarySeq {
+		s.boundarySeq = p.Seq + 1
+	}
+	s.mu.Unlock()
+	return o, nil
+}
+
+func (s *Stream) enqueue(port string, args []byte, mode Mode) (*Pending, error) {
+	s.mu.Lock()
+	if s.pendingBreak {
+		err := s.pendingBreakReason
+		s.mu.Unlock()
+		return nil, err
+	}
+	if s.broken {
+		err := s.breakErr
+		s.mu.Unlock()
+		if err == nil {
+			err = exception.Unavailable("stream is broken")
+		}
+		return nil, err
+	}
+	seq := s.nextSeq
+	s.nextSeq++
+	p := newPending(seq, mode)
+	s.pending[seq] = p
+	if len(s.buffer) == 0 {
+		s.bufferedAt = time.Now()
+	}
+	s.buffer = append(s.buffer, request{Seq: seq, Port: port, Mode: mode, Args: args})
+	full := len(s.buffer) >= s.opts.MaxBatch || mode == ModeRPC
+	s.mu.Unlock()
+	s.peer.emit(trace.CallEnqueued, s.key.String(), seq, mode.String())
+	if full {
+		s.Flush()
+	}
+	return p, nil
+}
+
+// Flush transmits any buffered call requests now instead of waiting for
+// the batch to fill. ("Even without the flush, the system will send these
+// messages eventually; the flush merely speeds this up.")
+func (s *Stream) Flush() {
+	s.mu.Lock()
+	if len(s.buffer) == 0 {
+		s.mu.Unlock()
+		return
+	}
+	batch := s.buffer
+	s.buffer = nil
+	s.unacked = append(s.unacked, batch...)
+	s.lastSendAt = time.Now()
+	msg := s.buildRequestBatchLocked(batch)
+	s.mu.Unlock()
+	s.peer.emit(trace.BatchSent, s.key.String(), batch[0].Seq, fmt.Sprintf("n=%d", len(batch)))
+	s.peer.transmit(s.key.recvNode, msg)
+}
+
+// buildRequestBatchLocked encodes a request batch carrying the current ack
+// state. Caller holds s.mu.
+func (s *Stream) buildRequestBatchLocked(reqs []request) []byte {
+	s.lastAckedReplies = s.nextResolve - 1
+	return encodeRequestBatch(requestBatch{
+		Agent:             s.key.agent,
+		Group:             s.key.group,
+		Incarnation:       s.incarnation,
+		AckRepliesThrough: s.nextResolve - 1,
+		Requests:          reqs,
+	})
+}
+
+// Synch flushes the stream and waits until every call made so far has
+// completed. It returns nil only if all stream calls since the last synch
+// boundary (the last Synch, RPC, or incarnation start) terminated
+// normally; otherwise it returns ErrExceptionReply. It does not say which
+// calls failed — "to discover this, the program must use promises."
+func (s *Stream) Synch(ctx context.Context) error {
+	s.Flush()
+	s.mu.Lock()
+	target := s.nextSeq // all seqs < target must resolve
+	inc := s.incarnation
+	for s.incarnation == inc && s.nextResolve < target {
+		waiter := make(chan struct{})
+		s.synchWaiters = append(s.synchWaiters, waiter)
+		s.mu.Unlock()
+		select {
+		case <-waiter:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		s.mu.Lock()
+	}
+	if s.incarnation != inc {
+		// The stream broke and was reincarnated while we waited: every
+		// call before the break was resolved — exceptionally.
+		s.mu.Unlock()
+		return ErrExceptionReply
+	}
+	sawExc := s.lastExcSeq >= s.boundarySeq
+	s.boundarySeq = s.nextSeq
+	s.mu.Unlock()
+	if sawExc {
+		return ErrExceptionReply
+	}
+	return nil
+}
+
+// Break breaks the stream from the sender side with the given reason:
+// every call whose reply has not yet been resolved terminates with the
+// reason exception, and — unlike system-initiated breaks — the stream stays
+// broken until Restart is called.
+func (s *Stream) Break(reason *exception.Exception) {
+	s.breakInternal(reason, false)
+}
+
+// Restart makes a broken stream usable again: it is "equivalent to a break
+// done by the system at the sender at that moment, followed by the
+// reincarnation of the stream." Calling Restart on a healthy stream first
+// breaks it (resolving outstanding calls with unavailable).
+func (s *Stream) Restart() {
+	s.mu.Lock()
+	if !s.broken {
+		s.mu.Unlock()
+		s.breakInternal(exception.Unavailable("stream restarted"), false)
+		s.mu.Lock()
+	}
+	s.reincarnateLocked()
+	s.mu.Unlock()
+}
+
+// systemBreak is invoked by the protocol machinery (retry exhaustion,
+// receiver break notification, target crash). It honors AutoRestart.
+func (s *Stream) systemBreak(reason *exception.Exception) {
+	s.breakInternal(reason, s.opts.AutoRestart)
+}
+
+func (s *Stream) breakInternal(reason *exception.Exception, restart bool) {
+	s.mu.Lock()
+	if s.broken {
+		s.mu.Unlock()
+		return
+	}
+	s.broken = true
+	s.breakErr = reason
+	s.pendingBreak = false
+	s.peer.emit(trace.StreamBroken, s.key.String(), 0, reason.Name+"("+reason.StringArg(0)+")")
+
+	// Tell the receiver, best effort, so it can discard state.
+	note := encodeBreak(breakMsg{
+		Agent:       s.key.agent,
+		Group:       s.key.group,
+		Incarnation: s.incarnation,
+		Synchronous: false,
+		ExcName:     reason.Name,
+		Reason:      reason.StringArg(0),
+	})
+
+	// Resolve every unresolved pending, in seq order, with the reason.
+	s.resolveAllLocked(reason)
+	if restart {
+		s.reincarnateLocked()
+	}
+	s.mu.Unlock()
+
+	s.peer.transmit(s.key.recvNode, note)
+}
+
+// resolveAllLocked resolves all outstanding pendings (buffered, unacked,
+// and awaiting replies) with the given exception, preserving seq order.
+func (s *Stream) resolveAllLocked(reason *exception.Exception) {
+	o := ExceptionOutcome(reason)
+	for seq := s.nextResolve; seq < s.nextSeq; seq++ {
+		if held, ok := s.heldReplies[seq]; ok {
+			s.resolveOneLocked(seq, held)
+			continue
+		}
+		s.resolveOneLocked(seq, o)
+	}
+	s.buffer = nil
+	s.unacked = nil
+}
+
+func (s *Stream) reincarnateLocked() {
+	s.incarnation++
+	s.peer.emit(trace.StreamRestarted, s.key.String(), s.incarnation, "")
+	// Wake synch waiters so they observe the incarnation change.
+	for _, w := range s.synchWaiters {
+		close(w)
+	}
+	s.synchWaiters = nil
+	s.nextSeq = 1
+	s.nextResolve = 1
+	s.boundarySeq = 1
+	s.lastExcSeq = 0
+	s.lastAckedReplies = 0
+	s.broken = false
+	s.breakErr = nil
+	s.pendingBreak = false
+	s.recvEpoch = 0
+	s.lastProgressAt = time.Now()
+	s.buffer = nil
+	s.unacked = nil
+	s.ackedThrough = 0
+	s.completedThrough = 0
+	s.retries = 0
+	s.pending = make(map[uint64]*Pending)
+	s.heldReplies = make(map[uint64]Outcome)
+}
+
+// resolveOneLocked resolves pending seq with outcome o and advances the
+// resolution cursor. Caller must ensure seq == s.nextResolve.
+func (s *Stream) resolveOneLocked(seq uint64, o Outcome) {
+	if p, ok := s.pending[seq]; ok {
+		p.resolve(o)
+		delete(s.pending, seq)
+	}
+	delete(s.heldReplies, seq)
+	if !o.Normal && seq > s.lastExcSeq {
+		s.lastExcSeq = seq
+	}
+	detail := "normal"
+	if !o.Normal {
+		detail = o.Exception
+	}
+	s.peer.emit(trace.PromiseResolved, s.key.String(), seq, detail)
+	s.nextResolve = seq + 1
+	// Wake synch waiters; they re-check their condition.
+	for _, w := range s.synchWaiters {
+		close(w)
+	}
+	s.synchWaiters = nil
+}
+
+// handleReplyBatch integrates a reply batch from the receiver.
+func (s *Stream) handleReplyBatch(b *replyBatch) {
+	s.mu.Lock()
+	if b.Incarnation != s.incarnation || s.broken {
+		s.mu.Unlock()
+		return // stale incarnation or already broken
+	}
+	if s.recvEpoch != 0 && b.Epoch != s.recvEpoch {
+		// The receiving end was recreated within one incarnation: the
+		// receiver crashed and recovered, and our delivered-but-unreplied
+		// calls are gone. The guarantees cannot be kept; break the stream.
+		// (An epoch, not an ack-regression test, so reply batches
+		// reordered by the network cannot false-positive.)
+		s.mu.Unlock()
+		s.systemBreak(exception.Unavailable("receiver lost stream state"))
+		return
+	}
+	defer s.mu.Unlock()
+	s.recvEpoch = b.Epoch
+	// Hearing anything valid from the receiver is progress: the link and
+	// the receiver are alive, so hold off probe-based breaking.
+	s.lastProgressAt = time.Now()
+	s.retries = 0
+	// Receiver acked our requests; prune retransmission state.
+	if b.AckRequestsThrough > s.ackedThrough {
+		s.ackedThrough = b.AckRequestsThrough
+		kept := s.unacked[:0]
+		for _, r := range s.unacked {
+			if r.Seq > s.ackedThrough {
+				kept = append(kept, r)
+			}
+		}
+		s.unacked = kept
+	}
+	if b.CompletedThrough > s.completedThrough {
+		s.completedThrough = b.CompletedThrough
+	}
+	for _, r := range b.Replies {
+		if r.Seq >= s.nextResolve {
+			s.heldReplies[r.Seq] = r.Outcome
+		}
+	}
+	s.drainResolvableLocked()
+	s.finalizeBreakIfDrainedLocked()
+}
+
+// drainResolvableLocked resolves pendings in seq order: an individually
+// replied call resolves with its outcome; a send covered by
+// CompletedThrough with no individual reply completed normally.
+func (s *Stream) drainResolvableLocked() {
+	for {
+		seq := s.nextResolve
+		if seq >= s.nextSeq {
+			return
+		}
+		if o, ok := s.heldReplies[seq]; ok {
+			s.resolveOneLocked(seq, o)
+			continue
+		}
+		p := s.pending[seq]
+		if p != nil && p.mode == ModeSend && seq <= s.completedThrough {
+			// Normal reply omitted on the wire: completion implies success.
+			s.resolveOneLocked(seq, NormalOutcome(nil))
+			continue
+		}
+		return
+	}
+}
+
+// handleBreak integrates a break notification from the receiver side.
+func (s *Stream) handleBreak(b *breakMsg) {
+	s.mu.Lock()
+	if b.Incarnation != s.incarnation || s.broken {
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+
+	name := b.ExcName
+	if name == "" {
+		name = exception.NameUnavailable
+	}
+	reason := exception.New(name, b.Reason)
+
+	if !b.Synchronous {
+		s.systemBreak(reason)
+		return
+	}
+
+	// Synchronous break: calls through BrokenAfter are unaffected — their
+	// replies were (or will be) delivered — but calls after it will never
+	// have replies. The final reply batch may still be in flight (or even
+	// arrive after the break note, since datagrams can reorder), so keep
+	// the break pending until replies through BrokenAfter drain, with a
+	// grace timeout in case that batch was lost.
+	s.mu.Lock()
+	s.drainResolvableLocked()
+	if s.pendingBreak {
+		s.mu.Unlock()
+		return
+	}
+	s.pendingBreak = true
+	s.pendingBreakAfter = b.BrokenAfter
+	s.pendingBreakReason = reason
+	s.pendingBreakAt = time.Now()
+	s.finalizeBreakIfDrainedLocked()
+	s.mu.Unlock()
+}
+
+// finalizeBreakIfDrainedLocked completes a pending synchronous break once
+// every reply through pendingBreakAfter has resolved. Caller holds s.mu.
+func (s *Stream) finalizeBreakIfDrainedLocked() {
+	if !s.pendingBreak || s.nextResolve <= s.pendingBreakAfter {
+		return
+	}
+	s.finalizeBreakLocked()
+}
+
+// finalizeBreakLocked completes a pending synchronous break now: remaining
+// calls resolve with any held reply at or below the break point, and with
+// the break reason otherwise. Caller holds s.mu.
+func (s *Stream) finalizeBreakLocked() {
+	reason := s.pendingBreakReason
+	after := s.pendingBreakAfter
+	s.pendingBreak = false
+	s.broken = true
+	s.breakErr = reason
+	o := ExceptionOutcome(reason)
+	for seq := s.nextResolve; seq < s.nextSeq; seq++ {
+		if held, ok := s.heldReplies[seq]; ok && seq <= after {
+			s.resolveOneLocked(seq, held)
+		} else {
+			s.resolveOneLocked(seq, o)
+		}
+	}
+	s.buffer = nil
+	s.unacked = nil
+	if s.opts.AutoRestart {
+		s.reincarnateLocked()
+	}
+}
+
+// tick is called periodically by the peer: it flushes aged batches and
+// retransmits unacknowledged requests, breaking the stream when retries
+// are exhausted.
+func (s *Stream) tick(now time.Time) {
+	var (
+		toSend  []byte
+		doBreak bool
+	)
+	s.mu.Lock()
+	if s.broken {
+		s.mu.Unlock()
+		return
+	}
+	if s.pendingBreak {
+		// Grace period for the receiver's final reply batch; if it never
+		// arrives (lost datagram), give up and finalize with the reason.
+		if now.Sub(s.pendingBreakAt) >= s.opts.RTO {
+			s.finalizeBreakLocked()
+		}
+		s.mu.Unlock()
+		return
+	}
+	// Age-based flush.
+	if len(s.buffer) > 0 && now.Sub(s.bufferedAt) >= s.opts.MaxBatchDelay {
+		batch := s.buffer
+		s.buffer = nil
+		s.unacked = append(s.unacked, batch...)
+		s.lastSendAt = now
+		toSend = s.buildRequestBatchLocked(batch)
+		s.peer.emit(trace.BatchSent, s.key.String(), batch[0].Seq, fmt.Sprintf("n=%d aged", len(batch)))
+	} else if len(s.unacked) > 0 && now.Sub(s.lastSendAt) >= s.opts.RTO {
+		// Retransmission of everything not yet acked.
+		s.retries++
+		if s.retries > s.opts.MaxRetries {
+			doBreak = true
+		} else {
+			s.lastSendAt = now
+			toSend = s.buildRequestBatchLocked(s.unacked)
+			s.peer.emit(trace.BatchSent, s.key.String(), s.unacked[0].Seq, fmt.Sprintf("n=%d retransmit", len(s.unacked)))
+		}
+	} else if s.nextResolve > 1 && s.ackRepliesOwedLocked() {
+		// Pure ack so the receiver can release retained replies.
+		toSend = s.buildRequestBatchLocked(nil)
+		s.peer.emit(trace.BatchSent, s.key.String(), 0, "ack")
+	} else if s.nextResolve < s.nextSeq && now.Sub(s.lastProgressAt) >= s.opts.RTO {
+		// Calls are outstanding, everything transmitted is acked, and the
+		// receiver has been silent past the timeout: probe it. A live
+		// receiver answers any empty request batch with its progress; one
+		// that crashed after acking our requests stays silent, and
+		// MaxRetries silent probes break the stream.
+		s.retries++
+		if s.retries > s.opts.MaxRetries {
+			doBreak = true
+		} else {
+			s.lastProgressAt = now // pace probes one RTO apart
+			toSend = s.buildRequestBatchLocked(nil)
+			s.peer.emit(trace.BatchSent, s.key.String(), 0, "probe")
+		}
+	}
+	s.mu.Unlock()
+
+	if doBreak {
+		s.systemBreak(exception.Unavailable("cannot communicate"))
+		return
+	}
+	if toSend != nil {
+		s.peer.transmit(s.key.recvNode, toSend)
+	}
+}
+
+// lastAckedReplies tracks the highest reply ack we have transmitted, so
+// idle ticks only send a pure ack when the receiver hasn't heard it yet.
+func (s *Stream) ackRepliesOwedLocked() bool {
+	return s.nextResolve-1 > s.lastAckedReplies
+}

@@ -1,0 +1,452 @@
+// Package stream implements call-streams, the communication mechanism that
+// promises were designed for (Liskov & Shrira, PLDI 1988, §2; Liskov et
+// al., "Communication in the Mercury System").
+//
+// A stream connects an agent (the sending end, identifying one activity
+// within an entity) to a port group (the receiving end, a set of ports
+// belonging to one entity). The stream guarantees exactly-once, ordered
+// delivery of call requests and of replies: request n+1 is delivered to
+// user code only after request n, and reply n+1 only after reply n. Calls
+// and replies are buffered and batched so the kernel-call and transmission
+// overheads are amortized over several calls. If the system cannot live up
+// to the guarantees — the sender or receiver crashes, or there are serious
+// communication problems — it breaks the stream; calls without replies then
+// terminate with the unavailable or failure exception, and the stream is
+// reincarnated (restarted) so later calls can proceed.
+//
+// Three call modes exist:
+//
+//   - RPC: the request and reply bypass the batch buffers and are sent
+//     immediately, minimizing the latency of a single call.
+//   - Call (a "stream call"): buffered; the caller continues and claims
+//     the reply later through a promise.
+//   - Send: buffered; a normal reply is omitted entirely — the sender
+//     hears back only if the call terminates abnormally.
+//
+// The package is transport-level: it moves encoded argument and result
+// bytes. The promise package layers typed promises on top; the guardian
+// package supplies handler dispatch and per-stream serial execution at the
+// receiver.
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"promises/internal/exception"
+	"promises/internal/wire"
+)
+
+// Mode says how a call's reply is handled.
+type Mode int
+
+const (
+	// ModeCall is a stream call: buffered, reply claimed later.
+	ModeCall Mode = iota
+	// ModeSend is a send: buffered, normal reply omitted.
+	ModeSend
+	// ModeRPC is a remote procedure call: sent immediately, replied to
+	// immediately.
+	ModeRPC
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeCall:
+		return "call"
+	case ModeSend:
+		return "send"
+	case ModeRPC:
+		return "rpc"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Outcome is the result of one call: either a normal termination carrying
+// encoded results, or an exceptional termination carrying the condition
+// name and encoded exception results.
+type Outcome struct {
+	Normal    bool
+	Exception string // condition name when !Normal
+	Payload   []byte // wire-encoded results (normal) or exception args
+}
+
+// NormalOutcome builds the outcome of a normal termination.
+func NormalOutcome(payload []byte) Outcome { return Outcome{Normal: true, Payload: payload} }
+
+// ExceptionOutcome builds the outcome of an exceptional termination. The
+// exception's args are wire-encoded; encoding failures degrade to a
+// failure outcome, since an undecodable exception must still terminate the
+// call exceptionally.
+func ExceptionOutcome(ex *exception.Exception) Outcome {
+	payload, err := wire.Marshal(ex.Args...)
+	if err != nil {
+		return Outcome{Normal: false, Exception: exception.NameFailure,
+			Payload: mustMarshal("could not encode exception results")}
+	}
+	return Outcome{Normal: false, Exception: ex.Name, Payload: payload}
+}
+
+// Err decodes an exceptional outcome into an *exception.Exception. It
+// returns nil for normal outcomes.
+func (o Outcome) Err() *exception.Exception {
+	if o.Normal {
+		return nil
+	}
+	args, err := wire.Unmarshal(o.Payload)
+	if err != nil {
+		return exception.Failure("could not decode")
+	}
+	return exception.New(o.Exception, args...)
+}
+
+// Results decodes a normal outcome's result values. Calling it on an
+// exceptional outcome returns the exception as the error.
+func (o Outcome) Results() ([]any, error) {
+	if !o.Normal {
+		return nil, o.Err()
+	}
+	if len(o.Payload) == 0 {
+		// Sends omit the normal reply entirely; completion carries no
+		// result values.
+		return nil, nil
+	}
+	vals, err := wire.Unmarshal(o.Payload)
+	if err != nil {
+		return nil, exception.Failure("could not decode")
+	}
+	return vals, nil
+}
+
+func mustMarshal(vals ...any) []byte {
+	b, err := wire.Marshal(vals...)
+	if err != nil {
+		panic(err) // only called with built-in types
+	}
+	return b
+}
+
+// ErrExceptionReply is signalled by Synch when some stream call since the
+// last synch boundary terminated exceptionally. It carries no detail about
+// which call: "to discover this, the program must use promises."
+var ErrExceptionReply = exception.New("exception_reply")
+
+// ErrBroken is returned by Call/Send/RPC attempted on a stream that is
+// broken and not (yet) reincarnated.
+var ErrBroken = errors.New("stream: broken")
+
+// Options tunes the stream protocol. The zero value selects the defaults
+// noted on each field.
+type Options struct {
+	// MaxBatch is the number of buffered calls (or replies) that forces a
+	// batch to be transmitted. Default 16. 1 disables batching.
+	MaxBatch int
+	// MaxBatchDelay bounds how long a buffered call or reply may wait
+	// before the batch is transmitted anyway. Default 2ms.
+	MaxBatchDelay time.Duration
+	// RTO is the retransmission timeout for unacknowledged batches.
+	// Default 25ms.
+	RTO time.Duration
+	// MaxRetries is how many retransmissions without progress are
+	// attempted before the system gives up and breaks the stream.
+	// Default 8. ("The system tries hard to deliver messages before
+	// breaking a stream.")
+	MaxRetries int
+	// AutoRestart reincarnates a stream immediately after a system break,
+	// so later calls proceed on the new incarnation. Default true
+	// ("broken streams are mapped into exceptions and then restarted
+	// automatically"). Explicit Break calls never auto-restart.
+	AutoRestart bool
+	// NoAutoRestart disables AutoRestart (zero-value ergonomics).
+	NoAutoRestart bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 16
+	}
+	if o.MaxBatchDelay <= 0 {
+		o.MaxBatchDelay = 2 * time.Millisecond
+	}
+	if o.RTO <= 0 {
+		o.RTO = 25 * time.Millisecond
+	}
+	if o.MaxRetries <= 0 {
+		o.MaxRetries = 8
+	}
+	o.AutoRestart = !o.NoAutoRestart
+	return o
+}
+
+// streamKey identifies one stream: the pair (agent, port group), plus the
+// nodes at each end. Calls made by different agents to ports in the same
+// group travel on different streams, as do calls made by one agent to
+// ports in different groups.
+type streamKey struct {
+	senderNode string
+	agent      string
+	recvNode   string
+	group      string
+}
+
+func (k streamKey) String() string {
+	return fmt.Sprintf("%s/%s->%s/%s", k.senderNode, k.agent, k.recvNode, k.group)
+}
+
+// Message kinds on the wire.
+const (
+	kindRequestBatch = int64(1)
+	kindReplyBatch   = int64(2)
+	kindBreak        = int64(3)
+)
+
+// request is one call request inside a request batch.
+type request struct {
+	Seq  uint64
+	Port string
+	Mode Mode
+	Args []byte
+}
+
+// reply is one call reply inside a reply batch.
+type reply struct {
+	Seq     uint64
+	Outcome Outcome
+}
+
+// requestBatch is the unit of transmission from sender to receiver.
+type requestBatch struct {
+	Agent             string
+	Group             string
+	Incarnation       uint64
+	AckRepliesThrough uint64 // sender has resolved replies through this seq
+	Requests          []request
+}
+
+// replyBatch is the unit of transmission from receiver to sender.
+type replyBatch struct {
+	Agent              string
+	Group              string
+	Incarnation        uint64
+	Epoch              uint64 // boot epoch of the receiving end (crash detection)
+	AckRequestsThrough uint64 // receiver holds requests through this seq
+	CompletedThrough   uint64 // receiver has executed calls through this seq
+	Replies            []reply
+}
+
+// breakMsg notifies the other end that the stream broke.
+type breakMsg struct {
+	Agent       string
+	Group       string
+	Incarnation uint64
+	Synchronous bool   // true: calls after BrokenAfter are lost, earlier unaffected
+	BrokenAfter uint64 // meaningful when Synchronous
+	ExcName     string // exception to raise for lost calls
+	Reason      string
+}
+
+func encodeRequestBatch(b requestBatch) []byte {
+	reqs := make([]any, len(b.Requests))
+	for i, r := range b.Requests {
+		reqs[i] = []any{int64(r.Seq), r.Port, int64(r.Mode), r.Args}
+	}
+	return mustMarshal(kindRequestBatch, b.Agent, b.Group,
+		int64(b.Incarnation), int64(b.AckRepliesThrough), reqs)
+}
+
+func encodeReplyBatch(b replyBatch) []byte {
+	reps := make([]any, len(b.Replies))
+	for i, r := range b.Replies {
+		reps[i] = []any{int64(r.Seq), r.Outcome.Normal, r.Outcome.Exception, r.Outcome.Payload}
+	}
+	return mustMarshal(kindReplyBatch, b.Agent, b.Group, int64(b.Incarnation),
+		int64(b.Epoch), int64(b.AckRequestsThrough), int64(b.CompletedThrough), reps)
+}
+
+func encodeBreak(b breakMsg) []byte {
+	return mustMarshal(kindBreak, b.Agent, b.Group, int64(b.Incarnation),
+		b.Synchronous, int64(b.BrokenAfter), b.ExcName, b.Reason)
+}
+
+// decodeMessage parses any stream-layer message, returning its kind and
+// exactly one of the batch structs.
+func decodeMessage(payload []byte) (kind int64, rb *requestBatch, pb *replyBatch, bm *breakMsg, err error) {
+	vals, err := wire.Unmarshal(payload)
+	if err != nil {
+		return 0, nil, nil, nil, err
+	}
+	kind, err = wire.IntArg(vals, 0)
+	if err != nil {
+		return 0, nil, nil, nil, err
+	}
+	switch kind {
+	case kindRequestBatch:
+		b := &requestBatch{}
+		if b.Agent, err = wire.StringArg(vals, 1); err != nil {
+			return 0, nil, nil, nil, err
+		}
+		if b.Group, err = wire.StringArg(vals, 2); err != nil {
+			return 0, nil, nil, nil, err
+		}
+		inc, err := wire.IntArg(vals, 3)
+		if err != nil {
+			return 0, nil, nil, nil, err
+		}
+		b.Incarnation = uint64(inc)
+		ack, err := wire.IntArg(vals, 4)
+		if err != nil {
+			return 0, nil, nil, nil, err
+		}
+		b.AckRepliesThrough = uint64(ack)
+		raw, err := wire.Arg(vals, 5)
+		if err != nil {
+			return 0, nil, nil, nil, err
+		}
+		list, err := wire.AsList(raw)
+		if err != nil {
+			return 0, nil, nil, nil, err
+		}
+		b.Requests = make([]request, 0, len(list))
+		for _, e := range list {
+			fields, err := wire.AsList(e)
+			if err != nil {
+				return 0, nil, nil, nil, err
+			}
+			seq, err := wire.IntArg(fields, 0)
+			if err != nil {
+				return 0, nil, nil, nil, err
+			}
+			port, err := wire.StringArg(fields, 1)
+			if err != nil {
+				return 0, nil, nil, nil, err
+			}
+			mode, err := wire.IntArg(fields, 2)
+			if err != nil {
+				return 0, nil, nil, nil, err
+			}
+			argsRaw, err := wire.Arg(fields, 3)
+			if err != nil {
+				return 0, nil, nil, nil, err
+			}
+			args, err := wire.AsBytes(argsRaw)
+			if err != nil {
+				return 0, nil, nil, nil, err
+			}
+			b.Requests = append(b.Requests, request{
+				Seq: uint64(seq), Port: port, Mode: Mode(mode), Args: args,
+			})
+		}
+		return kind, b, nil, nil, nil
+
+	case kindReplyBatch:
+		b := &replyBatch{}
+		if b.Agent, err = wire.StringArg(vals, 1); err != nil {
+			return 0, nil, nil, nil, err
+		}
+		if b.Group, err = wire.StringArg(vals, 2); err != nil {
+			return 0, nil, nil, nil, err
+		}
+		inc, err := wire.IntArg(vals, 3)
+		if err != nil {
+			return 0, nil, nil, nil, err
+		}
+		b.Incarnation = uint64(inc)
+		epoch, err := wire.IntArg(vals, 4)
+		if err != nil {
+			return 0, nil, nil, nil, err
+		}
+		b.Epoch = uint64(epoch)
+		ack, err := wire.IntArg(vals, 5)
+		if err != nil {
+			return 0, nil, nil, nil, err
+		}
+		b.AckRequestsThrough = uint64(ack)
+		done, err := wire.IntArg(vals, 6)
+		if err != nil {
+			return 0, nil, nil, nil, err
+		}
+		b.CompletedThrough = uint64(done)
+		raw, err := wire.Arg(vals, 7)
+		if err != nil {
+			return 0, nil, nil, nil, err
+		}
+		list, err := wire.AsList(raw)
+		if err != nil {
+			return 0, nil, nil, nil, err
+		}
+		b.Replies = make([]reply, 0, len(list))
+		for _, e := range list {
+			fields, err := wire.AsList(e)
+			if err != nil {
+				return 0, nil, nil, nil, err
+			}
+			seq, err := wire.IntArg(fields, 0)
+			if err != nil {
+				return 0, nil, nil, nil, err
+			}
+			normRaw, err := wire.Arg(fields, 1)
+			if err != nil {
+				return 0, nil, nil, nil, err
+			}
+			norm, err := wire.AsBool(normRaw)
+			if err != nil {
+				return 0, nil, nil, nil, err
+			}
+			exc, err := wire.StringArg(fields, 2)
+			if err != nil {
+				return 0, nil, nil, nil, err
+			}
+			plRaw, err := wire.Arg(fields, 3)
+			if err != nil {
+				return 0, nil, nil, nil, err
+			}
+			pl, err := wire.AsBytes(plRaw)
+			if err != nil {
+				return 0, nil, nil, nil, err
+			}
+			b.Replies = append(b.Replies, reply{
+				Seq:     uint64(seq),
+				Outcome: Outcome{Normal: norm, Exception: exc, Payload: pl},
+			})
+		}
+		return kind, nil, b, nil, nil
+
+	case kindBreak:
+		b := &breakMsg{}
+		if b.Agent, err = wire.StringArg(vals, 1); err != nil {
+			return 0, nil, nil, nil, err
+		}
+		if b.Group, err = wire.StringArg(vals, 2); err != nil {
+			return 0, nil, nil, nil, err
+		}
+		inc, err := wire.IntArg(vals, 3)
+		if err != nil {
+			return 0, nil, nil, nil, err
+		}
+		b.Incarnation = uint64(inc)
+		syncRaw, err := wire.Arg(vals, 4)
+		if err != nil {
+			return 0, nil, nil, nil, err
+		}
+		if b.Synchronous, err = wire.AsBool(syncRaw); err != nil {
+			return 0, nil, nil, nil, err
+		}
+		after, err := wire.IntArg(vals, 5)
+		if err != nil {
+			return 0, nil, nil, nil, err
+		}
+		b.BrokenAfter = uint64(after)
+		if b.ExcName, err = wire.StringArg(vals, 6); err != nil {
+			return 0, nil, nil, nil, err
+		}
+		if b.Reason, err = wire.StringArg(vals, 7); err != nil {
+			return 0, nil, nil, nil, err
+		}
+		return kind, nil, nil, b, nil
+
+	default:
+		return 0, nil, nil, nil, fmt.Errorf("stream: unknown message kind %d", kind)
+	}
+}

@@ -1,0 +1,143 @@
+// Package trace records stream-protocol events for observability and for
+// tests that assert on protocol behavior (did batching coalesce these
+// calls? was a probe sent? when did the break happen?).
+//
+// The stream runtime emits events through the Tracer interface when one
+// is installed on a Peer (stream.Peer.SetTracer); with no tracer
+// installed the instrumentation is a nil check. Ring is the standard
+// tracer: a fixed-capacity, concurrency-safe ring buffer.
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Kind classifies one protocol event.
+type Kind int
+
+// Protocol event kinds.
+const (
+	// CallEnqueued: a call accepted into a sending stream's buffer.
+	CallEnqueued Kind = iota
+	// BatchSent: a request batch transmitted (Detail: "n=<calls>" or
+	// "probe" / "retransmit").
+	BatchSent
+	// ReplyBatchSent: a reply batch transmitted by the receiving end.
+	ReplyBatchSent
+	// CallExecuted: a call's handler completed at the receiver.
+	CallExecuted
+	// PromiseResolved: a pending resolved at the sender (Detail: outcome).
+	PromiseResolved
+	// StreamBroken: a stream broke (Detail: reason).
+	StreamBroken
+	// StreamRestarted: a stream reincarnated (Seq: new incarnation).
+	StreamRestarted
+)
+
+var kindNames = map[Kind]string{
+	CallEnqueued:    "call-enqueued",
+	BatchSent:       "batch-sent",
+	ReplyBatchSent:  "reply-batch-sent",
+	CallExecuted:    "call-executed",
+	PromiseResolved: "promise-resolved",
+	StreamBroken:    "stream-broken",
+	StreamRestarted: "stream-restarted",
+}
+
+func (k Kind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Event is one recorded protocol event.
+type Event struct {
+	At     time.Time
+	Kind   Kind
+	Stream string // stream key ("sender/agent->recv/group")
+	Seq    uint64 // call seq (or incarnation for StreamRestarted)
+	Detail string
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%s %s seq=%d %s", e.Kind, e.Stream, e.Seq, e.Detail)
+}
+
+// Tracer receives protocol events. Implementations must be safe for
+// concurrent use.
+type Tracer interface {
+	Record(Event)
+}
+
+// Ring is a fixed-capacity ring-buffer tracer: the newest events win.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int
+	count int
+}
+
+// NewRing creates a ring holding up to capacity events (default 4096 if
+// capacity <= 0).
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Ring{buf: make([]Event, capacity)}
+}
+
+// Record stores an event, evicting the oldest if full.
+func (r *Ring) Record(e Event) {
+	if e.At.IsZero() {
+		e.At = time.Now()
+	}
+	r.mu.Lock()
+	r.buf[r.next] = e
+	r.next = (r.next + 1) % len(r.buf)
+	if r.count < len(r.buf) {
+		r.count++
+	}
+	r.mu.Unlock()
+}
+
+// Events returns the recorded events, oldest first.
+func (r *Ring) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, r.count)
+	start := r.next - r.count
+	if start < 0 {
+		start += len(r.buf)
+	}
+	for i := 0; i < r.count; i++ {
+		out = append(out, r.buf[(start+i)%len(r.buf)])
+	}
+	return out
+}
+
+// Filter returns the recorded events of one kind, oldest first.
+func (r *Ring) Filter(k Kind) []Event {
+	var out []Event
+	for _, e := range r.Events() {
+		if e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Count returns how many recorded events have the given kind.
+func (r *Ring) Count(k Kind) int {
+	return len(r.Filter(k))
+}
+
+// Reset discards all recorded events.
+func (r *Ring) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.next = 0
+	r.count = 0
+}

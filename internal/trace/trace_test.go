@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRingRecordsInOrder(t *testing.T) {
+	r := NewRing(16)
+	for i := 0; i < 5; i++ {
+		r.Record(Event{Kind: CallEnqueued, Seq: uint64(i)})
+	}
+	evs := r.Events()
+	if len(evs) != 5 {
+		t.Fatalf("len = %d", len(evs))
+	}
+	for i, e := range evs {
+		if e.Seq != uint64(i) {
+			t.Fatalf("event %d seq = %d", i, e.Seq)
+		}
+		if e.At.IsZero() {
+			t.Fatal("timestamp not filled in")
+		}
+	}
+}
+
+func TestRingEvictsOldest(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Record(Event{Kind: BatchSent, Seq: uint64(i)})
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("len = %d", len(evs))
+	}
+	if evs[0].Seq != 6 || evs[3].Seq != 9 {
+		t.Fatalf("events = %v", evs)
+	}
+}
+
+func TestFilterAndCount(t *testing.T) {
+	r := NewRing(16)
+	r.Record(Event{Kind: CallEnqueued})
+	r.Record(Event{Kind: BatchSent})
+	r.Record(Event{Kind: CallEnqueued})
+	if got := r.Count(CallEnqueued); got != 2 {
+		t.Fatalf("Count = %d", got)
+	}
+	if got := len(r.Filter(BatchSent)); got != 1 {
+		t.Fatalf("Filter = %d", got)
+	}
+	if got := r.Count(StreamBroken); got != 0 {
+		t.Fatalf("Count(StreamBroken) = %d", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := NewRing(8)
+	r.Record(Event{Kind: CallEnqueued})
+	r.Reset()
+	if len(r.Events()) != 0 {
+		t.Fatal("events survived Reset")
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	r := NewRing(0)
+	for i := 0; i < 5000; i++ {
+		r.Record(Event{Kind: CallExecuted, Seq: uint64(i)})
+	}
+	if len(r.Events()) != 4096 {
+		t.Fatalf("len = %d", len(r.Events()))
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	r := NewRing(128)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Record(Event{Kind: PromiseResolved})
+			}
+		}()
+	}
+	wg.Wait()
+	if len(r.Events()) != 128 {
+		t.Fatalf("len = %d", len(r.Events()))
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{At: time.Now(), Kind: StreamBroken, Stream: "a/b->c/d", Seq: 3, Detail: "unavailable(x)"}
+	s := e.String()
+	if !strings.Contains(s, "stream-broken") || !strings.Contains(s, "a/b->c/d") {
+		t.Fatalf("String = %q", s)
+	}
+	if Kind(99).String() != fmt.Sprintf("kind(%d)", 99) {
+		t.Fatalf("unknown kind = %q", Kind(99))
+	}
+}

@@ -1,0 +1,106 @@
+package wire
+
+import "fmt"
+
+// The conversion helpers below are used by typed handler stubs to recover
+// concrete values from the []any that Unmarshal produces. Each returns an
+// error (rather than panicking) because a mismatched type is a decode-level
+// failure that must surface as failure("could not decode").
+
+// AsInt converts a decoded value to int64.
+func AsInt(v any) (int64, error) {
+	switch x := v.(type) {
+	case int64:
+		return x, nil
+	default:
+		return 0, fmt.Errorf("wire: expected int, got %T", v)
+	}
+}
+
+// AsFloat converts a decoded value to float64. Integers widen to float64,
+// mirroring Argus's separate int and real literals both being numeric.
+func AsFloat(v any) (float64, error) {
+	switch x := v.(type) {
+	case float64:
+		return x, nil
+	case int64:
+		return float64(x), nil
+	default:
+		return 0, fmt.Errorf("wire: expected real, got %T", v)
+	}
+}
+
+// AsString converts a decoded value to string.
+func AsString(v any) (string, error) {
+	if s, ok := v.(string); ok {
+		return s, nil
+	}
+	return "", fmt.Errorf("wire: expected string, got %T", v)
+}
+
+// AsBool converts a decoded value to bool.
+func AsBool(v any) (bool, error) {
+	if b, ok := v.(bool); ok {
+		return b, nil
+	}
+	return false, fmt.Errorf("wire: expected bool, got %T", v)
+}
+
+// AsBytes converts a decoded value to []byte.
+func AsBytes(v any) ([]byte, error) {
+	if b, ok := v.([]byte); ok {
+		return b, nil
+	}
+	return nil, fmt.Errorf("wire: expected bytes, got %T", v)
+}
+
+// AsList converts a decoded value to []any.
+func AsList(v any) ([]any, error) {
+	if l, ok := v.([]any); ok {
+		return l, nil
+	}
+	return nil, fmt.Errorf("wire: expected list, got %T", v)
+}
+
+// AsRef converts a decoded value to a Ref.
+func AsRef(v any) (Ref, error) {
+	if r, ok := v.(Ref); ok {
+		return r, nil
+	}
+	return Ref{}, fmt.Errorf("wire: expected ref, got %T", v)
+}
+
+// Arg fetches vals[i] or reports a decode-level arity error.
+func Arg(vals []any, i int) (any, error) {
+	if i < 0 || i >= len(vals) {
+		return nil, fmt.Errorf("wire: argument %d missing (have %d)", i, len(vals))
+	}
+	return vals[i], nil
+}
+
+// IntArg fetches vals[i] as int64.
+func IntArg(vals []any, i int) (int64, error) {
+	v, err := Arg(vals, i)
+	if err != nil {
+		return 0, err
+	}
+	return AsInt(v)
+}
+
+// FloatArg fetches vals[i] as float64.
+func FloatArg(vals []any, i int) (float64, error) {
+	v, err := Arg(vals, i)
+	if err != nil {
+		return 0, err
+	}
+	return AsFloat(v)
+}
+
+// StringArg fetches vals[i] as string.
+func StringArg(vals []any, i int) (string, error) {
+	v, err := Arg(vals, i)
+	if err != nil {
+		return "", err
+	}
+	return AsString(v)
+}

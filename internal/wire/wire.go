@@ -1,0 +1,426 @@
+// Package wire implements the external representation used to transmit
+// call arguments and results between entities, following the value
+// transmission model of Argus (Herlihy & Liskov): when a call is made each
+// argument is encoded from the sender's representation into a neutral
+// external form, and decoded at the receiver. Results travel the same way
+// in reverse.
+//
+// Built-in types (booleans, integers, floats, strings, byte strings, lists,
+// string-keyed maps, and references such as ports) have fixed encodings.
+// Objects of abstract types are encoded and decoded by user-provided
+// codecs, which may fail — exactly the failure source the paper calls out:
+// "Either encoding or decoding may fail. ... Such a failure causes the call
+// to terminate with the failure exception."
+//
+// The encoding is self-describing: each value is a one-byte tag followed by
+// tag-specific data. Integers use zig-zag varints. The format is
+// deterministic, so encoded forms can be compared byte-wise in tests.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"reflect"
+	"sort"
+	"sync"
+)
+
+// Value tags. The tag byte precedes every encoded value.
+const (
+	tagNil      = 0x00
+	tagFalse    = 0x01
+	tagTrue     = 0x02
+	tagInt      = 0x03 // zig-zag varint
+	tagFloat    = 0x04 // IEEE-754 big-endian 8 bytes
+	tagString   = 0x05 // varint length + bytes
+	tagBytes    = 0x06 // varint length + bytes
+	tagList     = 0x07 // varint count + values
+	tagMap      = 0x08 // varint count + (string key, value) pairs, key-sorted
+	tagAbstract = 0x09 // type name (string) + varint length + codec bytes
+	tagRef      = 0x0a // kind (string) + name (string)
+)
+
+// ErrTruncated is returned when a decode runs off the end of its input.
+var ErrTruncated = errors.New("wire: truncated value")
+
+// EncodeError wraps any failure that occurred while producing the external
+// representation of a value. Callers map it to failure("could not encode").
+type EncodeError struct{ Err error }
+
+func (e *EncodeError) Error() string { return "wire: encode: " + e.Err.Error() }
+func (e *EncodeError) Unwrap() error { return e.Err }
+
+// DecodeError wraps any failure that occurred while reading the external
+// representation. Callers map it to failure("could not decode").
+type DecodeError struct{ Err error }
+
+func (e *DecodeError) Error() string { return "wire: decode: " + e.Err.Error() }
+func (e *DecodeError) Unwrap() error { return e.Err }
+
+// Ref is a transmissible reference to a named entity resource. Ports are
+// the motivating case: "Ports may be sent as arguments and results of
+// remote calls." Kind distinguishes reference spaces (e.g. "port").
+type Ref struct {
+	Kind string
+	Name string
+}
+
+func (r Ref) String() string { return r.Kind + ":" + r.Name }
+
+// Codec encodes and decodes objects of one abstract type. Encode and
+// Decode run user code and may fail; failures surface as EncodeError or
+// DecodeError from Marshal/Unmarshal.
+type Codec interface {
+	// TypeName is the globally unique external name of the abstract type.
+	TypeName() string
+	// Encode produces the external bytes for v.
+	Encode(v any) ([]byte, error)
+	// Decode reconstructs a value from external bytes.
+	Decode(b []byte) (any, error)
+}
+
+// Registry maps abstract types to their codecs, by external name (for
+// decoding) and by Go dynamic type (for encoding).
+type Registry struct {
+	mu     sync.RWMutex
+	byName map[string]Codec
+	byType map[reflect.Type]Codec
+}
+
+// NewRegistry creates an empty codec registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		byName: make(map[string]Codec),
+		byType: make(map[reflect.Type]Codec),
+	}
+}
+
+// Register associates codec with the dynamic type of sample. Values whose
+// dynamic type equals sample's will be encoded with this codec, and
+// external values carrying the codec's type name will be decoded with it.
+// Registering a second codec for the same name or type replaces the first.
+func (r *Registry) Register(sample any, codec Codec) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.byName[codec.TypeName()] = codec
+	r.byType[reflect.TypeOf(sample)] = codec
+}
+
+func (r *Registry) codecFor(v any) (Codec, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	c, ok := r.byType[reflect.TypeOf(v)]
+	return c, ok
+}
+
+func (r *Registry) codecNamed(name string) (Codec, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	c, ok := r.byName[name]
+	return c, ok
+}
+
+// defaultRegistry serves Marshal/Unmarshal calls that do not carry their
+// own registry.
+var defaultRegistry = NewRegistry()
+
+// Register adds a codec to the process-wide default registry.
+func Register(sample any, codec Codec) { defaultRegistry.Register(sample, codec) }
+
+// Marshal encodes a sequence of values (an argument or result list) into
+// one byte string using the default codec registry.
+func Marshal(vals ...any) ([]byte, error) { return defaultRegistry.Marshal(vals...) }
+
+// Unmarshal decodes a byte string produced by Marshal using the default
+// codec registry.
+func Unmarshal(data []byte) ([]any, error) { return defaultRegistry.Unmarshal(data) }
+
+// Marshal encodes a sequence of values into one byte string.
+func (r *Registry) Marshal(vals ...any) ([]byte, error) {
+	buf := make([]byte, 0, 16*len(vals)+8)
+	buf = appendUvarint(buf, uint64(len(vals)))
+	var err error
+	for _, v := range vals {
+		buf, err = r.appendValue(buf, v)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+// Unmarshal decodes a byte string produced by Marshal.
+func (r *Registry) Unmarshal(data []byte) ([]any, error) {
+	n, rest, err := readUvarint(data)
+	if err != nil {
+		return nil, &DecodeError{Err: err}
+	}
+	if n > uint64(len(rest))+1 {
+		return nil, &DecodeError{Err: fmt.Errorf("value count %d exceeds input", n)}
+	}
+	vals := make([]any, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var v any
+		v, rest, err = r.readValue(rest)
+		if err != nil {
+			return nil, err
+		}
+		vals = append(vals, v)
+	}
+	if len(rest) != 0 {
+		return nil, &DecodeError{Err: fmt.Errorf("%d trailing bytes", len(rest))}
+	}
+	return vals, nil
+}
+
+func (r *Registry) appendValue(buf []byte, v any) ([]byte, error) {
+	switch x := v.(type) {
+	case nil:
+		return append(buf, tagNil), nil
+	case bool:
+		if x {
+			return append(buf, tagTrue), nil
+		}
+		return append(buf, tagFalse), nil
+	case int:
+		return appendInt(buf, int64(x)), nil
+	case int8:
+		return appendInt(buf, int64(x)), nil
+	case int16:
+		return appendInt(buf, int64(x)), nil
+	case int32:
+		return appendInt(buf, int64(x)), nil
+	case int64:
+		return appendInt(buf, x), nil
+	case uint8:
+		return appendInt(buf, int64(x)), nil
+	case uint16:
+		return appendInt(buf, int64(x)), nil
+	case uint32:
+		return appendInt(buf, int64(x)), nil
+	case uint64:
+		if x > math.MaxInt64 {
+			return nil, &EncodeError{Err: fmt.Errorf("uint64 %d overflows the integer encoding", x)}
+		}
+		return appendInt(buf, int64(x)), nil
+	case uint:
+		if uint64(x) > math.MaxInt64 {
+			return nil, &EncodeError{Err: fmt.Errorf("uint %d overflows the integer encoding", x)}
+		}
+		return appendInt(buf, int64(x)), nil
+	case float32:
+		return appendFloat(buf, float64(x)), nil
+	case float64:
+		return appendFloat(buf, x), nil
+	case string:
+		buf = append(buf, tagString)
+		buf = appendUvarint(buf, uint64(len(x)))
+		return append(buf, x...), nil
+	case []byte:
+		buf = append(buf, tagBytes)
+		buf = appendUvarint(buf, uint64(len(x)))
+		return append(buf, x...), nil
+	case Ref:
+		buf = append(buf, tagRef)
+		buf = appendUvarint(buf, uint64(len(x.Kind)))
+		buf = append(buf, x.Kind...)
+		buf = appendUvarint(buf, uint64(len(x.Name)))
+		return append(buf, x.Name...), nil
+	case []any:
+		buf = append(buf, tagList)
+		buf = appendUvarint(buf, uint64(len(x)))
+		var err error
+		for _, e := range x {
+			buf, err = r.appendValue(buf, e)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return buf, nil
+	case map[string]any:
+		buf = append(buf, tagMap)
+		buf = appendUvarint(buf, uint64(len(x)))
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var err error
+		for _, k := range keys {
+			buf = appendUvarint(buf, uint64(len(k)))
+			buf = append(buf, k...)
+			buf, err = r.appendValue(buf, x[k])
+			if err != nil {
+				return nil, err
+			}
+		}
+		return buf, nil
+	default:
+		codec, ok := r.codecFor(v)
+		if !ok {
+			return nil, &EncodeError{Err: fmt.Errorf("no codec for type %T", v)}
+		}
+		body, err := codec.Encode(v)
+		if err != nil {
+			return nil, &EncodeError{Err: fmt.Errorf("codec %q: %w", codec.TypeName(), err)}
+		}
+		buf = append(buf, tagAbstract)
+		name := codec.TypeName()
+		buf = appendUvarint(buf, uint64(len(name)))
+		buf = append(buf, name...)
+		buf = appendUvarint(buf, uint64(len(body)))
+		return append(buf, body...), nil
+	}
+}
+
+func (r *Registry) readValue(data []byte) (any, []byte, error) {
+	if len(data) == 0 {
+		return nil, nil, &DecodeError{Err: ErrTruncated}
+	}
+	tag, rest := data[0], data[1:]
+	switch tag {
+	case tagNil:
+		return nil, rest, nil
+	case tagFalse:
+		return false, rest, nil
+	case tagTrue:
+		return true, rest, nil
+	case tagInt:
+		u, rest, err := readUvarint(rest)
+		if err != nil {
+			return nil, nil, &DecodeError{Err: err}
+		}
+		return unzigzag(u), rest, nil
+	case tagFloat:
+		if len(rest) < 8 {
+			return nil, nil, &DecodeError{Err: ErrTruncated}
+		}
+		bits := binary.BigEndian.Uint64(rest)
+		return math.Float64frombits(bits), rest[8:], nil
+	case tagString:
+		b, rest, err := readBlob(rest)
+		if err != nil {
+			return nil, nil, &DecodeError{Err: err}
+		}
+		return string(b), rest, nil
+	case tagBytes:
+		b, rest, err := readBlob(rest)
+		if err != nil {
+			return nil, nil, &DecodeError{Err: err}
+		}
+		out := make([]byte, len(b))
+		copy(out, b)
+		return out, rest, nil
+	case tagRef:
+		kind, rest, err := readBlob(rest)
+		if err != nil {
+			return nil, nil, &DecodeError{Err: err}
+		}
+		name, rest, err := readBlob(rest)
+		if err != nil {
+			return nil, nil, &DecodeError{Err: err}
+		}
+		return Ref{Kind: string(kind), Name: string(name)}, rest, nil
+	case tagList:
+		n, rest, err := readUvarint(rest)
+		if err != nil {
+			return nil, nil, &DecodeError{Err: err}
+		}
+		if n > uint64(len(rest))+1 {
+			return nil, nil, &DecodeError{Err: fmt.Errorf("list count %d exceeds input", n)}
+		}
+		list := make([]any, 0, n)
+		for i := uint64(0); i < n; i++ {
+			var e any
+			e, rest, err = r.readValue(rest)
+			if err != nil {
+				return nil, nil, err
+			}
+			list = append(list, e)
+		}
+		return list, rest, nil
+	case tagMap:
+		n, rest, err := readUvarint(rest)
+		if err != nil {
+			return nil, nil, &DecodeError{Err: err}
+		}
+		if n > uint64(len(rest))+1 {
+			return nil, nil, &DecodeError{Err: fmt.Errorf("map count %d exceeds input", n)}
+		}
+		m := make(map[string]any, n)
+		for i := uint64(0); i < n; i++ {
+			var k []byte
+			k, rest, err = readBlob(rest)
+			if err != nil {
+				return nil, nil, &DecodeError{Err: err}
+			}
+			var v any
+			v, rest, err = r.readValue(rest)
+			if err != nil {
+				return nil, nil, err
+			}
+			m[string(k)] = v
+		}
+		return m, rest, nil
+	case tagAbstract:
+		nameB, rest, err := readBlob(rest)
+		if err != nil {
+			return nil, nil, &DecodeError{Err: err}
+		}
+		body, rest, err := readBlob(rest)
+		if err != nil {
+			return nil, nil, &DecodeError{Err: err}
+		}
+		codec, ok := r.codecNamed(string(nameB))
+		if !ok {
+			return nil, nil, &DecodeError{Err: fmt.Errorf("no codec for external type %q", nameB)}
+		}
+		v, err := codec.Decode(body)
+		if err != nil {
+			return nil, nil, &DecodeError{Err: fmt.Errorf("codec %q: %w", nameB, err)}
+		}
+		return v, rest, nil
+	default:
+		return nil, nil, &DecodeError{Err: fmt.Errorf("unknown tag 0x%02x", tag)}
+	}
+}
+
+func appendInt(buf []byte, v int64) []byte {
+	buf = append(buf, tagInt)
+	return appendUvarint(buf, zigzag(v))
+}
+
+func appendFloat(buf []byte, v float64) []byte {
+	buf = append(buf, tagFloat)
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], math.Float64bits(v))
+	return append(buf, b[:]...)
+}
+
+func zigzag(v int64) uint64   { return uint64((v << 1) ^ (v >> 63)) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+func appendUvarint(buf []byte, v uint64) []byte {
+	return binary.AppendUvarint(buf, v)
+}
+
+func readUvarint(data []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(data)
+	if n <= 0 {
+		return 0, nil, ErrTruncated
+	}
+	return v, data[n:], nil
+}
+
+func readBlob(data []byte) ([]byte, []byte, error) {
+	n, rest, err := readUvarint(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n > uint64(len(rest)) {
+		return nil, nil, ErrTruncated
+	}
+	return rest[:n], rest[n:], nil
+}

@@ -1,0 +1,353 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, vals ...any) []any {
+	t.Helper()
+	b, err := Marshal(vals...)
+	if err != nil {
+		t.Fatalf("Marshal(%v): %v", vals, err)
+	}
+	out, err := Unmarshal(b)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	return out
+}
+
+func TestRoundTripScalars(t *testing.T) {
+	out := roundTrip(t, nil, true, false, int64(-42), 3.25, "héllo", []byte{0, 1, 2})
+	want := []any{nil, true, false, int64(-42), 3.25, "héllo", []byte{0, 1, 2}}
+	if !reflect.DeepEqual(out, want) {
+		t.Errorf("round trip = %#v, want %#v", out, want)
+	}
+}
+
+func TestIntWidthsNormalizeToInt64(t *testing.T) {
+	out := roundTrip(t, int(7), int8(-8), int16(300), int32(-70000), uint8(255), uint16(9), uint32(10), uint64(11), uint(12))
+	want := []any{int64(7), int64(-8), int64(300), int64(-70000), int64(255), int64(9), int64(10), int64(11), int64(12)}
+	if !reflect.DeepEqual(out, want) {
+		t.Errorf("ints = %#v, want %#v", out, want)
+	}
+}
+
+func TestUint64OverflowRejected(t *testing.T) {
+	_, err := Marshal(uint64(math.MaxUint64))
+	var ee *EncodeError
+	if !errors.As(err, &ee) {
+		t.Errorf("overflowing uint64 should be an EncodeError, got %v", err)
+	}
+}
+
+func TestFloat32Widens(t *testing.T) {
+	out := roundTrip(t, float32(1.5))
+	if out[0] != 1.5 {
+		t.Errorf("float32 = %v", out[0])
+	}
+}
+
+func TestRoundTripComposite(t *testing.T) {
+	v := []any{
+		[]any{int64(1), "two", []any{true}},
+		map[string]any{"a": int64(1), "b": []any{nil, "x"}},
+		Ref{Kind: "port", Name: "mailer/read_mail"},
+	}
+	out := roundTrip(t, v...)
+	if !reflect.DeepEqual(out, v) {
+		t.Errorf("composite = %#v, want %#v", out, v)
+	}
+}
+
+func TestMapEncodingIsDeterministic(t *testing.T) {
+	m := map[string]any{"z": int64(1), "a": int64(2), "m": int64(3)}
+	b1, err := Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := Marshal(map[string]any{"m": int64(3), "a": int64(2), "z": int64(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Error("same map contents produced different encodings")
+	}
+}
+
+func TestUnsupportedTypeFailsEncode(t *testing.T) {
+	type opaque struct{ x int }
+	_, err := Marshal(opaque{1})
+	var ee *EncodeError
+	if !errors.As(err, &ee) {
+		t.Errorf("want EncodeError, got %v", err)
+	}
+}
+
+func TestTruncatedInputsFailDecode(t *testing.T) {
+	b, err := Marshal("hello", int64(123456789), 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(b); cut++ {
+		if _, err := Unmarshal(b[:cut]); err == nil {
+			t.Errorf("Unmarshal of %d/%d bytes succeeded", cut, len(b))
+		}
+	}
+}
+
+func TestTrailingGarbageFailsDecode(t *testing.T) {
+	b, err := Marshal(int64(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Unmarshal(append(b, 0x00)); err == nil {
+		t.Error("trailing byte accepted")
+	}
+}
+
+func TestUnknownTagFailsDecode(t *testing.T) {
+	// One value whose tag byte is invalid.
+	if _, err := Unmarshal([]byte{0x01, 0x7f}); err == nil {
+		t.Error("unknown tag accepted")
+	}
+}
+
+// grade is an abstract type used to exercise the codec machinery.
+type grade struct {
+	Letter string
+	Plus   bool
+}
+
+type gradeCodec struct {
+	encodeErr error
+	decodeErr error
+}
+
+func (gradeCodec) TypeName() string { return "grades.grade" }
+func (c gradeCodec) Encode(v any) ([]byte, error) {
+	if c.encodeErr != nil {
+		return nil, c.encodeErr
+	}
+	g := v.(grade)
+	b := []byte(g.Letter)
+	if g.Plus {
+		b = append(b, '+')
+	}
+	return b, nil
+}
+func (c gradeCodec) Decode(b []byte) (any, error) {
+	if c.decodeErr != nil {
+		return nil, c.decodeErr
+	}
+	g := grade{Letter: string(b)}
+	if n := len(g.Letter); n > 0 && g.Letter[n-1] == '+' {
+		g.Letter, g.Plus = g.Letter[:n-1], true
+	}
+	return g, nil
+}
+
+func TestAbstractTypeRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Register(grade{}, gradeCodec{})
+	b, err := r.Marshal(grade{Letter: "A", Plus: true}, "ctx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := r.Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out[0], grade{Letter: "A", Plus: true}) {
+		t.Errorf("grade = %#v", out[0])
+	}
+	if out[1] != "ctx" {
+		t.Errorf("second value = %v", out[1])
+	}
+}
+
+func TestUserCodecEncodeFailure(t *testing.T) {
+	r := NewRegistry()
+	r.Register(grade{}, gradeCodec{encodeErr: fmt.Errorf("boom")})
+	_, err := r.Marshal(grade{})
+	var ee *EncodeError
+	if !errors.As(err, &ee) {
+		t.Errorf("want EncodeError, got %v", err)
+	}
+}
+
+func TestUserCodecDecodeFailure(t *testing.T) {
+	good := NewRegistry()
+	good.Register(grade{}, gradeCodec{})
+	b, err := good.Marshal(grade{Letter: "B"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := NewRegistry()
+	bad.Register(grade{}, gradeCodec{decodeErr: fmt.Errorf("bad bits")})
+	_, err = bad.Unmarshal(b)
+	var de *DecodeError
+	if !errors.As(err, &de) {
+		t.Errorf("want DecodeError, got %v", err)
+	}
+}
+
+func TestDecodeWithoutCodecFails(t *testing.T) {
+	r := NewRegistry()
+	r.Register(grade{}, gradeCodec{})
+	b, err := r.Marshal(grade{Letter: "C"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewRegistry().Unmarshal(b); err == nil {
+		t.Error("decode without codec should fail")
+	}
+}
+
+func TestRegisterReplacesCodec(t *testing.T) {
+	r := NewRegistry()
+	r.Register(grade{}, gradeCodec{encodeErr: fmt.Errorf("old")})
+	r.Register(grade{}, gradeCodec{})
+	if _, err := r.Marshal(grade{Letter: "D"}); err != nil {
+		t.Errorf("replacement codec not used: %v", err)
+	}
+}
+
+func TestRefString(t *testing.T) {
+	r := Ref{Kind: "port", Name: "w1/putc"}
+	if r.String() != "port:w1/putc" {
+		t.Errorf("String = %q", r.String())
+	}
+}
+
+func TestConvertHelpers(t *testing.T) {
+	vals := []any{int64(3), 2.5, "s", true, []byte{9}, []any{int64(1)}, Ref{Kind: "port", Name: "p"}}
+	if v, err := AsInt(vals[0]); err != nil || v != 3 {
+		t.Errorf("AsInt = %v, %v", v, err)
+	}
+	if v, err := AsFloat(vals[1]); err != nil || v != 2.5 {
+		t.Errorf("AsFloat = %v, %v", v, err)
+	}
+	if v, err := AsFloat(vals[0]); err != nil || v != 3.0 {
+		t.Errorf("AsFloat(int) = %v, %v", v, err)
+	}
+	if v, err := AsString(vals[2]); err != nil || v != "s" {
+		t.Errorf("AsString = %v, %v", v, err)
+	}
+	if v, err := AsBool(vals[3]); err != nil || !v {
+		t.Errorf("AsBool = %v, %v", v, err)
+	}
+	if v, err := AsBytes(vals[4]); err != nil || len(v) != 1 {
+		t.Errorf("AsBytes = %v, %v", v, err)
+	}
+	if v, err := AsList(vals[5]); err != nil || len(v) != 1 {
+		t.Errorf("AsList = %v, %v", v, err)
+	}
+	if v, err := AsRef(vals[6]); err != nil || v.Name != "p" {
+		t.Errorf("AsRef = %v, %v", v, err)
+	}
+	// Mismatches all error.
+	if _, err := AsInt("x"); err == nil {
+		t.Error("AsInt on string should fail")
+	}
+	if _, err := AsFloat("x"); err == nil {
+		t.Error("AsFloat on string should fail")
+	}
+	if _, err := AsString(1); err == nil {
+		t.Error("AsString on int should fail")
+	}
+	if _, err := AsBool(1); err == nil {
+		t.Error("AsBool on int should fail")
+	}
+	if _, err := AsBytes(1); err == nil {
+		t.Error("AsBytes on int should fail")
+	}
+	if _, err := AsList(1); err == nil {
+		t.Error("AsList on int should fail")
+	}
+	if _, err := AsRef(1); err == nil {
+		t.Error("AsRef on int should fail")
+	}
+}
+
+func TestArgHelpers(t *testing.T) {
+	vals := []any{int64(5), 1.5, "name"}
+	if v, err := IntArg(vals, 0); err != nil || v != 5 {
+		t.Errorf("IntArg = %v, %v", v, err)
+	}
+	if v, err := FloatArg(vals, 1); err != nil || v != 1.5 {
+		t.Errorf("FloatArg = %v, %v", v, err)
+	}
+	if v, err := StringArg(vals, 2); err != nil || v != "name" {
+		t.Errorf("StringArg = %v, %v", v, err)
+	}
+	if _, err := IntArg(vals, 3); err == nil {
+		t.Error("IntArg out of range should fail")
+	}
+	if _, err := StringArg(vals, -1); err == nil {
+		t.Error("StringArg(-1) should fail")
+	}
+	if _, err := FloatArg(vals, 2); err == nil {
+		t.Error("FloatArg on string should fail")
+	}
+}
+
+// Property: any tree of supported values survives Marshal/Unmarshal.
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(i int64, fl float64, s string, b []byte, flag bool) bool {
+		if b == nil {
+			b = []byte{}
+		}
+		in := []any{i, fl, s, b, flag, []any{s, i}, map[string]any{s: i}, Ref{Kind: "port", Name: s}}
+		enc, err := Marshal(in...)
+		if err != nil {
+			return false
+		}
+		out, err := Unmarshal(enc)
+		if err != nil {
+			return false
+		}
+		if math.IsNaN(fl) {
+			// NaN != NaN; check bits separately then normalize.
+			got, ok := out[1].(float64)
+			if !ok || !math.IsNaN(got) {
+				return false
+			}
+			out[1], in[1] = 0.0, 0.0
+		}
+		return reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: decoding arbitrary bytes never panics (it may error).
+func TestPropertyDecodeNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Unmarshal panicked on %x: %v", data, r)
+			}
+		}()
+		_, _ = Unmarshal(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: zig-zag is a bijection on int64.
+func TestPropertyZigZag(t *testing.T) {
+	f := func(v int64) bool { return unzigzag(zigzag(v)) == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
