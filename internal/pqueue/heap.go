@@ -1,0 +1,98 @@
+package pqueue
+
+// Heap is a binary min-heap ordered by a caller-supplied less function.
+// Unlike Queue it is not synchronized: it is a building block for callers
+// that already hold their own lock. The simnet delivery scheduler uses it
+// to keep in-flight messages ordered by delivery deadline.
+//
+// The zero Heap is not usable; construct with NewHeap.
+type Heap[T any] struct {
+	less  func(a, b T) bool
+	items []T
+}
+
+// NewHeap creates an empty min-heap ordered by less.
+func NewHeap[T any](less func(a, b T) bool) *Heap[T] {
+	return &Heap[T]{less: less}
+}
+
+// Len returns the number of items in the heap.
+func (h *Heap[T]) Len() int { return len(h.items) }
+
+// Push adds v to the heap.
+func (h *Heap[T]) Push(v T) {
+	h.items = append(h.items, v)
+	h.up(len(h.items) - 1)
+}
+
+// Peek returns the minimum item without removing it; ok is false when the
+// heap is empty.
+func (h *Heap[T]) Peek() (v T, ok bool) {
+	if len(h.items) == 0 {
+		return v, false
+	}
+	return h.items[0], true
+}
+
+// Pop removes and returns the minimum item; ok is false when the heap is
+// empty.
+func (h *Heap[T]) Pop() (v T, ok bool) {
+	n := len(h.items)
+	if n == 0 {
+		return v, false
+	}
+	v = h.items[0]
+	h.items[0] = h.items[n-1]
+	var zero T
+	h.items[n-1] = zero // release references held by the popped slot
+	h.items = h.items[:n-1]
+	if len(h.items) > 0 {
+		h.down(0)
+	}
+	return v, true
+}
+
+// Drain removes every item, passing each to visit in arbitrary (heap)
+// order. The heap is empty afterwards. Useful for teardown paths that
+// must account for pending items without paying n·log n pops.
+func (h *Heap[T]) Drain(visit func(T)) {
+	items := h.items
+	h.items = nil
+	for i, v := range items {
+		var zero T
+		items[i] = zero
+		if visit != nil {
+			visit(v)
+		}
+	}
+}
+
+func (h *Heap[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.items[i], h.items[parent]) {
+			return
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *Heap[T]) down(i int) {
+	n := len(h.items)
+	for {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < n && h.less(h.items[left], h.items[smallest]) {
+			smallest = left
+		}
+		if right < n && h.less(h.items[right], h.items[smallest]) {
+			smallest = right
+		}
+		if smallest == i {
+			return
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+}

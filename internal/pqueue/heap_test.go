@@ -1,0 +1,112 @@
+package pqueue
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func intHeap() *Heap[int] { return NewHeap(func(a, b int) bool { return a < b }) }
+
+func TestHeapPopsInOrder(t *testing.T) {
+	h := intHeap()
+	for _, v := range []int{5, 1, 4, 1, 3, 9, 2, 6} {
+		h.Push(v)
+	}
+	want := []int{1, 1, 2, 3, 4, 5, 6, 9}
+	for i, w := range want {
+		v, ok := h.Pop()
+		if !ok || v != w {
+			t.Fatalf("pop %d = %d,%v, want %d", i, v, ok, w)
+		}
+	}
+	if _, ok := h.Pop(); ok {
+		t.Error("Pop on empty heap reported ok")
+	}
+}
+
+func TestHeapPeek(t *testing.T) {
+	h := intHeap()
+	if _, ok := h.Peek(); ok {
+		t.Error("Peek on empty heap reported ok")
+	}
+	h.Push(7)
+	h.Push(3)
+	if v, ok := h.Peek(); !ok || v != 3 {
+		t.Errorf("Peek = %d,%v, want 3", v, ok)
+	}
+	if h.Len() != 2 {
+		t.Errorf("Len after Peek = %d, want 2", h.Len())
+	}
+}
+
+func TestHeapInterleavedPushPop(t *testing.T) {
+	h := intHeap()
+	rng := rand.New(rand.NewSource(42))
+	var model []int
+	for i := 0; i < 2000; i++ {
+		if rng.Intn(3) < 2 || len(model) == 0 {
+			v := rng.Intn(1000)
+			h.Push(v)
+			model = append(model, v)
+			sort.Ints(model)
+		} else {
+			v, ok := h.Pop()
+			if !ok || v != model[0] {
+				t.Fatalf("step %d: pop = %d,%v, want %d", i, v, ok, model[0])
+			}
+			model = model[1:]
+		}
+	}
+}
+
+func TestHeapDrain(t *testing.T) {
+	h := intHeap()
+	for i := 0; i < 10; i++ {
+		h.Push(i)
+	}
+	seen := make(map[int]bool)
+	h.Drain(func(v int) { seen[v] = true })
+	if len(seen) != 10 {
+		t.Errorf("Drain visited %d items, want 10", len(seen))
+	}
+	if h.Len() != 0 {
+		t.Errorf("Len after Drain = %d, want 0", h.Len())
+	}
+	h.Push(1) // heap remains usable after Drain
+	if v, ok := h.Pop(); !ok || v != 1 {
+		t.Errorf("post-Drain Pop = %d,%v", v, ok)
+	}
+}
+
+func TestHeapPropertySortsAnySequence(t *testing.T) {
+	f := func(vals []int) bool {
+		h := intHeap()
+		for _, v := range vals {
+			h.Push(v)
+		}
+		got := make([]int, 0, len(vals))
+		for {
+			v, ok := h.Pop()
+			if !ok {
+				break
+			}
+			got = append(got, v)
+		}
+		want := append([]int(nil), vals...)
+		sort.Ints(want)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,273 @@
+package simnet
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestSchedulerGoroutineCountIndependentOfInFlight pins the tentpole
+// property of the event-driven scheduler: however many messages are in
+// flight, the network runs exactly one dispatcher goroutine, so the
+// goroutine count while thousands of deliveries are pending matches the
+// count while none are.
+func TestSchedulerGoroutineCountIndependentOfInFlight(t *testing.T) {
+	n := New(Config{Propagation: 200 * time.Millisecond})
+	defer n.Close()
+	a := n.MustAddNode("a")
+	n.MustAddNode("b")
+
+	idle := runtime.NumGoroutine()
+	const inFlight = 2000
+	for i := 0; i < inFlight; i++ {
+		if err := a.Send("b", []byte{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Every message is now queued in the dispatcher's heap (propagation is
+	// 200ms, far beyond the time the sends took).
+	loaded := runtime.NumGoroutine()
+	if loaded > idle+5 {
+		t.Errorf("goroutines grew with in-flight messages: idle=%d loaded=%d (in flight: %d)",
+			idle, loaded, inFlight)
+	}
+}
+
+// TestSchedulerCloseDropsInFlightAndStopsDispatcher verifies that Close
+// with messages still in flight returns promptly, counts them dropped,
+// and leaks no dispatcher goroutine.
+func TestSchedulerCloseDropsInFlightAndStopsDispatcher(t *testing.T) {
+	before := runtime.NumGoroutine()
+	n := New(Config{Propagation: time.Hour}) // nothing will ever be due
+	a := n.MustAddNode("a")
+	n.MustAddNode("b")
+	const sends = 50
+	for i := 0; i < sends; i++ {
+		if err := a.Send("b", []byte{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	start := time.Now()
+	n.Close()
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("Close with in-flight messages took %v", elapsed)
+	}
+	if got := n.Stats().MessagesDropped; got != sends {
+		t.Errorf("dropped = %d, want %d", got, sends)
+	}
+	// The dispatcher must be gone. Allow the runtime a moment to reap it.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("goroutines after Close = %d, want <= %d (dispatcher leaked?)", after, before)
+	}
+}
+
+// TestSchedulerSendAfterCloseRace exercises the window between the
+// network closing and a concurrent Send: the message must be dropped, not
+// delivered or deadlocked on a stopped dispatcher.
+func TestSchedulerSendAfterCloseRace(t *testing.T) {
+	for i := 0; i < 20; i++ {
+		n := New(Config{})
+		a := n.MustAddNode("a")
+		n.MustAddNode("b")
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for j := 0; j < 100; j++ {
+				_ = a.Send("b", []byte{1})
+			}
+		}()
+		n.Close()
+		<-done
+	}
+}
+
+// TestSchedulerPreservesJitterReordering re-verifies under the heap
+// scheduler that jitter still produces reordering: equal-jitter deadlines
+// are FIFO, but random jitter draws put later sends ahead of earlier
+// ones.
+func TestSchedulerPreservesJitterReordering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	reordered := false
+	for seed := int64(1); seed <= 5 && !reordered; seed++ {
+		n := New(Config{Jitter: 5 * time.Millisecond, Seed: seed})
+		a := n.MustAddNode("a")
+		b := n.MustAddNode("b")
+		const total = 64
+		for i := 0; i < total; i++ {
+			if err := a.Send("b", []byte{byte(i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		prev := -1
+		for i := 0; i < total; i++ {
+			msg, err := b.Recv(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if int(msg.Payload[0]) < prev {
+				reordered = true
+			}
+			prev = int(msg.Payload[0])
+		}
+		n.Close()
+	}
+	if !reordered {
+		t.Error("no seed in 1..5 produced reordering under jitter")
+	}
+}
+
+// TestSchedulerZeroDelayIsFIFO pins the tiebreak: with no jitter and no
+// propagation every deadline is (nearly) identical, and the insertion-seq
+// tiebreak keeps delivery in send order.
+func TestSchedulerZeroDelayIsFIFO(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	a := n.MustAddNode("a")
+	b := n.MustAddNode("b")
+	const total = 200
+	for i := 0; i < total; i++ {
+		if err := a.Send("b", []byte{byte(i), byte(i >> 8)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < total; i++ {
+		msg, err := b.Recv(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := int(msg.Payload[0]) | int(msg.Payload[1])<<8; got != i {
+			t.Fatalf("delivery %d carried payload %d (reordered at zero delay)", i, got)
+		}
+	}
+}
+
+// TestSchedulerDuplicatesStillArriveTwice re-verifies duplication through
+// the heap path: both the original and the duplicate delivery traverse
+// the same dispatcher.
+func TestSchedulerDuplicatesStillArriveTwice(t *testing.T) {
+	n := New(Config{DupRate: 1.0, Jitter: 2 * time.Millisecond, Seed: 11})
+	defer n.Close()
+	a := n.MustAddNode("a")
+	b := n.MustAddNode("b")
+	const sends = 25
+	for i := 0; i < sends; i++ {
+		if err := a.Send("b", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	seen := make(map[byte]int)
+	for i := 0; i < 2*sends; i++ {
+		msg, err := b.Recv(ctx)
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		seen[msg.Payload[0]]++
+	}
+	for v, c := range seen {
+		if c != 2 {
+			t.Errorf("message %d delivered %d times, want 2", v, c)
+		}
+	}
+}
+
+// TestSchedulerPartitionDropsScheduledAtSendTime verifies the fault model
+// is still decided at send time: messages sent during a partition are
+// dropped even though the dispatcher delivers them later.
+func TestSchedulerPartitionDropsScheduledAtSendTime(t *testing.T) {
+	n := New(Config{Propagation: 20 * time.Millisecond})
+	defer n.Close()
+	a := n.MustAddNode("a")
+	b := n.MustAddNode("b")
+	n.Partition("a", "b")
+	if err := a.Send("b", []byte("lost")); err != nil {
+		t.Fatal(err)
+	}
+	n.Heal("a", "b") // heal before the propagation delay elapses
+	if err := a.Send("b", []byte("kept")); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := b.Recv(context.Background())
+	if err != nil || string(msg.Payload) != "kept" {
+		t.Fatalf("Recv = %q, %v; want the post-heal message", msg.Payload, err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if _, err := b.Recv(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("partition-time message was delivered (err=%v)", err)
+	}
+	if got := n.Stats().MessagesDropped; got != 1 {
+		t.Errorf("dropped = %d, want 1", got)
+	}
+}
+
+// TestSchedulerCrashDropsInFlight verifies crash-drop semantics under the
+// scheduler: messages in the dispatcher's heap when the target crashes
+// are dropped at delivery time, not delivered into the recovered inbox.
+func TestSchedulerCrashDropsInFlight(t *testing.T) {
+	n := New(Config{Propagation: 30 * time.Millisecond})
+	defer n.Close()
+	a := n.MustAddNode("a")
+	b := n.MustAddNode("b")
+	const sends = 10
+	for i := 0; i < sends; i++ {
+		if err := a.Send("b", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.Crash() // before the 30ms propagation elapses
+	time.Sleep(60 * time.Millisecond)
+	b.Recover()
+	if err := a.Send("b", []byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := b.Recv(context.Background())
+	if err != nil || string(msg.Payload) != "fresh" {
+		t.Fatalf("Recv = %q, %v; want only the post-recovery message", msg.Payload, err)
+	}
+	if got := n.Stats().MessagesDropped; got != sends {
+		t.Errorf("dropped = %d, want %d", got, sends)
+	}
+}
+
+// TestSchedulerEarlierDeadlinePreempts checks the timer re-arm path: a
+// message scheduled on a fast link while the dispatcher sleeps on a slow
+// one must not wait for the slow deadline.
+func TestSchedulerEarlierDeadlinePreempts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	n := New(Config{Propagation: 300 * time.Millisecond})
+	defer n.Close()
+	a := n.MustAddNode("a")
+	b := n.MustAddNode("b")
+	c := n.MustAddNode("c")
+	n.SetLinkDelay("a", "c", time.Millisecond)
+
+	if err := a.Send("b", []byte("slow")); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond) // dispatcher is now asleep on the 300ms deadline
+	start := time.Now()
+	if err := a.Send("c", []byte("fast")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Recv(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 150*time.Millisecond {
+		t.Errorf("fast-link message waited %v behind the slow deadline", elapsed)
+	}
+	if _, err := b.Recv(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}

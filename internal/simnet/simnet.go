@@ -16,6 +16,12 @@
 // All costs are modeled with real sleeps at microsecond-to-millisecond
 // scale; with a zero Config the network is a plain reliable in-process
 // message switch suitable for fast unit tests.
+//
+// Delivery is event-driven: one dispatcher goroutine per network holds
+// every in-flight message in a min-heap keyed by delivery deadline,
+// sleeps on a single resettable timer until the earliest deadline, and
+// delivers due messages in batch. The goroutine count is therefore O(1)
+// per network, independent of the number of messages in flight.
 package simnet
 
 import (
@@ -23,9 +29,12 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"promises/internal/pqueue"
 )
 
 // Config sets the cost and fault model for a Network.
@@ -78,11 +87,30 @@ type Message struct {
 
 // Errors returned by node operations.
 var (
-	ErrCrashed      = errors.New("simnet: node is crashed")
-	ErrNoSuchNode   = errors.New("simnet: no such node")
-	ErrNetworkDown  = errors.New("simnet: network closed")
-	ErrDuplicateNod = errors.New("simnet: node already exists")
+	ErrCrashed       = errors.New("simnet: node is crashed")
+	ErrNoSuchNode    = errors.New("simnet: no such node")
+	ErrNetworkDown   = errors.New("simnet: network closed")
+	ErrDuplicateNode = errors.New("simnet: node already exists")
 )
+
+// ErrDuplicateNod is the old, misspelled name of ErrDuplicateNode.
+//
+// Deprecated: use ErrDuplicateNode.
+var ErrDuplicateNod = ErrDuplicateNode
+
+// spinThreshold is the residual wait below which the dispatcher yields
+// in a loop instead of arming its timer. OS timers round short sleeps up
+// (commonly to a millisecond or more), so waiting on the timer would
+// stretch every sub-millisecond delivery delay to the timer floor.
+const spinThreshold = 500 * time.Microsecond
+
+// delivery is one scheduled message delivery held by the dispatcher.
+type delivery struct {
+	due    time.Time
+	seq    uint64 // insertion order; FIFO tiebreak among equal deadlines
+	target *Node
+	msg    Message
+}
 
 // Network is an in-process datagram network between named nodes.
 type Network struct {
@@ -94,7 +122,17 @@ type Network struct {
 	partitions map[[2]string]bool
 	linkDelay  map[[2]string]time.Duration
 	closed     bool
-	wg         sync.WaitGroup
+	wg         sync.WaitGroup // dispatcher goroutine
+
+	// Delivery scheduler state. schedMu is separate from mu so the
+	// dispatcher popping due messages does not contend with node lookups
+	// and fate rolls on the send path.
+	schedMu     sync.Mutex
+	sched       *pqueue.Heap[delivery]
+	schedSeq    uint64
+	schedClosed bool
+	wake        chan struct{} // signaled when a new earliest deadline arrives
+	done        chan struct{} // closed by Close; stops the dispatcher
 
 	stats struct {
 		sent, delivered, dropped, duplicated, bytes, kernel int64
@@ -110,13 +148,24 @@ func New(cfg Config) *Network {
 	if cfg.InboxDepth <= 0 {
 		cfg.InboxDepth = 4096
 	}
-	return &Network{
+	n := &Network{
 		cfg:        cfg,
 		rng:        rand.New(rand.NewSource(seed)),
 		nodes:      make(map[string]*Node),
 		partitions: make(map[[2]string]bool),
 		linkDelay:  make(map[[2]string]time.Duration),
+		sched: pqueue.NewHeap(func(a, b delivery) bool {
+			if !a.due.Equal(b.due) {
+				return a.due.Before(b.due)
+			}
+			return a.seq < b.seq
+		}),
+		wake: make(chan struct{}, 1),
+		done: make(chan struct{}),
 	}
+	n.wg.Add(1)
+	go n.dispatcher()
+	return n
 }
 
 // Config returns the network's configuration.
@@ -130,7 +179,7 @@ func (n *Network) AddNode(name string) (*Node, error) {
 		return nil, ErrNetworkDown
 	}
 	if _, ok := n.nodes[name]; ok {
-		return nil, fmt.Errorf("%w: %q", ErrDuplicateNod, name)
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateNode, name)
 	}
 	nd := &Node{
 		net:   n,
@@ -213,8 +262,9 @@ func (n *Network) Stats() Stats {
 	}
 }
 
-// Close shuts the network down: pending deliveries finish or are dropped,
-// and all Recv calls unblock with ErrNetworkDown.
+// Close shuts the network down: in-flight deliveries are dropped (and
+// counted), the dispatcher goroutine exits, and all Recv calls unblock
+// with ErrNetworkDown.
 func (n *Network) Close() {
 	n.mu.Lock()
 	if n.closed {
@@ -227,26 +277,39 @@ func (n *Network) Close() {
 		nodes = append(nodes, nd)
 	}
 	n.mu.Unlock()
+
+	// Drop everything still in flight; stop accepting new deliveries.
+	n.schedMu.Lock()
+	n.schedClosed = true
+	n.sched.Drain(func(delivery) {
+		atomic.AddInt64(&n.stats.dropped, 1)
+	})
+	n.schedMu.Unlock()
+	close(n.done)
+	n.wg.Wait()
+
 	for _, nd := range nodes {
 		nd.closeInbox()
 	}
-	n.wg.Wait()
 }
 
-// decideFate rolls loss/duplication/partition/closed checks and computes
-// the delivery delay (and the duplicate's delay, if any). It must be
-// called with n.mu NOT held.
-func (n *Network) decideFate(from, to string, size int) (deliver bool, delay, dupDelay time.Duration) {
+// decideFate looks up the target and rolls loss/duplication/partition/
+// closed checks, computing the delivery delay (and the duplicate's delay,
+// if any). target is non-nil iff the named node exists; deliver reports
+// whether the message survives the fault model. It must be called with
+// n.mu NOT held.
+func (n *Network) decideFate(from, to string, size int) (target *Node, deliver bool, delay, dupDelay time.Duration) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if n.closed {
-		return false, 0, 0
+	target = n.nodes[to]
+	if target == nil || n.closed {
+		return target, false, 0, 0
 	}
 	if n.partitions[pairKey(from, to)] {
-		return false, 0, 0
+		return target, false, 0, 0
 	}
 	if n.cfg.LossRate > 0 && n.rng.Float64() < n.cfg.LossRate {
-		return false, 0, 0
+		return target, false, 0, 0
 	}
 	prop := n.cfg.Propagation
 	if d, ok := n.linkDelay[pairKey(from, to)]; ok {
@@ -263,7 +326,116 @@ func (n *Network) decideFate(from, to string, size int) (deliver bool, delay, du
 			dupDelay = base + time.Duration(n.rng.Int63n(int64(n.cfg.Jitter)))
 		}
 	}
-	return true, delay, dupDelay
+	return target, true, delay, dupDelay
+}
+
+// schedule hands one future delivery to the dispatcher.
+func (n *Network) schedule(target *Node, msg Message, d time.Duration) {
+	item := delivery{due: time.Now().Add(d), target: target, msg: msg}
+	n.schedMu.Lock()
+	if n.schedClosed {
+		n.schedMu.Unlock()
+		atomic.AddInt64(&n.stats.dropped, 1)
+		return
+	}
+	n.schedSeq++
+	item.seq = n.schedSeq
+	n.sched.Push(item)
+	min, _ := n.sched.Peek()
+	isNewMin := min.seq == item.seq
+	n.schedMu.Unlock()
+	if isNewMin {
+		// The earliest deadline moved up; nudge the dispatcher so it
+		// re-arms its timer. The buffered channel coalesces signals.
+		select {
+		case n.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// dispatcher is the single delivery goroutine: it sleeps until the
+// earliest deadline in the heap and delivers every due message in batch.
+func (n *Network) dispatcher() {
+	defer n.wg.Done()
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	var batch []delivery
+	for {
+		n.schedMu.Lock()
+		now := time.Now()
+		batch = batch[:0]
+		for {
+			min, ok := n.sched.Peek()
+			if !ok || min.due.After(now) {
+				break
+			}
+			item, _ := n.sched.Pop()
+			batch = append(batch, item)
+		}
+		var wait time.Duration
+		hasNext := false
+		if min, ok := n.sched.Peek(); ok {
+			wait = min.due.Sub(now)
+			hasNext = true
+		}
+		n.schedMu.Unlock()
+
+		// Deliver outside schedMu: deliver takes the node lock and the
+		// send path must stay free to schedule more messages meanwhile.
+		if len(batch) > 0 {
+			for i := range batch {
+				batch[i].target.deliver(batch[i].msg)
+				batch[i] = delivery{} // release payload reference
+			}
+			// Go straight back to the heap: delivering took real time, so
+			// the wait computed above is stale, and new messages may have
+			// been scheduled meanwhile. The next pass recomputes the sleep
+			// from a fresh clock with no work left to do before arming it.
+			continue
+		}
+
+		if hasNext && wait < spinThreshold {
+			// OS timers round short waits up (commonly to ≥1ms), which
+			// would stretch every sub-millisecond delivery delay to the
+			// timer floor. Yield and re-check the clock instead; the loop
+			// above delivers as soon as the deadline truly passes, and
+			// also notices any earlier message scheduled meanwhile.
+			runtime.Gosched()
+			continue
+		}
+
+		if hasNext {
+			timer.Reset(wait)
+			select {
+			case <-timer.C:
+			case <-n.wake:
+				if !timer.Stop() {
+					select {
+					case <-timer.C:
+					default:
+					}
+				}
+			case <-n.done:
+				if !timer.Stop() {
+					select {
+					case <-timer.C:
+					default:
+					}
+				}
+				return
+			}
+		} else {
+			// Nothing due and nothing scheduled: sleep until woken.
+			select {
+			case <-n.wake:
+			case <-n.done:
+				return
+			}
+		}
+	}
 }
 
 // Node is one network endpoint. An entity (guardian) owns exactly one
@@ -298,41 +470,29 @@ func (nd *Node) Send(to string, payload []byte) error {
 	}
 	nd.mu.Unlock()
 
-	target, ok := n.Node(to)
-	if !ok {
-		return fmt.Errorf("%w: %q", ErrNoSuchNode, to)
-	}
-
 	// Charge the sender: one kernel call plus the copy of the payload.
 	occupancy := n.cfg.KernelOverhead + time.Duration(len(payload))*n.cfg.PerByte
 	if occupancy > 0 {
 		time.Sleep(occupancy)
 	}
+
+	target, deliver, delay, dupDelay := n.decideFate(nd.name, to, len(payload))
+	if target == nil {
+		return fmt.Errorf("%w: %q", ErrNoSuchNode, to)
+	}
 	atomic.AddInt64(&n.stats.kernel, 1)
 	atomic.AddInt64(&n.stats.sent, 1)
 	atomic.AddInt64(&n.stats.bytes, int64(len(payload)))
-
-	deliver, delay, dupDelay := n.decideFate(nd.name, to, len(payload))
 	if !deliver {
 		atomic.AddInt64(&n.stats.dropped, 1)
 		return nil
 	}
 
 	msg := Message{From: nd.name, To: to, Payload: payload}
-	schedule := func(d time.Duration) {
-		n.wg.Add(1)
-		go func() {
-			defer n.wg.Done()
-			if d > 0 {
-				time.Sleep(d)
-			}
-			target.deliver(msg)
-		}()
-	}
-	schedule(delay)
+	n.schedule(target, msg, delay)
 	if dupDelay > 0 {
 		atomic.AddInt64(&n.stats.duplicated, 1)
-		schedule(dupDelay)
+		n.schedule(target, msg, dupDelay)
 	}
 	return nil
 }
@@ -401,7 +561,9 @@ func (nd *Node) Crash() {
 	}
 	nd.crashed = true
 	close(nd.inbox)
-	// Drain so queued messages are counted as dropped.
+	// Drain so queued messages are counted as dropped. In-flight messages
+	// still in the dispatcher's heap are dropped at delivery time by the
+	// crashed check in deliver.
 	for range nd.inbox {
 		atomic.AddInt64(&nd.net.stats.dropped, 1)
 	}

@@ -32,7 +32,7 @@ func TestDuplicateNodeRejected(t *testing.T) {
 	n := reliable()
 	defer n.Close()
 	n.MustAddNode("a")
-	if _, err := n.AddNode("a"); !errors.Is(err, ErrDuplicateNod) {
+	if _, err := n.AddNode("a"); !errors.Is(err, ErrDuplicateNode) {
 		t.Errorf("duplicate AddNode err = %v", err)
 	}
 }

@@ -1,0 +1,110 @@
+package stream
+
+import (
+	"context"
+	"testing"
+
+	"promises/internal/simnet"
+)
+
+// benchWorld is the benchmark twin of testFixture: a client and a server
+// peer over a zero-cost network, with an echo handler installed.
+func benchWorld(b *testing.B, opts Options) (*Peer, func()) {
+	b.Helper()
+	n := simnet.New(simnet.Config{})
+	client := NewPeer(n.MustAddNode("client"), opts)
+	server := NewPeer(n.MustAddNode("server"), opts)
+	server.SetDispatcher(func(port string) (Handler, bool) {
+		return echoHandler, true
+	})
+	return client, func() {
+		client.Close()
+		server.Close()
+		n.Close()
+	}
+}
+
+// BenchmarkStreamCallThroughput measures the end-to-end per-call cost of
+// the stream fast path — enqueue, batch encode, simnet transfer, receiver
+// execute, reply, promise resolution — with a bounded window of calls in
+// flight. allocs/op is the headline number: it covers every allocation on
+// the call's whole round trip.
+func BenchmarkStreamCallThroughput(b *testing.B) {
+	client, cleanup := benchWorld(b, Options{MaxBatch: 16})
+	defer cleanup()
+	s := client.Agent("bench").Stream("server", "g")
+	arg := make([]byte, 32)
+
+	const window = 256
+	pendings := make([]*Pending, 0, window)
+	ctx := context.Background()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := s.Call("echo", arg)
+		if err != nil {
+			b.Fatalf("Call: %v", err)
+		}
+		pendings = append(pendings, p)
+		if len(pendings) == window {
+			s.Flush()
+			for _, p := range pendings {
+				if _, err := p.Wait(ctx); err != nil {
+					b.Fatalf("Wait: %v", err)
+				}
+			}
+			pendings = pendings[:0]
+		}
+	}
+	s.Flush()
+	for _, p := range pendings {
+		if _, err := p.Wait(ctx); err != nil {
+			b.Fatalf("Wait: %v", err)
+		}
+	}
+}
+
+// BenchmarkEncodeRequestBatch measures encoding one 16-request batch with
+// 32-byte argument payloads — the sender-side wire cost of a full batch.
+func BenchmarkEncodeRequestBatch(b *testing.B) {
+	batch := requestBatch{
+		Agent:             "bench",
+		Group:             "g",
+		Incarnation:       1,
+		AckRepliesThrough: 7,
+	}
+	arg := make([]byte, 32)
+	for i := 0; i < 16; i++ {
+		batch.Requests = append(batch.Requests,
+			request{Seq: uint64(i + 1), Port: "echo", Mode: ModeCall, Args: arg})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = encodeRequestBatch(batch)
+	}
+}
+
+// BenchmarkEncodeReplyBatch is the receiver-side twin: one 16-reply batch
+// with 32-byte result payloads.
+func BenchmarkEncodeReplyBatch(b *testing.B) {
+	batch := replyBatch{
+		Agent:              "bench",
+		Group:              "g",
+		Incarnation:        1,
+		Epoch:              3,
+		AckRequestsThrough: 16,
+		CompletedThrough:   16,
+	}
+	res := make([]byte, 32)
+	for i := 0; i < 16; i++ {
+		batch.Replies = append(batch.Replies,
+			reply{Seq: uint64(i + 1), Outcome: NormalOutcome(res)})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = encodeReplyBatch(batch)
+	}
+}

@@ -81,6 +81,11 @@ func (p *Peer) SetTracer(t trace.Tracer) {
 	p.tracer.Store(&t)
 }
 
+// tracing reports whether a tracer is installed. Hot paths check it
+// before building emit arguments, so trace detail strings are only
+// formatted when someone is listening.
+func (p *Peer) tracing() bool { return p.tracer.Load() != nil }
+
 // emit records a protocol event if a tracer is installed.
 func (p *Peer) emit(kind trace.Kind, stream string, seq uint64, detail string) {
 	tp := p.tracer.Load()
@@ -258,26 +263,33 @@ func (p *Peer) tickLoop() {
 	}
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
+	// The snapshot slices persist across ticks so steady-state ticking
+	// does not allocate; entries are cleared after use so dropped streams
+	// are not pinned until the next tick.
+	var sends []*Stream
+	var recvs []*rstream
 	for {
 		select {
 		case <-p.ctx.Done():
 			return
 		case now := <-ticker.C:
 			p.mu.Lock()
-			sends := make([]*Stream, 0, len(p.sends))
+			sends = sends[:0]
 			for _, s := range p.sends {
 				sends = append(sends, s)
 			}
-			recvs := make([]*rstream, 0, len(p.recvs))
+			recvs = recvs[:0]
 			for _, r := range p.recvs {
 				recvs = append(recvs, r)
 			}
 			p.mu.Unlock()
-			for _, s := range sends {
+			for i, s := range sends {
 				s.tick(now)
+				sends[i] = nil
 			}
-			for _, r := range recvs {
+			for i, r := range recvs {
 				r.tick(now)
+				recvs[i] = nil
 			}
 		}
 	}

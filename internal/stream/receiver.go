@@ -49,9 +49,10 @@ type Dispatcher func(port string) (Handler, bool)
 
 // rstream is the receiving end of one stream.
 type rstream struct {
-	peer *Peer
-	key  streamKey
-	opts Options
+	peer   *Peer
+	key    streamKey
+	keyStr string // key.String(), cached once
+	opts   Options
 
 	mu          sync.Mutex
 	incarnation uint64
@@ -90,6 +91,7 @@ func newRStream(p *Peer, key streamKey, incarnation uint64, opts Options) *rstre
 	r := &rstream{
 		peer:         p,
 		key:          key,
+		keyStr:       key.String(),
 		opts:         opts,
 		incarnation:  incarnation,
 		epoch:        nextEpoch(),
@@ -265,7 +267,7 @@ func (r *rstream) executeOne(req request) {
 	} else {
 		outcome = ExceptionOutcome(exception.Failure("handler does not exist"))
 	}
-	r.peer.emit(trace.CallExecuted, r.key.String(), req.Seq, req.Port)
+	r.peer.emit(trace.CallExecuted, r.keyStr, req.Seq, req.Port)
 
 	r.mu.Lock()
 	if r.broken || r.incarnation != inc {
@@ -328,8 +330,10 @@ func (r *rstream) buildReplyBatchLocked(retransmit bool) []byte {
 	r.unsentReplies = 0
 	r.sentCompleted = r.completedThrough
 	r.lastReplySendAt = time.Now()
-	r.peer.emit(trace.ReplyBatchSent, r.key.String(), r.completedThrough,
-		fmt.Sprintf("n=%d", len(reps)))
+	if r.peer.tracing() {
+		r.peer.emit(trace.ReplyBatchSent, r.keyStr, r.completedThrough,
+			fmt.Sprintf("n=%d", len(reps)))
+	}
 	return encodeReplyBatch(replyBatch{
 		Agent:              r.key.agent,
 		Group:              r.key.group,

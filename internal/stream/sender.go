@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"promises/internal/exception"
@@ -39,59 +40,81 @@ func (a *Agent) Stream(recvNode, group string) *Stream {
 // once. Readiness is ordered: the pending for call i+1 becomes ready only
 // after the pending for call i ("if the i+1st result is ready, then so is
 // the ith").
+//
+// The done channel is materialized lazily, on the first Done or blocking
+// Wait/Get: a pipelined workload that claims outcomes after they are
+// ready never pays the channel allocation.
 type Pending struct {
 	Seq  uint64
 	mode Mode
 
-	done    chan struct{}
-	outcome Outcome
+	resolved atomic.Bool
+	outcome  Outcome
+
+	mu   sync.Mutex
+	done chan struct{} // lazily created; closed once resolved
 }
 
 func newPending(seq uint64, mode Mode) *Pending {
-	return &Pending{Seq: seq, mode: mode, done: make(chan struct{})}
+	return &Pending{Seq: seq, mode: mode}
 }
 
 func (p *Pending) resolve(o Outcome) {
+	p.mu.Lock()
 	p.outcome = o
-	close(p.done)
+	p.resolved.Store(true)
+	if p.done != nil {
+		close(p.done)
+	}
+	p.mu.Unlock()
 }
 
 // Ready reports whether the outcome has arrived.
-func (p *Pending) Ready() bool {
-	select {
-	case <-p.done:
-		return true
-	default:
-		return false
-	}
-}
+func (p *Pending) Ready() bool { return p.resolved.Load() }
 
 // Done returns a channel closed when the outcome is ready.
-func (p *Pending) Done() <-chan struct{} { return p.done }
+func (p *Pending) Done() <-chan struct{} {
+	p.mu.Lock()
+	if p.done == nil {
+		p.done = make(chan struct{})
+		if p.resolved.Load() {
+			close(p.done)
+		}
+	}
+	d := p.done
+	p.mu.Unlock()
+	return d
+}
 
 // Wait blocks until the outcome is ready or ctx ends.
 func (p *Pending) Wait(ctx context.Context) (Outcome, error) {
+	if p.resolved.Load() {
+		return p.outcome, nil
+	}
 	select {
-	case <-p.done:
+	case <-p.Done():
 		return p.outcome, nil
 	case <-ctx.Done():
 		return Outcome{}, ctx.Err()
 	}
 }
 
-// Outcome returns the outcome; it must only be called after Ready reports
-// true (or Done is closed).
+// Get returns the outcome, blocking until it is ready.
 func (p *Pending) Get() Outcome {
-	<-p.done
+	if p.resolved.Load() {
+		return p.outcome
+	}
+	<-p.Done()
 	return p.outcome
 }
 
 // Stream is the sending end of one call-stream. All methods are safe for
 // concurrent use, though a stream normally belongs to a single activity.
 type Stream struct {
-	peer *Peer
-	key  streamKey
-	opts Options
+	peer   *Peer
+	key    streamKey
+	keyStr string // key.String(), cached once — the hot path never rebuilds it
+	opts   Options
 
 	mu          sync.Mutex
 	incarnation uint64
@@ -149,6 +172,7 @@ func newStream(p *Peer, key streamKey, opts Options) *Stream {
 	return &Stream{
 		peer:           p,
 		key:            key,
+		keyStr:         key.String(),
 		opts:           opts,
 		incarnation:    1,
 		nextSeq:        1,
@@ -161,7 +185,7 @@ func newStream(p *Peer, key streamKey, opts Options) *Stream {
 }
 
 // Key returns a human-readable identification of the stream.
-func (s *Stream) Key() string { return s.key.String() }
+func (s *Stream) Key() string { return s.keyStr }
 
 // Incarnation returns the current incarnation number (starting at 1, bumped
 // by each restart).
@@ -242,7 +266,9 @@ func (s *Stream) enqueue(port string, args []byte, mode Mode) (*Pending, error) 
 	s.buffer = append(s.buffer, request{Seq: seq, Port: port, Mode: mode, Args: args})
 	full := len(s.buffer) >= s.opts.MaxBatch || mode == ModeRPC
 	s.mu.Unlock()
-	s.peer.emit(trace.CallEnqueued, s.key.String(), seq, mode.String())
+	if s.peer.tracing() {
+		s.peer.emit(trace.CallEnqueued, s.keyStr, seq, mode.String())
+	}
 	if full {
 		s.Flush()
 	}
@@ -264,7 +290,9 @@ func (s *Stream) Flush() {
 	s.lastSendAt = time.Now()
 	msg := s.buildRequestBatchLocked(batch)
 	s.mu.Unlock()
-	s.peer.emit(trace.BatchSent, s.key.String(), batch[0].Seq, fmt.Sprintf("n=%d", len(batch)))
+	if s.peer.tracing() {
+		s.peer.emit(trace.BatchSent, s.keyStr, batch[0].Seq, fmt.Sprintf("n=%d", len(batch)))
+	}
 	s.peer.transmit(s.key.recvNode, msg)
 }
 
@@ -355,7 +383,9 @@ func (s *Stream) breakInternal(reason *exception.Exception, restart bool) {
 	s.broken = true
 	s.breakErr = reason
 	s.pendingBreak = false
-	s.peer.emit(trace.StreamBroken, s.key.String(), 0, reason.Name+"("+reason.StringArg(0)+")")
+	if s.peer.tracing() {
+		s.peer.emit(trace.StreamBroken, s.keyStr, 0, reason.Name+"("+reason.StringArg(0)+")")
+	}
 
 	// Tell the receiver, best effort, so it can discard state.
 	note := encodeBreak(breakMsg{
@@ -394,7 +424,7 @@ func (s *Stream) resolveAllLocked(reason *exception.Exception) {
 
 func (s *Stream) reincarnateLocked() {
 	s.incarnation++
-	s.peer.emit(trace.StreamRestarted, s.key.String(), s.incarnation, "")
+	s.peer.emit(trace.StreamRestarted, s.keyStr, s.incarnation, "")
 	// Wake synch waiters so they observe the incarnation change.
 	for _, w := range s.synchWaiters {
 		close(w)
@@ -430,11 +460,13 @@ func (s *Stream) resolveOneLocked(seq uint64, o Outcome) {
 	if !o.Normal && seq > s.lastExcSeq {
 		s.lastExcSeq = seq
 	}
-	detail := "normal"
-	if !o.Normal {
-		detail = o.Exception
+	if s.peer.tracing() {
+		detail := "normal"
+		if !o.Normal {
+			detail = o.Exception
+		}
+		s.peer.emit(trace.PromiseResolved, s.keyStr, seq, detail)
 	}
-	s.peer.emit(trace.PromiseResolved, s.key.String(), seq, detail)
 	s.nextResolve = seq + 1
 	// Wake synch waiters; they re-check their condition.
 	for _, w := range s.synchWaiters {
@@ -614,7 +646,9 @@ func (s *Stream) tick(now time.Time) {
 		s.unacked = append(s.unacked, batch...)
 		s.lastSendAt = now
 		toSend = s.buildRequestBatchLocked(batch)
-		s.peer.emit(trace.BatchSent, s.key.String(), batch[0].Seq, fmt.Sprintf("n=%d aged", len(batch)))
+		if s.peer.tracing() {
+			s.peer.emit(trace.BatchSent, s.keyStr, batch[0].Seq, fmt.Sprintf("n=%d aged", len(batch)))
+		}
 	} else if len(s.unacked) > 0 && now.Sub(s.lastSendAt) >= s.opts.RTO {
 		// Retransmission of everything not yet acked.
 		s.retries++
@@ -623,12 +657,14 @@ func (s *Stream) tick(now time.Time) {
 		} else {
 			s.lastSendAt = now
 			toSend = s.buildRequestBatchLocked(s.unacked)
-			s.peer.emit(trace.BatchSent, s.key.String(), s.unacked[0].Seq, fmt.Sprintf("n=%d retransmit", len(s.unacked)))
+			if s.peer.tracing() {
+				s.peer.emit(trace.BatchSent, s.keyStr, s.unacked[0].Seq, fmt.Sprintf("n=%d retransmit", len(s.unacked)))
+			}
 		}
 	} else if s.nextResolve > 1 && s.ackRepliesOwedLocked() {
 		// Pure ack so the receiver can release retained replies.
 		toSend = s.buildRequestBatchLocked(nil)
-		s.peer.emit(trace.BatchSent, s.key.String(), 0, "ack")
+		s.peer.emit(trace.BatchSent, s.keyStr, 0, "ack")
 	} else if s.nextResolve < s.nextSeq && now.Sub(s.lastProgressAt) >= s.opts.RTO {
 		// Calls are outstanding, everything transmitted is acked, and the
 		// receiver has been silent past the timeout: probe it. A live
@@ -641,7 +677,7 @@ func (s *Stream) tick(now time.Time) {
 		} else {
 			s.lastProgressAt = now // pace probes one RTO apart
 			toSend = s.buildRequestBatchLocked(nil)
-			s.peer.emit(trace.BatchSent, s.key.String(), 0, "probe")
+			s.peer.emit(trace.BatchSent, s.keyStr, 0, "probe")
 		}
 	}
 	s.mu.Unlock()

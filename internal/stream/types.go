@@ -32,6 +32,7 @@ package stream
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"promises/internal/exception"
@@ -247,22 +248,68 @@ type breakMsg struct {
 	Reason      string
 }
 
+// encodeScratch pools the working buffers the batch encoders build into.
+// The finished message is copied into an exact-size fresh slice (its
+// ownership passes to simnet and ultimately the receiver, so the scratch
+// itself can never leave this file), and the scratch returns to the pool
+// to amortize growth across batches.
+var encodeScratch = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 1024)
+		return &b
+	},
+}
+
+// finishEncode copies the built message out of the pooled scratch and
+// recycles the scratch.
+func finishEncode(bp *[]byte, buf []byte) []byte {
+	out := make([]byte, len(buf))
+	copy(out, buf)
+	*bp = buf[:0]
+	encodeScratch.Put(bp)
+	return out
+}
+
 func encodeRequestBatch(b requestBatch) []byte {
-	reqs := make([]any, len(b.Requests))
-	for i, r := range b.Requests {
-		reqs[i] = []any{int64(r.Seq), r.Port, int64(r.Mode), r.Args}
+	bp := encodeScratch.Get().(*[]byte)
+	buf := (*bp)[:0]
+	buf = wire.AppendHeader(buf, 6)
+	buf = wire.AppendInt(buf, kindRequestBatch)
+	buf = wire.AppendString(buf, b.Agent)
+	buf = wire.AppendString(buf, b.Group)
+	buf = wire.AppendInt(buf, int64(b.Incarnation))
+	buf = wire.AppendInt(buf, int64(b.AckRepliesThrough))
+	buf = wire.AppendList(buf, len(b.Requests))
+	for _, r := range b.Requests {
+		buf = wire.AppendList(buf, 4)
+		buf = wire.AppendInt(buf, int64(r.Seq))
+		buf = wire.AppendString(buf, r.Port)
+		buf = wire.AppendInt(buf, int64(r.Mode))
+		buf = wire.AppendBytes(buf, r.Args)
 	}
-	return mustMarshal(kindRequestBatch, b.Agent, b.Group,
-		int64(b.Incarnation), int64(b.AckRepliesThrough), reqs)
+	return finishEncode(bp, buf)
 }
 
 func encodeReplyBatch(b replyBatch) []byte {
-	reps := make([]any, len(b.Replies))
-	for i, r := range b.Replies {
-		reps[i] = []any{int64(r.Seq), r.Outcome.Normal, r.Outcome.Exception, r.Outcome.Payload}
+	bp := encodeScratch.Get().(*[]byte)
+	buf := (*bp)[:0]
+	buf = wire.AppendHeader(buf, 8)
+	buf = wire.AppendInt(buf, kindReplyBatch)
+	buf = wire.AppendString(buf, b.Agent)
+	buf = wire.AppendString(buf, b.Group)
+	buf = wire.AppendInt(buf, int64(b.Incarnation))
+	buf = wire.AppendInt(buf, int64(b.Epoch))
+	buf = wire.AppendInt(buf, int64(b.AckRequestsThrough))
+	buf = wire.AppendInt(buf, int64(b.CompletedThrough))
+	buf = wire.AppendList(buf, len(b.Replies))
+	for _, r := range b.Replies {
+		buf = wire.AppendList(buf, 4)
+		buf = wire.AppendInt(buf, int64(r.Seq))
+		buf = wire.AppendBool(buf, r.Outcome.Normal)
+		buf = wire.AppendString(buf, r.Outcome.Exception)
+		buf = wire.AppendBytes(buf, r.Outcome.Payload)
 	}
-	return mustMarshal(kindReplyBatch, b.Agent, b.Group, int64(b.Incarnation),
-		int64(b.Epoch), int64(b.AckRequestsThrough), int64(b.CompletedThrough), reps)
+	return finishEncode(bp, buf)
 }
 
 func encodeBreak(b breakMsg) []byte {

@@ -1,0 +1,71 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestAppendMatchesMarshal pins the append-style primitives to the exact
+// bytes Marshal produces — the wire format is frozen (DESIGN.md §5), so
+// the two encoders must never diverge.
+func TestAppendMatchesMarshal(t *testing.T) {
+	want, err := Marshal(
+		int64(7),
+		"agent",
+		true,
+		false,
+		nil,
+		[]byte{1, 2, 3},
+		[]byte{},
+		3.25,
+		Ref{Kind: "port", Name: "deposit"},
+		[]any{int64(-9), "x", []byte("args")},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got := AppendHeader(nil, 10)
+	got = AppendInt(got, 7)
+	got = AppendString(got, "agent")
+	got = AppendBool(got, true)
+	got = AppendBool(got, false)
+	got = AppendNil(got)
+	got = AppendBytes(got, []byte{1, 2, 3})
+	got = AppendBytes(got, nil)
+	got = AppendFloat(got, 3.25)
+	got = AppendRef(got, Ref{Kind: "port", Name: "deposit"})
+	got = AppendList(got, 3)
+	got = AppendInt(got, -9)
+	got = AppendString(got, "x")
+	got = AppendBytes(got, []byte("args"))
+
+	if !bytes.Equal(got, want) {
+		t.Errorf("append encoding diverged from Marshal:\n got %x\nwant %x", got, want)
+	}
+
+	// And the appended form decodes identically.
+	vals, err := Unmarshal(got)
+	if err != nil {
+		t.Fatalf("Unmarshal(appended): %v", err)
+	}
+	if len(vals) != 10 {
+		t.Errorf("decoded %d values, want 10", len(vals))
+	}
+}
+
+// TestAppendIsAllocationDisciplined verifies the primitives do not
+// allocate beyond growing the destination buffer.
+func TestAppendIsAllocationDisciplined(t *testing.T) {
+	buf := make([]byte, 0, 256)
+	allocs := testing.AllocsPerRun(100, func() {
+		b := buf[:0]
+		b = AppendHeader(b, 3)
+		b = AppendInt(b, 123456)
+		b = AppendString(b, "hello")
+		b = AppendBytes(b, []byte{9, 9, 9})
+	})
+	if allocs != 0 {
+		t.Errorf("AllocsPerRun = %v, want 0", allocs)
+	}
+}
