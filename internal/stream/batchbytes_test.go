@@ -1,0 +1,71 @@
+package stream
+
+import (
+	"context"
+	"testing"
+
+	"promises/internal/simnet"
+)
+
+// measureBytesPerCall runs `total` echo calls with `window` outstanding
+// at a time and returns total network bytes sent per call. Stats are
+// snapshotted before Close so teardown breaks don't count.
+func measureBytesPerCall(t *testing.T, window, total int) float64 {
+	t.Helper()
+	n := simnet.New(simnet.Config{})
+	client := NewPeer(n.MustAddNode("client"), Options{MaxBatch: 16})
+	server := NewPeer(n.MustAddNode("server"), Options{MaxBatch: 16})
+	server.SetDispatcher(func(port string) (Handler, bool) { return echoHandler, true })
+
+	s := client.Agent("bytes").Stream("server", "g")
+	arg := make([]byte, 32)
+	ctx := context.Background()
+	pendings := make([]*Pending, 0, window)
+	for i := 0; i < total; i++ {
+		p, err := s.Call("echo", arg)
+		if err != nil {
+			t.Fatalf("Call: %v", err)
+		}
+		pendings = append(pendings, p)
+		if len(pendings) == window {
+			s.Flush()
+			for _, p := range pendings {
+				if _, err := p.Wait(ctx); err != nil {
+					t.Fatalf("Wait: %v", err)
+				}
+			}
+			pendings = pendings[:0]
+		}
+	}
+	s.Flush()
+	for _, p := range pendings {
+		if _, err := p.Wait(ctx); err != nil {
+			t.Fatalf("Wait: %v", err)
+		}
+	}
+
+	stats := n.Stats()
+	client.Close()
+	server.Close()
+	n.Close()
+	return float64(stats.BytesSent) / float64(total)
+}
+
+// TestReplyBatchBytesFlatAcrossWindow checks that reply-batch traffic
+// per call stays flat as the in-flight window (and with it the
+// receiver's retained, not-yet-acked reply set) grows. Before
+// unsent-suffix batching, every reply flush re-sent the entire retained
+// set, so bytes per call grew linearly with the window; now a normal
+// flush carries only the new suffix and the full set is reserved for
+// retransmission, so an 8x larger window must not cost materially more
+// bytes per call.
+func TestReplyBatchBytesFlatAcrossWindow(t *testing.T) {
+	const total = 2048
+	small := measureBytesPerCall(t, 64, total)
+	large := measureBytesPerCall(t, 512, total)
+	t.Logf("bytes/call: window 64 = %.1f, window 512 = %.1f", small, large)
+	if large > small*1.5 {
+		t.Errorf("bytes/call grew with window: %.1f at 64 vs %.1f at 512 (limit 1.5x)",
+			small, large)
+	}
+}

@@ -1,0 +1,44 @@
+package stream
+
+import "sync"
+
+// The zero-copy message decoder hands out byte views into the delivered
+// datagram; protocol identifiers (agents, groups, ports, exception
+// condition names) must become real strings because they outlive the
+// batch and key maps. Each identifier is drawn from a small, stable set,
+// so a process-wide intern table turns the per-request string allocation
+// into a read-locked map probe (the string(b) conversion in a map lookup
+// does not allocate).
+//
+// The table is capped so garbled datagrams cannot grow it without bound;
+// past the cap, lookups still hit for known identifiers and misses fall
+// back to a plain copy.
+const internTableCap = 4096
+
+var internTable struct {
+	sync.RWMutex
+	m map[string]string
+}
+
+func init() { internTable.m = make(map[string]string) }
+
+// internString returns a string equal to b, allocating only the first
+// time each distinct value is seen (while the table has room).
+func internString(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	internTable.RLock()
+	s, ok := internTable.m[string(b)]
+	internTable.RUnlock()
+	if ok {
+		return s
+	}
+	s = string(b)
+	internTable.Lock()
+	if len(internTable.m) < internTableCap {
+		internTable.m[s] = s
+	}
+	internTable.Unlock()
+	return s
+}

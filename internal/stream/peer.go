@@ -207,6 +207,9 @@ func (p *Peer) handleMessage(msg simnet.Message) {
 		if r := p.recvStream(key, rb.Incarnation); r != nil {
 			r.handleRequestBatch(rb)
 		}
+		// The handler copied what it keeps (entry values go into the seq
+		// rings; their Args keep aliasing the datagram, not the batch).
+		releaseRequestBatch(rb)
 	case kindReplyBatch:
 		key := streamKey{senderNode: p.node.Name(), agent: pb.Agent, recvNode: msg.From, group: pb.Group}
 		p.mu.Lock()
@@ -215,6 +218,7 @@ func (p *Peer) handleMessage(msg simnet.Message) {
 		if s != nil {
 			s.handleReplyBatch(pb)
 		}
+		releaseReplyBatch(pb)
 	case kindBreak:
 		// A break can be addressed to our receiving end (sender broke) or
 		// to our sending end (receiver broke). Route by key match.

@@ -1,0 +1,8 @@
+//go:build race
+
+package stream
+
+// raceEnabled reports that this test binary was built with the race
+// detector, which instruments allocations and breaks AllocsPerRun
+// ceilings.
+const raceEnabled = true

@@ -59,46 +59,58 @@ type rstream struct {
 	epoch       uint64
 	broken      bool
 
-	// Request ordering and exactly-once delivery.
+	// Request ordering and exactly-once delivery. oo is keyed by dense
+	// seqs within the in-flight window, so it is a seq-indexed ring.
 	expected uint64 // next seq to hand to the executor
-	oo       map[uint64]request
+	oo       seqRing[request]
 
 	// Execution queue (serial executor goroutine drains it).
 	execCh chan request
 	closed bool
 
 	// Out-of-order completion tracking, for ports marked parallel: seqs
-	// completed beyond the contiguous completedThrough prefix.
-	completedSet map[uint64]bool
+	// completed beyond the contiguous completedThrough prefix, as a
+	// seq-indexed ring.
+	completedSet seqRing[struct{}]
 	// outstanding counts in-flight parallel calls; the executor waits for
 	// it to drain before running a serial call, so serial calls still
 	// appear to happen in call order.
 	outstanding sync.WaitGroup
 
-	// Reply side.
+	// Reply side. A normal flush transmits only the unsent suffix of
+	// retained; the full retained set is re-sent only on evidence of loss
+	// (duplicate requests) or an ack-progress stall (see tick), so reply
+	// traffic stays proportional to new work, not to the retained window.
 	retained          []reply // executed, not yet acked by the sender
 	unsentReplies     int     // suffix of retained not yet transmitted at all
 	oldestUnsentAt    time.Time
 	completedThrough  uint64
 	sentCompleted     uint64 // CompletedThrough value last transmitted
 	ackedThrough      uint64 // sender has resolved replies through this seq
-	lastReplySendAt   time.Time
+	lastFullReplyAt   time.Time // when a batch covering all of retained last went out
+	lastAckProgressAt time.Time // when ackedThrough last advanced (or retained was born)
 	retries           int
 	pendingRetransmit bool // duplicate requests seen: sender missed replies
 }
 
+// maxSeqAhead bounds how far past the contiguous frontier a request seq
+// may run and still be buffered. Legitimate senders stay well inside it
+// (it allows a million calls in flight); a garbled seq far outside the
+// window must not be admitted to the ring, where covering it would force
+// unbounded growth. Dropped requests are redelivered by sender
+// retransmission once the window slides forward.
+const maxSeqAhead = 1 << 20
+
 func newRStream(p *Peer, key streamKey, incarnation uint64, opts Options) *rstream {
 	r := &rstream{
-		peer:         p,
-		key:          key,
-		keyStr:       key.String(),
-		opts:         opts,
-		incarnation:  incarnation,
-		epoch:        nextEpoch(),
-		expected:     1,
-		oo:           make(map[uint64]request),
-		execCh:       make(chan request, 1024),
-		completedSet: make(map[uint64]bool),
+		peer:        p,
+		key:         key,
+		keyStr:      key.String(),
+		opts:        opts,
+		incarnation: incarnation,
+		epoch:       nextEpoch(),
+		expected:    1,
+		execCh:      make(chan request, 1024),
 	}
 	p.wg.Add(1)
 	go r.executor()
@@ -128,6 +140,7 @@ func (r *rstream) handleRequestBatch(b *requestBatch) {
 	if b.AckRepliesThrough > r.ackedThrough {
 		r.ackedThrough = b.AckRepliesThrough
 		r.retries = 0
+		r.lastAckProgressAt = time.Now()
 		r.pruneRetainedLocked()
 	}
 
@@ -137,36 +150,34 @@ func (r *rstream) handleRequestBatch(b *requestBatch) {
 			// Duplicate of an already-delivered request: our reply batch
 			// was probably lost; retransmit retained replies soon.
 			r.pendingRetransmit = true
-		case r.inOOLocked(req.Seq):
+		case req.Seq >= r.expected+maxSeqAhead:
+			// Implausibly far ahead (a garbled seq, or a sender pipelining
+			// beyond the protocol window): drop; retransmission redelivers
+			// it once the window slides.
+		case r.oo.has(req.Seq):
 			r.pendingRetransmit = true
 		default:
-			r.oo[req.Seq] = req
+			r.oo.put(req.Seq, req)
 		}
 	}
 	r.drainLocked()
-	respond := r.pendingRetransmit && len(r.retained) > 0
-	if respond {
+	// Duplicate requests are evidence the sender missed replies: only
+	// then does a flush re-send the full retained set. An empty request
+	// batch is the sender probing for liveness (or a pure ack); answer
+	// with progress — and whatever suffix is pending — so the sender knows
+	// this end is alive and which boot epoch it is talking to.
+	fullResend := r.pendingRetransmit && len(r.retained) > 0
+	if fullResend {
 		r.pendingRetransmit = false
 	}
-	// An empty request batch is the sender probing for liveness (or a
-	// pure ack); answer with our progress so the sender knows this end is
-	// alive and which boot epoch it is talking to.
-	if len(b.Requests) == 0 {
-		respond = true
-	}
 	var msg []byte
-	if respond {
-		msg = r.buildReplyBatchLocked(true)
+	if fullResend || len(b.Requests) == 0 {
+		msg = r.buildReplyBatchLocked(fullResend)
 	}
 	r.mu.Unlock()
 	if msg != nil {
 		r.peer.transmit(r.key.senderNode, msg)
 	}
-}
-
-func (r *rstream) inOOLocked(seq uint64) bool {
-	_, ok := r.oo[seq]
-	return ok
 }
 
 // pruneRetainedLocked drops retained replies the sender has acknowledged.
@@ -192,13 +203,13 @@ func (r *rstream) drainLocked() {
 		return
 	}
 	for {
-		req, ok := r.oo[r.expected]
+		req, ok := r.oo.get(r.expected)
 		if !ok {
 			return
 		}
 		select {
 		case r.execCh <- req:
-			delete(r.oo, r.expected)
+			r.oo.del(r.expected)
 			r.expected++
 		default:
 			return // executor backlogged; retry on a later tick
@@ -276,13 +287,20 @@ func (r *rstream) executeOne(req request) {
 	}
 	// Completion may be out of order when parallel ports are in play;
 	// completedThrough advances over the contiguous prefix only.
-	r.completedSet[req.Seq] = true
-	for r.completedSet[r.completedThrough+1] {
+	r.completedSet.put(req.Seq, struct{}{})
+	for r.completedSet.has(r.completedThrough + 1) {
 		r.completedThrough++
-		delete(r.completedSet, r.completedThrough)
+		r.completedSet.del(r.completedThrough)
 	}
 	// Sends omit normal replies from the wire.
 	if req.Mode != ModeSend || !outcome.Normal {
+		if len(r.retained) == 0 {
+			// Retained becomes non-empty: start both retransmission clocks
+			// from the reply's birth.
+			now := time.Now()
+			r.lastFullReplyAt = now
+			r.lastAckProgressAt = now
+		}
 		if r.unsentReplies == 0 {
 			r.oldestUnsentAt = time.Now()
 		}
@@ -321,18 +339,33 @@ func (r *rstream) executeOne(req request) {
 	}
 }
 
-// buildReplyBatchLocked encodes a reply batch carrying all retained
-// replies (retransmission-inclusive) and current progress. Caller holds
-// r.mu. retransmit batches are identical except for bookkeeping intent.
+// buildReplyBatchLocked encodes a reply batch carrying current progress
+// and replies. A normal flush (retransmit=false) carries only the unsent
+// suffix of retained — already-transmitted replies ride again only when
+// retransmit=true, i.e. on loss evidence (duplicate requests) or an
+// ack-progress stall in tick. This keeps steady-state reply bytes
+// proportional to new work instead of O(retained window) per flush.
+// Caller holds r.mu; the retained slice is encoded in place (the encoder
+// copies its bytes before the lock is released), so no reply copy is
+// made on either path.
 func (r *rstream) buildReplyBatchLocked(retransmit bool) []byte {
-	reps := make([]reply, len(r.retained))
-	copy(reps, r.retained)
+	reps := r.retained
+	if !retransmit {
+		reps = r.retained[len(r.retained)-r.unsentReplies:]
+	}
+	if len(reps) == len(r.retained) {
+		// Everything retained is on the wire in this batch: restart the
+		// full-retransmission pacing clock.
+		r.lastFullReplyAt = time.Now()
+	}
 	r.unsentReplies = 0
 	r.sentCompleted = r.completedThrough
-	r.lastReplySendAt = time.Now()
 	if r.peer.tracing() {
-		r.peer.emit(trace.ReplyBatchSent, r.keyStr, r.completedThrough,
-			fmt.Sprintf("n=%d", len(reps)))
+		detail := fmt.Sprintf("n=%d", len(reps))
+		if retransmit {
+			detail += " retransmit"
+		}
+		r.peer.emit(trace.ReplyBatchSent, r.keyStr, r.completedThrough, detail)
 	}
 	return encodeReplyBatch(replyBatch{
 		Agent:              r.key.agent,
@@ -354,7 +387,7 @@ func (r *rstream) handleBreak(b *breakMsg) {
 		return
 	}
 	r.broken = true
-	r.oo = make(map[uint64]request)
+	r.oo.reset()
 	r.retained = nil
 	r.unsentReplies = 0
 }
@@ -364,7 +397,7 @@ func (r *rstream) resetLocked(incarnation uint64) {
 	r.incarnation = incarnation
 	r.broken = false
 	r.expected = 1
-	r.oo = make(map[uint64]request)
+	r.oo.reset()
 	r.retained = nil
 	r.unsentReplies = 0
 	r.completedThrough = 0
@@ -372,7 +405,7 @@ func (r *rstream) resetLocked(incarnation uint64) {
 	r.ackedThrough = 0
 	r.retries = 0
 	r.pendingRetransmit = false
-	r.completedSet = make(map[uint64]bool)
+	r.completedSet.reset()
 	// Drain any stale queued requests from the old incarnation. The
 	// executor may be mid-call; executeOne re-checks the incarnation.
 	for {
@@ -403,7 +436,14 @@ func (r *rstream) tick(now time.Time) {
 	case r.completedThrough > r.sentCompleted:
 		// Progress notification so sends resolve at the sender.
 		msg = r.buildReplyBatchLocked(false)
-	case len(r.retained) > 0 && now.Sub(r.lastReplySendAt) >= r.opts.RTO:
+	case len(r.retained) > 0 && now.Sub(r.lastAckProgressAt) >= r.opts.RTO &&
+		now.Sub(r.lastFullReplyAt) >= r.opts.RTO:
+		// The sender's reply ack has stalled a full RTO with replies
+		// retained: some reply batch (which also carried our request ack)
+		// was lost, or the sender cannot reach us. Re-send everything
+		// retained, paced one RTO apart by lastFullReplyAt. This is the
+		// only path — besides duplicate-request evidence — that re-sends
+		// already-transmitted replies.
 		r.retries++
 		if r.retries > r.opts.MaxRetries {
 			// We cannot get replies through; break the stream from the

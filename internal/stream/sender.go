@@ -139,10 +139,13 @@ type Stream struct {
 	lastSendAt   time.Time // when unacked was last (re)transmitted
 	retries      int
 
-	// Receiving state (replies).
-	pending          map[uint64]*Pending
+	// Receiving state (replies). Both tables are keyed by dense
+	// monotonically-increasing seqs confined to the in-flight window, so
+	// they are seq-indexed rings, not maps: steady-state inserts and
+	// deletes touch one slot with no hashing.
+	pending          seqRing[*Pending]
 	nextResolve      uint64 // seq whose outcome is resolved next (ordered readiness)
-	heldReplies      map[uint64]Outcome
+	heldReplies      seqRing[Outcome]
 	completedThrough uint64
 
 	// Synch bookkeeping.
@@ -178,8 +181,6 @@ func newStream(p *Peer, key streamKey, opts Options) *Stream {
 		nextSeq:        1,
 		nextResolve:    1,
 		boundarySeq:    1,
-		pending:        make(map[uint64]*Pending),
-		heldReplies:    make(map[uint64]Outcome),
 		lastProgressAt: time.Now(),
 	}
 }
@@ -259,7 +260,7 @@ func (s *Stream) enqueue(port string, args []byte, mode Mode) (*Pending, error) 
 	seq := s.nextSeq
 	s.nextSeq++
 	p := newPending(seq, mode)
-	s.pending[seq] = p
+	s.pending.put(seq, p)
 	if len(s.buffer) == 0 {
 		s.bufferedAt = time.Now()
 	}
@@ -285,13 +286,20 @@ func (s *Stream) Flush() {
 		return
 	}
 	batch := s.buffer
-	s.buffer = nil
 	s.unacked = append(s.unacked, batch...)
 	s.lastSendAt = time.Now()
 	msg := s.buildRequestBatchLocked(batch)
+	firstSeq, n := batch[0].Seq, len(batch)
+	// The batch is copied into unacked and encoded into msg; recycle its
+	// backing array as the next buffer (slots zeroed so the stale copies
+	// do not pin argument payloads).
+	for i := range batch {
+		batch[i] = request{}
+	}
+	s.buffer = batch[:0]
 	s.mu.Unlock()
 	if s.peer.tracing() {
-		s.peer.emit(trace.BatchSent, s.keyStr, batch[0].Seq, fmt.Sprintf("n=%d", len(batch)))
+		s.peer.emit(trace.BatchSent, s.keyStr, firstSeq, fmt.Sprintf("n=%d", n))
 	}
 	s.peer.transmit(s.key.recvNode, msg)
 }
@@ -412,7 +420,7 @@ func (s *Stream) breakInternal(reason *exception.Exception, restart bool) {
 func (s *Stream) resolveAllLocked(reason *exception.Exception) {
 	o := ExceptionOutcome(reason)
 	for seq := s.nextResolve; seq < s.nextSeq; seq++ {
-		if held, ok := s.heldReplies[seq]; ok {
+		if held, ok := s.heldReplies.get(seq); ok {
 			s.resolveOneLocked(seq, held)
 			continue
 		}
@@ -445,18 +453,18 @@ func (s *Stream) reincarnateLocked() {
 	s.ackedThrough = 0
 	s.completedThrough = 0
 	s.retries = 0
-	s.pending = make(map[uint64]*Pending)
-	s.heldReplies = make(map[uint64]Outcome)
+	s.pending.reset()
+	s.heldReplies.reset()
 }
 
 // resolveOneLocked resolves pending seq with outcome o and advances the
 // resolution cursor. Caller must ensure seq == s.nextResolve.
 func (s *Stream) resolveOneLocked(seq uint64, o Outcome) {
-	if p, ok := s.pending[seq]; ok {
+	if p, ok := s.pending.get(seq); ok {
 		p.resolve(o)
-		delete(s.pending, seq)
+		s.pending.del(seq)
 	}
-	delete(s.heldReplies, seq)
+	s.heldReplies.del(seq)
 	if !o.Normal && seq > s.lastExcSeq {
 		s.lastExcSeq = seq
 	}
@@ -513,8 +521,11 @@ func (s *Stream) handleReplyBatch(b *replyBatch) {
 		s.completedThrough = b.CompletedThrough
 	}
 	for _, r := range b.Replies {
-		if r.Seq >= s.nextResolve {
-			s.heldReplies[r.Seq] = r.Outcome
+		// The upper bound rejects replies for seqs we never assigned — a
+		// corrupt datagram must not make the held-replies ring grow to
+		// cover a garbage seq.
+		if r.Seq >= s.nextResolve && r.Seq < s.nextSeq {
+			s.heldReplies.put(r.Seq, r.Outcome)
 		}
 	}
 	s.drainResolvableLocked()
@@ -530,11 +541,11 @@ func (s *Stream) drainResolvableLocked() {
 		if seq >= s.nextSeq {
 			return
 		}
-		if o, ok := s.heldReplies[seq]; ok {
+		if o, ok := s.heldReplies.get(seq); ok {
 			s.resolveOneLocked(seq, o)
 			continue
 		}
-		p := s.pending[seq]
+		p, _ := s.pending.get(seq)
 		if p != nil && p.mode == ModeSend && seq <= s.completedThrough {
 			// Normal reply omitted on the wire: completion implies success.
 			s.resolveOneLocked(seq, NormalOutcome(nil))
@@ -604,7 +615,7 @@ func (s *Stream) finalizeBreakLocked() {
 	s.breakErr = reason
 	o := ExceptionOutcome(reason)
 	for seq := s.nextResolve; seq < s.nextSeq; seq++ {
-		if held, ok := s.heldReplies[seq]; ok && seq <= after {
+		if held, ok := s.heldReplies.get(seq); ok && seq <= after {
 			s.resolveOneLocked(seq, held)
 		} else {
 			s.resolveOneLocked(seq, o)
@@ -642,13 +653,16 @@ func (s *Stream) tick(now time.Time) {
 	// Age-based flush.
 	if len(s.buffer) > 0 && now.Sub(s.bufferedAt) >= s.opts.MaxBatchDelay {
 		batch := s.buffer
-		s.buffer = nil
 		s.unacked = append(s.unacked, batch...)
 		s.lastSendAt = now
 		toSend = s.buildRequestBatchLocked(batch)
 		if s.peer.tracing() {
 			s.peer.emit(trace.BatchSent, s.keyStr, batch[0].Seq, fmt.Sprintf("n=%d aged", len(batch)))
 		}
+		for i := range batch {
+			batch[i] = request{}
+		}
+		s.buffer = batch[:0]
 	} else if len(s.unacked) > 0 && now.Sub(s.lastSendAt) >= s.opts.RTO {
 		// Retransmission of everything not yet acked.
 		s.retries++
@@ -664,7 +678,9 @@ func (s *Stream) tick(now time.Time) {
 	} else if s.nextResolve > 1 && s.ackRepliesOwedLocked() {
 		// Pure ack so the receiver can release retained replies.
 		toSend = s.buildRequestBatchLocked(nil)
-		s.peer.emit(trace.BatchSent, s.keyStr, 0, "ack")
+		if s.peer.tracing() {
+			s.peer.emit(trace.BatchSent, s.keyStr, 0, "ack")
+		}
 	} else if s.nextResolve < s.nextSeq && now.Sub(s.lastProgressAt) >= s.opts.RTO {
 		// Calls are outstanding, everything transmitted is acked, and the
 		// receiver has been silent past the timeout: probe it. A live
@@ -677,7 +693,9 @@ func (s *Stream) tick(now time.Time) {
 		} else {
 			s.lastProgressAt = now // pace probes one RTO apart
 			toSend = s.buildRequestBatchLocked(nil)
-			s.peer.emit(trace.BatchSent, s.keyStr, 0, "probe")
+			if s.peer.tracing() {
+				s.peer.emit(trace.BatchSent, s.keyStr, 0, "probe")
+			}
 		}
 	}
 	s.mu.Unlock()
@@ -691,8 +709,9 @@ func (s *Stream) tick(now time.Time) {
 	}
 }
 
-// lastAckedReplies tracks the highest reply ack we have transmitted, so
-// idle ticks only send a pure ack when the receiver hasn't heard it yet.
+// ackRepliesOwedLocked reports whether replies have resolved since the
+// last ack we transmitted, i.e. the receiver is still retaining replies
+// it could release if we told it. Caller holds s.mu.
 func (s *Stream) ackRepliesOwedLocked() bool {
 	return s.nextResolve-1 > s.lastAckedReplies
 }

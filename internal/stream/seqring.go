@@ -1,0 +1,106 @@
+package stream
+
+// seqRing is a direct-mapped hash-free table keyed by sequence numbers.
+// The protocol's per-call state (pendings awaiting replies, held replies,
+// out-of-order requests, out-of-order completions) is always keyed by
+// monotonically increasing seqs confined to a sliding window, so a slot
+// array indexed by seq%capacity replaces a map: no hashing, no bucket
+// allocation, no rehash churn as the window slides. When the live window
+// outgrows the capacity (two live seqs collide on one slot) the ring
+// doubles and reinserts, so an arbitrarily large window still works —
+// growth is amortized exactly like a map's, it just never happens in
+// steady state.
+//
+// The zero value is ready to use. Not safe for concurrent use; every
+// owner guards it with the stream mutex it already holds.
+type seqRing[T any] struct {
+	slots []seqSlot[T] // len is a power of two, or nil before first put
+	mask  uint64
+	used  int
+}
+
+type seqSlot[T any] struct {
+	seq uint64
+	set bool
+	v   T
+}
+
+const seqRingMinCap = 64
+
+// get returns the value stored for seq, if any.
+func (r *seqRing[T]) get(seq uint64) (T, bool) {
+	if r.slots != nil {
+		if s := &r.slots[seq&r.mask]; s.set && s.seq == seq {
+			return s.v, true
+		}
+	}
+	var zero T
+	return zero, false
+}
+
+// has reports whether seq is stored.
+func (r *seqRing[T]) has(seq uint64) bool {
+	if r.slots == nil {
+		return false
+	}
+	s := &r.slots[seq&r.mask]
+	return s.set && s.seq == seq
+}
+
+// put stores v for seq, growing the ring until seq's slot is free or
+// already holds seq. Callers bound the seqs they admit (see the window
+// guards at each call site), so growth is bounded by the live window.
+func (r *seqRing[T]) put(seq uint64, v T) {
+	if r.slots == nil {
+		r.grow(seqRingMinCap)
+	}
+	for {
+		s := &r.slots[seq&r.mask]
+		if !s.set {
+			r.used++
+		} else if s.seq != seq {
+			r.grow(len(r.slots) * 2)
+			continue
+		}
+		s.seq, s.set, s.v = seq, true, v
+		return
+	}
+}
+
+// del removes seq, zeroing the slot so the value's references are
+// released immediately rather than when the window laps the slot.
+func (r *seqRing[T]) del(seq uint64) {
+	if r.slots == nil {
+		return
+	}
+	if s := &r.slots[seq&r.mask]; s.set && s.seq == seq {
+		*s = seqSlot[T]{}
+		r.used--
+	}
+}
+
+// reset drops every entry but keeps the capacity, releasing all value
+// references.
+func (r *seqRing[T]) reset() {
+	for i := range r.slots {
+		r.slots[i] = seqSlot[T]{}
+	}
+	r.used = 0
+}
+
+// len returns the number of stored entries.
+func (r *seqRing[T]) len() int { return r.used }
+
+func (r *seqRing[T]) grow(capacity int) {
+	old := r.slots
+	r.slots = make([]seqSlot[T], capacity)
+	r.mask = uint64(capacity - 1)
+	for i := range old {
+		if old[i].set {
+			// Reinserted entries cannot collide: the old mask's bits are a
+			// suffix of the new mask's, so seqs distinct under the old mask
+			// stay distinct under the new one.
+			r.slots[old[i].seq&r.mask] = old[i]
+		}
+	}
+}

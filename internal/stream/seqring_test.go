@@ -1,0 +1,135 @@
+package stream
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSeqRingBasics(t *testing.T) {
+	var r seqRing[string]
+	if _, ok := r.get(1); ok {
+		t.Fatal("empty ring has entries")
+	}
+	r.del(1) // no-op on empty ring
+	r.put(1, "one")
+	r.put(2, "two")
+	if v, ok := r.get(1); !ok || v != "one" {
+		t.Fatalf("get(1) = %q, %v", v, ok)
+	}
+	if !r.has(2) || r.has(3) {
+		t.Fatal("has is wrong")
+	}
+	if r.len() != 2 {
+		t.Fatalf("len = %d", r.len())
+	}
+	r.put(1, "uno") // overwrite
+	if v, _ := r.get(1); v != "uno" || r.len() != 2 {
+		t.Fatalf("overwrite: %q len=%d", v, r.len())
+	}
+	r.del(1)
+	if r.has(1) || r.len() != 1 {
+		t.Fatal("del failed")
+	}
+	r.del(1) // idempotent
+	if r.len() != 1 {
+		t.Fatal("double del changed len")
+	}
+	r.reset()
+	if r.len() != 0 || r.has(2) {
+		t.Fatal("reset failed")
+	}
+}
+
+// TestSeqRingSlidingWindow drives the intended access pattern: a window
+// of live seqs sliding upward far past the capacity, with wrap-around.
+func TestSeqRingSlidingWindow(t *testing.T) {
+	var r seqRing[uint64]
+	const window = 48 // below min capacity: steady state never grows
+	for seq := uint64(1); seq < 10_000; seq++ {
+		r.put(seq, seq*3)
+		if seq > window {
+			r.del(seq - window)
+		}
+	}
+	if r.len() != window {
+		t.Fatalf("len = %d, want %d", r.len(), window)
+	}
+	for seq := uint64(10_000 - window); seq < 10_000; seq++ {
+		if v, ok := r.get(seq); !ok || v != seq*3 {
+			t.Fatalf("get(%d) = %d, %v", seq, v, ok)
+		}
+	}
+	if r.has(10_000 - window - 1) {
+		t.Fatal("stale entry survived")
+	}
+}
+
+// TestSeqRingGrowth exceeds the capacity so the ring must double, then
+// checks every entry survived the move.
+func TestSeqRingGrowth(t *testing.T) {
+	var r seqRing[int]
+	const n = 1000 // forces several doublings from 64
+	base := uint64(1 << 40)
+	for i := 0; i < n; i++ {
+		r.put(base+uint64(i), i)
+	}
+	if r.len() != n {
+		t.Fatalf("len = %d", r.len())
+	}
+	for i := 0; i < n; i++ {
+		if v, ok := r.get(base + uint64(i)); !ok || v != i {
+			t.Fatalf("get(%d) = %d, %v", i, v, ok)
+		}
+	}
+	if len(r.slots) != 1024 {
+		t.Fatalf("capacity = %d, want 1024", len(r.slots))
+	}
+}
+
+// TestSeqRingSparseWindow mixes sparse occupancy with growth: random
+// subsets of a wide window, mirrored against a map oracle.
+func TestSeqRingSparseWindow(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var r seqRing[int]
+	oracle := make(map[uint64]int)
+	lo := uint64(1)
+	for step := 0; step < 50_000; step++ {
+		switch rng.Intn(4) {
+		case 0, 1: // insert within [lo, lo+4096)
+			seq := lo + uint64(rng.Intn(4096))
+			r.put(seq, step)
+			oracle[seq] = step
+		case 2: // delete something
+			seq := lo + uint64(rng.Intn(4096))
+			r.del(seq)
+			delete(oracle, seq)
+		case 3: // slide the window
+			adv := uint64(rng.Intn(64))
+			for s := lo; s < lo+adv; s++ {
+				r.del(s)
+				delete(oracle, s)
+			}
+			lo += adv
+		}
+	}
+	if r.len() != len(oracle) {
+		t.Fatalf("len = %d, oracle %d", r.len(), len(oracle))
+	}
+	for seq, want := range oracle {
+		if v, ok := r.get(seq); !ok || v != want {
+			t.Fatalf("get(%d) = %d, %v; want %d", seq, v, ok, want)
+		}
+	}
+}
+
+// TestSeqRingZeroValueReleased pins that del zeroes the slot, so pointer
+// values do not linger past deletion.
+func TestSeqRingZeroValueReleased(t *testing.T) {
+	var r seqRing[*Pending]
+	p := &Pending{Seq: 9}
+	r.put(9, p)
+	r.del(9)
+	if r.slots[9&r.mask].v != nil {
+		t.Fatal("deleted slot still holds the pointer")
+	}
+}

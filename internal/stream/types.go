@@ -317,183 +317,223 @@ func encodeBreak(b breakMsg) []byte {
 		b.Synchronous, int64(b.BrokenAfter), b.ExcName, b.Reason)
 }
 
+// Batch struct pools for the zero-copy decode path: one request or reply
+// batch is decoded, handled, and released per datagram, so the structs
+// and their entry slices cycle through these pools instead of being
+// reallocated per message.
+var (
+	requestBatchPool = sync.Pool{New: func() any { return new(requestBatch) }}
+	replyBatchPool   = sync.Pool{New: func() any { return new(replyBatch) }}
+)
+
+// releaseRequestBatch recycles a batch returned by decodeMessage. Entry
+// slots are zeroed first so the pooled batch does not pin the datagram
+// the entries' Args alias.
+func releaseRequestBatch(b *requestBatch) {
+	reqs := b.Requests
+	for i := range reqs {
+		reqs[i] = request{}
+	}
+	*b = requestBatch{Requests: reqs[:0]}
+	requestBatchPool.Put(b)
+}
+
+// releaseReplyBatch recycles a batch returned by decodeMessage, zeroing
+// entry slots so pooled batches do not pin reply payloads.
+func releaseReplyBatch(b *replyBatch) {
+	reps := b.Replies
+	for i := range reps {
+		reps[i] = reply{}
+	}
+	*b = replyBatch{Replies: reps[:0]}
+	replyBatchPool.Put(b)
+}
+
 // decodeMessage parses any stream-layer message, returning its kind and
 // exactly one of the batch structs.
+//
+// The decode is zero-copy: request Args and reply Outcome.Payload slices
+// alias payload, whose ownership simnet gives to the receiver at
+// delivery, and identifier strings come from the intern table. Request
+// and reply batches are drawn from pools — after the handler has copied
+// the entries it keeps, the caller must release them with
+// releaseRequestBatch/releaseReplyBatch (payload itself stays alive for
+// as long as anything references the aliased views).
 func decodeMessage(payload []byte) (kind int64, rb *requestBatch, pb *replyBatch, bm *breakMsg, err error) {
-	vals, err := wire.Unmarshal(payload)
+	d := wire.NewDecoder(payload)
+	if _, err = d.Header(); err != nil {
+		return 0, nil, nil, nil, err
+	}
+	kind, err = d.Int()
 	if err != nil {
 		return 0, nil, nil, nil, err
 	}
-	kind, err = wire.IntArg(vals, 0)
+	agent, err := d.StringView()
+	if err != nil {
+		return 0, nil, nil, nil, err
+	}
+	group, err := d.StringView()
+	if err != nil {
+		return 0, nil, nil, nil, err
+	}
+	inc, err := d.Int()
 	if err != nil {
 		return 0, nil, nil, nil, err
 	}
 	switch kind {
 	case kindRequestBatch:
-		b := &requestBatch{}
-		if b.Agent, err = wire.StringArg(vals, 1); err != nil {
-			return 0, nil, nil, nil, err
-		}
-		if b.Group, err = wire.StringArg(vals, 2); err != nil {
-			return 0, nil, nil, nil, err
-		}
-		inc, err := wire.IntArg(vals, 3)
-		if err != nil {
-			return 0, nil, nil, nil, err
-		}
+		b := requestBatchPool.Get().(*requestBatch)
+		b.Agent = internString(agent)
+		b.Group = internString(group)
 		b.Incarnation = uint64(inc)
-		ack, err := wire.IntArg(vals, 4)
-		if err != nil {
+		if err := decodeRequests(&d, b); err != nil {
+			releaseRequestBatch(b)
 			return 0, nil, nil, nil, err
-		}
-		b.AckRepliesThrough = uint64(ack)
-		raw, err := wire.Arg(vals, 5)
-		if err != nil {
-			return 0, nil, nil, nil, err
-		}
-		list, err := wire.AsList(raw)
-		if err != nil {
-			return 0, nil, nil, nil, err
-		}
-		b.Requests = make([]request, 0, len(list))
-		for _, e := range list {
-			fields, err := wire.AsList(e)
-			if err != nil {
-				return 0, nil, nil, nil, err
-			}
-			seq, err := wire.IntArg(fields, 0)
-			if err != nil {
-				return 0, nil, nil, nil, err
-			}
-			port, err := wire.StringArg(fields, 1)
-			if err != nil {
-				return 0, nil, nil, nil, err
-			}
-			mode, err := wire.IntArg(fields, 2)
-			if err != nil {
-				return 0, nil, nil, nil, err
-			}
-			argsRaw, err := wire.Arg(fields, 3)
-			if err != nil {
-				return 0, nil, nil, nil, err
-			}
-			args, err := wire.AsBytes(argsRaw)
-			if err != nil {
-				return 0, nil, nil, nil, err
-			}
-			b.Requests = append(b.Requests, request{
-				Seq: uint64(seq), Port: port, Mode: Mode(mode), Args: args,
-			})
 		}
 		return kind, b, nil, nil, nil
 
 	case kindReplyBatch:
-		b := &replyBatch{}
-		if b.Agent, err = wire.StringArg(vals, 1); err != nil {
-			return 0, nil, nil, nil, err
-		}
-		if b.Group, err = wire.StringArg(vals, 2); err != nil {
-			return 0, nil, nil, nil, err
-		}
-		inc, err := wire.IntArg(vals, 3)
-		if err != nil {
-			return 0, nil, nil, nil, err
-		}
+		b := replyBatchPool.Get().(*replyBatch)
+		b.Agent = internString(agent)
+		b.Group = internString(group)
 		b.Incarnation = uint64(inc)
-		epoch, err := wire.IntArg(vals, 4)
-		if err != nil {
+		if err := decodeReplies(&d, b); err != nil {
+			releaseReplyBatch(b)
 			return 0, nil, nil, nil, err
-		}
-		b.Epoch = uint64(epoch)
-		ack, err := wire.IntArg(vals, 5)
-		if err != nil {
-			return 0, nil, nil, nil, err
-		}
-		b.AckRequestsThrough = uint64(ack)
-		done, err := wire.IntArg(vals, 6)
-		if err != nil {
-			return 0, nil, nil, nil, err
-		}
-		b.CompletedThrough = uint64(done)
-		raw, err := wire.Arg(vals, 7)
-		if err != nil {
-			return 0, nil, nil, nil, err
-		}
-		list, err := wire.AsList(raw)
-		if err != nil {
-			return 0, nil, nil, nil, err
-		}
-		b.Replies = make([]reply, 0, len(list))
-		for _, e := range list {
-			fields, err := wire.AsList(e)
-			if err != nil {
-				return 0, nil, nil, nil, err
-			}
-			seq, err := wire.IntArg(fields, 0)
-			if err != nil {
-				return 0, nil, nil, nil, err
-			}
-			normRaw, err := wire.Arg(fields, 1)
-			if err != nil {
-				return 0, nil, nil, nil, err
-			}
-			norm, err := wire.AsBool(normRaw)
-			if err != nil {
-				return 0, nil, nil, nil, err
-			}
-			exc, err := wire.StringArg(fields, 2)
-			if err != nil {
-				return 0, nil, nil, nil, err
-			}
-			plRaw, err := wire.Arg(fields, 3)
-			if err != nil {
-				return 0, nil, nil, nil, err
-			}
-			pl, err := wire.AsBytes(plRaw)
-			if err != nil {
-				return 0, nil, nil, nil, err
-			}
-			b.Replies = append(b.Replies, reply{
-				Seq:     uint64(seq),
-				Outcome: Outcome{Normal: norm, Exception: exc, Payload: pl},
-			})
 		}
 		return kind, nil, b, nil, nil
 
 	case kindBreak:
-		b := &breakMsg{}
-		if b.Agent, err = wire.StringArg(vals, 1); err != nil {
-			return 0, nil, nil, nil, err
-		}
-		if b.Group, err = wire.StringArg(vals, 2); err != nil {
-			return 0, nil, nil, nil, err
-		}
-		inc, err := wire.IntArg(vals, 3)
+		b, err := decodeBreakTail(&d)
 		if err != nil {
 			return 0, nil, nil, nil, err
 		}
+		b.Agent = string(agent)
+		b.Group = string(group)
 		b.Incarnation = uint64(inc)
-		syncRaw, err := wire.Arg(vals, 4)
-		if err != nil {
-			return 0, nil, nil, nil, err
-		}
-		if b.Synchronous, err = wire.AsBool(syncRaw); err != nil {
-			return 0, nil, nil, nil, err
-		}
-		after, err := wire.IntArg(vals, 5)
-		if err != nil {
-			return 0, nil, nil, nil, err
-		}
-		b.BrokenAfter = uint64(after)
-		if b.ExcName, err = wire.StringArg(vals, 6); err != nil {
-			return 0, nil, nil, nil, err
-		}
-		if b.Reason, err = wire.StringArg(vals, 7); err != nil {
-			return 0, nil, nil, nil, err
-		}
 		return kind, nil, nil, b, nil
 
 	default:
 		return 0, nil, nil, nil, fmt.Errorf("stream: unknown message kind %d", kind)
 	}
+}
+
+// decodeRequests reads the [ackRepliesThrough, [[seq, port, mode, args],
+// ...]] tail of a request batch into b.
+func decodeRequests(d *wire.Decoder, b *requestBatch) error {
+	ack, err := d.Int()
+	if err != nil {
+		return err
+	}
+	b.AckRepliesThrough = uint64(ack)
+	n, err := d.List()
+	if err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		if fields, err := d.List(); err != nil {
+			return err
+		} else if fields != 4 {
+			return fmt.Errorf("stream: request has %d fields, want 4", fields)
+		}
+		seq, err := d.Int()
+		if err != nil {
+			return err
+		}
+		port, err := d.StringView()
+		if err != nil {
+			return err
+		}
+		mode, err := d.Int()
+		if err != nil {
+			return err
+		}
+		args, err := d.BytesView()
+		if err != nil {
+			return err
+		}
+		b.Requests = append(b.Requests, request{
+			Seq: uint64(seq), Port: internString(port), Mode: Mode(mode), Args: args,
+		})
+	}
+	return nil
+}
+
+// decodeReplies reads the [epoch, ackRequestsThrough, completedThrough,
+// [[seq, normal, excName, payload], ...]] tail of a reply batch into b.
+func decodeReplies(d *wire.Decoder, b *replyBatch) error {
+	epoch, err := d.Int()
+	if err != nil {
+		return err
+	}
+	b.Epoch = uint64(epoch)
+	ack, err := d.Int()
+	if err != nil {
+		return err
+	}
+	b.AckRequestsThrough = uint64(ack)
+	done, err := d.Int()
+	if err != nil {
+		return err
+	}
+	b.CompletedThrough = uint64(done)
+	n, err := d.List()
+	if err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		if fields, err := d.List(); err != nil {
+			return err
+		} else if fields != 4 {
+			return fmt.Errorf("stream: reply has %d fields, want 4", fields)
+		}
+		seq, err := d.Int()
+		if err != nil {
+			return err
+		}
+		norm, err := d.Bool()
+		if err != nil {
+			return err
+		}
+		exc, err := d.StringView()
+		if err != nil {
+			return err
+		}
+		pl, err := d.BytesView()
+		if err != nil {
+			return err
+		}
+		b.Replies = append(b.Replies, reply{
+			Seq:     uint64(seq),
+			Outcome: Outcome{Normal: norm, Exception: internString(exc), Payload: pl},
+		})
+	}
+	return nil
+}
+
+// decodeBreakTail reads the [synchronous, brokenAfter, excName, reason]
+// tail of a break message. Breaks are rare, so their strings are plain
+// copies and the struct is not pooled.
+func decodeBreakTail(d *wire.Decoder) (*breakMsg, error) {
+	b := &breakMsg{}
+	var err error
+	if b.Synchronous, err = d.Bool(); err != nil {
+		return nil, err
+	}
+	after, err := d.Int()
+	if err != nil {
+		return nil, err
+	}
+	b.BrokenAfter = uint64(after)
+	exc, err := d.StringView()
+	if err != nil {
+		return nil, err
+	}
+	b.ExcName = string(exc)
+	reason, err := d.StringView()
+	if err != nil {
+		return nil, err
+	}
+	b.Reason = string(reason)
+	return b, nil
 }

@@ -1,0 +1,134 @@
+package wire
+
+import "fmt"
+
+// Decoder is a zero-copy cursor over one encoded message. Unlike
+// Unmarshal, which materializes a []any (boxing every scalar and copying
+// every string and byte string), a Decoder walks the buffer in place and
+// hands out views that alias it. It exists for hot protocol paths — the
+// stream layer's batch decoder is the motivating user — where the caller
+// knows the message shape and the delivered buffer is immutable and owned
+// by the receiver.
+//
+// Every method validates tags and bounds; garbled input yields a
+// DecodeError, never a panic or an out-of-bounds view (the package fuzz
+// tests pin both properties). Views returned by StringView and BytesView
+// are valid for as long as the underlying buffer is; callers that retain
+// them beyond the buffer's lifetime must copy.
+type Decoder struct {
+	buf []byte
+}
+
+// NewDecoder returns a Decoder positioned at the start of data. The
+// Decoder aliases data; it never writes to it.
+func NewDecoder(data []byte) Decoder { return Decoder{buf: data} }
+
+// Remaining reports how many undecoded bytes are left.
+func (d *Decoder) Remaining() int { return len(d.buf) }
+
+// Header reads the value-count prefix that starts every encoded message.
+func (d *Decoder) Header() (int, error) {
+	n, rest, err := readUvarint(d.buf)
+	if err != nil {
+		return 0, &DecodeError{Err: err}
+	}
+	if n > uint64(len(rest)) {
+		return 0, &DecodeError{Err: fmt.Errorf("value count %d exceeds input", n)}
+	}
+	d.buf = rest
+	return int(n), nil
+}
+
+func (d *Decoder) tag(want byte, what string) error {
+	if len(d.buf) == 0 {
+		return &DecodeError{Err: ErrTruncated}
+	}
+	if d.buf[0] != want {
+		return &DecodeError{Err: fmt.Errorf("expected %s, got tag 0x%02x", what, d.buf[0])}
+	}
+	d.buf = d.buf[1:]
+	return nil
+}
+
+// Int reads an integer value.
+func (d *Decoder) Int() (int64, error) {
+	if err := d.tag(tagInt, "int"); err != nil {
+		return 0, err
+	}
+	u, rest, err := readUvarint(d.buf)
+	if err != nil {
+		return 0, &DecodeError{Err: err}
+	}
+	d.buf = rest
+	return unzigzag(u), nil
+}
+
+// Bool reads a boolean value.
+func (d *Decoder) Bool() (bool, error) {
+	if len(d.buf) == 0 {
+		return false, &DecodeError{Err: ErrTruncated}
+	}
+	switch d.buf[0] {
+	case tagTrue:
+		d.buf = d.buf[1:]
+		return true, nil
+	case tagFalse:
+		d.buf = d.buf[1:]
+		return false, nil
+	default:
+		return false, &DecodeError{Err: fmt.Errorf("expected bool, got tag 0x%02x", d.buf[0])}
+	}
+}
+
+// StringView reads a string value and returns its bytes as a view
+// aliasing the input buffer.
+func (d *Decoder) StringView() ([]byte, error) {
+	if err := d.tag(tagString, "string"); err != nil {
+		return nil, err
+	}
+	return d.blob()
+}
+
+// BytesView reads a byte-string value and returns it as a view aliasing
+// the input buffer.
+func (d *Decoder) BytesView() ([]byte, error) {
+	if err := d.tag(tagBytes, "bytes"); err != nil {
+		return nil, err
+	}
+	return d.blob()
+}
+
+// List reads a list header and returns the element count; the caller
+// decodes that many values next.
+func (d *Decoder) List() (int, error) {
+	if err := d.tag(tagList, "list"); err != nil {
+		return 0, err
+	}
+	n, rest, err := readUvarint(d.buf)
+	if err != nil {
+		return 0, &DecodeError{Err: err}
+	}
+	if n > uint64(len(rest)) {
+		return 0, &DecodeError{Err: fmt.Errorf("list count %d exceeds input", n)}
+	}
+	d.buf = rest
+	return int(n), nil
+}
+
+// Done reports an error unless the input is fully consumed, mirroring
+// Unmarshal's trailing-bytes check.
+func (d *Decoder) Done() error {
+	if len(d.buf) != 0 {
+		return &DecodeError{Err: fmt.Errorf("%d trailing bytes", len(d.buf))}
+	}
+	return nil
+}
+
+func (d *Decoder) blob() ([]byte, error) {
+	b, rest, err := readBlob(d.buf)
+	if err != nil {
+		return nil, &DecodeError{Err: err}
+	}
+	d.buf = rest
+	return b, nil
+}

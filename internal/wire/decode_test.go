@@ -1,0 +1,188 @@
+package wire
+
+import (
+	"strings"
+	"testing"
+	"unsafe"
+)
+
+// TestDecoderMatchesUnmarshal decodes an Append-built message with the
+// cursor Decoder and checks every value against the Unmarshal result.
+func TestDecoderMatchesUnmarshal(t *testing.T) {
+	var buf []byte
+	buf = AppendHeader(buf, 6)
+	buf = AppendInt(buf, -42)
+	buf = AppendBool(buf, true)
+	buf = AppendString(buf, "hello")
+	buf = AppendBytes(buf, []byte{1, 2, 3})
+	buf = AppendList(buf, 2)
+	buf = AppendInt(buf, 7)
+	buf = AppendInt(buf, 8)
+	buf = AppendBool(buf, false)
+
+	vals, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if len(vals) != 6 {
+		t.Fatalf("Unmarshal returned %d values", len(vals))
+	}
+
+	d := NewDecoder(buf)
+	n, err := d.Header()
+	if err != nil || n != 6 {
+		t.Fatalf("Header = %d, %v", n, err)
+	}
+	if v, err := d.Int(); err != nil || v != -42 {
+		t.Fatalf("Int = %d, %v", v, err)
+	}
+	if v, err := d.Bool(); err != nil || v != true {
+		t.Fatalf("Bool = %v, %v", v, err)
+	}
+	if v, err := d.StringView(); err != nil || string(v) != "hello" {
+		t.Fatalf("StringView = %q, %v", v, err)
+	}
+	if v, err := d.BytesView(); err != nil || string(v) != "\x01\x02\x03" {
+		t.Fatalf("BytesView = %v, %v", v, err)
+	}
+	if c, err := d.List(); err != nil || c != 2 {
+		t.Fatalf("List = %d, %v", c, err)
+	}
+	for want := int64(7); want <= 8; want++ {
+		if v, err := d.Int(); err != nil || v != want {
+			t.Fatalf("list Int = %d, %v (want %d)", v, err, want)
+		}
+	}
+	if v, err := d.Bool(); err != nil || v != false {
+		t.Fatalf("Bool = %v, %v", v, err)
+	}
+	if err := d.Done(); err != nil {
+		t.Fatalf("Done = %v", err)
+	}
+}
+
+// TestDecoderViewsAliasInput pins the zero-copy property: StringView and
+// BytesView return subslices of the input buffer, not copies.
+func TestDecoderViewsAliasInput(t *testing.T) {
+	var buf []byte
+	buf = AppendHeader(buf, 2)
+	buf = AppendString(buf, "port_name")
+	buf = AppendBytes(buf, []byte("payload-bytes"))
+
+	d := NewDecoder(buf)
+	if _, err := d.Header(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := d.StringView()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := d.BytesView()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo := uintptr(unsafe.Pointer(&buf[0]))
+	hi := lo + uintptr(len(buf))
+	for _, view := range [][]byte{s, b} {
+		p := uintptr(unsafe.Pointer(&view[0]))
+		if p < lo || p+uintptr(len(view)) > hi {
+			t.Fatalf("view does not alias input buffer")
+		}
+	}
+}
+
+func TestDecoderErrors(t *testing.T) {
+	intMsg := AppendInt(AppendHeader(nil, 1), 5)
+	strMsg := AppendString(AppendHeader(nil, 1), "x")
+
+	t.Run("wrong tag", func(t *testing.T) {
+		d := NewDecoder(intMsg)
+		d.Header()
+		if _, err := d.StringView(); err == nil {
+			t.Fatal("StringView on int succeeded")
+		}
+	})
+	t.Run("bool wrong tag", func(t *testing.T) {
+		d := NewDecoder(strMsg)
+		d.Header()
+		if _, err := d.Bool(); err == nil {
+			t.Fatal("Bool on string succeeded")
+		}
+	})
+	t.Run("truncation at every prefix", func(t *testing.T) {
+		var buf []byte
+		buf = AppendHeader(buf, 3)
+		buf = AppendString(buf, "abcdef")
+		buf = AppendInt(buf, 1<<40)
+		buf = AppendBytes(buf, []byte("0123456789"))
+		for i := 0; i < len(buf); i++ {
+			d := NewDecoder(buf[:i])
+			_, err := d.Header()
+			if err == nil {
+				if _, err = d.StringView(); err == nil {
+					if _, err = d.Int(); err == nil {
+						_, err = d.BytesView()
+					}
+				}
+			}
+			if err == nil {
+				t.Fatalf("truncation at %d decoded successfully", i)
+			}
+		}
+	})
+	t.Run("trailing bytes", func(t *testing.T) {
+		d := NewDecoder(append(append([]byte{}, intMsg...), 0xff))
+		d.Header()
+		if _, err := d.Int(); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Done(); err == nil {
+			t.Fatal("Done ignored trailing bytes")
+		}
+	})
+	t.Run("oversized header count", func(t *testing.T) {
+		buf := AppendHeader(nil, 1000) // no values follow
+		d := NewDecoder(buf)
+		if _, err := d.Header(); err == nil {
+			t.Fatal("oversized count accepted")
+		}
+	})
+	t.Run("oversized list count", func(t *testing.T) {
+		buf := AppendList(AppendHeader(nil, 1), 1<<30)
+		d := NewDecoder(buf)
+		d.Header()
+		if _, err := d.List(); err == nil {
+			t.Fatal("oversized list count accepted")
+		}
+	})
+	t.Run("oversized blob length", func(t *testing.T) {
+		buf := append(AppendHeader(nil, 1), tagString, 0x20) // claims 32 bytes, has 0
+		d := NewDecoder(buf)
+		d.Header()
+		if _, err := d.StringView(); err == nil {
+			t.Fatal("oversized blob accepted")
+		}
+	})
+	t.Run("empty input", func(t *testing.T) {
+		d := NewDecoder(nil)
+		if _, err := d.Header(); err == nil {
+			t.Fatal("empty input accepted")
+		}
+		d = NewDecoder(nil)
+		if _, err := d.Int(); err == nil {
+			t.Fatal("Int on empty input succeeded")
+		}
+		d = NewDecoder(nil)
+		if _, err := d.Bool(); err == nil {
+			t.Fatal("Bool on empty input succeeded")
+		}
+	})
+	t.Run("error message names tag", func(t *testing.T) {
+		d := NewDecoder(strMsg)
+		d.Header()
+		_, err := d.Int()
+		if err == nil || !strings.Contains(err.Error(), "expected int") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+}

@@ -1,0 +1,95 @@
+package wire
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// fuzzSeeds returns well-formed messages to seed both fuzzers: a mix of
+// every value kind the format supports, shaped like the stream layer's
+// batch messages.
+func fuzzSeeds() [][]byte {
+	var reqBatch []byte
+	reqBatch = AppendHeader(reqBatch, 6)
+	reqBatch = AppendInt(reqBatch, 1)
+	reqBatch = AppendString(reqBatch, "agent")
+	reqBatch = AppendString(reqBatch, "group")
+	reqBatch = AppendInt(reqBatch, 1)
+	reqBatch = AppendInt(reqBatch, 0)
+	reqBatch = AppendList(reqBatch, 1)
+	reqBatch = AppendList(reqBatch, 4)
+	reqBatch = AppendInt(reqBatch, 1)
+	reqBatch = AppendString(reqBatch, "echo")
+	reqBatch = AppendInt(reqBatch, 0)
+	reqBatch = AppendBytes(reqBatch, []byte("argument-bytes"))
+
+	misc, _ := Marshal(nil, true, false, int64(-5), 3.25, "str", []byte{9},
+		[]any{int64(1), "two"}, map[string]any{"k": int64(7)}, Ref{Kind: "port", Name: "p"})
+
+	return [][]byte{reqBatch, misc, {}, {0x07, 0xff}, {0x05, 0x80}}
+}
+
+// FuzzDecoder drives the zero-copy cursor over arbitrary input: it must
+// never panic, and every view it hands out must alias the input buffer
+// in bounds. This property is load-bearing — the stream layer retains
+// decoded views (request args, reply payloads) past the decode call.
+func FuzzDecoder(f *testing.F) {
+	for _, s := range fuzzSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		checkView := func(view []byte) {
+			if len(view) == 0 || len(data) == 0 {
+				return
+			}
+			lo := uintptr(unsafe.Pointer(&data[0]))
+			hi := lo + uintptr(len(data))
+			p := uintptr(unsafe.Pointer(&view[0]))
+			if p < lo || p+uintptr(len(view)) > hi {
+				t.Fatalf("view escapes input bounds")
+			}
+		}
+		d := NewDecoder(data)
+		if _, err := d.Header(); err != nil {
+			return
+		}
+		// Walk the remainder with a rotation of every accessor; each step
+		// either consumes bytes or errors, so the walk terminates.
+		for i := 0; d.Remaining() > 0 && i < len(data)*2+8; i++ {
+			switch i % 5 {
+			case 0:
+				if v, err := d.StringView(); err == nil {
+					checkView(v)
+				}
+			case 1:
+				d.Int()
+			case 2:
+				if v, err := d.BytesView(); err == nil {
+					checkView(v)
+				}
+			case 3:
+				d.Bool()
+			case 4:
+				d.List()
+			}
+		}
+		d.Done()
+	})
+}
+
+// FuzzUnmarshal asserts the materializing decoder never panics on
+// arbitrary input; whatever it accepts must re-encode.
+func FuzzUnmarshal(f *testing.F) {
+	for _, s := range fuzzSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		vals, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		if _, err := Marshal(vals...); err != nil {
+			t.Fatalf("decoded values failed to re-encode: %v", err)
+		}
+	})
+}
