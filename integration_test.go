@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"promises/internal/app/grades"
+	"promises/internal/clock"
 	"promises/internal/coenter"
 	"promises/internal/compose"
 	"promises/internal/exception"
@@ -121,8 +122,14 @@ func TestIntegrationUserCodecEncodeFailureAtCaller(t *testing.T) {
 
 func TestIntegrationGuardianCrashDuringComposition(t *testing.T) {
 	// The grades DB crashes mid-composition; the coenter terminates,
-	// recovery brings it back, and a rerun completes.
-	net := simnet.New(simnet.Config{})
+	// recovery brings it back, and a rerun completes. Runs on a virtual
+	// clock so the modeled DB delay and the crash timing elapse instantly;
+	// the auto-advance defer is registered first so (LIFO) the clock keeps
+	// moving until the guardians have closed.
+	vclk := clock.NewVirtual()
+	vclk.SetAutoAdvance(true)
+	defer vclk.SetAutoAdvance(false)
+	net := simnet.New(simnet.Config{Clock: vclk})
 	defer net.Close()
 	db, err := grades.NewDB(net, "gradesdb", integOpts())
 	if err != nil {
@@ -145,7 +152,7 @@ func TestIntegrationGuardianCrashDuringComposition(t *testing.T) {
 	load := grades.Workload(30)
 	crashed := make(chan struct{})
 	go func() {
-		time.Sleep(5 * time.Millisecond)
+		vclk.Sleep(5 * time.Millisecond)
 		db.G.Crash()
 		close(crashed)
 	}()

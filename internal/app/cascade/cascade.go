@@ -89,7 +89,7 @@ func (s *Source) read(*guardian.Call) ([]any, error) {
 	d := s.delay
 	s.mu.Unlock()
 	if d > 0 {
-		time.Sleep(d)
+		s.G.Clock().Sleep(d) // modeled work elapses on the guardian's clock
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -147,7 +147,7 @@ func (c *Compute) compute(call *guardian.Call) ([]any, error) {
 	d := c.delay
 	c.mu.Unlock()
 	if d > 0 {
-		time.Sleep(d)
+		c.G.Clock().Sleep(d)
 	}
 	return []any{Transform(x)}, nil
 }
@@ -196,7 +196,7 @@ func (s *Sink) write(call *guardian.Call) ([]any, error) {
 	d := s.delay
 	s.mu.Unlock()
 	if d > 0 {
-		time.Sleep(d)
+		s.G.Clock().Sleep(d)
 	}
 	s.mu.Lock()
 	s.values = append(s.values, y)

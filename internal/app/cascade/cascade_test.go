@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"promises/internal/clock"
 	"promises/internal/exception"
 	"promises/internal/simnet"
 	"promises/internal/stream"
@@ -50,6 +51,19 @@ func newWorld(t *testing.T, cfg simnet.Config, total int64) *world {
 		n.Close()
 	})
 	return &world{net: n, source: src, compute: cmp, sink: snk, client: client}
+}
+
+// newVirtualWorld is newWorld on an auto-advancing virtual clock: modeled
+// per-stage delays elapse without real waiting.
+func newVirtualWorld(t *testing.T, cfg simnet.Config, total int64) (*world, *clock.Virtual) {
+	t.Helper()
+	vclk := clock.NewVirtual()
+	cfg.Clock = vclk
+	vclk.SetAutoAdvance(true)
+	// Registered before newWorld's cleanup so (LIFO) the clock advances
+	// until the guardians have closed.
+	t.Cleanup(func() { vclk.SetAutoAdvance(false) })
+	return newWorld(t, cfg, total), vclk
 }
 
 // checkSink verifies that exactly items 0..k-1 arrived, transformed, in
@@ -150,25 +164,25 @@ func TestPipeliningBeatsSequentialWithStageDelays(t *testing.T) {
 	const k = 30
 	stage := 300 * time.Microsecond
 
-	seqW := newWorld(t, simnet.Config{}, 0)
+	seqW, seqClk := newVirtualWorld(t, simnet.Config{}, 0)
 	seqW.source.SetDelay(stage)
 	seqW.compute.SetDelay(stage)
 	seqW.sink.SetDelay(stage)
-	start := time.Now()
+	start := seqClk.Now()
 	if err := seqW.client.RunSequential(context.Background(), k); err != nil {
 		t.Fatal(err)
 	}
-	seqT := time.Since(start)
+	seqT := seqClk.Now().Sub(start)
 
-	pipeW := newWorld(t, simnet.Config{}, 0)
+	pipeW, pipeClk := newVirtualWorld(t, simnet.Config{}, 0)
 	pipeW.source.SetDelay(stage)
 	pipeW.compute.SetDelay(stage)
 	pipeW.sink.SetDelay(stage)
-	start = time.Now()
+	start = pipeClk.Now()
 	if err := pipeW.client.RunPerStream(context.Background(), k); err != nil {
 		t.Fatal(err)
 	}
-	pipeT := time.Since(start)
+	pipeT := pipeClk.Now().Sub(start)
 
 	t.Logf("sequential %v, per-stream %v (k=%d, stage=%v)", seqT, pipeT, k, stage)
 	if pipeT > 3*seqT {

@@ -106,7 +106,7 @@ func (db *DB) recordGrade(call *guardian.Call) ([]any, error) {
 	d := db.delay
 	db.mu.Unlock()
 	if d > 0 {
-		time.Sleep(d)
+		db.G.Clock().Sleep(d) // modeled work elapses on the guardian's clock
 	}
 	db.mu.Lock()
 	db.grades[stu] = append(db.grades[stu], grade)
@@ -239,7 +239,7 @@ func (pr *Printer) print(call *guardian.Call) ([]any, error) {
 	d, fail := pr.delay, pr.fail
 	pr.mu.Unlock()
 	if d > 0 {
-		time.Sleep(d)
+		pr.G.Clock().Sleep(d) // modeled work elapses on the guardian's clock
 	}
 	if fail {
 		return nil, exception.New("cannot_print")
@@ -305,7 +305,7 @@ type Client struct {
 // produce models yielding one element from the grades iterator.
 func (c *Client) produce() {
 	if c.ProduceCost > 0 {
-		time.Sleep(c.ProduceCost)
+		c.G.Clock().Sleep(c.ProduceCost)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"promises/internal/clock"
 	"promises/internal/exception"
 	"promises/internal/simnet"
 	"promises/internal/stream"
@@ -45,6 +46,35 @@ func newWorld(t *testing.T, cfg simnet.Config) *world {
 		n.Close()
 	})
 	return &world{net: n, db: db, pr: pr, client: client}
+}
+
+// newVirtualWorld is newWorld on an auto-advancing virtual clock: modeled
+// per-call delays and watchdog deadlines elapse without real waiting.
+func newVirtualWorld(t *testing.T, cfg simnet.Config) (*world, *clock.Virtual) {
+	t.Helper()
+	vclk := clock.NewVirtual()
+	cfg.Clock = vclk
+	vclk.SetAutoAdvance(true)
+	// Registered before newWorld's cleanup so (LIFO) the clock advances
+	// until the guardians have closed.
+	t.Cleanup(func() { vclk.SetAutoAdvance(false) })
+	return newWorld(t, cfg), vclk
+}
+
+// clockCtx bounds a run by d elapsed on clk, so the deadline is virtual
+// under a virtual clock (context.WithTimeout would count real time).
+func clockCtx(clk clock.Clock, d time.Duration) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(context.Background())
+	tm := clk.NewTimer(d)
+	go func() {
+		defer tm.Stop()
+		select {
+		case <-tm.C():
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+	return ctx, cancel
 }
 
 // checkOutput verifies the printed list: every student exactly once, in
@@ -163,12 +193,13 @@ func TestForksNaiveHangsWhenRecorderDiesEarly(t *testing.T) {
 	// recording process terminates early after 4 of 10 calls; in the naive
 	// Figure 4-1 program the printing process hangs forever waiting to
 	// dequeue the 5th promise (bounded here by a deadline).
-	w := newWorld(t, simnet.Config{})
+	w, clk := newVirtualWorld(t, simnet.Config{})
 	w.client.FailRecordingAfter = 4
 	grades := Workload(10)
 
-	deadline := 250 * time.Millisecond
-	ctx, cancel := context.WithTimeout(context.Background(), deadline)
+	// The hang is bounded by 250ms of VIRTUAL time, which auto-advance
+	// runs off in milliseconds of real time.
+	ctx, cancel := clockCtx(clk, 250*time.Millisecond)
 	defer cancel()
 	err := w.client.RunForksNaive(ctx, grades)
 	if err == nil {
@@ -274,18 +305,18 @@ func TestCompositionOverlapsPipelining(t *testing.T) {
 	// finish well before the sum of all delays, because recording and
 	// printing overlap. This is the qualitative claim of §4; E4 measures
 	// it quantitatively.
-	w := newWorld(t, simnet.Config{Propagation: 200 * time.Microsecond})
+	w, clk := newVirtualWorld(t, simnet.Config{Propagation: 200 * time.Microsecond})
 	const n = 40
 	perCall := 500 * time.Microsecond
 	w.db.SetDelay(perCall)
 	w.pr.SetDelay(perCall)
 	grades := Workload(n)
 
-	start := time.Now()
+	start := clk.Now()
 	if err := w.client.RunCoenter(context.Background(), grades); err != nil {
 		t.Fatal(err)
 	}
-	elapsed := time.Since(start)
+	elapsed := clk.Now().Sub(start)
 	serialFloor := time.Duration(2*n) * perCall // no-overlap lower bound
 	if elapsed >= serialFloor {
 		t.Logf("coenter run took %v (serial floor %v) — overlap not observed; "+

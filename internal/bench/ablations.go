@@ -66,7 +66,7 @@ func A1BatchDelay(delays []time.Duration, n int) *Table {
 		}
 		w := newEchoWorld(LANCost(), opts)
 		s := w.echo.Stream(w.client.Agent("bench"))
-		start := time.Now()
+		start := now()
 		for i := 0; i < n; i++ {
 			if _, err := promise.Call(s, EchoPort, promise.Bytes, []byte("x")); err != nil {
 				panic(err)
@@ -75,11 +75,11 @@ func A1BatchDelay(delays []time.Duration, n int) *Table {
 		if err := s.Synch(bg); err != nil {
 			panic(err)
 		}
-		pipeT := time.Since(start)
+		pipeT := since(start)
 		msgs := w.net.Stats().MessagesSent
 
 		// One lonely call: its latency includes the full batching delay.
-		start = time.Now()
+		start = now()
 		p, err := promise.Call(s, EchoPort, promise.Bytes, []byte("y"))
 		if err != nil {
 			panic(err)
@@ -87,7 +87,7 @@ func A1BatchDelay(delays []time.Duration, n int) *Table {
 		if _, err := p.Claim(bg); err != nil {
 			panic(err)
 		}
-		soloT := time.Since(start)
+		soloT := since(start)
 		w.close()
 		t.AddRow(fmt.Sprint(d), ms(pipeT), fmt.Sprint(msgs), ms(soloT))
 	}
@@ -110,13 +110,13 @@ func A2ParallelPorts(n int, handlerCost time.Duration) *Table {
 		server := guardian.MustNew(net, "server", opts)
 		client := guardian.MustNew(net, "client", opts)
 		ref := server.AddHandler("slow", func(call *guardian.Call) ([]any, error) {
-			time.Sleep(handlerCost)
+			benchClock.Sleep(handlerCost)
 			return call.Args, nil
 		})
 		server.SetParallel("slow", parallel)
 		s := ref.Stream(client.Agent("bench"))
 
-		start := time.Now()
+		start := now()
 		ps := make([]*promise.Promise[[]byte], n)
 		for i := range ps {
 			p, err := promise.Call(s, "slow", promise.Bytes, []byte{byte(i)})
@@ -130,7 +130,7 @@ func A2ParallelPorts(n int, handlerCost time.Duration) *Table {
 				panic(err)
 			}
 		}
-		elapsed := time.Since(start)
+		elapsed := since(start)
 		client.Close()
 		server.Close()
 		net.Close()
@@ -170,7 +170,7 @@ func A3TypedChecking(n int) *Table {
 		s := ref.Stream(client.Agent("bench"))
 
 		arg := payload(64)
-		start := time.Now()
+		start := now()
 		ps := make([]*promise.Promise[[]byte], n)
 		for i := range ps {
 			var p *promise.Promise[[]byte]
@@ -190,7 +190,7 @@ func A3TypedChecking(n int) *Table {
 				panic(err)
 			}
 		}
-		elapsed := time.Since(start)
+		elapsed := since(start)
 		client.Close()
 		server.Close()
 		net.Close()

@@ -60,11 +60,11 @@ func E4Composition(students []int, perCall time.Duration) *Table {
 		run := func(f func(*grades.Client, context.Context, []grades.SInfo) error) time.Duration {
 			_, _, cl, close := gradesWorld(perCall)
 			defer close()
-			start := time.Now()
+			start := now()
 			if err := f(cl, bg, load); err != nil {
 				panic(err)
 			}
-			return time.Since(start)
+			return since(start)
 		}
 		seqT := run((*grades.Client).RunSequential)
 		forkT := run((*grades.Client).RunForks)
@@ -128,11 +128,11 @@ func E5Cascade(ks []int, stageCost time.Duration) *Table {
 		run := func(f func(*cascade.Client, context.Context, int) error) time.Duration {
 			_, cl, close := cascadeWorld(stageCost, stageCost)
 			defer close()
-			start := time.Now()
+			start := now()
 			if err := f(cl, bg, k); err != nil {
 				panic(err)
 			}
-			return time.Since(start)
+			return since(start)
 		}
 		seqT := run((*cascade.Client).RunSequential)
 		pipeT := run((*cascade.Client).RunPerStream)
@@ -167,11 +167,13 @@ func E7BreakHandling(n, failAfter int, watchdog time.Duration) *Table {
 	} {
 		_, _, cl, close := gradesWorld(0)
 		cl.FailRecordingAfter = failAfter
-		ctx, cancel := context.WithTimeout(bg, watchdog)
-		start := time.Now()
+		// The watchdog runs on the bench clock, so a hung strategy is cut
+		// off after `watchdog` of modeled time, not of real waiting.
+		ctx, cancel := clockTimeout(bg, watchdog)
+		start := now()
 		err := s.run(cl, ctx, load)
-		elapsed := time.Since(start)
-		hung := ctx.Err() != nil
+		elapsed := since(start)
+		hung := ctx.Err() != nil && elapsed >= watchdog
 		cancel()
 		close()
 		outcome := "ok"
@@ -209,11 +211,11 @@ func E8PerStreamVsPerItem(k int, filters []time.Duration) *Table {
 		run := func(fn func(*cascade.Client, context.Context, int) error) time.Duration {
 			_, cl, close := cascadeWorld(0, f)
 			defer close()
-			start := time.Now()
+			start := now()
 			if err := fn(cl, bg, k); err != nil {
 				panic(err)
 			}
-			return time.Since(start)
+			return since(start)
 		}
 		streamT := run((*cascade.Client).RunPerStream)
 		itemT := run((*cascade.Client).RunPerItem)

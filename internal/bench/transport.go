@@ -51,13 +51,13 @@ func runRPCBaseline(n int, arg []byte) (time.Duration, int64) {
 	cli := rpcbase.NewClient(net.MustAddNode("client"), rpcbase.Config{})
 	defer cli.Close()
 
-	start := time.Now()
+	start := now()
 	for i := 0; i < n; i++ {
 		if _, err := cli.Call(bg, "server", EchoPort, arg); err != nil {
 			panic(err)
 		}
 	}
-	elapsed := time.Since(start)
+	elapsed := since(start)
 	return elapsed, net.Stats().MessagesSent
 }
 
@@ -67,7 +67,7 @@ func runStreamCalls(n int, arg []byte) (time.Duration, int64) {
 	defer w.close()
 	s := w.echo.Stream(w.client.Agent("bench"))
 
-	start := time.Now()
+	start := now()
 	ps := make([]*promise.Promise[[]byte], n)
 	for i := range ps {
 		p, err := promise.Call(s, EchoPort, promise.Bytes, arg)
@@ -79,7 +79,7 @@ func runStreamCalls(n int, arg []byte) (time.Duration, int64) {
 	if err := s.Synch(bg); err != nil {
 		panic(err)
 	}
-	elapsed := time.Since(start)
+	elapsed := since(start)
 	return elapsed, w.net.Stats().MessagesSent
 }
 
@@ -102,7 +102,7 @@ func E2Batching(batches []int, payloads []int, n int) *Table {
 			opts.MaxBatch = b
 			w := newEchoWorld(LANCost(), opts)
 			s := w.echo.Stream(w.client.Agent("bench"))
-			start := time.Now()
+			start := now()
 			for i := 0; i < n; i++ {
 				if _, err := promise.Call(s, EchoPort, promise.Bytes, arg); err != nil {
 					panic(err)
@@ -111,7 +111,7 @@ func E2Batching(batches []int, payloads []int, n int) *Table {
 			if err := s.Synch(bg); err != nil {
 				panic(err)
 			}
-			elapsed := time.Since(start)
+			elapsed := since(start)
 			st := w.net.Stats()
 			w.close()
 			t.AddRow(fmt.Sprint(size), fmt.Sprint(b), ms(elapsed),
@@ -138,13 +138,13 @@ func E3CallModes(n int) *Table {
 	{
 		w := newEchoWorld(LANCost(), StreamOpts())
 		s := w.echo.Stream(w.client.Agent("bench"))
-		start := time.Now()
+		start := now()
 		for i := 0; i < n; i++ {
 			if _, err := promise.RPC(bg, s, "note", promise.None, arg); err != nil {
 				panic(err)
 			}
 		}
-		elapsed := time.Since(start)
+		elapsed := since(start)
 		st := w.net.Stats()
 		w.close()
 		t.AddRow("rpc", ms(elapsed), fmt.Sprint(st.MessagesSent),
@@ -154,7 +154,7 @@ func E3CallModes(n int) *Table {
 	{
 		w := newEchoWorld(LANCost(), StreamOpts())
 		s := w.echo.Stream(w.client.Agent("bench"))
-		start := time.Now()
+		start := now()
 		for i := 0; i < n; i++ {
 			if _, err := promise.Call(s, EchoPort, promise.Bytes, arg); err != nil {
 				panic(err)
@@ -163,7 +163,7 @@ func E3CallModes(n int) *Table {
 		if err := s.Synch(bg); err != nil {
 			panic(err)
 		}
-		elapsed := time.Since(start)
+		elapsed := since(start)
 		st := w.net.Stats()
 		w.close()
 		t.AddRow("stream-call", ms(elapsed), fmt.Sprint(st.MessagesSent),
@@ -173,7 +173,7 @@ func E3CallModes(n int) *Table {
 	{
 		w := newEchoWorld(LANCost(), StreamOpts())
 		s := w.echo.Stream(w.client.Agent("bench"))
-		start := time.Now()
+		start := now()
 		for i := 0; i < n; i++ {
 			if _, err := promise.Send(s, "note", arg); err != nil {
 				panic(err)
@@ -182,7 +182,7 @@ func E3CallModes(n int) *Table {
 		if err := s.Synch(bg); err != nil {
 			panic(err)
 		}
-		elapsed := time.Since(start)
+		elapsed := since(start)
 		st := w.net.Stats()
 		w.close()
 		t.AddRow("send", ms(elapsed), fmt.Sprint(st.MessagesSent),
@@ -214,7 +214,7 @@ func E9LossRecovery(rates []float64, n int) *Table {
 		w := newEchoWorld(cfg, opts)
 		s := w.echo.Stream(w.client.Agent("bench"))
 
-		start := time.Now()
+		start := now()
 		ps := make([]*promise.Promise[[]byte], n)
 		for i := range ps {
 			p, err := promise.Call(s, EchoPort, promise.Bytes, []byte{byte(i), byte(i >> 8)})
@@ -235,7 +235,7 @@ func E9LossRecovery(rates []float64, n int) *Table {
 				break
 			}
 		}
-		elapsed := time.Since(start)
+		elapsed := since(start)
 		st := w.net.Stats()
 		w.close()
 		t.AddRow(fmt.Sprintf("%.2f", rate), ms(elapsed),
@@ -264,7 +264,7 @@ func E10SendRecv(n int) *Table {
 	{
 		w := newEchoWorld(LANCost(), StreamOpts())
 		s := w.echo.Stream(w.client.Agent("bench"))
-		start := time.Now()
+		start := now()
 		ps := make([]*promise.Promise[[]byte], n)
 		for i := range ps {
 			p, err := promise.Call(s, EchoPort, promise.Bytes, arg)
@@ -278,7 +278,7 @@ func E10SendRecv(n int) *Table {
 				panic(err)
 			}
 		}
-		elapsed := time.Since(start)
+		elapsed := since(start)
 		w.close()
 		t.AddRow("promises", ms(elapsed), persec(n, elapsed), "0")
 	}
@@ -291,7 +291,7 @@ func E10SendRecv(n int) *Table {
 		})
 		cli := rpcbase.NewClient(net.MustAddNode("client"), rpcbase.Config{})
 		m := rpcbase.NewMatcher()
-		start := time.Now()
+		start := now()
 		for i := 0; i < n; i++ {
 			id, err := cli.SendAsync("server", EchoPort, arg)
 			if err != nil {
@@ -306,7 +306,7 @@ func E10SendRecv(n int) *Table {
 			}
 			m.Match(r)
 		}
-		elapsed := time.Since(start)
+		elapsed := since(start)
 		cli.Close()
 		srv.Close()
 		net.Close()

@@ -1,8 +1,10 @@
 package bench
 
 import (
+	"context"
 	"time"
 
+	"promises/internal/clock"
 	"promises/internal/guardian"
 	"promises/internal/simnet"
 	"promises/internal/stream"
@@ -19,7 +21,57 @@ func LANCost() simnet.Config {
 		KernelOverhead: 20 * time.Microsecond,
 		Propagation:    150 * time.Microsecond,
 		PerByte:        10 * time.Nanosecond,
+		// Worlds run on the harness clock, so measurements and modeled
+		// costs always read the same time source.
+		Clock: benchClock,
 	}
+}
+
+// benchClock is the harness time source: worlds run on it (via LANCost)
+// and experiments measure elapsed time with it. Real by default, so
+// benchtab numbers are wall-clock. WithVirtualTime swaps in a virtual
+// clock, under which the modeled network and handler costs elapse without
+// real waiting and measured durations equal the modeled time exactly.
+// E6 (cpu.go) deliberately bypasses it: it measures CPU cost per access,
+// which only the wall clock can see.
+var benchClock clock.Clock = clock.Real{}
+
+// now and since are the harness's timing primitives.
+func now() time.Time                      { return benchClock.Now() }
+func since(start time.Time) time.Duration { return benchClock.Now().Sub(start) }
+
+// WithVirtualTime runs f with the whole bench harness — worlds, modeled
+// handler costs, and elapsed-time measurements — on an auto-advancing
+// virtual clock. Experiments that only model costs (all but E6) produce
+// the same table shapes as under the real clock, in a fraction of the
+// wall time. Not safe to call concurrently with other experiment runs.
+func WithVirtualTime(f func()) {
+	v := clock.NewVirtual()
+	old := benchClock
+	benchClock = v
+	v.SetAutoAdvance(true)
+	defer func() {
+		v.SetAutoAdvance(false)
+		benchClock = old
+	}()
+	f()
+}
+
+// clockTimeout is context.WithTimeout on the bench clock: the context is
+// cancelled once d has elapsed on benchClock, so watchdog deadlines fire
+// in virtual time under WithVirtualTime instead of real-sleeping.
+func clockTimeout(parent context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(parent)
+	t := benchClock.NewTimer(d)
+	go func() {
+		defer t.Stop()
+		select {
+		case <-t.C():
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+	return ctx, cancel
 }
 
 // StreamOpts is the default stream tuning for experiments.

@@ -10,14 +10,16 @@ import (
 )
 
 func TestBackgroundStartsImmediately(t *testing.T) {
-	w := newWorld(t, simnet.Config{})
+	w, _ := newVirtualWorld(t)
 	var ticks atomic.Int64
 	w.server.Background(func(ctx context.Context, g *Guardian, restarts int) {
+		// Timeouts come from the guardian's clock, so the ticks elapse
+		// on virtual time (instantly, under auto-advance).
 		for {
 			select {
 			case <-ctx.Done():
 				return
-			case <-time.After(100 * time.Microsecond):
+			case <-g.Clock().After(100 * time.Microsecond):
 				ticks.Add(1)
 			}
 		}

@@ -25,6 +25,7 @@ import (
 	"strings"
 	"sync"
 
+	"promises/internal/clock"
 	"promises/internal/exception"
 	"promises/internal/simnet"
 	"promises/internal/stream"
@@ -120,6 +121,12 @@ func (g *Guardian) Name() string { return g.name }
 
 // Peer returns the guardian's stream runtime, for making outgoing calls.
 func (g *Guardian) Peer() *stream.Peer { return g.peer }
+
+// Clock returns the guardian's time source — the clock of the network it
+// lives on unless its stream options said otherwise. Background tasks
+// should take timeouts and sleeps from here so they run correctly under
+// virtual time.
+func (g *Guardian) Clock() clock.Clock { return g.peer.Clock() }
 
 // Agent returns a named sending agent of this guardian. Each concurrent
 // activity within the guardian should use its own agent.

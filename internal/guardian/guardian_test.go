@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"promises/internal/clock"
 	"promises/internal/exception"
 	"promises/internal/promise"
 	"promises/internal/simnet"
@@ -22,6 +23,19 @@ type world struct {
 	net    *simnet.Network
 	client *Guardian
 	server *Guardian
+}
+
+// newVirtualWorld is newWorld on an auto-advancing virtual clock: every
+// sleep or timeout taken from the guardians' Clock() elapses in
+// microseconds of real time.
+func newVirtualWorld(t *testing.T) (*world, *clock.Virtual) {
+	t.Helper()
+	vclk := clock.NewVirtual()
+	vclk.SetAutoAdvance(true)
+	// Registered before newWorld's cleanup so (LIFO) the clock advances
+	// until the guardians have closed.
+	t.Cleanup(func() { vclk.SetAutoAdvance(false) })
+	return newWorld(t, simnet.Config{Clock: vclk}), vclk
 }
 
 func newWorld(t *testing.T, cfg simnet.Config) *world {

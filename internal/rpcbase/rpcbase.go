@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"promises/internal/clock"
 	"promises/internal/exception"
 	"promises/internal/simnet"
 	"promises/internal/stream"
@@ -67,6 +68,7 @@ const (
 // calls.
 type Server struct {
 	node *simnet.Node
+	clk  clock.Clock
 
 	mu       sync.Mutex
 	handlers map[string]Handler
@@ -81,6 +83,7 @@ func NewServer(node *simnet.Node) *Server {
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		node:     node,
+		clk:      node.Network().Clock(),
 		handlers: make(map[string]Handler),
 		seen:     make(map[string]map[uint64][]byte),
 		ctx:      ctx,
@@ -106,6 +109,12 @@ func (s *Server) Close() {
 
 func (s *Server) loop() {
 	defer s.wg.Done()
+	var wait clock.Timer // reused across crashed-node polls
+	defer func() {
+		if wait != nil {
+			wait.Stop()
+		}
+	}()
 	for {
 		msg, err := s.node.Recv(s.ctx)
 		if err != nil {
@@ -114,10 +123,15 @@ func (s *Server) loop() {
 				s.mu.Lock()
 				s.seen = make(map[string]map[uint64][]byte)
 				s.mu.Unlock()
+				if wait == nil {
+					wait = s.clk.NewTimer(time.Millisecond)
+				} else {
+					wait.Reset(time.Millisecond)
+				}
 				select {
 				case <-s.ctx.Done():
 					return
-				case <-time.After(time.Millisecond):
+				case <-wait.C():
 					continue
 				}
 			}
@@ -191,6 +205,7 @@ func (s *Server) serve(msg simnet.Message) {
 // Client makes calls from a node, in either the RPC or the send/receive
 // style.
 type Client struct {
+	clk  clock.Clock
 	node *simnet.Node
 	cfg  Config
 
@@ -216,6 +231,7 @@ func NewClient(node *simnet.Node, cfg Config) *Client {
 	ctx, cancel := context.WithCancel(context.Background())
 	c := &Client{
 		node:    node,
+		clk:     node.Network().Clock(),
 		cfg:     cfg.withDefaults(),
 		waiters: make(map[uint64]chan stream.Outcome),
 		rawCh:   make(chan Reply, 4096),
@@ -235,14 +251,25 @@ func (c *Client) Close() {
 
 func (c *Client) loop() {
 	defer c.wg.Done()
+	var wait clock.Timer // reused across crashed-node polls
+	defer func() {
+		if wait != nil {
+			wait.Stop()
+		}
+	}()
 	for {
 		msg, err := c.node.Recv(c.ctx)
 		if err != nil {
 			if errors.Is(err, simnet.ErrCrashed) {
+				if wait == nil {
+					wait = c.clk.NewTimer(time.Millisecond)
+				} else {
+					wait.Reset(time.Millisecond)
+				}
 				select {
 				case <-c.ctx.Done():
 					return
-				case <-time.After(time.Millisecond):
+				case <-wait.C():
 					continue
 				}
 			}
@@ -334,16 +361,21 @@ func (c *Client) Call(ctx context.Context, server, port string, args []byte) (st
 	}()
 
 	req := encodeRequest(id, port, args)
+	rto := c.clk.NewTimer(c.cfg.RTO)
+	defer rto.Stop()
 	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
 		if err := c.node.Send(server, req); err != nil {
 			return stream.Outcome{}, exception.Unavailable(err.Error())
+		}
+		if attempt > 0 {
+			rto.Reset(c.cfg.RTO)
 		}
 		select {
 		case o := <-w:
 			return o, nil
 		case <-ctx.Done():
 			return stream.Outcome{}, ctx.Err()
-		case <-time.After(c.cfg.RTO):
+		case <-rto.C():
 		}
 	}
 	return stream.Outcome{}, exception.Unavailable("cannot communicate")

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"promises/internal/clock"
 	"promises/internal/exception"
 	"promises/internal/simnet"
 	"promises/internal/stream"
@@ -33,6 +34,19 @@ func newWorld(t *testing.T, cfg simnet.Config) *world {
 		n.Close()
 	})
 	return w
+}
+
+// newVirtualWorld is newWorld on an auto-advancing virtual clock, so RTO
+// timeouts and retry exhaustion elapse without real waiting.
+func newVirtualWorld(t *testing.T, cfg simnet.Config) *world {
+	t.Helper()
+	vclk := clock.NewVirtual()
+	cfg.Clock = vclk
+	vclk.SetAutoAdvance(true)
+	// Registered before newWorld's cleanup so (LIFO) the clock advances
+	// until the client and server have closed.
+	t.Cleanup(func() { vclk.SetAutoAdvance(false) })
+	return newWorld(t, cfg)
 }
 
 func echo(args []byte) stream.Outcome { return stream.NormalOutcome(args) }
@@ -75,7 +89,10 @@ func TestRPCUnknownPort(t *testing.T) {
 }
 
 func TestRPCRetriesThroughLoss(t *testing.T) {
-	n := simnet.New(simnet.Config{LossRate: 0.3, Seed: 42})
+	vclk := clock.NewVirtual()
+	vclk.SetAutoAdvance(true)
+	t.Cleanup(func() { vclk.SetAutoAdvance(false) })
+	n := simnet.New(simnet.Config{LossRate: 0.3, Seed: 42, Clock: vclk})
 	w := &world{net: n}
 	w.server = NewServer(n.MustAddNode("server"))
 	// Patient client: at 30% loss each attempt succeeds with p≈0.49, so a
@@ -101,7 +118,7 @@ func TestRPCRetriesThroughLoss(t *testing.T) {
 func TestRPCDuplicateSuppression(t *testing.T) {
 	// Retransmissions must not re-execute the handler.
 	var execs int64
-	w := newWorld(t, simnet.Config{LossRate: 0.4, Seed: 9})
+	w := newVirtualWorld(t, simnet.Config{LossRate: 0.4, Seed: 9})
 	w.server.Handle("count", func(args []byte) stream.Outcome {
 		atomic.AddInt64(&execs, 1)
 		return stream.NormalOutcome(args)
@@ -118,7 +135,7 @@ func TestRPCDuplicateSuppression(t *testing.T) {
 }
 
 func TestRPCGivesUpUnavailable(t *testing.T) {
-	w := newWorld(t, simnet.Config{})
+	w := newVirtualWorld(t, simnet.Config{})
 	w.net.Partition("client", "server")
 	_, err := w.client.Call(bg, "server", "echo", nil)
 	if !exception.IsUnavailable(err) {
@@ -254,7 +271,7 @@ func TestResend(t *testing.T) {
 }
 
 func TestServerCrashRecover(t *testing.T) {
-	w := newWorld(t, simnet.Config{})
+	w := newVirtualWorld(t, simnet.Config{})
 	w.server.Handle("echo", echo)
 	serverNode, _ := w.net.Node("server")
 	serverNode.Crash()

@@ -6,6 +6,8 @@ import (
 	"runtime"
 	"testing"
 	"time"
+
+	"promises/internal/clock"
 )
 
 // TestSchedulerGoroutineCountIndependentOfInFlight pins the tentpole
@@ -184,7 +186,10 @@ func TestSchedulerDuplicatesStillArriveTwice(t *testing.T) {
 // is still decided at send time: messages sent during a partition are
 // dropped even though the dispatcher delivers them later.
 func TestSchedulerPartitionDropsScheduledAtSendTime(t *testing.T) {
-	n := New(Config{Propagation: 20 * time.Millisecond})
+	vclk := clock.NewVirtual()
+	vclk.SetAutoAdvance(true)
+	defer vclk.SetAutoAdvance(false)
+	n := New(Config{Propagation: 20 * time.Millisecond, Clock: vclk})
 	defer n.Close()
 	a := n.MustAddNode("a")
 	b := n.MustAddNode("b")
@@ -200,7 +205,10 @@ func TestSchedulerPartitionDropsScheduledAtSendTime(t *testing.T) {
 	if err != nil || string(msg.Payload) != "kept" {
 		t.Fatalf("Recv = %q, %v; want the post-heal message", msg.Payload, err)
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	// The partitioned message's deadline precedes the delivered one's, so
+	// by now the dispatcher has already decided its fate; a short real
+	// window is enough to catch a wrong delivery into the inbox.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
 	defer cancel()
 	if _, err := b.Recv(ctx); !errors.Is(err, context.DeadlineExceeded) {
 		t.Errorf("partition-time message was delivered (err=%v)", err)
@@ -214,7 +222,10 @@ func TestSchedulerPartitionDropsScheduledAtSendTime(t *testing.T) {
 // scheduler: messages in the dispatcher's heap when the target crashes
 // are dropped at delivery time, not delivered into the recovered inbox.
 func TestSchedulerCrashDropsInFlight(t *testing.T) {
-	n := New(Config{Propagation: 30 * time.Millisecond})
+	vclk := clock.NewVirtual()
+	vclk.SetAutoAdvance(true)
+	defer vclk.SetAutoAdvance(false)
+	n := New(Config{Propagation: 30 * time.Millisecond, Clock: vclk})
 	defer n.Close()
 	a := n.MustAddNode("a")
 	b := n.MustAddNode("b")
@@ -224,8 +235,8 @@ func TestSchedulerCrashDropsInFlight(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	b.Crash() // before the 30ms propagation elapses
-	time.Sleep(60 * time.Millisecond)
+	b.Crash()                         // before the 30ms propagation elapses
+	vclk.Sleep(60 * time.Millisecond) // virtual: all deadlines pass while b is down
 	b.Recover()
 	if err := a.Send("b", []byte("fresh")); err != nil {
 		t.Fatal(err)

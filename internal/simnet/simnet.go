@@ -13,9 +13,12 @@
 //     stream layer's exactly-once ordered delivery — and its breaks —
 //     have something real to defend against.
 //
-// All costs are modeled with real sleeps at microsecond-to-millisecond
-// scale; with a zero Config the network is a plain reliable in-process
-// message switch suitable for fast unit tests.
+// All costs are modeled with sleeps at microsecond-to-millisecond scale
+// on the network's clock — the wall clock by default, or a virtual clock
+// (clock.Virtual) for deterministic simulation, in which case delivery
+// deadlines are instants of logical time and no real time is spent. With
+// a zero Config the network is a plain reliable in-process message
+// switch suitable for fast unit tests.
 //
 // Delivery is event-driven: one dispatcher goroutine per network holds
 // every in-flight message in a min-heap keyed by delivery deadline,
@@ -34,6 +37,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"promises/internal/clock"
 	"promises/internal/pqueue"
 )
 
@@ -65,6 +69,11 @@ type Config struct {
 	// InboxDepth is the per-node inbox capacity; messages arriving at a
 	// full inbox are dropped (receiver overload). 0 means 4096.
 	InboxDepth int
+	// Clock is the time source for delivery deadlines and cost-model
+	// sleeps. nil means the wall clock (clock.Real). Layers built on the
+	// network (streams, guardians) inherit this clock, so configuring a
+	// clock.Virtual here puts a whole system on virtual time.
+	Clock clock.Clock
 }
 
 // Stats counts network activity since the network was created.
@@ -93,11 +102,6 @@ var (
 	ErrDuplicateNode = errors.New("simnet: node already exists")
 )
 
-// ErrDuplicateNod is the old, misspelled name of ErrDuplicateNode.
-//
-// Deprecated: use ErrDuplicateNode.
-var ErrDuplicateNod = ErrDuplicateNode
-
 // spinThreshold is the residual wait below which the dispatcher yields
 // in a loop instead of arming its timer. OS timers round short sleeps up
 // (commonly to a millisecond or more), so waiting on the timer would
@@ -114,7 +118,9 @@ type delivery struct {
 
 // Network is an in-process datagram network between named nodes.
 type Network struct {
-	cfg Config
+	cfg     Config
+	clk     clock.Clock
+	virtual bool // clk is a clock.Virtual: skip wall-clock spin waits
 
 	mu         sync.Mutex
 	rng        *rand.Rand
@@ -148,8 +154,13 @@ func New(cfg Config) *Network {
 	if cfg.InboxDepth <= 0 {
 		cfg.InboxDepth = 4096
 	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real{}
+	}
 	n := &Network{
 		cfg:        cfg,
+		clk:        cfg.Clock,
+		virtual:    clock.IsVirtual(cfg.Clock),
 		rng:        rand.New(rand.NewSource(seed)),
 		nodes:      make(map[string]*Node),
 		partitions: make(map[[2]string]bool),
@@ -170,6 +181,10 @@ func New(cfg Config) *Network {
 
 // Config returns the network's configuration.
 func (n *Network) Config() Config { return n.cfg }
+
+// Clock returns the network's time source. Layers built on the network
+// take their clock from here unless explicitly configured otherwise.
+func (n *Network) Clock() clock.Clock { return n.clk }
 
 // AddNode creates a node with a unique name.
 func (n *Network) AddNode(name string) (*Node, error) {
@@ -331,7 +346,7 @@ func (n *Network) decideFate(from, to string, size int) (target *Node, deliver b
 
 // schedule hands one future delivery to the dispatcher.
 func (n *Network) schedule(target *Node, msg Message, d time.Duration) {
-	item := delivery{due: time.Now().Add(d), target: target, msg: msg}
+	item := delivery{due: n.clk.Now().Add(d), target: target, msg: msg}
 	n.schedMu.Lock()
 	if n.schedClosed {
 		n.schedMu.Unlock()
@@ -358,14 +373,14 @@ func (n *Network) schedule(target *Node, msg Message, d time.Duration) {
 // earliest deadline in the heap and delivers every due message in batch.
 func (n *Network) dispatcher() {
 	defer n.wg.Done()
-	timer := time.NewTimer(time.Hour)
+	timer := n.clk.NewTimer(time.Hour)
 	if !timer.Stop() {
-		<-timer.C
+		<-timer.C()
 	}
 	var batch []delivery
 	for {
+		now := n.clk.Now()
 		n.schedMu.Lock()
-		now := time.Now()
 		batch = batch[:0]
 		for {
 			min, ok := n.sched.Peek()
@@ -397,12 +412,16 @@ func (n *Network) dispatcher() {
 			continue
 		}
 
-		if hasNext && wait < spinThreshold {
+		if hasNext && wait < spinThreshold && !n.virtual {
 			// OS timers round short waits up (commonly to ≥1ms), which
 			// would stretch every sub-millisecond delivery delay to the
 			// timer floor. Yield and re-check the clock instead; the loop
 			// above delivers as soon as the deadline truly passes, and
 			// also notices any earlier message scheduled meanwhile.
+			// A virtual timer is exact, so under virtual time the timer
+			// below is both precise and visible to the clock's
+			// quiescence detection — spinning would hide this goroutine
+			// from auto-advance and deadlock the simulation.
 			runtime.Gosched()
 			continue
 		}
@@ -410,18 +429,18 @@ func (n *Network) dispatcher() {
 		if hasNext {
 			timer.Reset(wait)
 			select {
-			case <-timer.C:
+			case <-timer.C():
 			case <-n.wake:
 				if !timer.Stop() {
 					select {
-					case <-timer.C:
+					case <-timer.C():
 					default:
 					}
 				}
 			case <-n.done:
 				if !timer.Stop() {
 					select {
-					case <-timer.C:
+					case <-timer.C():
 					default:
 					}
 				}
@@ -473,7 +492,7 @@ func (nd *Node) Send(to string, payload []byte) error {
 	// Charge the sender: one kernel call plus the copy of the payload.
 	occupancy := n.cfg.KernelOverhead + time.Duration(len(payload))*n.cfg.PerByte
 	if occupancy > 0 {
-		time.Sleep(occupancy)
+		n.clk.Sleep(occupancy)
 	}
 
 	target, deliver, delay, dupDelay := n.decideFate(nd.name, to, len(payload))
@@ -541,7 +560,7 @@ func (nd *Node) Recv(ctx context.Context) (Message, error) {
 			return Message{}, ErrNetworkDown
 		}
 		if d := nd.net.cfg.KernelOverhead; d > 0 {
-			time.Sleep(d)
+			nd.net.clk.Sleep(d)
 		}
 		atomic.AddInt64(&nd.net.stats.kernel, 1)
 		return msg, nil

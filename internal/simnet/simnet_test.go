@@ -7,9 +7,36 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"promises/internal/clock"
 )
 
 func reliable() *Network { return New(Config{}) }
+
+// waitForDropped polls until the network has dropped at least want
+// messages — deterministic evidence the dispatcher decided their fate,
+// where a blind sleep would race it.
+func waitForDropped(t *testing.T, n *Network, want int64) {
+	t.Helper()
+	waitForStat(t, func() int64 { return n.Stats().MessagesDropped }, want, "dropped")
+}
+
+// waitForDelivered polls until at least want messages have been delivered.
+func waitForDelivered(t *testing.T, n *Network, want int64) {
+	t.Helper()
+	waitForStat(t, func() int64 { return n.Stats().MessagesDelivered }, want, "delivered")
+}
+
+func waitForStat(t *testing.T, get func() int64, want int64, what string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for get() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("%s = %d, want >= %d", what, get(), want)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
 
 func TestSendRecv(t *testing.T) {
 	n := reliable()
@@ -76,7 +103,8 @@ func TestPartitionDropsAndHealRestores(t *testing.T) {
 	if err := a.Send("b", []byte("lost")); err != nil {
 		t.Fatalf("Send during partition should not error locally: %v", err)
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	waitForDropped(t, n, 1) // the dispatcher has decided the message's fate
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
 	defer cancel()
 	if _, err := b.Recv(ctx); !errors.Is(err, context.DeadlineExceeded) {
 		t.Errorf("partitioned message was delivered (err=%v)", err)
@@ -101,7 +129,8 @@ func TestPartitionIsSymmetricAndHealAll(t *testing.T) {
 	b := n.MustAddNode("b")
 	n.Partition("b", "a") // note reversed order
 	_ = b.Send("a", []byte("x"))
-	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	waitForDropped(t, n, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
 	defer cancel()
 	if _, err := a.Recv(ctx); err == nil {
 		t.Error("reverse-direction message crossed partition")
@@ -122,7 +151,7 @@ func TestCrashLosesInboxAndRecoverRestores(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Let it land.
-	time.Sleep(20 * time.Millisecond)
+	waitForDelivered(t, n, 1)
 	b.Crash()
 	if !b.Crashed() {
 		t.Fatal("Crashed() = false after Crash")
@@ -133,9 +162,10 @@ func TestCrashLosesInboxAndRecoverRestores(t *testing.T) {
 	if err := b.Send("a", nil); !errors.Is(err, ErrCrashed) {
 		t.Errorf("Send from crashed node err = %v", err)
 	}
-	// Messages sent while down are dropped.
+	// Messages sent while down are dropped. Crash already counted the
+	// purged "queued" message, so the in-crash drop is the second.
 	_ = a.Send("b", []byte("while down"))
-	time.Sleep(20 * time.Millisecond)
+	waitForDropped(t, n, 2)
 	b.Recover()
 	if b.Crashed() {
 		t.Fatal("Crashed() = true after Recover")
@@ -251,30 +281,32 @@ func TestPropagationDelaysDelivery(t *testing.T) {
 }
 
 func TestSetLinkDelayOverridesPropagation(t *testing.T) {
-	if testing.Short() {
-		t.Skip("timing test")
-	}
-	n := New(Config{Propagation: 50 * time.Millisecond})
+	// On a virtual clock the link delays elapse exactly, so the bounds are
+	// deterministic and the test takes no real time.
+	vclk := clock.NewVirtual()
+	vclk.SetAutoAdvance(true)
+	defer vclk.SetAutoAdvance(false)
+	n := New(Config{Propagation: 50 * time.Millisecond, Clock: vclk})
 	defer n.Close()
 	a := n.MustAddNode("a")
 	b := n.MustAddNode("b")
 	n.SetLinkDelay("a", "b", 1*time.Millisecond)
-	start := time.Now()
+	start := vclk.Now()
 	_ = a.Send("b", []byte("x"))
 	if _, err := b.Recv(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	if elapsed := time.Since(start); elapsed > 40*time.Millisecond {
+	if elapsed := vclk.Now().Sub(start); elapsed > 40*time.Millisecond {
 		t.Errorf("fast link took %v", elapsed)
 	}
 	// Restore default.
 	n.SetLinkDelay("a", "b", 0)
-	start = time.Now()
+	start = vclk.Now()
 	_ = a.Send("b", []byte("x"))
 	if _, err := b.Recv(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+	if elapsed := vclk.Now().Sub(start); elapsed < 50*time.Millisecond {
 		t.Errorf("restored link took %v", elapsed)
 	}
 }

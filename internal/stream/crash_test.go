@@ -15,7 +15,7 @@ import (
 // the silence with probes and break the stream instead of waiting
 // forever.
 func TestCrashAfterAckBreaksViaProbe(t *testing.T) {
-	f := newFixture(t, simnet.Config{}, fastOpts())
+	f, clk := newVirtualFixture(t, simnet.Config{}, fastOpts())
 	started := make(chan struct{}, 1)
 	release := make(chan struct{})
 	f.handle("slow", func(call *Incoming) Outcome {
@@ -38,8 +38,9 @@ func TestCrashAfterAckBreaksViaProbe(t *testing.T) {
 
 	// Give the ack (in a reply-progress batch) time to reach the sender,
 	// then kill the server. Nothing is in the sender's retransmission
-	// queue any more.
-	time.Sleep(5 * time.Millisecond)
+	// queue any more. Virtual milliseconds: auto-advance runs them off
+	// in microseconds of real time.
+	clk.Sleep(5 * time.Millisecond)
 	f.server.Crash()
 
 	o := claim(t, p)
@@ -53,14 +54,14 @@ func TestCrashAfterAckBreaksViaProbe(t *testing.T) {
 // the sender learns its calls were lost and breaks promptly rather than
 // waiting on a receiver that will never reply to them.
 func TestReceiverRecoveryDetectedByEpoch(t *testing.T) {
-	f := newFixture(t, simnet.Config{}, fastOpts())
+	f, clk := newVirtualFixture(t, simnet.Config{}, fastOpts())
 	started := make(chan struct{}, 4)
 	release := make(chan struct{})
 	f.handle("slow", func(call *Incoming) Outcome {
 		started <- struct{}{}
 		select {
 		case <-release:
-		case <-time.After(5 * time.Second):
+		case <-clk.After(5 * time.Second):
 		}
 		return NormalOutcome(nil)
 	})
@@ -73,11 +74,11 @@ func TestReceiverRecoveryDetectedByEpoch(t *testing.T) {
 	}
 	s.Flush()
 	<-started
-	time.Sleep(5 * time.Millisecond) // let the ack land
+	clk.Sleep(5 * time.Millisecond) // let the ack land
 	f.server.Crash()
 	f.server.Recover() // back up immediately, with fresh stream state
 
-	start := time.Now()
+	start := clk.Now()
 	o := claim(t, p)
 	if o.Normal || o.Exception != exception.NameUnavailable {
 		t.Fatalf("outcome = %+v, want unavailable", o)
@@ -85,7 +86,7 @@ func TestReceiverRecoveryDetectedByEpoch(t *testing.T) {
 	// Detection must come from the epoch mismatch (an answered probe), in
 	// roughly one RTO — far sooner than full probe-retry exhaustion.
 	exhaustion := time.Duration(fastOpts().MaxRetries+1) * fastOpts().RTO
-	if elapsed := time.Since(start); elapsed > exhaustion {
+	if elapsed := clk.Now().Sub(start); elapsed > exhaustion {
 		t.Fatalf("detection took %v; epoch check should beat probe exhaustion (%v)", elapsed, exhaustion)
 	}
 }
@@ -95,9 +96,9 @@ func TestReceiverRecoveryDetectedByEpoch(t *testing.T) {
 // probe machinery, no matter how many probe intervals pass.
 func TestProbeDoesNotBreakSlowReceiver(t *testing.T) {
 	opts := fastOpts() // RTO 10ms, MaxRetries 4 => exhaustion at ~50ms
-	f := newFixture(t, simnet.Config{}, opts)
+	f, clk := newVirtualFixture(t, simnet.Config{}, opts)
 	f.handle("slow", func(call *Incoming) Outcome {
-		time.Sleep(150 * time.Millisecond) // >> probe exhaustion window
+		clk.Sleep(150 * time.Millisecond) // >> probe exhaustion window
 		return NormalOutcome([]byte("done"))
 	})
 	s := f.client.Agent("a1").Stream("server", "g1")
@@ -117,7 +118,7 @@ func TestProbeDoesNotBreakSlowReceiver(t *testing.T) {
 // CompletedThrough.
 func TestSendsResolveViaProbeProgress(t *testing.T) {
 	var executed atomic.Int32
-	f := newFixture(t, simnet.Config{}, fastOpts())
+	f, _ := newVirtualFixture(t, simnet.Config{}, fastOpts())
 	f.handle("note", func(call *Incoming) Outcome {
 		executed.Add(1)
 		return NormalOutcome(nil)

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"promises/internal/clock"
 	"promises/internal/exception"
 	"promises/internal/simnet"
 	"promises/internal/trace"
@@ -21,6 +22,7 @@ import (
 type Peer struct {
 	node *simnet.Node
 	opts Options
+	clk  clock.Clock
 
 	mu       sync.Mutex
 	agents   map[string]*Agent
@@ -41,9 +43,14 @@ type Peer struct {
 // timer loops.
 func NewPeer(node *simnet.Node, opts Options) *Peer {
 	ctx, cancel := context.WithCancel(context.Background())
+	opts = opts.withDefaults()
+	if opts.Clock == nil {
+		opts.Clock = node.Network().Clock()
+	}
 	p := &Peer{
 		node:   node,
-		opts:   opts.withDefaults(),
+		opts:   opts,
+		clk:    opts.Clock,
 		agents: make(map[string]*Agent),
 		sends:  make(map[streamKey]*Stream),
 		recvs:  make(map[streamKey]*rstream),
@@ -58,6 +65,9 @@ func NewPeer(node *simnet.Node, opts Options) *Peer {
 
 // Node returns the underlying network node.
 func (p *Peer) Node() *simnet.Node { return p.node }
+
+// Clock returns the peer's time source.
+func (p *Peer) Clock() clock.Clock { return p.clk }
 
 // Options returns the peer's protocol options (defaults applied).
 func (p *Peer) Options() Options { return p.opts }
@@ -92,7 +102,7 @@ func (p *Peer) emit(kind trace.Kind, stream string, seq uint64, detail string) {
 	if tp == nil {
 		return
 	}
-	(*tp).Record(trace.Event{Kind: kind, Stream: stream, Seq: seq, Detail: detail})
+	(*tp).Record(trace.Event{At: p.clk.Now(), Kind: kind, Stream: stream, Seq: seq, Detail: detail})
 }
 
 // SetParallelPorts installs the predicate that marks ports whose calls
@@ -160,6 +170,14 @@ func (p *Peer) transmit(to string, payload []byte) {
 // recvLoop demultiplexes every incoming message.
 func (p *Peer) recvLoop() {
 	defer p.wg.Done()
+	// One reusable timer paces the crashed-node polling; time.After here
+	// would allocate a timer per iteration for the whole crash duration.
+	var wait clock.Timer
+	defer func() {
+		if wait != nil {
+			wait.Stop()
+		}
+	}()
 	for {
 		msg, err := p.node.Recv(p.ctx)
 		switch {
@@ -169,10 +187,15 @@ func (p *Peer) recvLoop() {
 			// The node is down; volatile stream state is gone. Wait for
 			// recovery (the guardian restarting) or shutdown.
 			p.dropAllStreams()
+			if wait == nil {
+				wait = p.clk.NewTimer(time.Millisecond)
+			} else {
+				wait.Reset(time.Millisecond)
+			}
 			select {
 			case <-p.ctx.Done():
 				return
-			case <-time.After(time.Millisecond):
+			case <-wait.C():
 			}
 		default:
 			return // context cancelled or network closed
@@ -265,7 +288,7 @@ func (p *Peer) tickLoop() {
 	if interval < 200*time.Microsecond {
 		interval = 200 * time.Microsecond
 	}
-	ticker := time.NewTicker(interval)
+	ticker := p.clk.NewTicker(interval)
 	defer ticker.Stop()
 	// The snapshot slices persist across ticks so steady-state ticking
 	// does not allocate; entries are cleared after use so dropped streams
@@ -276,7 +299,7 @@ func (p *Peer) tickLoop() {
 		select {
 		case <-p.ctx.Done():
 			return
-		case now := <-ticker.C:
+		case now := <-ticker.C():
 			p.mu.Lock()
 			sends = sends[:0]
 			for _, s := range p.sends {

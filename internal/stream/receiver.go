@@ -85,8 +85,8 @@ type rstream struct {
 	unsentReplies     int     // suffix of retained not yet transmitted at all
 	oldestUnsentAt    time.Time
 	completedThrough  uint64
-	sentCompleted     uint64 // CompletedThrough value last transmitted
-	ackedThrough      uint64 // sender has resolved replies through this seq
+	sentCompleted     uint64    // CompletedThrough value last transmitted
+	ackedThrough      uint64    // sender has resolved replies through this seq
 	lastFullReplyAt   time.Time // when a batch covering all of retained last went out
 	lastAckProgressAt time.Time // when ackedThrough last advanced (or retained was born)
 	retries           int
@@ -140,7 +140,7 @@ func (r *rstream) handleRequestBatch(b *requestBatch) {
 	if b.AckRepliesThrough > r.ackedThrough {
 		r.ackedThrough = b.AckRepliesThrough
 		r.retries = 0
-		r.lastAckProgressAt = time.Now()
+		r.lastAckProgressAt = r.peer.clk.Now()
 		r.pruneRetainedLocked()
 	}
 
@@ -297,12 +297,12 @@ func (r *rstream) executeOne(req request) {
 		if len(r.retained) == 0 {
 			// Retained becomes non-empty: start both retransmission clocks
 			// from the reply's birth.
-			now := time.Now()
+			now := r.peer.clk.Now()
 			r.lastFullReplyAt = now
 			r.lastAckProgressAt = now
 		}
 		if r.unsentReplies == 0 {
-			r.oldestUnsentAt = time.Now()
+			r.oldestUnsentAt = r.peer.clk.Now()
 		}
 		r.retained = append(r.retained, reply{Seq: req.Seq, Outcome: outcome})
 		r.unsentReplies++
@@ -356,7 +356,7 @@ func (r *rstream) buildReplyBatchLocked(retransmit bool) []byte {
 	if len(reps) == len(r.retained) {
 		// Everything retained is on the wire in this batch: restart the
 		// full-retransmission pacing clock.
-		r.lastFullReplyAt = time.Now()
+		r.lastFullReplyAt = r.peer.clk.Now()
 	}
 	r.unsentReplies = 0
 	r.sentCompleted = r.completedThrough

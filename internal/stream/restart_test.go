@@ -21,7 +21,7 @@ func TestReceiverAdoptsNewIncarnation(t *testing.T) {
 		seq uint64
 		val byte
 	}
-	f := newFixture(t, simnet.Config{}, fastOpts())
+	f, _ := newVirtualFixture(t, simnet.Config{}, fastOpts())
 	f.handle("rec", func(call *Incoming) Outcome {
 		mu.Lock()
 		seen = append(seen, struct {
@@ -78,7 +78,7 @@ func TestReceiverAdoptsNewIncarnation(t *testing.T) {
 func TestStaleIncarnationBatchIgnored(t *testing.T) {
 	var mu sync.Mutex
 	count := map[byte]int{}
-	f := newFixture(t, simnet.Config{}, fastOpts())
+	f, clk := newVirtualFixture(t, simnet.Config{}, fastOpts())
 	f.handle("rec", func(call *Incoming) Outcome {
 		mu.Lock()
 		count[call.Args[0]]++
@@ -109,7 +109,7 @@ func TestStaleIncarnationBatchIgnored(t *testing.T) {
 	if err := node.Send("server", stale); err != nil {
 		t.Fatal(err)
 	}
-	time.Sleep(5 * time.Millisecond)
+	clk.Sleep(5 * time.Millisecond) // virtual: spans the replay's delivery
 	mu.Lock()
 	defer mu.Unlock()
 	if count[1] != 1 {

@@ -181,7 +181,7 @@ func newStream(p *Peer, key streamKey, opts Options) *Stream {
 		nextSeq:        1,
 		nextResolve:    1,
 		boundarySeq:    1,
-		lastProgressAt: time.Now(),
+		lastProgressAt: p.clk.Now(),
 	}
 }
 
@@ -262,7 +262,7 @@ func (s *Stream) enqueue(port string, args []byte, mode Mode) (*Pending, error) 
 	p := newPending(seq, mode)
 	s.pending.put(seq, p)
 	if len(s.buffer) == 0 {
-		s.bufferedAt = time.Now()
+		s.bufferedAt = s.peer.clk.Now()
 	}
 	s.buffer = append(s.buffer, request{Seq: seq, Port: port, Mode: mode, Args: args})
 	full := len(s.buffer) >= s.opts.MaxBatch || mode == ModeRPC
@@ -287,7 +287,7 @@ func (s *Stream) Flush() {
 	}
 	batch := s.buffer
 	s.unacked = append(s.unacked, batch...)
-	s.lastSendAt = time.Now()
+	s.lastSendAt = s.peer.clk.Now()
 	msg := s.buildRequestBatchLocked(batch)
 	firstSeq, n := batch[0].Seq, len(batch)
 	// The batch is copied into unacked and encoded into msg; recycle its
@@ -447,7 +447,7 @@ func (s *Stream) reincarnateLocked() {
 	s.breakErr = nil
 	s.pendingBreak = false
 	s.recvEpoch = 0
-	s.lastProgressAt = time.Now()
+	s.lastProgressAt = s.peer.clk.Now()
 	s.buffer = nil
 	s.unacked = nil
 	s.ackedThrough = 0
@@ -504,7 +504,7 @@ func (s *Stream) handleReplyBatch(b *replyBatch) {
 	s.recvEpoch = b.Epoch
 	// Hearing anything valid from the receiver is progress: the link and
 	// the receiver are alive, so hold off probe-based breaking.
-	s.lastProgressAt = time.Now()
+	s.lastProgressAt = s.peer.clk.Now()
 	s.retries = 0
 	// Receiver acked our requests; prune retransmission state.
 	if b.AckRequestsThrough > s.ackedThrough {
@@ -590,7 +590,7 @@ func (s *Stream) handleBreak(b *breakMsg) {
 	s.pendingBreak = true
 	s.pendingBreakAfter = b.BrokenAfter
 	s.pendingBreakReason = reason
-	s.pendingBreakAt = time.Now()
+	s.pendingBreakAt = s.peer.clk.Now()
 	s.finalizeBreakIfDrainedLocked()
 	s.mu.Unlock()
 }

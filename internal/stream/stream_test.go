@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"promises/internal/clock"
 	"promises/internal/exception"
 	"promises/internal/simnet"
 	"promises/internal/wire"
@@ -44,6 +45,23 @@ func newFixture(t *testing.T, cfg simnet.Config, opts Options) *testFixture {
 		n.Close()
 	})
 	return f
+}
+
+// newVirtualFixture is newFixture on a virtual clock with auto-advance:
+// sleeps and timeouts (the network's, the protocol's, and any the test
+// itself takes via the returned clock) elapse in microseconds of real
+// time. Timing assertions must measure with the returned clock — real
+// elapsed time is meaningless under auto-advance.
+func newVirtualFixture(t *testing.T, cfg simnet.Config, opts Options) (*testFixture, *clock.Virtual) {
+	t.Helper()
+	vclk := clock.NewVirtual()
+	cfg.Clock = vclk
+	vclk.SetAutoAdvance(true)
+	// Registered before the fixture's own cleanup, so (LIFO) the clock
+	// keeps advancing until the peers have closed and nothing is left
+	// waiting on it.
+	t.Cleanup(func() { vclk.SetAutoAdvance(false) })
+	return newFixture(t, cfg, opts), vclk
 }
 
 func (f *testFixture) handle(port string, h Handler) {

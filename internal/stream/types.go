@@ -35,6 +35,7 @@ import (
 	"sync"
 	"time"
 
+	"promises/internal/clock"
 	"promises/internal/exception"
 	"promises/internal/wire"
 )
@@ -162,6 +163,11 @@ type Options struct {
 	AutoRestart bool
 	// NoAutoRestart disables AutoRestart (zero-value ergonomics).
 	NoAutoRestart bool
+	// Clock is the peer's time source: tick loop, RTO and batching-delay
+	// staleness, break timeouts, trace timestamps. Default: the clock of
+	// the simnet network the peer's node belongs to, so configuring a
+	// virtual clock on the network covers the stream layer too.
+	Clock clock.Clock
 }
 
 func (o Options) withDefaults() Options {

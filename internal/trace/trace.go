@@ -78,6 +78,7 @@ type Ring struct {
 	buf   []Event
 	next  int
 	count int
+	now   func() time.Time // stamps events recorded with a zero At
 }
 
 // NewRing creates a ring holding up to capacity events (default 4096 if
@@ -89,10 +90,22 @@ func NewRing(capacity int) *Ring {
 	return &Ring{buf: make([]Event, capacity)}
 }
 
+// SetNow installs the time source used to stamp events recorded with a
+// zero At — a virtual clock's Now under simulation. The default is
+// time.Now. Call before recording starts; it is not synchronized with
+// concurrent Records.
+func (r *Ring) SetNow(now func() time.Time) {
+	r.now = now
+}
+
 // Record stores an event, evicting the oldest if full.
 func (r *Ring) Record(e Event) {
 	if e.At.IsZero() {
-		e.At = time.Now()
+		if r.now != nil {
+			e.At = r.now()
+		} else {
+			e.At = time.Now()
+		}
 	}
 	r.mu.Lock()
 	r.buf[r.next] = e
