@@ -23,9 +23,10 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment id(s): e1..e10, comma-separated, or 'all'")
-		quick = flag.Bool("quick", false, "run at smoke-test scale")
-		list  = flag.Bool("list", false, "list experiments and exit")
+		exp     = flag.String("exp", "all", "experiment id(s): e1..e10, comma-separated, or 'all'")
+		quick   = flag.Bool("quick", false, "run at smoke-test scale")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		metrics = flag.Bool("metrics", false, "append a metrics-registry snapshot after the tables")
 	)
 	flag.Parse()
 
@@ -54,6 +55,9 @@ func main() {
 		}
 	}
 
+	if *metrics {
+		bench.EnableMetrics()
+	}
 	for _, id := range ids {
 		e, ok := bench.Find(id)
 		if !ok {
@@ -68,5 +72,9 @@ func main() {
 			run = e.Quick
 		}
 		run().Print(os.Stdout)
+	}
+	if *metrics {
+		fmt.Println("# metrics (accumulated across the experiments above)")
+		bench.EnableMetrics().Snapshot().WriteText(os.Stdout)
 	}
 }

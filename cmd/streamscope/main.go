@@ -1,0 +1,331 @@
+// Command streamscope inspects a call-stream run end to end: it joins
+// every node's trace ring into per-call timelines (enqueued -> sent ->
+// delivered -> executed -> replied -> resolved), prints waterfalls and
+// per-stream latency tables, dumps the metrics registry, and can emit a
+// Chrome trace_event file loadable in Perfetto or chrome://tracing.
+//
+// By default it runs one seeded deterministic simulation (the same
+// scenario engine as simtrace), so the same seed prints the same bytes:
+//
+//	streamscope -seed 42                  # waterfalls + tables + metrics
+//	streamscope -seed 42 -v               # plus per-call stage bars
+//	streamscope -seed 42 -chrome t.json   # Perfetto-loadable trace
+//	streamscope -seed 42 -metrics-json m.json -events-json e.json
+//	streamscope -in e.json                # inspect a saved event dump
+//	streamscope -seed 42 -check           # schema/monotonicity gate (CI)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"promises/internal/clock"
+	"promises/internal/metrics"
+	"promises/internal/simtest"
+	"promises/internal/trace"
+)
+
+func main() {
+	var (
+		seed        = flag.Int64("seed", 1, "script seed; same seed, same output")
+		servers     = flag.Int("servers", 2, "server guardians")
+		clients     = flag.Int("clients", 2, "client guardians")
+		calls       = flag.Int("calls", 8, "calls per client")
+		verbose     = flag.Bool("v", false, "render per-call stage bars")
+		inPath      = flag.String("in", "", "inspect a saved -events-json dump instead of running a simulation")
+		chromePath  = flag.String("chrome", "", "write Chrome trace_event JSON to this file")
+		metricsPath = flag.String("metrics-json", "", "write the final metrics snapshot as JSON to this file")
+		eventsPath  = flag.String("events-json", "", "write the raw trace events as JSON to this file")
+		check       = flag.Bool("check", false, "verify snapshot schema + counter monotonicity; nonzero exit on failure")
+	)
+	flag.Parse()
+
+	var (
+		events []trace.Event
+		mid    *metrics.Snapshot
+		final  *metrics.Snapshot
+	)
+	if *inPath != "" {
+		data, err := os.ReadFile(*inPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := json.Unmarshal(data, &events); err != nil {
+			fatal(fmt.Errorf("%s: %w", *inPath, err))
+		}
+	} else {
+		r, err := simtest.Run(simtest.Options{
+			Seed: *seed, Servers: *servers, Clients: *clients, Calls: *calls,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		events, mid, final = r.Events, r.MetricsMid, r.MetricsFinal
+		fmt.Printf("# run seed=%d virtual=%v events=%d digest=%s\n",
+			*seed, r.VirtualElapsed, len(events), r.Digest)
+	}
+
+	tls := trace.Correlate(events)
+	printWaterfalls(os.Stdout, tls, *verbose)
+	printStreamTable(os.Stdout, tls)
+	if final != nil {
+		fmt.Println("\n# metrics (final)")
+		final.WriteText(os.Stdout)
+	}
+
+	if *eventsPath != "" {
+		writeJSONFile(*eventsPath, events)
+	}
+	if *metricsPath != "" && final != nil {
+		writeFile(*metricsPath, func(w io.Writer) error { return final.WriteJSON(w) })
+	}
+	if *chromePath != "" {
+		writeFile(*chromePath, func(w io.Writer) error {
+			return trace.WriteChromeTrace(w, clock.Epoch, tls)
+		})
+	}
+
+	if *check {
+		if errs := runChecks(tls, mid, final); len(errs) > 0 {
+			for _, e := range errs {
+				fmt.Fprintln(os.Stderr, "check FAIL:", e)
+			}
+			os.Exit(1)
+		}
+		fmt.Println("# check OK")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "streamscope:", err)
+	os.Exit(1)
+}
+
+func writeFile(path string, write func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+}
+
+func writeJSONFile(path string, v any) {
+	writeFile(path, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		return enc.Encode(v)
+	})
+}
+
+// printWaterfalls lists each call with per-stage offsets from its
+// enqueue instant; -v adds a proportional stage bar.
+func printWaterfalls(w io.Writer, tls []*trace.Timeline, verbose bool) {
+	fmt.Fprintln(w, "\n# timelines (per-call waterfall; stage offsets from enqueue)")
+	fmt.Fprintf(w, "%-12s %-22s %4s %9s %7s %7s %7s %7s %7s %9s  %s\n",
+		"TRACE", "STREAM", "SEQ", "ENQ@", "SENT", "DLVR", "EXEC", "REPL", "RSLV", "TOTAL", "OUTCOME")
+	var maxTotal time.Duration
+	for _, tl := range tls {
+		if tl.Total() > maxTotal {
+			maxTotal = tl.Total()
+		}
+	}
+	for _, tl := range tls {
+		enq := tl.Stamp(trace.StageEnqueued)
+		fmt.Fprintf(w, "%-12s %-22s %4d %8dus %7s %7s %7s %7s %7s %8dus  %s\n",
+			fmt.Sprintf("%012x", tl.TraceID), tl.Stream, tl.Seq,
+			enq.Sub(clock.Epoch).Microseconds(),
+			offset(tl, trace.StageSent), offset(tl, trace.StageDelivered),
+			offset(tl, trace.StageExecuted), offset(tl, trace.StageReplied),
+			offset(tl, trace.StageResolved),
+			tl.Total().Microseconds(), tl.Outcome)
+		if verbose && maxTotal > 0 {
+			fmt.Fprintf(w, "%41s %s\n", "", stageBar(tl, maxTotal, 64))
+		}
+	}
+}
+
+// offset formats a stage's delay after enqueue, or "-" if unobserved.
+func offset(tl *trace.Timeline, s trace.Stage) string {
+	if tl.Stamp(s).IsZero() || tl.Stamp(trace.StageEnqueued).IsZero() {
+		return "-"
+	}
+	return fmt.Sprintf("+%d", tl.Dur(trace.StageEnqueued, s).Microseconds())
+}
+
+// stageBar renders the call's stage intervals as a proportional bar:
+// one letter per interval (b=batch-wait n=network x=execute r=reply-
+// buffer p=reply-network), scaled so the run's slowest call spans width.
+func stageBar(tl *trace.Timeline, maxTotal time.Duration, width int) string {
+	letters := [...]byte{'b', 'n', 'x', 'r', 'p'}
+	var sb strings.Builder
+	sb.WriteByte('|')
+	prev := trace.StageEnqueued
+	for s := trace.StageSent; s < trace.NumStages; s++ {
+		if tl.Stamp(s).IsZero() {
+			continue
+		}
+		d := tl.Dur(prev, s)
+		n := int(int64(d) * int64(width) / int64(maxTotal))
+		if n < 1 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			sb.WriteByte(letters[s-1])
+		}
+		sb.WriteByte('|')
+		prev = s
+	}
+	return sb.String()
+}
+
+// printStreamTable aggregates timelines per stream: volumes and mean
+// stage-interval latencies.
+func printStreamTable(w io.Writer, tls []*trace.Timeline) {
+	type agg struct {
+		calls, resolved               int
+		total, batch, net, exec, rnet time.Duration
+		nb, nn, nx, nr                int
+	}
+	byStream := map[string]*agg{}
+	var order []string
+	for _, tl := range tls {
+		a := byStream[tl.Stream]
+		if a == nil {
+			a = &agg{}
+			byStream[tl.Stream] = a
+			order = append(order, tl.Stream)
+		}
+		a.calls++
+		if !tl.Stamp(trace.StageResolved).IsZero() {
+			a.resolved++
+			a.total += tl.Total()
+		}
+		if d := tl.Dur(trace.StageEnqueued, trace.StageSent); d > 0 || !tl.Stamp(trace.StageSent).IsZero() {
+			a.batch += d
+			a.nb++
+		}
+		if d := tl.Dur(trace.StageSent, trace.StageDelivered); !tl.Stamp(trace.StageDelivered).IsZero() {
+			a.net += d
+			a.nn++
+		}
+		if d := tl.Dur(trace.StageDelivered, trace.StageExecuted); !tl.Stamp(trace.StageExecuted).IsZero() {
+			a.exec += d
+			a.nx++
+		}
+		if d := tl.Dur(trace.StageReplied, trace.StageResolved); !tl.Stamp(trace.StageResolved).IsZero() {
+			a.rnet += d
+			a.nr++
+		}
+	}
+	sort.Strings(order)
+	fmt.Fprintln(w, "\n# streams (mean stage intervals, resolved calls only for total)")
+	fmt.Fprintf(w, "%-22s %6s %6s %10s %10s %10s %10s %10s\n",
+		"STREAM", "CALLS", "RSLVD", "TOTAL", "BATCH", "NET", "EXEC", "REPLYNET")
+	for _, key := range order {
+		a := byStream[key]
+		fmt.Fprintf(w, "%-22s %6d %6d %10s %10s %10s %10s %10s\n",
+			key, a.calls, a.resolved,
+			mean(a.total, a.resolved), mean(a.batch, a.nb),
+			mean(a.net, a.nn), mean(a.exec, a.nx), mean(a.rnet, a.nr))
+	}
+}
+
+func mean(sum time.Duration, n int) string {
+	if n == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%dus", (sum / time.Duration(n)).Microseconds())
+}
+
+// requiredCounters and requiredHistograms are the snapshot keys every
+// instrumented run must produce; -check fails if any is missing.
+var requiredCounters = []string{
+	"guardian_handler_calls_total",
+	"simnet_kernel_calls_total",
+	"simnet_messages_delivered_total",
+	"simnet_messages_sent_total",
+	"stream_batches_sent_total",
+	"stream_calls_enqueued_total",
+	"stream_calls_executed_total",
+	"stream_claims_total",
+	"stream_replies_total",
+	"stream_reply_batches_sent_total",
+}
+
+var requiredHistograms = []string{
+	"simnet_message_bytes",
+	"stream_batch_bytes",
+	"stream_batch_calls",
+	"stream_claim_wait_ns",
+	"stream_reply_batch_bytes",
+	"stream_window_calls",
+}
+
+// runChecks verifies the run's observable shape: timelines exist and at
+// least one call was traced through all six stages; every required
+// metric key is present; and every counter and histogram is monotone
+// from the mid-run snapshot to the final one.
+func runChecks(tls []*trace.Timeline, mid, final *metrics.Snapshot) []error {
+	var errs []error
+	fail := func(format string, args ...any) { errs = append(errs, fmt.Errorf(format, args...)) }
+
+	if len(tls) == 0 {
+		fail("no call timelines correlated")
+	}
+	full := 0
+	for _, tl := range tls {
+		complete := true
+		for s := trace.StageEnqueued; s < trace.NumStages; s++ {
+			if tl.Stamp(s).IsZero() {
+				complete = false
+				break
+			}
+		}
+		if complete {
+			full++
+		}
+	}
+	if len(tls) > 0 && full == 0 {
+		fail("no call observed through all %d stages", trace.NumStages)
+	}
+
+	if final == nil {
+		fail("no final metrics snapshot")
+		return errs
+	}
+	for _, k := range requiredCounters {
+		if _, ok := final.Counters[k]; !ok {
+			fail("missing counter %q", k)
+		}
+	}
+	for _, k := range requiredHistograms {
+		if _, ok := final.Histograms[k]; !ok {
+			fail("missing histogram %q", k)
+		}
+	}
+	if mid != nil {
+		for k, v := range mid.Counters {
+			if fv, ok := final.Counters[k]; ok && fv < v {
+				fail("counter %q not monotone: mid=%d final=%d", k, v, fv)
+			}
+		}
+		for k, h := range mid.Histograms {
+			if fh, ok := final.Histograms[k]; ok && (fh.Count < h.Count || fh.Sum < h.Sum) {
+				fail("histogram %q not monotone: mid count=%d final count=%d", k, h.Count, fh.Count)
+			}
+		}
+	}
+	return errs
+}

@@ -6,6 +6,7 @@ import (
 
 	"promises/internal/clock"
 	"promises/internal/guardian"
+	"promises/internal/metrics"
 	"promises/internal/simnet"
 	"promises/internal/stream"
 )
@@ -24,7 +25,26 @@ func LANCost() simnet.Config {
 		// Worlds run on the harness clock, so measurements and modeled
 		// costs always read the same time source.
 		Clock: benchClock,
+		// Nil unless EnableMetrics was called; every experiment world
+		// inherits it through the network, like the clock.
+		Metrics: benchRegistry,
 	}
+}
+
+// benchRegistry, when non-nil, is inherited by every experiment world
+// built from LANCost. Nil (the default) keeps instrumentation disabled
+// so experiment hot paths pay nothing.
+var benchRegistry *metrics.Registry
+
+// EnableMetrics installs a shared metrics registry into every
+// subsequently built experiment world and returns it (creating it on
+// first call). Counts accumulate across experiments. Not safe to call
+// concurrently with experiment runs.
+func EnableMetrics() *metrics.Registry {
+	if benchRegistry == nil {
+		benchRegistry = metrics.NewRegistry()
+	}
+	return benchRegistry
 }
 
 // benchClock is the harness time source: worlds run on it (via LANCost)

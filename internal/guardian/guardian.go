@@ -27,6 +27,7 @@ import (
 
 	"promises/internal/clock"
 	"promises/internal/exception"
+	"promises/internal/metrics"
 	"promises/internal/simnet"
 	"promises/internal/stream"
 	"promises/internal/wire"
@@ -65,12 +66,60 @@ func (c *Call) StringArg(i int) (string, error) { return wire.StringArg(c.Args, 
 // exception; any other error terminates it with failure.
 type HandlerFunc func(call *Call) ([]any, error)
 
+// guardianMetrics bundles the dispatch layer's metric handles,
+// resolved once from the peer's registry (inherited from the network,
+// like the clock). nil means metrics are disabled. Exception outcomes
+// count by kind — the paper's two system exceptions get their own
+// counters, everything else lands in exceptionsOther — so a run can
+// report how often calls raised unavailable vs failure.
+type guardianMetrics struct {
+	handlerCalls          *metrics.Counter // handler executions dispatched
+	handlerExceptions     *metrics.Counter // executions with an exceptional outcome
+	exceptionsUnavailable *metrics.Counter
+	exceptionsFailure     *metrics.Counter
+	exceptionsOther       *metrics.Counter
+}
+
+func newGuardianMetrics(reg *metrics.Registry) *guardianMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &guardianMetrics{
+		handlerCalls:          reg.Counter("guardian_handler_calls_total"),
+		handlerExceptions:     reg.Counter("guardian_handler_exceptions_total"),
+		exceptionsUnavailable: reg.Counter("guardian_exceptions_unavailable_total"),
+		exceptionsFailure:     reg.Counter("guardian_exceptions_failure_total"),
+		exceptionsOther:       reg.Counter("guardian_exceptions_other_total"),
+	}
+}
+
+// noteOutcome counts one handler outcome.
+func (m *guardianMetrics) noteOutcome(o stream.Outcome) {
+	if m == nil {
+		return
+	}
+	m.handlerCalls.Inc()
+	if o.Normal {
+		return
+	}
+	m.handlerExceptions.Inc()
+	switch o.Exception {
+	case exception.NameUnavailable:
+		m.exceptionsUnavailable.Inc()
+	case exception.NameFailure:
+		m.exceptionsFailure.Inc()
+	default:
+		m.exceptionsOther.Inc()
+	}
+}
+
 // Guardian is one active entity.
 type Guardian struct {
 	name string
 	net  *simnet.Network
 	node *simnet.Node
 	peer *stream.Peer
+	gm   *guardianMetrics
 
 	mu       sync.Mutex
 	handlers map[string]HandlerFunc // port -> handler
@@ -88,11 +137,13 @@ func New(net *simnet.Network, name string, opts stream.Options) (*Guardian, erro
 	if err != nil {
 		return nil, err
 	}
+	peer := stream.NewPeer(node, opts)
 	g := &Guardian{
 		name:     name,
 		net:      net,
 		node:     node,
-		peer:     stream.NewPeer(node, opts),
+		peer:     peer,
+		gm:       newGuardianMetrics(peer.Metrics()),
 		handlers: make(map[string]HandlerFunc),
 		groups:   make(map[string]string),
 		parallel: make(map[string]bool),
@@ -196,7 +247,8 @@ func (g *Guardian) dispatch(port string) (stream.Handler, bool) {
 	if !ok {
 		return nil, false
 	}
-	return func(in *stream.Incoming) stream.Outcome {
+	return func(in *stream.Incoming) (out stream.Outcome) {
+		defer func() { g.gm.noteOutcome(out) }()
 		// Receiver-side grouping: a port may only be called through its
 		// own group's streams, since sequencing is per group.
 		if in.Group != group {

@@ -1,0 +1,75 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteText renders the snapshot as an aligned, lexicographically
+// sorted table: counters, then gauges, then histograms. Histogram lines
+// show count, sum, mean, and the non-empty buckets as le=<bound>:<n>
+// pairs (le=+Inf for the overflow bucket). Deterministic for a given
+// snapshot.
+func (s *Snapshot) WriteText(w io.Writer) error {
+	width := 0
+	for _, k := range sortedKeys(s.Counters) {
+		if len(k) > width {
+			width = len(k)
+		}
+	}
+	for _, k := range sortedKeys(s.Gauges) {
+		if len(k) > width {
+			width = len(k)
+		}
+	}
+	for _, k := range sortedKeys(s.Histograms) {
+		if len(k) > width {
+			width = len(k)
+		}
+	}
+	for _, k := range sortedKeys(s.Counters) {
+		if _, err := fmt.Fprintf(w, "%-*s %d\n", width, k, s.Counters[k]); err != nil {
+			return err
+		}
+	}
+	for _, k := range sortedKeys(s.Gauges) {
+		if _, err := fmt.Fprintf(w, "%-*s %d\n", width, k, s.Gauges[k]); err != nil {
+			return err
+		}
+	}
+	for _, k := range sortedKeys(s.Histograms) {
+		h := s.Histograms[k]
+		mean := float64(0)
+		if h.Count > 0 {
+			mean = float64(h.Sum) / float64(h.Count)
+		}
+		if _, err := fmt.Fprintf(w, "%-*s count=%d sum=%d mean=%.1f", width, k, h.Count, h.Sum, mean); err != nil {
+			return err
+		}
+		for i, n := range h.Counts {
+			if n == 0 {
+				continue
+			}
+			if i < len(h.Bounds) {
+				if _, err := fmt.Fprintf(w, " le=%d:%d", h.Bounds[i], n); err != nil {
+					return err
+				}
+			} else if _, err := fmt.Fprintf(w, " le=+Inf:%d", n); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the snapshot as indented JSON. encoding/json sorts
+// map keys, so the encoding is byte-identical for equal snapshots.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

@@ -1,0 +1,187 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x_total")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("Value = %d, want 5", got)
+	}
+	if r.Counter("x_total") != c {
+		t.Fatalf("get-or-create returned a different counter")
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	c := &Counter{}
+	const goroutines, per = 8, 10000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != goroutines*per {
+		t.Fatalf("Value = %d, want %d", got, goroutines*per)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	g := NewRegistry().Gauge("depth")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("Value = %d, want 5", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_ns", []uint64{10, 100, 1000})
+	for _, v := range []uint64{5, 10, 11, 99, 1000, 5000} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 6 {
+		t.Fatalf("Count = %d, want 6", got)
+	}
+	if got := h.Sum(); got != 5+10+11+99+1000+5000 {
+		t.Fatalf("Sum = %d", got)
+	}
+	s := r.Snapshot()
+	hv := s.Histograms["lat_ns"]
+	want := []uint64{2, 2, 1, 1} // <=10: {5,10}; <=100: {11,99}; <=1000: {1000}; +Inf: {5000}
+	for i, n := range want {
+		if hv.Counts[i] != n {
+			t.Fatalf("bucket %d = %d, want %d (%v)", i, hv.Counts[i], n, hv.Counts)
+		}
+	}
+}
+
+func TestObserveDurationClampsNegative(t *testing.T) {
+	h := NewRegistry().Histogram("d", []uint64{100})
+	h.ObserveDuration(-5 * time.Second)
+	if got := h.Sum(); got != 0 {
+		t.Fatalf("Sum = %d, want 0", got)
+	}
+	if got := h.Count(); got != 1 {
+		t.Fatalf("Count = %d, want 1", got)
+	}
+}
+
+func TestPowersOf(t *testing.T) {
+	got := PowersOf(4, 16, 4)
+	want := []uint64{16, 64, 256, 1024}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("PowersOf = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestNilRegistryIsDisabled(t *testing.T) {
+	var r *Registry
+	if r.Counter("a") != nil || r.Gauge("b") != nil || r.Histogram("c", nil) != nil {
+		t.Fatalf("nil registry should hand out nil metric handles")
+	}
+	s := r.Snapshot()
+	if s == nil || len(s.Counters) != 0 {
+		t.Fatalf("nil registry snapshot should be empty, got %+v", s)
+	}
+}
+
+func TestSnapshotDelta(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("sent_total")
+	h := r.Histogram("sz", []uint64{8})
+	g := r.Gauge("depth")
+	c.Add(3)
+	h.Observe(4)
+	g.Set(2)
+	first := r.Snapshot()
+	c.Add(2)
+	h.Observe(100)
+	g.Set(9)
+	second := r.Snapshot()
+	d := second.Delta(first)
+	if d.Counters["sent_total"] != 2 {
+		t.Fatalf("counter delta = %d, want 2", d.Counters["sent_total"])
+	}
+	if d.Gauges["depth"] != 9 {
+		t.Fatalf("gauge in delta should carry the later level, got %d", d.Gauges["depth"])
+	}
+	hv := d.Histograms["sz"]
+	if hv.Count != 1 || hv.Sum != 100 || hv.Counts[0] != 0 || hv.Counts[1] != 1 {
+		t.Fatalf("histogram delta = %+v", hv)
+	}
+}
+
+func TestEncodersDeterministic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total").Add(2)
+	r.Counter("a_total").Add(1)
+	r.Gauge("depth").Set(3)
+	r.Histogram("sz", []uint64{8, 64}).Observe(9)
+	s := r.Snapshot()
+
+	var t1, t2 bytes.Buffer
+	if err := s.WriteText(&t1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteText(&t2); err != nil {
+		t.Fatal(err)
+	}
+	if t1.String() != t2.String() {
+		t.Fatalf("text encoding not deterministic")
+	}
+	if !strings.Contains(t1.String(), "a_total") || strings.Index(t1.String(), "a_total") > strings.Index(t1.String(), "b_total") {
+		t.Fatalf("text encoding not sorted:\n%s", t1.String())
+	}
+
+	var j1, j2 bytes.Buffer
+	if err := s.WriteJSON(&j1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteJSON(&j2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1.Bytes(), j2.Bytes()) {
+		t.Fatalf("JSON encoding not deterministic")
+	}
+	var round Snapshot
+	if err := json.Unmarshal(j1.Bytes(), &round); err != nil {
+		t.Fatalf("JSON round trip: %v", err)
+	}
+	if round.Counters["b_total"] != 2 || round.Histograms["sz"].Count != 1 {
+		t.Fatalf("JSON round trip lost data: %+v", round)
+	}
+}
+
+func TestAllocFreeUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", PowersOf(2, 1, 16))
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.Add(1)
+		h.Observe(12345)
+	})
+	if allocs != 0 {
+		t.Fatalf("metric updates allocate: %.1f allocs/op", allocs)
+	}
+}

@@ -29,6 +29,7 @@ import (
 
 	"promises/internal/clock"
 	"promises/internal/exception"
+	"promises/internal/metrics"
 	"promises/internal/simnet"
 	"promises/internal/stream"
 	"promises/internal/wire"
@@ -202,12 +203,32 @@ func (s *Server) serve(msg simnet.Message) {
 	_ = s.node.Send(msg.From, replyMsg)
 }
 
+// clientMetrics bundles the client's metric handles, resolved once from
+// the node's network registry. nil disables.
+type clientMetrics struct {
+	calls       *metrics.Counter // Call invocations
+	retries     *metrics.Counter // retransmissions after an RTO expiry
+	exhaustions *metrics.Counter // Calls that gave up with unavailable
+}
+
+func newClientMetrics(reg *metrics.Registry) *clientMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &clientMetrics{
+		calls:       reg.Counter("rpc_calls_total"),
+		retries:     reg.Counter("rpc_retries_total"),
+		exhaustions: reg.Counter("rpc_exhaustions_total"),
+	}
+}
+
 // Client makes calls from a node, in either the RPC or the send/receive
 // style.
 type Client struct {
 	clk  clock.Clock
 	node *simnet.Node
 	cfg  Config
+	cm   *clientMetrics
 
 	nextID uint64
 
@@ -233,6 +254,7 @@ func NewClient(node *simnet.Node, cfg Config) *Client {
 		node:    node,
 		clk:     node.Network().Clock(),
 		cfg:     cfg.withDefaults(),
+		cm:      newClientMetrics(node.Network().Metrics()),
 		waiters: make(map[uint64]chan stream.Outcome),
 		rawCh:   make(chan Reply, 4096),
 		ctx:     ctx,
@@ -360,10 +382,16 @@ func (c *Client) Call(ctx context.Context, server, port string, args []byte) (st
 		c.mu.Unlock()
 	}()
 
+	if c.cm != nil {
+		c.cm.calls.Inc()
+	}
 	req := encodeRequest(id, port, args)
 	rto := c.clk.NewTimer(c.cfg.RTO)
 	defer rto.Stop()
 	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
+		if attempt > 0 && c.cm != nil {
+			c.cm.retries.Inc()
+		}
 		if err := c.node.Send(server, req); err != nil {
 			return stream.Outcome{}, exception.Unavailable(err.Error())
 		}
@@ -377,6 +405,9 @@ func (c *Client) Call(ctx context.Context, server, port string, args []byte) (st
 			return stream.Outcome{}, ctx.Err()
 		case <-rto.C():
 		}
+	}
+	if c.cm != nil {
+		c.cm.exhaustions.Inc()
 	}
 	return stream.Outcome{}, exception.Unavailable("cannot communicate")
 }

@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"promises/internal/clock"
+	"promises/internal/metrics"
 	"promises/internal/pqueue"
 )
 
@@ -74,6 +75,13 @@ type Config struct {
 	// network (streams, guardians) inherit this clock, so configuring a
 	// clock.Virtual here puts a whole system on virtual time.
 	Clock clock.Clock
+	// Metrics, when set, receives the network's counters (messages,
+	// bytes, drops, fault events, dispatcher queue depth) and is
+	// inherited by the layers built on the network — streams, guardians —
+	// exactly like Clock, so one registry on the network config
+	// instruments a whole system. nil disables registry metrics; the
+	// cheap built-in Stats counters are always maintained.
+	Metrics *metrics.Registry
 }
 
 // Stats counts network activity since the network was created.
@@ -143,6 +151,54 @@ type Network struct {
 	stats struct {
 		sent, delivered, dropped, duplicated, bytes, kernel int64
 	}
+	met *netMetrics // nil when no registry is configured
+}
+
+// netMetrics bundles the network's registry handles, resolved once at
+// construction. nil means registry metrics are disabled.
+type netMetrics struct {
+	sent       *metrics.Counter
+	delivered  *metrics.Counter
+	dropped    *metrics.Counter
+	duplicated *metrics.Counter
+	bytes      *metrics.Counter
+	kernel     *metrics.Counter
+	partitions *metrics.Counter
+	heals      *metrics.Counter
+	crashes    *metrics.Counter
+	recoveries *metrics.Counter
+	queueDepth *metrics.Gauge     // messages in the dispatcher's heap
+	msgBytes   *metrics.Histogram // payload size per accepted Send
+}
+
+func newNetMetrics(reg *metrics.Registry) *netMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &netMetrics{
+		sent:       reg.Counter("simnet_messages_sent_total"),
+		delivered:  reg.Counter("simnet_messages_delivered_total"),
+		dropped:    reg.Counter("simnet_messages_dropped_total"),
+		duplicated: reg.Counter("simnet_messages_duplicated_total"),
+		bytes:      reg.Counter("simnet_bytes_sent_total"),
+		kernel:     reg.Counter("simnet_kernel_calls_total"),
+		partitions: reg.Counter("simnet_partitions_total"),
+		heals:      reg.Counter("simnet_heals_total"),
+		crashes:    reg.Counter("simnet_crashes_total"),
+		recoveries: reg.Counter("simnet_recoveries_total"),
+		queueDepth: reg.Gauge("simnet_dispatch_queue_depth"),
+		// Payload sizes: 64 B .. 1 MiB by powers of 4.
+		msgBytes: reg.Histogram("simnet_message_bytes", metrics.PowersOf(4, 64, 8)),
+	}
+}
+
+// noteDropped counts one dropped message in both the built-in stats and
+// the registry.
+func (n *Network) noteDropped() {
+	atomic.AddInt64(&n.stats.dropped, 1)
+	if n.met != nil {
+		n.met.dropped.Inc()
+	}
 }
 
 // New creates a network with the given cost and fault model.
@@ -173,6 +229,7 @@ func New(cfg Config) *Network {
 		}),
 		wake: make(chan struct{}, 1),
 		done: make(chan struct{}),
+		met:  newNetMetrics(cfg.Metrics),
 	}
 	n.wg.Add(1)
 	go n.dispatcher()
@@ -185,6 +242,11 @@ func (n *Network) Config() Config { return n.cfg }
 // Clock returns the network's time source. Layers built on the network
 // take their clock from here unless explicitly configured otherwise.
 func (n *Network) Clock() clock.Clock { return n.clk }
+
+// Metrics returns the network's metrics registry (nil when none was
+// configured). Layers built on the network inherit their registry from
+// here unless explicitly configured otherwise, mirroring Clock.
+func (n *Network) Metrics() *metrics.Registry { return n.cfg.Metrics }
 
 // AddNode creates a node with a unique name.
 func (n *Network) AddNode(name string) (*Node, error) {
@@ -236,6 +298,9 @@ func (n *Network) Partition(a, b string) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.partitions[pairKey(a, b)] = true
+	if n.met != nil {
+		n.met.partitions.Inc()
+	}
 }
 
 // Heal removes the partition between a and b.
@@ -243,6 +308,9 @@ func (n *Network) Heal(a, b string) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	delete(n.partitions, pairKey(a, b))
+	if n.met != nil {
+		n.met.heals.Inc()
+	}
 }
 
 // HealAll removes every partition.
@@ -297,8 +365,11 @@ func (n *Network) Close() {
 	n.schedMu.Lock()
 	n.schedClosed = true
 	n.sched.Drain(func(delivery) {
-		atomic.AddInt64(&n.stats.dropped, 1)
+		n.noteDropped()
 	})
+	if n.met != nil {
+		n.met.queueDepth.Set(0)
+	}
 	n.schedMu.Unlock()
 	close(n.done)
 	n.wg.Wait()
@@ -350,12 +421,15 @@ func (n *Network) schedule(target *Node, msg Message, d time.Duration) {
 	n.schedMu.Lock()
 	if n.schedClosed {
 		n.schedMu.Unlock()
-		atomic.AddInt64(&n.stats.dropped, 1)
+		n.noteDropped()
 		return
 	}
 	n.schedSeq++
 	item.seq = n.schedSeq
 	n.sched.Push(item)
+	if n.met != nil {
+		n.met.queueDepth.Add(1)
+	}
 	min, _ := n.sched.Peek()
 	isNewMin := min.seq == item.seq
 	n.schedMu.Unlock()
@@ -389,6 +463,9 @@ func (n *Network) dispatcher() {
 			}
 			item, _ := n.sched.Pop()
 			batch = append(batch, item)
+		}
+		if n.met != nil && len(batch) > 0 {
+			n.met.queueDepth.Add(-int64(len(batch)))
 		}
 		var wait time.Duration
 		hasNext := false
@@ -502,8 +579,14 @@ func (nd *Node) Send(to string, payload []byte) error {
 	atomic.AddInt64(&n.stats.kernel, 1)
 	atomic.AddInt64(&n.stats.sent, 1)
 	atomic.AddInt64(&n.stats.bytes, int64(len(payload)))
+	if m := n.met; m != nil {
+		m.kernel.Inc()
+		m.sent.Inc()
+		m.bytes.Add(uint64(len(payload)))
+		m.msgBytes.Observe(uint64(len(payload)))
+	}
 	if !deliver {
-		atomic.AddInt64(&n.stats.dropped, 1)
+		n.noteDropped()
 		return nil
 	}
 
@@ -511,6 +594,9 @@ func (nd *Node) Send(to string, payload []byte) error {
 	n.schedule(target, msg, delay)
 	if dupDelay > 0 {
 		atomic.AddInt64(&n.stats.duplicated, 1)
+		if n.met != nil {
+			n.met.duplicated.Inc()
+		}
 		n.schedule(target, msg, dupDelay)
 	}
 	return nil
@@ -522,15 +608,18 @@ func (nd *Node) deliver(msg Message) {
 	nd.mu.Lock()
 	defer nd.mu.Unlock()
 	if nd.crashed || nd.closed {
-		atomic.AddInt64(&nd.net.stats.dropped, 1)
+		nd.net.noteDropped()
 		return
 	}
 	select {
 	case nd.inbox <- msg:
 		atomic.AddInt64(&nd.net.stats.delivered, 1)
+		if nd.net.met != nil {
+			nd.net.met.delivered.Inc()
+		}
 	default:
 		// Receiver overloaded: datagram dropped.
-		atomic.AddInt64(&nd.net.stats.dropped, 1)
+		nd.net.noteDropped()
 	}
 }
 
@@ -563,6 +652,9 @@ func (nd *Node) Recv(ctx context.Context) (Message, error) {
 			nd.net.clk.Sleep(d)
 		}
 		atomic.AddInt64(&nd.net.stats.kernel, 1)
+		if nd.net.met != nil {
+			nd.net.met.kernel.Inc()
+		}
 		return msg, nil
 	case <-ctx.Done():
 		return Message{}, ctx.Err()
@@ -579,12 +671,15 @@ func (nd *Node) Crash() {
 		return
 	}
 	nd.crashed = true
+	if nd.net.met != nil {
+		nd.net.met.crashes.Inc()
+	}
 	close(nd.inbox)
 	// Drain so queued messages are counted as dropped. In-flight messages
 	// still in the dispatcher's heap are dropped at delivery time by the
 	// crashed check in deliver.
 	for range nd.inbox {
-		atomic.AddInt64(&nd.net.stats.dropped, 1)
+		nd.net.noteDropped()
 	}
 }
 
@@ -597,6 +692,9 @@ func (nd *Node) Recover() {
 		return
 	}
 	nd.crashed = false
+	if nd.net.met != nil {
+		nd.net.met.recoveries.Inc()
+	}
 	nd.inbox = make(chan Message, nd.net.cfg.InboxDepth)
 }
 

@@ -40,6 +40,7 @@ import (
 	"promises/internal/clock"
 	"promises/internal/exception"
 	"promises/internal/guardian"
+	"promises/internal/metrics"
 	"promises/internal/promise"
 	"promises/internal/simnet"
 	"promises/internal/stream"
@@ -83,6 +84,15 @@ type Result struct {
 	Script []string
 	// VirtualElapsed is how much virtual time the run took.
 	VirtualElapsed time.Duration
+	// Events is every node's trace events concatenated in sorted node
+	// order (each node's events in record order), suitable for
+	// trace.Correlate. Timestamps are virtual.
+	Events []trace.Event
+	// MetricsMid is a registry snapshot taken mid-run, at a scripted
+	// instant halfway through the call-issuance horizon.
+	MetricsMid *metrics.Snapshot
+	// MetricsFinal is the registry snapshot after all calls resolved.
+	MetricsFinal *metrics.Snapshot
 }
 
 // action is one scripted step: issue a call or inject/lift a fault.
@@ -106,10 +116,13 @@ func Run(o Options) (*Result, error) {
 	rng := rand.New(rand.NewSource(o.Seed))
 
 	vclk := clock.NewVirtual()
+	reg := metrics.NewRegistry()
 	// Zero per-message costs: Send must never sleep, because call
 	// issuance happens on the harness goroutine — the only goroutine that
 	// advances the clock. Latency lives entirely in the per-link delays.
-	net := simnet.New(simnet.Config{Clock: vclk})
+	// The registry rides the same inheritance chain as the clock: simnet
+	// carries it, streams and guardians pick it up from the network.
+	net := simnet.New(simnet.Config{Clock: vclk, Metrics: reg})
 	defer net.Close()
 
 	opts := stream.Options{
@@ -124,8 +137,9 @@ func Run(o Options) (*Result, error) {
 	rings := make(map[string]*trace.Ring)
 	var names []string
 	addRing := func(g *guardian.Guardian) {
+		// No SetNow needed: SetTracer wires the peer's (virtual) clock
+		// into the ring automatically via trace.NowSetter.
 		r := trace.NewRing(1 << 14)
-		r.SetNow(vclk.Now)
 		g.Peer().SetTracer(r)
 		rings[g.Name()] = r
 		names = append(names, g.Name())
@@ -242,6 +256,16 @@ func Run(o Options) (*Result, error) {
 			apply: func() { net.Heal(lc, ls) }},
 	)
 
+	// Mid-run registry snapshot, as a scripted action so it lands at a
+	// deterministic virtual instant (no extra rng draws: the schedule
+	// ahead of it is unchanged).
+	var midSnap *metrics.Snapshot
+	script = append(script, action{
+		at:    clock.Epoch.Add(stepUS(horizon / 2)),
+		desc:  "metrics-snapshot",
+		apply: func() { midSnap = reg.Snapshot() },
+	})
+
 	sort.SliceStable(script, func(i, j int) bool { return script[i].at.Before(script[j].at) })
 	scriptDesc := make([]string, len(script))
 	for i, a := range script {
@@ -295,9 +319,11 @@ func Run(o Options) (*Result, error) {
 	// settled instant the goroutine wake order is the one thing two runs
 	// may not share, and it must not show through.
 	var lines []string
+	var allEvents []trace.Event
 	sort.Strings(names)
 	for _, name := range names {
 		for _, e := range rings[name].Events() {
+			allEvents = append(allEvents, e)
 			lines = append(lines, fmt.Sprintf("%9dus %-3s %-17s %s seq=%d %s",
 				e.At.Sub(clock.Epoch).Microseconds(), name, e.Kind, e.Stream, e.Seq, e.Detail))
 		}
@@ -320,5 +346,8 @@ func Run(o Options) (*Result, error) {
 		Digest:         hex.EncodeToString(sum[:]),
 		Script:         scriptDesc,
 		VirtualElapsed: elapsed,
+		Events:         allEvents,
+		MetricsMid:     midSnap,
+		MetricsFinal:   reg.Snapshot(),
 	}, nil
 }

@@ -4,14 +4,19 @@ import (
 	"context"
 	"testing"
 
+	"promises/internal/metrics"
 	"promises/internal/simnet"
 )
 
 // benchWorld is the benchmark twin of testFixture: a client and a server
 // peer over a zero-cost network, with an echo handler installed.
 func benchWorld(b *testing.B, opts Options) (*Peer, func()) {
+	return benchWorldCfg(b, simnet.Config{}, opts)
+}
+
+func benchWorldCfg(b *testing.B, cfg simnet.Config, opts Options) (*Peer, func()) {
 	b.Helper()
-	n := simnet.New(simnet.Config{})
+	n := simnet.New(cfg)
 	client := NewPeer(n.MustAddNode("client"), opts)
 	server := NewPeer(n.MustAddNode("server"), opts)
 	server.SetDispatcher(func(port string) (Handler, bool) {
@@ -31,6 +36,46 @@ func benchWorld(b *testing.B, opts Options) (*Peer, func()) {
 // the call's whole round trip.
 func BenchmarkStreamCallThroughput(b *testing.B) {
 	client, cleanup := benchWorld(b, Options{MaxBatch: 16})
+	defer cleanup()
+	s := client.Agent("bench").Stream("server", "g")
+	arg := make([]byte, 32)
+
+	const window = 256
+	pendings := make([]*Pending, 0, window)
+	ctx := context.Background()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := s.Call("echo", arg)
+		if err != nil {
+			b.Fatalf("Call: %v", err)
+		}
+		pendings = append(pendings, p)
+		if len(pendings) == window {
+			s.Flush()
+			for _, p := range pendings {
+				if _, err := p.Wait(ctx); err != nil {
+					b.Fatalf("Wait: %v", err)
+				}
+			}
+			pendings = pendings[:0]
+		}
+	}
+	s.Flush()
+	for _, p := range pendings {
+		if _, err := p.Wait(ctx); err != nil {
+			b.Fatalf("Wait: %v", err)
+		}
+	}
+}
+
+// BenchmarkStreamCallThroughputWithMetrics is the instrumented twin of
+// BenchmarkStreamCallThroughput: a live registry inherited by both peers,
+// so every counter and histogram update on the call path is measured.
+// The telemetry budget is ~5% over the uninstrumented number.
+func BenchmarkStreamCallThroughputWithMetrics(b *testing.B) {
+	client, cleanup := benchWorldCfg(b, simnet.Config{Metrics: metrics.NewRegistry()}, Options{MaxBatch: 16})
 	defer cleanup()
 	s := client.Agent("bench").Stream("server", "g")
 	arg := make([]byte, 32)

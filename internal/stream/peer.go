@@ -9,6 +9,7 @@ import (
 
 	"promises/internal/clock"
 	"promises/internal/exception"
+	"promises/internal/metrics"
 	"promises/internal/simnet"
 	"promises/internal/trace"
 )
@@ -23,6 +24,7 @@ type Peer struct {
 	node *simnet.Node
 	opts Options
 	clk  clock.Clock
+	sm   *streamMetrics // nil when metrics are disabled
 
 	mu       sync.Mutex
 	agents   map[string]*Agent
@@ -47,10 +49,14 @@ func NewPeer(node *simnet.Node, opts Options) *Peer {
 	if opts.Clock == nil {
 		opts.Clock = node.Network().Clock()
 	}
+	if opts.Metrics == nil {
+		opts.Metrics = node.Network().Metrics()
+	}
 	p := &Peer{
 		node:   node,
 		opts:   opts,
 		clk:    opts.Clock,
+		sm:     newStreamMetrics(opts.Metrics),
 		agents: make(map[string]*Agent),
 		sends:  make(map[streamKey]*Stream),
 		recvs:  make(map[streamKey]*rstream),
@@ -72,6 +78,12 @@ func (p *Peer) Clock() clock.Clock { return p.clk }
 // Options returns the peer's protocol options (defaults applied).
 func (p *Peer) Options() Options { return p.opts }
 
+// Metrics returns the registry the peer's instrumentation registers
+// into (nil when metrics are disabled). Layers built on the peer — the
+// guardian's dispatch counters, for one — take their registry from here,
+// completing the same inheritance chain as Clock.
+func (p *Peer) Metrics() *metrics.Registry { return p.opts.Metrics }
+
 // SetDispatcher installs the port-to-handler lookup used for incoming
 // calls. Entities that only make calls never set one.
 func (p *Peer) SetDispatcher(d Dispatcher) {
@@ -82,11 +94,18 @@ func (p *Peer) SetDispatcher(d Dispatcher) {
 
 // SetTracer installs a protocol-event tracer on this peer (nil removes
 // it). Tracing covers both roles: calls this peer sends and calls it
-// receives.
+// receives. A tracer that implements trace.NowSetter is wired to the
+// peer's clock automatically, so events recorded directly against it
+// (outside the peer's own emit path, which always stamps peer time)
+// carry virtual timestamps whenever the peer runs on a virtual clock —
+// no manual Ring.SetNow call needed.
 func (p *Peer) SetTracer(t trace.Tracer) {
 	if t == nil {
 		p.tracer.Store(nil)
 		return
+	}
+	if ns, ok := t.(trace.NowSetter); ok {
+		ns.SetNow(p.clk.Now)
 	}
 	p.tracer.Store(&t)
 }
@@ -96,13 +115,15 @@ func (p *Peer) SetTracer(t trace.Tracer) {
 // formatted when someone is listening.
 func (p *Peer) tracing() bool { return p.tracer.Load() != nil }
 
-// emit records a protocol event if a tracer is installed.
-func (p *Peer) emit(kind trace.Kind, stream string, seq uint64, detail string) {
+// emit records a protocol event if a tracer is installed. tid is the
+// call's trace ID for call-scoped events, 0 for stream- or batch-scoped
+// ones.
+func (p *Peer) emit(kind trace.Kind, stream string, seq, tid uint64, detail string) {
 	tp := p.tracer.Load()
 	if tp == nil {
 		return
 	}
-	(*tp).Record(trace.Event{At: p.clk.Now(), Kind: kind, Stream: stream, Seq: seq, Detail: detail})
+	(*tp).Record(trace.Event{At: p.clk.Now(), Kind: kind, Stream: stream, Seq: seq, TraceID: tid, Detail: detail})
 }
 
 // SetParallelPorts installs the predicate that marks ports whose calls

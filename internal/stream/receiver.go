@@ -144,20 +144,30 @@ func (r *rstream) handleRequestBatch(b *requestBatch) {
 		r.pruneRetainedLocked()
 	}
 
+	sm := r.peer.sm
 	for _, req := range b.Requests {
 		switch {
 		case req.Seq < r.expected:
 			// Duplicate of an already-delivered request: our reply batch
 			// was probably lost; retransmit retained replies soon.
 			r.pendingRetransmit = true
+			if sm != nil {
+				sm.duplicateReqs.Inc()
+			}
 		case req.Seq >= r.expected+maxSeqAhead:
 			// Implausibly far ahead (a garbled seq, or a sender pipelining
 			// beyond the protocol window): drop; retransmission redelivers
 			// it once the window slides.
 		case r.oo.has(req.Seq):
 			r.pendingRetransmit = true
+			if sm != nil {
+				sm.duplicateReqs.Inc()
+			}
 		default:
 			r.oo.put(req.Seq, req)
+			if r.peer.tracing() {
+				r.peer.emit(trace.CallDelivered, r.keyStr, req.Seq, req.Trace, "")
+			}
 		}
 	}
 	r.drainLocked()
@@ -278,7 +288,10 @@ func (r *rstream) executeOne(req request) {
 	} else {
 		outcome = ExceptionOutcome(exception.Failure("handler does not exist"))
 	}
-	r.peer.emit(trace.CallExecuted, r.keyStr, req.Seq, req.Port)
+	if sm := r.peer.sm; sm != nil {
+		sm.callsExecuted.Inc()
+	}
+	r.peer.emit(trace.CallExecuted, r.keyStr, req.Seq, req.Trace, req.Port)
 
 	r.mu.Lock()
 	if r.broken || r.incarnation != inc {
@@ -306,6 +319,16 @@ func (r *rstream) executeOne(req request) {
 		}
 		r.retained = append(r.retained, reply{Seq: req.Seq, Outcome: outcome})
 		r.unsentReplies++
+		if sm := r.peer.sm; sm != nil {
+			sm.replies.Inc()
+		}
+		if r.peer.tracing() {
+			detail := "normal"
+			if !outcome.Normal {
+				detail = outcome.Exception
+			}
+			r.peer.emit(trace.CallReplied, r.keyStr, req.Seq, req.Trace, detail)
+		}
 	}
 	breakReason := call.breakReason
 	flushNow := req.Mode == ModeRPC || r.unsentReplies >= r.opts.MaxBatch || breakReason != nil
@@ -365,9 +388,9 @@ func (r *rstream) buildReplyBatchLocked(retransmit bool) []byte {
 		if retransmit {
 			detail += " retransmit"
 		}
-		r.peer.emit(trace.ReplyBatchSent, r.keyStr, r.completedThrough, detail)
+		r.peer.emit(trace.ReplyBatchSent, r.keyStr, r.completedThrough, 0, detail)
 	}
-	return encodeReplyBatch(replyBatch{
+	msg := encodeReplyBatch(replyBatch{
 		Agent:              r.key.agent,
 		Group:              r.key.group,
 		Incarnation:        r.incarnation,
@@ -376,6 +399,14 @@ func (r *rstream) buildReplyBatchLocked(retransmit bool) []byte {
 		CompletedThrough:   r.completedThrough,
 		Replies:            reps,
 	})
+	if sm := r.peer.sm; sm != nil {
+		sm.replyBatches.Inc()
+		sm.replyBatchBytes.Observe(uint64(len(msg)))
+		if retransmit {
+			sm.replyResends.Inc()
+		}
+	}
+	return msg
 }
 
 // handleBreak integrates a break notification from the sender: discard
@@ -445,6 +476,9 @@ func (r *rstream) tick(now time.Time) {
 		// only path — besides duplicate-request evidence — that re-sends
 		// already-transmitted replies.
 		r.retries++
+		if sm := r.peer.sm; sm != nil {
+			sm.recvRTOFires.Inc()
+		}
 		if r.retries > r.opts.MaxRetries {
 			// We cannot get replies through; break the stream from the
 			// receiving side. Further calls will be discarded.

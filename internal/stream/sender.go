@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"promises/internal/clock"
 	"promises/internal/exception"
 	"promises/internal/trace"
 )
@@ -48,6 +49,11 @@ type Pending struct {
 	Seq  uint64
 	mode Mode
 
+	// Claim instrumentation, inherited from the stream at creation: sm is
+	// nil when metrics are disabled, and clk is only read when sm is set.
+	sm  *streamMetrics
+	clk clock.Clock
+
 	resolved atomic.Bool
 	outcome  Outcome
 
@@ -57,6 +63,21 @@ type Pending struct {
 
 func newPending(seq uint64, mode Mode) *Pending {
 	return &Pending{Seq: seq, mode: mode}
+}
+
+// noteClaim records one claim. Only blocking claims pay extra updates
+// (a blocked counter and the wait histogram); the ready-at-claim fast
+// path is a single increment, and the paper's "was the answer already
+// there when the program asked" ratio is (claims - blocked) / claims.
+func (p *Pending) noteClaim(ready bool, wait time.Duration) {
+	if p.sm == nil {
+		return
+	}
+	if !ready {
+		p.sm.claimsBlocked.Inc()
+		p.sm.claimWait.ObserveDuration(wait)
+	}
+	p.sm.claims.Inc()
 }
 
 func (p *Pending) resolve(o Outcome) {
@@ -89,10 +110,18 @@ func (p *Pending) Done() <-chan struct{} {
 // Wait blocks until the outcome is ready or ctx ends.
 func (p *Pending) Wait(ctx context.Context) (Outcome, error) {
 	if p.resolved.Load() {
+		p.noteClaim(true, 0)
 		return p.outcome, nil
+	}
+	var start time.Time
+	if p.sm != nil {
+		start = p.clk.Now()
 	}
 	select {
 	case <-p.Done():
+		if p.sm != nil {
+			p.noteClaim(false, p.clk.Now().Sub(start))
+		}
 		return p.outcome, nil
 	case <-ctx.Done():
 		return Outcome{}, ctx.Err()
@@ -102,19 +131,28 @@ func (p *Pending) Wait(ctx context.Context) (Outcome, error) {
 // Get returns the outcome, blocking until it is ready.
 func (p *Pending) Get() Outcome {
 	if p.resolved.Load() {
+		p.noteClaim(true, 0)
 		return p.outcome
 	}
+	var start time.Time
+	if p.sm != nil {
+		start = p.clk.Now()
+	}
 	<-p.Done()
+	if p.sm != nil {
+		p.noteClaim(false, p.clk.Now().Sub(start))
+	}
 	return p.outcome
 }
 
 // Stream is the sending end of one call-stream. All methods are safe for
 // concurrent use, though a stream normally belongs to a single activity.
 type Stream struct {
-	peer   *Peer
-	key    streamKey
-	keyStr string // key.String(), cached once — the hot path never rebuilds it
-	opts   Options
+	peer    *Peer
+	key     streamKey
+	keyStr  string // key.String(), cached once — the hot path never rebuilds it
+	keyHash uint64 // trace.HashStream(keyStr), cached for trace-ID derivation
+	opts    Options
 
 	mu          sync.Mutex
 	incarnation uint64
@@ -172,10 +210,12 @@ type Stream struct {
 }
 
 func newStream(p *Peer, key streamKey, opts Options) *Stream {
+	keyStr := key.String()
 	return &Stream{
 		peer:           p,
 		key:            key,
-		keyStr:         key.String(),
+		keyStr:         keyStr,
+		keyHash:        trace.HashStream(keyStr),
 		opts:           opts,
 		incarnation:    1,
 		nextSeq:        1,
@@ -259,16 +299,22 @@ func (s *Stream) enqueue(port string, args []byte, mode Mode) (*Pending, error) 
 	}
 	seq := s.nextSeq
 	s.nextSeq++
+	tid := trace.CallID(s.keyHash, s.incarnation, seq)
 	p := newPending(seq, mode)
+	p.sm = s.peer.sm
+	p.clk = s.peer.clk
 	s.pending.put(seq, p)
 	if len(s.buffer) == 0 {
 		s.bufferedAt = s.peer.clk.Now()
 	}
-	s.buffer = append(s.buffer, request{Seq: seq, Port: port, Mode: mode, Args: args})
+	s.buffer = append(s.buffer, request{Seq: seq, Port: port, Mode: mode, Args: args, Trace: tid})
 	full := len(s.buffer) >= s.opts.MaxBatch || mode == ModeRPC
 	s.mu.Unlock()
+	if sm := s.peer.sm; sm != nil {
+		sm.callsEnqueued.Inc()
+	}
 	if s.peer.tracing() {
-		s.peer.emit(trace.CallEnqueued, s.keyStr, seq, mode.String())
+		s.peer.emit(trace.CallEnqueued, s.keyStr, seq, tid, mode.String())
 	}
 	if full {
 		s.Flush()
@@ -290,6 +336,7 @@ func (s *Stream) Flush() {
 	s.lastSendAt = s.peer.clk.Now()
 	msg := s.buildRequestBatchLocked(batch)
 	firstSeq, n := batch[0].Seq, len(batch)
+	window := s.nextSeq - s.nextResolve // unresolved calls outstanding
 	// The batch is copied into unacked and encoded into msg; recycle its
 	// backing array as the next buffer (slots zeroed so the stale copies
 	// do not pin argument payloads).
@@ -298,8 +345,14 @@ func (s *Stream) Flush() {
 	}
 	s.buffer = batch[:0]
 	s.mu.Unlock()
+	if sm := s.peer.sm; sm != nil {
+		sm.batchesSent.Inc()
+		sm.batchCalls.Observe(uint64(n))
+		sm.batchBytes.Observe(uint64(len(msg)))
+		sm.windowCalls.Observe(window)
+	}
 	if s.peer.tracing() {
-		s.peer.emit(trace.BatchSent, s.keyStr, firstSeq, fmt.Sprintf("n=%d", n))
+		s.peer.emit(trace.BatchSent, s.keyStr, firstSeq, 0, fmt.Sprintf("n=%d", n))
 	}
 	s.peer.transmit(s.key.recvNode, msg)
 }
@@ -391,8 +444,11 @@ func (s *Stream) breakInternal(reason *exception.Exception, restart bool) {
 	s.broken = true
 	s.breakErr = reason
 	s.pendingBreak = false
+	if sm := s.peer.sm; sm != nil {
+		sm.breaks.Inc()
+	}
 	if s.peer.tracing() {
-		s.peer.emit(trace.StreamBroken, s.keyStr, 0, reason.Name+"("+reason.StringArg(0)+")")
+		s.peer.emit(trace.StreamBroken, s.keyStr, 0, 0, reason.Name+"("+reason.StringArg(0)+")")
 	}
 
 	// Tell the receiver, best effort, so it can discard state.
@@ -432,7 +488,10 @@ func (s *Stream) resolveAllLocked(reason *exception.Exception) {
 
 func (s *Stream) reincarnateLocked() {
 	s.incarnation++
-	s.peer.emit(trace.StreamRestarted, s.keyStr, s.incarnation, "")
+	if sm := s.peer.sm; sm != nil {
+		sm.restarts.Inc()
+	}
+	s.peer.emit(trace.StreamRestarted, s.keyStr, s.incarnation, 0, "")
 	// Wake synch waiters so they observe the incarnation change.
 	for _, w := range s.synchWaiters {
 		close(w)
@@ -473,7 +532,8 @@ func (s *Stream) resolveOneLocked(seq uint64, o Outcome) {
 		if !o.Normal {
 			detail = o.Exception
 		}
-		s.peer.emit(trace.PromiseResolved, s.keyStr, seq, detail)
+		s.peer.emit(trace.PromiseResolved, s.keyStr, seq,
+			trace.CallID(s.keyHash, s.incarnation, seq), detail)
 	}
 	s.nextResolve = seq + 1
 	// Wake synch waiters; they re-check their condition.
@@ -650,14 +710,21 @@ func (s *Stream) tick(now time.Time) {
 		s.mu.Unlock()
 		return
 	}
+	sm := s.peer.sm
 	// Age-based flush.
 	if len(s.buffer) > 0 && now.Sub(s.bufferedAt) >= s.opts.MaxBatchDelay {
 		batch := s.buffer
 		s.unacked = append(s.unacked, batch...)
 		s.lastSendAt = now
 		toSend = s.buildRequestBatchLocked(batch)
+		if sm != nil {
+			sm.batchesSent.Inc()
+			sm.batchCalls.Observe(uint64(len(batch)))
+			sm.batchBytes.Observe(uint64(len(toSend)))
+			sm.windowCalls.Observe(s.nextSeq - s.nextResolve)
+		}
 		if s.peer.tracing() {
-			s.peer.emit(trace.BatchSent, s.keyStr, batch[0].Seq, fmt.Sprintf("n=%d aged", len(batch)))
+			s.peer.emit(trace.BatchSent, s.keyStr, batch[0].Seq, 0, fmt.Sprintf("n=%d aged", len(batch)))
 		}
 		for i := range batch {
 			batch[i] = request{}
@@ -666,20 +733,32 @@ func (s *Stream) tick(now time.Time) {
 	} else if len(s.unacked) > 0 && now.Sub(s.lastSendAt) >= s.opts.RTO {
 		// Retransmission of everything not yet acked.
 		s.retries++
+		if sm != nil {
+			sm.rtoFires.Inc()
+		}
 		if s.retries > s.opts.MaxRetries {
 			doBreak = true
 		} else {
 			s.lastSendAt = now
 			toSend = s.buildRequestBatchLocked(s.unacked)
+			if sm != nil {
+				sm.batchesSent.Inc()
+				sm.retransmits.Inc()
+				sm.batchBytes.Observe(uint64(len(toSend)))
+			}
 			if s.peer.tracing() {
-				s.peer.emit(trace.BatchSent, s.keyStr, s.unacked[0].Seq, fmt.Sprintf("n=%d retransmit", len(s.unacked)))
+				s.peer.emit(trace.BatchSent, s.keyStr, s.unacked[0].Seq, 0, fmt.Sprintf("n=%d retransmit", len(s.unacked)))
 			}
 		}
 	} else if s.nextResolve > 1 && s.ackRepliesOwedLocked() {
 		// Pure ack so the receiver can release retained replies.
 		toSend = s.buildRequestBatchLocked(nil)
+		if sm != nil {
+			sm.batchesSent.Inc()
+			sm.acks.Inc()
+		}
 		if s.peer.tracing() {
-			s.peer.emit(trace.BatchSent, s.keyStr, 0, "ack")
+			s.peer.emit(trace.BatchSent, s.keyStr, 0, 0, "ack")
 		}
 	} else if s.nextResolve < s.nextSeq && now.Sub(s.lastProgressAt) >= s.opts.RTO {
 		// Calls are outstanding, everything transmitted is acked, and the
@@ -688,13 +767,20 @@ func (s *Stream) tick(now time.Time) {
 		// that crashed after acking our requests stays silent, and
 		// MaxRetries silent probes break the stream.
 		s.retries++
+		if sm != nil {
+			sm.rtoFires.Inc()
+		}
 		if s.retries > s.opts.MaxRetries {
 			doBreak = true
 		} else {
 			s.lastProgressAt = now // pace probes one RTO apart
 			toSend = s.buildRequestBatchLocked(nil)
+			if sm != nil {
+				sm.batchesSent.Inc()
+				sm.probes.Inc()
+			}
 			if s.peer.tracing() {
-				s.peer.emit(trace.BatchSent, s.keyStr, 0, "probe")
+				s.peer.emit(trace.BatchSent, s.keyStr, 0, 0, "probe")
 			}
 		}
 	}

@@ -37,6 +37,7 @@ import (
 
 	"promises/internal/clock"
 	"promises/internal/exception"
+	"promises/internal/metrics"
 	"promises/internal/wire"
 )
 
@@ -168,6 +169,11 @@ type Options struct {
 	// the simnet network the peer's node belongs to, so configuring a
 	// virtual clock on the network covers the stream layer too.
 	Clock clock.Clock
+	// Metrics is the registry the peer's protocol counters and histograms
+	// register into. Default: the registry of the simnet network the
+	// peer's node belongs to (inherited the same way as Clock). nil — no
+	// network registry either — disables metrics at zero hot-path cost.
+	Metrics *metrics.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -211,10 +217,11 @@ const (
 
 // request is one call request inside a request batch.
 type request struct {
-	Seq  uint64
-	Port string
-	Mode Mode
-	Args []byte
+	Seq   uint64
+	Port  string
+	Mode  Mode
+	Args  []byte
+	Trace uint64 // causal trace ID (trace.CallID); 0 from legacy senders
 }
 
 // reply is one call reply inside a reply batch.
@@ -276,10 +283,18 @@ func finishEncode(bp *[]byte, buf []byte) []byte {
 	return out
 }
 
+// encodeRequestBatch writes the versioned request-batch format: the six
+// original values, then a trailing list of per-request trace IDs. The
+// header count (7 vs the legacy 6) is the version signal; legacy
+// decoders read exactly the values their header promised them and never
+// look at the trailing list, so old receivers accept new batches
+// unchanged (see DESIGN.md "Observability"). Trace IDs travel as a
+// parallel batch-level list — not as a fifth request field — because
+// legacy decoders reject request tuples that are not exactly 4 fields.
 func encodeRequestBatch(b requestBatch) []byte {
 	bp := encodeScratch.Get().(*[]byte)
 	buf := (*bp)[:0]
-	buf = wire.AppendHeader(buf, 6)
+	buf = wire.AppendHeader(buf, 7)
 	buf = wire.AppendInt(buf, kindRequestBatch)
 	buf = wire.AppendString(buf, b.Agent)
 	buf = wire.AppendString(buf, b.Group)
@@ -292,6 +307,10 @@ func encodeRequestBatch(b requestBatch) []byte {
 		buf = wire.AppendString(buf, r.Port)
 		buf = wire.AppendInt(buf, int64(r.Mode))
 		buf = wire.AppendBytes(buf, r.Args)
+	}
+	buf = wire.AppendList(buf, len(b.Requests))
+	for _, r := range b.Requests {
+		buf = wire.AppendInt(buf, int64(r.Trace))
 	}
 	return finishEncode(bp, buf)
 }
@@ -367,7 +386,8 @@ func releaseReplyBatch(b *replyBatch) {
 // as long as anything references the aliased views).
 func decodeMessage(payload []byte) (kind int64, rb *requestBatch, pb *replyBatch, bm *breakMsg, err error) {
 	d := wire.NewDecoder(payload)
-	if _, err = d.Header(); err != nil {
+	nvals, err := d.Header()
+	if err != nil {
 		return 0, nil, nil, nil, err
 	}
 	kind, err = d.Int()
@@ -392,7 +412,7 @@ func decodeMessage(payload []byte) (kind int64, rb *requestBatch, pb *replyBatch
 		b.Agent = internString(agent)
 		b.Group = internString(group)
 		b.Incarnation = uint64(inc)
-		if err := decodeRequests(&d, b); err != nil {
+		if err := decodeRequests(&d, b, nvals); err != nil {
 			releaseRequestBatch(b)
 			return 0, nil, nil, nil, err
 		}
@@ -425,8 +445,10 @@ func decodeMessage(payload []byte) (kind int64, rb *requestBatch, pb *replyBatch
 }
 
 // decodeRequests reads the [ackRepliesThrough, [[seq, port, mode, args],
-// ...]] tail of a request batch into b.
-func decodeRequests(d *wire.Decoder, b *requestBatch) error {
+// ...]] tail of a request batch into b, plus — when the message header
+// promised a 7th value (the versioned format) — the trailing trace-ID
+// list. Legacy 6-value batches leave every Trace at 0.
+func decodeRequests(d *wire.Decoder, b *requestBatch, nvals int) error {
 	ack, err := d.Int()
 	if err != nil {
 		return err
@@ -461,6 +483,22 @@ func decodeRequests(d *wire.Decoder, b *requestBatch) error {
 		b.Requests = append(b.Requests, request{
 			Seq: uint64(seq), Port: internString(port), Mode: Mode(mode), Args: args,
 		})
+	}
+	if nvals < 7 {
+		return nil // legacy sender: no trace IDs on the wire
+	}
+	tn, err := d.List()
+	if err != nil {
+		return err
+	}
+	for i := 0; i < tn; i++ {
+		tid, err := d.Int()
+		if err != nil {
+			return err
+		}
+		if i < len(b.Requests) {
+			b.Requests[i].Trace = uint64(tid)
+		}
 	}
 	return nil
 }

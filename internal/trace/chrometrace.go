@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// WriteChromeTrace writes timelines as Chrome trace_event JSON (the
+// "JSON Object Format" with a traceEvents array), loadable in Perfetto
+// or chrome://tracing. Each stream becomes a named track; each call
+// contributes one complete ("X") slice per observed stage interval,
+// e.g. a slice named "sent->delivered" spanning the network transit.
+//
+// Timestamps are microseconds relative to base (use the virtual epoch
+// for simulated runs). Output bytes are deterministic: track IDs are
+// assigned in first-appearance order and no wall-clock value is
+// consulted.
+func WriteChromeTrace(w io.Writer, base time.Time, tls []*Timeline) error {
+	bw := &errWriter{w: w}
+	bw.printf("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")
+
+	trackOf := make(map[string]int)
+	first := true
+	sep := func() {
+		if !first {
+			bw.printf(",")
+		}
+		first = false
+		bw.printf("\n ")
+	}
+	track := func(stream string) int {
+		id, ok := trackOf[stream]
+		if !ok {
+			id = len(trackOf) + 1
+			trackOf[stream] = id
+			sep()
+			bw.printf(`{"ph":"M","pid":1,"tid":%d,"name":"thread_name","args":{"name":%q}}`, id, stream)
+		}
+		return id
+	}
+
+	us := func(t time.Time) int64 { return t.Sub(base).Microseconds() }
+	for _, tl := range tls {
+		tid := track(tl.Stream)
+		prev := Stage(-1)
+		for s := StageEnqueued; s < NumStages; s++ {
+			if tl.Stamps[s].IsZero() {
+				continue
+			}
+			if prev >= 0 {
+				sep()
+				bw.printf(`{"ph":"X","pid":1,"tid":%d,"ts":%d,"dur":%d,"name":"%s->%s","args":{"trace_id":"%012x","seq":%d,"port":%q,"outcome":%q}}`,
+					tid, us(tl.Stamps[prev]), tl.Stamps[s].Sub(tl.Stamps[prev]).Microseconds(),
+					prev, s, tl.TraceID, tl.Seq, tl.Port, tl.Outcome)
+			}
+			prev = s
+		}
+	}
+	bw.printf("\n]}\n")
+	return bw.err
+}
+
+// errWriter latches the first write error so the encoder body can stay
+// free of per-write error handling.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}

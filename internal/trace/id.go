@@ -1,0 +1,44 @@
+package trace
+
+// Trace IDs are derived, never allocated: a call's ID is a pure
+// function of (stream key, incarnation, seq), so the sender computes it
+// with two multiplies at enqueue time, the wire carries it so legacy
+// receivers stay oblivious (see DESIGN.md "Observability"), and seeded
+// runs produce byte-identical IDs. IDs are masked to 48 bits to keep
+// their varint wire encoding short; 0 is reserved for "unknown" (events
+// from legacy senders), so the mask output is nudged when it collides.
+
+// HashStream returns the FNV-1a hash of a stream key string, the
+// stream-level input to CallID.
+func HashStream(key string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return h
+}
+
+// CallID derives the trace ID for call seq on incarnation inc of the
+// stream with key hash streamHash. Deterministic, allocation-free, and
+// never zero.
+func CallID(streamHash, inc, seq uint64) uint64 {
+	// splitmix64-style finalizer over the mixed inputs: cheap and
+	// well-dispersed, so IDs from different streams and incarnations
+	// don't collide in practice (48-bit space, thousands of calls).
+	x := streamHash ^ inc*0x9E3779B97F4A7C15 ^ seq*0xBF58476D1CE4E5B9
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	x &= (1 << 48) - 1
+	if x == 0 {
+		x = 1
+	}
+	return x
+}

@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"testing"
+)
+
+// The ring maintains per-kind counts incrementally; eviction must
+// decrement the evicted event's kind so Count stays exact at capacity.
+func TestCountTracksEviction(t *testing.T) {
+	r := NewRing(4)
+	r.Record(Event{Kind: CallEnqueued})
+	r.Record(Event{Kind: CallEnqueued})
+	r.Record(Event{Kind: BatchSent})
+	r.Record(Event{Kind: CallExecuted})
+	// Full. Two more evict the two CallEnqueued events.
+	r.Record(Event{Kind: PromiseResolved})
+	r.Record(Event{Kind: PromiseResolved})
+	if got := r.Count(CallEnqueued); got != 0 {
+		t.Fatalf("Count(CallEnqueued) = %d after eviction, want 0", got)
+	}
+	if got := r.Count(PromiseResolved); got != 2 {
+		t.Fatalf("Count(PromiseResolved) = %d, want 2", got)
+	}
+	if got := r.Count(BatchSent); got != 1 {
+		t.Fatalf("Count(BatchSent) = %d, want 1", got)
+	}
+}
+
+func TestCountOutOfRangeKind(t *testing.T) {
+	r := NewRing(8)
+	odd := Kind(77)
+	r.Record(Event{Kind: odd})
+	r.Record(Event{Kind: odd})
+	if got := r.Count(odd); got != 2 {
+		t.Fatalf("Count(odd) = %d, want 2", got)
+	}
+	if got := len(r.Filter(odd)); got != 2 {
+		t.Fatalf("Filter(odd) = %d, want 2", got)
+	}
+	r.Reset()
+	if got := r.Count(odd); got != 0 {
+		t.Fatalf("Count(odd) after Reset = %d, want 0", got)
+	}
+}
+
+func TestCountMatchesFilterAfterChurn(t *testing.T) {
+	r := NewRing(32)
+	kinds := []Kind{CallEnqueued, BatchSent, ReplyBatchSent, CallExecuted,
+		PromiseResolved, StreamBroken, StreamRestarted, CallDelivered, CallReplied}
+	for i := 0; i < 500; i++ {
+		r.Record(Event{Kind: kinds[i*7%len(kinds)], Seq: uint64(i)})
+	}
+	total := 0
+	for _, k := range kinds {
+		n := r.Count(k)
+		if got := len(r.Filter(k)); got != n {
+			t.Fatalf("Count(%v)=%d but Filter found %d", k, n, got)
+		}
+		total += n
+	}
+	if total != 32 {
+		t.Fatalf("kind counts sum to %d, want ring size 32", total)
+	}
+}
+
+func TestCallIDDeterministicAndDistinct(t *testing.T) {
+	h := HashStream("c/a->s/main")
+	if h != HashStream("c/a->s/main") {
+		t.Fatal("HashStream not deterministic")
+	}
+	id := CallID(h, 1, 1)
+	if id == 0 {
+		t.Fatal("CallID returned the reserved 0")
+	}
+	if id != CallID(h, 1, 1) {
+		t.Fatal("CallID not deterministic")
+	}
+	if id>>48 != 0 {
+		t.Fatalf("CallID %#x exceeds 48 bits", id)
+	}
+	seen := map[uint64]bool{}
+	for inc := uint64(1); inc <= 3; inc++ {
+		for seq := uint64(1); seq <= 200; seq++ {
+			v := CallID(h, inc, seq)
+			if seen[v] {
+				t.Fatalf("collision at inc=%d seq=%d", inc, seq)
+			}
+			seen[v] = true
+		}
+	}
+	if CallID(HashStream("other/x->s/main"), 1, 1) == id {
+		t.Fatal("distinct streams collided on (1,1)")
+	}
+}

@@ -1,0 +1,175 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func at(us int64) time.Time {
+	return time.Unix(0, 0).Add(time.Duration(us) * time.Microsecond)
+}
+
+// callEvents fabricates a full sender+receiver event set for one call.
+func callEvents(stream string, seq uint64, tid uint64, base int64) []Event {
+	return []Event{
+		{At: at(base), Kind: CallEnqueued, Stream: stream, Seq: seq, TraceID: tid, Detail: "call"},
+		{At: at(base + 10), Kind: BatchSent, Stream: stream, Seq: seq, Detail: "n=1"},
+		{At: at(base + 50), Kind: CallDelivered, Stream: stream, Seq: seq, TraceID: tid},
+		{At: at(base + 60), Kind: CallExecuted, Stream: stream, Seq: seq, TraceID: tid, Detail: "work"},
+		{At: at(base + 65), Kind: CallReplied, Stream: stream, Seq: seq, TraceID: tid, Detail: "normal"},
+		{At: at(base + 120), Kind: PromiseResolved, Stream: stream, Seq: seq, TraceID: tid, Detail: "normal"},
+	}
+}
+
+func TestCorrelateFullLifecycle(t *testing.T) {
+	evs := callEvents("c0/a->s0/g", 1, 42, 100)
+	tls := Correlate(evs)
+	if len(tls) != 1 {
+		t.Fatalf("got %d timelines, want 1", len(tls))
+	}
+	tl := tls[0]
+	if tl.TraceID != 42 || tl.Seq != 1 || tl.Stream != "c0/a->s0/g" {
+		t.Fatalf("identity wrong: %+v", tl)
+	}
+	for s := StageEnqueued; s < NumStages; s++ {
+		if tl.Stamps[s].IsZero() {
+			t.Fatalf("stage %s unobserved", s)
+		}
+	}
+	if d := tl.Dur(StageSent, StageDelivered); d != 40*time.Microsecond {
+		t.Fatalf("transit = %v, want 40us", d)
+	}
+	if tl.Total() != 120*time.Microsecond {
+		t.Fatalf("total = %v, want 120us", tl.Total())
+	}
+	if tl.Port != "work" || tl.Mode != "call" || tl.Outcome != "normal" {
+		t.Fatalf("annotations wrong: %+v", tl)
+	}
+}
+
+func TestCorrelateBatchAttribution(t *testing.T) {
+	// Three calls flushed as one batch: each gets the batch's send time.
+	evs := []Event{
+		{At: at(1), Kind: CallEnqueued, Stream: "s", Seq: 1, TraceID: 11},
+		{At: at(2), Kind: CallEnqueued, Stream: "s", Seq: 2, TraceID: 12},
+		{At: at(3), Kind: CallEnqueued, Stream: "s", Seq: 3, TraceID: 13},
+		{At: at(9), Kind: BatchSent, Stream: "s", Seq: 1, Detail: "n=3"},
+		// A retransmit of the same range must not move StageSent.
+		{At: at(50), Kind: BatchSent, Stream: "s", Seq: 1, Detail: "n=3 retransmit"},
+	}
+	tls := Correlate(evs)
+	if len(tls) != 3 {
+		t.Fatalf("got %d timelines, want 3", len(tls))
+	}
+	for _, tl := range tls {
+		if got := tl.Stamps[StageSent]; !got.Equal(at(9)) {
+			t.Fatalf("seq %d sent at %v, want first transmission at %v", tl.Seq, got, at(9))
+		}
+	}
+}
+
+func TestCorrelateAckAndProbeCoverNoCalls(t *testing.T) {
+	evs := []Event{
+		{At: at(1), Kind: CallEnqueued, Stream: "s", Seq: 0, TraceID: 7},
+		{At: at(2), Kind: BatchSent, Stream: "s", Seq: 0, Detail: "ack"},
+		{At: at(3), Kind: BatchSent, Stream: "s", Seq: 0, Detail: "probe"},
+	}
+	tls := Correlate(evs)
+	if len(tls) != 1 || !tls[0].Stamps[StageSent].IsZero() {
+		t.Fatalf("ack/probe wrongly attributed as a call transmission: %+v", tls)
+	}
+}
+
+func TestCorrelateSegmentsAtRestart(t *testing.T) {
+	// Incarnation 1 sends seq 1; the stream restarts; incarnation 2
+	// reuses seq 1 with a different trace ID. The old call must not
+	// absorb the new incarnation's batch.
+	evs := []Event{
+		{At: at(1), Kind: CallEnqueued, Stream: "s", Seq: 1, TraceID: 100},
+		{At: at(5), Kind: StreamBroken, Stream: "s", Detail: "unavailable(x)"},
+		{At: at(6), Kind: StreamRestarted, Stream: "s", Seq: 2},
+		{At: at(7), Kind: CallEnqueued, Stream: "s", Seq: 1, TraceID: 200},
+		{At: at(8), Kind: BatchSent, Stream: "s", Seq: 1, Detail: "n=1"},
+	}
+	tls := Correlate(evs)
+	if len(tls) != 2 {
+		t.Fatalf("got %d timelines, want 2", len(tls))
+	}
+	var old, fresh *Timeline
+	for _, tl := range tls {
+		switch tl.TraceID {
+		case 100:
+			old = tl
+		case 200:
+			fresh = tl
+		}
+	}
+	if old == nil || fresh == nil {
+		t.Fatalf("missing timelines: %+v", tls)
+	}
+	if !old.Stamps[StageSent].IsZero() {
+		t.Fatalf("pre-restart call absorbed the new incarnation's batch")
+	}
+	if !fresh.Stamps[StageSent].Equal(at(8)) {
+		t.Fatalf("post-restart call not attributed: %+v", fresh)
+	}
+}
+
+func TestBatchCount(t *testing.T) {
+	cases := []struct {
+		detail string
+		n      uint64
+		ok     bool
+	}{
+		{"n=1", 1, true}, {"n=12", 12, true}, {"n=3 aged", 3, true},
+		{"n=5 retransmit", 5, true}, {"ack", 0, false}, {"probe", 0, false},
+		{"", 0, false}, {"n=", 0, false}, {"n=x", 0, false},
+	}
+	for _, c := range cases {
+		n, ok := batchCount(c.detail)
+		if n != c.n || ok != c.ok {
+			t.Errorf("batchCount(%q) = %d,%v want %d,%v", c.detail, n, ok, c.n, c.ok)
+		}
+	}
+}
+
+func TestChromeTraceValidAndDeterministic(t *testing.T) {
+	evs := append(callEvents("c0/a->s0/g", 1, 42, 100),
+		callEvents("c1/a->s0/g", 1, 43, 130)...)
+	tls := Correlate(evs)
+
+	var b1, b2 bytes.Buffer
+	if err := WriteChromeTrace(&b1, time.Unix(0, 0), tls); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChromeTrace(&b2, time.Unix(0, 0), Correlate(evs)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("chrome trace output not deterministic")
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b1.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, b1.String())
+	}
+	var slices, meta int
+	for _, e := range doc.TraceEvents {
+		switch e["ph"] {
+		case "X":
+			slices++
+		case "M":
+			meta++
+		}
+	}
+	if meta != 2 {
+		t.Fatalf("got %d track-name events, want 2", meta)
+	}
+	// Each fully-observed call yields NumStages-1 slices.
+	if want := 2 * (int(NumStages) - 1); slices != want {
+		t.Fatalf("got %d slices, want %d", slices, want)
+	}
+}

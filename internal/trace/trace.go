@@ -6,6 +6,11 @@
 // is installed on a Peer (stream.Peer.SetTracer); with no tracer
 // installed the instrumentation is a nil check. Ring is the standard
 // tracer: a fixed-capacity, concurrency-safe ring buffer.
+//
+// Events that belong to one call carry its TraceID — a value derived
+// deterministically from (stream, incarnation, seq) and carried across
+// the wire in request batches — so sender-side and receiver-side rings
+// can be joined into per-call timelines (see Correlate).
 package trace
 
 import (
@@ -34,7 +39,16 @@ const (
 	StreamBroken
 	// StreamRestarted: a stream reincarnated (Seq: new incarnation).
 	StreamRestarted
+	// CallDelivered: a request admitted into the receiver's order buffer
+	// (first, non-duplicate arrival).
+	CallDelivered
+	// CallReplied: a call's reply entered the receiver's reply buffer,
+	// ready for (re)transmission (Detail: outcome).
+	CallReplied
 )
+
+// numKinds bounds the Kind enum for the ring's per-kind count table.
+const numKinds = int(CallReplied) + 1
 
 var kindNames = map[Kind]string{
 	CallEnqueued:    "call-enqueued",
@@ -44,6 +58,8 @@ var kindNames = map[Kind]string{
 	PromiseResolved: "promise-resolved",
 	StreamBroken:    "stream-broken",
 	StreamRestarted: "stream-restarted",
+	CallDelivered:   "call-delivered",
+	CallReplied:     "call-replied",
 }
 
 func (k Kind) String() string {
@@ -55,11 +71,12 @@ func (k Kind) String() string {
 
 // Event is one recorded protocol event.
 type Event struct {
-	At     time.Time
-	Kind   Kind
-	Stream string // stream key ("sender/agent->recv/group")
-	Seq    uint64 // call seq (or incarnation for StreamRestarted)
-	Detail string
+	At      time.Time
+	Kind    Kind
+	Stream  string // stream key ("sender/agent->recv/group")
+	Seq     uint64 // call seq (or incarnation for StreamRestarted)
+	TraceID uint64 // per-call causal ID; 0 when unknown or not call-scoped
+	Detail  string
 }
 
 func (e Event) String() string {
@@ -72,13 +89,26 @@ type Tracer interface {
 	Record(Event)
 }
 
+// NowSetter is implemented by tracers whose event timestamps should
+// follow an externally supplied time source. stream.Peer.SetTracer uses
+// it to stamp events with the peer's clock automatically, so a tracer
+// installed on a virtual-time peer records virtual timestamps without
+// any manual wiring.
+type NowSetter interface {
+	SetNow(now func() time.Time)
+}
+
 // Ring is a fixed-capacity ring-buffer tracer: the newest events win.
+// It keeps per-kind counts incrementally, so Count is O(1) regardless
+// of capacity.
 type Ring struct {
-	mu    sync.Mutex
-	buf   []Event
-	next  int
-	count int
-	now   func() time.Time // stamps events recorded with a zero At
+	mu     sync.Mutex
+	buf    []Event
+	next   int
+	count  int
+	byKind [numKinds]int    // counts for in-range kinds
+	extra  map[Kind]int     // counts for out-of-range kinds, lazily made
+	now    func() time.Time // stamps events recorded with a zero At
 }
 
 // NewRing creates a ring holding up to capacity events (default 4096 if
@@ -93,9 +123,21 @@ func NewRing(capacity int) *Ring {
 // SetNow installs the time source used to stamp events recorded with a
 // zero At — a virtual clock's Now under simulation. The default is
 // time.Now. Call before recording starts; it is not synchronized with
-// concurrent Records.
+// concurrent Records. Peers wire their own clock in automatically when
+// the tracer is installed (see NowSetter).
 func (r *Ring) SetNow(now func() time.Time) {
 	r.now = now
+}
+
+func (r *Ring) addKindLocked(k Kind, delta int) {
+	if ki := int(k); ki >= 0 && ki < numKinds {
+		r.byKind[ki] += delta
+		return
+	}
+	if r.extra == nil {
+		r.extra = make(map[Kind]int)
+	}
+	r.extra[k] += delta
 }
 
 // Record stores an event, evicting the oldest if full.
@@ -108,6 +150,10 @@ func (r *Ring) Record(e Event) {
 		}
 	}
 	r.mu.Lock()
+	if r.count == len(r.buf) {
+		r.addKindLocked(r.buf[r.next].Kind, -1)
+	}
+	r.addKindLocked(e.Kind, 1)
 	r.buf[r.next] = e
 	r.next = (r.next + 1) % len(r.buf)
 	if r.count < len(r.buf) {
@@ -131,20 +177,41 @@ func (r *Ring) Events() []Event {
 	return out
 }
 
-// Filter returns the recorded events of one kind, oldest first.
+// Filter returns the recorded events of one kind, oldest first. It
+// scans the ring in place and copies only the matches.
 func (r *Ring) Filter(k Kind) []Event {
-	var out []Event
-	for _, e := range r.Events() {
-		if e.Kind == k {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.countLocked(k)
+	if n == 0 {
+		return nil
+	}
+	out := make([]Event, 0, n)
+	start := r.next - r.count
+	if start < 0 {
+		start += len(r.buf)
+	}
+	for i := 0; i < r.count; i++ {
+		if e := r.buf[(start+i)%len(r.buf)]; e.Kind == k {
 			out = append(out, e)
 		}
 	}
 	return out
 }
 
-// Count returns how many recorded events have the given kind.
+func (r *Ring) countLocked(k Kind) int {
+	if ki := int(k); ki >= 0 && ki < numKinds {
+		return r.byKind[ki]
+	}
+	return r.extra[k]
+}
+
+// Count returns how many recorded events have the given kind. O(1): the
+// ring maintains per-kind counts as events are recorded and evicted.
 func (r *Ring) Count(k Kind) int {
-	return len(r.Filter(k))
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.countLocked(k)
 }
 
 // Reset discards all recorded events.
@@ -153,4 +220,6 @@ func (r *Ring) Reset() {
 	defer r.mu.Unlock()
 	r.next = 0
 	r.count = 0
+	r.byKind = [numKinds]int{}
+	r.extra = nil
 }
