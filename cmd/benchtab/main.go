@@ -27,6 +27,7 @@ func main() {
 		quick   = flag.Bool("quick", false, "run at smoke-test scale")
 		list    = flag.Bool("list", false, "list experiments and exit")
 		metrics = flag.Bool("metrics", false, "append a metrics-registry snapshot after the tables")
+		virtual = flag.Bool("virtual", false, "run on a virtual clock: modeled costs elapse instantly and tables are deterministic (E6 and A3 measure CPU and need the real clock)")
 	)
 	flag.Parse()
 
@@ -58,20 +59,27 @@ func main() {
 	if *metrics {
 		bench.EnableMetrics()
 	}
-	for _, id := range ids {
-		e, ok := bench.Find(id)
-		if !ok {
-			e, ok = bench.FindAblation(id)
+	runTables := func() {
+		for _, id := range ids {
+			e, ok := bench.Find(id)
+			if !ok {
+				e, ok = bench.FindAblation(id)
+			}
+			if !ok {
+				fmt.Fprintf(os.Stderr, "benchtab: unknown experiment %q (try -list)\n", id)
+				os.Exit(2)
+			}
+			run := e.Run
+			if *quick {
+				run = e.Quick
+			}
+			run().Print(os.Stdout)
 		}
-		if !ok {
-			fmt.Fprintf(os.Stderr, "benchtab: unknown experiment %q (try -list)\n", id)
-			os.Exit(2)
-		}
-		run := e.Run
-		if *quick {
-			run = e.Quick
-		}
-		run().Print(os.Stdout)
+	}
+	if *virtual {
+		bench.WithVirtualTime(runTables)
+	} else {
+		runTables()
 	}
 	if *metrics {
 		fmt.Println("# metrics (accumulated across the experiments above)")

@@ -1,0 +1,171 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"promises/internal/guardian"
+	"promises/internal/promise"
+	"promises/internal/simnet"
+	"promises/internal/stream"
+)
+
+// E11AdaptiveBatching measures experiment E11: the adaptive batch
+// controller and credit flow control against the fixed MaxBatch settings
+// of E2. Two questions, one table. First, does the byte-budget controller
+// land within a few percent of the best hand-tuned fixed batch for each
+// payload size, without being told the payload size? Second, under
+// overload — calls issued far faster than a slow handler can absorb —
+// does the credit window bound the sender's in-flight calls and the
+// process's goroutine count, where the uncontrolled stream buffers
+// everything?
+func E11AdaptiveBatching(fixed []int, payloads []int, n, overloadN int) *Table {
+	t := &Table{
+		ID:    "E11",
+		Title: fmt.Sprintf("adaptive batching vs fixed: %d stream calls per cell", n),
+		Claim: "the controller matches the best fixed batch per payload; credit bounds overload (§2)",
+		Header: []string{"scenario", "policy", "elapsed_ms", "msgs",
+			"calls/s", "vs_best", "max_window", "goroutines"},
+	}
+	for _, size := range payloads {
+		arg := payload(size)
+		scenario := fmt.Sprintf("%dB", size)
+
+		cells := make([]e11Cell, 0, len(fixed)+1)
+		for _, b := range fixed {
+			opts := StreamOpts()
+			opts.MaxBatch = b
+			c := runE11Cell(opts, arg, n)
+			c.policy = fmt.Sprintf("fixed b=%d", b)
+			cells = append(cells, c)
+		}
+		best := cells[0].elapsed
+		for _, c := range cells[1:] {
+			if c.elapsed < best {
+				best = c.elapsed
+			}
+		}
+		// Flow control is on but the window (= the whole workload) never
+		// binds: the sweep isolates the batching policy, the overload rows
+		// below exercise a binding window.
+		opts := StreamOpts()
+		opts.AdaptiveBatch = true
+		opts.MaxInFlight = n
+		c := runE11Cell(opts, arg, n)
+		c.policy = fmt.Sprintf("adaptive (limit→%d)", c.limit)
+		cells = append(cells, c)
+
+		for _, c := range cells {
+			t.AddRow(scenario, c.policy, ms(c.elapsed), fmt.Sprint(c.msgs),
+				persec(n, c.elapsed), ratio(best, c.elapsed), "-", "-")
+		}
+	}
+
+	// Overload: a slow parallel handler, calls issued as fast as the
+	// sender admits them. Without flow control the in-flight window grows
+	// to the whole workload; with it the window stays at MaxInFlight.
+	const handlerCost = 200 * time.Microsecond
+	for _, flow := range []bool{false, true} {
+		opts := StreamOpts()
+		policy := "flow off"
+		if flow {
+			opts.AdaptiveBatch = true
+			opts.MaxInFlight = 64
+			policy = "flow on (win=64)"
+		}
+		elapsed, msgs, maxWin, peakGor := runE11Overload(opts, overloadN, handlerCost)
+		t.AddRow("overload", policy, ms(elapsed), fmt.Sprint(msgs),
+			persec(overloadN, elapsed), "-",
+			fmt.Sprint(maxWin), fmt.Sprint(peakGor))
+	}
+	t.Notes = append(t.Notes,
+		"vs_best: throughput relative to the best fixed cell for that payload (1.00x = best)",
+		fmt.Sprintf("overload: %d calls to a %v parallel handler; max_window samples Stream.InFlight after each Call", overloadN, handlerCost))
+	return t
+}
+
+type e11Cell struct {
+	policy  string
+	elapsed time.Duration
+	msgs    int64
+	limit   int
+}
+
+// e11Window is the closed-loop claim window for the sweep cells: call i
+// claims promise i−e11Window, so the caller runs a bounded distance ahead
+// of resolutions. This is the sustained-pipeline shape the Go
+// microbenchmarks use; an open-loop burst (enqueue everything, then
+// Synch) would let the whole workload buffer before the controller saw a
+// single resolution, measuring the ramp rather than the policy.
+const e11Window = 256
+
+// runE11Cell times n closed-loop echo calls under the given stream
+// options and records the stream's final batch-closure limit.
+func runE11Cell(opts stream.Options, arg []byte, n int) e11Cell {
+	w := newEchoWorld(LANCost(), opts)
+	defer w.close()
+	s := w.echo.Stream(w.client.Agent("bench"))
+	start := now()
+	ps := make([]*promise.Promise[[]byte], n)
+	for i := 0; i < n; i++ {
+		p, err := promise.Call(s, EchoPort, promise.Bytes, arg)
+		if err != nil {
+			panic(err)
+		}
+		ps[i] = p
+		if i >= e11Window {
+			if _, err := ps[i-e11Window].Claim(bg); err != nil {
+				panic(err)
+			}
+			ps[i-e11Window] = nil
+		}
+	}
+	if err := s.Synch(bg); err != nil {
+		panic(err)
+	}
+	elapsed := since(start)
+	return e11Cell{elapsed: elapsed, msgs: w.net.Stats().MessagesSent, limit: s.BatchLimit()}
+}
+
+// runE11Overload drives n calls at a slow parallel handler, sampling the
+// sender's in-flight window and the process goroutine count after every
+// admission — the two quantities flow control is supposed to bound.
+func runE11Overload(opts stream.Options, n int, handlerCost time.Duration) (elapsed time.Duration, msgs int64, maxWin, peakGor int) {
+	net := simnet.New(LANCost())
+	server := guardian.MustNew(net, "server", opts)
+	client := guardian.MustNew(net, "client", opts)
+	ref := server.AddHandler("slow", func(call *guardian.Call) ([]any, error) {
+		benchClock.Sleep(handlerCost)
+		return call.Args, nil
+	})
+	server.SetParallel("slow", true)
+	s := ref.Stream(client.Agent("bench"))
+
+	start := now()
+	ps := make([]*promise.Promise[[]byte], n)
+	for i := range ps {
+		p, err := promise.Call(s, "slow", promise.Bytes, []byte{byte(i)})
+		if err != nil {
+			panic(err)
+		}
+		ps[i] = p
+		if w := s.InFlight(); w > maxWin {
+			maxWin = w
+		}
+		if g := runtime.NumGoroutine(); g > peakGor {
+			peakGor = g
+		}
+	}
+	for _, p := range ps {
+		if _, err := p.Claim(bg); err != nil {
+			panic(err)
+		}
+	}
+	elapsed = since(start)
+	msgs = net.Stats().MessagesSent
+	client.Close()
+	server.Close()
+	net.Close()
+	return elapsed, msgs, maxWin, peakGor
+}

@@ -154,6 +154,45 @@ func TestE10ShapePromisesNoUserMatching(t *testing.T) {
 	})
 }
 
+func TestE11ShapeFlowControlBoundsOverload(t *testing.T) {
+	WithVirtualTime(func() {
+		tab := E11AdaptiveBatching([]int{8, 16}, []int{8}, 512, 128)
+		var off, on float64
+		for _, row := range tab.Rows {
+			if row[0] != "overload" {
+				continue
+			}
+			win := cell(t, &Table{ID: "E11", Rows: [][]string{row}}, 0, 6)
+			switch row[1] {
+			case "flow off":
+				off = win
+			default:
+				on = win
+			}
+		}
+		if on > 64 {
+			t.Errorf("flow-controlled overload window reached %v, bound 64", on)
+		}
+		if off <= 64 {
+			t.Logf("uncontrolled window only reached %v at this scale", off)
+		}
+		// The adaptive sweep cell must be present and not catastrophically
+		// behind the best fixed cell even at smoke scale.
+		for _, row := range tab.Rows {
+			if strings.HasPrefix(row[1], "adaptive") {
+				v := strings.TrimSuffix(row[5], "x")
+				r, err := strconv.ParseFloat(v, 64)
+				if err != nil {
+					t.Fatalf("vs_best cell %q not numeric", row[5])
+				}
+				if r < 0.5 {
+					t.Errorf("adaptive at %v of best fixed throughput", row[5])
+				}
+			}
+		}
+	})
+}
+
 func TestTablePrintIsAligned(t *testing.T) {
 	tab := &Table{ID: "EX", Title: "demo", Header: []string{"a", "bb"},
 		Rows: [][]string{{"1", "2"}, {"333", "4"}}, Notes: []string{"n"}}
@@ -167,7 +206,7 @@ func TestTablePrintIsAligned(t *testing.T) {
 
 func TestExperimentRegistryComplete(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 10 {
+	if len(exps) != 11 {
 		t.Fatalf("%d experiments registered", len(exps))
 	}
 	for i, e := range exps {

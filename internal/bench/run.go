@@ -82,6 +82,15 @@ func Experiments() []Experiment {
 			Run:   func() *Table { return E10SendRecv(512) },
 			Quick: func() *Table { return E10SendRecv(32) },
 		},
+		{
+			ID: "E11", Title: "adaptive batching and flow control",
+			Run: func() *Table {
+				return E11AdaptiveBatching([]int{8, 16, 32, 64}, []int{8, 1024}, 4096, 512)
+			},
+			Quick: func() *Table {
+				return E11AdaptiveBatching([]int{8, 16}, []int{8}, 256, 64)
+			},
+		},
 	}
 	sort.Slice(exps, func(i, j int) bool {
 		// E1 < E2 < ... < E10 numerically, not lexically.

@@ -159,3 +159,55 @@ func TestAllocsStreamCallRoundTrip(t *testing.T) {
 		t.Errorf("round trip allocs/call = %.2f, want <= 8", perCall)
 	}
 }
+
+// TestAllocsStreamCallRoundTripFlowControl is the adaptive/flow-control
+// twin: controller enabled, credit advertised in every reply batch, and a
+// bounded (never-binding) in-flight window. The admission fast path is
+// pure arithmetic and the credit integration allocation-free, so the
+// ceiling is the same as the legacy path's.
+func TestAllocsStreamCallRoundTripFlowControl(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector changes allocation counts")
+	}
+	n := simnet.New(simnet.Config{})
+	opts := Options{MaxBatch: 16, AdaptiveBatch: true, MaxInFlight: 256}
+	client := NewPeer(n.MustAddNode("client"), opts)
+	server := NewPeer(n.MustAddNode("server"), opts)
+	server.SetDispatcher(func(port string) (Handler, bool) { return echoHandler, true })
+	defer func() {
+		client.Close()
+		server.Close()
+		n.Close()
+	}()
+
+	s := client.Agent("alloc").Stream("server", "g")
+	arg := make([]byte, 32)
+	ctx := context.Background()
+	const window = 64
+	pendings := make([]*Pending, 0, window)
+
+	runWindow := func() {
+		for i := 0; i < window; i++ {
+			p, err := s.Call("echo", arg)
+			if err != nil {
+				t.Fatalf("Call: %v", err)
+			}
+			pendings = append(pendings, p)
+		}
+		s.Flush()
+		for _, p := range pendings {
+			if _, err := p.Wait(ctx); err != nil {
+				t.Fatalf("Wait: %v", err)
+			}
+		}
+		pendings = pendings[:0]
+	}
+	runWindow() // warm pools, rings, and the intern table
+
+	perRun := testing.AllocsPerRun(20, runWindow)
+	perCall := perRun / window
+	t.Logf("measured %.2f allocs/call with flow control (ceiling 8)", perCall)
+	if perCall > 8 {
+		t.Errorf("flow-controlled round trip allocs/call = %.2f, want <= 8", perCall)
+	}
+}

@@ -1,0 +1,307 @@
+package stream
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"promises/internal/simnet"
+	"promises/internal/wire"
+)
+
+// TestReplyBatchCreditCodecRoundTrip: the trailing admission credit
+// survives encode/decode.
+func TestReplyBatchCreditCodecRoundTrip(t *testing.T) {
+	in := replyBatch{
+		Agent: "a1", Group: "g1", Incarnation: 2, Epoch: 5,
+		AckRequestsThrough: 9, CompletedThrough: 9,
+		Replies: []reply{{Seq: 9, Outcome: NormalOutcome([]byte("ok"))}},
+		Credit:  4105,
+	}
+	kind, _, pb, _, err := decodeMessage(encodeReplyBatch(in))
+	if err != nil || kind != kindReplyBatch {
+		t.Fatalf("decode: kind %d err %v", kind, err)
+	}
+	if pb.Credit != 4105 {
+		t.Fatalf("Credit = %d, want 4105", pb.Credit)
+	}
+	if pb.CompletedThrough != 9 || len(pb.Replies) != 1 {
+		t.Fatalf("batch = %+v", pb)
+	}
+}
+
+// TestVersionedReplyBatchReadableByLegacyDecoder: a legacy decoder reads a
+// reply batch positionally — kind, agent, group, incarnation, epoch, acks,
+// completed, replies — and never looks at trailing values. The versioned
+// 9-value batch must keep those first eight positions byte-compatible.
+func TestVersionedReplyBatchReadableByLegacyDecoder(t *testing.T) {
+	msg := encodeReplyBatch(replyBatch{
+		Agent: "a1", Group: "g1", Incarnation: 3, Epoch: 7,
+		AckRequestsThrough: 12, CompletedThrough: 11,
+		Replies: []reply{{Seq: 11, Outcome: NormalOutcome([]byte("r"))}},
+		Credit:  4107,
+	})
+	vals, err := wire.Unmarshal(msg)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if len(vals) != 9 {
+		t.Fatalf("versioned batch has %d top-level values, want 9", len(vals))
+	}
+	if kind, _ := wire.IntArg(vals, 0); kind != kindReplyBatch {
+		t.Errorf("kind = %d", kind)
+	}
+	if agent, _ := wire.StringArg(vals, 1); agent != "a1" {
+		t.Errorf("agent = %q", agent)
+	}
+	if group, _ := wire.StringArg(vals, 2); group != "g1" {
+		t.Errorf("group = %q", group)
+	}
+	if inc, _ := wire.IntArg(vals, 3); inc != 3 {
+		t.Errorf("incarnation = %d", inc)
+	}
+	if epoch, _ := wire.IntArg(vals, 4); epoch != 7 {
+		t.Errorf("epoch = %d", epoch)
+	}
+	if ack, _ := wire.IntArg(vals, 5); ack != 12 {
+		t.Errorf("ackRequestsThrough = %d", ack)
+	}
+	if done, _ := wire.IntArg(vals, 6); done != 11 {
+		t.Errorf("completedThrough = %d", done)
+	}
+	raw, _ := wire.Arg(vals, 7)
+	replies, err := wire.AsList(raw)
+	if err != nil || len(replies) != 1 {
+		t.Fatalf("replies = %v (%v)", replies, err)
+	}
+	if credit, _ := wire.IntArg(vals, 8); credit != 4107 {
+		t.Errorf("trailing credit = %d", credit)
+	}
+}
+
+// TestLegacyReplyBatchDecodesWithoutCredit: an 8-value batch from a legacy
+// receiver decodes cleanly with Credit zero — "no credit advertised".
+func TestLegacyReplyBatchDecodesWithoutCredit(t *testing.T) {
+	replies := []any{[]any{int64(4), true, "", []byte("ok")}}
+	msg, err := wire.Marshal(kindReplyBatch, "a1", "g1", int64(3),
+		int64(9), int64(4), int64(4), replies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kind, _, pb, _, err := decodeMessage(msg)
+	if err != nil || kind != kindReplyBatch {
+		t.Fatalf("decode: kind %d err %v", kind, err)
+	}
+	if pb.Credit != 0 {
+		t.Fatalf("legacy batch decoded with Credit %d, want 0", pb.Credit)
+	}
+	if pb.Epoch != 9 || pb.CompletedThrough != 4 || len(pb.Replies) != 1 ||
+		string(pb.Replies[0].Outcome.Payload) != "ok" {
+		t.Fatalf("batch = %+v", pb)
+	}
+}
+
+// TestForeignReceiverCreditRespected: a hand-rolled receiver speaking the
+// versioned wire format advertises a 2-call admission window. The sender,
+// flow-controlled with a much larger MaxInFlight, must never transmit a
+// request seq beyond the credit it was granted.
+func TestForeignReceiverCreditRespected(t *testing.T) {
+	net := simnet.New(simnet.Config{})
+	defer net.Close()
+	foreign := net.MustAddNode("foreign")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	const (
+		epoch  = int64(4242)
+		window = int64(2)
+	)
+	var violations atomic.Int64
+	go func() {
+		expected := int64(1)
+		advertised := int64(0)
+		var replies []any
+		for {
+			msg, err := foreign.Recv(ctx)
+			if err != nil {
+				return
+			}
+			vals, err := wire.Unmarshal(msg.Payload)
+			if err != nil || len(vals) < 6 {
+				continue
+			}
+			kind, _ := wire.IntArg(vals, 0)
+			if kind != 1 { // request batch
+				continue
+			}
+			agent, _ := wire.StringArg(vals, 1)
+			group, _ := wire.StringArg(vals, 2)
+			inc, _ := wire.IntArg(vals, 3)
+			raw, _ := wire.Arg(vals, 5)
+			reqs, _ := wire.AsList(raw)
+			for _, e := range reqs {
+				fields, _ := wire.AsList(e)
+				seq, _ := wire.IntArg(fields, 0)
+				// The receive loop is single-threaded, so any seq past the
+				// credit advertised before this batch arrived is a sender
+				// flow-control violation (retransmits of admitted seqs are
+				// always at or below it).
+				if advertised > 0 && seq > advertised {
+					violations.Add(1)
+				}
+				if seq != expected {
+					continue
+				}
+				argsRaw, _ := wire.Arg(fields, 3)
+				argBytes, _ := wire.AsBytes(argsRaw)
+				replies = append(replies, []any{seq, true, "", argBytes})
+				expected++
+			}
+			advertised = (expected - 1) + window
+			reply, err := wire.Marshal(int64(2), agent, group, inc, epoch,
+				expected-1, expected-1, replies, advertised)
+			if err != nil {
+				continue
+			}
+			_ = foreign.Send(msg.From, reply)
+		}
+	}()
+
+	client := NewPeer(net.MustAddNode("client"), Options{
+		MaxBatch: 1, MaxBatchDelay: 500 * time.Microsecond,
+		RTO: 20 * time.Millisecond, MaxRetries: 50, MaxInFlight: 16})
+	defer client.Close()
+	s := client.Agent("a1").Stream("foreign", "g1")
+
+	// The first call round-trips alone, so the receiver's credit is on
+	// record before the pipelined burst begins.
+	p0, err := s.Call("echo", []byte{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o := claim(t, p0); !o.Normal || o.Payload[0] != 0 {
+		t.Fatalf("warmup call = %+v", o)
+	}
+
+	const n = 12
+	pch := make(chan *Pending, n)
+	go func() {
+		for i := 1; i < n; i++ {
+			p, err := s.Call("echo", []byte{byte(i)})
+			if err != nil {
+				t.Errorf("Call %d: %v", i, err)
+				close(pch)
+				return
+			}
+			pch <- p
+		}
+		close(pch)
+	}()
+	i := 1
+	for p := range pch {
+		o := claim(t, p)
+		if !o.Normal || o.Payload[0] != byte(i) {
+			t.Fatalf("call %d outcome = %+v", i, o)
+		}
+		i++
+	}
+	if i != n {
+		t.Fatalf("claimed %d calls, want %d", i, n)
+	}
+	if v := violations.Load(); v != 0 {
+		t.Errorf("sender transmitted %d request seqs beyond the advertised credit", v)
+	}
+}
+
+// TestFlowControlSenderWithLegacyReceiver: a legacy receiver never
+// advertises credit; a flow-controlled sender must interoperate on
+// MaxInFlight alone, with grantThrough staying at its zero value.
+func TestFlowControlSenderWithLegacyReceiver(t *testing.T) {
+	net := simnet.New(simnet.Config{})
+	defer net.Close()
+	foreign := net.MustAddNode("foreign")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	const epoch = int64(8888)
+	go func() {
+		expected := int64(1)
+		var replies []any
+		for {
+			msg, err := foreign.Recv(ctx)
+			if err != nil {
+				return
+			}
+			vals, err := wire.Unmarshal(msg.Payload)
+			if err != nil || len(vals) < 6 {
+				continue
+			}
+			kind, _ := wire.IntArg(vals, 0)
+			if kind != 1 {
+				continue
+			}
+			agent, _ := wire.StringArg(vals, 1)
+			group, _ := wire.StringArg(vals, 2)
+			inc, _ := wire.IntArg(vals, 3)
+			raw, _ := wire.Arg(vals, 5)
+			reqs, _ := wire.AsList(raw)
+			for _, e := range reqs {
+				fields, _ := wire.AsList(e)
+				seq, _ := wire.IntArg(fields, 0)
+				if seq != expected {
+					continue
+				}
+				argsRaw, _ := wire.Arg(fields, 3)
+				argBytes, _ := wire.AsBytes(argsRaw)
+				replies = append(replies, []any{seq, true, "", argBytes})
+				expected++
+			}
+			// Legacy 8-value reply batch: no credit field at all.
+			reply, err := wire.Marshal(int64(2), agent, group, inc, epoch,
+				expected-1, expected-1, replies)
+			if err != nil {
+				continue
+			}
+			_ = foreign.Send(msg.From, reply)
+		}
+	}()
+
+	client := NewPeer(net.MustAddNode("client"), Options{
+		MaxBatch: 2, MaxBatchDelay: 500 * time.Microsecond,
+		RTO: 20 * time.Millisecond, MaxRetries: 50, MaxInFlight: 4})
+	defer client.Close()
+	s := client.Agent("a1").Stream("foreign", "g1")
+
+	const n = 10
+	pch := make(chan *Pending, n)
+	go func() {
+		for i := 0; i < n; i++ {
+			p, err := s.Call("echo", []byte{byte(i)})
+			if err != nil {
+				t.Errorf("Call %d: %v", i, err)
+				close(pch)
+				return
+			}
+			pch <- p
+		}
+		close(pch)
+	}()
+	i := 0
+	for p := range pch {
+		o := claim(t, p)
+		if !o.Normal || o.Payload[0] != byte(i) {
+			t.Fatalf("call %d outcome = %+v", i, o)
+		}
+		i++
+	}
+	if i != n {
+		t.Fatalf("claimed %d calls, want %d", i, n)
+	}
+	s.mu.Lock()
+	gt := s.grantThrough
+	s.mu.Unlock()
+	if gt != 0 {
+		t.Errorf("grantThrough = %d against a legacy receiver, want 0", gt)
+	}
+}

@@ -29,6 +29,12 @@ type streamMetrics struct {
 	claims        *metrics.Counter   // promise claims (Wait/Get)
 	claimsBlocked *metrics.Counter   // claims that had to wait for the outcome
 	claimWait     *metrics.Histogram // ns blocked per claim that had to wait
+	flowBlocked   *metrics.Counter   // enqueues that blocked on window/credit
+	flowWait      *metrics.Histogram // ns blocked per flow-controlled enqueue
+	adaptEpochs   *metrics.Counter   // controller epochs evaluated
+	adaptRaises   *metrics.Counter   // controller steps that raised the limit
+	adaptCuts     *metrics.Counter   // controller steps that lowered the limit
+	adaptLimit    *metrics.Gauge     // current adaptive batch limit
 
 	// Receiver side.
 	callsExecuted   *metrics.Counter   // handler executions completed
@@ -72,6 +78,12 @@ func newStreamMetrics(reg *metrics.Registry) *streamMetrics {
 		claims:        reg.Counter("stream_claims_total"),
 		claimsBlocked: reg.Counter("stream_claims_blocked_total"),
 		claimWait:     reg.Histogram("stream_claim_wait_ns", latencyBuckets),
+		flowBlocked:   reg.Counter("stream_flow_blocked_total"),
+		flowWait:      reg.Histogram("stream_flow_wait_ns", latencyBuckets),
+		adaptEpochs:   reg.Counter("stream_adapt_epochs_total"),
+		adaptRaises:   reg.Counter("stream_adapt_raises_total"),
+		adaptCuts:     reg.Counter("stream_adapt_cuts_total"),
+		adaptLimit:    reg.Gauge("stream_adaptive_batch_limit"),
 
 		callsExecuted:   reg.Counter("stream_calls_executed_total"),
 		duplicateReqs:   reg.Counter("stream_duplicate_requests_total"),

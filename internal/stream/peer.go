@@ -26,6 +26,10 @@ type Peer struct {
 	clk  clock.Clock
 	sm   *streamMetrics // nil when metrics are disabled
 
+	// idleFlush is the adaptive quiescence-flush delay derived from the
+	// cost model (see resolveIdleFlush); 0 when adaptation is off.
+	idleFlush time.Duration
+
 	mu       sync.Mutex
 	agents   map[string]*Agent
 	sends    map[streamKey]*Stream
@@ -36,9 +40,24 @@ type Peer struct {
 
 	tracer atomic.Pointer[trace.Tracer]
 
+	// Bounded worker pool for parallel-port execution (see execWorker):
+	// workers are spawned lazily up to opts.ExecWorkers and live until
+	// Close, which closes execTasks after every submitter (the per-stream
+	// executors, tracked in wg) has exited.
+	execTasks   chan execTask
+	execWorkers atomic.Int32
+	execWG      sync.WaitGroup
+
 	ctx    context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
+}
+
+// execTask is one parallel-port call handed to the worker pool. A typed
+// struct rather than a closure, so submission does not allocate.
+type execTask struct {
+	r   *rstream
+	req request
 }
 
 // NewPeer creates the stream runtime on a node and starts its receive and
@@ -52,16 +71,21 @@ func NewPeer(node *simnet.Node, opts Options) *Peer {
 	if opts.Metrics == nil {
 		opts.Metrics = node.Network().Metrics()
 	}
+	// Seed the batch byte budget from the network's cost model (kernel
+	// overhead vs per-byte cost), unless the caller pinned or disabled it.
+	opts.MaxBatchBytes = resolveBatchBytes(opts, node.Network().Config())
 	p := &Peer{
-		node:   node,
-		opts:   opts,
-		clk:    opts.Clock,
-		sm:     newStreamMetrics(opts.Metrics),
-		agents: make(map[string]*Agent),
-		sends:  make(map[streamKey]*Stream),
-		recvs:  make(map[streamKey]*rstream),
-		ctx:    ctx,
-		cancel: cancel,
+		node:      node,
+		opts:      opts,
+		idleFlush: resolveIdleFlush(opts, node.Network().Config()),
+		clk:       opts.Clock,
+		sm:        newStreamMetrics(opts.Metrics),
+		agents:    make(map[string]*Agent),
+		sends:     make(map[streamKey]*Stream),
+		recvs:     make(map[streamKey]*rstream),
+		execTasks: make(chan execTask, 2*opts.ExecWorkers),
+		ctx:       ctx,
+		cancel:    cancel,
 	}
 	p.wg.Add(2)
 	go p.recvLoop()
@@ -177,8 +201,50 @@ func (p *Peer) senderStream(key streamKey) *Stream {
 	if !ok {
 		s = newStream(p, key, p.opts)
 		p.sends[key] = s
+		if !p.closed {
+			// The stream's precise age-flush timer (sender.go flushLoop).
+			// A stream created in a race with Close gets none: the peer is
+			// dead and its transmits are no-ops anyway, and wg.Add after
+			// wg.Wait would race.
+			p.wg.Add(1)
+			go s.flushLoop()
+		}
 	}
 	return s
+}
+
+// submitParallel hands one parallel-port call to the worker pool,
+// spawning a worker if the pool is below its cap. It returns false only
+// when the peer is shutting down and the task was not accepted — the
+// caller then abandons the call, as a crash would. The pool outlives the
+// submitters (Close closes execTasks only after wg — which tracks every
+// executor — has drained), so an accepted task is always executed and
+// its outstanding count always released.
+func (p *Peer) submitParallel(r *rstream, req request) bool {
+	if n := p.execWorkers.Load(); int(n) < p.opts.ExecWorkers {
+		if p.execWorkers.CompareAndSwap(n, n+1) {
+			p.execWG.Add(1)
+			go p.execWorker()
+		}
+	}
+	select {
+	case p.execTasks <- execTask{r: r, req: req}:
+		return true
+	case <-p.ctx.Done():
+		return false
+	}
+}
+
+// execWorker runs parallel-port calls until the pool channel closes.
+// Workers deliberately do not watch ctx: during shutdown they must keep
+// draining accepted tasks so executors blocked in outstanding.Wait can
+// finish.
+func (p *Peer) execWorker() {
+	defer p.execWG.Done()
+	for t := range p.execTasks {
+		t.r.executeOne(t.req)
+		t.r.outstanding.Done()
+	}
 }
 
 // transmit sends a protocol message, ignoring local send errors: if our
@@ -378,4 +444,8 @@ func (p *Peer) Close() {
 		r.close()
 	}
 	p.wg.Wait()
+	// Every submitter (the executors, tracked in wg) has exited; the pool
+	// can now drain its remaining tasks and stop.
+	close(p.execTasks)
+	p.execWG.Wait()
 }

@@ -83,6 +83,7 @@ type rstream struct {
 	// traffic stays proportional to new work, not to the retained window.
 	retained          []reply // executed, not yet acked by the sender
 	unsentReplies     int     // suffix of retained not yet transmitted at all
+	unsentBytes       int     // approximate encoded size of that suffix (byte budget)
 	oldestUnsentAt    time.Time
 	completedThrough  uint64
 	sentCompleted     uint64    // CompletedThrough value last transmitted
@@ -202,6 +203,7 @@ func (r *rstream) pruneRetainedLocked() {
 	// into the unsent suffix (it cannot, but be safe).
 	if r.unsentReplies > len(kept) {
 		r.unsentReplies = len(kept)
+		r.unsentBytes = 0 // approximate; only the can't-happen clamp path
 	}
 	r.retained = kept
 }
@@ -252,11 +254,15 @@ func (r *rstream) executor() {
 			return
 		}
 		if r.peer.parallelPredicate()(req.Port) {
+			// Parallel ports run on the peer's bounded worker pool rather
+			// than a goroutine per request, so a flood of parallel calls
+			// costs at most ExecWorkers stacks. When the pool and its queue
+			// are saturated, submission blocks — backpressure instead of
+			// unbounded spawn.
 			r.outstanding.Add(1)
-			go func(req request) {
-				defer r.outstanding.Done()
-				r.executeOne(req)
-			}(req)
+			if !r.peer.submitParallel(r, req) {
+				r.outstanding.Done() // shutdown race: abandoned, as in a crash
+			}
 			continue
 		}
 		r.outstanding.Wait()
@@ -319,6 +325,7 @@ func (r *rstream) executeOne(req request) {
 		}
 		r.retained = append(r.retained, reply{Seq: req.Seq, Outcome: outcome})
 		r.unsentReplies++
+		r.unsentBytes += len(outcome.Exception) + len(outcome.Payload) + reqOverheadBytes
 		if sm := r.peer.sm; sm != nil {
 			sm.replies.Inc()
 		}
@@ -331,7 +338,8 @@ func (r *rstream) executeOne(req request) {
 		}
 	}
 	breakReason := call.breakReason
-	flushNow := req.Mode == ModeRPC || r.unsentReplies >= r.opts.MaxBatch || breakReason != nil
+	flushNow := req.Mode == ModeRPC || r.unsentReplies >= r.opts.MaxBatch || breakReason != nil ||
+		(r.opts.MaxBatchBytes > 0 && r.unsentBytes >= r.opts.MaxBatchBytes)
 	var msg []byte
 	if flushNow && (r.unsentReplies > 0 || r.completedThrough > r.sentCompleted) {
 		msg = r.buildReplyBatchLocked(false)
@@ -382,6 +390,7 @@ func (r *rstream) buildReplyBatchLocked(retransmit bool) []byte {
 		r.lastFullReplyAt = r.peer.clk.Now()
 	}
 	r.unsentReplies = 0
+	r.unsentBytes = 0
 	r.sentCompleted = r.completedThrough
 	if r.peer.tracing() {
 		detail := fmt.Sprintf("n=%d", len(reps))
@@ -398,6 +407,10 @@ func (r *rstream) buildReplyBatchLocked(retransmit bool) []byte {
 		AckRequestsThrough: r.expected - 1,
 		CompletedThrough:   r.completedThrough,
 		Replies:            reps,
+		// The admission grant: flow-controlled senders may run this far
+		// ahead of our completed prefix. Monotone within an incarnation
+		// because completedThrough is.
+		Credit: r.completedThrough + uint64(r.opts.RecvWindow),
 	})
 	if sm := r.peer.sm; sm != nil {
 		sm.replyBatches.Inc()
@@ -421,6 +434,7 @@ func (r *rstream) handleBreak(b *breakMsg) {
 	r.oo.reset()
 	r.retained = nil
 	r.unsentReplies = 0
+	r.unsentBytes = 0
 }
 
 // resetLocked adopts a new incarnation with fresh protocol state.
@@ -431,6 +445,7 @@ func (r *rstream) resetLocked(incarnation uint64) {
 	r.oo.reset()
 	r.retained = nil
 	r.unsentReplies = 0
+	r.unsentBytes = 0
 	r.completedThrough = 0
 	r.sentCompleted = 0
 	r.ackedThrough = 0

@@ -171,11 +171,29 @@ type Stream struct {
 
 	// Sending state.
 	buffer       []request // accepted but not yet transmitted
+	bufferBytes  int       // approximate encoded size of buffer (byte budget)
 	bufferedAt   time.Time // when buffer[0] was accepted
+	lastArriveAt time.Time // when the newest buffered call was accepted (quiescence flush; adaptive only)
 	unacked      []request // transmitted but not acked by receiver
 	ackedThrough uint64    // receiver acked requests through this seq
 	lastSendAt   time.Time // when unacked was last (re)transmitted
 	retries      int
+
+	// Adaptive batch controller state (see adaptive.go); the zero value
+	// is disabled and batchLimitLocked falls back to opts.MaxBatch.
+	adapt adaptiveState
+
+	// Flow control. grantThrough is the receiver's advertised admission
+	// credit (0 until a versioned reply batch arrives; legacy receivers
+	// never advertise). flowWaiters are enqueues blocked on the in-flight
+	// window or the credit, woken whenever either can have moved.
+	grantThrough uint64
+	flowWaiters  []chan struct{}
+
+	// flushArm signals the stream's flush-timer goroutine that the buffer
+	// went from empty to non-empty, so it can schedule the precise
+	// MaxBatchDelay flush (see flushLoop). Buffered; signals coalesce.
+	flushArm chan struct{}
 
 	// Receiving state (replies). Both tables are keyed by dense
 	// monotonically-increasing seqs confined to the in-flight window, so
@@ -211,7 +229,7 @@ type Stream struct {
 
 func newStream(p *Peer, key streamKey, opts Options) *Stream {
 	keyStr := key.String()
-	return &Stream{
+	s := &Stream{
 		peer:           p,
 		key:            key,
 		keyStr:         keyStr,
@@ -222,7 +240,26 @@ func newStream(p *Peer, key streamKey, opts Options) *Stream {
 		nextResolve:    1,
 		boundarySeq:    1,
 		lastProgressAt: p.clk.Now(),
+		flushArm:       make(chan struct{}, 1),
 	}
+	s.adapt.initAdaptive(opts, s.lastProgressAt)
+	return s
+}
+
+// InFlight returns the number of unresolved calls outstanding on the
+// stream (buffered, in transit, or awaiting replies).
+func (s *Stream) InFlight() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return int(s.nextSeq - s.nextResolve)
+}
+
+// BatchLimit returns the current call-count batch closure limit: the
+// adapted value when AdaptiveBatch is on, MaxBatch otherwise.
+func (s *Stream) BatchLimit() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.batchLimitLocked()
 }
 
 // Key returns a human-readable identification of the stream.
@@ -247,10 +284,20 @@ func (s *Stream) Broken() bool {
 // Call makes a stream call to the named port with pre-encoded arguments.
 // It returns a Pending for the reply, or an error if the stream is broken
 // (in which case, per §3, no pending is created). The call is buffered;
-// it is transmitted when the batch fills, when MaxBatchDelay elapses, or
-// at the next Flush.
+// it is transmitted when the batch fills (by count or byte budget), when
+// MaxBatchDelay elapses, or at the next Flush. With MaxInFlight set, Call
+// blocks while the in-flight window (or the receiver's advertised credit)
+// is exhausted; use CallCtx to bound that wait.
 func (s *Stream) Call(port string, args []byte) (*Pending, error) {
-	return s.enqueue(port, args, ModeCall)
+	return s.enqueue(context.Background(), port, args, ModeCall)
+}
+
+// CallCtx is Call with a context bounding the flow-control wait: if the
+// stream's in-flight window is full, the enqueue blocks until a slot
+// frees, the stream breaks, or ctx ends (returning ctx.Err() with no
+// pending created).
+func (s *Stream) CallCtx(ctx context.Context, port string, args []byte) (*Pending, error) {
+	return s.enqueue(ctx, port, args, ModeCall)
 }
 
 // Send makes a send to the named port: the sender hears back only if the
@@ -258,14 +305,20 @@ func (s *Stream) Call(port string, args []byte) (*Pending, error) {
 // normal outcome on success; sends exist so that "normal replies can be
 // omitted" from the wire.
 func (s *Stream) Send(port string, args []byte) (*Pending, error) {
-	return s.enqueue(port, args, ModeSend)
+	return s.enqueue(context.Background(), port, args, ModeSend)
+}
+
+// SendCtx is Send with a context bounding the flow-control wait, like
+// CallCtx.
+func (s *Stream) SendCtx(ctx context.Context, port string, args []byte) (*Pending, error) {
+	return s.enqueue(ctx, port, args, ModeSend)
 }
 
 // RPC makes a remote procedure call: the request bypasses the batch buffer
 // and the caller waits for the reply. An RPC also establishes a synch
 // boundary, like Argus's regular calls do.
 func (s *Stream) RPC(ctx context.Context, port string, args []byte) (Outcome, error) {
-	p, err := s.enqueue(port, args, ModeRPC)
+	p, err := s.enqueue(ctx, port, args, ModeRPC)
 	if err != nil {
 		return Outcome{}, err
 	}
@@ -282,20 +335,52 @@ func (s *Stream) RPC(ctx context.Context, port string, args []byte) (Outcome, er
 	return o, nil
 }
 
-func (s *Stream) enqueue(port string, args []byte, mode Mode) (*Pending, error) {
+func (s *Stream) enqueue(ctx context.Context, port string, args []byte, mode Mode) (*Pending, error) {
 	s.mu.Lock()
-	if s.pendingBreak {
-		err := s.pendingBreakReason
-		s.mu.Unlock()
-		return nil, err
-	}
-	if s.broken {
-		err := s.breakErr
-		s.mu.Unlock()
-		if err == nil {
-			err = exception.Unavailable("stream is broken")
+	for {
+		if s.pendingBreak {
+			err := s.pendingBreakReason
+			s.mu.Unlock()
+			return nil, err
 		}
-		return nil, err
+		if s.broken {
+			err := s.breakErr
+			s.mu.Unlock()
+			if err == nil {
+				err = exception.Unavailable("stream is broken")
+			}
+			return nil, err
+		}
+		if s.admitLocked() {
+			break
+		}
+		// Backpressure: the in-flight window (or the receiver's advertised
+		// credit) is exhausted. Park until resolution progress, a credit
+		// raise, or a break moves it — or the caller's context ends. Only
+		// credit exhaustion marks the controller epoch blocked: the local
+		// MaxInFlight window is self-imposed (a fast caller, not a slow
+		// receiver), and larger batches still help there.
+		if s.grantThrough > 0 && s.nextSeq > s.grantThrough {
+			s.adapt.epochBlocked = true
+		}
+		w := make(chan struct{})
+		s.flowWaiters = append(s.flowWaiters, w)
+		s.mu.Unlock()
+		sm := s.peer.sm
+		var start time.Time
+		if sm != nil {
+			sm.flowBlocked.Inc()
+			start = s.peer.clk.Now()
+		}
+		select {
+		case <-w:
+			if sm != nil {
+				sm.flowWait.ObserveDuration(s.peer.clk.Now().Sub(start))
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		s.mu.Lock()
 	}
 	seq := s.nextSeq
 	s.nextSeq++
@@ -304,11 +389,19 @@ func (s *Stream) enqueue(port string, args []byte, mode Mode) (*Pending, error) 
 	p.sm = s.peer.sm
 	p.clk = s.peer.clk
 	s.pending.put(seq, p)
-	if len(s.buffer) == 0 {
+	arm := len(s.buffer) == 0
+	if arm {
 		s.bufferedAt = s.peer.clk.Now()
+		s.lastArriveAt = s.bufferedAt
+	} else if s.peer.idleFlush > 0 {
+		// Each arrival pushes the quiescence deadline out; the flush loop
+		// sends the batch once arrivals pause for peer.idleFlush.
+		s.lastArriveAt = s.peer.clk.Now()
 	}
 	s.buffer = append(s.buffer, request{Seq: seq, Port: port, Mode: mode, Args: args, Trace: tid})
-	full := len(s.buffer) >= s.opts.MaxBatch || mode == ModeRPC
+	s.bufferBytes += reqWireSize(port, args)
+	full := len(s.buffer) >= s.batchLimitLocked() || mode == ModeRPC ||
+		(s.opts.MaxBatchBytes > 0 && s.bufferBytes >= s.opts.MaxBatchBytes)
 	s.mu.Unlock()
 	if sm := s.peer.sm; sm != nil {
 		sm.callsEnqueued.Inc()
@@ -318,18 +411,63 @@ func (s *Stream) enqueue(port string, args []byte, mode Mode) (*Pending, error) 
 	}
 	if full {
 		s.Flush()
+	} else if arm {
+		// First call of a new batch: arm the precise flush timer. The
+		// channel holds one pending signal; a dropped send means the loop
+		// is already due to re-check.
+		select {
+		case s.flushArm <- struct{}{}:
+		default:
+		}
 	}
 	return p, nil
+}
+
+// admitLocked reports whether a new call may enter the stream under flow
+// control. With MaxInFlight unset (0) admission is always granted and
+// receiver credit is ignored — the legacy unbounded window. Caller holds
+// s.mu.
+func (s *Stream) admitLocked() bool {
+	if s.opts.MaxInFlight <= 0 {
+		return true
+	}
+	if s.nextSeq-s.nextResolve >= uint64(s.opts.MaxInFlight) {
+		return false
+	}
+	if s.grantThrough > 0 && s.nextSeq > s.grantThrough {
+		return false
+	}
+	return true
+}
+
+// wakeFlowWaitersLocked wakes every enqueue parked on flow control; they
+// re-check admission (or observe the break) under the lock. Caller holds
+// s.mu.
+func (s *Stream) wakeFlowWaitersLocked() {
+	for _, w := range s.flowWaiters {
+		close(w)
+	}
+	s.flowWaiters = nil
 }
 
 // Flush transmits any buffered call requests now instead of waiting for
 // the batch to fill. ("Even without the flush, the system will send these
 // messages eventually; the flush merely speeds this up.")
-func (s *Stream) Flush() {
+func (s *Stream) Flush() { s.flush(false) }
+
+// flush transmits the buffered batch. timerClosed marks a flush initiated
+// by the flush-loop timer (quiescence pause or MaxBatchDelay bound)
+// rather than by count/byte closure or an explicit Flush — the adaptive
+// controller treats that as evidence the limit has outrun the arrival
+// process (see adaptNoteTimerFlushLocked).
+func (s *Stream) flush(timerClosed bool) {
 	s.mu.Lock()
 	if len(s.buffer) == 0 {
 		s.mu.Unlock()
 		return
+	}
+	if timerClosed {
+		s.adaptNoteTimerFlushLocked(len(s.buffer))
 	}
 	batch := s.buffer
 	s.unacked = append(s.unacked, batch...)
@@ -344,6 +482,7 @@ func (s *Stream) Flush() {
 		batch[i] = request{}
 	}
 	s.buffer = batch[:0]
+	s.bufferBytes = 0
 	s.mu.Unlock()
 	if sm := s.peer.sm; sm != nil {
 		sm.batchesSent.Inc()
@@ -463,6 +602,7 @@ func (s *Stream) breakInternal(reason *exception.Exception, restart bool) {
 
 	// Resolve every unresolved pending, in seq order, with the reason.
 	s.resolveAllLocked(reason)
+	s.wakeFlowWaitersLocked()
 	if restart {
 		s.reincarnateLocked()
 	}
@@ -483,6 +623,7 @@ func (s *Stream) resolveAllLocked(reason *exception.Exception) {
 		s.resolveOneLocked(seq, o)
 	}
 	s.buffer = nil
+	s.bufferBytes = 0
 	s.unacked = nil
 }
 
@@ -508,12 +649,25 @@ func (s *Stream) reincarnateLocked() {
 	s.recvEpoch = 0
 	s.lastProgressAt = s.peer.clk.Now()
 	s.buffer = nil
+	s.bufferBytes = 0
 	s.unacked = nil
 	s.ackedThrough = 0
 	s.completedThrough = 0
 	s.retries = 0
 	s.pending.reset()
 	s.heldReplies.reset()
+	// Credit was granted against the old incarnation's seq space.
+	s.grantThrough = 0
+	s.wakeFlowWaitersLocked()
+	// The adapted limit carries over — network conditions did not change
+	// with the incarnation — but the measurement epoch restarts.
+	s.adapt.epochStart = s.lastProgressAt
+	s.adapt.epochResolved = 0
+	s.adapt.epochRetrans = false
+	s.adapt.epochBlocked = false
+	s.adapt.regressEpochs = 0
+	s.adapt.holdEpochs = 0
+	s.adapt.lastRate = 0
 }
 
 // resolveOneLocked resolves pending seq with outcome o and advances the
@@ -536,11 +690,16 @@ func (s *Stream) resolveOneLocked(seq uint64, o Outcome) {
 			trace.CallID(s.keyHash, s.incarnation, seq), detail)
 	}
 	s.nextResolve = seq + 1
-	// Wake synch waiters; they re-check their condition.
+	if s.adapt.enabled {
+		s.adapt.epochResolved++
+	}
+	// Wake synch waiters; they re-check their condition. Resolution also
+	// frees an in-flight window slot, so flow-blocked enqueues re-check.
 	for _, w := range s.synchWaiters {
 		close(w)
 	}
 	s.synchWaiters = nil
+	s.wakeFlowWaitersLocked()
 }
 
 // handleReplyBatch integrates a reply batch from the receiver.
@@ -564,8 +723,15 @@ func (s *Stream) handleReplyBatch(b *replyBatch) {
 	s.recvEpoch = b.Epoch
 	// Hearing anything valid from the receiver is progress: the link and
 	// the receiver are alive, so hold off probe-based breaking.
-	s.lastProgressAt = s.peer.clk.Now()
+	now := s.peer.clk.Now()
+	s.lastProgressAt = now
 	s.retries = 0
+	// Admission credit only ever moves forward within an incarnation, so
+	// taking the max makes reordered reply batches harmless.
+	if b.Credit > s.grantThrough {
+		s.grantThrough = b.Credit
+		s.wakeFlowWaitersLocked()
+	}
 	// Receiver acked our requests; prune retransmission state.
 	if b.AckRequestsThrough > s.ackedThrough {
 		s.ackedThrough = b.AckRequestsThrough
@@ -589,6 +755,7 @@ func (s *Stream) handleReplyBatch(b *replyBatch) {
 		}
 	}
 	s.drainResolvableLocked()
+	s.adaptMaybeAdjustLocked(now)
 	s.finalizeBreakIfDrainedLocked()
 }
 
@@ -682,7 +849,9 @@ func (s *Stream) finalizeBreakLocked() {
 		}
 	}
 	s.buffer = nil
+	s.bufferBytes = 0
 	s.unacked = nil
+	s.wakeFlowWaitersLocked()
 	if s.opts.AutoRestart {
 		s.reincarnateLocked()
 	}
@@ -711,28 +880,13 @@ func (s *Stream) tick(now time.Time) {
 		return
 	}
 	sm := s.peer.sm
-	// Age-based flush.
-	if len(s.buffer) > 0 && now.Sub(s.bufferedAt) >= s.opts.MaxBatchDelay {
-		batch := s.buffer
-		s.unacked = append(s.unacked, batch...)
-		s.lastSendAt = now
-		toSend = s.buildRequestBatchLocked(batch)
-		if sm != nil {
-			sm.batchesSent.Inc()
-			sm.batchCalls.Observe(uint64(len(batch)))
-			sm.batchBytes.Observe(uint64(len(toSend)))
-			sm.windowCalls.Observe(s.nextSeq - s.nextResolve)
-		}
-		if s.peer.tracing() {
-			s.peer.emit(trace.BatchSent, s.keyStr, batch[0].Seq, 0, fmt.Sprintf("n=%d aged", len(batch)))
-		}
-		for i := range batch {
-			batch[i] = request{}
-		}
-		s.buffer = batch[:0]
-	} else if len(s.unacked) > 0 && now.Sub(s.lastSendAt) >= s.opts.RTO {
+	// Age-based flushes are NOT handled here: flushLoop schedules a
+	// precise per-batch timer at bufferedAt+MaxBatchDelay, so a buffered
+	// batch never waits out the tick quantization on top of its delay.
+	if len(s.unacked) > 0 && now.Sub(s.lastSendAt) >= s.opts.RTO {
 		// Retransmission of everything not yet acked.
 		s.retries++
+		s.adapt.epochRetrans = true
 		if sm != nil {
 			sm.rtoFires.Inc()
 		}
@@ -800,4 +954,58 @@ func (s *Stream) tick(now time.Time) {
 // it could release if we told it. Caller holds s.mu.
 func (s *Stream) ackRepliesOwedLocked() bool {
 	return s.nextResolve-1 > s.lastAckedReplies
+}
+
+// flushLoop runs the stream's precise age-flush timer: parked until
+// enqueue signals that the buffer went non-empty (flushArm), it then
+// sleeps to exactly bufferedAt+MaxBatchDelay and flushes whatever is
+// still buffered. The peer tick used to do this on its coarse interval,
+// which let a batch wait up to a full tick beyond MaxBatchDelay; a timer
+// through the clock removes the quantization (and stays deterministic
+// under the virtual clock, where timer waiters fire at exact instants).
+// The goroutine exits with the peer context; an idle stream costs one
+// parked goroutine and no timer.
+func (s *Stream) flushLoop() {
+	defer s.peer.wg.Done()
+	var t clock.Timer
+	defer func() {
+		if t != nil {
+			t.Stop()
+		}
+	}()
+	for {
+		select {
+		case <-s.peer.ctx.Done():
+			return
+		case <-s.flushArm:
+		}
+		for {
+			s.mu.Lock()
+			if len(s.buffer) == 0 {
+				s.mu.Unlock()
+				break // flushed by count/bytes/Flush; park until re-armed
+			}
+			due := s.bufferedAt.Add(s.opts.MaxBatchDelay)
+			if idle := s.peer.idleFlush; idle > 0 {
+				if d := s.lastArriveAt.Add(idle); d.Before(due) {
+					due = d // quiescence: arrivals paused, stop waiting for more
+				}
+			}
+			s.mu.Unlock()
+			if wait := due.Sub(s.peer.clk.Now()); wait > 0 {
+				if t == nil {
+					t = s.peer.clk.NewTimer(wait)
+				} else {
+					t.Reset(wait)
+				}
+				select {
+				case <-s.peer.ctx.Done():
+					return
+				case <-t.C():
+				}
+				continue // re-check: the batch may have flushed meanwhile
+			}
+			s.flush(true)
+		}
+	}
 }

@@ -164,6 +164,33 @@ type Options struct {
 	AutoRestart bool
 	// NoAutoRestart disables AutoRestart (zero-value ergonomics).
 	NoAutoRestart bool
+	// AdaptiveBatch enables the online batch-size controller: MaxBatch
+	// becomes the starting point, and the limit is then hill-climbed on
+	// observed goodput (with a multiplicative cut on retransmission
+	// evidence, AIMD style). Default off, so a fixed MaxBatch keeps its
+	// exact historical behavior.
+	AdaptiveBatch bool
+	// MaxBatchBytes closes a batch once its encoded payload reaches this
+	// many bytes, independent of the call count — replies batch under the
+	// same budget at the receiver. 0 (the default) derives the budget from
+	// the network's cost model when AdaptiveBatch is on (the byte cost
+	// that dwarfs one kernel call, clamped to [1 KiB, 256 KiB]) and
+	// disables byte closure otherwise; negative disables it always.
+	MaxBatchBytes int
+	// MaxInFlight, when positive, bounds the sender's unresolved-call
+	// window: Call/Send/RPC block (honoring their context) once
+	// MaxInFlight calls are outstanding, and additionally respect the
+	// admission credit the receiver advertises in reply batches. 0 (the
+	// default) keeps the legacy unbounded window and ignores credit.
+	MaxInFlight int
+	// RecvWindow is how many calls past its completed prefix the receiver
+	// advertises as admission credit to flow-controlled senders.
+	// Default 4096.
+	RecvWindow int
+	// ExecWorkers caps the peer-wide worker pool that runs parallel-port
+	// calls (Peer.SetParallelPorts); serial calls still run on their
+	// stream's executor. Default 16.
+	ExecWorkers int
 	// Clock is the peer's time source: tick loop, RTO and batching-delay
 	// staleness, break timeouts, trace timestamps. Default: the clock of
 	// the simnet network the peer's node belongs to, so configuring a
@@ -188,6 +215,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxRetries <= 0 {
 		o.MaxRetries = 8
+	}
+	if o.RecvWindow <= 0 {
+		o.RecvWindow = 4096
+	}
+	if o.ExecWorkers <= 0 {
+		o.ExecWorkers = 16
 	}
 	o.AutoRestart = !o.NoAutoRestart
 	return o
@@ -248,6 +281,12 @@ type replyBatch struct {
 	AckRequestsThrough uint64 // receiver holds requests through this seq
 	CompletedThrough   uint64 // receiver has executed calls through this seq
 	Replies            []reply
+	// Credit is the admission grant: the receiver will accept request
+	// seqs through this value (its completed prefix plus RecvWindow).
+	// Carried as a trailing 9th top-level value, so legacy decoders skip
+	// it; 0 means the batch came from a legacy receiver that advertises
+	// no credit, and flow-controlled senders then apply MaxInFlight only.
+	Credit uint64
 }
 
 // breakMsg notifies the other end that the stream broke.
@@ -315,10 +354,15 @@ func encodeRequestBatch(b requestBatch) []byte {
 	return finishEncode(bp, buf)
 }
 
+// encodeReplyBatch writes the versioned reply-batch format: the eight
+// original values, then the trailing admission credit. As with request
+// batches, the header count (9 vs the legacy 8) is the version signal;
+// legacy decoders read exactly the values their header promised and never
+// see the credit, so old senders accept new batches unchanged.
 func encodeReplyBatch(b replyBatch) []byte {
 	bp := encodeScratch.Get().(*[]byte)
 	buf := (*bp)[:0]
-	buf = wire.AppendHeader(buf, 8)
+	buf = wire.AppendHeader(buf, 9)
 	buf = wire.AppendInt(buf, kindReplyBatch)
 	buf = wire.AppendString(buf, b.Agent)
 	buf = wire.AppendString(buf, b.Group)
@@ -334,6 +378,7 @@ func encodeReplyBatch(b replyBatch) []byte {
 		buf = wire.AppendString(buf, r.Outcome.Exception)
 		buf = wire.AppendBytes(buf, r.Outcome.Payload)
 	}
+	buf = wire.AppendInt(buf, int64(b.Credit))
 	return finishEncode(bp, buf)
 }
 
@@ -423,7 +468,7 @@ func decodeMessage(payload []byte) (kind int64, rb *requestBatch, pb *replyBatch
 		b.Agent = internString(agent)
 		b.Group = internString(group)
 		b.Incarnation = uint64(inc)
-		if err := decodeReplies(&d, b); err != nil {
+		if err := decodeReplies(&d, b, nvals); err != nil {
 			releaseReplyBatch(b)
 			return 0, nil, nil, nil, err
 		}
@@ -504,8 +549,11 @@ func decodeRequests(d *wire.Decoder, b *requestBatch, nvals int) error {
 }
 
 // decodeReplies reads the [epoch, ackRequestsThrough, completedThrough,
-// [[seq, normal, excName, payload], ...]] tail of a reply batch into b.
-func decodeReplies(d *wire.Decoder, b *replyBatch) error {
+// [[seq, normal, excName, payload], ...]] tail of a reply batch into b,
+// plus — when the message header promised a 9th value (the versioned
+// format) — the trailing admission credit. Legacy 8-value batches leave
+// Credit at 0 (no credit advertised).
+func decodeReplies(d *wire.Decoder, b *replyBatch, nvals int) error {
 	epoch, err := d.Int()
 	if err != nil {
 		return err
@@ -552,6 +600,14 @@ func decodeReplies(d *wire.Decoder, b *replyBatch) error {
 			Outcome: Outcome{Normal: norm, Exception: internString(exc), Payload: pl},
 		})
 	}
+	if nvals < 9 {
+		return nil // legacy receiver: no admission credit on the wire
+	}
+	credit, err := d.Int()
+	if err != nil {
+		return err
+	}
+	b.Credit = uint64(credit)
 	return nil
 }
 
