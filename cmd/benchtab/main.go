@@ -23,11 +23,12 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id(s): e1..e10, comma-separated, or 'all'")
-		quick   = flag.Bool("quick", false, "run at smoke-test scale")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		metrics = flag.Bool("metrics", false, "append a metrics-registry snapshot after the tables")
-		virtual = flag.Bool("virtual", false, "run on a virtual clock: modeled costs elapse instantly and tables are deterministic (E6 and A3 measure CPU and need the real clock)")
+		exp      = flag.String("exp", "all", "experiment id(s): e1..e10, comma-separated, or 'all'")
+		quick    = flag.Bool("quick", false, "run at smoke-test scale")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		metrics  = flag.Bool("metrics", false, "append a metrics-registry snapshot after the tables")
+		virtual  = flag.Bool("virtual", false, "run on a virtual clock: modeled costs elapse instantly and tables are deterministic (E6 and A3 measure CPU and need the real clock)")
+		parallel = flag.Bool("parallel", false, "run only the E12 multicore sharding sweep (GOMAXPROCS x shard counts) at full scale")
 	)
 	flag.Parse()
 
@@ -42,6 +43,9 @@ func main() {
 	}
 
 	var ids []string
+	if *parallel {
+		*exp = "E12"
+	}
 	switch *exp {
 	case "all", "":
 		for _, e := range bench.Experiments() {

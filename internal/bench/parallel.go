@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"promises/internal/simnet"
+	"promises/internal/stream"
+)
+
+// E12ParallelScaling measures experiment E12: per-core scaling of the
+// sharded stream hot path. The claim under test is structural, not from
+// the paper: once the per-call round trip is allocation-free, the
+// remaining cost is lock traffic on the stream's global state, and
+// sharding the hot path (per-shard batch assembly on the sender,
+// per-shard completion tracking and shard-pinned parallel execution on
+// the receiver) lets concurrent callers on a multicore box scale instead
+// of serializing.
+//
+// Like E6 this measures CPU, so it runs on the wall clock and a zero-cost
+// network: no modeled kernel/propagation charges, no virtual time — every
+// nanosecond in the table is hot-path work. Each combination pins
+// GOMAXPROCS, drives `callers` goroutines issuing windowed calls against
+// a parallel echo port, and reports throughput plus the speedup over the
+// shards=1 row at the same GOMAXPROCS.
+func E12ParallelScaling(procs, shardCounts []int, callers, perCaller int) *Table {
+	t := &Table{
+		ID:     "E12",
+		Title:  "multicore sharding scaling",
+		Claim:  "sharding the zero-alloc hot path turns concurrent callers from lock convoy into per-core scaling",
+		Header: []string{"gomaxprocs", "shards", "calls/s", "ns/call", "vs shards=1"},
+	}
+	total := callers * perCaller
+	for _, p := range procs {
+		var base time.Duration
+		for _, sc := range shardCounts {
+			elapsed := runParallelCombo(p, sc, callers, perCaller)
+			if sc == shardCounts[0] {
+				base = elapsed
+			}
+			t.AddRow(
+				fmt.Sprintf("%d", p),
+				fmt.Sprintf("%d", sc),
+				persec(total, elapsed),
+				fmt.Sprintf("%d", elapsed.Nanoseconds()/int64(total)),
+				ratio(base, elapsed),
+			)
+		}
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("%d callers x %d calls, window 64, parallel echo port, zero-cost network, wall clock", callers, perCaller))
+	if n := runtime.NumCPU(); n < maxInt(procs) {
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"runner has %d CPU core(s): GOMAXPROCS above %d adds no real parallelism, so rows measure sharding overhead, not scaling",
+			n, n))
+	}
+	return t
+}
+
+func maxInt(xs []int) int {
+	m := 0
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// runParallelCombo times one (GOMAXPROCS, shards) cell: callers
+// goroutines each issue perCaller calls in windows of 64 against a
+// parallel echo port on raw stream peers.
+func runParallelCombo(procs, shards, callers, perCaller int) time.Duration {
+	old := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(old)
+
+	workers := procs
+	if workers < 4 {
+		workers = 4
+	}
+	opts := stream.Options{MaxBatch: 16, Shards: shards, ExecWorkers: workers}
+	n := simnet.New(simnet.Config{})
+	defer n.Close()
+	client := stream.NewPeer(n.MustAddNode("client"), opts)
+	server := stream.NewPeer(n.MustAddNode("server"), opts)
+	defer func() {
+		client.Close()
+		server.Close()
+	}()
+	echo := func(call *stream.Incoming) stream.Outcome {
+		return stream.NormalOutcome(call.Args)
+	}
+	server.SetDispatcher(func(port string) (stream.Handler, bool) { return echo, true })
+	server.SetParallelPorts(func(port string) bool { return true })
+
+	s := client.Agent("bench").Stream("server", "g")
+	arg := payload(32)
+	ctx := context.Background()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for g := 0; g < callers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			const window = 64
+			pendings := make([]stream.Pending, 0, window)
+			drain := func() {
+				s.Flush()
+				for _, p := range pendings {
+					if _, err := p.Wait(ctx); err != nil {
+						panic(err)
+					}
+					p.Release()
+				}
+				pendings = pendings[:0]
+			}
+			for i := 0; i < perCaller; i++ {
+				p, err := s.Call(EchoPort, arg)
+				if err != nil {
+					panic(err)
+				}
+				pendings = append(pendings, p)
+				if len(pendings) == window {
+					drain()
+				}
+			}
+			drain()
+		}()
+	}
+	wg.Wait()
+	return time.Since(start)
+}

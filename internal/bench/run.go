@@ -83,6 +83,15 @@ func Experiments() []Experiment {
 			Quick: func() *Table { return E10SendRecv(32) },
 		},
 		{
+			ID: "E12", Title: "multicore sharding scaling",
+			Run: func() *Table {
+				return E12ParallelScaling([]int{1, 2, 4, 8}, []int{1, 2, 4, 8}, 8, 2000)
+			},
+			Quick: func() *Table {
+				return E12ParallelScaling([]int{1, 2}, []int{1, 4}, 2, 200)
+			},
+		},
+		{
 			ID: "E11", Title: "adaptive batching and flow control",
 			Run: func() *Table {
 				return E11AdaptiveBatching([]int{8, 16, 32, 64}, []int{8, 1024}, 4096, 512)

@@ -307,12 +307,21 @@ func (v *Virtual) Waiters() int {
 func (v *Virtual) Settle() {
 	last := v.activity.Load()
 	stable, rounds := 0, 0
-	for stable < 2 {
+	// With GOMAXPROCS > 1 a just-woken goroutine may sit runnable on
+	// another P for longer than a burst of yields, so quiescence needs
+	// more consecutive quiet observations — and an occasional real
+	// micro-sleep — before it is believed. Single-P runs keep the cheap
+	// fast path.
+	need := 2
+	if runtime.GOMAXPROCS(0) > 1 {
+		need = 4
+	}
+	for stable < need {
 		for i := 0; i < 64; i++ {
 			runtime.Gosched()
 		}
 		rounds++
-		if rounds%8 == 0 {
+		if rounds%8 == 0 || (stable > 0 && need > 2) {
 			// A periodic real micro-sleep (never a virtual one) lets
 			// runnable goroutines on other Ps get CPU if pure yielding
 			// starves them. Kept off the fast path: an OS sleep has a

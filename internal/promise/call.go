@@ -2,6 +2,7 @@ package promise
 
 import (
 	"context"
+	"sync"
 
 	"promises/internal/exception"
 	"promises/internal/stream"
@@ -75,10 +76,47 @@ func RPC[T any](ctx context.Context, s *stream.Stream, port string, dec Decoder[
 	return decodeOutcome(outcome, dec)
 }
 
+// pendingSource adapts a stream.Pending handle to the promise source
+// interface under the transport's claim-then-release discipline: the
+// decode claims the outcome exactly once and immediately releases the
+// pooled cell behind the handle. After the release, the source answers
+// Ready from its own latch (and Done from the channel captured at wrap
+// time), so the promise never touches the recycled handle again.
+type pendingSource struct {
+	done <-chan struct{}
+
+	mu    sync.Mutex
+	p     stream.Pending
+	freed bool
+}
+
+func (ps *pendingSource) Done() <-chan struct{} { return ps.done }
+
+func (ps *pendingSource) Ready() bool {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if ps.freed {
+		return true
+	}
+	return ps.p.Ready()
+}
+
+// claimAndFree blocks for the outcome, then recycles the transport cell.
+// Called exactly once, from the promise's once-guarded decode.
+func (ps *pendingSource) claimAndFree() stream.Outcome {
+	o := ps.p.Get()
+	ps.mu.Lock()
+	ps.freed = true // Ready answers from the latch from here on
+	ps.mu.Unlock()
+	ps.p.Release()
+	return o
+}
+
 // wrapPending builds the typed promise over a transport pending.
-func wrapPending[T any](p *stream.Pending, dec Decoder[T]) *Promise[T] {
-	return fromSource(p, func() (T, *exception.Exception) {
-		v, err := decodeOutcome(p.Get(), dec)
+func wrapPending[T any](p stream.Pending, dec Decoder[T]) *Promise[T] {
+	ps := &pendingSource{p: p, done: p.Done()}
+	return fromSource(ps, func() (T, *exception.Exception) {
+		v, err := decodeOutcome(ps.claimAndFree(), dec)
 		if err != nil {
 			ex, ok := exception.As(err)
 			if !ok {

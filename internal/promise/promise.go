@@ -54,8 +54,9 @@ type Promise[T any] struct {
 }
 
 // source is the transport-level backing of a stream-call promise. It is
-// satisfied by *stream.Pending (via an adapter in call.go) but kept
-// abstract so promises do not depend on one transport.
+// satisfied by the stream.Pending adapter in call.go (which claims and
+// then releases the transport's pooled cell) but kept abstract so
+// promises do not depend on one transport.
 type source interface {
 	Done() <-chan struct{}
 	Ready() bool

@@ -27,7 +27,7 @@ func TestByteBudgetClosesBatches(t *testing.T) {
 
 	s := f.client.Agent("a1").Stream("server", "g1")
 	arg := make([]byte, 64)
-	ps := make([]*Pending, 8)
+	ps := make([]Pending, 8)
 	for i := range ps {
 		p, err := s.Call("echo", arg)
 		if err != nil {
@@ -67,7 +67,7 @@ func TestMaxInFlightBoundsWindowAndUnblocks(t *testing.T) {
 	})
 
 	s := f.client.Agent("a1").Stream("server", "g1")
-	ps := make([]*Pending, 4)
+	ps := make([]Pending, 4)
 	for i := range ps {
 		p, err := s.Call("gate", []byte{byte(i)})
 		if err != nil {
@@ -79,7 +79,7 @@ func TestMaxInFlightBoundsWindowAndUnblocks(t *testing.T) {
 		t.Fatalf("InFlight = %d after filling the window, want 4", got)
 	}
 
-	fifth := make(chan *Pending, 1)
+	fifth := make(chan Pending, 1)
 	errCh := make(chan error, 1)
 	go func() {
 		p, err := s.Call("gate", []byte{4})
@@ -121,7 +121,7 @@ func TestCallCtxCanceledWhileBlocked(t *testing.T) {
 	})
 
 	s := f.client.Agent("a1").Stream("server", "g1")
-	ps := make([]*Pending, 2)
+	ps := make([]Pending, 2)
 	for i := range ps {
 		p, err := s.Call("gate", nil)
 		if err != nil {
@@ -168,7 +168,7 @@ func TestBreakUnblocksFlowWaiters(t *testing.T) {
 	})
 
 	s := f.client.Agent("a1").Stream("server", "g1")
-	ps := make([]*Pending, 2)
+	ps := make([]Pending, 2)
 	for i := range ps {
 		p, err := s.Call("gate", nil)
 		if err != nil {
@@ -216,7 +216,7 @@ func TestFlowControlAcrossReincarnation(t *testing.T) {
 		t.Fatal(err)
 	}
 	type res struct {
-		p   *Pending
+		p   Pending
 		err error
 	}
 	ch := make(chan res, 1)
@@ -227,7 +227,7 @@ func TestFlowControlAcrossReincarnation(t *testing.T) {
 
 	// Retries exhaust against the partition: the first two calls resolve
 	// unavailable and the stream reincarnates.
-	for _, p := range []*Pending{p1, p2} {
+	for _, p := range []Pending{p1, p2} {
 		if o := claim(t, p); o.Normal {
 			t.Fatalf("call during partition = %+v, want exception", o)
 		}
@@ -541,7 +541,7 @@ func TestOverloadBoundsWindowAndWorkers(t *testing.T) {
 
 	s := f.client.Agent("a1").Stream("server", "g1")
 	const n = 256
-	ps := make([]*Pending, 0, n)
+	ps := make([]Pending, 0, n)
 	maxWindow := 0
 	for i := 0; i < n; i++ {
 		p, err := s.Call("work", nil)
@@ -607,7 +607,7 @@ func TestExactlyOnceUnderLossWithFlowControl(t *testing.T) {
 
 			s := f.client.Agent("a1").Stream("server", "g1")
 			const n = 150
-			ps := make([]*Pending, n)
+			ps := make([]Pending, n)
 			for i := range ps {
 				// Blocks when the window fills; resolution progress admits.
 				p, err := s.Call("rec", []byte{byte(i), byte(i >> 8)})

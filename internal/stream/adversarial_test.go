@@ -42,7 +42,7 @@ func TestExactlyOnceUnderLossDupReorder(t *testing.T) {
 
 			s := f.client.Agent("a1").Stream("server", "g1")
 			const n = 150
-			ps := make([]*Pending, n)
+			ps := make([]Pending, n)
 			for i := range ps {
 				p, err := s.Call("rec", []byte{byte(i), byte(i >> 8)})
 				if err != nil {
@@ -127,7 +127,7 @@ func TestExecutorBacklogPressure(t *testing.T) {
 
 	s := f.client.Agent("a1").Stream("server", "g1")
 	const n = 1500 // exceeds the 1024-deep executor channel
-	ps := make([]*Pending, n)
+	ps := make([]Pending, n)
 	for i := range ps {
 		p, err := s.Call("step", []byte{byte(i), byte(i >> 8)})
 		if err != nil {

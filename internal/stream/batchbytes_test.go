@@ -20,7 +20,7 @@ func measureBytesPerCall(t *testing.T, window, total int) float64 {
 	s := client.Agent("bytes").Stream("server", "g")
 	arg := make([]byte, 32)
 	ctx := context.Background()
-	pendings := make([]*Pending, 0, window)
+	pendings := make([]Pending, 0, window)
 	for i := 0; i < total; i++ {
 		p, err := s.Call("echo", arg)
 		if err != nil {

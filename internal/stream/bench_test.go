@@ -33,7 +33,8 @@ func benchWorldCfg(b *testing.B, cfg simnet.Config, opts Options) (*Peer, func()
 // the stream fast path — enqueue, batch encode, simnet transfer, receiver
 // execute, reply, promise resolution — with a bounded window of calls in
 // flight. allocs/op is the headline number: it covers every allocation on
-// the call's whole round trip.
+// the call's whole round trip, and with pooled Pending cells and pooled
+// Incoming scratch it reads 0 — only amortized per-batch costs remain.
 func BenchmarkStreamCallThroughput(b *testing.B) {
 	client, cleanup := benchWorld(b, Options{MaxBatch: 16})
 	defer cleanup()
@@ -41,7 +42,7 @@ func BenchmarkStreamCallThroughput(b *testing.B) {
 	arg := make([]byte, 32)
 
 	const window = 256
-	pendings := make([]*Pending, 0, window)
+	pendings := make([]Pending, 0, window)
 	ctx := context.Background()
 
 	b.ReportAllocs()
@@ -58,6 +59,7 @@ func BenchmarkStreamCallThroughput(b *testing.B) {
 				if _, err := p.Wait(ctx); err != nil {
 					b.Fatalf("Wait: %v", err)
 				}
+				p.Release()
 			}
 			pendings = pendings[:0]
 		}
@@ -67,6 +69,50 @@ func BenchmarkStreamCallThroughput(b *testing.B) {
 		if _, err := p.Wait(ctx); err != nil {
 			b.Fatalf("Wait: %v", err)
 		}
+		p.Release()
+	}
+}
+
+// BenchmarkStreamCallThroughputSharded runs the same bounded-window round
+// trip with the hot path sharded across GOMAXPROCS shards and the
+// receiver's parallel port executed on shard-pinned workers. On a
+// single-P runner this measures sharding overhead (the per-shard batch
+// assembly and watermark fold); on a multicore runner, scaling.
+func BenchmarkStreamCallThroughputSharded(b *testing.B) {
+	client, cleanup := benchWorld(b, Options{MaxBatch: 16, Shards: AutoShards, ExecWorkers: 4})
+	defer cleanup()
+	s := client.Agent("bench").Stream("server", "g")
+	arg := make([]byte, 32)
+
+	const window = 256
+	pendings := make([]Pending, 0, window)
+	ctx := context.Background()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := s.Call("echo", arg)
+		if err != nil {
+			b.Fatalf("Call: %v", err)
+		}
+		pendings = append(pendings, p)
+		if len(pendings) == window {
+			s.Flush()
+			for _, p := range pendings {
+				if _, err := p.Wait(ctx); err != nil {
+					b.Fatalf("Wait: %v", err)
+				}
+				p.Release()
+			}
+			pendings = pendings[:0]
+		}
+	}
+	s.Flush()
+	for _, p := range pendings {
+		if _, err := p.Wait(ctx); err != nil {
+			b.Fatalf("Wait: %v", err)
+		}
+		p.Release()
 	}
 }
 
@@ -81,7 +127,7 @@ func BenchmarkStreamCallThroughputWithMetrics(b *testing.B) {
 	arg := make([]byte, 32)
 
 	const window = 256
-	pendings := make([]*Pending, 0, window)
+	pendings := make([]Pending, 0, window)
 	ctx := context.Background()
 
 	b.ReportAllocs()
@@ -98,6 +144,7 @@ func BenchmarkStreamCallThroughputWithMetrics(b *testing.B) {
 				if _, err := p.Wait(ctx); err != nil {
 					b.Fatalf("Wait: %v", err)
 				}
+				p.Release()
 			}
 			pendings = pendings[:0]
 		}
@@ -107,13 +154,14 @@ func BenchmarkStreamCallThroughputWithMetrics(b *testing.B) {
 		if _, err := p.Wait(ctx); err != nil {
 			b.Fatalf("Wait: %v", err)
 		}
+		p.Release()
 	}
 }
 
 // BenchmarkStreamCallThroughputAdaptive is the round trip with the
 // adaptive batch controller and credit flow control on (a MaxInFlight
 // window wider than the claim window, so admission never blocks). The
-// allocs/op budget is the same 2 as the uninstrumented fast path.
+// allocs/op budget is the same 0 as the uninstrumented fast path.
 func BenchmarkStreamCallThroughputAdaptive(b *testing.B) {
 	client, cleanup := benchWorld(b, Options{MaxBatch: 16, AdaptiveBatch: true, MaxInFlight: 512})
 	defer cleanup()
@@ -121,7 +169,7 @@ func BenchmarkStreamCallThroughputAdaptive(b *testing.B) {
 	arg := make([]byte, 32)
 
 	const window = 256
-	pendings := make([]*Pending, 0, window)
+	pendings := make([]Pending, 0, window)
 	ctx := context.Background()
 
 	b.ReportAllocs()
@@ -138,6 +186,7 @@ func BenchmarkStreamCallThroughputAdaptive(b *testing.B) {
 				if _, err := p.Wait(ctx); err != nil {
 					b.Fatalf("Wait: %v", err)
 				}
+				p.Release()
 			}
 			pendings = pendings[:0]
 		}
@@ -147,6 +196,7 @@ func BenchmarkStreamCallThroughputAdaptive(b *testing.B) {
 		if _, err := p.Wait(ctx); err != nil {
 			b.Fatalf("Wait: %v", err)
 		}
+		p.Release()
 	}
 }
 

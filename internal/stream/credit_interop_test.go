@@ -185,7 +185,7 @@ func TestForeignReceiverCreditRespected(t *testing.T) {
 	}
 
 	const n = 12
-	pch := make(chan *Pending, n)
+	pch := make(chan Pending, n)
 	go func() {
 		for i := 1; i < n; i++ {
 			p, err := s.Call("echo", []byte{byte(i)})
@@ -274,7 +274,7 @@ func TestFlowControlSenderWithLegacyReceiver(t *testing.T) {
 	s := client.Agent("a1").Stream("foreign", "g1")
 
 	const n = 10
-	pch := make(chan *Pending, n)
+	pch := make(chan Pending, n)
 	go func() {
 		for i := 0; i < n; i++ {
 			p, err := s.Call("echo", []byte{byte(i)})

@@ -78,7 +78,7 @@ func TestForeignReceiverInterop(t *testing.T) {
 	s := client.Agent("a1").Stream("foreign", "g1")
 
 	words := []string{"promise", "stream", "claim"}
-	ps := make([]*Pending, len(words))
+	ps := make([]Pending, len(words))
 	for i, w := range words {
 		args, err := wire.Marshal(w)
 		if err != nil {

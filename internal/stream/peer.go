@@ -48,6 +48,15 @@ type Peer struct {
 	execWorkers atomic.Int32
 	execWG      sync.WaitGroup
 
+	// With sharding on (opts.Shards > 1), parallel-port execution is
+	// pinned instead of pooled: channel i feeds the one worker that owns
+	// reply shard i, so a call's continuation completes on the same
+	// worker — and typically the same core — as its reply slot, instead of
+	// bouncing the shard's reply state between pool workers. nil when
+	// Shards <= 1 (the shared pool keeps its exact historical behavior).
+	execShards  []chan execTask
+	execShardOn []atomic.Bool // worker-spawned flags, one per shard
+
 	ctx    context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
@@ -86,6 +95,13 @@ func NewPeer(node *simnet.Node, opts Options) *Peer {
 		execTasks: make(chan execTask, 2*opts.ExecWorkers),
 		ctx:       ctx,
 		cancel:    cancel,
+	}
+	if opts.Shards > 1 {
+		p.execShards = make([]chan execTask, opts.Shards)
+		p.execShardOn = make([]atomic.Bool, opts.Shards)
+		for i := range p.execShards {
+			p.execShards[i] = make(chan execTask, 2*opts.ExecWorkers)
+		}
 	}
 	p.wg.Add(2)
 	go p.recvLoop()
@@ -202,12 +218,14 @@ func (p *Peer) senderStream(key streamKey) *Stream {
 		s = newStream(p, key, p.opts)
 		p.sends[key] = s
 		if !p.closed {
-			// The stream's precise age-flush timer (sender.go flushLoop).
+			// The per-shard precise age-flush timers (sender.go flushLoop).
 			// A stream created in a race with Close gets none: the peer is
 			// dead and its transmits are no-ops anyway, and wg.Add after
 			// wg.Wait would race.
-			p.wg.Add(1)
-			go s.flushLoop()
+			for i := range s.shards {
+				p.wg.Add(1)
+				go s.flushLoop(&s.shards[i])
+			}
 		}
 	}
 	return s
@@ -221,6 +239,22 @@ func (p *Peer) senderStream(key streamKey) *Stream {
 // executor — has drained), so an accepted task is always executed and
 // its outstanding count always released.
 func (p *Peer) submitParallel(r *rstream, req request) bool {
+	if p.execShards != nil {
+		// Sharded pinning: the call runs on the worker that owns its
+		// reply shard, so the continuation lands where its reply slot
+		// lives instead of bouncing the shard between pool workers.
+		i := req.Seq % uint64(len(p.execShards))
+		if !p.execShardOn[i].Load() && p.execShardOn[i].CompareAndSwap(false, true) {
+			p.execWG.Add(1)
+			go p.execShardWorker(p.execShards[i])
+		}
+		select {
+		case p.execShards[i] <- execTask{r: r, req: req}:
+			return true
+		case <-p.ctx.Done():
+			return false
+		}
+	}
 	if n := p.execWorkers.Load(); int(n) < p.opts.ExecWorkers {
 		if p.execWorkers.CompareAndSwap(n, n+1) {
 			p.execWG.Add(1)
@@ -241,8 +275,20 @@ func (p *Peer) submitParallel(r *rstream, req request) bool {
 // finish.
 func (p *Peer) execWorker() {
 	defer p.execWG.Done()
+	var scratch Incoming // reused across calls; retired after each
 	for t := range p.execTasks {
-		t.r.executeOne(t.req)
+		t.r.executeOne(t.req, &scratch)
+		t.r.outstanding.Done()
+	}
+}
+
+// execShardWorker is the pinned variant: it owns every parallel-port
+// call whose reply lives in one shard.
+func (p *Peer) execShardWorker(ch chan execTask) {
+	defer p.execWG.Done()
+	var scratch Incoming
+	for t := range ch {
+		t.r.executeOne(t.req, &scratch)
 		t.r.outstanding.Done()
 	}
 }
@@ -447,5 +493,8 @@ func (p *Peer) Close() {
 	// Every submitter (the executors, tracked in wg) has exited; the pool
 	// can now drain its remaining tasks and stop.
 	close(p.execTasks)
+	for _, ch := range p.execShards {
+		close(ch)
+	}
 	p.execWG.Wait()
 }

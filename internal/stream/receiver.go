@@ -18,6 +18,14 @@ var epochCounter atomic.Uint64
 func nextEpoch() uint64 { return epochCounter.Add(1) }
 
 // Incoming describes one call request being executed at the receiver.
+//
+// The struct handed to a handler is a per-executor scratch that is
+// recycled as soon as the handler returns: its fields are valid only for
+// the duration of the handler. A handler that needs the call past its own
+// return must take a Clone; retaining the original is a bug — the scratch
+// is poisoned at retirement, so later reads see zero values and a later
+// BreakStream panics instead of silently corrupting whichever call reuses
+// the scratch.
 type Incoming struct {
 	From  string // sender node name
 	Agent string
@@ -28,15 +36,42 @@ type Incoming struct {
 	Args  []byte // encoded argument list
 
 	breakReason *exception.Exception
+	retired     bool // set when the handler returned; later use fails loudly
 }
 
 // BreakStream requests a synchronous break of the stream after this call's
 // reply: this call and all earlier ones are unaffected, but later calls on
 // the stream are discarded and will never have replies. The paper
 // prescribes this when decoding of an argument fails at the receiver.
+//
+// It panics when invoked on a call whose handler has already returned
+// (see the retention rules on Incoming).
 func (c *Incoming) BreakStream(reason *exception.Exception) {
+	if c.retired {
+		panic("stream: Incoming used after its handler returned (Clone to retain)")
+	}
 	c.breakReason = reason
 }
+
+// Clone returns a heap copy of the call that stays valid after the
+// handler returns — the supported way to retain call data. The argument
+// bytes are copied out of the datagram they alias.
+func (c *Incoming) Clone() *Incoming {
+	if c.retired {
+		panic("stream: Clone of an Incoming whose handler already returned")
+	}
+	cp := *c
+	cp.breakReason = nil
+	args := make([]byte, len(c.Args))
+	copy(args, c.Args)
+	cp.Args = args
+	return &cp
+}
+
+// retire poisons the scratch between calls so a handler that kept the
+// pointer reads zeroes (and panics on BreakStream/Clone) instead of
+// silently observing — or corrupting — a later call.
+func (c *Incoming) retire() { *c = Incoming{retired: true} }
 
 // Handler executes one incoming call and produces its outcome. Handlers
 // for calls on the same stream run strictly one at a time, in call order;
@@ -47,37 +82,24 @@ type Handler func(call *Incoming) Outcome
 // failure("handler does not exist") reply.
 type Dispatcher func(port string) (Handler, bool)
 
-// rstream is the receiving end of one stream.
-type rstream struct {
-	peer   *Peer
-	key    streamKey
-	keyStr string // key.String(), cached once
-	opts   Options
-
-	mu          sync.Mutex
-	incarnation uint64
-	epoch       uint64
-	broken      bool
-
-	// Request ordering and exactly-once delivery. oo is keyed by dense
-	// seqs within the in-flight window, so it is a seq-indexed ring.
-	expected uint64 // next seq to hand to the executor
-	oo       seqRing[request]
-
-	// Execution queue (serial executor goroutine drains it).
-	execCh chan request
-	closed bool
+// recvShard holds the completion tracking and reply retention for the
+// seqs congruent to its index mod the shard count. All fields are guarded
+// by the shard mutex except watermark, which is also read lock-free by
+// the completedThrough fold. The lock order is r.mu before sh.mu; the
+// post-handler completion path takes only sh.mu, so executions on
+// different shards complete and build reply batches concurrently.
+type recvShard struct {
+	mu sync.Mutex
 
 	// Out-of-order completion tracking, for ports marked parallel: seqs
-	// completed beyond the contiguous completedThrough prefix, as a
-	// seq-indexed ring.
+	// completed beyond the shard's contiguous watermark, as a seq-indexed
+	// ring.
 	completedSet seqRing[struct{}]
-	// outstanding counts in-flight parallel calls; the executor waits for
-	// it to drain before running a serial call, so serial calls still
-	// appear to happen in call order.
-	outstanding sync.WaitGroup
+	// watermark is the smallest seq of this shard's residue class not yet
+	// completed. The global completed prefix is min over shards, minus 1.
+	watermark atomic.Uint64
 
-	// Reply side. A normal flush transmits only the unsent suffix of
+	// Reply retention. A normal flush transmits only the unsent suffix of
 	// retained; the full retained set is re-sent only on evidence of loss
 	// (duplicate requests) or an ack-progress stall (see tick), so reply
 	// traffic stays proportional to new work, not to the retained window.
@@ -85,11 +107,52 @@ type rstream struct {
 	unsentReplies     int     // suffix of retained not yet transmitted at all
 	unsentBytes       int     // approximate encoded size of that suffix (byte budget)
 	oldestUnsentAt    time.Time
-	completedThrough  uint64
-	sentCompleted     uint64    // CompletedThrough value last transmitted
-	ackedThrough      uint64    // sender has resolved replies through this seq
+	sentCompleted     uint64    // CompletedThrough value last transmitted by this shard
 	lastFullReplyAt   time.Time // when a batch covering all of retained last went out
-	lastAckProgressAt time.Time // when ackedThrough last advanced (or retained was born)
+	lastAckProgressAt time.Time // when the sender's reply ack last advanced (or retained was born)
+}
+
+// rstream is the receiving end of one stream.
+type rstream struct {
+	peer   *Peer
+	key    streamKey
+	keyStr string // key.String(), cached once
+	opts   Options
+
+	// shards partition completion tracking and reply retention by
+	// seq % len(shards); one shard reproduces the unsharded behavior.
+	shards []recvShard
+	nsh    uint64
+
+	mu          sync.Mutex
+	incarnation uint64
+	epoch       uint64
+	broken      bool
+
+	// Atomic mirrors of mu-guarded state, for the post-handler completion
+	// path, which deliberately avoids r.mu (it would serialize shards).
+	incA      atomic.Uint64
+	brokenA   atomic.Bool
+	expectedA atomic.Uint64
+
+	// Request ordering and exactly-once delivery. oo is keyed by dense
+	// seqs within the in-flight window, so it is a seq-indexed ring.
+	// Delivery order is the merge point: whatever shard carried a
+	// request, it is handed to the executor in contiguous seq order, so
+	// the accepted call order is identical for every shard count.
+	expected uint64 // next seq to hand to the executor
+	oo       seqRing[request]
+
+	// Execution queue (serial executor goroutine drains it).
+	execCh chan request
+	closed bool
+
+	// outstanding counts in-flight parallel calls; the executor waits for
+	// it to drain before running a serial call, so serial calls still
+	// appear to happen in call order.
+	outstanding sync.WaitGroup
+
+	ackedThrough      uint64 // sender has resolved replies through this seq
 	retries           int
 	pendingRetransmit bool // duplicate requests seen: sender missed replies
 }
@@ -108,14 +171,49 @@ func newRStream(p *Peer, key streamKey, incarnation uint64, opts Options) *rstre
 		key:         key,
 		keyStr:      key.String(),
 		opts:        opts,
+		shards:      make([]recvShard, opts.Shards),
+		nsh:         uint64(opts.Shards),
 		incarnation: incarnation,
 		epoch:       nextEpoch(),
 		expected:    1,
 		execCh:      make(chan request, 1024),
 	}
+	r.incA.Store(incarnation)
+	r.expectedA.Store(1)
+	for i := range r.shards {
+		r.shards[i].watermark.Store(r.firstSeqOfShard(uint64(i)))
+	}
 	p.wg.Add(1)
 	go r.executor()
 	return r
+}
+
+// firstSeqOfShard is the smallest seq (>= 1) of shard index i's residue
+// class — the initial completion watermark.
+func (r *rstream) firstSeqOfShard(i uint64) uint64 {
+	if i == 0 {
+		return r.nsh
+	}
+	return i
+}
+
+func (r *rstream) shardOf(seq uint64) *recvShard {
+	return &r.shards[seq%r.nsh]
+}
+
+// completedThroughNow folds the per-shard completion watermarks into the
+// global contiguous completed prefix: the smallest incomplete seq across
+// shards, minus one. Watermarks are atomics, so the fold needs no locks
+// and any caller (tick under r.mu, completions under sh.mu) may compute
+// it.
+func (r *rstream) completedThroughNow() uint64 {
+	min := r.shards[0].watermark.Load()
+	for i := 1; i < len(r.shards); i++ {
+		if w := r.shards[i].watermark.Load(); w < min {
+			min = w
+		}
+	}
+	return min - 1
 }
 
 // handleRequestBatch integrates a request batch from the sender.
@@ -137,12 +235,18 @@ func (r *rstream) handleRequestBatch(b *requestBatch) {
 		return
 	}
 
-	// The sender's ack lets us drop retained replies.
+	// The sender's ack lets us drop retained replies, shard by shard.
 	if b.AckRepliesThrough > r.ackedThrough {
 		r.ackedThrough = b.AckRepliesThrough
 		r.retries = 0
-		r.lastAckProgressAt = r.peer.clk.Now()
-		r.pruneRetainedLocked()
+		now := r.peer.clk.Now()
+		for i := range r.shards {
+			sh := &r.shards[i]
+			sh.mu.Lock()
+			sh.lastAckProgressAt = now
+			r.pruneRetainedLocked(sh)
+			sh.mu.Unlock()
+		}
 	}
 
 	sm := r.peer.sm
@@ -173,43 +277,62 @@ func (r *rstream) handleRequestBatch(b *requestBatch) {
 	}
 	r.drainLocked()
 	// Duplicate requests are evidence the sender missed replies: only
-	// then does a flush re-send the full retained set. An empty request
-	// batch is the sender probing for liveness (or a pure ack); answer
-	// with progress — and whatever suffix is pending — so the sender knows
-	// this end is alive and which boot epoch it is talking to.
-	fullResend := r.pendingRetransmit && len(r.retained) > 0
-	if fullResend {
-		r.pendingRetransmit = false
+	// then does a flush re-send the full retained set (every shard that
+	// retains any). An empty request batch is the sender probing for
+	// liveness (or a pure ack); answer with progress — and whatever suffix
+	// is pending — so the sender knows this end is alive and which boot
+	// epoch it is talking to.
+	var msgs [][]byte
+	inc := r.incarnation
+	completed := r.completedThroughNow()
+	if r.pendingRetransmit {
+		for i := range r.shards {
+			sh := &r.shards[i]
+			sh.mu.Lock()
+			if len(sh.retained) > 0 {
+				msgs = append(msgs, r.buildShardReplyBatchLocked(sh, true, inc, completed))
+			}
+			sh.mu.Unlock()
+		}
+		if len(msgs) > 0 {
+			r.pendingRetransmit = false
+		}
 	}
-	var msg []byte
-	if fullResend || len(b.Requests) == 0 {
-		msg = r.buildReplyBatchLocked(fullResend)
+	if len(b.Requests) == 0 && len(msgs) == 0 {
+		// Probe/ack answer: progress rides on shard 0's batch.
+		sh := &r.shards[0]
+		sh.mu.Lock()
+		msgs = append(msgs, r.buildShardReplyBatchLocked(sh, false, inc, completed))
+		sh.mu.Unlock()
 	}
 	r.mu.Unlock()
-	if msg != nil {
+	for _, msg := range msgs {
 		r.peer.transmit(r.key.senderNode, msg)
 	}
 }
 
-// pruneRetainedLocked drops retained replies the sender has acknowledged.
-func (r *rstream) pruneRetainedLocked() {
-	kept := r.retained[:0]
-	for _, rep := range r.retained {
+// pruneRetainedLocked drops a shard's retained replies the sender has
+// acknowledged. Caller holds sh.mu (and, on the ack path, r.mu).
+func (r *rstream) pruneRetainedLocked(sh *recvShard) {
+	kept := sh.retained[:0]
+	for _, rep := range sh.retained {
 		if rep.Seq > r.ackedThrough {
 			kept = append(kept, rep)
 		}
 	}
 	// Unsent replies are always the newest; clamp in case pruning ate
 	// into the unsent suffix (it cannot, but be safe).
-	if r.unsentReplies > len(kept) {
-		r.unsentReplies = len(kept)
-		r.unsentBytes = 0 // approximate; only the can't-happen clamp path
+	if sh.unsentReplies > len(kept) {
+		sh.unsentReplies = len(kept)
+		sh.unsentBytes = 0 // approximate; only the can't-happen clamp path
 	}
-	r.retained = kept
+	sh.retained = kept
 }
 
 // drainLocked moves contiguously-sequenced requests to the executor.
-// Delivery to user code is therefore exactly-once and in call order.
+// Delivery to user code is therefore exactly-once and in call order —
+// this cursor is the merge point that keeps the accepted call order
+// independent of how the sender sharded its batches.
 func (r *rstream) drainLocked() {
 	if r.closed {
 		return
@@ -223,6 +346,7 @@ func (r *rstream) drainLocked() {
 		case r.execCh <- req:
 			r.oo.del(r.expected)
 			r.expected++
+			r.expectedA.Store(r.expected)
 		default:
 			return // executor backlogged; retry on a later tick
 		}
@@ -237,6 +361,7 @@ func (r *rstream) drainLocked() {
 // included, so ordering is preserved for everything not opted out.
 func (r *rstream) executor() {
 	defer r.peer.wg.Done()
+	var scratch Incoming // serial calls reuse one Incoming; retired after each
 	for {
 		var req request
 		var ok bool
@@ -258,7 +383,8 @@ func (r *rstream) executor() {
 			// than a goroutine per request, so a flood of parallel calls
 			// costs at most ExecWorkers stacks. When the pool and its queue
 			// are saturated, submission blocks — backpressure instead of
-			// unbounded spawn.
+			// unbounded spawn. With sharding, the call is pinned to the
+			// worker owning its reply shard (see Peer.submitParallel).
 			r.outstanding.Add(1)
 			if !r.peer.submitParallel(r, req) {
 				r.outstanding.Done() // shutdown race: abandoned, as in a crash
@@ -266,11 +392,17 @@ func (r *rstream) executor() {
 			continue
 		}
 		r.outstanding.Wait()
-		r.executeOne(req)
+		r.executeOne(req, &scratch)
 	}
 }
 
-func (r *rstream) executeOne(req request) {
+// executeOne runs one call through its handler and records the
+// completion. call is the executor's scratch Incoming: valid only during
+// the handler, poisoned afterwards (see Incoming). The completion and
+// reply bookkeeping takes only the owning shard's lock, so shards
+// complete concurrently; r.mu is touched briefly before the handler and
+// only the rare synchronous-break path takes it afterwards.
+func (r *rstream) executeOne(req request, call *Incoming) {
 	r.mu.Lock()
 	if r.broken {
 		r.mu.Unlock()
@@ -279,7 +411,7 @@ func (r *rstream) executeOne(req request) {
 	inc := r.incarnation
 	r.mu.Unlock()
 
-	call := &Incoming{
+	*call = Incoming{
 		From:  r.key.senderNode,
 		Agent: r.key.agent,
 		Group: r.key.group,
@@ -294,38 +426,45 @@ func (r *rstream) executeOne(req request) {
 	} else {
 		outcome = ExceptionOutcome(exception.Failure("handler does not exist"))
 	}
+	breakReason := call.breakReason
+	call.retire()
 	if sm := r.peer.sm; sm != nil {
 		sm.callsExecuted.Inc()
 	}
 	r.peer.emit(trace.CallExecuted, r.keyStr, req.Seq, req.Trace, req.Port)
 
-	r.mu.Lock()
-	if r.broken || r.incarnation != inc {
-		r.mu.Unlock()
+	sh := r.shardOf(req.Seq)
+	var msg []byte
+	sh.mu.Lock()
+	if r.incA.Load() != inc || r.brokenA.Load() {
+		sh.mu.Unlock()
 		return
 	}
-	// Completion may be out of order when parallel ports are in play;
-	// completedThrough advances over the contiguous prefix only.
-	r.completedSet.put(req.Seq, struct{}{})
-	for r.completedSet.has(r.completedThrough + 1) {
-		r.completedThrough++
-		r.completedSet.del(r.completedThrough)
+	// Completion may be out of order when parallel ports are in play; the
+	// shard watermark advances over its residue class's contiguous prefix
+	// only, and the global prefix is the fold of the watermarks.
+	sh.completedSet.put(req.Seq, struct{}{})
+	w := sh.watermark.Load()
+	for sh.completedSet.has(w) {
+		sh.completedSet.del(w)
+		w += r.nsh
 	}
+	sh.watermark.Store(w)
 	// Sends omit normal replies from the wire.
 	if req.Mode != ModeSend || !outcome.Normal {
-		if len(r.retained) == 0 {
+		if len(sh.retained) == 0 {
 			// Retained becomes non-empty: start both retransmission clocks
 			// from the reply's birth.
 			now := r.peer.clk.Now()
-			r.lastFullReplyAt = now
-			r.lastAckProgressAt = now
+			sh.lastFullReplyAt = now
+			sh.lastAckProgressAt = now
 		}
-		if r.unsentReplies == 0 {
-			r.oldestUnsentAt = r.peer.clk.Now()
+		if sh.unsentReplies == 0 {
+			sh.oldestUnsentAt = r.peer.clk.Now()
 		}
-		r.retained = append(r.retained, reply{Seq: req.Seq, Outcome: outcome})
-		r.unsentReplies++
-		r.unsentBytes += len(outcome.Exception) + len(outcome.Payload) + reqOverheadBytes
+		sh.retained = append(sh.retained, reply{Seq: req.Seq, Outcome: outcome})
+		sh.unsentReplies++
+		sh.unsentBytes += len(outcome.Exception) + len(outcome.Payload) + reqOverheadBytes
 		if sm := r.peer.sm; sm != nil {
 			sm.replies.Inc()
 		}
@@ -337,30 +476,35 @@ func (r *rstream) executeOne(req request) {
 			r.peer.emit(trace.CallReplied, r.keyStr, req.Seq, req.Trace, detail)
 		}
 	}
-	breakReason := call.breakReason
-	flushNow := req.Mode == ModeRPC || r.unsentReplies >= r.opts.MaxBatch || breakReason != nil ||
-		(r.opts.MaxBatchBytes > 0 && r.unsentBytes >= r.opts.MaxBatchBytes)
-	var msg []byte
-	if flushNow && (r.unsentReplies > 0 || r.completedThrough > r.sentCompleted) {
-		msg = r.buildReplyBatchLocked(false)
+	completed := r.completedThroughNow()
+	flushNow := req.Mode == ModeRPC || sh.unsentReplies >= r.opts.MaxBatch || breakReason != nil ||
+		(r.opts.MaxBatchBytes > 0 && sh.unsentBytes >= r.opts.MaxBatchBytes)
+	if flushNow && (sh.unsentReplies > 0 || completed > sh.sentCompleted) {
+		msg = r.buildShardReplyBatchLocked(sh, false, inc, completed)
 	}
+	sh.mu.Unlock()
+
 	var breakNote []byte
 	if breakReason != nil {
 		// Synchronous break requested by the handler (e.g. decode failure
 		// at the receiver): this call and earlier ones are unaffected,
 		// later calls on the stream are discarded.
-		r.broken = true
-		breakNote = encodeBreak(breakMsg{
-			Agent:       r.key.agent,
-			Group:       r.key.group,
-			Incarnation: r.incarnation,
-			Synchronous: true,
-			BrokenAfter: req.Seq,
-			ExcName:     breakReason.Name,
-			Reason:      breakReason.StringArg(0),
-		})
+		r.mu.Lock()
+		if !r.broken && r.incarnation == inc {
+			r.broken = true
+			r.brokenA.Store(true)
+			breakNote = encodeBreak(breakMsg{
+				Agent:       r.key.agent,
+				Group:       r.key.group,
+				Incarnation: r.incarnation,
+				Synchronous: true,
+				BrokenAfter: req.Seq,
+				ExcName:     breakReason.Name,
+				Reason:      breakReason.StringArg(0),
+			})
+		}
+		r.mu.Unlock()
 	}
-	r.mu.Unlock()
 
 	if msg != nil {
 		r.peer.transmit(r.key.senderNode, msg)
@@ -370,47 +514,48 @@ func (r *rstream) executeOne(req request) {
 	}
 }
 
-// buildReplyBatchLocked encodes a reply batch carrying current progress
-// and replies. A normal flush (retransmit=false) carries only the unsent
-// suffix of retained — already-transmitted replies ride again only when
-// retransmit=true, i.e. on loss evidence (duplicate requests) or an
-// ack-progress stall in tick. This keeps steady-state reply bytes
-// proportional to new work instead of O(retained window) per flush.
-// Caller holds r.mu; the retained slice is encoded in place (the encoder
-// copies its bytes before the lock is released), so no reply copy is
-// made on either path.
-func (r *rstream) buildReplyBatchLocked(retransmit bool) []byte {
-	reps := r.retained
+// buildShardReplyBatchLocked encodes one shard's reply batch carrying
+// current progress and replies. A normal flush (retransmit=false) carries
+// only the unsent suffix of the shard's retained replies —
+// already-transmitted replies ride again only when retransmit=true, i.e.
+// on loss evidence (duplicate requests) or an ack-progress stall in tick.
+// This keeps steady-state reply bytes proportional to new work instead of
+// O(retained window) per flush. inc is the caller's incarnation snapshot
+// and completed the folded completion prefix. Caller holds sh.mu; the
+// retained slice is encoded in place (the encoder copies its bytes before
+// the lock is released), so no reply copy is made on either path.
+func (r *rstream) buildShardReplyBatchLocked(sh *recvShard, retransmit bool, inc, completed uint64) []byte {
+	reps := sh.retained
 	if !retransmit {
-		reps = r.retained[len(r.retained)-r.unsentReplies:]
+		reps = sh.retained[len(sh.retained)-sh.unsentReplies:]
 	}
-	if len(reps) == len(r.retained) {
+	if len(reps) == len(sh.retained) {
 		// Everything retained is on the wire in this batch: restart the
 		// full-retransmission pacing clock.
-		r.lastFullReplyAt = r.peer.clk.Now()
+		sh.lastFullReplyAt = r.peer.clk.Now()
 	}
-	r.unsentReplies = 0
-	r.unsentBytes = 0
-	r.sentCompleted = r.completedThrough
+	sh.unsentReplies = 0
+	sh.unsentBytes = 0
+	sh.sentCompleted = completed
 	if r.peer.tracing() {
 		detail := fmt.Sprintf("n=%d", len(reps))
 		if retransmit {
 			detail += " retransmit"
 		}
-		r.peer.emit(trace.ReplyBatchSent, r.keyStr, r.completedThrough, 0, detail)
+		r.peer.emit(trace.ReplyBatchSent, r.keyStr, completed, 0, detail)
 	}
 	msg := encodeReplyBatch(replyBatch{
 		Agent:              r.key.agent,
 		Group:              r.key.group,
-		Incarnation:        r.incarnation,
+		Incarnation:        inc,
 		Epoch:              r.epoch,
-		AckRequestsThrough: r.expected - 1,
-		CompletedThrough:   r.completedThrough,
+		AckRequestsThrough: r.expectedA.Load() - 1,
+		CompletedThrough:   completed,
 		Replies:            reps,
 		// The admission grant: flow-controlled senders may run this far
 		// ahead of our completed prefix. Monotone within an incarnation
-		// because completedThrough is.
-		Credit: r.completedThrough + uint64(r.opts.RecvWindow),
+		// because the folded completion prefix is.
+		Credit: completed + uint64(r.opts.RecvWindow),
 	})
 	if sm := r.peer.sm; sm != nil {
 		sm.replyBatches.Inc()
@@ -431,27 +576,41 @@ func (r *rstream) handleBreak(b *breakMsg) {
 		return
 	}
 	r.broken = true
+	r.brokenA.Store(true)
 	r.oo.reset()
-	r.retained = nil
-	r.unsentReplies = 0
-	r.unsentBytes = 0
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		sh.retained = nil
+		sh.unsentReplies = 0
+		sh.unsentBytes = 0
+		sh.mu.Unlock()
+	}
 }
 
 // resetLocked adopts a new incarnation with fresh protocol state.
 func (r *rstream) resetLocked(incarnation uint64) {
 	r.incarnation = incarnation
+	r.incA.Store(incarnation)
 	r.broken = false
+	r.brokenA.Store(false)
 	r.expected = 1
+	r.expectedA.Store(1)
 	r.oo.reset()
-	r.retained = nil
-	r.unsentReplies = 0
-	r.unsentBytes = 0
-	r.completedThrough = 0
-	r.sentCompleted = 0
 	r.ackedThrough = 0
 	r.retries = 0
 	r.pendingRetransmit = false
-	r.completedSet.reset()
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		sh.retained = nil
+		sh.unsentReplies = 0
+		sh.unsentBytes = 0
+		sh.sentCompleted = 0
+		sh.completedSet.reset()
+		sh.watermark.Store(r.firstSeqOfShard(uint64(i)))
+		sh.mu.Unlock()
+	}
 	// Drain any stale queued requests from the old incarnation. The
 	// executor may be mid-call; executeOne re-checks the incarnation.
 	for {
@@ -464,10 +623,10 @@ func (r *rstream) resetLocked(incarnation uint64) {
 }
 
 // tick flushes aged reply batches, pushes progress for send-only
-// workloads, and retransmits unacknowledged replies.
+// workloads, and retransmits unacknowledged replies, shard by shard.
 func (r *rstream) tick(now time.Time) {
 	var (
-		msg       []byte
+		msgs      [][]byte
 		breakNote []byte
 	)
 	r.mu.Lock()
@@ -476,20 +635,33 @@ func (r *rstream) tick(now time.Time) {
 		return
 	}
 	r.drainLocked()
-	switch {
-	case r.unsentReplies > 0 && now.Sub(r.oldestUnsentAt) >= r.opts.MaxBatchDelay:
-		msg = r.buildReplyBatchLocked(false)
-	case r.completedThrough > r.sentCompleted:
-		// Progress notification so sends resolve at the sender.
-		msg = r.buildReplyBatchLocked(false)
-	case len(r.retained) > 0 && now.Sub(r.lastAckProgressAt) >= r.opts.RTO &&
-		now.Sub(r.lastFullReplyAt) >= r.opts.RTO:
-		// The sender's reply ack has stalled a full RTO with replies
-		// retained: some reply batch (which also carried our request ack)
-		// was lost, or the sender cannot reach us. Re-send everything
-		// retained, paced one RTO apart by lastFullReplyAt. This is the
-		// only path — besides duplicate-request evidence — that re-sends
-		// already-transmitted replies.
+	inc := r.incarnation
+	completed := r.completedThroughNow()
+	stalled := false
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		switch {
+		case sh.unsentReplies > 0 && now.Sub(sh.oldestUnsentAt) >= r.opts.MaxBatchDelay:
+			msgs = append(msgs, r.buildShardReplyBatchLocked(sh, false, inc, completed))
+		case completed > sh.sentCompleted:
+			// Progress notification so sends resolve at the sender.
+			msgs = append(msgs, r.buildShardReplyBatchLocked(sh, false, inc, completed))
+		case len(sh.retained) > 0 && now.Sub(sh.lastAckProgressAt) >= r.opts.RTO &&
+			now.Sub(sh.lastFullReplyAt) >= r.opts.RTO:
+			// The sender's reply ack has stalled a full RTO with replies
+			// retained: some reply batch (which also carried our request
+			// ack) was lost, or the sender cannot reach us.
+			stalled = true
+		}
+		sh.mu.Unlock()
+	}
+	if stalled && len(msgs) == 0 {
+		// Re-send everything retained, paced one RTO apart by
+		// lastFullReplyAt. This is the only path — besides
+		// duplicate-request evidence — that re-sends already-transmitted
+		// replies. One tick counts as one retry regardless of how many
+		// shards retransmit.
 		r.retries++
 		if sm := r.peer.sm; sm != nil {
 			sm.recvRTOFires.Inc()
@@ -498,6 +670,7 @@ func (r *rstream) tick(now time.Time) {
 			// We cannot get replies through; break the stream from the
 			// receiving side. Further calls will be discarded.
 			r.broken = true
+			r.brokenA.Store(true)
 			breakNote = encodeBreak(breakMsg{
 				Agent:       r.key.agent,
 				Group:       r.key.group,
@@ -507,11 +680,19 @@ func (r *rstream) tick(now time.Time) {
 				Reason:      "cannot communicate",
 			})
 		} else {
-			msg = r.buildReplyBatchLocked(true)
+			for i := range r.shards {
+				sh := &r.shards[i]
+				sh.mu.Lock()
+				if len(sh.retained) > 0 && now.Sub(sh.lastAckProgressAt) >= r.opts.RTO &&
+					now.Sub(sh.lastFullReplyAt) >= r.opts.RTO {
+					msgs = append(msgs, r.buildShardReplyBatchLocked(sh, true, inc, completed))
+				}
+				sh.mu.Unlock()
+			}
 		}
 	}
 	r.mu.Unlock()
-	if msg != nil {
+	for _, msg := range msgs {
 		r.peer.transmit(r.key.senderNode, msg)
 	}
 	if breakNote != nil {

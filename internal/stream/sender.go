@@ -36,17 +36,13 @@ func (a *Agent) Stream(recvNode, group string) *Stream {
 	})
 }
 
-// Pending is the transport-level handle for one call's eventual outcome;
-// the promise package wraps it with types. A Pending becomes ready exactly
-// once. Readiness is ordered: the pending for call i+1 becomes ready only
-// after the pending for call i ("if the i+1st result is ready, then so is
-// the ith").
-//
-// The done channel is materialized lazily, on the first Done or blocking
-// Wait/Get: a pipelined workload that claims outcomes after they are
-// ready never pays the channel allocation.
-type Pending struct {
-	Seq  uint64
+// pendingCall is the pooled resolution cell behind a Pending handle. Cells
+// cycle through pendingPool: a call draws one at enqueue, and Release
+// returns it once the outcome has been claimed. The generation counter is
+// bumped on every recycle, so a stale handle — one kept past its Release —
+// is detected by the gen snapshot it carries and fails loudly instead of
+// silently aliasing a newer call.
+type pendingCall struct {
 	mode Mode
 
 	// Claim instrumentation, inherited from the stream at creation: sm is
@@ -54,95 +50,227 @@ type Pending struct {
 	sm  *streamMetrics
 	clk clock.Clock
 
+	gen      atomic.Uint32 // recycle counter; handles snapshot it
 	resolved atomic.Bool
-	outcome  Outcome
+	released atomic.Bool
 
-	mu   sync.Mutex
-	done chan struct{} // lazily created; closed once resolved
+	mu      sync.Mutex
+	cond    sync.Cond     // L == &mu; broadcast on resolve
+	outcome Outcome       // valid once resolved
+	done    chan struct{} // lazily created; closed once resolved
 }
 
-func newPending(seq uint64, mode Mode) *Pending {
-	return &Pending{Seq: seq, mode: mode}
+var pendingPool = sync.Pool{New: func() any {
+	c := &pendingCall{}
+	c.cond.L = &c.mu
+	return c
+}}
+
+// Pending is the transport-level handle for one call's eventual outcome;
+// the promise package wraps it with types. A Pending becomes ready exactly
+// once. Readiness is ordered: the pending for call i+1 becomes ready only
+// after the pending for call i ("if the i+1st result is ready, then so is
+// the ith").
+//
+// The handle is a small value (copy it freely) over a pooled cell. Once
+// the outcome has been claimed, Release returns the cell to the pool so a
+// steady-state workload allocates nothing per call; Release is optional —
+// an unreleased cell is simply collected — but a handle used after its
+// Release panics rather than aliasing whichever call reuses the cell.
+// The panic is best-effort under concurrent misuse (claiming on one
+// goroutine while releasing on another is a bug either way); sequential
+// use-after-release is always caught.
+type Pending struct {
+	Seq uint64
+	gen uint32
+	c   *pendingCall
+}
+
+func newPending(seq uint64, mode Mode, sm *streamMetrics, clk clock.Clock) Pending {
+	c := pendingPool.Get().(*pendingCall)
+	c.mode = mode
+	c.sm = sm
+	c.clk = clk
+	// released resets at acquire, not at recycle, so a double Release can
+	// never re-recycle a cell already handed to a new call.
+	c.released.Store(false)
+	return Pending{Seq: seq, gen: c.gen.Load(), c: c}
+}
+
+// Valid reports whether the handle refers to a call at all (the zero
+// Pending does not).
+func (p Pending) Valid() bool { return p.c != nil }
+
+// cell returns the backing cell, panicking on a zero or stale handle.
+func (p Pending) cell() *pendingCall {
+	c := p.c
+	if c == nil {
+		panic("stream: use of zero-value Pending")
+	}
+	if c.gen.Load() != p.gen {
+		panic("stream: use of released Pending handle")
+	}
+	return c
 }
 
 // noteClaim records one claim. Only blocking claims pay extra updates
 // (a blocked counter and the wait histogram); the ready-at-claim fast
 // path is a single increment, and the paper's "was the answer already
 // there when the program asked" ratio is (claims - blocked) / claims.
-func (p *Pending) noteClaim(ready bool, wait time.Duration) {
-	if p.sm == nil {
+func (c *pendingCall) noteClaim(ready bool, wait time.Duration) {
+	if c.sm == nil {
 		return
 	}
 	if !ready {
-		p.sm.claimsBlocked.Inc()
-		p.sm.claimWait.ObserveDuration(wait)
+		c.sm.claimsBlocked.Inc()
+		c.sm.claimWait.ObserveDuration(wait)
 	}
-	p.sm.claims.Inc()
+	c.sm.claims.Inc()
 }
 
-func (p *Pending) resolve(o Outcome) {
-	p.mu.Lock()
-	p.outcome = o
-	p.resolved.Store(true)
-	if p.done != nil {
-		close(p.done)
+func (c *pendingCall) resolve(o Outcome) {
+	c.mu.Lock()
+	c.outcome = o
+	c.resolved.Store(true)
+	if c.done != nil {
+		close(c.done)
 	}
-	p.mu.Unlock()
+	c.cond.Broadcast()
+	c.mu.Unlock()
 }
 
 // Ready reports whether the outcome has arrived.
-func (p *Pending) Ready() bool { return p.resolved.Load() }
+func (p Pending) Ready() bool { return p.cell().resolved.Load() }
 
-// Done returns a channel closed when the outcome is ready.
-func (p *Pending) Done() <-chan struct{} {
-	p.mu.Lock()
-	if p.done == nil {
-		p.done = make(chan struct{})
-		if p.resolved.Load() {
-			close(p.done)
+// Done returns a channel closed when the outcome is ready. The channel is
+// materialized lazily: claims through Ready/Get/Wait-without-deadline
+// never pay the allocation.
+func (p Pending) Done() <-chan struct{} {
+	c := p.cell()
+	c.mu.Lock()
+	if c.done == nil {
+		c.done = make(chan struct{})
+		if c.resolved.Load() {
+			close(c.done)
 		}
 	}
-	d := p.done
-	p.mu.Unlock()
+	d := c.done
+	c.mu.Unlock()
 	return d
 }
 
 // Wait blocks until the outcome is ready or ctx ends.
-func (p *Pending) Wait(ctx context.Context) (Outcome, error) {
-	if p.resolved.Load() {
-		p.noteClaim(true, 0)
-		return p.outcome, nil
+func (p Pending) Wait(ctx context.Context) (Outcome, error) {
+	c := p.cell()
+	if c.resolved.Load() {
+		c.noteClaim(true, 0)
+		return c.outcome, nil
+	}
+	if ctx.Done() == nil {
+		// No cancellation possible: block on the cell's condition variable
+		// instead of materializing the done channel. This keeps a blocking
+		// claim allocation-free.
+		return c.await(p.gen), nil
 	}
 	var start time.Time
-	if p.sm != nil {
-		start = p.clk.Now()
+	if c.sm != nil {
+		start = c.clk.Now()
 	}
 	select {
 	case <-p.Done():
-		if p.sm != nil {
-			p.noteClaim(false, p.clk.Now().Sub(start))
+		if c.sm != nil {
+			c.noteClaim(false, c.clk.Now().Sub(start))
 		}
-		return p.outcome, nil
+		return c.outcome, nil
 	case <-ctx.Done():
 		return Outcome{}, ctx.Err()
 	}
 }
 
 // Get returns the outcome, blocking until it is ready.
-func (p *Pending) Get() Outcome {
-	if p.resolved.Load() {
-		p.noteClaim(true, 0)
-		return p.outcome
+func (p Pending) Get() Outcome {
+	c := p.cell()
+	if c.resolved.Load() {
+		c.noteClaim(true, 0)
+		return c.outcome
 	}
+	return c.await(p.gen)
+}
+
+// await blocks on the condition variable until the cell resolves. gen is
+// the caller's handle snapshot: a recycle while waiting is misuse
+// (released with a claim in progress) and panics.
+func (c *pendingCall) await(gen uint32) Outcome {
 	var start time.Time
-	if p.sm != nil {
-		start = p.clk.Now()
+	if c.sm != nil {
+		start = c.clk.Now()
 	}
-	<-p.Done()
-	if p.sm != nil {
-		p.noteClaim(false, p.clk.Now().Sub(start))
+	c.mu.Lock()
+	for !c.resolved.Load() {
+		if c.gen.Load() != gen {
+			c.mu.Unlock()
+			panic("stream: Pending released while a claim was in progress")
+		}
+		c.cond.Wait()
 	}
-	return p.outcome
+	o := c.outcome
+	c.mu.Unlock()
+	if c.sm != nil {
+		c.noteClaim(false, c.clk.Now().Sub(start))
+	}
+	return o
+}
+
+// Release returns the handle's cell to the pool for reuse by a later
+// call. It requires the outcome to have arrived (claim first, then
+// release) and panics on a second Release or any later use of the handle.
+// Releasing is optional — it is what makes the steady-state round trip
+// allocation-free, not a correctness obligation.
+func (p Pending) Release() {
+	c := p.cell()
+	if !c.resolved.Load() {
+		panic("stream: Release of an unresolved Pending")
+	}
+	if !c.released.CompareAndSwap(false, true) {
+		panic("stream: Pending released twice")
+	}
+	c.mu.Lock()
+	c.gen.Add(1) // stale handles now fail loudly
+	c.outcome = Outcome{}
+	c.resolved.Store(false)
+	c.done = nil
+	c.sm = nil
+	c.clk = nil
+	c.mu.Unlock()
+	pendingPool.Put(c)
+}
+
+// senderShard holds the batch-assembly and retransmission state for the
+// seqs congruent to its index mod the shard count. Shard fields below the
+// marker are guarded by the shard mutex; the per-seq rings are guarded by
+// the owning Stream's mu (resolution is globally ordered, so the rings
+// are only ever touched with it held). The lock order is s.mu before
+// sh.mu; flushShard drops s.mu before encoding so shards assemble and
+// encode batches concurrently, which is where the multicore scaling comes
+// from.
+type senderShard struct {
+	mu           sync.Mutex
+	buffer       []request // accepted but not yet transmitted
+	bufferBytes  int       // approximate encoded size of buffer (byte budget)
+	bufferedAt   time.Time // when buffer[0] was accepted
+	lastArriveAt time.Time // when the newest buffered call was accepted (quiescence flush)
+	unacked      []request // transmitted but not acked by receiver
+	lastSendAt   time.Time // when unacked was last (re)transmitted
+
+	// flushArm signals the shard's flush-timer goroutine that the buffer
+	// went from empty to non-empty (see flushLoop). Buffered; signals
+	// coalesce.
+	flushArm chan struct{}
+
+	// Guarded by Stream.mu, not sh.mu: the per-seq rings for this shard's
+	// residue class.
+	pending     seqRing[Pending]
+	heldReplies seqRing[Outcome]
 }
 
 // Stream is the sending end of one call-stream. All methods are safe for
@@ -153,6 +281,11 @@ type Stream struct {
 	keyStr  string // key.String(), cached once — the hot path never rebuilds it
 	keyHash uint64 // trace.HashStream(keyStr), cached for trace-ID derivation
 	opts    Options
+
+	// shards partition batch assembly by seq % len(shards). One shard
+	// (the default) reproduces the unsharded behavior byte for byte.
+	shards []senderShard
+	nsh    uint64
 
 	mu          sync.Mutex
 	incarnation uint64
@@ -169,14 +302,7 @@ type Stream struct {
 	pendingBreakReason *exception.Exception
 	pendingBreakAt     time.Time
 
-	// Sending state.
-	buffer       []request // accepted but not yet transmitted
-	bufferBytes  int       // approximate encoded size of buffer (byte budget)
-	bufferedAt   time.Time // when buffer[0] was accepted
-	lastArriveAt time.Time // when the newest buffered call was accepted (quiescence flush; adaptive only)
-	unacked      []request // transmitted but not acked by receiver
-	ackedThrough uint64    // receiver acked requests through this seq
-	lastSendAt   time.Time // when unacked was last (re)transmitted
+	ackedThrough uint64 // receiver acked requests through this seq
 	retries      int
 
 	// Adaptive batch controller state (see adaptive.go); the zero value
@@ -190,18 +316,9 @@ type Stream struct {
 	grantThrough uint64
 	flowWaiters  []chan struct{}
 
-	// flushArm signals the stream's flush-timer goroutine that the buffer
-	// went from empty to non-empty, so it can schedule the precise
-	// MaxBatchDelay flush (see flushLoop). Buffered; signals coalesce.
-	flushArm chan struct{}
-
-	// Receiving state (replies). Both tables are keyed by dense
-	// monotonically-increasing seqs confined to the in-flight window, so
-	// they are seq-indexed rings, not maps: steady-state inserts and
-	// deletes touch one slot with no hashing.
-	pending          seqRing[*Pending]
+	// Resolution cursors — global across shards, because readiness is
+	// ordered stream-wide regardless of which shard carried a call.
 	nextResolve      uint64 // seq whose outcome is resolved next (ordered readiness)
-	heldReplies      seqRing[Outcome]
 	completedThrough uint64
 
 	// Synch bookkeeping.
@@ -235,16 +352,29 @@ func newStream(p *Peer, key streamKey, opts Options) *Stream {
 		keyStr:         keyStr,
 		keyHash:        trace.HashStream(keyStr),
 		opts:           opts,
+		shards:         make([]senderShard, opts.Shards),
+		nsh:            uint64(opts.Shards),
 		incarnation:    1,
 		nextSeq:        1,
 		nextResolve:    1,
 		boundarySeq:    1,
 		lastProgressAt: p.clk.Now(),
-		flushArm:       make(chan struct{}, 1),
+	}
+	for i := range s.shards {
+		s.shards[i].flushArm = make(chan struct{}, 1)
 	}
 	s.adapt.initAdaptive(opts, s.lastProgressAt)
 	return s
 }
+
+// shardOf returns the shard owning seq. The rings inside it are guarded
+// by s.mu; the batch state by the shard's own mutex.
+func (s *Stream) shardOf(seq uint64) *senderShard {
+	return &s.shards[seq%s.nsh]
+}
+
+// Shards returns the number of hot-path shards the stream runs with.
+func (s *Stream) Shards() int { return int(s.nsh) }
 
 // InFlight returns the number of unresolved calls outstanding on the
 // stream (buffered, in transit, or awaiting replies).
@@ -288,7 +418,7 @@ func (s *Stream) Broken() bool {
 // MaxBatchDelay elapses, or at the next Flush. With MaxInFlight set, Call
 // blocks while the in-flight window (or the receiver's advertised credit)
 // is exhausted; use CallCtx to bound that wait.
-func (s *Stream) Call(port string, args []byte) (*Pending, error) {
+func (s *Stream) Call(port string, args []byte) (Pending, error) {
 	return s.enqueue(context.Background(), port, args, ModeCall)
 }
 
@@ -296,7 +426,7 @@ func (s *Stream) Call(port string, args []byte) (*Pending, error) {
 // stream's in-flight window is full, the enqueue blocks until a slot
 // frees, the stream breaks, or ctx ends (returning ctx.Err() with no
 // pending created).
-func (s *Stream) CallCtx(ctx context.Context, port string, args []byte) (*Pending, error) {
+func (s *Stream) CallCtx(ctx context.Context, port string, args []byte) (Pending, error) {
 	return s.enqueue(ctx, port, args, ModeCall)
 }
 
@@ -304,13 +434,13 @@ func (s *Stream) CallCtx(ctx context.Context, port string, args []byte) (*Pendin
 // call terminates abnormally. The returned Pending resolves with an empty
 // normal outcome on success; sends exist so that "normal replies can be
 // omitted" from the wire.
-func (s *Stream) Send(port string, args []byte) (*Pending, error) {
+func (s *Stream) Send(port string, args []byte) (Pending, error) {
 	return s.enqueue(context.Background(), port, args, ModeSend)
 }
 
 // SendCtx is Send with a context bounding the flow-control wait, like
 // CallCtx.
-func (s *Stream) SendCtx(ctx context.Context, port string, args []byte) (*Pending, error) {
+func (s *Stream) SendCtx(ctx context.Context, port string, args []byte) (Pending, error) {
 	return s.enqueue(ctx, port, args, ModeSend)
 }
 
@@ -327,6 +457,7 @@ func (s *Stream) RPC(ctx context.Context, port string, args []byte) (Outcome, er
 	if err != nil {
 		return Outcome{}, err
 	}
+	p.Release() // the handle never escapes; recycle its cell
 	s.mu.Lock()
 	if p.Seq+1 > s.boundarySeq {
 		s.boundarySeq = p.Seq + 1
@@ -335,13 +466,13 @@ func (s *Stream) RPC(ctx context.Context, port string, args []byte) (Outcome, er
 	return o, nil
 }
 
-func (s *Stream) enqueue(ctx context.Context, port string, args []byte, mode Mode) (*Pending, error) {
+func (s *Stream) enqueue(ctx context.Context, port string, args []byte, mode Mode) (Pending, error) {
 	s.mu.Lock()
 	for {
 		if s.pendingBreak {
 			err := s.pendingBreakReason
 			s.mu.Unlock()
-			return nil, err
+			return Pending{}, err
 		}
 		if s.broken {
 			err := s.breakErr
@@ -349,7 +480,7 @@ func (s *Stream) enqueue(ctx context.Context, port string, args []byte, mode Mod
 			if err == nil {
 				err = exception.Unavailable("stream is broken")
 			}
-			return nil, err
+			return Pending{}, err
 		}
 		if s.admitLocked() {
 			break
@@ -378,30 +509,35 @@ func (s *Stream) enqueue(ctx context.Context, port string, args []byte, mode Mod
 				sm.flowWait.ObserveDuration(s.peer.clk.Now().Sub(start))
 			}
 		case <-ctx.Done():
-			return nil, ctx.Err()
+			return Pending{}, ctx.Err()
 		}
 		s.mu.Lock()
 	}
 	seq := s.nextSeq
 	s.nextSeq++
 	tid := trace.CallID(s.keyHash, s.incarnation, seq)
-	p := newPending(seq, mode)
-	p.sm = s.peer.sm
-	p.clk = s.peer.clk
-	s.pending.put(seq, p)
-	arm := len(s.buffer) == 0
+	p := newPending(seq, mode, s.peer.sm, s.peer.clk)
+	limit := s.batchLimitLocked()
+	sh := s.shardOf(seq)
+	sh.pending.put(seq, p)
+	// Seq assignment and the ring insert happen in one s.mu critical
+	// section, so a break cannot slip between them and orphan the pending.
+	// The shard append nests inside it (lock order s.mu -> sh.mu).
+	sh.mu.Lock()
+	arm := len(sh.buffer) == 0
 	if arm {
-		s.bufferedAt = s.peer.clk.Now()
-		s.lastArriveAt = s.bufferedAt
+		sh.bufferedAt = s.peer.clk.Now()
+		sh.lastArriveAt = sh.bufferedAt
 	} else if s.peer.idleFlush > 0 {
 		// Each arrival pushes the quiescence deadline out; the flush loop
 		// sends the batch once arrivals pause for peer.idleFlush.
-		s.lastArriveAt = s.peer.clk.Now()
+		sh.lastArriveAt = s.peer.clk.Now()
 	}
-	s.buffer = append(s.buffer, request{Seq: seq, Port: port, Mode: mode, Args: args, Trace: tid})
-	s.bufferBytes += reqWireSize(port, args)
-	full := len(s.buffer) >= s.batchLimitLocked() || mode == ModeRPC ||
-		(s.opts.MaxBatchBytes > 0 && s.bufferBytes >= s.opts.MaxBatchBytes)
+	sh.buffer = append(sh.buffer, request{Seq: seq, Port: port, Mode: mode, Args: args, Trace: tid})
+	sh.bufferBytes += reqWireSize(port, args)
+	full := len(sh.buffer) >= limit || mode == ModeRPC ||
+		(s.opts.MaxBatchBytes > 0 && sh.bufferBytes >= s.opts.MaxBatchBytes)
+	sh.mu.Unlock()
 	s.mu.Unlock()
 	if sm := s.peer.sm; sm != nil {
 		sm.callsEnqueued.Inc()
@@ -410,13 +546,13 @@ func (s *Stream) enqueue(ctx context.Context, port string, args []byte, mode Mod
 		s.peer.emit(trace.CallEnqueued, s.keyStr, seq, tid, mode.String())
 	}
 	if full {
-		s.Flush()
+		s.flushShard(sh, false)
 	} else if arm {
-		// First call of a new batch: arm the precise flush timer. The
-		// channel holds one pending signal; a dropped send means the loop
-		// is already due to re-check.
+		// First call of a new batch: arm the shard's precise flush timer.
+		// The channel holds one pending signal; a dropped send means the
+		// loop is already due to re-check.
 		select {
-		case s.flushArm <- struct{}{}:
+		case sh.flushArm <- struct{}{}:
 		default:
 		}
 	}
@@ -453,37 +589,57 @@ func (s *Stream) wakeFlowWaitersLocked() {
 // Flush transmits any buffered call requests now instead of waiting for
 // the batch to fill. ("Even without the flush, the system will send these
 // messages eventually; the flush merely speeds this up.")
-func (s *Stream) Flush() { s.flush(false) }
+func (s *Stream) Flush() {
+	for i := range s.shards {
+		s.flushShard(&s.shards[i], false)
+	}
+}
 
-// flush transmits the buffered batch. timerClosed marks a flush initiated
-// by the flush-loop timer (quiescence pause or MaxBatchDelay bound)
-// rather than by count/byte closure or an explicit Flush — the adaptive
-// controller treats that as evidence the limit has outrun the arrival
-// process (see adaptNoteTimerFlushLocked).
-func (s *Stream) flush(timerClosed bool) {
+// flushShard transmits one shard's buffered batch. timerClosed marks a
+// flush initiated by the shard's flush-loop timer (quiescence pause or
+// MaxBatchDelay bound) rather than by count/byte closure or an explicit
+// Flush — the adaptive controller treats that as evidence the limit has
+// outrun the arrival process (see adaptNoteTimerFlushLocked).
+//
+// The stream lock is held only long enough to snapshot the batch header
+// (incarnation, reply ack) and move the buffer to the unacked set; the
+// encode itself runs under the shard lock alone, so shards encode
+// concurrently.
+func (s *Stream) flushShard(sh *senderShard, timerClosed bool) {
 	s.mu.Lock()
-	if len(s.buffer) == 0 {
+	sh.mu.Lock()
+	if len(sh.buffer) == 0 {
+		sh.mu.Unlock()
 		s.mu.Unlock()
 		return
 	}
 	if timerClosed {
-		s.adaptNoteTimerFlushLocked(len(s.buffer))
+		s.adaptNoteTimerFlushLocked(len(sh.buffer))
 	}
-	batch := s.buffer
-	s.unacked = append(s.unacked, batch...)
-	s.lastSendAt = s.peer.clk.Now()
-	msg := s.buildRequestBatchLocked(batch)
-	firstSeq, n := batch[0].Seq, len(batch)
+	batch := sh.buffer
+	sh.unacked = append(sh.unacked, batch...)
+	sh.lastSendAt = s.peer.clk.Now()
+	s.lastAckedReplies = s.nextResolve - 1
+	hdr := requestBatch{
+		Agent:             s.key.agent,
+		Group:             s.key.group,
+		Incarnation:       s.incarnation,
+		AckRepliesThrough: s.nextResolve - 1,
+		Requests:          batch,
+	}
 	window := s.nextSeq - s.nextResolve // unresolved calls outstanding
+	s.mu.Unlock()
+	msg := encodeRequestBatch(hdr)
+	firstSeq, n := batch[0].Seq, len(batch)
 	// The batch is copied into unacked and encoded into msg; recycle its
 	// backing array as the next buffer (slots zeroed so the stale copies
 	// do not pin argument payloads).
 	for i := range batch {
 		batch[i] = request{}
 	}
-	s.buffer = batch[:0]
-	s.bufferBytes = 0
-	s.mu.Unlock()
+	sh.buffer = batch[:0]
+	sh.bufferBytes = 0
+	sh.mu.Unlock()
 	if sm := s.peer.sm; sm != nil {
 		sm.batchesSent.Inc()
 		sm.batchCalls.Observe(uint64(n))
@@ -497,7 +653,8 @@ func (s *Stream) flush(timerClosed bool) {
 }
 
 // buildRequestBatchLocked encodes a request batch carrying the current ack
-// state. Caller holds s.mu.
+// state — used for acks, probes, and retransmissions, which build under
+// the stream lock (they are off the hot path). Caller holds s.mu.
 func (s *Stream) buildRequestBatchLocked(reqs []request) []byte {
 	s.lastAckedReplies = s.nextResolve - 1
 	return encodeRequestBatch(requestBatch{
@@ -616,15 +773,26 @@ func (s *Stream) breakInternal(reason *exception.Exception, restart bool) {
 func (s *Stream) resolveAllLocked(reason *exception.Exception) {
 	o := ExceptionOutcome(reason)
 	for seq := s.nextResolve; seq < s.nextSeq; seq++ {
-		if held, ok := s.heldReplies.get(seq); ok {
+		if held, ok := s.shardOf(seq).heldReplies.get(seq); ok {
 			s.resolveOneLocked(seq, held)
 			continue
 		}
 		s.resolveOneLocked(seq, o)
 	}
-	s.buffer = nil
-	s.bufferBytes = 0
-	s.unacked = nil
+	s.clearShardBuffersLocked()
+}
+
+// clearShardBuffersLocked discards every shard's buffered and unacked
+// requests (break/reincarnation paths). Caller holds s.mu.
+func (s *Stream) clearShardBuffersLocked() {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.buffer = nil
+		sh.bufferBytes = 0
+		sh.unacked = nil
+		sh.mu.Unlock()
+	}
 }
 
 func (s *Stream) reincarnateLocked() {
@@ -648,14 +816,14 @@ func (s *Stream) reincarnateLocked() {
 	s.pendingBreak = false
 	s.recvEpoch = 0
 	s.lastProgressAt = s.peer.clk.Now()
-	s.buffer = nil
-	s.bufferBytes = 0
-	s.unacked = nil
 	s.ackedThrough = 0
 	s.completedThrough = 0
 	s.retries = 0
-	s.pending.reset()
-	s.heldReplies.reset()
+	s.clearShardBuffersLocked()
+	for i := range s.shards {
+		s.shards[i].pending.reset()
+		s.shards[i].heldReplies.reset()
+	}
 	// Credit was granted against the old incarnation's seq space.
 	s.grantThrough = 0
 	s.wakeFlowWaitersLocked()
@@ -673,11 +841,12 @@ func (s *Stream) reincarnateLocked() {
 // resolveOneLocked resolves pending seq with outcome o and advances the
 // resolution cursor. Caller must ensure seq == s.nextResolve.
 func (s *Stream) resolveOneLocked(seq uint64, o Outcome) {
-	if p, ok := s.pending.get(seq); ok {
-		p.resolve(o)
-		s.pending.del(seq)
+	sh := s.shardOf(seq)
+	if p, ok := sh.pending.get(seq); ok {
+		p.c.resolve(o)
+		sh.pending.del(seq)
 	}
-	s.heldReplies.del(seq)
+	sh.heldReplies.del(seq)
 	if !o.Normal && seq > s.lastExcSeq {
 		s.lastExcSeq = seq
 	}
@@ -732,16 +901,22 @@ func (s *Stream) handleReplyBatch(b *replyBatch) {
 		s.grantThrough = b.Credit
 		s.wakeFlowWaitersLocked()
 	}
-	// Receiver acked our requests; prune retransmission state.
+	// Receiver acked our requests; prune retransmission state. The ack is
+	// a global (contiguous) frontier, so it prunes every shard's unacked.
 	if b.AckRequestsThrough > s.ackedThrough {
 		s.ackedThrough = b.AckRequestsThrough
-		kept := s.unacked[:0]
-		for _, r := range s.unacked {
-			if r.Seq > s.ackedThrough {
-				kept = append(kept, r)
+		for i := range s.shards {
+			sh := &s.shards[i]
+			sh.mu.Lock()
+			kept := sh.unacked[:0]
+			for _, r := range sh.unacked {
+				if r.Seq > s.ackedThrough {
+					kept = append(kept, r)
+				}
 			}
+			sh.unacked = kept
+			sh.mu.Unlock()
 		}
-		s.unacked = kept
 	}
 	if b.CompletedThrough > s.completedThrough {
 		s.completedThrough = b.CompletedThrough
@@ -751,7 +926,7 @@ func (s *Stream) handleReplyBatch(b *replyBatch) {
 		// corrupt datagram must not make the held-replies ring grow to
 		// cover a garbage seq.
 		if r.Seq >= s.nextResolve && r.Seq < s.nextSeq {
-			s.heldReplies.put(r.Seq, r.Outcome)
+			s.shardOf(r.Seq).heldReplies.put(r.Seq, r.Outcome)
 		}
 	}
 	s.drainResolvableLocked()
@@ -768,12 +943,13 @@ func (s *Stream) drainResolvableLocked() {
 		if seq >= s.nextSeq {
 			return
 		}
-		if o, ok := s.heldReplies.get(seq); ok {
+		sh := s.shardOf(seq)
+		if o, ok := sh.heldReplies.get(seq); ok {
 			s.resolveOneLocked(seq, o)
 			continue
 		}
-		p, _ := s.pending.get(seq)
-		if p != nil && p.mode == ModeSend && seq <= s.completedThrough {
+		p, ok := sh.pending.get(seq)
+		if ok && p.c.mode == ModeSend && seq <= s.completedThrough {
 			// Normal reply omitted on the wire: completion implies success.
 			s.resolveOneLocked(seq, NormalOutcome(nil))
 			continue
@@ -842,26 +1018,26 @@ func (s *Stream) finalizeBreakLocked() {
 	s.breakErr = reason
 	o := ExceptionOutcome(reason)
 	for seq := s.nextResolve; seq < s.nextSeq; seq++ {
-		if held, ok := s.heldReplies.get(seq); ok && seq <= after {
+		if held, ok := s.shardOf(seq).heldReplies.get(seq); ok && seq <= after {
 			s.resolveOneLocked(seq, held)
 		} else {
 			s.resolveOneLocked(seq, o)
 		}
 	}
-	s.buffer = nil
-	s.bufferBytes = 0
-	s.unacked = nil
+	s.clearShardBuffersLocked()
 	s.wakeFlowWaitersLocked()
 	if s.opts.AutoRestart {
 		s.reincarnateLocked()
 	}
 }
 
-// tick is called periodically by the peer: it flushes aged batches and
-// retransmits unacknowledged requests, breaking the stream when retries
-// are exhausted.
+// tick is called periodically by the peer: it retransmits unacknowledged
+// requests (per shard), breaking the stream when retries are exhausted,
+// and sends pure acks and liveness probes when the stream is otherwise
+// quiet.
 func (s *Stream) tick(now time.Time) {
 	var (
+		resend  [][]byte
 		toSend  []byte
 		doBreak bool
 	)
@@ -883,8 +1059,19 @@ func (s *Stream) tick(now time.Time) {
 	// Age-based flushes are NOT handled here: flushLoop schedules a
 	// precise per-batch timer at bufferedAt+MaxBatchDelay, so a buffered
 	// batch never waits out the tick quantization on top of its delay.
-	if len(s.unacked) > 0 && now.Sub(s.lastSendAt) >= s.opts.RTO {
-		// Retransmission of everything not yet acked.
+	stale := false
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		if len(sh.unacked) > 0 && now.Sub(sh.lastSendAt) >= s.opts.RTO {
+			stale = true
+		}
+		sh.mu.Unlock()
+	}
+	if stale {
+		// Retransmission of everything not yet acked, one batch per shard
+		// holding stale unacked requests. One tick counts as one retry
+		// regardless of how many shards retransmit.
 		s.retries++
 		s.adapt.epochRetrans = true
 		if sm != nil {
@@ -893,15 +1080,24 @@ func (s *Stream) tick(now time.Time) {
 		if s.retries > s.opts.MaxRetries {
 			doBreak = true
 		} else {
-			s.lastSendAt = now
-			toSend = s.buildRequestBatchLocked(s.unacked)
-			if sm != nil {
-				sm.batchesSent.Inc()
-				sm.retransmits.Inc()
-				sm.batchBytes.Observe(uint64(len(toSend)))
-			}
-			if s.peer.tracing() {
-				s.peer.emit(trace.BatchSent, s.keyStr, s.unacked[0].Seq, 0, fmt.Sprintf("n=%d retransmit", len(s.unacked)))
+			for i := range s.shards {
+				sh := &s.shards[i]
+				sh.mu.Lock()
+				if len(sh.unacked) > 0 && now.Sub(sh.lastSendAt) >= s.opts.RTO {
+					sh.lastSendAt = now
+					msg := s.buildRequestBatchLocked(sh.unacked)
+					if sm != nil {
+						sm.batchesSent.Inc()
+						sm.retransmits.Inc()
+						sm.batchBytes.Observe(uint64(len(msg)))
+					}
+					if s.peer.tracing() {
+						s.peer.emit(trace.BatchSent, s.keyStr, sh.unacked[0].Seq, 0,
+							fmt.Sprintf("n=%d retransmit", len(sh.unacked)))
+					}
+					resend = append(resend, msg)
+				}
+				sh.mu.Unlock()
 			}
 		}
 	} else if s.nextResolve > 1 && s.ackRepliesOwedLocked() {
@@ -944,6 +1140,9 @@ func (s *Stream) tick(now time.Time) {
 		s.systemBreak(exception.Unavailable("cannot communicate"))
 		return
 	}
+	for _, msg := range resend {
+		s.peer.transmit(s.key.recvNode, msg)
+	}
 	if toSend != nil {
 		s.peer.transmit(s.key.recvNode, toSend)
 	}
@@ -956,16 +1155,16 @@ func (s *Stream) ackRepliesOwedLocked() bool {
 	return s.nextResolve-1 > s.lastAckedReplies
 }
 
-// flushLoop runs the stream's precise age-flush timer: parked until
-// enqueue signals that the buffer went non-empty (flushArm), it then
-// sleeps to exactly bufferedAt+MaxBatchDelay and flushes whatever is
+// flushLoop runs one shard's precise age-flush timer: parked until
+// enqueue signals that the shard's buffer went non-empty (flushArm), it
+// then sleeps to exactly bufferedAt+MaxBatchDelay and flushes whatever is
 // still buffered. The peer tick used to do this on its coarse interval,
 // which let a batch wait up to a full tick beyond MaxBatchDelay; a timer
 // through the clock removes the quantization (and stays deterministic
 // under the virtual clock, where timer waiters fire at exact instants).
-// The goroutine exits with the peer context; an idle stream costs one
+// The goroutine exits with the peer context; an idle shard costs one
 // parked goroutine and no timer.
-func (s *Stream) flushLoop() {
+func (s *Stream) flushLoop(sh *senderShard) {
 	defer s.peer.wg.Done()
 	var t clock.Timer
 	defer func() {
@@ -977,21 +1176,21 @@ func (s *Stream) flushLoop() {
 		select {
 		case <-s.peer.ctx.Done():
 			return
-		case <-s.flushArm:
+		case <-sh.flushArm:
 		}
 		for {
-			s.mu.Lock()
-			if len(s.buffer) == 0 {
-				s.mu.Unlock()
+			sh.mu.Lock()
+			if len(sh.buffer) == 0 {
+				sh.mu.Unlock()
 				break // flushed by count/bytes/Flush; park until re-armed
 			}
-			due := s.bufferedAt.Add(s.opts.MaxBatchDelay)
+			due := sh.bufferedAt.Add(s.opts.MaxBatchDelay)
 			if idle := s.peer.idleFlush; idle > 0 {
-				if d := s.lastArriveAt.Add(idle); d.Before(due) {
+				if d := sh.lastArriveAt.Add(idle); d.Before(due) {
 					due = d // quiescence: arrivals paused, stop waiting for more
 				}
 			}
-			s.mu.Unlock()
+			sh.mu.Unlock()
 			if wait := due.Sub(s.peer.clk.Now()); wait > 0 {
 				if t == nil {
 					t = s.peer.clk.NewTimer(wait)
@@ -1005,7 +1204,7 @@ func (s *Stream) flushLoop() {
 				}
 				continue // re-check: the batch may have flushed meanwhile
 			}
-			s.flush(true)
+			s.flushShard(sh, true)
 		}
 	}
 }

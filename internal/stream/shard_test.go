@@ -1,0 +1,397 @@
+package stream
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"promises/internal/simnet"
+)
+
+// Tests for the pooled-handle discipline (Pending cells recycled through
+// a generation-guarded pool, Incoming scratch poisoned on retire) and for
+// the sharded hot path's wire invariants: a sharded sender or receiver
+// must accept calls in exactly the order a shards=1 peer would.
+
+// asymFixture is a testFixture whose two peers run different Options —
+// the shard-interop tests put a sharded peer on one side and a legacy
+// (shards=1) peer on the other.
+func newAsymFixture(t *testing.T, cfg simnet.Config, clientOpts, serverOpts Options) *testFixture {
+	t.Helper()
+	n := simnet.New(cfg)
+	f := &testFixture{
+		net:      n,
+		handlers: make(map[string]Handler),
+	}
+	f.client = NewPeer(n.MustAddNode("client"), clientOpts)
+	f.server = NewPeer(n.MustAddNode("server"), serverOpts)
+	f.server.SetDispatcher(func(port string) (Handler, bool) {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		h, ok := f.handlers[port]
+		return h, ok
+	})
+	t.Cleanup(func() {
+		f.client.Close()
+		f.server.Close()
+		n.Close()
+	})
+	return f
+}
+
+func mustPanic(t *testing.T, want string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected panic %q, got none", want)
+		}
+		if msg, ok := r.(string); !ok || msg != want {
+			t.Fatalf("panic = %v, want %q", r, want)
+		}
+	}()
+	f()
+}
+
+// TestPendingReleaseStaleHandlePanics: after Release recycles the cell, any
+// further use of the handle must fail loudly — the cell may already back a
+// different call, and silently aliasing it would corrupt that call.
+func TestPendingReleaseStaleHandlePanics(t *testing.T) {
+	f := newFixture(t, simnet.Config{}, fastOpts())
+	f.handle("echo", echoHandler)
+	s := f.client.Agent("a1").Stream("server", "g1")
+
+	p, err := s.Call("echo", []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Flush()
+	claim(t, p)
+	p.Release()
+
+	mustPanic(t, "stream: use of released Pending handle", func() { p.Ready() })
+	mustPanic(t, "stream: use of released Pending handle", func() { p.Get() })
+	// A second Release trips the same generation guard: the cell was
+	// recycled (generation bumped) by the first.
+	mustPanic(t, "stream: use of released Pending handle", func() { p.Release() })
+}
+
+// TestPendingReleaseUnresolvedPanics: Release is the caller's statement
+// that the outcome has been claimed; releasing a still-blocked call would
+// let the transport resolve into a recycled cell.
+func TestPendingReleaseUnresolvedPanics(t *testing.T) {
+	f := newFixture(t, simnet.Config{}, fastOpts())
+	f.handle("echo", echoHandler)
+	s := f.client.Agent("a1").Stream("server", "g1")
+
+	gate := make(chan struct{})
+	f.handle("slow", func(call *Incoming) Outcome {
+		<-gate
+		return NormalOutcome(nil)
+	})
+	p, err := s.Call("slow", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPanic(t, "stream: Release of an unresolved Pending", func() { p.Release() })
+	close(gate)
+	claim(t, p)
+	p.Release()
+}
+
+// TestPendingZeroValuePanics: the zero Pending is not a call.
+func TestPendingZeroValuePanics(t *testing.T) {
+	var p Pending
+	if p.Valid() {
+		t.Fatal("zero Pending reports Valid")
+	}
+	mustPanic(t, "stream: use of zero-value Pending", func() { p.Ready() })
+}
+
+// TestPendingReusedCellNewGeneration: a released cell recycled into a new
+// call gets a new generation, so the old handle stays invalid even though
+// the pointer it snapshotted is live again.
+func TestPendingReusedCellNewGeneration(t *testing.T) {
+	f := newFixture(t, simnet.Config{}, fastOpts())
+	f.handle("echo", echoHandler)
+	s := f.client.Agent("a1").Stream("server", "g1")
+
+	old, err := s.Call("echo", []byte("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Flush()
+	claim(t, old)
+	old.Release()
+
+	// Drive enough calls that the pool almost surely re-issues old's cell.
+	for i := 0; i < 64; i++ {
+		p, err := s.Call("echo", []byte("b"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Flush()
+		claim(t, p)
+		p.Release()
+	}
+	mustPanic(t, "stream: use of released Pending handle", func() { old.Ready() })
+}
+
+// TestIncomingRetainedPastReturnPanics: the Incoming a handler receives is
+// pool-owned scratch, valid only for the duration of the handler. A handler
+// that squirrels the pointer away sees poisoned zero fields afterwards, and
+// any method use panics instead of corrupting the next call on the worker.
+func TestIncomingRetainedPastReturnPanics(t *testing.T) {
+	f := newFixture(t, simnet.Config{}, fastOpts())
+	retained := make(chan *Incoming, 1)
+	f.handle("keep", func(call *Incoming) Outcome {
+		retained <- call
+		return NormalOutcome(nil)
+	})
+	s := f.client.Agent("a1").Stream("server", "g1")
+	p, err := s.Call("keep", []byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Flush()
+	claim(t, p)
+	p.Release()
+
+	call := <-retained
+	deadline := time.Now().Add(5 * time.Second)
+	for !call.retired {
+		if time.Now().After(deadline) {
+			t.Fatal("Incoming not retired after handler return")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if call.Port != "" || call.Seq != 0 || call.Args != nil {
+		t.Fatalf("retired Incoming keeps data: %+v", call)
+	}
+	mustPanic(t, "stream: Incoming used after its handler returned (Clone to retain)",
+		func() { call.BreakStream(nil) })
+	mustPanic(t, "stream: Clone of an Incoming whose handler already returned",
+		func() { call.Clone() })
+}
+
+// TestIncomingCloneRetention: Clone inside the handler is the sanctioned
+// way to retain a call — the clone owns copied Args and survives retire.
+func TestIncomingCloneRetention(t *testing.T) {
+	f := newFixture(t, simnet.Config{}, fastOpts())
+	cloned := make(chan *Incoming, 1)
+	f.handle("keep", func(call *Incoming) Outcome {
+		cloned <- call.Clone()
+		return NormalOutcome(nil)
+	})
+	s := f.client.Agent("a1").Stream("server", "g1")
+	p, err := s.Call("keep", []byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Flush()
+	claim(t, p)
+	p.Release()
+
+	c := <-cloned
+	if c.Port != "keep" || c.Seq != 1 || !bytes.Equal(c.Args, []byte("payload")) {
+		t.Fatalf("clone lost data: %+v", c)
+	}
+}
+
+// acceptOrder runs n calls on an asymmetric fixture and returns the order
+// in which the receiver's serial executor ran them.
+func acceptOrder(t *testing.T, clientOpts, serverOpts Options, n int) []uint64 {
+	t.Helper()
+	f := newAsymFixture(t, simnet.Config{}, clientOpts, serverOpts)
+	var mu sync.Mutex
+	var order []uint64
+	f.handle("rec", func(call *Incoming) Outcome {
+		mu.Lock()
+		order = append(order, call.Seq)
+		mu.Unlock()
+		return NormalOutcome(call.Args)
+	})
+	s := f.client.Agent("a1").Stream("server", "g1")
+	pendings := make([]Pending, 0, n)
+	for i := 0; i < n; i++ {
+		p, err := s.Call("rec", []byte{byte(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pendings = append(pendings, p)
+	}
+	s.Flush()
+	for _, p := range pendings {
+		o := claim(t, p)
+		if !o.Normal {
+			t.Fatalf("seq %d: %+v", p.Seq, o)
+		}
+		p.Release()
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	return order
+}
+
+// TestShardInteropAcceptedOrder: every mix of sharded and legacy endpoints
+// must accept calls in the identical order — the wire protocol and the
+// receiver's merge point are shard-count-blind. A sharded sender's batches
+// each carry one residue class, but the receiver reorders by seq exactly
+// as it reorders network-delayed batches from a legacy sender.
+func TestShardInteropAcceptedOrder(t *testing.T) {
+	const n = 200
+	base := fastOpts()
+	sharded := base
+	sharded.Shards = 4
+
+	want := acceptOrder(t, base, base, n)
+	if len(want) != n {
+		t.Fatalf("accepted %d calls, want %d", len(want), n)
+	}
+	for i, seq := range want {
+		if seq != uint64(i+1) {
+			t.Fatalf("legacy order[%d] = %d, want %d", i, seq, i+1)
+		}
+	}
+
+	cases := []struct {
+		name           string
+		client, server Options
+	}{
+		{"shardedSender_legacyReceiver", sharded, base},
+		{"legacySender_shardedReceiver", base, sharded},
+		{"sharded_bothSides", sharded, sharded},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := acceptOrder(t, tc.client, tc.server, n)
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("accepted order diverges from legacy:\n got %v\nwant %v", got, want)
+			}
+		})
+	}
+}
+
+// TestShardedLossyInterop: sharding must not disturb recovery — with a
+// lossy, reordering network, retransmits from per-shard unacked buffers
+// still deliver every call exactly once and in order.
+func TestShardedLossyInterop(t *testing.T) {
+	opts := fastOpts()
+	opts.Shards = 4
+	cfg := simnet.Config{
+		Seed:        7,
+		LossRate:    0.2,
+		Propagation: time.Millisecond,
+		Jitter:      4 * time.Millisecond,
+	}
+	f, _ := newVirtualFixture(t, cfg, opts)
+	var mu sync.Mutex
+	var order []uint64
+	f.handle("rec", func(call *Incoming) Outcome {
+		mu.Lock()
+		order = append(order, call.Seq)
+		mu.Unlock()
+		return NormalOutcome(call.Args)
+	})
+	s := f.client.Agent("a1").Stream("server", "g1")
+	const n = 120
+	pendings := make([]Pending, 0, n)
+	for i := 0; i < n; i++ {
+		p, err := s.Call("rec", []byte{byte(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pendings = append(pendings, p)
+	}
+	s.Flush()
+	for _, p := range pendings {
+		o := claim(t, p)
+		if !o.Normal {
+			t.Fatalf("seq %d: %+v", p.Seq, o)
+		}
+		p.Release()
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != n {
+		t.Fatalf("executed %d calls, want %d (exactly-once violated)", len(order), n)
+	}
+	for i, seq := range order {
+		if seq != uint64(i+1) {
+			t.Fatalf("order[%d] = %d, want %d", i, seq, i+1)
+		}
+	}
+}
+
+// TestShardedParallelPortConcurrentCallers drives a sharded stream from
+// many goroutines against a parallel port executed on shard-pinned
+// workers — the race-detector workout for the sharded hot path.
+func TestShardedParallelPortConcurrentCallers(t *testing.T) {
+	opts := Options{MaxBatch: 8, MaxBatchDelay: time.Millisecond,
+		RTO: 50 * time.Millisecond, MaxRetries: 8,
+		Shards: 4, ExecWorkers: 4}
+	f := newAsymFixture(t, simnet.Config{}, opts, opts)
+	f.server.SetParallelPorts(func(port string) bool { return port == "echo" })
+	f.handle("echo", echoHandler)
+	s := f.client.Agent("a1").Stream("server", "g1")
+
+	const callers, perCaller = 8, 50
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errs := make(chan error, callers)
+	for g := 0; g < callers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perCaller; i++ {
+				p, err := s.Call("echo", []byte{byte(g), byte(i)})
+				if err != nil {
+					errs <- err
+					return
+				}
+				s.Flush()
+				o, err := p.Wait(ctx)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !o.Normal || !bytes.Equal(o.Payload, []byte{byte(g), byte(i)}) {
+					errs <- fmt.Errorf("seq %d: bad outcome %+v", p.Seq, o)
+					return
+				}
+				p.Release()
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestAutoShardsResolves: AutoShards resolves to GOMAXPROCS and the wire
+// behavior stays correct.
+func TestAutoShardsResolves(t *testing.T) {
+	opts := fastOpts()
+	opts.Shards = AutoShards
+	f := newFixture(t, simnet.Config{}, opts)
+	f.handle("echo", echoHandler)
+	s := f.client.Agent("a1").Stream("server", "g1")
+	if s.Shards() < 1 {
+		t.Fatalf("Shards() = %d, want >= 1", s.Shards())
+	}
+	p, err := s.Call("echo", []byte("hi"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Flush()
+	o := claim(t, p)
+	if !o.Normal || string(o.Payload) != "hi" {
+		t.Fatalf("outcome %+v", o)
+	}
+	p.Release()
+}

@@ -78,7 +78,7 @@ func fastOpts() Options {
 	return Options{MaxBatch: 8, MaxBatchDelay: time.Millisecond, RTO: 10 * time.Millisecond, MaxRetries: 4}
 }
 
-func claim(t *testing.T, p *Pending) Outcome {
+func claim(t *testing.T, p Pending) Outcome {
 	t.Helper()
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
@@ -108,7 +108,7 @@ func TestRepliesResolveInCallOrder(t *testing.T) {
 	f.handle("echo", echoHandler)
 	s := f.client.Agent("a1").Stream("server", "g1")
 	const n = 100
-	ps := make([]*Pending, n)
+	ps := make([]Pending, n)
 	for i := range ps {
 		p, err := s.Call("echo", []byte{byte(i)})
 		if err != nil {
@@ -138,7 +138,7 @@ func TestOrderedReadinessInvariant(t *testing.T) {
 	f.handle("echo", echoHandler)
 	s := f.client.Agent("a1").Stream("server", "g1")
 	const n = 64
-	ps := make([]*Pending, n)
+	ps := make([]Pending, n)
 	for i := range ps {
 		p, err := s.Call("echo", nil)
 		if err != nil {
@@ -210,7 +210,7 @@ func TestSendCompletesWithoutIndividualReply(t *testing.T) {
 	})
 	s := f.client.Agent("a1").Stream("server", "g1")
 	const n = 20
-	ps := make([]*Pending, n)
+	ps := make([]Pending, n)
 	for i := range ps {
 		p, err := s.Send("notify", []byte{byte(i)})
 		if err != nil {
@@ -238,7 +238,7 @@ func TestSendExceptionStillReported(t *testing.T) {
 		return NormalOutcome(nil)
 	})
 	s := f.client.Agent("a1").Stream("server", "g1")
-	ps := make([]*Pending, 6)
+	ps := make([]Pending, 6)
 	for i := range ps {
 		p, err := s.Send("notify", []byte{byte(i)})
 		if err != nil {
@@ -388,7 +388,7 @@ func TestBatchingReducesMessages(t *testing.T) {
 		defer server.Close()
 		server.SetDispatcher(func(string) (Handler, bool) { return echoHandler, true })
 		s := client.Agent("a").Stream("server", "g")
-		ps := make([]*Pending, n)
+		ps := make([]Pending, n)
 		for i := range ps {
 			p, err := s.Call("echo", []byte{byte(i)})
 			if err != nil {
@@ -421,7 +421,7 @@ func TestLocalBreakResolvesOutstanding(t *testing.T) {
 	f := newFixture(t, simnet.Config{}, opts)
 	f.handle("echo", echoHandler)
 	s := f.client.Agent("a1").Stream("server", "g1")
-	ps := make([]*Pending, 5)
+	ps := make([]Pending, 5)
 	for i := range ps {
 		p, err := s.Call("echo", nil)
 		if err != nil {
@@ -531,7 +531,7 @@ func TestReceiverSynchronousBreak(t *testing.T) {
 		return NormalOutcome(call.Args)
 	})
 	s := f.client.Agent("a1").Stream("server", "g1")
-	ps := make([]*Pending, 5)
+	ps := make([]Pending, 5)
 	for i := range ps {
 		p, err := s.Call("step", []byte{byte(i)})
 		if err != nil {
@@ -570,7 +570,7 @@ func TestLossRecoveryExactlyOnceInOrder(t *testing.T) {
 	})
 	s := f.client.Agent("a1").Stream("server", "g1")
 	const n = 120
-	ps := make([]*Pending, n)
+	ps := make([]Pending, n)
 	for i := range ps {
 		p, err := s.Call("rec", []byte{byte(i)})
 		if err != nil {
@@ -651,7 +651,7 @@ func TestSameStreamCallsAreSerial(t *testing.T) {
 		return NormalOutcome(nil)
 	})
 	s := f.client.Agent("a1").Stream("server", "g1")
-	ps := make([]*Pending, 10)
+	ps := make([]Pending, 10)
 	for i := range ps {
 		p, err := s.Call("serial", nil)
 		if err != nil {
@@ -705,7 +705,7 @@ func TestServerCrashBreaksThenRecoverWorks(t *testing.T) {
 }
 
 func TestPendingWaitContextCancel(t *testing.T) {
-	p := newPending(1, ModeCall)
+	p := newPending(1, ModeCall, nil, nil)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	if _, err := p.Wait(ctx); !errors.Is(err, context.Canceled) {
@@ -836,7 +836,7 @@ func TestHandlersOnSameGroupShareStream(t *testing.T) {
 	f.handle("first", rec("first"))
 	f.handle("second", rec("second"))
 	s := f.client.Agent("a1").Stream("server", "g1")
-	var last *Pending
+	var last Pending
 	for i := 0; i < 10; i++ {
 		p1, err := s.Call("first", nil)
 		if err != nil {
@@ -877,7 +877,7 @@ func TestManyCallsStress(t *testing.T) {
 	})
 	s := f.client.Agent("a1").Stream("server", "g1")
 	const n = 500
-	ps := make([]*Pending, n)
+	ps := make([]Pending, n)
 	want := int64(0)
 	for i := range ps {
 		want += int64(i)

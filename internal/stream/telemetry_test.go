@@ -229,7 +229,7 @@ func TestAllocsStreamCallRoundTripWithTelemetry(t *testing.T) {
 	arg := make([]byte, 32)
 	ctx := context.Background()
 	const window = 64
-	pendings := make([]*Pending, 0, window)
+	pendings := make([]Pending, 0, window)
 
 	runWindow := func() {
 		for i := 0; i < window; i++ {

@@ -23,7 +23,7 @@ func TestTracingCapturesProtocolLifecycle(t *testing.T) {
 
 	s := f.client.Agent("a1").Stream("server", "g1")
 	const n = 5
-	ps := make([]*Pending, n)
+	ps := make([]Pending, n)
 	for i := range ps {
 		p, err := s.Call("echo", []byte{byte(i)})
 		if err != nil {

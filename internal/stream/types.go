@@ -32,6 +32,7 @@ package stream
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -191,6 +192,18 @@ type Options struct {
 	// calls (Peer.SetParallelPorts); serial calls still run on their
 	// stream's executor. Default 16.
 	ExecWorkers int
+	// Shards is the number of hot-path shards each stream runs with:
+	// batch assembly, unacked tracking, reply retention, and completion
+	// watermarks are partitioned by seq % Shards so concurrent callers
+	// (and parallel-port executions) spread across cores instead of
+	// serializing on one lock. 0 or 1 selects the single-shard path,
+	// which is byte-identical to the historical wire behavior (batches
+	// carry consecutive seqs); AutoShards (-1) resolves to GOMAXPROCS.
+	// With Shards > 1 a single batch carries the seqs of one residue
+	// class, so in-order delivery is reassembled at the receiver's merge
+	// point — interoperating with receivers that require consecutive
+	// seqs per batch needs Shards <= 1.
+	Shards int
 	// Clock is the peer's time source: tick loop, RTO and batching-delay
 	// staleness, break timeouts, trace timestamps. Default: the clock of
 	// the simnet network the peer's node belongs to, so configuring a
@@ -222,9 +235,26 @@ func (o Options) withDefaults() Options {
 	if o.ExecWorkers <= 0 {
 		o.ExecWorkers = 16
 	}
+	if o.Shards == AutoShards {
+		o.Shards = runtime.GOMAXPROCS(0)
+	}
+	if o.Shards <= 0 {
+		o.Shards = 1
+	}
+	if o.Shards > maxShards {
+		o.Shards = maxShards
+	}
 	o.AutoRestart = !o.NoAutoRestart
 	return o
 }
+
+// AutoShards, given as Options.Shards, selects one hot-path shard per
+// GOMAXPROCS core.
+const AutoShards = -1
+
+// maxShards bounds the per-stream shard count; past this, per-shard fixed
+// costs (goroutines, rings) dominate any conceivable parallelism win.
+const maxShards = 64
 
 // streamKey identifies one stream: the pair (agent, port group), plus the
 // nodes at each end. Calls made by different agents to ports in the same
