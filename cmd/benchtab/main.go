@@ -27,8 +27,9 @@ func main() {
 		quick    = flag.Bool("quick", false, "run at smoke-test scale")
 		list     = flag.Bool("list", false, "list experiments and exit")
 		metrics  = flag.Bool("metrics", false, "append a metrics-registry snapshot after the tables")
-		virtual  = flag.Bool("virtual", false, "run on a virtual clock: modeled costs elapse instantly and tables are deterministic (E6 and A3 measure CPU and need the real clock)")
-		parallel = flag.Bool("parallel", false, "run only the E12 multicore sharding sweep (GOMAXPROCS x shard counts) at full scale")
+		virtual   = flag.Bool("virtual", false, "run on a virtual clock: modeled costs elapse instantly and tables are deterministic (E6, E13, and A3 need the real clock)")
+		parallel  = flag.Bool("parallel", false, "run only the E12 multicore sharding sweep (GOMAXPROCS x shard counts) at full scale")
+		transport = flag.String("transport", "", "run only the transport-backend comparison: 'tcp' selects E13 (simnet vs real loopback sockets)")
 	)
 	flag.Parse()
 
@@ -45,6 +46,14 @@ func main() {
 	var ids []string
 	if *parallel {
 		*exp = "E12"
+	}
+	switch *transport {
+	case "":
+	case "tcp":
+		*exp = "E13"
+	default:
+		fmt.Fprintf(os.Stderr, "benchtab: unknown transport %q (only 'tcp')\n", *transport)
+		os.Exit(2)
 	}
 	switch *exp {
 	case "all", "":

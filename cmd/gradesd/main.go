@@ -11,6 +11,14 @@
 //	gradesd -mode coenter            # Figure 4-2
 //	gradesd -mode atomic             # coenter with a recording action
 //	gradesd -fail-after 5            # inject early recorder death
+//
+// With -transport=tcp the guardians run as separate OS processes over
+// real loopback (or LAN) sockets:
+//
+//	gradesd -transport=tcp -role servers \
+//	    -listen gradesdb=127.0.0.1:7001,printer=127.0.0.1:7002
+//	gradesd -transport=tcp -role client \
+//	    -connect gradesdb=127.0.0.1:7001,printer=127.0.0.1:7002
 package main
 
 import (
@@ -18,11 +26,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 	"time"
 
 	"promises/internal/app/grades"
 	"promises/internal/simnet"
 	"promises/internal/stream"
+	"promises/internal/tcpnet"
 )
 
 func main() {
@@ -31,16 +43,42 @@ func main() {
 		mode      = flag.String("mode", "coenter", "composition: sequential | forks | coenter | atomic")
 		failAfter = flag.Int("fail-after", 0, "inject recorder death after this many calls (0 = off)")
 		delay     = flag.Duration("delay", time.Millisecond, "per-call processing cost at the servers")
+		transport = flag.String("transport", "sim", "network backend: sim (one process, simulated) | tcp (real sockets)")
+		role      = flag.String("role", "", "tcp only: servers (db+printer) | client")
+		listen    = flag.String("listen", "", "tcp servers: name=addr list, e.g. gradesdb=127.0.0.1:7001,printer=127.0.0.1:7002")
+		connect   = flag.String("connect", "", "tcp client: name=addr list of server endpoints to dial")
 	)
 	flag.Parse()
 
+	opts := stream.Options{MaxBatch: 16, MaxBatchDelay: time.Millisecond}
+
+	switch *transport {
+	case "sim":
+		runSim(*n, *mode, *failAfter, *delay, opts)
+	case "tcp":
+		switch *role {
+		case "servers":
+			runTCPServers(*listen, *delay, opts)
+		case "client":
+			runTCPClient(*n, *mode, *failAfter, *connect, opts)
+		default:
+			fmt.Fprintf(os.Stderr, "gradesd: -transport=tcp needs -role servers or -role client\n")
+			os.Exit(2)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "gradesd: unknown transport %q\n", *transport)
+		os.Exit(2)
+	}
+}
+
+// runSim is the historical single-process demo on the simulated network.
+func runSim(n int, mode string, failAfter int, delay time.Duration, opts stream.Options) {
 	net := simnet.New(simnet.Config{
 		KernelOverhead: 20 * time.Microsecond,
 		Propagation:    200 * time.Microsecond,
 		PerByte:        10 * time.Nanosecond,
 	})
 	defer net.Close()
-	opts := stream.Options{MaxBatch: 16, MaxBatchDelay: time.Millisecond}
 
 	db, err := grades.NewDB(net, "gradesdb", opts)
 	check(err)
@@ -52,16 +90,93 @@ func main() {
 	check(err)
 	defer client.G.Close()
 
-	db.SetDelay(*delay)
-	pr.SetDelay(*delay)
-	client.FailRecordingAfter = *failAfter
+	db.SetDelay(delay)
+	pr.SetDelay(delay)
+	client.FailRecordingAfter = failAfter
 
-	load := grades.Workload(*n)
+	elapsed, err := runComposition(client, n, mode)
+	report(n, mode, elapsed, err)
+	for _, line := range pr.Lines() {
+		fmt.Println(" ", line)
+	}
+	st := net.Stats()
+	fmt.Printf("network: %d messages sent, %d delivered, %d kernel calls, %d bytes\n",
+		st.MessagesSent, st.MessagesDelivered, st.KernelCalls, st.BytesSent)
+}
+
+// runTCPServers hosts the database and printer guardians, each on its own
+// listening TCP endpoint, until interrupted.
+func runTCPServers(listen string, delay time.Duration, opts stream.Options) {
+	addrs, err := parseAddrList(listen)
+	check(err)
+	for _, name := range []string{"gradesdb", "printer"} {
+		if addrs[name] == "" {
+			check(fmt.Errorf("-listen must name %s=addr", name))
+		}
+	}
+
+	dbEP, err := tcpnet.Listen("gradesdb", addrs["gradesdb"], tcpnet.Config{})
+	check(err)
+	defer dbEP.Close()
+	prEP, err := tcpnet.Listen("printer", addrs["printer"], tcpnet.Config{})
+	check(err)
+	defer prEP.Close()
+
+	db, err := grades.NewDBOn(dbEP, opts)
+	check(err)
+	defer db.G.Close()
+	pr, err := grades.NewPrinterOn(prEP, opts)
+	check(err)
+	defer pr.G.Close()
+	db.SetDelay(delay)
+	pr.SetDelay(delay)
+
+	fmt.Printf("gradesdb listening on %s, printer on %s (ctrl-c to stop)\n",
+		dbEP.Addr(), prEP.Addr())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+
+	fmt.Println("printed output:")
+	for _, line := range pr.Lines() {
+		fmt.Println(" ", line)
+	}
+	st := dbEP.Stats()
+	fmt.Printf("gradesdb transport: %d frames in, %d frames out, %d bytes out, %d writevs\n",
+		st.FramesRecv, st.FramesSent, st.BytesSent, st.Writevs)
+}
+
+// runTCPClient runs the composition against server guardians living in
+// another process, known only by name and address.
+func runTCPClient(n int, mode string, failAfter int, connect string, opts stream.Options) {
+	routes, err := parseAddrList(connect)
+	check(err)
+	ep, err := tcpnet.Listen("client", "", tcpnet.Config{Routes: routes})
+	check(err)
+	defer ep.Close()
+
+	client, err := grades.NewClientOn(ep, opts,
+		grades.DBRef("gradesdb"), grades.PrinterRef("printer"))
+	check(err)
+	defer client.G.Close()
+	client.FailRecordingAfter = failAfter
+
+	elapsed, err := runComposition(client, n, mode)
+	report(n, mode, elapsed, err)
+	fmt.Println("(printed lines appear in the servers process)")
+	st := ep.Stats()
+	fmt.Printf("client transport: %d frames out, %d bytes out, %d writevs, %d dials\n",
+		st.FramesSent, st.BytesSent, st.Writevs, st.Dials)
+}
+
+// runComposition executes one of the paper's composition strategies.
+func runComposition(client *grades.Client, n int, mode string) (time.Duration, error) {
+	load := grades.Workload(n)
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
-
 	start := time.Now()
-	switch *mode {
+	var err error
+	switch mode {
 	case "sequential":
 		err = client.RunSequential(ctx, load)
 	case "forks":
@@ -71,23 +186,35 @@ func main() {
 	case "atomic":
 		err = client.RunCoenterAtomic(ctx, load)
 	default:
-		fmt.Fprintf(os.Stderr, "gradesd: unknown mode %q\n", *mode)
+		fmt.Fprintf(os.Stderr, "gradesd: unknown mode %q\n", mode)
 		os.Exit(2)
 	}
-	elapsed := time.Since(start)
+	return time.Since(start), err
+}
 
+func report(n int, mode string, elapsed time.Duration, err error) {
 	if err != nil {
 		fmt.Printf("composition terminated: %v (after %v)\n", err, elapsed.Round(time.Millisecond))
 	} else {
 		fmt.Printf("recorded and printed %d grades in %v (%s composition)\n",
-			*n, elapsed.Round(time.Millisecond), *mode)
+			n, elapsed.Round(time.Millisecond), mode)
 	}
-	for _, line := range pr.Lines() {
-		fmt.Println(" ", line)
+}
+
+// parseAddrList parses "name=addr,name=addr" into a map.
+func parseAddrList(s string) (map[string]string, error) {
+	out := make(map[string]string)
+	if s == "" {
+		return out, nil
 	}
-	st := net.Stats()
-	fmt.Printf("network: %d messages sent, %d delivered, %d kernel calls, %d bytes\n",
-		st.MessagesSent, st.MessagesDelivered, st.KernelCalls, st.BytesSent)
+	for _, part := range strings.Split(s, ",") {
+		name, addr, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" || addr == "" {
+			return nil, fmt.Errorf("bad name=addr entry %q", part)
+		}
+		out[name] = addr
+	}
+	return out, nil
 }
 
 func check(err error) {

@@ -6,6 +6,12 @@
 //
 //	mailer            # the scripted two-client scenario
 //	mailer -msgs 10   # more traffic per client
+//
+// With -transport=tcp the mailer guardian runs in its own OS process on a
+// real socket and the clients dial it from another:
+//
+//	mailer -transport=tcp -role mailer  -listen 127.0.0.1:7003
+//	mailer -transport=tcp -role clients -connect mailer=127.0.0.1:7003
 package main
 
 import (
@@ -13,42 +19,129 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 	"time"
 
 	"promises/internal/app/mailer"
 	"promises/internal/guardian"
 	"promises/internal/simnet"
 	"promises/internal/stream"
+	"promises/internal/tcpnet"
 )
 
 func main() {
-	msgs := flag.Int("msgs", 3, "messages each client sends before reading")
+	var (
+		msgs    = flag.Int("msgs", 3, "messages each client sends before reading")
+		trans   = flag.String("transport", "sim", "network backend: sim (one process, simulated) | tcp (real sockets)")
+		role    = flag.String("role", "", "tcp only: mailer | clients")
+		listen  = flag.String("listen", "", "tcp mailer: address to listen on, e.g. 127.0.0.1:7003")
+		connect = flag.String("connect", "", "tcp clients: mailer=addr to dial")
+	)
 	flag.Parse()
 
+	switch *trans {
+	case "sim":
+		runSim(*msgs)
+	case "tcp":
+		switch *role {
+		case "mailer":
+			runTCPMailer(*listen)
+		case "clients":
+			runTCPClients(*msgs, *connect)
+		default:
+			fmt.Fprintf(os.Stderr, "mailer: -transport=tcp needs -role mailer or -role clients\n")
+			os.Exit(2)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "mailer: unknown transport %q\n", *trans)
+		os.Exit(2)
+	}
+}
+
+func streamOpts() stream.Options {
+	return stream.Options{MaxBatch: 8, MaxBatchDelay: time.Millisecond}
+}
+
+// runSim is the historical single-process demo on the simulated network.
+func runSim(msgs int) {
 	net := simnet.New(simnet.Config{
 		KernelOverhead: 20 * time.Microsecond,
 		Propagation:    200 * time.Microsecond,
 	})
 	defer net.Close()
-	opts := stream.Options{MaxBatch: 8, MaxBatchDelay: time.Millisecond}
 
-	m, err := mailer.New(net, "mailer", opts)
+	m, err := mailer.New(net, "mailer", streamOpts())
 	check(err)
 	defer m.G.Close()
-	home, err := guardian.New(net, "home", opts)
+	home, err := guardian.New(net, "home", streamOpts())
 	check(err)
 	defer home.Close()
 
+	runScenario(home, "mailer", msgs)
+}
+
+// runTCPMailer hosts the mailer guardian on a listening TCP endpoint
+// until interrupted.
+func runTCPMailer(listen string) {
+	if listen == "" {
+		check(fmt.Errorf("-role mailer needs -listen addr"))
+	}
+	ep, err := tcpnet.Listen("mailer", listen, tcpnet.Config{})
+	check(err)
+	defer ep.Close()
+	m, err := mailer.NewOn(ep, streamOpts())
+	check(err)
+	defer m.G.Close()
+
+	fmt.Printf("mailer listening on %s (ctrl-c to stop)\n", ep.Addr())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	st := ep.Stats()
+	fmt.Printf("mailer transport: %d frames in, %d frames out, %d bytes out, %d writevs\n",
+		st.FramesRecv, st.FramesSent, st.BytesSent, st.Writevs)
+}
+
+// runTCPClients runs the two-client scenario against a mailer guardian
+// in another process.
+func runTCPClients(msgs int, connect string) {
+	routes := make(map[string]string)
+	for _, part := range strings.Split(connect, ",") {
+		name, addr, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" || addr == "" {
+			check(fmt.Errorf("-connect needs name=addr entries, got %q", part))
+		}
+		routes[name] = addr
+	}
+	if routes["mailer"] == "" {
+		check(fmt.Errorf("-connect must name mailer=addr"))
+	}
+
+	ep, err := tcpnet.Listen("home", "", tcpnet.Config{Routes: routes})
+	check(err)
+	defer ep.Close()
+	home, err := guardian.NewOn(ep, streamOpts())
+	check(err)
+	defer home.Close()
+
+	runScenario(home, "mailer", msgs)
+}
+
+// runScenario is the paper's §2.1 script, independent of which transport
+// the home guardian reaches the mailer through.
+func runScenario(home *guardian.Guardian, mailerNode string, msgs int) {
 	ctx := context.Background()
-	c1 := mailer.NewClient(home, "c1", m)
-	c2 := mailer.NewClient(home, "c2", m)
+	c1 := mailer.NewClientFor(home, "c1", mailerNode)
+	c2 := mailer.NewClientFor(home, "c2", mailerNode)
 	check(c1.Register(ctx, "ann"))
 	check(c2.Register(ctx, "bob"))
 
 	// Each client streams sends to the *other* user, then reads its own
 	// mail on the same stream — without waiting between calls. The stream
 	// guarantees each client's read runs after its sends.
-	for i := 0; i < *msgs; i++ {
+	for i := 0; i < msgs; i++ {
 		_, err := c1.SendMail("bob", fmt.Sprintf("from ann #%d", i+1))
 		check(err)
 		_, err = c2.SendMail("ann", fmt.Sprintf("from bob #%d", i+1))

@@ -35,6 +35,7 @@ import (
 	"promises/internal/promise"
 	"promises/internal/simnet"
 	"promises/internal/stream"
+	"promises/internal/transport"
 )
 
 // SInfo is one student's grade record (the paper's sinfo).
@@ -74,7 +75,17 @@ const (
 
 // NewDB creates the database guardian at a node named name.
 func NewDB(net *simnet.Network, name string, opts stream.Options) (*DB, error) {
-	g, err := guardian.New(net, name, opts)
+	node, err := net.AddNode(name)
+	if err != nil {
+		return nil, err
+	}
+	return NewDBOn(node, opts)
+}
+
+// NewDBOn creates the database guardian on an existing transport
+// endpoint — how a gradesdb process runs over real sockets.
+func NewDBOn(ep transport.Endpoint, opts stream.Options) (*DB, error) {
+	g, err := guardian.NewOn(ep, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -207,7 +218,17 @@ const PrintPort = "print"
 
 // NewPrinter creates the printer guardian at a node named name.
 func NewPrinter(net *simnet.Network, name string, opts stream.Options) (*Printer, error) {
-	g, err := guardian.New(net, name, opts)
+	node, err := net.AddNode(name)
+	if err != nil {
+		return nil, err
+	}
+	return NewPrinterOn(node, opts)
+}
+
+// NewPrinterOn creates the printer guardian on an existing transport
+// endpoint.
+func NewPrinterOn(ep transport.Endpoint, opts stream.Options) (*Printer, error) {
+	g, err := guardian.NewOn(ep, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -317,11 +338,32 @@ func (c *Client) recordInjected(i int) bool {
 // NewClient builds a client guardian that will talk to the given database
 // and printer ports.
 func NewClient(net *simnet.Network, name string, opts stream.Options, db, pr guardian.Ref) (*Client, error) {
-	g, err := guardian.New(net, name, opts)
+	node, err := net.AddNode(name)
+	if err != nil {
+		return nil, err
+	}
+	return NewClientOn(node, opts, db, pr)
+}
+
+// NewClientOn builds the client guardian on an existing transport
+// endpoint.
+func NewClientOn(ep transport.Endpoint, opts stream.Options, db, pr guardian.Ref) (*Client, error) {
+	g, err := guardian.NewOn(ep, opts)
 	if err != nil {
 		return nil, err
 	}
 	return &Client{G: g, DB: db, PR: pr}, nil
+}
+
+// DBRef names a remote database guardian's record_grade port — for
+// clients in a different process that hold only the guardian's name.
+func DBRef(node string) guardian.Ref {
+	return guardian.Ref{Node: node, Group: guardian.DefaultGroup, Port: RecordPort}
+}
+
+// PrinterRef names a remote printer guardian's print port.
+func PrinterRef(node string) guardian.Ref {
+	return guardian.Ref{Node: node, Group: guardian.DefaultGroup, Port: PrintPort}
 }
 
 // RunSequential is Figure 3-1: one process, two loops.

@@ -18,6 +18,7 @@ import (
 	"promises/internal/promise"
 	"promises/internal/simnet"
 	"promises/internal/stream"
+	"promises/internal/transport"
 	"promises/internal/wire"
 )
 
@@ -39,7 +40,17 @@ type Mailer struct {
 
 // New creates the mailer guardian.
 func New(net *simnet.Network, name string, opts stream.Options) (*Mailer, error) {
-	g, err := guardian.New(net, name, opts)
+	node, err := net.AddNode(name)
+	if err != nil {
+		return nil, err
+	}
+	return NewOn(node, opts)
+}
+
+// NewOn creates the mailer guardian on an existing transport endpoint —
+// how a mailer process runs over real sockets.
+func NewOn(ep transport.Endpoint, opts stream.Options) (*Mailer, error) {
+	g, err := guardian.NewOn(ep, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -142,7 +153,14 @@ type Client struct {
 // concurrent activity must have its own name, so it gets its own agent
 // and stream.
 func NewClient(g *guardian.Guardian, activity string, m *Mailer) *Client {
-	send, read := m.Refs()
+	return NewClientFor(g, activity, m.G.Name())
+}
+
+// NewClientFor is NewClient when the mailer guardian lives in another
+// process and is known only by its node name.
+func NewClientFor(g *guardian.Guardian, activity, mailerNode string) *Client {
+	send := guardian.Ref{Node: mailerNode, Group: guardian.DefaultGroup, Port: SendPort}
+	read := guardian.Ref{Node: mailerNode, Group: guardian.DefaultGroup, Port: ReadPort}
 	agent := g.Agent(activity)
 	return &Client{
 		agent: agent,

@@ -92,6 +92,11 @@ func Experiments() []Experiment {
 			},
 		},
 		{
+			ID: "E13", Title: "transport backends: simnet vs loopback TCP",
+			Run:   func() *Table { return E13TCPvsSimnet([]int{256, 2048}) },
+			Quick: func() *Table { return E13TCPvsSimnet([]int{64}) },
+		},
+		{
 			ID: "E11", Title: "adaptive batching and flow control",
 			Run: func() *Table {
 				return E11AdaptiveBatching([]int{8, 16, 32, 64}, []int{8, 1024}, 4096, 512)

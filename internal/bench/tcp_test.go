@@ -1,0 +1,24 @@
+package bench
+
+import "testing"
+
+// TestE13AllocBudget enforces the transport-seam cost contract: the
+// framed, zero-copy TCP path may cost at most 2 heap allocations per
+// call more than the in-process simulator on the same pipelined echo
+// workload. Both arms are measured identically (process-wide mallocs
+// around the call window), so the budget is on the DELTA and is immune
+// to shared machinery (promises, batching, handler dispatch) drifting.
+func TestE13AllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc budget measured at full N; skipped in -short mode")
+	}
+	const n = 2048
+	_, _, simAllocs := runSimnetEchoReal(n)
+	_, _, tcpAllocs := runTCPEcho(n)
+	sim := float64(simAllocs) / n
+	tcp := float64(tcpAllocs) / n
+	t.Logf("allocs/call: simnet %.2f, tcp %.2f", sim, tcp)
+	if tcp > sim+2 {
+		t.Fatalf("tcp path costs %.2f allocs/call vs simnet %.2f; budget is simnet+2", tcp, sim)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"promises/internal/metrics"
 	"promises/internal/simnet"
 	"promises/internal/stream"
+	"promises/internal/transport"
 	"promises/internal/wire"
 )
 
@@ -116,8 +117,7 @@ func (m *guardianMetrics) noteOutcome(o stream.Outcome) {
 // Guardian is one active entity.
 type Guardian struct {
 	name string
-	net  *simnet.Network
-	node *simnet.Node
+	ep   transport.Endpoint
 	peer *stream.Peer
 	gm   *guardianMetrics
 
@@ -130,18 +130,26 @@ type Guardian struct {
 	bg bgState // guardian-internal background processes
 }
 
-// New creates a guardian with its own node on the network and starts its
-// stream runtime.
+// New creates a guardian with its own node on the simnet network and
+// starts its stream runtime — the historical constructor, unchanged.
 func New(net *simnet.Network, name string, opts stream.Options) (*Guardian, error) {
 	node, err := net.AddNode(name)
 	if err != nil {
 		return nil, err
 	}
-	peer := stream.NewPeer(node, opts)
+	return NewOn(node, opts)
+}
+
+// NewOn creates a guardian on an existing transport endpoint — any
+// backend: a simnet node or a tcpnet endpoint in its own OS process —
+// and starts its stream runtime. The guardian takes its name from the
+// endpoint. The endpoint's lifecycle stays with the caller: Close stops
+// the guardian but does not close the endpoint.
+func NewOn(ep transport.Endpoint, opts stream.Options) (*Guardian, error) {
+	peer := stream.NewPeer(ep, opts)
 	g := &Guardian{
-		name:     name,
-		net:      net,
-		node:     node,
+		name:     ep.Name(),
+		ep:       ep,
 		peer:     peer,
 		gm:       newGuardianMetrics(peer.Metrics()),
 		handlers: make(map[string]HandlerFunc),
@@ -320,8 +328,14 @@ func (g *Guardian) Recover() {
 	g.restartBg()
 }
 
-// Crashed reports whether the guardian is currently down.
-func (g *Guardian) Crashed() bool { return g.node.Crashed() }
+// Crashed reports whether the guardian is currently down. Backends
+// without fault injection never report crashed.
+func (g *Guardian) Crashed() bool {
+	if f, ok := g.ep.(transport.Faulter); ok {
+		return f.Crashed()
+	}
+	return false
+}
 
 // Close shuts the guardian down permanently.
 func (g *Guardian) Close() {

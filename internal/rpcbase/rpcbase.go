@@ -30,8 +30,8 @@ import (
 	"promises/internal/clock"
 	"promises/internal/exception"
 	"promises/internal/metrics"
-	"promises/internal/simnet"
 	"promises/internal/stream"
+	"promises/internal/transport"
 	"promises/internal/wire"
 )
 
@@ -68,7 +68,7 @@ const (
 // served from a per-client cache so retransmissions do not re-execute
 // calls.
 type Server struct {
-	node *simnet.Node
+	node transport.Endpoint
 	clk  clock.Clock
 
 	mu       sync.Mutex
@@ -79,12 +79,13 @@ type Server struct {
 	wg       sync.WaitGroup
 }
 
-// NewServer starts a server on the node.
-func NewServer(node *simnet.Node) *Server {
+// NewServer starts a server on a transport endpoint (a simnet node or
+// any other backend).
+func NewServer(node transport.Endpoint) *Server {
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		node:     node,
-		clk:      node.Network().Clock(),
+		clk:      endpointClock(node),
 		handlers: make(map[string]Handler),
 		seen:     make(map[string]map[uint64][]byte),
 		ctx:      ctx,
@@ -119,7 +120,7 @@ func (s *Server) loop() {
 	for {
 		msg, err := s.node.Recv(s.ctx)
 		if err != nil {
-			if errors.Is(err, simnet.ErrCrashed) {
+			if errors.Is(err, transport.ErrCrashed) {
 				// Volatile dedup state is lost in a crash.
 				s.mu.Lock()
 				s.seen = make(map[string]map[uint64][]byte)
@@ -139,14 +140,14 @@ func (s *Server) loop() {
 			return
 		}
 		s.wg.Add(1)
-		go func(msg simnet.Message) {
+		go func(msg transport.Message) {
 			defer s.wg.Done()
 			s.serve(msg)
 		}(msg)
 	}
 }
 
-func (s *Server) serve(msg simnet.Message) {
+func (s *Server) serve(msg transport.Message) {
 	vals, err := wire.Unmarshal(msg.Payload)
 	if err != nil {
 		return
@@ -226,7 +227,7 @@ func newClientMetrics(reg *metrics.Registry) *clientMetrics {
 // style.
 type Client struct {
 	clk  clock.Clock
-	node *simnet.Node
+	node transport.Endpoint
 	cfg  Config
 	cm   *clientMetrics
 
@@ -247,14 +248,14 @@ type Reply struct {
 	Outcome stream.Outcome
 }
 
-// NewClient starts a client on the node.
-func NewClient(node *simnet.Node, cfg Config) *Client {
+// NewClient starts a client on a transport endpoint.
+func NewClient(node transport.Endpoint, cfg Config) *Client {
 	ctx, cancel := context.WithCancel(context.Background())
 	c := &Client{
 		node:    node,
-		clk:     node.Network().Clock(),
+		clk:     endpointClock(node),
 		cfg:     cfg.withDefaults(),
-		cm:      newClientMetrics(node.Network().Metrics()),
+		cm:      newClientMetrics(endpointMetrics(node)),
 		waiters: make(map[uint64]chan stream.Outcome),
 		rawCh:   make(chan Reply, 4096),
 		ctx:     ctx,
@@ -282,7 +283,7 @@ func (c *Client) loop() {
 	for {
 		msg, err := c.node.Recv(c.ctx)
 		if err != nil {
-			if errors.Is(err, simnet.ErrCrashed) {
+			if errors.Is(err, transport.ErrCrashed) {
 				if wait == nil {
 					wait = c.clk.NewTimer(time.Millisecond)
 				} else {
@@ -493,3 +494,23 @@ func (m *Matcher) Outstanding() int { return len(m.outstanding) }
 
 // Ops reports the bookkeeping operations performed so far.
 func (m *Matcher) Ops() int64 { return m.ops }
+
+// endpointClock resolves the time source an endpoint provides
+// (transport.ClockProvider), defaulting to real time.
+func endpointClock(ep transport.Endpoint) clock.Clock {
+	if cp, ok := ep.(transport.ClockProvider); ok {
+		if c := cp.Clock(); c != nil {
+			return c
+		}
+	}
+	return clock.Real{}
+}
+
+// endpointMetrics resolves the registry an endpoint provides
+// (transport.MetricsProvider); nil disables instrumentation.
+func endpointMetrics(ep transport.Endpoint) *metrics.Registry {
+	if mp, ok := ep.(transport.MetricsProvider); ok {
+		return mp.Metrics()
+	}
+	return nil
+}

@@ -40,6 +40,7 @@ import (
 	"promises/internal/clock"
 	"promises/internal/metrics"
 	"promises/internal/pqueue"
+	"promises/internal/transport"
 )
 
 // Config sets the cost and fault model for a Network.
@@ -95,20 +96,34 @@ type Stats struct {
 }
 
 // Message is one datagram. Payload is owned by the receiver after
-// delivery; senders must not mutate it after Send.
-type Message struct {
-	From    string
-	To      string
-	Payload []byte
-}
+// delivery; senders must not mutate it after Send. It is an alias of the
+// portable transport.Message, which is what lets *Node satisfy
+// transport.Endpoint directly, with no adapter on the hot path.
+type Message = transport.Message
 
-// Errors returned by node operations.
+// Errors returned by node operations. Each wraps its counterpart in the
+// portable transport error set, so errors.Is works against either
+// identity: code written to the transport seam matches transport.Err*,
+// existing simnet-aware code keeps matching simnet.Err* — same values,
+// same messages as before the seam existed.
 var (
-	ErrCrashed       = errors.New("simnet: node is crashed")
-	ErrNoSuchNode    = errors.New("simnet: no such node")
-	ErrNetworkDown   = errors.New("simnet: network closed")
+	ErrCrashed       = wrapErr("simnet: node is crashed", transport.ErrCrashed)
+	ErrNoSuchNode    = wrapErr("simnet: no such node", transport.ErrNoRoute)
+	ErrNetworkDown   = wrapErr("simnet: network closed", transport.ErrClosed)
 	ErrDuplicateNode = errors.New("simnet: node already exists")
 )
+
+// wrappedError preserves the historical simnet error strings while
+// unwrapping to the portable transport error set.
+type wrappedError struct {
+	msg   string
+	under error
+}
+
+func wrapErr(msg string, under error) error { return &wrappedError{msg: msg, under: under} }
+
+func (e *wrappedError) Error() string { return e.msg }
+func (e *wrappedError) Unwrap() error { return e.under }
 
 // spinThreshold is the residual wait below which the dispatcher yields
 // in a loop instead of arming its timer. OS timers round short sleeps up
@@ -546,11 +561,40 @@ type Node struct {
 	closed  bool
 }
 
+// Node is the simnet backend of the transport seam: the stream layer
+// holds it as a transport.Endpoint and discovers the optional
+// capabilities by assertion.
+var (
+	_ transport.Endpoint    = (*Node)(nil)
+	_ transport.Faulter     = (*Node)(nil)
+	_ transport.CostModeler = (*Node)(nil)
+)
+
 // Name returns the node's unique name.
 func (nd *Node) Name() string { return nd.name }
 
 // Network returns the network the node belongs to.
 func (nd *Node) Network() *Network { return nd.net }
+
+// Clock returns the node's time source — the network's clock — so layers
+// built on the transport seam inherit virtual time without knowing the
+// backend (transport.ClockProvider).
+func (nd *Node) Clock() clock.Clock { return nd.net.clk }
+
+// Metrics returns the registry layers built on the node inherit
+// (transport.MetricsProvider); nil when the network has none.
+func (nd *Node) Metrics() *metrics.Registry { return nd.net.cfg.Metrics }
+
+// Cost reports the network's modeled costs (transport.CostModeler); the
+// stream layer seeds its adaptive byte budget and quiescence flush from
+// them.
+func (nd *Node) Cost() transport.CostModel {
+	return transport.CostModel{
+		KernelOverhead: nd.net.cfg.KernelOverhead,
+		PerByte:        nd.net.cfg.PerByte,
+		Propagation:    nd.net.cfg.Propagation,
+	}
+}
 
 // Send transmits payload to the named node. It charges the sender the
 // kernel-call overhead plus the per-byte copy cost, then schedules

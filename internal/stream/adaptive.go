@@ -3,7 +3,7 @@ package stream
 import (
 	"time"
 
-	"promises/internal/simnet"
+	"promises/internal/transport"
 )
 
 // The adaptive batch controller. The paper fixes the buffering tradeoff
@@ -274,7 +274,7 @@ func adaptStepDown(limit int) int {
 // kernel overheads, clamped. A cost-free model (tests, simtest) falls
 // back to the max clamp, which never binds for realistic batches. The
 // sentinel results: >0 budget in force, <0 disabled.
-func resolveBatchBytes(opts Options, cfg simnet.Config) int {
+func resolveBatchBytes(opts Options, cfg transport.CostModel) int {
 	if opts.MaxBatchBytes != 0 {
 		return opts.MaxBatchBytes
 	}
@@ -301,7 +301,7 @@ func resolveBatchBytes(opts Options, cfg simnet.Config) int {
 // makes controller overshoot cheap (an unfillable limit costs one short
 // pause per batch, not the full delay). 0 disables the mechanism, which
 // keeps the legacy fixed-batch timing exactly.
-func resolveIdleFlush(opts Options, cfg simnet.Config) time.Duration {
+func resolveIdleFlush(opts Options, cfg transport.CostModel) time.Duration {
 	if !opts.AdaptiveBatch {
 		return 0
 	}

@@ -12,6 +12,7 @@ import (
 	"promises/internal/exception"
 	"promises/internal/simnet"
 	"promises/internal/trace"
+	"promises/internal/transport"
 )
 
 // TestByteBudgetClosesBatches: with the count limit and the age flush both
@@ -430,22 +431,22 @@ func TestAdaptControllerSteps(t *testing.T) {
 
 // TestResolveBatchBytes covers the byte-budget derivation sentinel logic.
 func TestResolveBatchBytes(t *testing.T) {
-	lan := simnet.Config{KernelOverhead: 20 * time.Microsecond, PerByte: 10 * time.Nanosecond}
+	lan := transport.CostModel{KernelOverhead: 20 * time.Microsecond, PerByte: 10 * time.Nanosecond}
 	cases := []struct {
 		name string
 		opts Options
-		cfg  simnet.Config
+		cfg  transport.CostModel
 		want int
 	}{
 		{"explicit wins", Options{MaxBatchBytes: 4096}, lan, 4096},
 		{"explicit negative disables", Options{MaxBatchBytes: -1, AdaptiveBatch: true}, lan, -1},
 		{"legacy default disabled", Options{}, lan, -1},
 		{"adaptive derives from cost model", Options{AdaptiveBatch: true}, lan, 32000},
-		{"adaptive without cost model", Options{AdaptiveBatch: true}, simnet.Config{}, maxDerivedBudget},
+		{"adaptive without cost model", Options{AdaptiveBatch: true}, transport.CostModel{}, maxDerivedBudget},
 		{"derived clamps low", Options{AdaptiveBatch: true},
-			simnet.Config{KernelOverhead: 10 * time.Nanosecond, PerByte: 10 * time.Nanosecond}, minDerivedBudget},
+			transport.CostModel{KernelOverhead: 10 * time.Nanosecond, PerByte: 10 * time.Nanosecond}, minDerivedBudget},
 		{"derived clamps high", Options{AdaptiveBatch: true},
-			simnet.Config{KernelOverhead: time.Second, PerByte: time.Nanosecond}, maxDerivedBudget},
+			transport.CostModel{KernelOverhead: time.Second, PerByte: time.Nanosecond}, maxDerivedBudget},
 	}
 	for _, c := range cases {
 		if got := resolveBatchBytes(c.opts, c.cfg); got != c.want {
@@ -458,7 +459,7 @@ func TestResolveBatchBytes(t *testing.T) {
 // off without adaptation, a kernel-overhead multiple with a cost model,
 // a fixed default without one, floored, and capped by MaxBatchDelay.
 func TestResolveIdleFlush(t *testing.T) {
-	lan := simnet.Config{KernelOverhead: 20 * time.Microsecond, PerByte: 10 * time.Nanosecond}
+	lan := transport.CostModel{KernelOverhead: 20 * time.Microsecond, PerByte: 10 * time.Nanosecond}
 	base := Options{MaxBatchDelay: 500 * time.Microsecond}
 	adaptive := base
 	adaptive.AdaptiveBatch = true
@@ -467,13 +468,13 @@ func TestResolveIdleFlush(t *testing.T) {
 	cases := []struct {
 		name string
 		opts Options
-		cfg  simnet.Config
+		cfg  transport.CostModel
 		want time.Duration
 	}{
 		{"disabled without adaptation", base, lan, 0},
 		{"kernel multiple", adaptive, lan, idleFlushKernelMultiple * 20 * time.Microsecond},
-		{"default without cost model", adaptive, simnet.Config{}, defaultIdleFlush},
-		{"floored", adaptive, simnet.Config{KernelOverhead: time.Nanosecond}, minIdleFlush},
+		{"default without cost model", adaptive, transport.CostModel{}, defaultIdleFlush},
+		{"floored", adaptive, transport.CostModel{KernelOverhead: time.Nanosecond}, minIdleFlush},
 		{"capped by MaxBatchDelay", tight, lan, 5 * time.Microsecond},
 	}
 	for _, c := range cases {

@@ -10,21 +10,32 @@ import (
 	"promises/internal/clock"
 	"promises/internal/exception"
 	"promises/internal/metrics"
-	"promises/internal/simnet"
 	"promises/internal/trace"
+	"promises/internal/transport"
 )
 
 // Peer is the stream runtime for one entity: it owns the entity's network
-// node, demultiplexes incoming messages to sending streams (replies,
+// endpoint, demultiplexes incoming messages to sending streams (replies,
 // breaks) and receiving streams (requests), and drives the background
 // timers for batching and retransmission. One Peer serves both roles at
 // once — an entity can be a client of some streams and the server of
 // others.
+//
+// The peer is written against the transport seam alone: any
+// transport.Endpoint — simnet's in-process cost model or tcpnet's real
+// sockets — carries the same protocol bytes.
 type Peer struct {
-	node *simnet.Node
+	ep   transport.Endpoint
+	name string // ep.Name(), cached — the hot path never re-asks
 	opts Options
 	clk  clock.Clock
 	sm   *streamMetrics // nil when metrics are disabled
+
+	// Optional endpoint capabilities, asserted once at construction so
+	// the hot path pays no type switches. shardSend is nil when the
+	// backend has no striped write path (simnet); transmitShard then
+	// degrades to plain Send.
+	shardSend transport.ShardedSender
 
 	// idleFlush is the adaptive quiescence-flush delay derived from the
 	// cost model (see resolveIdleFlush); 0 when adaptation is off.
@@ -69,24 +80,40 @@ type execTask struct {
 	req request
 }
 
-// NewPeer creates the stream runtime on a node and starts its receive and
-// timer loops.
-func NewPeer(node *simnet.Node, opts Options) *Peer {
+// NewPeer creates the stream runtime on a transport endpoint and starts
+// its receive and timer loops. Clock, metrics registry, and the cost
+// model that seeds adaptive batching are inherited from the endpoint
+// when it provides them (simnet nodes expose their network's; tcpnet
+// endpoints expose their config's) and the options did not pin them.
+func NewPeer(ep transport.Endpoint, opts Options) *Peer {
 	ctx, cancel := context.WithCancel(context.Background())
 	opts = opts.withDefaults()
 	if opts.Clock == nil {
-		opts.Clock = node.Network().Clock()
+		if cp, ok := ep.(transport.ClockProvider); ok {
+			opts.Clock = cp.Clock()
+		}
+		if opts.Clock == nil {
+			opts.Clock = clock.Real{}
+		}
 	}
 	if opts.Metrics == nil {
-		opts.Metrics = node.Network().Metrics()
+		if mp, ok := ep.(transport.MetricsProvider); ok {
+			opts.Metrics = mp.Metrics()
+		}
 	}
-	// Seed the batch byte budget from the network's cost model (kernel
+	// Seed the batch byte budget from the endpoint's cost model (kernel
 	// overhead vs per-byte cost), unless the caller pinned or disabled it.
-	opts.MaxBatchBytes = resolveBatchBytes(opts, node.Network().Config())
+	// Backends without modeled costs report the zero model.
+	var cost transport.CostModel
+	if cm, ok := ep.(transport.CostModeler); ok {
+		cost = cm.Cost()
+	}
+	opts.MaxBatchBytes = resolveBatchBytes(opts, cost)
 	p := &Peer{
-		node:      node,
+		ep:        ep,
+		name:      ep.Name(),
 		opts:      opts,
-		idleFlush: resolveIdleFlush(opts, node.Network().Config()),
+		idleFlush: resolveIdleFlush(opts, cost),
 		clk:       opts.Clock,
 		sm:        newStreamMetrics(opts.Metrics),
 		agents:    make(map[string]*Agent),
@@ -96,6 +123,7 @@ func NewPeer(node *simnet.Node, opts Options) *Peer {
 		ctx:       ctx,
 		cancel:    cancel,
 	}
+	p.shardSend, _ = ep.(transport.ShardedSender)
 	if opts.Shards > 1 {
 		p.execShards = make([]chan execTask, opts.Shards)
 		p.execShardOn = make([]atomic.Bool, opts.Shards)
@@ -109,8 +137,15 @@ func NewPeer(node *simnet.Node, opts Options) *Peer {
 	return p
 }
 
-// Node returns the underlying network node.
-func (p *Peer) Node() *simnet.Node { return p.node }
+// Endpoint returns the transport endpoint the peer runs on.
+func (p *Peer) Endpoint() transport.Endpoint { return p.ep }
+
+// Node returns the underlying endpoint.
+//
+// Deprecated: the return type was historically *simnet.Node; callers
+// that need the concrete backend should type-assert the result of
+// Endpoint. Retained so existing call sites keep compiling.
+func (p *Peer) Node() transport.Endpoint { return p.ep }
 
 // Clock returns the peer's time source.
 func (p *Peer) Clock() clock.Clock { return p.clk }
@@ -297,7 +332,19 @@ func (p *Peer) execShardWorker(ch chan execTask) {
 // node is crashed or the target vanished, retransmission timers and
 // retry exhaustion turn the silence into a broken stream.
 func (p *Peer) transmit(to string, payload []byte) {
-	_ = p.node.Send(to, payload)
+	_ = p.ep.Send(to, payload)
+}
+
+// transmitShard is transmit with a write-scheduling hint: backends with
+// striped write paths (tcpnet) enqueue concurrent sender shards on
+// different stripes so they never serialize on one socket mutex.
+// Backends without the capability (simnet) get plain Send.
+func (p *Peer) transmitShard(to string, payload []byte, shard int) {
+	if p.shardSend != nil {
+		_ = p.shardSend.SendShard(to, payload, shard)
+		return
+	}
+	_ = p.ep.Send(to, payload)
 }
 
 // recvLoop demultiplexes every incoming message.
@@ -312,11 +359,11 @@ func (p *Peer) recvLoop() {
 		}
 	}()
 	for {
-		msg, err := p.node.Recv(p.ctx)
+		msg, err := p.ep.Recv(p.ctx)
 		switch {
 		case err == nil:
 			p.handleMessage(msg)
-		case errors.Is(err, simnet.ErrCrashed):
+		case errors.Is(err, transport.ErrCrashed):
 			// The node is down; volatile stream state is gone. Wait for
 			// recovery (the guardian restarting) or shutdown.
 			p.dropAllStreams()
@@ -352,14 +399,14 @@ func (p *Peer) dropAllStreams() {
 	}
 }
 
-func (p *Peer) handleMessage(msg simnet.Message) {
+func (p *Peer) handleMessage(msg transport.Message) {
 	kind, rb, pb, bm, err := decodeMessage(msg.Payload)
 	if err != nil {
 		return // garbled datagram; retransmission recovers
 	}
 	switch kind {
 	case kindRequestBatch:
-		key := streamKey{senderNode: msg.From, agent: rb.Agent, recvNode: p.node.Name(), group: rb.Group}
+		key := streamKey{senderNode: msg.From, agent: rb.Agent, recvNode: p.name, group: rb.Group}
 		if r := p.recvStream(key, rb.Incarnation); r != nil {
 			r.handleRequestBatch(rb)
 		}
@@ -367,7 +414,7 @@ func (p *Peer) handleMessage(msg simnet.Message) {
 		// rings; their Args keep aliasing the datagram, not the batch).
 		releaseRequestBatch(rb)
 	case kindReplyBatch:
-		key := streamKey{senderNode: p.node.Name(), agent: pb.Agent, recvNode: msg.From, group: pb.Group}
+		key := streamKey{senderNode: p.name, agent: pb.Agent, recvNode: msg.From, group: pb.Group}
 		p.mu.Lock()
 		s := p.sends[key]
 		p.mu.Unlock()
@@ -378,8 +425,8 @@ func (p *Peer) handleMessage(msg simnet.Message) {
 	case kindBreak:
 		// A break can be addressed to our receiving end (sender broke) or
 		// to our sending end (receiver broke). Route by key match.
-		rkey := streamKey{senderNode: msg.From, agent: bm.Agent, recvNode: p.node.Name(), group: bm.Group}
-		skey := streamKey{senderNode: p.node.Name(), agent: bm.Agent, recvNode: msg.From, group: bm.Group}
+		rkey := streamKey{senderNode: msg.From, agent: bm.Agent, recvNode: p.name, group: bm.Group}
+		skey := streamKey{senderNode: p.name, agent: bm.Agent, recvNode: msg.From, group: bm.Group}
 		p.mu.Lock()
 		r := p.recvs[rkey]
 		s := p.sends[skey]
@@ -455,18 +502,22 @@ func (p *Peer) tickLoop() {
 	}
 }
 
-// Crash models a node crash: the network node goes down and all volatile
-// stream state is lost. Outstanding local promises resolve with
-// unavailable.
+// Crash models a node crash: the endpoint goes down (when the backend
+// supports fault injection) and all volatile stream state is lost.
+// Outstanding local promises resolve with unavailable.
 func (p *Peer) Crash() {
-	p.node.Crash()
+	if f, ok := p.ep.(transport.Faulter); ok {
+		f.Crash()
+	}
 	p.dropAllStreams()
 }
 
 // Recover brings the node back up, as a guardian recovering from a crash.
 // Streams start over with fresh state when next used.
 func (p *Peer) Recover() {
-	p.node.Recover()
+	if f, ok := p.ep.(transport.Faulter); ok {
+		f.Recover()
+	}
 }
 
 // Close shuts down the peer: all receiving executors stop and background

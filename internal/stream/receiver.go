@@ -1,6 +1,8 @@
 package stream
 
 import (
+	"crypto/rand"
+	"encoding/binary"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -12,10 +14,28 @@ import (
 
 // epochCounter issues unique boot epochs to receiving streams, so a
 // sender can tell a recreated receiving end (crash + recovery) from the
-// one it was talking to.
+// one it was talking to. The counter is seeded with per-process-boot
+// entropy: with real transports the receiving end can be a SEPARATE OS
+// process, and a deterministic start would hand a restarted process the
+// same epochs as its predecessor, hiding the recreation from senders.
+// (The top bits carry the entropy; low bits count, so epochs stay unique
+// within a process too.)
 var epochCounter atomic.Uint64
 
-func nextEpoch() uint64 { return epochCounter.Add(1) }
+func init() {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err == nil {
+		epochCounter.Store(binary.BigEndian.Uint64(b[:]) << 24)
+	}
+}
+
+func nextEpoch() uint64 {
+	e := epochCounter.Add(1)
+	for e == 0 { // 0 means "epoch unknown" on the sender side
+		e = epochCounter.Add(1)
+	}
+	return e
+}
 
 // Incoming describes one call request being executed at the receiver.
 //
@@ -507,7 +527,10 @@ func (r *rstream) executeOne(req request, call *Incoming) {
 	}
 
 	if msg != nil {
-		r.peer.transmit(r.key.senderNode, msg)
+		// Reply flushes ride the same write stripe as their shard, so
+		// concurrent shard completions never serialize on one socket
+		// mutex under striped transports.
+		r.peer.transmitShard(r.key.senderNode, msg, int(req.Seq%r.nsh))
 	}
 	if breakNote != nil {
 		r.peer.transmit(r.key.senderNode, breakNote)

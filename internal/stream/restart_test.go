@@ -123,6 +123,14 @@ func TestAccessors(t *testing.T) {
 	if f.client.Node() == nil || f.client.Node().Name() != "client" {
 		t.Fatal("Peer.Node broken")
 	}
+	if f.client.Endpoint() == nil || f.client.Endpoint().Name() != "client" {
+		t.Fatal("Peer.Endpoint broken")
+	}
+	// The deprecated Node accessor and Endpoint agree, and the concrete
+	// backend is recoverable by assertion.
+	if _, ok := f.client.Endpoint().(*simnet.Node); !ok {
+		t.Fatal("Endpoint lost the concrete *simnet.Node")
+	}
 	if f.client.Options().MaxBatch != 8 {
 		t.Fatalf("Options = %+v", f.client.Options())
 	}

@@ -29,7 +29,7 @@ func (a *Agent) Name() string { return a.name }
 // entity at recvNode, creating it on first use.
 func (a *Agent) Stream(recvNode, group string) *Stream {
 	return a.peer.senderStream(streamKey{
-		senderNode: a.peer.node.Name(),
+		senderNode: a.peer.name,
 		agent:      a.name,
 		recvNode:   recvNode,
 		group:      group,
@@ -254,6 +254,7 @@ func (p Pending) Release() {
 // encode batches concurrently, which is where the multicore scaling comes
 // from.
 type senderShard struct {
+	idx          int // this shard's index — the write-scheduling hint for striped transports
 	mu           sync.Mutex
 	buffer       []request // accepted but not yet transmitted
 	bufferBytes  int       // approximate encoded size of buffer (byte budget)
@@ -361,6 +362,7 @@ func newStream(p *Peer, key streamKey, opts Options) *Stream {
 		lastProgressAt: p.clk.Now(),
 	}
 	for i := range s.shards {
+		s.shards[i].idx = i
 		s.shards[i].flushArm = make(chan struct{}, 1)
 	}
 	s.adapt.initAdaptive(opts, s.lastProgressAt)
@@ -649,7 +651,7 @@ func (s *Stream) flushShard(sh *senderShard, timerClosed bool) {
 	if s.peer.tracing() {
 		s.peer.emit(trace.BatchSent, s.keyStr, firstSeq, 0, fmt.Sprintf("n=%d", n))
 	}
-	s.peer.transmit(s.key.recvNode, msg)
+	s.peer.transmitShard(s.key.recvNode, msg, sh.idx)
 }
 
 // buildRequestBatchLocked encodes a request batch carrying the current ack

@@ -1,0 +1,291 @@
+package tcpnet_test
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+
+	"promises/internal/guardian"
+	"promises/internal/promise"
+	"promises/internal/stream"
+	"promises/internal/tcpnet"
+	"promises/internal/wire"
+)
+
+// Multi-process integration test: the parent test process spawns a child
+// guardian as a SEPARATE OS process (re-exec of this test binary), runs
+// an exactly-once call-stream over a real loopback socket, forces a
+// connection drop mid-stream, then SIGKILLs the whole child process so
+// pending calls break, restarts it on the same port, and verifies the
+// stream reincarnates and keeps working.
+
+const (
+	childEnv = "TCPNET_E2E_CHILD_ADDR"
+	addrTag  = "ADDR "
+)
+
+func TestMain(m *testing.M) {
+	if addr := os.Getenv(childEnv); addr != "" {
+		childMain(addr)
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// childMain is the child guardian process: an echo server over TCP that
+// tracks per-key execution counts so the parent can audit exactly-once.
+// It announces its bound address on stdout and exits when stdin closes
+// (parent gone) — unless SIGKILLed first, which is the point.
+func childMain(addr string) {
+	ep, err := tcpnet.Listen("server", addr, tcpnet.Config{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "child: %v\n", err)
+		os.Exit(1)
+	}
+	g, err := guardian.NewOn(ep, stream.Options{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "child: %v\n", err)
+		os.Exit(1)
+	}
+	execs := make(map[int64]int64)
+	var dups int64
+	g.AddHandler("echo", func(call *guardian.Call) ([]any, error) {
+		k, err := call.IntArg(0)
+		if err != nil {
+			return nil, err
+		}
+		execs[k]++ // handlers on one stream run serially; no lock needed
+		if execs[k] > 1 {
+			dups++
+		}
+		return []any{k}, nil
+	})
+	g.AddHandler("report", func(call *guardian.Call) ([]any, error) {
+		return []any{int64(len(execs)), dups}, nil
+	})
+
+	fmt.Printf("%s%s\n", addrTag, ep.Addr())
+	_, _ = io.Copy(io.Discard, os.Stdin) // block until the parent goes away
+	g.Close()
+	ep.Close()
+	os.Exit(0)
+}
+
+// child spawns the guardian process and returns its command handle and
+// bound address. The parent holds the child's stdin open; killing the
+// returned process (or parent exit closing stdin) takes the child down.
+func spawnChild(t *testing.T, addr string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), childEnv+"="+addr)
+	cmd.Stderr = os.Stderr
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		stdin.Close()
+		_ = cmd.Process.Kill()
+		_, _ = cmd.Process.Wait()
+	})
+
+	bound := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if line := sc.Text(); strings.HasPrefix(line, addrTag) {
+				bound <- strings.TrimPrefix(line, addrTag)
+				return
+			}
+		}
+	}()
+	select {
+	case a := <-bound:
+		return cmd, a
+	case <-time.After(15 * time.Second):
+		t.Fatal("child never announced its address")
+		return nil, ""
+	}
+}
+
+// report asks the child for (distinct keys executed, duplicate count).
+func report(t *testing.T, cli *guardian.Guardian) (keys, dups int64) {
+	t.Helper()
+	s := cli.Agent("audit").Stream("server", guardian.DefaultGroup)
+	dec := func(vals []any) ([2]int64, error) {
+		k, err := wire.IntArg(vals, 0)
+		if err != nil {
+			return [2]int64{}, err
+		}
+		d, err := wire.IntArg(vals, 1)
+		if err != nil {
+			return [2]int64{}, err
+		}
+		return [2]int64{k, d}, nil
+	}
+	// A report call may land right after a receiver loss was detected
+	// (break + auto-restart): it then resolves unavailable and must be
+	// retried on the fresh incarnation, as any caller would.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		p, err := promise.Call(s, "report", dec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Flush()
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		v, err := p.Claim(ctx)
+		cancel()
+		if err == nil {
+			return v[0], v[1]
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("report: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestMultiProcessExactlyOnce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process test skipped in -short mode")
+	}
+
+	// Phase 0: spawn the child guardian on an OS-assigned port.
+	childCmd, addr := spawnChild(t, "127.0.0.1:0")
+
+	ep, err := tcpnet.Listen("client", "", tcpnet.Config{
+		Routes:      map[string]string{"server": addr},
+		RedialFloor: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+	cli, err := guardian.NewOn(ep, stream.Options{
+		MaxBatch:      8,
+		MaxBatchDelay: 500 * time.Microsecond,
+		RTO:           30 * time.Millisecond,
+		MaxRetries:    6, // break after ~200ms of dead air when the child dies
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	s := cli.Agent("main").Stream("server", guardian.DefaultGroup)
+
+	// Phase 1: exactly-once across a forced connection drop mid-stream.
+	// The drop loses frames in flight; the stream layer retransmits and
+	// the child's receiver deduplicates, so every call resolves normally
+	// and the child must have executed each key exactly once.
+	const n = 120
+	ps := make([]*promise.Promise[int64], n)
+	for i := 0; i < n; i++ {
+		p, err := promise.Call(s, "echo", promise.Int, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps[i] = p
+		if i == n/2 {
+			s.Flush()
+			ep.DropConnections() // sever the real socket mid-stream
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	for i, p := range ps {
+		v, err := p.Claim(ctx)
+		if err != nil {
+			cancel()
+			t.Fatalf("phase 1 call %d: %v", i, err)
+		}
+		if v != int64(i) {
+			cancel()
+			t.Fatalf("phase 1 call %d echoed %d", i, v)
+		}
+	}
+	cancel()
+	if inc := s.Incarnation(); inc != 1 {
+		t.Fatalf("connection drop reincarnated the stream (inc=%d)", inc)
+	}
+	if keys, dups := report(t, cli); keys != n || dups != 0 {
+		t.Fatalf("phase 1: child executed %d distinct keys with %d duplicates, want %d/0", keys, dups, n)
+	}
+
+	// Phase 2: SIGKILL the child — volatile guardian state is gone, so
+	// this is a crash, not a blip. Pending calls must break (resolve
+	// exceptionally once retries exhaust), and the auto-restarted stream
+	// must reach the restarted child on a higher incarnation.
+	if err := childCmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = childCmd.Process.Wait()
+
+	doomed, err := promise.Call(s, "echo", promise.Int, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Flush()
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 30*time.Second)
+	if _, err := doomed.Claim(ctx2); err == nil {
+		cancel2()
+		t.Fatal("call to a killed process resolved normally")
+	}
+	cancel2()
+
+	// Restart the child on the SAME port and call again. The client's
+	// link redials with backoff; the stream (auto-restarted after the
+	// break) carries a fresh incarnation the new receiver adopts.
+	_, addr2 := spawnChild(t, addr)
+	if addr2 != addr {
+		t.Fatalf("restarted child bound %s, want %s", addr2, addr)
+	}
+
+	const m = 40
+	deadline := time.Now().Add(30 * time.Second)
+	var again []*promise.Promise[int64]
+	for i := 0; i < m; i++ {
+		p, err := promise.Call(s, "echo", promise.Int, i)
+		if err != nil {
+			// The stream may still be mid-break bookkeeping; retry briefly.
+			if time.Now().After(deadline) {
+				t.Fatalf("phase 2 call %d: %v", i, err)
+			}
+			time.Sleep(10 * time.Millisecond)
+			i--
+			continue
+		}
+		again = append(again, p)
+	}
+	s.Flush()
+	ctx3, cancel3 := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel3()
+	for i, p := range again {
+		v, err := p.Claim(ctx3)
+		if err != nil {
+			t.Fatalf("phase 2 call %d after restart: %v", i, err)
+		}
+		if v != int64(i) {
+			t.Fatalf("phase 2 call %d echoed %d", i, v)
+		}
+	}
+	if inc := s.Incarnation(); inc < 2 {
+		t.Fatalf("stream incarnation %d after process death; want >= 2", inc)
+	}
+	if keys, dups := report(t, cli); keys != m || dups != 0 {
+		t.Fatalf("phase 2: restarted child executed %d distinct keys with %d duplicates, want %d/0", keys, dups, m)
+	}
+}

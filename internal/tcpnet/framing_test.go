@@ -1,0 +1,132 @@
+package tcpnet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+)
+
+// frame encodes one length-prefixed frame, the writer's wire format.
+func frame(payload []byte) []byte {
+	out := binary.BigEndian.AppendUint32(nil, uint32(len(payload)))
+	return append(out, payload...)
+}
+
+// TestFrameReaderRoundTrip: a sequence of frames of assorted sizes —
+// empty, small, larger than the arena chunk — decodes back intact, and a
+// clean close on a frame boundary reads as io.EOF.
+func TestFrameReaderRoundTrip(t *testing.T) {
+	payloads := [][]byte{
+		{},
+		[]byte("hi"),
+		bytes.Repeat([]byte{0xAB}, 100),
+		bytes.Repeat([]byte{0xCD}, 5000), // larger than the test chunk
+		[]byte("tail"),
+	}
+	var wire []byte
+	for _, p := range payloads {
+		wire = append(wire, frame(p)...)
+	}
+	fr := newFrameReader(bytes.NewReader(wire), 256, 1<<20)
+	for i, want := range payloads {
+		got, err := fr.next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d: got %d bytes, want %d", i, len(got), len(want))
+		}
+	}
+	if _, err := fr.next(); err != io.EOF {
+		t.Fatalf("after last frame: err = %v, want io.EOF", err)
+	}
+}
+
+// TestFrameReaderPayloadsStayValid: the zero-copy contract — payloads
+// returned earlier must remain intact after the reader moves to fresh
+// arena chunks.
+func TestFrameReaderPayloadsStayValid(t *testing.T) {
+	var wire []byte
+	const n = 64
+	for i := 0; i < n; i++ {
+		wire = append(wire, frame(bytes.Repeat([]byte{byte(i)}, 50))...)
+	}
+	fr := newFrameReader(bytes.NewReader(wire), 128, 1<<20) // several frames per chunk
+	got := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		p, err := fr.next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		got = append(got, p)
+	}
+	for i, p := range got {
+		for _, b := range p {
+			if b != byte(i) {
+				t.Fatalf("frame %d was overwritten: found byte %#x", i, b)
+			}
+		}
+	}
+}
+
+// TestFrameReaderTruncation: a stream cut inside a length prefix or a
+// payload is an io.ErrUnexpectedEOF, never a hang or a bogus frame.
+func TestFrameReaderTruncation(t *testing.T) {
+	full := frame([]byte("hello, promises"))
+	for cut := 1; cut < len(full); cut++ {
+		fr := newFrameReader(bytes.NewReader(full[:cut]), 64, 1<<20)
+		if _, err := fr.next(); err != io.ErrUnexpectedEOF {
+			t.Fatalf("cut at %d: err = %v, want io.ErrUnexpectedEOF", cut, err)
+		}
+	}
+}
+
+// TestFrameReaderOversizedFrame: a length prefix beyond the limit kills
+// the stream before any allocation of that size happens.
+func TestFrameReaderOversizedFrame(t *testing.T) {
+	wire := binary.BigEndian.AppendUint32(nil, 1<<30)
+	wire = append(wire, make([]byte, 64)...)
+	fr := newFrameReader(bytes.NewReader(wire), 64, 1<<20)
+	if _, err := fr.next(); err != errFrameTooBig {
+		t.Fatalf("err = %v, want errFrameTooBig", err)
+	}
+}
+
+// TestHelloRoundTrip: writeHello's preamble parses back to the name, and
+// frames following the hello decode from the same reader.
+func TestHelloRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeHello(&buf, "client-7"); err != nil {
+		t.Fatal(err)
+	}
+	buf.Write(frame([]byte("first"))) // already buffered past the hello
+	name, fr, err := readHello(&buf, 64, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "client-7" {
+		t.Fatalf("name = %q", name)
+	}
+	p, err := fr.next()
+	if err != nil || string(p) != "first" {
+		t.Fatalf("frame after hello = %q, %v", p, err)
+	}
+}
+
+// TestHelloRejectsGarbage: wrong magic, empty names, and oversized names
+// are all refused.
+func TestHelloRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":      {},
+		"bad magic":  []byte("HTTP/1.1 200 OK\r\n"),
+		"short":      connMagic[:2],
+		"empty name": append(connMagic[:], frame(nil)...),
+		"huge name":  append(connMagic[:], frame(bytes.Repeat([]byte{'x'}, 4096))...),
+	}
+	for label, wire := range cases {
+		if _, _, err := readHello(bytes.NewReader(wire), 64, 1<<20); err == nil {
+			t.Fatalf("%s: hello accepted", label)
+		}
+	}
+}
