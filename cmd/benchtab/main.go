@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"promises/internal/bench"
+	"promises/internal/ops"
 )
 
 func main() {
@@ -30,8 +31,22 @@ func main() {
 		virtual   = flag.Bool("virtual", false, "run on a virtual clock: modeled costs elapse instantly and tables are deterministic (E6, E13, and A3 need the real clock)")
 		parallel  = flag.Bool("parallel", false, "run only the E12 multicore sharding sweep (GOMAXPROCS x shard counts) at full scale")
 		transport = flag.String("transport", "", "run only the transport-backend comparison: 'tcp' selects E13 (simnet vs real loopback sockets)")
+		opsAddr   = flag.String("ops", "", "serve the live ops plane on this address while experiments run (implies -metrics)")
 	)
 	flag.Parse()
+
+	if *opsAddr != "" {
+		// The ops plane watches the shared experiment registry live, so
+		// a sweep in progress can be scraped mid-run.
+		*metrics = true
+		srv, err := ops.Serve(*opsAddr, ops.Config{Node: "benchtab", Metrics: bench.EnableMetrics()})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("ops plane on http://%s (/metrics /healthz /trace /debug/pprof)\n", srv.Addr())
+	}
 
 	if *list {
 		for _, e := range bench.Experiments() {

@@ -19,6 +19,11 @@
 //	    -listen gradesdb=127.0.0.1:7001,printer=127.0.0.1:7002
 //	gradesd -transport=tcp -role client \
 //	    -connect gradesdb=127.0.0.1:7001,printer=127.0.0.1:7002
+//
+// -ops=addr mounts the live ops plane (/metrics, /healthz, /trace,
+// pprof) in any mode; streamscope -live attaches to it. A client run
+// normally exits as soon as the composition completes — add
+// -linger=30s to keep its trace ring scrapeable afterwards.
 package main
 
 import (
@@ -32,6 +37,7 @@ import (
 	"time"
 
 	"promises/internal/app/grades"
+	"promises/internal/ops"
 	"promises/internal/simnet"
 	"promises/internal/stream"
 	"promises/internal/tcpnet"
@@ -47,20 +53,24 @@ func main() {
 		role      = flag.String("role", "", "tcp only: servers (db+printer) | client")
 		listen    = flag.String("listen", "", "tcp servers: name=addr list, e.g. gradesdb=127.0.0.1:7001,printer=127.0.0.1:7002")
 		connect   = flag.String("connect", "", "tcp client: name=addr list of server endpoints to dial")
+		opsAddr   = flag.String("ops", "", "serve the live ops plane (/metrics /healthz /trace + pprof) on this address")
+		linger    = flag.Duration("linger", 0, "keep the process (and its ops plane) up this long after a run completes")
 	)
 	flag.Parse()
 
 	opts := stream.Options{MaxBatch: 16, MaxBatchDelay: time.Millisecond}
+	obs := ops.NewPlane(*opsAddr)
+	opts = obs.Instrument(opts)
 
 	switch *transport {
 	case "sim":
-		runSim(*n, *mode, *failAfter, *delay, opts)
+		runSim(*n, *mode, *failAfter, *delay, opts, obs, *linger)
 	case "tcp":
 		switch *role {
 		case "servers":
-			runTCPServers(*listen, *delay, opts)
+			runTCPServers(*listen, *delay, opts, obs)
 		case "client":
-			runTCPClient(*n, *mode, *failAfter, *connect, opts)
+			runTCPClient(*n, *mode, *failAfter, *connect, opts, obs, *linger)
 		default:
 			fmt.Fprintf(os.Stderr, "gradesd: -transport=tcp needs -role servers or -role client\n")
 			os.Exit(2)
@@ -71,13 +81,27 @@ func main() {
 	}
 }
 
+// lingerAfterRun keeps a finished client process alive so streamscope
+// -live can still drain its trace ring.
+func lingerAfterRun(obs *ops.Plane, d time.Duration) {
+	if obs == nil || d <= 0 {
+		return
+	}
+	fmt.Printf("lingering %v for live trace scrapes (ops plane stays up)\n", d)
+	time.Sleep(d)
+}
+
 // runSim is the historical single-process demo on the simulated network.
-func runSim(n int, mode string, failAfter int, delay time.Duration, opts stream.Options) {
-	net := simnet.New(simnet.Config{
+func runSim(n int, mode string, failAfter int, delay time.Duration, opts stream.Options, obs *ops.Plane, linger time.Duration) {
+	cfg := simnet.Config{
 		KernelOverhead: 20 * time.Microsecond,
 		Propagation:    200 * time.Microsecond,
 		PerByte:        10 * time.Nanosecond,
-	})
+	}
+	if obs != nil {
+		cfg.Metrics = obs.Registry
+	}
+	net := simnet.New(cfg)
 	defer net.Close()
 
 	db, err := grades.NewDB(net, "gradesdb", opts)
@@ -89,6 +113,9 @@ func runSim(n int, mode string, failAfter int, delay time.Duration, opts stream.
 	client, err := grades.NewClient(net, "client", opts, db.Ref(), pr.Ref())
 	check(err)
 	defer client.G.Close()
+	stopOps, err := obs.Serve("gradesd-sim", db.G.Peer(), pr.G.Peer(), client.G.Peer())
+	check(err)
+	defer stopOps()
 
 	db.SetDelay(delay)
 	pr.SetDelay(delay)
@@ -102,11 +129,12 @@ func runSim(n int, mode string, failAfter int, delay time.Duration, opts stream.
 	st := net.Stats()
 	fmt.Printf("network: %d messages sent, %d delivered, %d kernel calls, %d bytes\n",
 		st.MessagesSent, st.MessagesDelivered, st.KernelCalls, st.BytesSent)
+	lingerAfterRun(obs, linger)
 }
 
 // runTCPServers hosts the database and printer guardians, each on its own
 // listening TCP endpoint, until interrupted.
-func runTCPServers(listen string, delay time.Duration, opts stream.Options) {
+func runTCPServers(listen string, delay time.Duration, opts stream.Options, obs *ops.Plane) {
 	addrs, err := parseAddrList(listen)
 	check(err)
 	for _, name := range []string{"gradesdb", "printer"} {
@@ -130,6 +158,9 @@ func runTCPServers(listen string, delay time.Duration, opts stream.Options) {
 	defer pr.G.Close()
 	db.SetDelay(delay)
 	pr.SetDelay(delay)
+	stopOps, err := obs.Serve("gradesd-servers", db.G.Peer(), pr.G.Peer())
+	check(err)
+	defer stopOps()
 
 	fmt.Printf("gradesdb listening on %s, printer on %s (ctrl-c to stop)\n",
 		dbEP.Addr(), prEP.Addr())
@@ -148,7 +179,7 @@ func runTCPServers(listen string, delay time.Duration, opts stream.Options) {
 
 // runTCPClient runs the composition against server guardians living in
 // another process, known only by name and address.
-func runTCPClient(n int, mode string, failAfter int, connect string, opts stream.Options) {
+func runTCPClient(n int, mode string, failAfter int, connect string, opts stream.Options, obs *ops.Plane, linger time.Duration) {
 	routes, err := parseAddrList(connect)
 	check(err)
 	ep, err := tcpnet.Listen("client", "", tcpnet.Config{Routes: routes})
@@ -160,6 +191,9 @@ func runTCPClient(n int, mode string, failAfter int, connect string, opts stream
 	check(err)
 	defer client.G.Close()
 	client.FailRecordingAfter = failAfter
+	stopOps, err := obs.Serve("gradesd-client", client.G.Peer())
+	check(err)
+	defer stopOps()
 
 	elapsed, err := runComposition(client, n, mode)
 	report(n, mode, elapsed, err)
@@ -167,6 +201,7 @@ func runTCPClient(n int, mode string, failAfter int, connect string, opts stream
 	st := ep.Stats()
 	fmt.Printf("client transport: %d frames out, %d bytes out, %d writevs, %d dials\n",
 		st.FramesSent, st.BytesSent, st.Writevs, st.Dials)
+	lingerAfterRun(obs, linger)
 }
 
 // runComposition executes one of the paper's composition strategies.

@@ -26,9 +26,11 @@ import (
 
 	"promises/internal/app/mailer"
 	"promises/internal/guardian"
+	"promises/internal/ops"
 	"promises/internal/simnet"
 	"promises/internal/stream"
 	"promises/internal/tcpnet"
+	"promises/internal/trace"
 )
 
 func main() {
@@ -38,18 +40,21 @@ func main() {
 		role    = flag.String("role", "", "tcp only: mailer | clients")
 		listen  = flag.String("listen", "", "tcp mailer: address to listen on, e.g. 127.0.0.1:7003")
 		connect = flag.String("connect", "", "tcp clients: mailer=addr to dial")
+		opsAddr = flag.String("ops", "", "serve the live ops plane (/metrics /healthz /trace + pprof) on this address")
+		linger  = flag.Duration("linger", 0, "keep the process (and its ops plane) up this long after the scenario completes")
 	)
 	flag.Parse()
+	obs := ops.NewPlane(*opsAddr)
 
 	switch *trans {
 	case "sim":
-		runSim(*msgs)
+		runSim(*msgs, obs, *linger)
 	case "tcp":
 		switch *role {
 		case "mailer":
-			runTCPMailer(*listen)
+			runTCPMailer(*listen, obs)
 		case "clients":
-			runTCPClients(*msgs, *connect)
+			runTCPClients(*msgs, *connect, obs, *linger)
 		default:
 			fmt.Fprintf(os.Stderr, "mailer: -transport=tcp needs -role mailer or -role clients\n")
 			os.Exit(2)
@@ -65,35 +70,56 @@ func streamOpts() stream.Options {
 }
 
 // runSim is the historical single-process demo on the simulated network.
-func runSim(msgs int) {
-	net := simnet.New(simnet.Config{
+func runSim(msgs int, obs *ops.Plane, linger time.Duration) {
+	cfg := simnet.Config{
 		KernelOverhead: 20 * time.Microsecond,
 		Propagation:    200 * time.Microsecond,
-	})
+	}
+	if obs != nil {
+		cfg.Metrics = obs.Registry
+	}
+	net := simnet.New(cfg)
 	defer net.Close()
 
-	m, err := mailer.New(net, "mailer", streamOpts())
+	m, err := mailer.New(net, "mailer", obs.Instrument(streamOpts()))
 	check(err)
 	defer m.G.Close()
-	home, err := guardian.New(net, "home", streamOpts())
+	home, err := guardian.New(net, "home", obs.Instrument(streamOpts()))
 	check(err)
 	defer home.Close()
+	stopOps, err := obs.Serve("mailer-sim", m.G.Peer(), home.Peer())
+	check(err)
+	defer stopOps()
 
 	runScenario(home, "mailer", msgs)
+	lingerAfterRun(obs, linger)
+}
+
+// lingerAfterRun keeps a finished client process alive so streamscope
+// -live can still drain its trace ring.
+func lingerAfterRun(obs *ops.Plane, d time.Duration) {
+	if obs == nil || d <= 0 {
+		return
+	}
+	fmt.Printf("lingering %v for live trace scrapes (ops plane stays up)\n", d)
+	time.Sleep(d)
 }
 
 // runTCPMailer hosts the mailer guardian on a listening TCP endpoint
 // until interrupted.
-func runTCPMailer(listen string) {
+func runTCPMailer(listen string, obs *ops.Plane) {
 	if listen == "" {
 		check(fmt.Errorf("-role mailer needs -listen addr"))
 	}
 	ep, err := tcpnet.Listen("mailer", listen, tcpnet.Config{})
 	check(err)
 	defer ep.Close()
-	m, err := mailer.NewOn(ep, streamOpts())
+	m, err := mailer.NewOn(ep, obs.Instrument(streamOpts()))
 	check(err)
 	defer m.G.Close()
+	stopOps, err := obs.Serve("mailer", m.G.Peer())
+	check(err)
+	defer stopOps()
 
 	fmt.Printf("mailer listening on %s (ctrl-c to stop)\n", ep.Addr())
 	sig := make(chan os.Signal, 1)
@@ -106,7 +132,7 @@ func runTCPMailer(listen string) {
 
 // runTCPClients runs the two-client scenario against a mailer guardian
 // in another process.
-func runTCPClients(msgs int, connect string) {
+func runTCPClients(msgs int, connect string, obs *ops.Plane, linger time.Duration) {
 	routes := make(map[string]string)
 	for _, part := range strings.Split(connect, ",") {
 		name, addr, ok := strings.Cut(strings.TrimSpace(part), "=")
@@ -122,11 +148,15 @@ func runTCPClients(msgs int, connect string) {
 	ep, err := tcpnet.Listen("home", "", tcpnet.Config{Routes: routes})
 	check(err)
 	defer ep.Close()
-	home, err := guardian.NewOn(ep, streamOpts())
+	home, err := guardian.NewOn(ep, obs.Instrument(streamOpts()))
 	check(err)
 	defer home.Close()
+	stopOps, err := obs.Serve("mailer-clients", home.Peer())
+	check(err)
+	defer stopOps()
 
 	runScenario(home, "mailer", msgs)
+	lingerAfterRun(obs, linger)
 }
 
 // runScenario is the paper's §2.1 script, independent of which transport
@@ -135,6 +165,10 @@ func runScenario(home *guardian.Guardian, mailerNode string, msgs int) {
 	ctx := context.Background()
 	c1 := mailer.NewClientFor(home, "c1", mailerNode)
 	c2 := mailer.NewClientFor(home, "c2", mailerNode)
+	// Each client's calls share one root cause, so a live trace scrape
+	// groups its whole send/read conversation under a single chain.
+	c1.SetCause(trace.RootCause("home/c1", 1))
+	c2.SetCause(trace.RootCause("home/c2", 1))
 	check(c1.Register(ctx, "ann"))
 	check(c2.Register(ctx, "bob"))
 

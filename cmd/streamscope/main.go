@@ -13,6 +13,15 @@
 //	streamscope -seed 42 -metrics-json m.json -events-json e.json
 //	streamscope -in e.json                # inspect a saved event dump
 //	streamscope -seed 42 -check           # schema/monotonicity gate (CI)
+//
+// With -live it attaches to running processes instead: it drains each
+// named ops plane's /trace flight recorder, merges the rings by trace
+// ID, and renders the cross-process causal waterfall — calls that hop
+// between guardians in different OS processes appear as one indented
+// chain under their shared root trace ID:
+//
+//	streamscope -live 127.0.0.1:9001,127.0.0.1:9002
+//	streamscope -live 127.0.0.1:9001 -chrome live.json -check
 package main
 
 import (
@@ -20,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"sort"
 	"strings"
@@ -27,6 +37,7 @@ import (
 
 	"promises/internal/clock"
 	"promises/internal/metrics"
+	"promises/internal/ops"
 	"promises/internal/simtest"
 	"promises/internal/trace"
 )
@@ -39,6 +50,7 @@ func main() {
 		calls       = flag.Int("calls", 8, "calls per client")
 		verbose     = flag.Bool("v", false, "render per-call stage bars")
 		inPath      = flag.String("in", "", "inspect a saved -events-json dump instead of running a simulation")
+		live        = flag.String("live", "", "attach to running processes: comma-separated ops-plane addresses whose /trace rings are drained and merged")
 		chromePath  = flag.String("chrome", "", "write Chrome trace_event JSON to this file")
 		metricsPath = flag.String("metrics-json", "", "write the final metrics snapshot as JSON to this file")
 		eventsPath  = flag.String("events-json", "", "write the raw trace events as JSON to this file")
@@ -51,7 +63,10 @@ func main() {
 		mid    *metrics.Snapshot
 		final  *metrics.Snapshot
 	)
-	if *inPath != "" {
+	switch {
+	case *live != "":
+		events = fetchLive(*live)
+	case *inPath != "":
 		data, err := os.ReadFile(*inPath)
 		if err != nil {
 			fatal(err)
@@ -59,7 +74,7 @@ func main() {
 		if err := json.Unmarshal(data, &events); err != nil {
 			fatal(fmt.Errorf("%s: %w", *inPath, err))
 		}
-	} else {
+	default:
 		r, err := simtest.Run(simtest.Options{
 			Seed: *seed, Servers: *servers, Clients: *clients, Calls: *calls,
 		})
@@ -72,7 +87,15 @@ func main() {
 	}
 
 	tls := trace.Correlate(events)
-	printWaterfalls(os.Stdout, tls, *verbose)
+	groups := trace.GroupByRoot(tls)
+	// Simulated runs are anchored at the virtual epoch; live rings carry
+	// wall-clock stamps, so anchor those at the earliest observed event.
+	base := clock.Epoch
+	if *live != "" {
+		base = earliest(tls)
+	}
+	printWaterfalls(os.Stdout, base, tls, *verbose)
+	printCausalChains(os.Stdout, groups)
 	printStreamTable(os.Stdout, tls)
 	if final != nil {
 		fmt.Println("\n# metrics (final)")
@@ -87,12 +110,18 @@ func main() {
 	}
 	if *chromePath != "" {
 		writeFile(*chromePath, func(w io.Writer) error {
-			return trace.WriteChromeTrace(w, clock.Epoch, tls)
+			return trace.WriteChromeTrace(w, base, tls)
 		})
 	}
 
 	if *check {
-		if errs := runChecks(tls, mid, final); len(errs) > 0 {
+		var errs []error
+		if *live != "" {
+			errs = runLiveChecks(tls, groups)
+		} else {
+			errs = runChecks(tls, mid, final)
+		}
+		if len(errs) > 0 {
 			for _, e := range errs {
 				fmt.Fprintln(os.Stderr, "check FAIL:", e)
 			}
@@ -100,6 +129,88 @@ func main() {
 		}
 		fmt.Println("# check OK")
 	}
+}
+
+// fetchLive drains each named ops plane's /trace endpoint and merges
+// the rings into one event slice for correlation.
+func fetchLive(addrs string) []trace.Event {
+	client := &http.Client{Timeout: 10 * time.Second}
+	var events []trace.Event
+	for _, addr := range strings.Split(addrs, ",") {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		resp, err := client.Get("http://" + addr + "/trace")
+		if err != nil {
+			fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			fatal(fmt.Errorf("%s/trace: status %d", addr, resp.StatusCode))
+		}
+		var dump ops.TraceDump
+		err = json.NewDecoder(resp.Body).Decode(&dump)
+		resp.Body.Close()
+		if err != nil {
+			fatal(fmt.Errorf("%s/trace: %w", addr, err))
+		}
+		fmt.Printf("# live %s node=%s events=%d anomalies=%d snapshots=%d\n",
+			addr, dump.Node, len(dump.Events), dump.Anomalies, len(dump.Snapshots))
+		events = append(events, dump.Events...)
+	}
+	return events
+}
+
+// earliest returns the first observed stamp across all timelines (or
+// the zero time if none — WriteChromeTrace then emits raw offsets).
+func earliest(tls []*trace.Timeline) time.Time {
+	var base time.Time
+	for _, tl := range tls {
+		if f := tl.First(); !f.IsZero() && (base.IsZero() || f.Before(base)) {
+			base = f
+		}
+	}
+	return base
+}
+
+// runLiveChecks gates a live attachment in CI: rings from the attached
+// processes must correlate, at least one call must join sender- and
+// receiver-side events (proof the merge spans processes when the roles
+// live in different ones), and every causal chain must be coherent
+// (each member carries its group's root).
+func runLiveChecks(tls []*trace.Timeline, groups []*trace.TraceGroup) []error {
+	var errs []error
+	fail := func(format string, args ...any) { errs = append(errs, fmt.Errorf(format, args...)) }
+
+	if len(tls) == 0 {
+		fail("no call timelines correlated from the live rings")
+		return errs
+	}
+	joined := 0
+	for _, tl := range tls {
+		if !tl.Stamp(trace.StageEnqueued).IsZero() && !tl.Stamp(trace.StageExecuted).IsZero() {
+			joined++
+		}
+	}
+	if joined == 0 {
+		fail("no call joined sender-side and receiver-side events across the drained rings")
+	}
+	chained := 0
+	for _, g := range groups {
+		if len(g.Calls) > 1 {
+			chained++
+		}
+		for _, tl := range g.Calls {
+			if tl.Root != g.Root {
+				fail("call %012x grouped under root %012x but carries root %012x", tl.TraceID, g.Root, tl.Root)
+			}
+		}
+	}
+	if chained == 0 {
+		fail("no causal chain spans more than one call (cause propagation not observed)")
+	}
+	return errs
 }
 
 func fatal(err error) {
@@ -130,8 +241,10 @@ func writeJSONFile(path string, v any) {
 }
 
 // printWaterfalls lists each call with per-stage offsets from its
-// enqueue instant; -v adds a proportional stage bar.
-func printWaterfalls(w io.Writer, tls []*trace.Timeline, verbose bool) {
+// enqueue instant; -v adds a proportional stage bar. base anchors the
+// absolute ENQ@ column (virtual epoch for simulations, first observed
+// event for live attachments).
+func printWaterfalls(w io.Writer, base time.Time, tls []*trace.Timeline, verbose bool) {
 	fmt.Fprintln(w, "\n# timelines (per-call waterfall; stage offsets from enqueue)")
 	fmt.Fprintf(w, "%-12s %-22s %4s %9s %7s %7s %7s %7s %7s %9s  %s\n",
 		"TRACE", "STREAM", "SEQ", "ENQ@", "SENT", "DLVR", "EXEC", "REPL", "RSLV", "TOTAL", "OUTCOME")
@@ -145,7 +258,7 @@ func printWaterfalls(w io.Writer, tls []*trace.Timeline, verbose bool) {
 		enq := tl.Stamp(trace.StageEnqueued)
 		fmt.Fprintf(w, "%-12s %-22s %4d %8dus %7s %7s %7s %7s %7s %8dus  %s\n",
 			fmt.Sprintf("%012x", tl.TraceID), tl.Stream, tl.Seq,
-			enq.Sub(clock.Epoch).Microseconds(),
+			enq.Sub(base).Microseconds(),
 			offset(tl, trace.StageSent), offset(tl, trace.StageDelivered),
 			offset(tl, trace.StageExecuted), offset(tl, trace.StageReplied),
 			offset(tl, trace.StageResolved),
@@ -190,13 +303,57 @@ func stageBar(tl *trace.Timeline, maxTotal time.Duration, width int) string {
 	return sb.String()
 }
 
-// printStreamTable aggregates timelines per stream: volumes and mean
-// stage-interval latencies.
+// printCausalChains renders each multi-call causal chain as an indented
+// cross-guardian waterfall: every correlated call sharing a root trace
+// ID, parents before children, indented by hops from the root. Chains
+// of one call (no propagation observed) are omitted.
+func printCausalChains(w io.Writer, groups []*trace.TraceGroup) {
+	multi := 0
+	for _, g := range groups {
+		if len(g.Calls) > 1 {
+			multi++
+		}
+	}
+	if multi == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\n# causal chains (%d chains with >1 call; indent = hops from the root call)\n", multi)
+	for _, g := range groups {
+		if len(g.Calls) < 2 {
+			continue
+		}
+		var first, last time.Time
+		for _, tl := range g.Calls {
+			if f := tl.First(); !f.IsZero() && (first.IsZero() || f.Before(first)) {
+				first = f
+			}
+			if l := tl.Last(); l.After(last) {
+				last = l
+			}
+		}
+		fmt.Fprintf(w, "root %012x  calls=%d span=%dus\n",
+			g.Root, len(g.Calls), last.Sub(first).Microseconds())
+		for _, tl := range g.Calls {
+			port := tl.Port
+			if port == "" {
+				port = "?"
+			}
+			fmt.Fprintf(w, "  %s%012x %s seq=%d port=%s total=%dus %s\n",
+				strings.Repeat("  ", tl.Depth), tl.TraceID, tl.Stream, tl.Seq,
+				port, tl.Total().Microseconds(), tl.Outcome)
+		}
+	}
+}
+
+// printStreamTable aggregates timelines per stream: volumes, mean
+// stage-interval latencies, and the tail of the end-to-end latency
+// distribution (exact order statistics over resolved calls).
 func printStreamTable(w io.Writer, tls []*trace.Timeline) {
 	type agg struct {
 		calls, resolved               int
 		total, batch, net, exec, rnet time.Duration
 		nb, nn, nx, nr                int
+		totals                        []time.Duration
 	}
 	byStream := map[string]*agg{}
 	var order []string
@@ -211,6 +368,7 @@ func printStreamTable(w io.Writer, tls []*trace.Timeline) {
 		if !tl.Stamp(trace.StageResolved).IsZero() {
 			a.resolved++
 			a.total += tl.Total()
+			a.totals = append(a.totals, tl.Total())
 		}
 		if d := tl.Dur(trace.StageEnqueued, trace.StageSent); d > 0 || !tl.Stamp(trace.StageSent).IsZero() {
 			a.batch += d
@@ -230,15 +388,17 @@ func printStreamTable(w io.Writer, tls []*trace.Timeline) {
 		}
 	}
 	sort.Strings(order)
-	fmt.Fprintln(w, "\n# streams (mean stage intervals, resolved calls only for total)")
-	fmt.Fprintf(w, "%-22s %6s %6s %10s %10s %10s %10s %10s\n",
-		"STREAM", "CALLS", "RSLVD", "TOTAL", "BATCH", "NET", "EXEC", "REPLYNET")
+	fmt.Fprintln(w, "\n# streams (mean stage intervals + end-to-end tail, resolved calls only for total)")
+	fmt.Fprintf(w, "%-22s %6s %6s %10s %10s %10s %10s %10s %8s %8s %8s\n",
+		"STREAM", "CALLS", "RSLVD", "TOTAL", "BATCH", "NET", "EXEC", "REPLYNET", "P50", "P99", "P999")
 	for _, key := range order {
 		a := byStream[key]
-		fmt.Fprintf(w, "%-22s %6d %6d %10s %10s %10s %10s %10s\n",
+		sort.Slice(a.totals, func(i, j int) bool { return a.totals[i] < a.totals[j] })
+		fmt.Fprintf(w, "%-22s %6d %6d %10s %10s %10s %10s %10s %8s %8s %8s\n",
 			key, a.calls, a.resolved,
 			mean(a.total, a.resolved), mean(a.batch, a.nb),
-			mean(a.net, a.nn), mean(a.exec, a.nx), mean(a.rnet, a.nr))
+			mean(a.net, a.nn), mean(a.exec, a.nx), mean(a.rnet, a.nr),
+			pctl(a.totals, 0.50), pctl(a.totals, 0.99), pctl(a.totals, 0.999))
 	}
 }
 
@@ -247,6 +407,18 @@ func mean(sum time.Duration, n int) string {
 		return "-"
 	}
 	return fmt.Sprintf("%dus", (sum / time.Duration(n)).Microseconds())
+}
+
+// pctl is the nearest-rank quantile of an ascending-sorted sample.
+func pctl(sorted []time.Duration, q float64) string {
+	if len(sorted) == 0 {
+		return "-"
+	}
+	idx := int(q*float64(len(sorted)) + 0.5)
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return fmt.Sprintf("%dus", sorted[idx].Microseconds())
 }
 
 // requiredCounters and requiredHistograms are the snapshot keys every

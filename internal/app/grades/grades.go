@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"promises/internal/coenter"
@@ -35,6 +36,7 @@ import (
 	"promises/internal/promise"
 	"promises/internal/simnet"
 	"promises/internal/stream"
+	"promises/internal/trace"
 	"promises/internal/transport"
 )
 
@@ -321,6 +323,16 @@ type Client struct {
 	// initiated, while the concurrent compositions print record i while
 	// record i+1 is still being produced.
 	ProduceCost time.Duration
+
+	// runs numbers the client's runs, seeding each run's causal root so
+	// every record_grade and print call of one run — across both remote
+	// guardians — groups under a single trace root in the waterfall.
+	runs atomic.Uint64
+}
+
+// runCause mints the causal context for one client run.
+func (c *Client) runCause() trace.Cause {
+	return trace.RootCause(c.G.Name()+"/grades-run", c.runs.Add(1))
 }
 
 // produce models yielding one element from the grades iterator.
@@ -376,12 +388,13 @@ func (c *Client) RunSequential(ctx context.Context, grades []SInfo) error {
 	agent := c.G.Agent("grades-main")
 	dbs := c.DB.Stream(agent)
 	prs := c.PR.Stream(agent)
+	cause := c.runCause()
 
 	// First loop: stream the record_grade calls, collecting promises.
 	a := make([]*promise.Promise[float64], 0, len(grades))
 	for _, s := range grades {
 		c.produce()
-		p, err := promise.Call(dbs, c.DB.Port, promise.Float, s.Student, s.Grade)
+		p, err := promise.CallCause(dbs, c.DB.Port, cause, promise.Float, s.Student, s.Grade)
 		if err != nil {
 			return err
 		}
@@ -395,7 +408,7 @@ func (c *Client) RunSequential(ctx context.Context, grades []SInfo) error {
 		if err != nil {
 			return err
 		}
-		if _, err := promise.Send(prs, c.PR.Port, makeString(grades[i].Student, avg)); err != nil {
+		if _, err := promise.SendCause(prs, c.PR.Port, cause, makeString(grades[i].Student, avg)); err != nil {
 			return err
 		}
 	}
@@ -421,6 +434,7 @@ func (c *Client) RunForksNaive(ctx context.Context, grades []SInfo) error {
 
 func (c *Client) runForks(ctx context.Context, grades []SInfo, closeQueue bool) error {
 	aveq := pqueue.New[*promise.Promise[float64]](0)
+	cause := c.runCause()
 
 	// use_db: stream record_grade calls, enqueue the promises, synch.
 	useDB := func() error {
@@ -436,7 +450,7 @@ func (c *Client) runForks(ctx context.Context, grades []SInfo, closeQueue bool) 
 				return exception.New("cannot_record", "injected early termination")
 			}
 			c.produce()
-			p, err := promise.Call(dbs, c.DB.Port, promise.Float, s.Student, s.Grade)
+			p, err := promise.CallCause(dbs, c.DB.Port, cause, promise.Float, s.Student, s.Grade)
 			if err != nil {
 				return exception.New("cannot_record", err.Error())
 			}
@@ -463,7 +477,7 @@ func (c *Client) runForks(ctx context.Context, grades []SInfo, closeQueue bool) 
 			if err != nil {
 				return exception.New("cannot_print", err.Error())
 			}
-			if _, err := promise.Send(prs, c.PR.Port, makeString(grades[i].Student, avg)); err != nil {
+			if _, err := promise.SendCause(prs, c.PR.Port, cause, makeString(grades[i].Student, avg)); err != nil {
 				return exception.New("cannot_print", err.Error())
 			}
 		}
@@ -489,6 +503,7 @@ func (c *Client) runForks(ctx context.Context, grades []SInfo, closeQueue bool) 
 // dequeue the next item from the queue."
 func (c *Client) RunCoenter(ctx context.Context, grades []SInfo) error {
 	aveq := pqueue.New[*promise.Promise[float64]](0)
+	cause := c.runCause()
 	return coenter.RunCtx(ctx,
 		// recording arm
 		func(p *coenter.Proc) error {
@@ -499,7 +514,7 @@ func (c *Client) RunCoenter(ctx context.Context, grades []SInfo) error {
 					return exception.New("cannot_record", "injected early termination")
 				}
 				c.produce()
-				pr, err := promise.Call(dbs, c.DB.Port, promise.Float, s.Student, s.Grade)
+				pr, err := promise.CallCause(dbs, c.DB.Port, cause, promise.Float, s.Student, s.Grade)
 				if err != nil {
 					return err
 				}
@@ -528,7 +543,7 @@ func (c *Client) RunCoenter(ctx context.Context, grades []SInfo) error {
 				if err != nil {
 					return err
 				}
-				if _, err := promise.Send(prs, c.PR.Port, makeString(grades[i].Student, avg)); err != nil {
+				if _, err := promise.SendCause(prs, c.PR.Port, cause, makeString(grades[i].Student, avg)); err != nil {
 					return err
 				}
 			}

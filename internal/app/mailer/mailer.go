@@ -18,6 +18,7 @@ import (
 	"promises/internal/promise"
 	"promises/internal/simnet"
 	"promises/internal/stream"
+	"promises/internal/trace"
 	"promises/internal/transport"
 	"promises/internal/wire"
 )
@@ -147,6 +148,7 @@ type Client struct {
 	s     *stream.Stream
 	send  guardian.Ref
 	read  guardian.Ref
+	cause trace.Cause // causal context stamped on every call; zero = each call roots itself
 }
 
 // NewClient creates a client activity on an existing guardian. Each
@@ -170,9 +172,15 @@ func NewClientFor(g *guardian.Guardian, activity, mailerNode string) *Client {
 	}
 }
 
+// SetCause installs the causal context stamped on this client's calls:
+// a guardian handler acting as a mail user passes its call's
+// ChildCause, a top-level activity passes trace.RootCause, and the zero
+// Cause (the default) leaves every call rooting its own chain.
+func (c *Client) SetCause(cause trace.Cause) { c.cause = cause }
+
 // Register creates the user's mailbox via an RPC.
 func (c *Client) Register(ctx context.Context, user string) error {
-	_, err := promise.RPC(ctx, c.s, RegisterPort, promise.None, user)
+	_, err := promise.RPCCause(ctx, c.s, RegisterPort, c.cause, promise.None, user)
 	return err
 }
 
@@ -180,18 +188,18 @@ func (c *Client) Register(ctx context.Context, user string) error {
 // point: the caller keeps running, and a later ReadMail on the same
 // stream is guaranteed to execute after this call.
 func (c *Client) SendMail(user, msg string) (*promise.Promise[promise.Unit], error) {
-	return promise.Call(c.s, SendPort, promise.None, user, msg)
+	return promise.CallCause(c.s, SendPort, c.cause, promise.None, user, msg)
 }
 
 // ReadMail streams a read_mail call, returning a promise for the user's
 // messages.
 func (c *Client) ReadMail(user string) (*promise.Promise[[]string], error) {
-	return promise.Call(c.s, ReadPort, promise.List(wire.AsString), user)
+	return promise.CallCause(c.s, ReadPort, c.cause, promise.List(wire.AsString), user)
 }
 
 // ReadMailRPC is ReadMail as a plain RPC.
 func (c *Client) ReadMailRPC(ctx context.Context, user string) ([]string, error) {
-	return promise.RPC(ctx, c.s, ReadPort, promise.List(wire.AsString), user)
+	return promise.RPCCause(ctx, c.s, ReadPort, c.cause, promise.List(wire.AsString), user)
 }
 
 // Flush pushes buffered calls out now.

@@ -97,6 +97,13 @@ func Experiments() []Experiment {
 			Quick: func() *Table { return E13TCPvsSimnet([]int{64}) },
 		},
 		{
+			ID: "E14", Title: "tail latency under batching",
+			Run: func() *Table {
+				return E14TailLatency(4096, []int{1, 4, 16, 64})
+			},
+			Quick: func() *Table { return E14TailLatency(256, []int{1, 16}) },
+		},
+		{
 			ID: "E11", Title: "adaptive batching and flow control",
 			Run: func() *Table {
 				return E11AdaptiveBatching([]int{8, 16, 32, 64}, []int{8, 1024}, 4096, 512)

@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"promises/internal/metrics"
+	"promises/internal/promise"
+	"promises/internal/simnet"
+	"promises/internal/stream"
+)
+
+// E14TailLatency regenerates the tail-latency table: N pipelined echo
+// stream calls per row under different batch limits, with the per-stage
+// latency histograms — the same stream_stage_* histograms the ops
+// plane's /metrics endpoint exports — reduced to p50/p99/p999 by the
+// registry's quantile estimator. The shape the paper's batching
+// argument predicts: a bigger batch limit raises throughput but fattens
+// the tail, because early calls in a batch wait for it to fill.
+func E14TailLatency(calls int, batches []int) *Table {
+	t := &Table{
+		ID:    "E14",
+		Title: fmt.Sprintf("tail latency: %d pipelined stream calls per row", calls),
+		Claim: "batching amortizes overhead but the early calls in each batch pay for it in tail latency (§2)",
+		Header: []string{"max_batch", "calls/s",
+			"rslv_p50_us", "rslv_p99_us", "rslv_p999_us",
+			"bwait_p99_us", "exec_p99_us"},
+	}
+	arg := payload(32)
+	for _, b := range batches {
+		// Each cell gets its own registry so the quantiles are per-row,
+		// not accumulated across the sweep.
+		reg := metrics.NewRegistry()
+		cfg := LANCost()
+		cfg.Metrics = reg
+		opts := StreamOpts()
+		opts.MaxBatch = b
+		opts.Metrics = reg
+		elapsed := runTailCell(cfg, opts, arg, calls)
+		snap := reg.Snapshot()
+		res := snap.Histograms["stream_stage_resolve_ns"]
+		bw := snap.Histograms["stream_stage_batch_wait_ns"]
+		ex := snap.Histograms["stream_stage_exec_ns"]
+		t.AddRow(fmt.Sprint(b), persec(calls, elapsed),
+			usq(res, 0.50), usq(res, 0.99), usq(res, 0.999),
+			usq(bw, 0.99), usq(ex, 0.99))
+	}
+	t.Notes = append(t.Notes,
+		"quantiles are histogram estimates (stream_stage_* buckets), in microseconds")
+	return t
+}
+
+// usq renders a histogram quantile in microseconds ("-" when empty).
+func usq(h metrics.HistogramValue, q float64) string {
+	if h.Count == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f", h.Quantile(q)/1e3)
+}
+
+// runTailCell issues n pipelined echo calls and synchs, leaving the
+// stage histograms populated in the cell's registry.
+func runTailCell(cfg simnet.Config, opts stream.Options, arg []byte, n int) time.Duration {
+	w := newEchoWorld(cfg, opts)
+	defer w.close()
+	s := w.echo.Stream(w.client.Agent("tail"))
+
+	start := now()
+	for i := 0; i < n; i++ {
+		if _, err := promise.Call(s, EchoPort, promise.Bytes, arg); err != nil {
+			panic(err)
+		}
+	}
+	if err := s.Synch(bg); err != nil {
+		panic(err)
+	}
+	return since(start)
+}

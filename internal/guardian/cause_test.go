@@ -1,0 +1,81 @@
+package guardian
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"promises/internal/promise"
+	"promises/internal/simnet"
+	"promises/internal/trace"
+)
+
+// TestHandlerDownstreamCausePropagation drives a three-guardian chain —
+// client -> frontend -> backend — where the frontend's handler calls
+// the backend with its ChildCause. The backend must observe the chain's
+// root (the client's root cause) with the frontend call as parent, so a
+// correlator joining the three processes' rings sees one tree.
+func TestHandlerDownstreamCausePropagation(t *testing.T) {
+	n := simnet.New(simnet.Config{})
+	defer n.Close()
+	client := MustNew(n, "client", fastOpts())
+	frontend := MustNew(n, "frontend", fastOpts())
+	backend := MustNew(n, "backend", fastOpts())
+	defer client.Close()
+	defer frontend.Close()
+	defer backend.Close()
+
+	type seen struct {
+		cause trace.Cause
+		trace uint64
+	}
+	backendSeen := make(chan seen, 1)
+	backend.AddHandler("store", func(call *Call) ([]any, error) {
+		backendSeen <- seen{cause: call.Cause, trace: call.Trace}
+		return []any{int64(1)}, nil
+	})
+
+	frontendSeen := make(chan seen, 1)
+	backendRef := Ref{Node: "backend", Group: DefaultGroup, Port: "store"}
+	frontend.AddHandler("submit", func(call *Call) ([]any, error) {
+		frontendSeen <- seen{cause: call.Cause, trace: call.Trace}
+		s := backendRef.Stream(call.Guardian.Agent("frontend-out"))
+		v, err := promise.RPCCause(context.Background(), s, backendRef.Port,
+			call.ChildCause(), promise.Int)
+		if err != nil {
+			return nil, err
+		}
+		return []any{v}, nil
+	})
+
+	root := trace.RootCause("client/run", 1)
+	feRef := Ref{Node: "frontend", Group: DefaultGroup, Port: "submit"}
+	s := feRef.Stream(client.Agent("client-main"))
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	v, err := promise.RPCCause(ctx, s, feRef.Port, root, promise.Int)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1 {
+		t.Fatalf("result = %d, want 1", v)
+	}
+
+	fe := <-frontendSeen
+	be := <-backendSeen
+	if fe.cause != root {
+		t.Errorf("frontend cause = %+v, want %+v", fe.cause, root)
+	}
+	if fe.trace == 0 {
+		t.Fatal("frontend call has no trace ID")
+	}
+	if be.cause.Root != root.Root {
+		t.Errorf("backend root = %x, want %x (chain root must survive the hop)", be.cause.Root, root.Root)
+	}
+	if be.cause.Parent != fe.trace {
+		t.Errorf("backend parent = %x, want frontend call %x", be.cause.Parent, fe.trace)
+	}
+	if be.trace == 0 || be.trace == fe.trace {
+		t.Errorf("backend trace ID %x must be fresh (frontend's was %x)", be.trace, fe.trace)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"promises/internal/metrics"
 	"promises/internal/simnet"
 	"promises/internal/stream"
+	"promises/internal/trace"
 	"promises/internal/transport"
 	"promises/internal/wire"
 )
@@ -48,10 +49,22 @@ type Call struct {
 	From  string
 	Agent string
 	Seq   uint64
+	// Trace is this call's trace ID (0 from pre-trace senders) and Cause
+	// the causal context the caller propagated with it — zero when this
+	// call is the root of its chain. Handlers that call out to other
+	// guardians pass ChildCause to the Cause variants of promise.Call /
+	// stream.CallCause so the downstream work joins this call's chain.
+	Trace uint64
+	Cause trace.Cause
 	// Guardian is the receiving guardian, so handlers can create ports
 	// dynamically or call out to other guardians.
 	Guardian *Guardian
 }
+
+// ChildCause is the causal context for downstream calls made on this
+// call's behalf: the chain root is inherited (or starts here), the
+// parent is this call.
+func (c *Call) ChildCause() trace.Cause { return trace.ChildOf(c.Cause, c.Trace) }
 
 // IntArg returns argument i as an int64 (failure exception on mismatch).
 func (c *Call) IntArg(i int) (int64, error) { return wire.IntArg(c.Args, i) }
@@ -276,6 +289,8 @@ func (g *Guardian) dispatch(port string) (stream.Handler, bool) {
 			From:     in.From,
 			Agent:    in.Agent,
 			Seq:      in.Seq,
+			Trace:    in.Trace,
+			Cause:    in.Cause,
 			Guardian: g,
 		}
 		results, err := runHandler(h, call)

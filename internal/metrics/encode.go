@@ -8,9 +8,9 @@ import (
 
 // WriteText renders the snapshot as an aligned, lexicographically
 // sorted table: counters, then gauges, then histograms. Histogram lines
-// show count, sum, mean, and the non-empty buckets as le=<bound>:<n>
-// pairs (le=+Inf for the overflow bucket). Deterministic for a given
-// snapshot.
+// show count, sum, mean, the estimated p50/p99/p999 tail quantiles, and
+// the non-empty buckets as le=<bound>:<n> pairs (le=+Inf for the
+// overflow bucket). Deterministic for a given snapshot.
 func (s *Snapshot) WriteText(w io.Writer) error {
 	width := 0
 	for _, k := range sortedKeys(s.Counters) {
@@ -46,6 +46,12 @@ func (s *Snapshot) WriteText(w io.Writer) error {
 		}
 		if _, err := fmt.Fprintf(w, "%-*s count=%d sum=%d mean=%.1f", width, k, h.Count, h.Sum, mean); err != nil {
 			return err
+		}
+		if h.Count > 0 {
+			if _, err := fmt.Fprintf(w, " p50=%.0f p99=%.0f p999=%.0f",
+				h.Quantile(0.50), h.Quantile(0.99), h.Quantile(0.999)); err != nil {
+				return err
+			}
 		}
 		for i, n := range h.Counts {
 			if n == 0 {

@@ -212,6 +212,56 @@ type HistogramValue struct {
 	Counts []uint64 `json:"counts"` // len(Bounds)+1; last is overflow
 }
 
+// Quantile estimates the q-quantile (q in [0,1]) of the observed
+// distribution from the fixed buckets. The target rank is located by a
+// cumulative scan and the value is linearly interpolated within the
+// containing bucket's [lower, upper] bounds (the first bucket's lower
+// bound is 0). The overflow bucket has no finite upper bound, so a rank
+// landing there reports the largest finite bound — a deliberate
+// underestimate that keeps the tail columns honest about the ladder's
+// range — or the mean when the histogram has no bounds at all. An empty
+// histogram reports 0.
+func (h HistogramValue) Quantile(q float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(h.Count)
+	var cum uint64
+	for i, n := range h.Counts {
+		if n == 0 {
+			continue
+		}
+		prev := cum
+		cum += n
+		if float64(cum) < target {
+			continue
+		}
+		if i >= len(h.Bounds) {
+			break // overflow bucket
+		}
+		lo := float64(0)
+		if i > 0 {
+			lo = float64(h.Bounds[i-1])
+		}
+		hi := float64(h.Bounds[i])
+		frac := (target - float64(prev)) / float64(n)
+		if frac < 0 {
+			frac = 0
+		}
+		return lo + frac*(hi-lo)
+	}
+	if len(h.Bounds) > 0 {
+		return float64(h.Bounds[len(h.Bounds)-1])
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
 // Snapshot is a point-in-time copy of every metric in a registry. Maps
 // are plain values so snapshots marshal with encoding/json (which sorts
 // map keys, keeping encodings deterministic).

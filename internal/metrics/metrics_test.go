@@ -185,3 +185,109 @@ func TestAllocFreeUpdates(t *testing.T) {
 		t.Fatalf("metric updates allocate: %.1f allocs/op", allocs)
 	}
 }
+
+func TestQuantileEmpty(t *testing.T) {
+	h := HistogramValue{Bounds: []uint64{10, 100}, Counts: []uint64{0, 0, 0}}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("Quantile(%v) on empty histogram = %v, want 0", q, got)
+		}
+	}
+}
+
+func TestQuantileSingleBucket(t *testing.T) {
+	// All 10 observations in the first bucket (0, 10]: quantiles
+	// interpolate linearly across the bucket.
+	h := HistogramValue{Count: 10, Sum: 50, Bounds: []uint64{10, 100}, Counts: []uint64{10, 0, 0}}
+	if got := h.Quantile(0.5); got != 5 {
+		t.Errorf("p50 = %v, want 5 (midpoint of (0,10])", got)
+	}
+	if got := h.Quantile(1); got != 10 {
+		t.Errorf("p100 = %v, want 10 (bucket upper bound)", got)
+	}
+	if got := h.Quantile(0); got < 0 || got > 10 {
+		t.Errorf("p0 = %v, want within (0,10]", got)
+	}
+}
+
+func TestQuantileInterpolatesAcrossBuckets(t *testing.T) {
+	// 50 observations <= 10, 50 in (10, 100]: p75 is halfway through the
+	// second bucket.
+	h := HistogramValue{Count: 100, Sum: 0, Bounds: []uint64{10, 100}, Counts: []uint64{50, 50, 0}}
+	if got := h.Quantile(0.75); got != 55 {
+		t.Errorf("p75 = %v, want 55 (midpoint of (10,100])", got)
+	}
+}
+
+func TestQuantileOverflowBucket(t *testing.T) {
+	// Every observation beyond the ladder: the estimate clamps to the
+	// largest finite bound rather than inventing a value.
+	h := HistogramValue{Count: 5, Sum: 5000, Bounds: []uint64{10, 100}, Counts: []uint64{0, 0, 5}}
+	if got := h.Quantile(0.99); got != 100 {
+		t.Errorf("p99 = %v, want 100 (largest finite bound)", got)
+	}
+}
+
+func TestQuantileNoBoundsFallsBackToMean(t *testing.T) {
+	h := HistogramValue{Count: 4, Sum: 40, Counts: []uint64{4}}
+	if got := h.Quantile(0.5); got != 10 {
+		t.Errorf("p50 = %v, want mean 10", got)
+	}
+}
+
+func TestQuantileClampsRange(t *testing.T) {
+	h := HistogramValue{Count: 10, Sum: 50, Bounds: []uint64{10}, Counts: []uint64{10, 0}}
+	if got := h.Quantile(-1); got != h.Quantile(0) {
+		t.Errorf("Quantile(-1) = %v, want clamp to Quantile(0) = %v", got, h.Quantile(0))
+	}
+	if got := h.Quantile(2); got != h.Quantile(1) {
+		t.Errorf("Quantile(2) = %v, want clamp to Quantile(1) = %v", got, h.Quantile(1))
+	}
+}
+
+func TestWriteTextIncludesQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", PowersOf(4, 1000, 5))
+	for i := 0; i < 100; i++ {
+		h.Observe(2000)
+	}
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"p50=", "p99=", "p999="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WriteText output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteJSONKeyOrderDeterministic(t *testing.T) {
+	// Two registries populated in opposite orders must encode to the
+	// same bytes: the ops plane's /metrics JSON is diffable across
+	// scrapes and processes only if key order never depends on insertion
+	// or map iteration order.
+	build := func(names []string) *Snapshot {
+		r := NewRegistry()
+		for _, n := range names {
+			r.Counter(n).Inc()
+		}
+		return r.Snapshot()
+	}
+	a := build([]string{"alpha", "mid", "zeta"})
+	b := build([]string{"zeta", "mid", "alpha"})
+	var ja, jb bytes.Buffer
+	if err := a.WriteJSON(&ja); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteJSON(&jb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ja.Bytes(), jb.Bytes()) {
+		t.Fatalf("JSON key order depends on insertion order:\n%s\nvs\n%s", ja.String(), jb.String())
+	}
+	if idx := strings.Index(ja.String(), "alpha"); idx < 0 || idx > strings.Index(ja.String(), "zeta") {
+		t.Fatalf("keys not sorted:\n%s", ja.String())
+	}
+}

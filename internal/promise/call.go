@@ -6,6 +6,7 @@ import (
 
 	"promises/internal/exception"
 	"promises/internal/stream"
+	"promises/internal/trace"
 	"promises/internal/wire"
 )
 
@@ -32,11 +33,20 @@ type Decoder[T any] func(vals []any) (T, error)
 //  4. If the stream breaks first, the promise becomes ready with the
 //     break's exception (unavailable or failure).
 func Call[T any](s *stream.Stream, port string, dec Decoder[T], args ...any) (*Promise[T], error) {
+	return CallCause(s, port, trace.Cause{}, dec, args...)
+}
+
+// CallCause is Call carrying an upstream causal context: cause's root
+// and parent trace IDs travel with the request, joining the call into
+// the cross-guardian chain of whatever caused it. A guardian handler
+// composing downstream calls passes its call's ChildCause; the zero
+// Cause makes this identical to Call.
+func CallCause[T any](s *stream.Stream, port string, cause trace.Cause, dec Decoder[T], args ...any) (*Promise[T], error) {
 	payload, err := wire.Marshal(args...)
 	if err != nil {
 		return nil, exception.Failure("could not encode")
 	}
-	pending, err := s.Call(port, payload)
+	pending, err := s.CallCause(context.Background(), port, payload, cause)
 	if err != nil {
 		return nil, err
 	}
@@ -48,11 +58,16 @@ func Call[T any](s *stream.Stream, port string, dec Decoder[T], args ...any) (*P
 // wire. The returned promise resolves with Unit on success. As with Call,
 // an encoding failure or broken stream fails immediately with no promise.
 func Send(s *stream.Stream, port string, args ...any) (*Promise[Unit], error) {
+	return SendCause(s, port, trace.Cause{}, args...)
+}
+
+// SendCause is Send carrying an upstream causal context, like CallCause.
+func SendCause(s *stream.Stream, port string, cause trace.Cause, args ...any) (*Promise[Unit], error) {
 	payload, err := wire.Marshal(args...)
 	if err != nil {
 		return nil, exception.Failure("could not encode")
 	}
-	pending, err := s.Send(port, payload)
+	pending, err := s.SendCause(context.Background(), port, payload, cause)
 	if err != nil {
 		return nil, err
 	}
@@ -64,12 +79,17 @@ func Send(s *stream.Stream, port string, args ...any) (*Promise[Unit], error) {
 // decoded and returned directly — no promise is involved. An RPC is also a
 // synch boundary on the stream.
 func RPC[T any](ctx context.Context, s *stream.Stream, port string, dec Decoder[T], args ...any) (T, error) {
+	return RPCCause(ctx, s, port, trace.Cause{}, dec, args...)
+}
+
+// RPCCause is RPC carrying an upstream causal context, like CallCause.
+func RPCCause[T any](ctx context.Context, s *stream.Stream, port string, cause trace.Cause, dec Decoder[T], args ...any) (T, error) {
 	var zero T
 	payload, err := wire.Marshal(args...)
 	if err != nil {
 		return zero, exception.Failure("could not encode")
 	}
-	outcome, err := s.RPC(ctx, port, payload)
+	outcome, err := s.RPCCause(ctx, port, payload, cause)
 	if err != nil {
 		return zero, err
 	}

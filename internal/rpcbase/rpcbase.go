@@ -31,6 +31,7 @@ import (
 	"promises/internal/exception"
 	"promises/internal/metrics"
 	"promises/internal/stream"
+	"promises/internal/trace"
 	"promises/internal/transport"
 	"promises/internal/wire"
 )
@@ -68,8 +69,9 @@ const (
 // served from a per-client cache so retransmissions do not re-execute
 // calls.
 type Server struct {
-	node transport.Endpoint
-	clk  clock.Clock
+	node   transport.Endpoint
+	clk    clock.Clock
+	tracer atomic.Pointer[trace.Tracer]
 
 	mu       sync.Mutex
 	handlers map[string]Handler
@@ -101,6 +103,23 @@ func (s *Server) Handle(port string, h Handler) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.handlers[port] = h
+}
+
+// SetTracer installs a tracer: each executed call is recorded as a
+// CallExecuted event carrying the trace ID and causal context the
+// client sent (zero from legacy clients), so baseline-RPC segments join
+// the same cross-process waterfalls the stream layer produces. If the
+// tracer wants a time source (trace.NowSetter) it gets the server's
+// clock. Pass nil to detach.
+func (s *Server) SetTracer(t trace.Tracer) {
+	if t == nil {
+		s.tracer.Store(nil)
+		return
+	}
+	if ns, ok := t.(trace.NowSetter); ok {
+		ns.SetNow(s.clk.Now)
+	}
+	s.tracer.Store(&t)
 }
 
 // Close stops the server.
@@ -172,6 +191,22 @@ func (s *Server) serve(msg transport.Message) {
 	if err != nil {
 		return
 	}
+	// Optional trailing trace values (cause-aware clients): the call's
+	// trace ID and its propagated (root, parent) context. A legacy server
+	// reading positionally never gets here, and a legacy client simply
+	// sends 4 values, leaving all three zero.
+	var tid, root, parent uint64
+	if len(vals) >= 7 {
+		if v, err := wire.IntArg(vals, 4); err == nil {
+			tid = uint64(v)
+		}
+		if v, err := wire.IntArg(vals, 5); err == nil {
+			root = uint64(v)
+		}
+		if v, err := wire.IntArg(vals, 6); err == nil {
+			parent = uint64(v)
+		}
+	}
 
 	// Duplicate suppression: replay the cached reply.
 	s.mu.Lock()
@@ -188,6 +223,11 @@ func (s *Server) serve(msg transport.Message) {
 		outcome = h(args)
 	} else {
 		outcome = stream.ExceptionOutcome(exception.Failure("handler does not exist"))
+	}
+	if tp := s.tracer.Load(); tp != nil {
+		(*tp).Record(trace.Event{At: s.clk.Now(), Kind: trace.CallExecuted,
+			Stream: msg.From + "->" + s.node.Name() + "/rpc", Seq: uint64(id),
+			TraceID: tid, Root: root, Parent: parent, Detail: port})
 	}
 	replyMsg, err := wire.Marshal(kindReply, id, outcome.Normal, outcome.Exception, outcome.Payload)
 	if err != nil {
@@ -230,6 +270,9 @@ type Client struct {
 	node transport.Endpoint
 	cfg  Config
 	cm   *clientMetrics
+	// traceHash seeds the derived per-call trace IDs cause-carrying
+	// requests are stamped with (same scheme as the stream layer).
+	traceHash uint64
 
 	nextID uint64
 
@@ -252,14 +295,15 @@ type Reply struct {
 func NewClient(node transport.Endpoint, cfg Config) *Client {
 	ctx, cancel := context.WithCancel(context.Background())
 	c := &Client{
-		node:    node,
-		clk:     endpointClock(node),
-		cfg:     cfg.withDefaults(),
-		cm:      newClientMetrics(endpointMetrics(node)),
-		waiters: make(map[uint64]chan stream.Outcome),
-		rawCh:   make(chan Reply, 4096),
-		ctx:     ctx,
-		cancel:  cancel,
+		node:      node,
+		clk:       endpointClock(node),
+		cfg:       cfg.withDefaults(),
+		cm:        newClientMetrics(endpointMetrics(node)),
+		traceHash: trace.HashStream(node.Name() + "/rpc"),
+		waiters:   make(map[uint64]chan stream.Outcome),
+		rawCh:     make(chan Reply, 4096),
+		ctx:       ctx,
+		cancel:    cancel,
 	}
 	c.wg.Add(1)
 	go c.loop()
@@ -368,10 +412,35 @@ func encodeRequest(id uint64, port string, args []byte) []byte {
 	return payload
 }
 
+// encodeRequestCause is encodeRequest with three trailing values: the
+// call's derived trace ID and the propagated (root, parent) causal
+// context. Legacy servers parse requests positionally (values 0–3) and
+// ignore the extras.
+func encodeRequestCause(id uint64, port string, args []byte, tid uint64, cause trace.Cause) []byte {
+	payload, err := wire.Marshal(kindRequest, int64(id), port, args,
+		int64(tid), int64(cause.Root), int64(cause.Parent))
+	if err != nil {
+		panic(err) // only built-in types
+	}
+	return payload
+}
+
 // Call is a plain RPC: transmit the request now, block until the reply
 // arrives, retransmitting up to the configured limit, then give up with
 // unavailable. One call per round trip — the cost streams amortize away.
 func (c *Client) Call(ctx context.Context, server, port string, args []byte) (stream.Outcome, error) {
+	return c.call(ctx, server, port, args, false, trace.Cause{})
+}
+
+// CallCause is Call carrying an upstream causal context: the request is
+// stamped with a derived trace ID plus cause's (root, parent), which
+// ride as trailing wire values legacy servers ignore. Retransmissions
+// re-send the same encoded request, so the context survives retries.
+func (c *Client) CallCause(ctx context.Context, server, port string, args []byte, cause trace.Cause) (stream.Outcome, error) {
+	return c.call(ctx, server, port, args, true, cause)
+}
+
+func (c *Client) call(ctx context.Context, server, port string, args []byte, traced bool, cause trace.Cause) (stream.Outcome, error) {
 	id := c.newID()
 	w := make(chan stream.Outcome, 1)
 	c.mu.Lock()
@@ -387,6 +456,9 @@ func (c *Client) Call(ctx context.Context, server, port string, args []byte) (st
 		c.cm.calls.Inc()
 	}
 	req := encodeRequest(id, port, args)
+	if traced {
+		req = encodeRequestCause(id, port, args, trace.CallID(c.traceHash, 0, id), cause)
+	}
 	rto := c.clk.NewTimer(c.cfg.RTO)
 	defer rto.Stop()
 	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {

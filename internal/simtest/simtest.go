@@ -20,9 +20,14 @@
 //     deterministic loss of everything in flight on that link — rather
 //     than a probabilistic drop.
 //   - Instants are kept collision-free by congruence: tick loops fire at
-//     multiples of 250µs (≡0 mod 10µs), link delays are ≡3 mod 10µs, and
+//     multiples of 250µs (≡0 mod 10µs), link delays are ≡5 mod 10µs, and
 //     script actions are ≡7 mod 10µs, so a delivery, a tick, and a fault
-//     never share an instant and their handlers never race.
+//     never share an instant and their handlers never race. The delay
+//     residue matters: a script send (≡7) plus one hop (≡5) lands ≡2,
+//     and each further same-instant hop adds 5, so a chain stays in
+//     {2, 7} mod 10 and can never land on a tick multiple. (Delays ≡3
+//     could: 7+3 ≡ 0 mod 10, and a delivery racing a tick handler at
+//     one instant was a real ~50% -race flake at 6000µs.)
 //   - The transcript is a sorted multiset of event lines, so the one
 //     interleaving the harness cannot pin down — goroutine wake order
 //     within a single settled instant — cannot affect the bytes.
@@ -201,11 +206,11 @@ func Run(o Options) (*Result, error) {
 	}()
 	defer vclk.SetAutoAdvance(true)
 
-	// Distinct per-link delays, all ≡3 mod 10µs (see stepUS).
+	// Distinct per-link delays, all ≡5 mod 10µs (see stepUS).
 	pair := 0
 	for _, c := range clients {
 		for _, s := range servers {
-			net.SetLinkDelay(c.Name(), s.Name(), time.Duration(303+20*pair)*time.Microsecond)
+			net.SetLinkDelay(c.Name(), s.Name(), time.Duration(305+20*pair)*time.Microsecond)
 			pair++
 		}
 	}

@@ -6,6 +6,7 @@ import (
 
 	"promises/internal/metrics"
 	"promises/internal/simnet"
+	"promises/internal/trace"
 )
 
 // benchWorld is the benchmark twin of testFixture: a client and a server
@@ -155,6 +156,57 @@ func BenchmarkStreamCallThroughputWithMetrics(b *testing.B) {
 			b.Fatalf("Wait: %v", err)
 		}
 		p.Release()
+	}
+}
+
+// BenchmarkStreamCallThroughputObserved is the round trip with the FULL
+// observability plane on: a live metrics registry (counters, stage
+// histograms) AND the trace flight recorder installed on both peers —
+// exactly what a daemon runs with -ops. The allocs/op budget is the
+// same 0 as the dark fast path: events record by value into the ring,
+// details are precomputed strings, and histogram observations are
+// atomic adds.
+func BenchmarkStreamCallThroughputObserved(b *testing.B) {
+	client, cleanup := benchWorldCfg(b, simnet.Config{Metrics: metrics.NewRegistry()}, Options{MaxBatch: 16})
+	defer cleanup()
+	rec := trace.NewRecorder(1<<12, 8)
+	client.SetTracer(rec)
+	s := client.Agent("bench").Stream("server", "g")
+	arg := make([]byte, 32)
+
+	const window = 256
+	pendings := make([]Pending, 0, window)
+	ctx := context.Background()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := s.Call("echo", arg)
+		if err != nil {
+			b.Fatalf("Call: %v", err)
+		}
+		pendings = append(pendings, p)
+		if len(pendings) == window {
+			s.Flush()
+			for _, p := range pendings {
+				if _, err := p.Wait(ctx); err != nil {
+					b.Fatalf("Wait: %v", err)
+				}
+				p.Release()
+			}
+			pendings = pendings[:0]
+		}
+	}
+	s.Flush()
+	for _, p := range pendings {
+		if _, err := p.Wait(ctx); err != nil {
+			b.Fatalf("Wait: %v", err)
+		}
+		p.Release()
+	}
+	b.StopTimer()
+	if got := rec.Count(trace.CallEnqueued); got == 0 {
+		b.Fatal("flight recorder saw no events — the observed benchmark measured the dark path")
 	}
 }
 

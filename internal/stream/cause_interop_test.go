@@ -1,0 +1,194 @@
+package stream
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"promises/internal/simnet"
+	"promises/internal/trace"
+	"promises/internal/wire"
+)
+
+// TestCauseCodecRoundTrip pins the 8-value request-batch layout through
+// the real encoder and decoder: each request's (Root, Parent) pair
+// survives, including zero pairs for chain roots.
+func TestCauseCodecRoundTrip(t *testing.T) {
+	in := requestBatch{
+		Agent: "a", Group: "g", Incarnation: 2, AckRepliesThrough: 5,
+		Requests: []request{
+			{Seq: 1, Port: "p", Mode: ModeCall, Args: []byte{1}, Trace: 0xA1, Root: 0x51, Parent: 0x61},
+			{Seq: 2, Port: "p", Mode: ModeSend, Args: []byte{2}, Trace: 0xA2},
+			{Seq: 3, Port: "q", Mode: ModeRPC, Args: nil, Trace: 0xA3, Root: 0xA3, Parent: 0xA1},
+		},
+	}
+	msg := encodeRequestBatch(in)
+	kind, out, _, _, err := decodeMessage(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != kindRequestBatch {
+		t.Fatalf("kind = %d, want request batch", kind)
+	}
+	defer releaseRequestBatch(out)
+	if len(out.Requests) != len(in.Requests) {
+		t.Fatalf("decoded %d requests, want %d", len(out.Requests), len(in.Requests))
+	}
+	for i, want := range in.Requests {
+		got := out.Requests[i]
+		if got.Trace != want.Trace || got.Root != want.Root || got.Parent != want.Parent {
+			t.Errorf("request %d: trace/root/parent = %x/%x/%x, want %x/%x/%x",
+				i, got.Trace, got.Root, got.Parent, want.Trace, want.Root, want.Parent)
+		}
+	}
+}
+
+// TestTraceOnlySenderDecodesWithZeroCause covers the middle rung of the
+// version ladder: a 7-value batch — what a trace-aware but pre-cause
+// sender emits — decodes with every causal context zero.
+func TestTraceOnlySenderDecodesWithZeroCause(t *testing.T) {
+	var msg []byte
+	msg = wire.AppendHeader(msg, 7)
+	msg = wire.AppendInt(msg, 1) // kindRequestBatch
+	msg = wire.AppendString(msg, "a")
+	msg = wire.AppendString(msg, "g")
+	msg = wire.AppendInt(msg, 1) // incarnation
+	msg = wire.AppendInt(msg, 0) // ack
+	msg = wire.AppendList(msg, 1)
+	msg = wire.AppendList(msg, 4)
+	msg = wire.AppendInt(msg, 1)
+	msg = wire.AppendString(msg, "echo")
+	msg = wire.AppendInt(msg, int64(ModeCall))
+	msg = wire.AppendBytes(msg, []byte{7})
+	msg = wire.AppendList(msg, 1)
+	msg = wire.AppendInt(msg, 0xCAFE)
+
+	kind, b, _, _, err := decodeMessage(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != kindRequestBatch {
+		t.Fatalf("kind = %d, want request batch", kind)
+	}
+	defer releaseRequestBatch(b)
+	if len(b.Requests) != 1 {
+		t.Fatalf("decoded %d requests, want 1", len(b.Requests))
+	}
+	r := b.Requests[0]
+	if r.Trace != 0xCAFE || r.Root != 0 || r.Parent != 0 {
+		t.Fatalf("trace/root/parent = %x/%x/%x, want cafe/0/0", r.Trace, r.Root, r.Parent)
+	}
+}
+
+// TestCausePropagatesToHandler runs a cause-carrying call end to end:
+// the handler sees the sender's causal context on its Incoming, and
+// ChildCause derives the context for the handler's own downstream calls
+// (root inherited, parent = this call).
+func TestCausePropagatesToHandler(t *testing.T) {
+	f := newFixture(t, simnet.Config{}, fastOpts())
+	var gotCause, gotChild trace.Cause
+	var gotTrace uint64
+	f.handle("work", func(call *Incoming) Outcome {
+		gotCause = call.Cause
+		gotChild = call.ChildCause()
+		gotTrace = call.Trace
+		return NormalOutcome(nil)
+	})
+
+	cause := trace.Cause{Root: 0x1111, Parent: 0x2222}
+	s := f.client.Agent("a1").Stream("server", "g1")
+	p, err := s.CallCause(context.Background(), "work", nil, cause)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Flush()
+	if o := claim(t, p); !o.Normal {
+		t.Fatalf("outcome = %+v", o)
+	}
+	if gotCause != cause {
+		t.Errorf("handler cause = %+v, want %+v", gotCause, cause)
+	}
+	if gotTrace == 0 {
+		t.Error("handler trace ID missing")
+	}
+	want := trace.Cause{Root: cause.Root, Parent: gotTrace}
+	if gotChild != want {
+		t.Errorf("ChildCause = %+v, want %+v", gotChild, want)
+	}
+}
+
+// TestCauseRootDefaultsToSelf: a call with the zero Cause is a chain
+// root; ChildCause at the handler starts a chain rooted at the call's
+// own trace ID.
+func TestCauseRootDefaultsToSelf(t *testing.T) {
+	f := newFixture(t, simnet.Config{}, fastOpts())
+	var gotChild trace.Cause
+	var gotTrace uint64
+	f.handle("work", func(call *Incoming) Outcome {
+		gotChild = call.ChildCause()
+		gotTrace = call.Trace
+		return NormalOutcome(nil)
+	})
+	s := f.client.Agent("a1").Stream("server", "g1")
+	p, err := s.Call("work", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Flush()
+	if o := claim(t, p); !o.Normal {
+		t.Fatalf("outcome = %+v", o)
+	}
+	if gotTrace == 0 {
+		t.Fatal("handler trace ID missing")
+	}
+	if want := (trace.Cause{Root: gotTrace, Parent: gotTrace}); gotChild != want {
+		t.Errorf("ChildCause = %+v, want %+v", gotChild, want)
+	}
+}
+
+// TestCauseRidesTraceEventsAcrossProcesses asserts the cross-process
+// join the correlator depends on: the sender's CallEnqueued and the
+// receiver's CallDelivered/Executed carry the same (root, parent) so
+// rings drained from two different peers group under one root.
+func TestCauseRidesTraceEventsAcrossProcesses(t *testing.T) {
+	f := newFixture(t, simnet.Config{}, fastOpts())
+	f.handle("echo", echoHandler)
+	cring := trace.NewRing(64)
+	sring := trace.NewRing(64)
+	f.client.SetTracer(cring)
+	f.server.SetTracer(sring)
+
+	cause := trace.Cause{Root: 0xBEEF, Parent: 0xF00D}
+	s := f.client.Agent("a1").Stream("server", "g1")
+	p, err := s.CallCause(context.Background(), "echo", []byte{1}, cause)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Flush()
+	claim(t, p)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		enq := cring.Filter(trace.CallEnqueued)
+		exe := sring.Filter(trace.CallExecuted)
+		if len(enq) > 0 && len(exe) > 0 {
+			if enq[0].Root != cause.Root || enq[0].Parent != cause.Parent {
+				t.Fatalf("sender event cause = %x/%x, want %x/%x",
+					enq[0].Root, enq[0].Parent, cause.Root, cause.Parent)
+			}
+			if exe[0].Root != cause.Root || exe[0].Parent != cause.Parent {
+				t.Fatalf("receiver event cause = %x/%x, want %x/%x",
+					exe[0].Root, exe[0].Parent, cause.Root, cause.Parent)
+			}
+			if enq[0].TraceID == 0 || enq[0].TraceID != exe[0].TraceID {
+				t.Fatalf("trace IDs diverge across processes: %x vs %x",
+					enq[0].TraceID, exe[0].TraceID)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("events missing: sender enq=%d receiver exec=%d", len(enq), len(exe))
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -36,6 +36,17 @@ type streamMetrics struct {
 	adaptCuts     *metrics.Counter   // controller steps that lowered the limit
 	adaptLimit    *metrics.Gauge     // current adaptive batch limit
 
+	// Per-stage latency histograms, the tail-accounting substrate: each
+	// observation is one call's (or batch's) dwell time in one stage of
+	// the lifecycle, all measured against a single process's clock so no
+	// cross-process clock sync is assumed. Quantiles (p50/p99/p999) are
+	// derived from the buckets at read time (metrics.HistogramValue.
+	// Quantile) by /metrics, streamscope, and benchtab.
+	stageBatchWait *metrics.Histogram // ns from first buffered call to batch transmit
+	stageResolve   *metrics.Histogram // ns from enqueue to promise resolution (sender RTT)
+	stageExec      *metrics.Histogram // ns a handler ran at the receiver
+	stageReplyWait *metrics.Histogram // ns from oldest unsent reply to reply-batch transmit
+
 	// Receiver side.
 	callsExecuted   *metrics.Counter   // handler executions completed
 	duplicateReqs   *metrics.Counter   // duplicate requests received (loss evidence)
@@ -84,6 +95,11 @@ func newStreamMetrics(reg *metrics.Registry) *streamMetrics {
 		adaptRaises:   reg.Counter("stream_adapt_raises_total"),
 		adaptCuts:     reg.Counter("stream_adapt_cuts_total"),
 		adaptLimit:    reg.Gauge("stream_adaptive_batch_limit"),
+
+		stageBatchWait: reg.Histogram("stream_stage_batch_wait_ns", latencyBuckets),
+		stageResolve:   reg.Histogram("stream_stage_resolve_ns", latencyBuckets),
+		stageExec:      reg.Histogram("stream_stage_exec_ns", latencyBuckets),
+		stageReplyWait: reg.Histogram("stream_stage_reply_wait_ns", latencyBuckets),
 
 		callsExecuted:   reg.Counter("stream_calls_executed_total"),
 		duplicateReqs:   reg.Counter("stream_duplicate_requests_total"),

@@ -194,11 +194,20 @@ func (p *Peer) tracing() bool { return p.tracer.Load() != nil }
 // call's trace ID for call-scoped events, 0 for stream- or batch-scoped
 // ones.
 func (p *Peer) emit(kind trace.Kind, stream string, seq, tid uint64, detail string) {
+	p.emitCause(kind, stream, seq, tid, trace.Cause{}, detail)
+}
+
+// emitCause is emit for call-scoped events that carry a propagated causal
+// context: the chain's root trace ID and the causing call's trace ID ride
+// the event, so the correlator can join cross-guardian chains without any
+// per-process state.
+func (p *Peer) emitCause(kind trace.Kind, stream string, seq, tid uint64, c trace.Cause, detail string) {
 	tp := p.tracer.Load()
 	if tp == nil {
 		return
 	}
-	(*tp).Record(trace.Event{At: p.clk.Now(), Kind: kind, Stream: stream, Seq: seq, TraceID: tid, Detail: detail})
+	(*tp).Record(trace.Event{At: p.clk.Now(), Kind: kind, Stream: stream, Seq: seq,
+		TraceID: tid, Root: c.Root, Parent: c.Parent, Detail: detail})
 }
 
 // SetParallelPorts installs the predicate that marks ports whose calls

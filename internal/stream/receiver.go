@@ -55,6 +55,14 @@ type Incoming struct {
 	Mode  Mode
 	Args  []byte // encoded argument list
 
+	// Trace is this call's own trace ID (trace.CallID as minted by the
+	// sender); 0 when the sender predates tracing. Cause is the causal
+	// context the sender propagated with the call — its root trace ID and
+	// the trace ID of the call that caused it — or the zero Cause when
+	// the call is a chain root (or from a legacy sender).
+	Trace uint64
+	Cause trace.Cause
+
 	breakReason *exception.Exception
 	retired     bool // set when the handler returned; later use fails loudly
 }
@@ -86,6 +94,19 @@ func (c *Incoming) Clone() *Incoming {
 	copy(args, c.Args)
 	cp.Args = args
 	return &cp
+}
+
+// ChildCause is the causal context a handler passes to downstream calls
+// it issues on this call's behalf (stream.CallCause, promise/rpcbase
+// Cause variants): the chain root is inherited from the incoming cause
+// (or starts here when this call is the root), and the parent is this
+// call itself. Valid only while the handler runs, like every other
+// field.
+func (c *Incoming) ChildCause() trace.Cause {
+	if c.retired {
+		panic("stream: Incoming used after its handler returned (Clone to retain)")
+	}
+	return trace.ChildOf(c.Cause, c.Trace)
 }
 
 // retire poisons the scratch between calls so a handler that kept the
@@ -291,7 +312,8 @@ func (r *rstream) handleRequestBatch(b *requestBatch) {
 		default:
 			r.oo.put(req.Seq, req)
 			if r.peer.tracing() {
-				r.peer.emit(trace.CallDelivered, r.keyStr, req.Seq, req.Trace, "")
+				r.peer.emitCause(trace.CallDelivered, r.keyStr, req.Seq, req.Trace,
+					trace.Cause{Root: req.Root, Parent: req.Parent}, "")
 			}
 		}
 	}
@@ -439,6 +461,13 @@ func (r *rstream) executeOne(req request, call *Incoming) {
 		Seq:   req.Seq,
 		Mode:  req.Mode,
 		Args:  req.Args,
+		Trace: req.Trace,
+		Cause: trace.Cause{Root: req.Root, Parent: req.Parent},
+	}
+	sm := r.peer.sm
+	var execStart time.Time
+	if sm != nil {
+		execStart = r.peer.clk.Now()
 	}
 	var outcome Outcome
 	if h, ok := r.peer.dispatcher()(req.Port); ok {
@@ -448,10 +477,12 @@ func (r *rstream) executeOne(req request, call *Incoming) {
 	}
 	breakReason := call.breakReason
 	call.retire()
-	if sm := r.peer.sm; sm != nil {
+	if sm != nil {
 		sm.callsExecuted.Inc()
+		sm.stageExec.ObserveDuration(r.peer.clk.Now().Sub(execStart))
 	}
-	r.peer.emit(trace.CallExecuted, r.keyStr, req.Seq, req.Trace, req.Port)
+	r.peer.emitCause(trace.CallExecuted, r.keyStr, req.Seq, req.Trace,
+		trace.Cause{Root: req.Root, Parent: req.Parent}, req.Port)
 
 	sh := r.shardOf(req.Seq)
 	var msg []byte
@@ -493,7 +524,8 @@ func (r *rstream) executeOne(req request, call *Incoming) {
 			if !outcome.Normal {
 				detail = outcome.Exception
 			}
-			r.peer.emit(trace.CallReplied, r.keyStr, req.Seq, req.Trace, detail)
+			r.peer.emitCause(trace.CallReplied, r.keyStr, req.Seq, req.Trace,
+				trace.Cause{Root: req.Root, Parent: req.Parent}, detail)
 		}
 	}
 	completed := r.completedThroughNow()
@@ -557,13 +589,16 @@ func (r *rstream) buildShardReplyBatchLocked(sh *recvShard, retransmit bool, inc
 		// full-retransmission pacing clock.
 		sh.lastFullReplyAt = r.peer.clk.Now()
 	}
+	if sm := r.peer.sm; sm != nil && sh.unsentReplies > 0 {
+		sm.stageReplyWait.ObserveDuration(r.peer.clk.Now().Sub(sh.oldestUnsentAt))
+	}
 	sh.unsentReplies = 0
 	sh.unsentBytes = 0
 	sh.sentCompleted = completed
 	if r.peer.tracing() {
-		detail := fmt.Sprintf("n=%d", len(reps))
+		detail := trace.BatchDetail(len(reps))
 		if retransmit {
-			detail += " retransmit"
+			detail = fmt.Sprintf("n=%d retransmit", len(reps))
 		}
 		r.peer.emit(trace.ReplyBatchSent, r.keyStr, completed, 0, detail)
 	}

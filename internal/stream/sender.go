@@ -49,6 +49,9 @@ type pendingCall struct {
 	// nil when metrics are disabled, and clk is only read when sm is set.
 	sm  *streamMetrics
 	clk clock.Clock
+	// enqAt is when the call entered the stream, for the enqueue→resolve
+	// stage histogram. Only stamped when metrics are enabled.
+	enqAt time.Time
 
 	gen      atomic.Uint32 // recycle counter; handles snapshot it
 	resolved atomic.Bool
@@ -91,6 +94,9 @@ func newPending(seq uint64, mode Mode, sm *streamMetrics, clk clock.Clock) Pendi
 	c.mode = mode
 	c.sm = sm
 	c.clk = clk
+	if sm != nil {
+		c.enqAt = clk.Now()
+	}
 	// released resets at acquire, not at recycle, so a double Release can
 	// never re-recycle a cell already handed to a new call.
 	c.released.Store(false)
@@ -241,6 +247,7 @@ func (p Pending) Release() {
 	c.done = nil
 	c.sm = nil
 	c.clk = nil
+	c.enqAt = time.Time{}
 	c.mu.Unlock()
 	pendingPool.Put(c)
 }
@@ -421,7 +428,7 @@ func (s *Stream) Broken() bool {
 // blocks while the in-flight window (or the receiver's advertised credit)
 // is exhausted; use CallCtx to bound that wait.
 func (s *Stream) Call(port string, args []byte) (Pending, error) {
-	return s.enqueue(context.Background(), port, args, ModeCall)
+	return s.enqueue(context.Background(), port, args, ModeCall, trace.Cause{})
 }
 
 // CallCtx is Call with a context bounding the flow-control wait: if the
@@ -429,7 +436,19 @@ func (s *Stream) Call(port string, args []byte) (Pending, error) {
 // frees, the stream breaks, or ctx ends (returning ctx.Err() with no
 // pending created).
 func (s *Stream) CallCtx(ctx context.Context, port string, args []byte) (Pending, error) {
-	return s.enqueue(ctx, port, args, ModeCall)
+	return s.enqueue(ctx, port, args, ModeCall, trace.Cause{})
+}
+
+// CallCause is CallCtx carrying an upstream causal context: the cause's
+// root and parent trace IDs ride the request batch's versioned trailing
+// wire header, joining this call into its initiator's cross-guardian
+// chain. A handler issuing downstream calls passes the incoming call's
+// child cause (Incoming.ChildCause, or guardian.Call.Cause); a
+// top-level activity that wants its fan-out grouped under one root
+// passes a fixed non-zero Cause of its own. The zero Cause makes this
+// identical to CallCtx.
+func (s *Stream) CallCause(ctx context.Context, port string, args []byte, cause trace.Cause) (Pending, error) {
+	return s.enqueue(ctx, port, args, ModeCall, cause)
 }
 
 // Send makes a send to the named port: the sender hears back only if the
@@ -437,20 +456,31 @@ func (s *Stream) CallCtx(ctx context.Context, port string, args []byte) (Pending
 // normal outcome on success; sends exist so that "normal replies can be
 // omitted" from the wire.
 func (s *Stream) Send(port string, args []byte) (Pending, error) {
-	return s.enqueue(context.Background(), port, args, ModeSend)
+	return s.enqueue(context.Background(), port, args, ModeSend, trace.Cause{})
 }
 
 // SendCtx is Send with a context bounding the flow-control wait, like
 // CallCtx.
 func (s *Stream) SendCtx(ctx context.Context, port string, args []byte) (Pending, error) {
-	return s.enqueue(ctx, port, args, ModeSend)
+	return s.enqueue(ctx, port, args, ModeSend, trace.Cause{})
+}
+
+// SendCause is SendCtx carrying an upstream causal context, like
+// CallCause.
+func (s *Stream) SendCause(ctx context.Context, port string, args []byte, cause trace.Cause) (Pending, error) {
+	return s.enqueue(ctx, port, args, ModeSend, cause)
 }
 
 // RPC makes a remote procedure call: the request bypasses the batch buffer
 // and the caller waits for the reply. An RPC also establishes a synch
 // boundary, like Argus's regular calls do.
 func (s *Stream) RPC(ctx context.Context, port string, args []byte) (Outcome, error) {
-	p, err := s.enqueue(ctx, port, args, ModeRPC)
+	return s.RPCCause(ctx, port, args, trace.Cause{})
+}
+
+// RPCCause is RPC carrying an upstream causal context, like CallCause.
+func (s *Stream) RPCCause(ctx context.Context, port string, args []byte, cause trace.Cause) (Outcome, error) {
+	p, err := s.enqueue(ctx, port, args, ModeRPC, cause)
 	if err != nil {
 		return Outcome{}, err
 	}
@@ -468,7 +498,7 @@ func (s *Stream) RPC(ctx context.Context, port string, args []byte) (Outcome, er
 	return o, nil
 }
 
-func (s *Stream) enqueue(ctx context.Context, port string, args []byte, mode Mode) (Pending, error) {
+func (s *Stream) enqueue(ctx context.Context, port string, args []byte, mode Mode, cause trace.Cause) (Pending, error) {
 	s.mu.Lock()
 	for {
 		if s.pendingBreak {
@@ -535,7 +565,8 @@ func (s *Stream) enqueue(ctx context.Context, port string, args []byte, mode Mod
 		// sends the batch once arrivals pause for peer.idleFlush.
 		sh.lastArriveAt = s.peer.clk.Now()
 	}
-	sh.buffer = append(sh.buffer, request{Seq: seq, Port: port, Mode: mode, Args: args, Trace: tid})
+	sh.buffer = append(sh.buffer, request{Seq: seq, Port: port, Mode: mode, Args: args,
+		Trace: tid, Root: cause.Root, Parent: cause.Parent})
 	sh.bufferBytes += reqWireSize(port, args)
 	full := len(sh.buffer) >= limit || mode == ModeRPC ||
 		(s.opts.MaxBatchBytes > 0 && sh.bufferBytes >= s.opts.MaxBatchBytes)
@@ -545,7 +576,7 @@ func (s *Stream) enqueue(ctx context.Context, port string, args []byte, mode Mod
 		sm.callsEnqueued.Inc()
 	}
 	if s.peer.tracing() {
-		s.peer.emit(trace.CallEnqueued, s.keyStr, seq, tid, mode.String())
+		s.peer.emitCause(trace.CallEnqueued, s.keyStr, seq, tid, cause, mode.String())
 	}
 	if full {
 		s.flushShard(sh, false)
@@ -621,6 +652,7 @@ func (s *Stream) flushShard(sh *senderShard, timerClosed bool) {
 	batch := sh.buffer
 	sh.unacked = append(sh.unacked, batch...)
 	sh.lastSendAt = s.peer.clk.Now()
+	batchWait := sh.lastSendAt.Sub(sh.bufferedAt)
 	s.lastAckedReplies = s.nextResolve - 1
 	hdr := requestBatch{
 		Agent:             s.key.agent,
@@ -647,9 +679,10 @@ func (s *Stream) flushShard(sh *senderShard, timerClosed bool) {
 		sm.batchCalls.Observe(uint64(n))
 		sm.batchBytes.Observe(uint64(len(msg)))
 		sm.windowCalls.Observe(window)
+		sm.stageBatchWait.ObserveDuration(batchWait)
 	}
 	if s.peer.tracing() {
-		s.peer.emit(trace.BatchSent, s.keyStr, firstSeq, 0, fmt.Sprintf("n=%d", n))
+		s.peer.emit(trace.BatchSent, s.keyStr, firstSeq, 0, trace.BatchDetail(n))
 	}
 	s.peer.transmitShard(s.key.recvNode, msg, sh.idx)
 }
@@ -845,6 +878,9 @@ func (s *Stream) reincarnateLocked() {
 func (s *Stream) resolveOneLocked(seq uint64, o Outcome) {
 	sh := s.shardOf(seq)
 	if p, ok := sh.pending.get(seq); ok {
+		if sm := s.peer.sm; sm != nil && !p.c.enqAt.IsZero() {
+			sm.stageResolve.ObserveDuration(s.peer.clk.Now().Sub(p.c.enqAt))
+		}
 		p.c.resolve(o)
 		sh.pending.del(seq)
 	}

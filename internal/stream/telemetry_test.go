@@ -86,13 +86,14 @@ func TestTraceReincarnationOrderingAndSeqRestart(t *testing.T) {
 // TestWireNewBatchReadableByLegacyDecoder pins the versioned request-
 // batch format from the legacy side: a decoder written against the old
 // 6-value layout parses a new batch positionally and never touches the
-// trailing trace list, while a version-aware reader finds one trace ID
-// per request there.
+// trailing lists, while a version-aware reader finds one trace ID per
+// request in the 7th value and the flattened (root, parent) causal
+// context in the 8th.
 func TestWireNewBatchReadableByLegacyDecoder(t *testing.T) {
 	b := requestBatch{
 		Agent: "a", Group: "g", Incarnation: 3, AckRepliesThrough: 9,
 		Requests: []request{
-			{Seq: 1, Port: "p", Mode: ModeCall, Args: []byte{1}, Trace: 0xAAA},
+			{Seq: 1, Port: "p", Mode: ModeCall, Args: []byte{1}, Trace: 0xAAA, Root: 0x111, Parent: 0x222},
 			{Seq: 2, Port: "p", Mode: ModeSend, Args: []byte{2}, Trace: 0xBBB},
 		},
 	}
@@ -102,9 +103,9 @@ func TestWireNewBatchReadableByLegacyDecoder(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// One extra top-level value after the six a legacy peer reads.
-	if len(vals) != 7 {
-		t.Fatalf("top-level values = %d, want 7", len(vals))
+	// Two extra top-level values after the six a legacy peer reads.
+	if len(vals) != 8 {
+		t.Fatalf("top-level values = %d, want 8", len(vals))
 	}
 	kind, _ := wire.IntArg(vals, 0)
 	agent, _ := wire.StringArg(vals, 1)
@@ -131,6 +132,19 @@ func TestWireNewBatchReadableByLegacyDecoder(t *testing.T) {
 		got, _ := wire.IntArg(traces, i)
 		if uint64(got) != want {
 			t.Fatalf("trace[%d] = %x, want %x", i, got, want)
+		}
+	}
+	// The 8th value is the causal-context list: (root, parent) pairs
+	// flattened, 2n ints for n requests.
+	causesRaw, _ := wire.Arg(vals, 7)
+	causes, err := wire.AsList(causesRaw)
+	if err != nil || len(causes) != 4 {
+		t.Fatalf("causal list = %v (err %v), want 4 entries", causes, err)
+	}
+	for i, want := range []uint64{0x111, 0x222, 0, 0} {
+		got, _ := wire.IntArg(causes, i)
+		if uint64(got) != want {
+			t.Fatalf("cause[%d] = %x, want %x", i, got, want)
 		}
 	}
 }

@@ -280,11 +280,13 @@ const (
 
 // request is one call request inside a request batch.
 type request struct {
-	Seq   uint64
-	Port  string
-	Mode  Mode
-	Args  []byte
-	Trace uint64 // causal trace ID (trace.CallID); 0 from legacy senders
+	Seq    uint64
+	Port   string
+	Mode   Mode
+	Args   []byte
+	Trace  uint64 // causal trace ID (trace.CallID); 0 from legacy senders
+	Root   uint64 // root trace ID of the causal chain; 0 = chain root or legacy
+	Parent uint64 // trace ID of the causing call; 0 = chain root or legacy
 }
 
 // reply is one call reply inside a reply batch.
@@ -353,17 +355,19 @@ func finishEncode(bp *[]byte, buf []byte) []byte {
 }
 
 // encodeRequestBatch writes the versioned request-batch format: the six
-// original values, then a trailing list of per-request trace IDs. The
-// header count (7 vs the legacy 6) is the version signal; legacy
-// decoders read exactly the values their header promised them and never
-// look at the trailing list, so old receivers accept new batches
-// unchanged (see DESIGN.md "Observability"). Trace IDs travel as a
-// parallel batch-level list — not as a fifth request field — because
-// legacy decoders reject request tuples that are not exactly 4 fields.
+// original values, then a trailing list of per-request trace IDs, then a
+// trailing list of per-request causal contexts (root, parent pairs,
+// flattened). The header count (8, vs 7 for trace-only and 6 for legacy)
+// is the version signal; legacy decoders read exactly the values their
+// header promised them and never look at the trailing lists, so old
+// receivers accept new batches unchanged (see DESIGN.md "Observability").
+// Trace IDs and causal contexts travel as parallel batch-level lists —
+// not as extra request fields — because legacy decoders reject request
+// tuples that are not exactly 4 fields.
 func encodeRequestBatch(b requestBatch) []byte {
 	bp := encodeScratch.Get().(*[]byte)
 	buf := (*bp)[:0]
-	buf = wire.AppendHeader(buf, 7)
+	buf = wire.AppendHeader(buf, 8)
 	buf = wire.AppendInt(buf, kindRequestBatch)
 	buf = wire.AppendString(buf, b.Agent)
 	buf = wire.AppendString(buf, b.Group)
@@ -380,6 +384,11 @@ func encodeRequestBatch(b requestBatch) []byte {
 	buf = wire.AppendList(buf, len(b.Requests))
 	for _, r := range b.Requests {
 		buf = wire.AppendInt(buf, int64(r.Trace))
+	}
+	buf = wire.AppendList(buf, 2*len(b.Requests))
+	for _, r := range b.Requests {
+		buf = wire.AppendInt(buf, int64(r.Root))
+		buf = wire.AppendInt(buf, int64(r.Parent))
 	}
 	return finishEncode(bp, buf)
 }
@@ -522,7 +531,9 @@ func decodeMessage(payload []byte) (kind int64, rb *requestBatch, pb *replyBatch
 // decodeRequests reads the [ackRepliesThrough, [[seq, port, mode, args],
 // ...]] tail of a request batch into b, plus — when the message header
 // promised a 7th value (the versioned format) — the trailing trace-ID
-// list. Legacy 6-value batches leave every Trace at 0.
+// list, plus — when it promised an 8th — the trailing causal-context
+// list of flattened (root, parent) pairs. Legacy 6-value batches leave
+// every Trace at 0; 7-value batches leave Root/Parent at 0.
 func decodeRequests(d *wire.Decoder, b *requestBatch, nvals int) error {
 	ack, err := d.Int()
 	if err != nil {
@@ -573,6 +584,29 @@ func decodeRequests(d *wire.Decoder, b *requestBatch, nvals int) error {
 		}
 		if i < len(b.Requests) {
 			b.Requests[i].Trace = uint64(tid)
+		}
+	}
+	if nvals < 8 {
+		return nil // trace-only sender: no causal context on the wire
+	}
+	cn, err := d.List()
+	if err != nil {
+		return err
+	}
+	for i := 0; i < cn; i += 2 {
+		root, err := d.Int()
+		if err != nil {
+			return err
+		}
+		var parent int64
+		if i+1 < cn {
+			if parent, err = d.Int(); err != nil {
+				return err
+			}
+		}
+		if j := i / 2; j < len(b.Requests) {
+			b.Requests[j].Root = uint64(root)
+			b.Requests[j].Parent = uint64(parent)
 		}
 	}
 	return nil

@@ -50,9 +50,9 @@ func WriteChromeTrace(w io.Writer, base time.Time, tls []*Timeline) error {
 			}
 			if prev >= 0 {
 				sep()
-				bw.printf(`{"ph":"X","pid":1,"tid":%d,"ts":%d,"dur":%d,"name":"%s->%s","args":{"trace_id":"%012x","seq":%d,"port":%q,"outcome":%q}}`,
+				bw.printf(`{"ph":"X","pid":1,"tid":%d,"ts":%d,"dur":%d,"name":"%s->%s","args":{"trace_id":"%012x","root":"%012x","parent":"%012x","seq":%d,"port":%q,"outcome":%q}}`,
 					tid, us(tl.Stamps[prev]), tl.Stamps[s].Sub(tl.Stamps[prev]).Microseconds(),
-					prev, s, tl.TraceID, tl.Seq, tl.Port, tl.Outcome)
+					prev, s, tl.TraceID, tl.Root, tl.Parent, tl.Seq, tl.Port, tl.Outcome)
 			}
 			prev = s
 		}

@@ -46,6 +46,9 @@ func (s Stage) String() string {
 // sender's and receiver's trace rings.
 type Timeline struct {
 	TraceID uint64
+	Root    uint64 // root of the causal chain; equals TraceID for roots
+	Parent  uint64 // trace ID of the causing call; 0 for chain roots
+	Depth   int    // hops from the chain root (set by GroupByRoot)
 	Stream  string
 	Seq     uint64
 	Mode    string               // call mode, from CallEnqueued's detail
@@ -130,6 +133,15 @@ func Correlate(events []Event) []*Timeline {
 			byID[e.TraceID] = tl
 			out = append(out, tl)
 		}
+		// Causal context rides the per-call events; the first event that
+		// carries it wins (sender and receiver agree — the wire carries
+		// the same values both saw).
+		if tl.Root == 0 && e.Root != 0 {
+			tl.Root = e.Root
+		}
+		if tl.Parent == 0 && e.Parent != 0 {
+			tl.Parent = e.Parent
+		}
 		return tl
 	}
 	mark := func(tl *Timeline, s Stage, at time.Time) {
@@ -197,6 +209,14 @@ func Correlate(events []Event) []*Timeline {
 		}
 	}
 
+	// Calls traced before causal propagation (or from legacy senders)
+	// carry no root: they root their own single-call chain.
+	for _, tl := range out {
+		if tl.Root == 0 {
+			tl.Root = tl.TraceID
+		}
+	}
+
 	sort.SliceStable(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		af, bf := a.First(), b.First()
@@ -209,6 +229,76 @@ func Correlate(events []Event) []*Timeline {
 		return a.Seq < b.Seq
 	})
 	return out
+}
+
+// TraceGroup is the cross-guardian view of one causal chain: every
+// correlated call sharing a root trace ID, ordered parents-first so a
+// renderer can indent by Depth and read the chain as a waterfall.
+type TraceGroup struct {
+	Root  uint64
+	Calls []*Timeline
+}
+
+// GroupByRoot groups correlated timelines into causal chains and
+// computes each call's Depth (hops from the chain root). Within a
+// group the order is a depth-first walk — each parent immediately
+// followed by its children, siblings by first stamp — so chains that
+// fan out across guardians still render as one contiguous waterfall.
+// Groups keep the input's order of first appearance. A call whose
+// parent was not traced (e.g. the parent ran on a process whose ring
+// was not drained) is kept at depth 1 under its root. The input slice
+// is not reordered; Depth is set in place.
+func GroupByRoot(tls []*Timeline) []*TraceGroup {
+	byRoot := make(map[uint64]*TraceGroup)
+	children := make(map[uint64][]*Timeline)
+	traced := make(map[uint64]*Timeline, len(tls))
+	var groups []*TraceGroup
+	for _, tl := range tls {
+		traced[tl.TraceID] = tl
+	}
+	for _, tl := range tls {
+		g := byRoot[tl.Root]
+		if g == nil {
+			g = &TraceGroup{Root: tl.Root}
+			byRoot[tl.Root] = g
+			groups = append(groups, g)
+		}
+		if tl.Parent != 0 && traced[tl.Parent] != nil && tl.Parent != tl.TraceID {
+			children[tl.Parent] = append(children[tl.Parent], tl)
+		} else {
+			// Chain root, or an orphan whose parent wasn't traced:
+			// both anchor directly under the group.
+			children[tl.Root] = append(children[tl.Root], tl)
+		}
+	}
+	for _, g := range groups {
+		seen := make(map[uint64]bool)
+		var walk func(tl *Timeline, depth int)
+		walk = func(tl *Timeline, depth int) {
+			if seen[tl.TraceID] {
+				return // cycle guard: corrupt parent links can't loop us
+			}
+			seen[tl.TraceID] = true
+			tl.Depth = depth
+			g.Calls = append(g.Calls, tl)
+			for _, c := range children[tl.TraceID] {
+				if c != tl {
+					walk(c, depth+1)
+				}
+			}
+		}
+		if root := traced[g.Root]; root != nil {
+			walk(root, 0)
+		}
+		// Anchored orphans (parent untraced, or the root itself was
+		// never traced): attach at depth >= 1, input order.
+		for _, c := range children[g.Root] {
+			if !seen[c.TraceID] {
+				walk(c, 1)
+			}
+		}
+	}
+	return groups
 }
 
 // batchCount parses a BatchSent detail ("n=12", "n=3 aged",

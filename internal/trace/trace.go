@@ -76,6 +76,8 @@ type Event struct {
 	Stream  string // stream key ("sender/agent->recv/group")
 	Seq     uint64 // call seq (or incarnation for StreamRestarted)
 	TraceID uint64 // per-call causal ID; 0 when unknown or not call-scoped
+	Root    uint64 // root trace ID of the causal chain; 0 when unknown
+	Parent  uint64 // trace ID of the causing call; 0 for chain roots
 	Detail  string
 }
 

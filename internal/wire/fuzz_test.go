@@ -23,10 +23,31 @@ func fuzzSeeds() [][]byte {
 	reqBatch = AppendInt(reqBatch, 0)
 	reqBatch = AppendBytes(reqBatch, []byte("argument-bytes"))
 
+	// The current 8-value request batch: trailing trace-ID list plus
+	// flattened (root, parent) causal-context pairs.
+	var causal []byte
+	causal = AppendHeader(causal, 8)
+	causal = AppendInt(causal, 1)
+	causal = AppendString(causal, "agent")
+	causal = AppendString(causal, "group")
+	causal = AppendInt(causal, 1)
+	causal = AppendInt(causal, 0)
+	causal = AppendList(causal, 1)
+	causal = AppendList(causal, 4)
+	causal = AppendInt(causal, 1)
+	causal = AppendString(causal, "echo")
+	causal = AppendInt(causal, 0)
+	causal = AppendBytes(causal, []byte("argument-bytes"))
+	causal = AppendList(causal, 1)
+	causal = AppendInt(causal, 0x1234)
+	causal = AppendList(causal, 2)
+	causal = AppendInt(causal, 0x777)
+	causal = AppendInt(causal, 0x1233)
+
 	misc, _ := Marshal(nil, true, false, int64(-5), 3.25, "str", []byte{9},
 		[]any{int64(1), "two"}, map[string]any{"k": int64(7)}, Ref{Kind: "port", Name: "p"})
 
-	return [][]byte{reqBatch, misc, {}, {0x07, 0xff}, {0x05, 0x80}}
+	return [][]byte{reqBatch, causal, misc, {}, {0x07, 0xff}, {0x05, 0x80}}
 }
 
 // FuzzDecoder drives the zero-copy cursor over arbitrary input: it must
