@@ -30,7 +30,7 @@ func main() {
 		metrics  = flag.Bool("metrics", false, "append a metrics-registry snapshot after the tables")
 		virtual   = flag.Bool("virtual", false, "run on a virtual clock: modeled costs elapse instantly and tables are deterministic (E6, E13, and A3 need the real clock)")
 		parallel  = flag.Bool("parallel", false, "run only the E12 multicore sharding sweep (GOMAXPROCS x shard counts) at full scale")
-		transport = flag.String("transport", "", "run only the transport-backend comparison: 'tcp' selects E13 (simnet vs real loopback sockets)")
+		transport = flag.String("transport", "", "run only the transport-backend comparisons: 'tcp' selects E13 and E15 (simnet vs real loopback sockets)")
 		opsAddr   = flag.String("ops", "", "serve the live ops plane on this address while experiments run (implies -metrics)")
 	)
 	flag.Parse()
@@ -65,7 +65,7 @@ func main() {
 	switch *transport {
 	case "":
 	case "tcp":
-		*exp = "E13"
+		*exp = "E13,E15"
 	default:
 		fmt.Fprintf(os.Stderr, "benchtab: unknown transport %q (only 'tcp')\n", *transport)
 		os.Exit(2)

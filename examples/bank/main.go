@@ -61,6 +61,12 @@ func main() {
 	must(teller.Transfer(ctx, ann, zoe, 30))
 	report("after transfer of 30:")
 
+	// A pipelined transfer: the debit→credit chain rides the debit call,
+	// east forwards the withdrawn amount straight to west's credit port,
+	// and the teller pays one round trip instead of two.
+	must(teller.TransferPipelined(ctx, zoe, ann, 10))
+	report("after pipelined transfer:")
+
 	// A transfer that fails mid-way: the destination bank is unreachable,
 	// so the withdrawal is compensated and money is conserved.
 	net.Partition("teller", "bank-west")

@@ -1,10 +1,12 @@
-// Grades: the paper's running example, all three ways.
+// Grades: the paper's running example, every way.
 //
 // A grades database guardian records grades and returns updated averages;
 // a printer guardian prints lines. The client program is written with the
 // three structures the paper develops — sequential (Figure 3-1), forks
-// sharing a promise queue (Figure 4-1), and coenter (Figure 4-2) — and
-// each variant is timed, so the overlap argument of §4 is visible.
+// sharing a promise queue (Figure 4-1), and coenter (Figure 4-2) — plus
+// a pipelined variant in which each average forwards from the database
+// straight to the printer. Each variant is timed, so the overlap
+// argument of §4 is visible.
 //
 // Run with: go run ./examples/grades
 package main
@@ -70,7 +72,11 @@ func main() {
 	run("forks (Fig 4-1)", (*grades.Client).RunForks)
 	run("coenter (Fig 4-2)", (*grades.Client).RunCoenter)
 	run("coenter + action", (*grades.Client).RunCoenterAtomic)
+	run("pipelined", (*grades.Client).RunPipelined)
 
 	fmt.Println("\nThe concurrent compositions overlap recording with printing,")
 	fmt.Println("so they finish sooner than the sequential program (§4).")
+	fmt.Println("Pipelined goes further: each average forwards from the database")
+	fmt.Println("straight to the printer, and the client pays one round trip per")
+	fmt.Println("record instead of a record round trip plus a print send.")
 }

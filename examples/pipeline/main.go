@@ -1,9 +1,11 @@
 // Pipeline: the three-level read→compute→write cascade of §4.
 //
 // Three guardians expose one stage each; the client composes their
-// streams three ways — sequential (stage barriers), process-per-stream
-// (the paper's recommended coenter structure), and process-per-item
-// (§4.3, with parallel filters) — and reports the timings.
+// streams four ways — sequential (stage barriers), process-per-stream
+// (the paper's recommended coenter structure), process-per-item (§4.3,
+// with parallel filters), and pipelined (the whole chain travels with
+// the read call; results forward guardian-to-guardian) — and reports
+// the timings.
 //
 // Run with: go run ./examples/pipeline
 package main
@@ -79,7 +81,11 @@ func main() {
 	run("sequential", (*cascade.Client).RunSequential)
 	run("process-per-stream", (*cascade.Client).RunPerStream)
 	run("process-per-item", (*cascade.Client).RunPerItem)
+	run("pipelined", (*cascade.Client).RunPipelined)
 
 	fmt.Println("\nSequential needs all reads before any compute and all computes")
 	fmt.Println("before any write; the concurrent structures pipeline the levels (§4).")
+	fmt.Println("Pipelined goes further: each item's whole read→compute→write chain")
+	fmt.Println("rides the read call, so intermediate values never visit the client")
+	fmt.Println("(one client round trip per item — but the local filters cannot run).")
 }

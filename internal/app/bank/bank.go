@@ -33,20 +33,31 @@ import (
 	"promises/internal/stream"
 )
 
-// Port names of a bank guardian.
+// Port names of a bank guardian. DebitPort and CreditPort are the
+// pipeline-shaped halves of a transfer: debit returns the amount in
+// flight (not the new balance), exactly what credit consumes, so a
+// debit→credit chain forwards bank-to-bank without a teller hop.
 const (
 	OpenPort     = "open_account"
 	DepositPort  = "deposit"
 	WithdrawPort = "withdraw"
 	BalancePort  = "balance"
+	DebitPort    = "debit"
+	CreditPort   = "credit"
 )
 
-// Signatures of the bank's ports, in the paper's notation.
+// Signatures of the bank's ports, in the paper's notation. Credit's
+// missing-account signal has its own name (no_such_destination) so a
+// teller claiming a debit→credit chain can tell which stage refused:
+// a debit refusal means no money moved, a credit refusal means the
+// debit completed and must be compensated.
 var (
 	OpenSig     = handlertype.MustParse("port (string)")
 	DepositSig  = handlertype.MustParse("port (string, int) returns (int) signals (no_such_account(string))")
 	WithdrawSig = handlertype.MustParse("port (string, int) returns (int) signals (no_such_account(string), insufficient_funds(int))")
 	BalanceSig  = handlertype.MustParse("port (string) returns (int) signals (no_such_account(string))")
+	DebitSig    = handlertype.MustParse("port (string, int) returns (int) signals (no_such_account(string), insufficient_funds(int))")
+	CreditSig   = handlertype.MustParse("port (int, string) returns (int) signals (no_such_destination(string))")
 )
 
 // Bank is one bank guardian holding accounts.
@@ -68,6 +79,8 @@ func New(net *simnet.Network, name string, opts stream.Options) (*Bank, error) {
 	g.AddTypedHandler(DepositPort, DepositSig, b.deposit)
 	g.AddTypedHandler(WithdrawPort, WithdrawSig, b.withdraw)
 	g.AddTypedHandler(BalancePort, BalanceSig, b.balance)
+	g.AddTypedHandler(DebitPort, DebitSig, b.debit)
+	g.AddTypedHandler(CreditPort, CreditSig, b.credit)
 	return b, nil
 }
 
@@ -115,6 +128,50 @@ func (b *Bank) withdraw(call *guardian.Call) ([]any, error) {
 		return nil, exception.New("insufficient_funds", bal)
 	}
 	bal -= amt
+	b.accounts[acct] = bal
+	return []any{bal}, nil
+}
+
+// debit is withdraw reshaped for pipelining: on success it returns the
+// AMOUNT withdrawn — the value the next stage (credit) consumes — rather
+// than the new balance.
+func (b *Bank) debit(call *guardian.Call) ([]any, error) {
+	acct, amt, err := acctAmt(call)
+	if err != nil {
+		return nil, err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	bal, ok := b.accounts[acct]
+	if !ok {
+		return nil, exception.New("no_such_account", acct)
+	}
+	if bal < amt {
+		return nil, exception.New("insufficient_funds", bal)
+	}
+	b.accounts[acct] = bal - amt
+	return []any{amt}, nil
+}
+
+// credit is deposit reshaped for pipelining: the amount comes FIRST
+// (spliced in from the previous stage's result) and the account name is
+// the chain's extra argument.
+func (b *Bank) credit(call *guardian.Call) ([]any, error) {
+	amt, err := call.IntArg(0)
+	if err != nil {
+		return nil, err
+	}
+	acct, err := call.StringArg(1)
+	if err != nil {
+		return nil, err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	bal, ok := b.accounts[acct]
+	if !ok {
+		return nil, exception.New("no_such_destination", acct)
+	}
+	bal += amt
 	b.accounts[acct] = bal
 	return []any{bal}, nil
 }
@@ -239,6 +296,43 @@ func (t *Teller) Transfer(ctx context.Context, from, to Account, amt int64) erro
 // depositSendSig is the deposit signature viewed as a send (results
 // ignored); sends only check arguments.
 var depositSendSig = handlertype.Handler(handlertype.String, handlertype.Int)
+
+// TransferPipelined moves amt with a debit→credit pipelined chain: the
+// chain travels with the debit call, the source bank forwards the
+// withdrawn amount straight to the destination bank's credit port, and
+// the teller pays one round trip instead of two. Compensation semantics
+// match Transfer: a debit refusal (insufficient_funds, or no_such_account
+// at the source) means no money moved; any failure after that leaves a
+// completed debit, so the action aborts and deposits the amount back.
+func (t *Teller) TransferPipelined(ctx context.Context, from, to Account, amt int64) error {
+	agent := t.G.Agent("teller-pipelined")
+	fromS := from.Bank.Stream(agent)
+
+	return action.Run(func(a *action.Action) error {
+		g := promise.Pipeline(fromS, DebitPort, from.Name, amt).
+			ThenHop(promise.Hop{Node: to.Bank.Node, Group: to.Bank.Group,
+				Port: CreditPort, Extra: []any{to.Name}})
+		p, err := promise.Start(g, promise.Int)
+		if err != nil {
+			return err
+		}
+		fromS.Flush()
+		if _, err := p.Claim(ctx); err != nil {
+			if exception.Is(err, "insufficient_funds") || exception.Is(err, "no_such_account") {
+				return err // the debit itself refused; nothing moved
+			}
+			a.OnAbort(func() {
+				comp := from.Bank.Stream(t.G.Agent("teller-compensator"))
+				if _, err := promise.SendTyped(comp, DepositPort, depositSendSig,
+					from.Name, amt); err == nil {
+					comp.Flush()
+				}
+			})
+			return err
+		}
+		return nil
+	})
+}
 
 // BatchResult reports one transfer's outcome within a batch.
 type BatchResult struct {

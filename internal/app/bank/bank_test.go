@@ -106,6 +106,56 @@ func TestTransferAcrossBanks(t *testing.T) {
 	}
 }
 
+func TestTransferPipelinedAcrossBanks(t *testing.T) {
+	w := newWorld(t, simnet.Config{})
+	ann := w.account(t, w.east, "ann", 100)
+	zoe := w.account(t, w.west, "zoe", 5)
+	if err := w.teller.TransferPipelined(bg, ann, zoe, 60); err != nil {
+		t.Fatal(err)
+	}
+	if bal, _ := w.teller.Balance(bg, ann); bal != 40 {
+		t.Fatalf("ann = %d", bal)
+	}
+	if bal, _ := w.teller.Balance(bg, zoe); bal != 65 {
+		t.Fatalf("zoe = %d", bal)
+	}
+	if w.east.Total()+w.west.Total() != 105 {
+		t.Fatalf("money not conserved: %d + %d", w.east.Total(), w.west.Total())
+	}
+}
+
+func TestTransferPipelinedInsufficientFunds(t *testing.T) {
+	w := newWorld(t, simnet.Config{})
+	ann := w.account(t, w.east, "ann", 10)
+	zoe := w.account(t, w.west, "zoe", 0)
+	err := w.teller.TransferPipelined(bg, ann, zoe, 50)
+	if !exception.Is(err, "insufficient_funds") {
+		t.Fatalf("err = %v, want insufficient_funds", err)
+	}
+	if bal, _ := w.teller.Balance(bg, ann); bal != 10 {
+		t.Fatalf("ann = %d, want 10 (nothing moved)", bal)
+	}
+}
+
+func TestTransferPipelinedUnknownDestinationCompensates(t *testing.T) {
+	w := newWorld(t, simnet.Config{})
+	ann := w.account(t, w.east, "ann", 100)
+	ghost := Account{Bank: w.west.Ref(DepositPort), Name: "ghost"}
+	err := w.teller.TransferPipelined(bg, ann, ghost, 30)
+	if !exception.Is(err, "no_such_destination") {
+		t.Fatalf("err = %v, want no_such_destination", err)
+	}
+	if err := w.teller.Drain(bg, w.east); err != nil {
+		t.Fatal(err)
+	}
+	if bal, _ := w.teller.Balance(bg, ann); bal != 100 {
+		t.Fatalf("ann = %d, want 100 (compensated)", bal)
+	}
+	if w.east.Total()+w.west.Total() != 100 {
+		t.Fatalf("money not conserved: %d + %d", w.east.Total(), w.west.Total())
+	}
+}
+
 func TestTransferInsufficientFunds(t *testing.T) {
 	w := newWorld(t, simnet.Config{})
 	ann := w.account(t, w.east, "ann", 10)

@@ -387,6 +387,41 @@ func (c *Client) RunPerStream(ctx context.Context, k int) error {
 	)
 }
 
+// RunPipelined pipes k items through the cascade as k pipelined chains:
+// each item's read→compute→write travels as ONE call whose continuation
+// chain rides the read request, so compute starts at the compute guardian
+// the moment read's result exists — the value never returns to the
+// client between stages. The client pays one round trip per item instead
+// of three.
+//
+// The tradeoff is the filters: they are client-local computation, and in
+// this structure the intermediate values never visit the client, so
+// there is nothing to filter — RunPipelined is the shape for cascades
+// whose match-up work lives in the stages themselves.
+func (c *Client) RunPipelined(ctx context.Context, k int) error {
+	agent := c.G.Agent("cascade-pipelined")
+	rs := c.Read.Stream(agent)
+
+	chains := make([]*promise.Promise[promise.Unit], k)
+	for i := range chains {
+		g := promise.Pipeline(rs, c.Read.Port).
+			ThenHop(c.Compute.Hop()).
+			ThenHop(c.Write.Hop())
+		p, err := promise.Start(g, promise.None)
+		if err != nil {
+			return err
+		}
+		chains[i] = p
+	}
+	rs.Flush()
+	for _, p := range chains {
+		if _, err := p.Claim(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // RunPerItem pipes k items through the cascade with one subprocess per
 // item (§4.3). Each process moves its item across all three streams;
 // ticket channels ensure the calls on each stream are made in item order,

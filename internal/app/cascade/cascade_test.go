@@ -105,6 +105,14 @@ func TestPerItemCascade(t *testing.T) {
 	checkSink(t, w, 25)
 }
 
+func TestPipelinedCascade(t *testing.T) {
+	w := newWorld(t, simnet.Config{}, 0)
+	if err := w.client.RunPipelined(context.Background(), 25); err != nil {
+		t.Fatal(err)
+	}
+	checkSink(t, w, 25)
+}
+
 func TestAllStrategiesIdenticalUnderJitter(t *testing.T) {
 	const k = 40
 	for name, run := range map[string]func(*Client, context.Context, int) error{

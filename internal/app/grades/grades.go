@@ -215,8 +215,16 @@ type Printer struct {
 	fail  bool
 }
 
-// PrintPort is the printer's port name.
-const PrintPort = "print"
+// PrintPort is the printer's port name. PrintAvgPort is its
+// pipelining-friendly sibling: it takes the RAW (average, student) pair —
+// the average exactly as record_grade returns it, plus the student name
+// as an extra argument — and does the make_string formatting printer-side,
+// so a record→print chain can forward the database's result straight to
+// the printer without a client hop.
+const (
+	PrintPort    = "print"
+	PrintAvgPort = "print_avg"
+)
 
 // NewPrinter creates the printer guardian at a node named name.
 func NewPrinter(net *simnet.Network, name string, opts stream.Options) (*Printer, error) {
@@ -236,6 +244,7 @@ func NewPrinterOn(ep transport.Endpoint, opts stream.Options) (*Printer, error) 
 	}
 	pr := &Printer{G: g}
 	g.AddHandler(PrintPort, pr.print)
+	g.AddHandler(PrintAvgPort, pr.printAvg)
 	return pr, nil
 }
 
@@ -269,6 +278,34 @@ func (pr *Printer) print(call *guardian.Call) ([]any, error) {
 	}
 	pr.mu.Lock()
 	pr.lines = append(pr.lines, line)
+	pr.mu.Unlock()
+	return nil, nil
+}
+
+// printAvg is print for pipelined chains: the first argument is the
+// average as record_grade produced it, the second the student name the
+// client spliced in as an extra. Formatting happens here instead of at
+// the client, which never sees the average.
+func (pr *Printer) printAvg(call *guardian.Call) ([]any, error) {
+	avg, err := call.FloatArg(0)
+	if err != nil {
+		return nil, err
+	}
+	stu, err := call.StringArg(1)
+	if err != nil {
+		return nil, err
+	}
+	pr.mu.Lock()
+	d, fail := pr.delay, pr.fail
+	pr.mu.Unlock()
+	if d > 0 {
+		pr.G.Clock().Sleep(d)
+	}
+	if fail {
+		return nil, exception.New("cannot_print")
+	}
+	pr.mu.Lock()
+	pr.lines = append(pr.lines, makeString(stu, avg))
 	pr.mu.Unlock()
 	return nil, nil
 }
@@ -413,6 +450,39 @@ func (c *Client) RunSequential(ctx context.Context, grades []SInfo) error {
 		}
 	}
 	return prs.Synch(ctx)
+}
+
+// RunPipelined records and prints with promise pipelining: each record's
+// record_grade→print_avg chain travels with the record_grade call, the
+// database forwards each average straight to the printer, and the client
+// pays one round trip per record instead of a record round trip plus a
+// print send. The make_string formatting moves to the printer
+// (PrintAvgPort), since the averages never visit the client.
+func (c *Client) RunPipelined(ctx context.Context, grades []SInfo) error {
+	agent := c.G.Agent("grades-pipelined")
+	dbs := c.DB.Stream(agent)
+	cause := c.runCause()
+
+	chains := make([]*promise.Promise[promise.Unit], 0, len(grades))
+	for _, s := range grades {
+		c.produce()
+		g := promise.Pipeline(dbs, c.DB.Port, s.Student, s.Grade).
+			ThenHop(promise.Hop{Node: c.PR.Node, Group: c.PR.Group,
+				Port: PrintAvgPort, Extra: []any{s.Student}}).
+			WithCause(cause)
+		p, err := promise.Start(g, promise.None)
+		if err != nil {
+			return err
+		}
+		chains = append(chains, p)
+	}
+	dbs.Flush()
+	for _, p := range chains {
+		if _, err := p.Claim(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // RunForks is Figure 4-1: two forked processes communicate through a

@@ -132,6 +132,15 @@ func TestCoenterFigure42(t *testing.T) {
 	checkOutput(t, w, grades)
 }
 
+func TestPipelinedGrades(t *testing.T) {
+	w := newWorld(t, simnet.Config{})
+	grades := Workload(30)
+	if err := w.client.RunPipelined(context.Background(), grades); err != nil {
+		t.Fatal(err)
+	}
+	checkOutput(t, w, grades)
+}
+
 func TestRepeatedGradesUpdateAverage(t *testing.T) {
 	w := newWorld(t, simnet.Config{})
 	grades := []SInfo{

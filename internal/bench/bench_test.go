@@ -206,7 +206,7 @@ func TestTablePrintIsAligned(t *testing.T) {
 
 func TestExperimentRegistryComplete(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 14 {
+	if len(exps) != 15 {
 		t.Fatalf("%d experiments registered", len(exps))
 	}
 	for i, e := range exps {

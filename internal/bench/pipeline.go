@@ -1,0 +1,321 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"promises/internal/clock"
+	"promises/internal/guardian"
+	"promises/internal/promise"
+	"promises/internal/rpcbase"
+	"promises/internal/simnet"
+	"promises/internal/stream"
+	"promises/internal/tcpnet"
+	"promises/internal/wire"
+)
+
+// IncPort is the chain-stage handler's port name: it returns its first
+// integer argument plus one, so a K-stage chain started at 0 yields K and
+// every arm of the experiment can verify it computed the same thing.
+const IncPort = "inc"
+
+// E15Pipelining measures experiment E15: a K-stage dependent call chain —
+// each stage's result is the next stage's argument, and each stage lives
+// on a DIFFERENT guardian — executed three ways:
+//
+//   - rpc: the no-streams language baseline (rpcbase.CallChain), K
+//     synchronous round trips, the caller blocked for each.
+//   - caller: caller-mediated promises — call stage i, claim its promise,
+//     call stage i+1. The promise overlaps nothing here because the chain
+//     is dependent; the caller still pays K round trips.
+//   - pipelined: promise pipelining — the whole chain travels with the
+//     root call (promise.Pipeline), each guardian forwards its result
+//     directly to the next stage's guardian, and the caller pays ONE
+//     round trip for the chain.
+//
+// The claim under test is the tentpole's: letting an unresolved promise
+// travel as a call argument removes the hop back to the caller between
+// stages, so chain latency drops from ~K round trips to ~one round trip
+// plus K-1 one-way forwards, and client round trips per chain drop from
+// K to 1.
+//
+// chains chains are driven closed-loop by workers concurrent workers.
+// The simnet arms run on the harness clock (virtual-safe); the TCP arms
+// need real sockets and real time, so they are skipped under -virtual.
+func E15Pipelining(k, chains, workers int) *Table {
+	t := &Table{
+		ID:    "E15",
+		Title: "promise pipelining: K-stage chains, caller-mediated vs pipelined",
+		Claim: "pipelining a K-stage dependent chain cuts client round trips from K to 1 and chain latency to well under half of caller-mediated (§3)",
+		Header: []string{"backend", "mode", "K", "chains", "rtts/chain",
+			"elapsed_ms", "chains/s", "chain_ms"},
+		Notes: []string{
+			"each stage runs at a different guardian; stage i+1's argument is stage i's result",
+			"rtts/chain counts client-blocking round trips issued per chain",
+		},
+	}
+	addRow := func(backend, mode string, el time.Duration, mean time.Duration, rtts int) {
+		t.AddRow(backend, mode, fmt.Sprint(k), fmt.Sprint(chains),
+			fmt.Sprint(rtts), ms(el), persec(chains, el), ms(mean))
+	}
+
+	el, mean := runRPCChain(k, chains, workers)
+	addRow("simnet", "rpc", el, mean, k)
+
+	w := newChainWorldSim(k)
+	el, mean = runCallerChains(w.client, w.refs, chains, workers)
+	addRow("simnet", "caller", el, mean, k)
+	el, mean = runPipelinedChains(w.client, w.refs, chains, workers)
+	addRow("simnet", "pipelined", el, mean, 1)
+	w.close()
+
+	if _, real := benchClock.(clock.Real); !real {
+		t.Notes = append(t.Notes, "tcp rows skipped: real sockets cannot run on the virtual clock")
+		return t
+	}
+	tw, err := newChainWorldTCP(k)
+	if err != nil {
+		panic(err)
+	}
+	defer tw.close()
+	el, mean = runCallerChains(tw.client, tw.refs, chains, workers)
+	addRow("tcp", "caller", el, mean, k)
+	el, mean = runPipelinedChains(tw.client, tw.refs, chains, workers)
+	addRow("tcp", "pipelined", el, mean, 1)
+	return t
+}
+
+// chainWorld is a client guardian plus K stage guardians (s1..sK), each
+// exposing IncPort, over either backend.
+type chainWorld struct {
+	client *guardian.Guardian
+	refs   []guardian.Ref
+	close  func()
+}
+
+func incHandler(call *guardian.Call) ([]any, error) {
+	v, _ := call.Args[0].(int64)
+	return []any{v + 1}, nil
+}
+
+func stageNames(k int) []string {
+	names := make([]string, k)
+	for i := range names {
+		names[i] = fmt.Sprintf("s%d", i+1)
+	}
+	return names
+}
+
+func newChainWorldSim(k int) *chainWorld {
+	n := simnet.New(LANCost())
+	client := guardian.MustNew(n, "client", StreamOpts())
+	servers := make([]*guardian.Guardian, k)
+	refs := make([]guardian.Ref, k)
+	for i, name := range stageNames(k) {
+		servers[i] = guardian.MustNew(n, name, StreamOpts())
+		refs[i] = servers[i].AddHandler(IncPort, incHandler)
+	}
+	return &chainWorld{client: client, refs: refs, close: func() {
+		client.Close()
+		for _, s := range servers {
+			s.Close()
+		}
+		n.Close()
+	}}
+}
+
+func newChainWorldTCP(k int) (*chainWorld, error) {
+	names := append([]string{"client"}, stageNames(k)...)
+	eps, err := tcpnet.Loopback(tcpnet.Config{}, names...)
+	if err != nil {
+		return nil, err
+	}
+	closeEps := func() {
+		for _, ep := range eps {
+			ep.Close()
+		}
+	}
+	client, err := guardian.NewOn(eps["client"], StreamOpts())
+	if err != nil {
+		closeEps()
+		return nil, err
+	}
+	servers := make([]*guardian.Guardian, k)
+	refs := make([]guardian.Ref, k)
+	for i, name := range stageNames(k) {
+		servers[i], err = guardian.NewOn(eps[name], StreamOpts())
+		if err != nil {
+			client.Close()
+			for _, s := range servers[:i] {
+				s.Close()
+			}
+			closeEps()
+			return nil, err
+		}
+		refs[i] = servers[i].AddHandler(IncPort, incHandler)
+	}
+	return &chainWorld{client: client, refs: refs, close: func() {
+		client.Close()
+		for _, s := range servers {
+			s.Close()
+		}
+		closeEps()
+	}}, nil
+}
+
+// chainDriver fans chains across workers closed-loop, timing each chain
+// on the bench clock; run executes one chain on the given worker's
+// per-stage streams and returns the chain's final value.
+func chainDriver(client *guardian.Guardian, refs []guardian.Ref, chains, workers int,
+	run func(streams []*stream.Stream) int64) (elapsed, mean time.Duration) {
+	if workers > chains {
+		workers = chains
+	}
+	latSums := make([]time.Duration, workers)
+	var wg sync.WaitGroup
+	start := now()
+	for w := 0; w < workers; w++ {
+		per := chains / workers
+		if w < chains%workers {
+			per++
+		}
+		wg.Add(1)
+		go func(w, per int) {
+			defer wg.Done()
+			agent := client.Agent(fmt.Sprintf("w%d", w))
+			streams := make([]*stream.Stream, len(refs))
+			for i, r := range refs {
+				streams[i] = r.Stream(agent)
+			}
+			for c := 0; c < per; c++ {
+				t0 := now()
+				if got := run(streams); got != int64(len(refs)) {
+					panic(fmt.Sprintf("chain = %d, want %d", got, len(refs)))
+				}
+				latSums[w] += since(t0)
+			}
+		}(w, per)
+	}
+	wg.Wait()
+	elapsed = since(start)
+	var total time.Duration
+	for _, s := range latSums {
+		total += s
+	}
+	return elapsed, total / time.Duration(chains)
+}
+
+// runCallerChains is the caller-mediated arm: claim stage i's promise
+// before issuing stage i+1 — K client round trips per chain.
+func runCallerChains(client *guardian.Guardian, refs []guardian.Ref, chains, workers int) (time.Duration, time.Duration) {
+	return chainDriver(client, refs, chains, workers, func(streams []*stream.Stream) int64 {
+		v := int64(0)
+		for _, s := range streams {
+			p, err := promise.Call(s, IncPort, promise.Int, v)
+			if err != nil {
+				panic(err)
+			}
+			s.Flush()
+			v, err = p.Claim(bg)
+			if err != nil {
+				panic(err)
+			}
+		}
+		return v
+	})
+}
+
+// runPipelinedChains is the pipelined arm: the whole chain rides the root
+// call; one client round trip per chain.
+func runPipelinedChains(client *guardian.Guardian, refs []guardian.Ref, chains, workers int) (time.Duration, time.Duration) {
+	return chainDriver(client, refs, chains, workers, func(streams []*stream.Stream) int64 {
+		g := promise.Pipeline(streams[0], IncPort, int64(0))
+		for _, r := range refs[1:] {
+			g.ThenHop(r.Hop())
+		}
+		p, err := promise.Start(g, promise.Int)
+		if err != nil {
+			panic(err)
+		}
+		streams[0].Flush()
+		v, err := p.Claim(bg)
+		if err != nil {
+			panic(err)
+		}
+		return v
+	})
+}
+
+// runRPCChain is the no-streams baseline: rpcbase.CallChain issues one
+// synchronous RPC per stage, splicing each result into the next stage's
+// arguments — the pre-promises shape of the same computation.
+func runRPCChain(k, chains, workers int) (elapsed, mean time.Duration) {
+	net := simnet.New(LANCost())
+	defer net.Close()
+	names := stageNames(k)
+	srvs := make([]*rpcbase.Server, k)
+	for i, name := range names {
+		srvs[i] = rpcbase.NewServer(net.MustAddNode(name))
+		srvs[i].Handle(IncPort, func(args []byte) stream.Outcome {
+			vals, err := wire.Unmarshal(args)
+			if err != nil {
+				return stream.NormalOutcome(nil)
+			}
+			v, _ := wire.IntArg(vals, 0)
+			out, _ := wire.Marshal(v + 1)
+			return stream.NormalOutcome(out)
+		})
+		defer srvs[i].Close()
+	}
+	stages := make([]rpcbase.ChainStage, 0, k-1)
+	for _, name := range names[1:] {
+		stages = append(stages, rpcbase.ChainStage{Server: name, Port: IncPort})
+	}
+	args, err := wire.Marshal(int64(0))
+	if err != nil {
+		panic(err)
+	}
+
+	// One client endpoint shared by every worker, mirroring the stream
+	// arms' single client guardian — the comparison holds the client
+	// machine constant and varies only the call discipline.
+	cli := rpcbase.NewClient(net.MustAddNode("client"), rpcbase.Config{})
+	defer cli.Close()
+
+	if workers > chains {
+		workers = chains
+	}
+	latSums := make([]time.Duration, workers)
+	var wg sync.WaitGroup
+	start := now()
+	for w := 0; w < workers; w++ {
+		per := chains / workers
+		if w < chains%workers {
+			per++
+		}
+		wg.Add(1)
+		go func(w, per int) {
+			defer wg.Done()
+			for c := 0; c < per; c++ {
+				t0 := now()
+				o, err := cli.CallChain(bg, names[0], IncPort, args, stages)
+				if err != nil || !o.Normal {
+					panic(fmt.Sprintf("CallChain: %+v, %v", o, err))
+				}
+				vals, _ := wire.Unmarshal(o.Payload)
+				if v, _ := wire.IntArg(vals, 0); v != int64(k) {
+					panic(fmt.Sprintf("rpc chain = %d, want %d", v, k))
+				}
+				latSums[w] += since(t0)
+			}
+		}(w, per)
+	}
+	wg.Wait()
+	elapsed = since(start)
+	var total time.Duration
+	for _, s := range latSums {
+		total += s
+	}
+	return elapsed, total / time.Duration(chains)
+}

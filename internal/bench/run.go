@@ -104,6 +104,11 @@ func Experiments() []Experiment {
 			Quick: func() *Table { return E14TailLatency(256, []int{1, 16}) },
 		},
 		{
+			ID: "E15", Title: "promise pipelining: chains caller-mediated vs pipelined",
+			Run:   func() *Table { return E15Pipelining(4, 512, 64) },
+			Quick: func() *Table { return E15Pipelining(4, 48, 16) },
+		},
+		{
 			ID: "E11", Title: "adaptive batching and flow control",
 			Run: func() *Table {
 				return E11AdaptiveBatching([]int{8, 16, 32, 64}, []int{8, 1024}, 4096, 512)

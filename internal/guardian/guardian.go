@@ -28,6 +28,7 @@ import (
 	"promises/internal/clock"
 	"promises/internal/exception"
 	"promises/internal/metrics"
+	"promises/internal/promise"
 	"promises/internal/simnet"
 	"promises/internal/stream"
 	"promises/internal/trace"
@@ -387,6 +388,13 @@ func (r Ref) Stream(a *stream.Agent) *stream.Stream {
 // Wire encodes the ref for transmission as an argument or result value.
 func (r Ref) Wire() wire.Ref {
 	return wire.Ref{Kind: "port", Name: r.String()}
+}
+
+// Hop names this ref as one continuation stage of a pipelined call graph
+// (promise.Pipeline / Graph.ThenHop): the previous stage's result is
+// delivered to this handler directly, with extra appended after it.
+func (r Ref) Hop(extra ...any) promise.Hop {
+	return promise.Hop{Node: r.Node, Group: r.Group, Port: r.Port, Extra: extra}
 }
 
 // RefFromWire decodes a ref transmitted as a value.

@@ -17,12 +17,18 @@ import (
 // resolves with an exception, the exception propagates and f never runs.
 // If f itself returns an error, the result promise resolves with that
 // error as an exception (failure, unless it already is one).
+//
+// Then is subscription-based, not goroutine-based: on an already-ready p,
+// f runs inline before Then returns, and a whole chain of combinators
+// over resolved promises costs zero goroutines. On a blocked p, f runs on
+// the goroutine that resolves it — so f should be brief; run long work on
+// a fork of your own.
 func Then[T, U any](p *Promise[T], f func(T) (U, error)) *Promise[U] {
 	out := New[U]()
-	go func() {
-		v, err := p.Claim(context.Background())
-		if err != nil {
-			out.Signal(toException(err))
+	p.onReady(func() {
+		v, exc := p.outcome()
+		if exc != nil {
+			out.Signal(exc)
 			return
 		}
 		u, err := f(v)
@@ -31,32 +37,33 @@ func Then[T, U any](p *Promise[T], f func(T) (U, error)) *Promise[U] {
 			return
 		}
 		out.Fulfill(u)
-	}()
+	})
 	return out
 }
 
 // Catch returns a promise that resolves like p, except that if p resolves
 // with an exception named name, handler runs and its result substitutes.
+// Like Then it subscribes rather than spawning: handler runs inline for a
+// ready p and on the resolver's goroutine otherwise.
 func Catch[T any](p *Promise[T], name string, handler func(*exception.Exception) (T, error)) *Promise[T] {
 	out := New[T]()
-	go func() {
-		v, err := p.Claim(context.Background())
-		if err == nil {
+	p.onReady(func() {
+		v, exc := p.outcome()
+		if exc == nil {
 			out.Fulfill(v)
 			return
 		}
-		ex := toException(err)
-		if ex.Name != name {
-			out.Signal(ex)
+		if exc.Name != name {
+			out.Signal(exc)
 			return
 		}
-		v, err = handler(ex)
+		v, err := handler(exc)
 		if err != nil {
 			out.Signal(toException(err))
 			return
 		}
 		out.Fulfill(v)
-	}()
+	})
 	return out
 }
 
@@ -88,13 +95,18 @@ func All[T any](ctx context.Context, ps []*Promise[T]) ([]T, error) {
 
 // Any returns the index and value of the first promise to resolve
 // normally. If every promise resolves exceptionally, it returns the last
-// exception observed. It does not cancel the losers; promises have no
-// cancellation (a claim can simply be abandoned).
+// exception observed. It does not cancel the losers' calls — promises
+// have no cancellation — but the claims Any itself makes on them are
+// abandoned when Any returns (an internal context derived from ctx is
+// cancelled then), so the claiming goroutines exit rather than blocking
+// until process exit on promises that never resolve.
 func Any[T any](ctx context.Context, ps []*Promise[T]) (int, T, error) {
 	var zero T
 	if len(ps) == 0 {
 		return -1, zero, exception.Failure("promise.Any of nothing")
 	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	type res struct {
 		i   int
 		v   T

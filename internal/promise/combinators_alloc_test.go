@@ -1,0 +1,108 @@
+package promise
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"promises/internal/exception"
+)
+
+// TestThenResolvedZeroGoroutines: a combinator chain over an
+// already-resolved promise runs inline — no goroutine is spawned per
+// combinator (the historical implementation spawned one each).
+func TestThenResolvedZeroGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	p := Resolved(1)
+	for i := 0; i < 100; i++ {
+		p = Then(p, func(v int) (int, error) { return v + 1, nil })
+	}
+	v, err := p.MustClaim()
+	if err != nil || v != 101 {
+		t.Fatalf("chain = %d, %v; want 101, nil", v, err)
+	}
+	// The chain is fully resolved before any measurement: no goroutine it
+	// spawned could still be running.
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("resolved-source chain grew goroutines: %d -> %d", before, after)
+	}
+}
+
+// TestThenResolvedAllocCeiling bounds the per-combinator cost on the
+// resolved-source fast path: one output promise (cell + channel), one
+// closure — no goroutine stack.
+func TestThenResolvedAllocCeiling(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation ceilings are meaningless under the race detector")
+	}
+	p := Resolved(1)
+	allocs := testing.AllocsPerRun(1000, func() {
+		q := Then(p, func(v int) (int, error) { return v + 1, nil })
+		if !q.Ready() {
+			t.Fatal("Then of resolved promise not ready inline")
+		}
+	})
+	// New[U] (promise + done channel) + the subscriber closure; leave a
+	// little headroom for the claim path.
+	if allocs > 6 {
+		t.Fatalf("Then on resolved source allocates %.1f/op, want <= 6", allocs)
+	}
+}
+
+// TestThenBlockedRunsOnResolver: subscribing to a blocked promise spawns
+// nothing; the callback runs when Fulfill resolves it.
+func TestThenBlockedRunsOnResolver(t *testing.T) {
+	p := New[int]()
+	before := runtime.NumGoroutine()
+	q := Then(p, func(v int) (int, error) { return v * 2, nil })
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("subscription spawned goroutines: %d -> %d", before, after)
+	}
+	if q.Ready() {
+		t.Fatal("q ready before source resolved")
+	}
+	p.Fulfill(21)
+	v, err := q.MustClaim()
+	if err != nil || v != 42 {
+		t.Fatalf("q = %d, %v; want 42, nil", v, err)
+	}
+}
+
+// TestCatchResolvedInline mirrors the Then fast path for Catch.
+func TestCatchResolvedInline(t *testing.T) {
+	p := Failed[int](exception.Unavailable("nope"))
+	q := Catch(p, exception.NameUnavailable, func(*exception.Exception) (int, error) {
+		return 7, nil
+	})
+	if !q.Ready() {
+		t.Fatal("Catch of resolved promise not ready inline")
+	}
+	v, err := q.MustClaim()
+	if err != nil || v != 7 {
+		t.Fatalf("q = %d, %v; want 7, nil", v, err)
+	}
+}
+
+// TestAnyLoserClaimsReleased: Any's claims on losing promises are
+// abandoned once a winner resolves — the claiming goroutines exit even
+// though the losers never resolve and the caller's ctx is never
+// cancelled (the historical leak).
+func TestAnyLoserClaimsReleased(t *testing.T) {
+	before := runtime.NumGoroutine()
+	winner := Resolved(1)
+	losers := []*Promise[int]{New[int](), New[int](), winner, New[int]()}
+	i, v, err := Any(context.Background(), losers)
+	if err != nil || i != 2 || v != 1 {
+		t.Fatalf("Any = %d, %d, %v; want 2, 1, nil", i, v, err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("loser claim goroutines still alive: %d -> %d",
+		before, runtime.NumGoroutine())
+}

@@ -51,6 +51,17 @@ type Promise[T any] struct {
 	ready bool
 	val   T
 	exc   *exception.Exception
+
+	// subs are callbacks registered by onReady (the Then/Catch
+	// subscription machinery) to run once the promise is ready; nil after
+	// dispatch. dispatched marks that the ready callbacks have run (or
+	// are running), so late subscribers execute inline instead of being
+	// appended to a list nobody will drain. srcWatch bounds src-backed
+	// promises to at most one waiter goroutine however many subscribers
+	// attach. All guarded by mu except srcWatch (a sync.Once).
+	subs       []func()
+	dispatched bool
+	srcWatch   sync.Once
 }
 
 // source is the transport-level backing of a stream-call promise. It is
@@ -82,13 +93,16 @@ func (p *Promise[T]) Fulfill(v T) bool {
 		return false // transport-backed promises resolve via the stream
 	}
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if p.ready {
+		p.mu.Unlock()
 		return false
 	}
 	p.val = v
 	p.ready = true
 	close(p.done)
+	subs := p.takeSubsLocked()
+	p.mu.Unlock()
+	runSubs(subs)
 	return true
 }
 
@@ -102,14 +116,77 @@ func (p *Promise[T]) Signal(ex *exception.Exception) bool {
 		return false
 	}
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if p.ready {
+		p.mu.Unlock()
 		return false
 	}
 	p.exc = ex
 	p.ready = true
 	close(p.done)
+	subs := p.takeSubsLocked()
+	p.mu.Unlock()
+	runSubs(subs)
 	return true
+}
+
+// takeSubsLocked claims the subscriber list for dispatch. Caller holds
+// p.mu and runs the returned callbacks after unlocking.
+func (p *Promise[T]) takeSubsLocked() []func() {
+	subs := p.subs
+	p.subs = nil
+	p.dispatched = true
+	return subs
+}
+
+func runSubs(subs []func()) {
+	for _, fn := range subs {
+		fn()
+	}
+}
+
+// onReady arranges for fn to run once the promise is ready. On an
+// already-ready promise fn runs inline, before onReady returns — this is
+// what makes combinator chains over resolved promises cost zero
+// goroutines. On a blocked promise fn runs on whichever goroutine
+// resolves it (Fulfill/Signal), or, for transport-backed promises, on a
+// single shared waiter goroutine started at first subscription.
+// Callbacks must therefore be brief and must not block on the promise's
+// own resolution path.
+func (p *Promise[T]) onReady(fn func()) {
+	if p.src != nil {
+		if p.src.Ready() {
+			fn()
+			return
+		}
+		p.mu.Lock()
+		if p.dispatched {
+			p.mu.Unlock()
+			fn()
+			return
+		}
+		p.subs = append(p.subs, fn)
+		p.mu.Unlock()
+		// One waiter goroutine per src-backed promise, shared by every
+		// subscriber; promises nobody subscribes to never start it.
+		p.srcWatch.Do(func() {
+			go func() {
+				<-p.src.Done()
+				p.mu.Lock()
+				subs := p.takeSubsLocked()
+				p.mu.Unlock()
+				runSubs(subs)
+			}()
+		})
+		return
+	}
+	p.mu.Lock()
+	if p.ready || p.dispatched {
+		p.mu.Unlock()
+		fn()
+		return
+	}
+	p.subs = append(p.subs, fn)
+	p.mu.Unlock()
 }
 
 // Ready reports whether the promise is ready: true once the call has

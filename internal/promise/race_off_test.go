@@ -1,0 +1,5 @@
+//go:build !race
+
+package promise
+
+const raceEnabled = false

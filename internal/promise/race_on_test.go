@@ -1,0 +1,8 @@
+//go:build race
+
+package promise
+
+// raceEnabled reports that this test binary was built with the race
+// detector, which instruments allocations and breaks AllocsPerRun
+// ceilings.
+const raceEnabled = true

@@ -432,6 +432,39 @@ func (c *Client) Call(ctx context.Context, server, port string, args []byte) (st
 	return c.call(ctx, server, port, args, false, trace.Cause{})
 }
 
+// ChainStage names one stage of a caller-mediated chain: the server and
+// port to call, and extra pre-encoded arguments appended after the
+// previous stage's result.
+type ChainStage struct {
+	Server string
+	Port   string
+	Extra  []byte
+}
+
+// CallChain drives a multi-stage chain over the RPC baseline the only
+// way a plain RPC system can: call stage one, wait for its reply, splice
+// the result into stage two's arguments, call again — one full client
+// round trip per stage. This is the cost model promise pipelining
+// removes; E15 measures the two side by side. The chain stops at the
+// first exceptional outcome or transport error, returning it.
+func (c *Client) CallChain(ctx context.Context, server, port string, args []byte, stages []ChainStage) (stream.Outcome, error) {
+	o, err := c.Call(ctx, server, port, args)
+	if err != nil || !o.Normal {
+		return o, err
+	}
+	for _, st := range stages {
+		spliced, err := wire.SpliceArgs(o.Payload, st.Extra)
+		if err != nil {
+			return stream.Outcome{}, err
+		}
+		o, err = c.Call(ctx, st.Server, st.Port, spliced)
+		if err != nil || !o.Normal {
+			return o, err
+		}
+	}
+	return o, nil
+}
+
 // CallCause is Call carrying an upstream causal context: the request is
 // stamped with a derived trace ID plus cause's (root, parent), which
 // ride as trailing wire values legacy servers ignore. Retransmissions

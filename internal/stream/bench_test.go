@@ -252,6 +252,76 @@ func BenchmarkStreamCallThroughputAdaptive(b *testing.B) {
 	}
 }
 
+// BenchmarkStreamCallThroughputPipeActive is the plain round trip with
+// the promise-pipelining machinery ACTIVE on the receiving peer: a
+// pipelined chain is run first so the server's epoch scheduler goroutine
+// exists and the receiver walks the continuation-aware execute path on
+// every call. The allocs/op budget for plain calls is the same 0 as the
+// dark fast path — pipelining support must be free when unused.
+func BenchmarkStreamCallThroughputPipeActive(b *testing.B) {
+	n := simnet.New(simnet.Config{})
+	client := NewPeer(n.MustAddNode("client"), Options{MaxBatch: 16})
+	server := NewPeer(n.MustAddNode("server"), Options{MaxBatch: 16})
+	aux := NewPeer(n.MustAddNode("aux"), Options{MaxBatch: 16})
+	for _, p := range []*Peer{server, aux} {
+		p.SetDispatcher(func(port string) (Handler, bool) {
+			return echoHandler, true
+		})
+	}
+	defer func() {
+		client.Close()
+		server.Close()
+		aux.Close()
+		n.Close()
+	}()
+	s := client.Agent("bench").Stream("server", "g")
+	arg := make([]byte, 32)
+	ctx := context.Background()
+
+	// Warm-up: one pipelined chain server→aux, claimed to completion, so
+	// the server's scheduler loop is running for the measured section.
+	wp, err := s.CallPipelined(ctx, "echo", arg, trace.Cause{},
+		[]PipeStage{{Node: "aux", Group: "g", Port: "echo"}})
+	if err != nil {
+		b.Fatalf("CallPipelined: %v", err)
+	}
+	s.Flush()
+	if o, err := wp.Wait(ctx); err != nil || !o.Piped {
+		b.Fatalf("warm-up chain: outcome=%+v err=%v", o, err)
+	}
+	wp.Release()
+
+	const window = 256
+	pendings := make([]Pending, 0, window)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := s.Call("echo", arg)
+		if err != nil {
+			b.Fatalf("Call: %v", err)
+		}
+		pendings = append(pendings, p)
+		if len(pendings) == window {
+			s.Flush()
+			for _, p := range pendings {
+				if _, err := p.Wait(ctx); err != nil {
+					b.Fatalf("Wait: %v", err)
+				}
+				p.Release()
+			}
+			pendings = pendings[:0]
+		}
+	}
+	s.Flush()
+	for _, p := range pendings {
+		if _, err := p.Wait(ctx); err != nil {
+			b.Fatalf("Wait: %v", err)
+		}
+		p.Release()
+	}
+}
+
 // BenchmarkEncodeRequestBatch measures encoding one 16-request batch with
 // 32-byte argument payloads — the sender-side wire cost of a full batch.
 func BenchmarkEncodeRequestBatch(b *testing.B) {

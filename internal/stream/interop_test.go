@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"promises/internal/simnet"
+	"promises/internal/trace"
 	"promises/internal/wire"
 )
 
@@ -111,6 +112,99 @@ func TestForeignReceiverInterop(t *testing.T) {
 	defer scancel()
 	if err := s.Synch(sctx); err != nil {
 		t.Fatalf("Synch = %v", err)
+	}
+}
+
+// TestLegacyReceiverSkipsContinuations drives a pipelined call (9-value
+// request batch with a trailing continuation-blob list) at a hand-rolled
+// LEGACY responder that decodes only the original six values and replies
+// in the legacy 8-value reply-batch format. The extra values must be
+// skipped harmlessly: the call completes with stage one's value and the
+// outcome comes back unpiped, which is exactly the signal the promise
+// layer uses to drive the remaining stages caller-mediated.
+func TestLegacyReceiverSkipsContinuations(t *testing.T) {
+	net := simnet.New(simnet.Config{})
+	defer net.Close()
+	legacy := net.MustAddNode("legacy")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	go func() {
+		expected := int64(1)
+		var replies []any
+		for {
+			msg, err := legacy.Recv(ctx)
+			if err != nil {
+				return
+			}
+			vals, err := wire.Unmarshal(msg.Payload)
+			if err != nil || len(vals) < 6 {
+				continue
+			}
+			kind, _ := wire.IntArg(vals, 0)
+			if kind != 1 {
+				continue
+			}
+			// A legacy decoder reads exactly the six values it knows about;
+			// the trailing trace, causal, and continuation lists are never
+			// looked at.
+			agent, _ := wire.StringArg(vals, 1)
+			group, _ := wire.StringArg(vals, 2)
+			inc, _ := wire.IntArg(vals, 3)
+			raw, _ := wire.Arg(vals, 5)
+			reqs, _ := wire.AsList(raw)
+			for _, e := range reqs {
+				fields, _ := wire.AsList(e)
+				seq, _ := wire.IntArg(fields, 0)
+				if seq != expected {
+					continue
+				}
+				argsRaw, _ := wire.Arg(fields, 3)
+				argBytes, _ := wire.AsBytes(argsRaw)
+				callVals, _ := wire.Unmarshal(argBytes)
+				v, _ := wire.IntArg(callVals, 0)
+				payload, _ := wire.Marshal(v + 1)
+				replies = append(replies, []any{seq, true, "", payload})
+				expected++
+			}
+			// Legacy 8-value reply batch: no credit, no piped-seq list.
+			reply, err := wire.Marshal(int64(2), agent, group, inc, int64(42),
+				expected-1, expected-1, replies)
+			if err != nil {
+				continue
+			}
+			_ = legacy.Send(msg.From, reply)
+		}
+	}()
+
+	client := NewPeer(net.MustAddNode("client"), fastOpts())
+	defer client.Close()
+	s := client.Agent("a1").Stream("legacy", "g1")
+
+	args, err := wire.Marshal(int64(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stages := []PipeStage{{Node: "elsewhere", Group: "g1", Port: "inc"}}
+	p, err := s.CallPipelined(context.Background(), "inc", args, trace.Cause{}, stages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Flush()
+	o := claim(t, p)
+	if !o.Normal {
+		t.Fatalf("outcome = %+v, want normal", o)
+	}
+	if o.Piped {
+		t.Fatalf("legacy endpoint produced a piped outcome")
+	}
+	vals, err := o.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := wire.IntArg(vals, 0)
+	if err != nil || got != 2 {
+		t.Fatalf("stage-1 value = %d, %v; want 2", got, err)
 	}
 }
 

@@ -55,6 +55,13 @@ type streamMetrics struct {
 	replyBatchBytes *metrics.Histogram // encoded reply-batch size
 	replyResends    *metrics.Counter   // full retained-set reply retransmissions
 	recvRTOFires    *metrics.Counter   // receiver ack-progress stalls past RTO
+
+	// Pipelining (epoch scheduler).
+	epochs             *metrics.Counter   // scheduler waves admitted
+	epochWave          *metrics.Histogram // continuations admitted per wave
+	pipeStages         *metrics.Counter   // continuation stages forwarded to a next guardian
+	pipeForwards       *metrics.Counter   // chain resolutions forwarded to subscribers
+	pipeForwardResends *metrics.Counter   // resolution forwards retransmitted after RTO
 }
 
 var (
@@ -108,5 +115,11 @@ func newStreamMetrics(reg *metrics.Registry) *streamMetrics {
 		replyBatchBytes: reg.Histogram("stream_reply_batch_bytes", sizeBuckets),
 		replyResends:    reg.Counter("stream_reply_retransmits_total"),
 		recvRTOFires:    reg.Counter("stream_recv_rto_fires_total"),
+
+		epochs:             reg.Counter("stream_epochs_total"),
+		epochWave:          reg.Histogram("stream_epoch_wave_conts", countBuckets),
+		pipeStages:         reg.Counter("stream_pipe_stages_total"),
+		pipeForwards:       reg.Counter("stream_pipe_forwards_total"),
+		pipeForwardResends: reg.Counter("stream_pipe_forward_retransmits_total"),
 	}
 }

@@ -51,6 +51,11 @@ type Peer struct {
 
 	tracer atomic.Pointer[trace.Tracer]
 
+	// sched is the epoch scheduler for continuation chains, created
+	// lazily on the first pipelined call this peer executes — peers that
+	// never see pipelining pay nothing for it.
+	sched atomic.Pointer[pipeScheduler]
+
 	// Bounded worker pool for parallel-port execution (see execWorker):
 	// workers are spawned lazily up to opts.ExecWorkers and live until
 	// Close, which closes execTasks after every submitter (the per-stream
@@ -446,6 +451,73 @@ func (p *Peer) handleMessage(msg transport.Message) {
 		if s != nil {
 			s.handleBreak(bm)
 		}
+	case kindResolve, kindResolveAck:
+		// Chain resolutions are rare (one per pipelined chain) and ride
+		// their own message kind; re-parse with the dedicated decoder.
+		m, isAck, derr := decodeResolve(msg.Payload)
+		if derr != nil {
+			return
+		}
+		if isAck {
+			if ps := p.sched.Load(); ps != nil {
+				ref := pipeRef{senderNode: m.SenderNode, agent: m.Agent,
+					recvNode: m.RecvNode, group: m.Group,
+					incarnation: m.Incarnation, seq: m.Seq}
+				ps.ack(ref, msg.From)
+			}
+			return
+		}
+		p.integrateResolve(m)
+		// Always ack — stale and unknown resolutions too — so the
+		// forwarder stops retransmitting.
+		p.transmit(msg.From, encodeResolve(*m, true))
+	}
+}
+
+// scheduler returns the peer's epoch scheduler, creating it (and its
+// wave loop) on first use.
+func (p *Peer) scheduler() *pipeScheduler {
+	if ps := p.sched.Load(); ps != nil {
+		return ps
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if ps := p.sched.Load(); ps != nil {
+		return ps
+	}
+	ps := newPipeScheduler(p)
+	if !p.closed {
+		p.wg.Add(1)
+		go ps.loop()
+	}
+	p.sched.Store(ps)
+	return ps
+}
+
+// integrateResolve delivers a chain resolution to whichever local stream
+// ends subscribe to it: the origin guardian's receiving end (which owes
+// the caller an on-stream reply) and/or the caller's sending end (which
+// resolves the pending directly). A resolution for a stream this peer no
+// longer has is simply dropped — the forwarder is acked regardless, so it
+// stops retransmitting.
+func (p *Peer) integrateResolve(m *resolveMsg) {
+	key := streamKey{senderNode: m.SenderNode, agent: m.Agent,
+		recvNode: m.RecvNode, group: m.Group}
+	p.mu.Lock()
+	var r *rstream
+	var s *Stream
+	if m.RecvNode == p.name {
+		r = p.recvs[key]
+	}
+	if m.SenderNode == p.name {
+		s = p.sends[key]
+	}
+	p.mu.Unlock()
+	if r != nil {
+		r.handleResolve(m)
+	}
+	if s != nil {
+		s.handleResolve(m)
 	}
 }
 
@@ -506,6 +578,9 @@ func (p *Peer) tickLoop() {
 			for i, r := range recvs {
 				r.tick(now)
 				recvs[i] = nil
+			}
+			if ps := p.sched.Load(); ps != nil {
+				ps.tickSweep(now)
 			}
 		}
 	}

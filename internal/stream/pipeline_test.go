@@ -1,0 +1,277 @@
+package stream
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"promises/internal/exception"
+	"promises/internal/simnet"
+	"promises/internal/trace"
+	"promises/internal/wire"
+)
+
+// pipeFixture wires one client and several named server peers over one
+// network, each server with its own port->handler table.
+type pipeFixture struct {
+	net    *simnet.Network
+	client *Peer
+	peers  map[string]*Peer
+	mu     sync.Mutex
+	tables map[string]map[string]Handler
+}
+
+func newPipeFixture(t *testing.T, opts Options, servers ...string) *pipeFixture {
+	t.Helper()
+	n := simnet.New(simnet.Config{})
+	f := &pipeFixture{
+		net:    n,
+		peers:  make(map[string]*Peer),
+		tables: make(map[string]map[string]Handler),
+	}
+	f.client = NewPeer(n.MustAddNode("client"), opts)
+	for _, name := range servers {
+		name := name
+		p := NewPeer(n.MustAddNode(name), opts)
+		f.peers[name] = p
+		f.tables[name] = make(map[string]Handler)
+		p.SetDispatcher(func(port string) (Handler, bool) {
+			f.mu.Lock()
+			defer f.mu.Unlock()
+			h, ok := f.tables[name][port]
+			return h, ok
+		})
+	}
+	t.Cleanup(func() {
+		f.client.Close()
+		for _, p := range f.peers {
+			p.Close()
+		}
+		n.Close()
+	})
+	return f
+}
+
+func (f *pipeFixture) handle(node, port string, h Handler) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.tables[node][port] = h
+}
+
+func encInt(v int64) []byte {
+	return wire.AppendInt(wire.AppendHeader(nil, 1), v)
+}
+
+func decInt(t *testing.T, args []byte) int64 {
+	t.Helper()
+	d := wire.NewDecoder(args)
+	if _, err := d.Header(); err != nil {
+		t.Fatalf("args header: %v", err)
+	}
+	v, err := d.Int()
+	if err != nil {
+		t.Fatalf("args int: %v", err)
+	}
+	return v
+}
+
+// incHandler parses one int argument and replies with it incremented.
+func incHandler(t *testing.T) Handler {
+	return func(call *Incoming) Outcome {
+		d := wire.NewDecoder(call.Args)
+		if _, err := d.Header(); err != nil {
+			return ExceptionOutcome(exception.Failure("bad args"))
+		}
+		v, err := d.Int()
+		if err != nil {
+			return ExceptionOutcome(exception.Failure("bad args"))
+		}
+		return NormalOutcome(encInt(v + 1))
+	}
+}
+
+// TestPipelinedChainEndToEnd drives a 3-stage chain across three
+// guardians: the call executes at ga, its result forwards to gb, then gc,
+// and gc's result resolves the caller's pending directly — piped.
+func TestPipelinedChainEndToEnd(t *testing.T) {
+	f := newPipeFixture(t, fastOpts(), "ga", "gb", "gc")
+	for _, n := range []string{"ga", "gb", "gc"} {
+		f.handle(n, "inc", incHandler(t))
+	}
+	s := f.client.Agent("app").Stream("ga", "g")
+	pend, err := s.CallPipelined(context.Background(), "inc", encInt(1), trace.Cause{}, []PipeStage{
+		{Node: "gb", Group: "g", Port: "inc"},
+		{Node: "gc", Group: "g", Port: "inc"},
+	})
+	if err != nil {
+		t.Fatalf("CallPipelined: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	o, err := pend.Wait(ctx)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if !o.Normal {
+		t.Fatalf("chain failed: %s", o.Exception)
+	}
+	if !o.Piped {
+		t.Fatalf("outcome not marked piped")
+	}
+	if got := decInt(t, o.Payload); got != 4 {
+		t.Fatalf("chain result = %d, want 4", got)
+	}
+	pend.Release()
+}
+
+// TestPipelinedExtraArgsSpliced checks the continuation's frozen extra
+// arguments are appended after the previous stage's result.
+func TestPipelinedExtraArgsSpliced(t *testing.T) {
+	f := newPipeFixture(t, fastOpts(), "ga", "gb")
+	f.handle("ga", "inc", incHandler(t))
+	// add expects two ints: the spliced stage-1 result and the extra.
+	f.handle("gb", "add", func(call *Incoming) Outcome {
+		d := wire.NewDecoder(call.Args)
+		n, err := d.Header()
+		if err != nil || n != 2 {
+			return ExceptionOutcome(exception.Failure("want 2 args"))
+		}
+		a, err1 := d.Int()
+		b, err2 := d.Int()
+		if err1 != nil || err2 != nil {
+			return ExceptionOutcome(exception.Failure("bad args"))
+		}
+		return NormalOutcome(encInt(a + b))
+	})
+	s := f.client.Agent("app").Stream("ga", "g")
+	pend, err := s.CallPipelined(context.Background(), "inc", encInt(1), trace.Cause{}, []PipeStage{
+		{Node: "gb", Group: "g", Port: "add", Extra: encInt(40)},
+	})
+	if err != nil {
+		t.Fatalf("CallPipelined: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	o, err := pend.Wait(ctx)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if !o.Normal {
+		t.Fatalf("chain failed: %s", o.Exception)
+	}
+	if got := decInt(t, o.Payload); got != 42 {
+		t.Fatalf("chain result = %d, want 42", got)
+	}
+	pend.Release()
+}
+
+// TestPipelinedExceptionPropagates: a mid-chain stage failing resolves
+// the caller's promise with that exception, piped (no caller-mediated
+// retry is warranted — the chain delivered a definite outcome).
+func TestPipelinedExceptionPropagates(t *testing.T) {
+	f := newPipeFixture(t, fastOpts(), "ga", "gb", "gc")
+	f.handle("ga", "inc", incHandler(t))
+	f.handle("gb", "inc", func(*Incoming) Outcome {
+		return ExceptionOutcome(exception.Failure("stage blew up"))
+	})
+	f.handle("gc", "inc", incHandler(t))
+	s := f.client.Agent("app").Stream("ga", "g")
+	pend, err := s.CallPipelined(context.Background(), "inc", encInt(1), trace.Cause{}, []PipeStage{
+		{Node: "gb", Group: "g", Port: "inc"},
+		{Node: "gc", Group: "g", Port: "inc"},
+	})
+	if err != nil {
+		t.Fatalf("CallPipelined: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	o, err := pend.Wait(ctx)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if o.Normal {
+		t.Fatalf("chain unexpectedly succeeded")
+	}
+	if !o.Piped {
+		t.Fatalf("exception not marked piped")
+	}
+	if o.Exception != exception.NameFailure {
+		t.Fatalf("exception = %q, want %q", o.Exception, exception.NameFailure)
+	}
+	pend.Release()
+}
+
+// TestPipelinedChainReturnsHome: a chain whose last stage runs at the
+// origin guardian resolves locally (no resolve message on the wire for
+// the guardian leg).
+func TestPipelinedChainReturnsHome(t *testing.T) {
+	f := newPipeFixture(t, fastOpts(), "ga", "gb")
+	f.handle("ga", "inc", incHandler(t))
+	f.handle("gb", "inc", incHandler(t))
+	s := f.client.Agent("app").Stream("ga", "g")
+	pend, err := s.CallPipelined(context.Background(), "inc", encInt(10), trace.Cause{}, []PipeStage{
+		{Node: "gb", Group: "g", Port: "inc"},
+		{Node: "ga", Group: "g", Port: "inc"},
+	})
+	if err != nil {
+		t.Fatalf("CallPipelined: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	o, err := pend.Wait(ctx)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if !o.Normal || decInt(t, o.Payload) != 13 {
+		t.Fatalf("outcome = %+v, want normal 13", o)
+	}
+	pend.Release()
+}
+
+// TestPipelinedReceiverWithoutPipelining: a receiver running with
+// NoPipelining ignores the continuation blob and replies with stage
+// one's value, unpiped — the interop degradation a legacy endpoint
+// exhibits. The caller can then drive the remaining stages itself.
+func TestPipelinedReceiverWithoutPipelining(t *testing.T) {
+	opts := fastOpts()
+	n := simnet.New(simnet.Config{})
+	client := NewPeer(n.MustAddNode("client"), opts)
+	legacyOpts := opts
+	legacyOpts.NoPipelining = true
+	server := NewPeer(n.MustAddNode("ga"), legacyOpts)
+	t.Cleanup(func() {
+		client.Close()
+		server.Close()
+		n.Close()
+	})
+	server.SetDispatcher(func(port string) (Handler, bool) {
+		if port != "inc" {
+			return nil, false
+		}
+		return incHandler(t), true
+	})
+	s := client.Agent("app").Stream("ga", "g")
+	pend, err := s.CallPipelined(context.Background(), "inc", encInt(1), trace.Cause{}, []PipeStage{
+		{Node: "gb", Group: "g", Port: "inc"},
+	})
+	if err != nil {
+		t.Fatalf("CallPipelined: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	o, err := pend.Wait(ctx)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if !o.Normal {
+		t.Fatalf("call failed: %s", o.Exception)
+	}
+	if o.Piped {
+		t.Fatalf("legacy receiver produced a piped reply")
+	}
+	if got := decInt(t, o.Payload); got != 2 {
+		t.Fatalf("stage-1 result = %d, want 2", got)
+	}
+	pend.Release()
+}

@@ -196,6 +196,13 @@ type rstream struct {
 	ackedThrough      uint64 // sender has resolved replies through this seq
 	retries           int
 	pendingRetransmit bool // duplicate requests seen: sender missed replies
+
+	// pipeWait tracks pipelined calls whose reply is owed by the chain's
+	// last guardian rather than by local execution: seq -> when the chain
+	// left here. An entry is cleared when the chain's resolution arrives
+	// (handleResolve) and converted into an unavailable reply if the chain
+	// goes silent past the stall deadline (see tick). Guarded by r.mu.
+	pipeWait map[uint64]time.Time
 }
 
 // maxSeqAhead bounds how far past the contiguous frontier a request seq
@@ -453,6 +460,23 @@ func (r *rstream) executeOne(req request, call *Incoming) {
 	inc := r.incarnation
 	r.mu.Unlock()
 
+	// A request carrying a continuation chain is pipelined: its result is
+	// forwarded to the next stage's guardian (or, with no stages left, to
+	// the promise reference) instead of being replied here. A garbled or
+	// unknown-version blob degrades the call to plain caller-mediated
+	// execution — the reply then carries stage one's value, unpiped, and
+	// the caller drives the remaining stages itself.
+	var (
+		piped   bool
+		pref    pipeRef
+		pstages []PipeStage
+	)
+	if req.Cont != nil && req.Mode != ModeRPC && !r.opts.NoPipelining {
+		if ref, stages, err := decodePipeCont(req.Cont); err == nil {
+			piped, pref, pstages = true, ref, stages
+		}
+	}
+
 	*call = Incoming{
 		From:  r.key.senderNode,
 		Agent: r.key.agent,
@@ -484,6 +508,13 @@ func (r *rstream) executeOne(req request, call *Incoming) {
 	r.peer.emitCause(trace.CallExecuted, r.keyStr, req.Seq, req.Trace,
 		trace.Cause{Root: req.Root, Parent: req.Parent}, req.Port)
 
+	if piped && req.Mode == ModeCall {
+		// This call's reply is owed by the chain's last guardian; record
+		// that we are waiting for it BEFORE the completion bookkeeping
+		// (lock order is r.mu before sh.mu), so a fast resolution can
+		// never race ahead of the registration.
+		r.notePipeOutstanding(req.Seq)
+	}
 	sh := r.shardOf(req.Seq)
 	var msg []byte
 	sh.mu.Lock()
@@ -501,8 +532,11 @@ func (r *rstream) executeOne(req request, call *Incoming) {
 		w += r.nsh
 	}
 	sh.watermark.Store(w)
-	// Sends omit normal replies from the wire.
-	if req.Mode != ModeSend || !outcome.Normal {
+	// Sends omit normal replies from the wire. Pipelined requests retain
+	// nothing here at all — even exceptions: the epoch scheduler forwards
+	// the outcome (exceptional outcomes ARE the chain's resolution), and
+	// the reply materializes when the resolution comes back to pipeWait.
+	if !piped && (req.Mode != ModeSend || !outcome.Normal) {
 		if len(sh.retained) == 0 {
 			// Retained becomes non-empty: start both retransmission clocks
 			// from the reply's birth.
@@ -567,6 +601,83 @@ func (r *rstream) executeOne(req request, call *Incoming) {
 	if breakNote != nil {
 		r.peer.transmit(r.key.senderNode, breakNote)
 	}
+	if piped {
+		// Hand the outcome to the epoch scheduler, which splices it into
+		// the next stage's arguments and forwards (or, for an exhausted
+		// chain or an exceptional outcome, resolves the promise
+		// reference). May block when the continuation queue is full —
+		// that backpressure is deliberate.
+		r.peer.scheduler().submit(pipeWork{
+			ref:     pref,
+			stages:  pstages,
+			outcome: outcome,
+			cause:   trace.ChildOf(trace.Cause{Root: req.Root, Parent: req.Parent}, req.Trace),
+		})
+	}
+}
+
+// notePipeOutstanding records that seq's reply is owed by a continuation
+// chain rather than local execution.
+func (r *rstream) notePipeOutstanding(seq uint64) {
+	r.mu.Lock()
+	if r.pipeWait == nil {
+		r.pipeWait = make(map[uint64]time.Time)
+	}
+	r.pipeWait[seq] = r.peer.clk.Now()
+	r.mu.Unlock()
+}
+
+// handleResolve integrates a chain resolution addressed to this receiving
+// stream: the outcome becomes the retained reply of the pipelined call
+// that started the chain, and it is flushed to the sender immediately
+// (the chain already cost its latency; no reason to add batch delay).
+// Returns true when the forwarder should be acked — which is every case:
+// stale, duplicate, and unknown resolutions are acked too, so a confused
+// or lagging forwarder stops retransmitting.
+func (r *rstream) handleResolve(m *resolveMsg) bool {
+	r.mu.Lock()
+	if m.Incarnation != r.incarnation || r.broken {
+		r.mu.Unlock()
+		return true
+	}
+	if _, ok := r.pipeWait[m.Seq]; !ok {
+		r.mu.Unlock()
+		return true // duplicate (already retained) or never pipelined here
+	}
+	delete(r.pipeWait, m.Seq)
+	inc := r.incarnation
+	completed := r.completedThroughNow()
+	r.mu.Unlock()
+	r.retainPipedReply(m.Seq, m.Outcome, inc, completed)
+	return true
+}
+
+// retainPipedReply retains a chain resolution as seq's reply and flushes
+// the shard's batch at once.
+func (r *rstream) retainPipedReply(seq uint64, o Outcome, inc, completed uint64) {
+	sh := r.shardOf(seq)
+	sh.mu.Lock()
+	if r.incA.Load() != inc || r.brokenA.Load() {
+		sh.mu.Unlock()
+		return
+	}
+	if len(sh.retained) == 0 {
+		now := r.peer.clk.Now()
+		sh.lastFullReplyAt = now
+		sh.lastAckProgressAt = now
+	}
+	if sh.unsentReplies == 0 {
+		sh.oldestUnsentAt = r.peer.clk.Now()
+	}
+	sh.retained = append(sh.retained, reply{Seq: seq, Outcome: o})
+	sh.unsentReplies++
+	sh.unsentBytes += len(o.Exception) + len(o.Payload) + reqOverheadBytes
+	if sm := r.peer.sm; sm != nil {
+		sm.replies.Inc()
+	}
+	msg := r.buildShardReplyBatchLocked(sh, false, inc, completed)
+	sh.mu.Unlock()
+	r.peer.transmitShard(r.key.senderNode, msg, int(seq%r.nsh))
 }
 
 // buildShardReplyBatchLocked encodes one shard's reply batch carrying
@@ -636,6 +747,7 @@ func (r *rstream) handleBreak(b *breakMsg) {
 	r.broken = true
 	r.brokenA.Store(true)
 	r.oo.reset()
+	r.pipeWait = nil
 	for i := range r.shards {
 		sh := &r.shards[i]
 		sh.mu.Lock()
@@ -658,6 +770,7 @@ func (r *rstream) resetLocked(incarnation uint64) {
 	r.ackedThrough = 0
 	r.retries = 0
 	r.pendingRetransmit = false
+	r.pipeWait = nil
 	for i := range r.shards {
 		sh := &r.shards[i]
 		sh.mu.Lock()
@@ -695,6 +808,24 @@ func (r *rstream) tick(now time.Time) {
 	r.drainLocked()
 	inc := r.incarnation
 	completed := r.completedThroughNow()
+	// Pipelined calls whose chain has gone silent past the stall deadline
+	// (forwarder retransmission is bounded by MaxRetries; this deadline
+	// outlasts it) are converted into unavailable replies — the caller
+	// gets a definite answer instead of waiting on a chain that died at
+	// a crashed or legacy mid-chain guardian.
+	var stalledPipes []uint64
+	if len(r.pipeWait) > 0 {
+		deadline := r.opts.RTO * time.Duration(r.opts.MaxRetries+2)
+		if deadline < time.Second {
+			deadline = time.Second
+		}
+		for seq, t0 := range r.pipeWait {
+			if now.Sub(t0) >= deadline {
+				stalledPipes = append(stalledPipes, seq)
+				delete(r.pipeWait, seq)
+			}
+		}
+	}
 	stalled := false
 	for i := range r.shards {
 		sh := &r.shards[i]
@@ -750,6 +881,11 @@ func (r *rstream) tick(now time.Time) {
 		}
 	}
 	r.mu.Unlock()
+	for _, seq := range stalledPipes {
+		o := ExceptionOutcome(exception.Unavailable("pipeline stalled"))
+		o.Piped = true // definite chain outcome; no caller-mediated retry
+		r.retainPipedReply(seq, o, inc, completed)
+	}
 	for _, msg := range msgs {
 		r.peer.transmit(r.key.senderNode, msg)
 	}

@@ -420,6 +420,32 @@ func (s *Stream) Broken() bool {
 	return s.broken
 }
 
+// Sibling returns the stream from the same agent to another port group,
+// creating it on first use. The caller-mediated pipelining fallback uses
+// it to reach later-stage guardians when the first stage's endpoint turned
+// out not to understand continuations.
+func (s *Stream) Sibling(recvNode, group string) *Stream {
+	if recvNode == s.key.recvNode && group == s.key.group {
+		return s
+	}
+	return s.peer.Agent(s.key.agent).Stream(recvNode, group)
+}
+
+// CallPipelined makes a stream call whose result feeds a continuation
+// chain executed guardian-to-guardian: stage N+1 runs at the guardian that
+// produced stage N's output, with no hop back to the caller. The returned
+// Pending resolves with the LAST stage's outcome when the receiving chain
+// understands continuations (Outcome.Piped true); a legacy first-stage
+// endpoint instead replies with stage one's value un-piped, and the caller
+// is then responsible for the remaining stages (promise.Graph does this
+// transparently). With no stages this is exactly CallCause.
+func (s *Stream) CallPipelined(ctx context.Context, port string, args []byte, cause trace.Cause, stages []PipeStage) (Pending, error) {
+	if len(stages) == 0 {
+		return s.enqueue(ctx, port, args, ModeCall, cause, nil)
+	}
+	return s.enqueue(ctx, port, args, ModeCall, cause, &pipeArg{stages: stages})
+}
+
 // Call makes a stream call to the named port with pre-encoded arguments.
 // It returns a Pending for the reply, or an error if the stream is broken
 // (in which case, per §3, no pending is created). The call is buffered;
@@ -428,7 +454,7 @@ func (s *Stream) Broken() bool {
 // blocks while the in-flight window (or the receiver's advertised credit)
 // is exhausted; use CallCtx to bound that wait.
 func (s *Stream) Call(port string, args []byte) (Pending, error) {
-	return s.enqueue(context.Background(), port, args, ModeCall, trace.Cause{})
+	return s.enqueue(context.Background(), port, args, ModeCall, trace.Cause{}, nil)
 }
 
 // CallCtx is Call with a context bounding the flow-control wait: if the
@@ -436,7 +462,7 @@ func (s *Stream) Call(port string, args []byte) (Pending, error) {
 // frees, the stream breaks, or ctx ends (returning ctx.Err() with no
 // pending created).
 func (s *Stream) CallCtx(ctx context.Context, port string, args []byte) (Pending, error) {
-	return s.enqueue(ctx, port, args, ModeCall, trace.Cause{})
+	return s.enqueue(ctx, port, args, ModeCall, trace.Cause{}, nil)
 }
 
 // CallCause is CallCtx carrying an upstream causal context: the cause's
@@ -448,7 +474,7 @@ func (s *Stream) CallCtx(ctx context.Context, port string, args []byte) (Pending
 // passes a fixed non-zero Cause of its own. The zero Cause makes this
 // identical to CallCtx.
 func (s *Stream) CallCause(ctx context.Context, port string, args []byte, cause trace.Cause) (Pending, error) {
-	return s.enqueue(ctx, port, args, ModeCall, cause)
+	return s.enqueue(ctx, port, args, ModeCall, cause, nil)
 }
 
 // Send makes a send to the named port: the sender hears back only if the
@@ -456,19 +482,19 @@ func (s *Stream) CallCause(ctx context.Context, port string, args []byte, cause 
 // normal outcome on success; sends exist so that "normal replies can be
 // omitted" from the wire.
 func (s *Stream) Send(port string, args []byte) (Pending, error) {
-	return s.enqueue(context.Background(), port, args, ModeSend, trace.Cause{})
+	return s.enqueue(context.Background(), port, args, ModeSend, trace.Cause{}, nil)
 }
 
 // SendCtx is Send with a context bounding the flow-control wait, like
 // CallCtx.
 func (s *Stream) SendCtx(ctx context.Context, port string, args []byte) (Pending, error) {
-	return s.enqueue(ctx, port, args, ModeSend, trace.Cause{})
+	return s.enqueue(ctx, port, args, ModeSend, trace.Cause{}, nil)
 }
 
 // SendCause is SendCtx carrying an upstream causal context, like
 // CallCause.
 func (s *Stream) SendCause(ctx context.Context, port string, args []byte, cause trace.Cause) (Pending, error) {
-	return s.enqueue(ctx, port, args, ModeSend, cause)
+	return s.enqueue(ctx, port, args, ModeSend, cause, nil)
 }
 
 // RPC makes a remote procedure call: the request bypasses the batch buffer
@@ -480,7 +506,7 @@ func (s *Stream) RPC(ctx context.Context, port string, args []byte) (Outcome, er
 
 // RPCCause is RPC carrying an upstream causal context, like CallCause.
 func (s *Stream) RPCCause(ctx context.Context, port string, args []byte, cause trace.Cause) (Outcome, error) {
-	p, err := s.enqueue(ctx, port, args, ModeRPC, cause)
+	p, err := s.enqueue(ctx, port, args, ModeRPC, cause, nil)
 	if err != nil {
 		return Outcome{}, err
 	}
@@ -498,7 +524,7 @@ func (s *Stream) RPCCause(ctx context.Context, port string, args []byte, cause t
 	return o, nil
 }
 
-func (s *Stream) enqueue(ctx context.Context, port string, args []byte, mode Mode, cause trace.Cause) (Pending, error) {
+func (s *Stream) enqueue(ctx context.Context, port string, args []byte, mode Mode, cause trace.Cause, pipe *pipeArg) (Pending, error) {
 	s.mu.Lock()
 	for {
 		if s.pendingBreak {
@@ -548,6 +574,22 @@ func (s *Stream) enqueue(ctx context.Context, port string, args []byte, mode Mod
 	seq := s.nextSeq
 	s.nextSeq++
 	tid := trace.CallID(s.keyHash, s.incarnation, seq)
+	// Pipelined calls encode their continuation chain here, inside the
+	// seq-assignment critical section, because the blob embeds the promise
+	// reference (stream key + incarnation + seq) the chain's last guardian
+	// will resolve. Plain calls pass pipe == nil and skip this entirely.
+	// Mid-chain forwards carry the ORIGIN call's reference instead, so
+	// every hop keeps resolving the original caller's promise.
+	var cont []byte
+	if pipe != nil {
+		ref := pipe.ref
+		if ref == (pipeRef{}) {
+			ref = pipeRef{senderNode: s.key.senderNode, agent: s.key.agent,
+				recvNode: s.key.recvNode, group: s.key.group,
+				incarnation: s.incarnation, seq: seq}
+		}
+		cont = encodePipeCont(ref, pipe.stages)
+	}
 	p := newPending(seq, mode, s.peer.sm, s.peer.clk)
 	limit := s.batchLimitLocked()
 	sh := s.shardOf(seq)
@@ -566,8 +608,8 @@ func (s *Stream) enqueue(ctx context.Context, port string, args []byte, mode Mod
 		sh.lastArriveAt = s.peer.clk.Now()
 	}
 	sh.buffer = append(sh.buffer, request{Seq: seq, Port: port, Mode: mode, Args: args,
-		Trace: tid, Root: cause.Root, Parent: cause.Parent})
-	sh.bufferBytes += reqWireSize(port, args)
+		Trace: tid, Root: cause.Root, Parent: cause.Parent, Cont: cont})
+	sh.bufferBytes += reqWireSize(port, args) + len(cont)
 	full := len(sh.buffer) >= limit || mode == ModeRPC ||
 		(s.opts.MaxBatchBytes > 0 && sh.bufferBytes >= s.opts.MaxBatchBytes)
 	sh.mu.Unlock()
@@ -970,6 +1012,28 @@ func (s *Stream) handleReplyBatch(b *replyBatch) {
 	s.drainResolvableLocked()
 	s.adaptMaybeAdjustLocked(now)
 	s.finalizeBreakIfDrainedLocked()
+}
+
+// handleResolve integrates a forwarded chain resolution (kindResolve)
+// arriving directly from the last guardian of a pipelined continuation
+// chain — the caller's fast path, which skips the hop back through the
+// origin guardian. The outcome is held like any other reply, so ordered
+// readiness is preserved. Returns true when the forwarder should be
+// acked: on successful integration, on duplicates, and on stale or
+// implausible references (acking those stops pointless retransmission).
+func (s *Stream) handleResolve(m *resolveMsg) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if m.Incarnation != s.incarnation || s.broken {
+		return true // stale chain from a previous incarnation
+	}
+	if m.Seq < s.nextResolve || m.Seq >= s.nextSeq {
+		return true // duplicate (already resolved) or garbled seq
+	}
+	s.shardOf(m.Seq).heldReplies.put(m.Seq, m.Outcome)
+	s.drainResolvableLocked()
+	s.finalizeBreakIfDrainedLocked()
+	return true
 }
 
 // drainResolvableLocked resolves pendings in seq order: an individually

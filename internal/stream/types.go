@@ -75,6 +75,13 @@ type Outcome struct {
 	Normal    bool
 	Exception string // condition name when !Normal
 	Payload   []byte // wire-encoded results (normal) or exception args
+	// Piped marks the outcome of a pipelined call as the final value of
+	// the whole continuation chain, delivered by the chain's last guardian.
+	// A pipelined call answered without this flag came from a receiver
+	// that ignored the continuation (a legacy endpoint), so the payload is
+	// only stage one's value and the caller must run the remaining stages
+	// itself. Local bookkeeping only — never on the wire as a tuple field.
+	Piped bool
 }
 
 // NormalOutcome builds the outcome of a normal termination.
@@ -204,6 +211,13 @@ type Options struct {
 	// point — interoperating with receivers that require consecutive
 	// seqs per batch needs Shards <= 1.
 	Shards int
+	// NoPipelining makes the receiving side ignore continuation blobs on
+	// incoming requests: a pipelined call is executed as a plain call and
+	// its stage-one value is replied to the caller, exactly as a legacy
+	// endpoint would behave. The caller's promise.Graph then detects the
+	// unpiped reply and drives the remaining stages itself. Used to pin
+	// the caller-mediated fallback in tests and benchmarks.
+	NoPipelining bool
 	// Clock is the peer's time source: tick loop, RTO and batching-delay
 	// staleness, break timeouts, trace timestamps. Default: the clock of
 	// the simnet network the peer's node belongs to, so configuring a
@@ -276,6 +290,15 @@ const (
 	kindRequestBatch = int64(1)
 	kindReplyBatch   = int64(2)
 	kindBreak        = int64(3)
+	// kindResolve carries a chain resolution: the last guardian of a
+	// pipelined continuation chain forwards the final outcome directly to
+	// the promise's subscribers (the caller, and the origin guardian that
+	// owes the caller a reply on the stream). Unordered and unbatched —
+	// reliability comes from forwarder retransmission plus kindResolveAck.
+	kindResolve = int64(4)
+	// kindResolveAck acknowledges one kindResolve so the forwarder stops
+	// retransmitting it.
+	kindResolveAck = int64(5)
 )
 
 // request is one call request inside a request batch.
@@ -287,6 +310,10 @@ type request struct {
 	Trace  uint64 // causal trace ID (trace.CallID); 0 from legacy senders
 	Root   uint64 // root trace ID of the causal chain; 0 = chain root or legacy
 	Parent uint64 // trace ID of the causing call; 0 = chain root or legacy
+	// Cont is the encoded continuation chain riding with a pipelined call
+	// (see encodePipeCont); nil for plain calls. On the wire it travels as
+	// a trailing batch-level list, never as a tuple field.
+	Cont []byte
 }
 
 // reply is one call reply inside a reply batch.
@@ -364,10 +391,26 @@ func finishEncode(bp *[]byte, buf []byte) []byte {
 // Trace IDs and causal contexts travel as parallel batch-level lists —
 // not as extra request fields — because legacy decoders reject request
 // tuples that are not exactly 4 fields.
+//
+// When any request carries a continuation chain the header becomes 9 and
+// a trailing list of per-request continuation blobs is appended (empty
+// bytes for requests without one). Batches with no continuations keep the
+// 8-value header and stay byte-identical to the PR 8 format.
 func encodeRequestBatch(b requestBatch) []byte {
+	nConts := 0
+	for _, r := range b.Requests {
+		if r.Cont != nil {
+			nConts = len(b.Requests)
+			break
+		}
+	}
+	hdr := 8
+	if nConts > 0 {
+		hdr = 9
+	}
 	bp := encodeScratch.Get().(*[]byte)
 	buf := (*bp)[:0]
-	buf = wire.AppendHeader(buf, 8)
+	buf = wire.AppendHeader(buf, hdr)
 	buf = wire.AppendInt(buf, kindRequestBatch)
 	buf = wire.AppendString(buf, b.Agent)
 	buf = wire.AppendString(buf, b.Group)
@@ -390,6 +433,12 @@ func encodeRequestBatch(b requestBatch) []byte {
 		buf = wire.AppendInt(buf, int64(r.Root))
 		buf = wire.AppendInt(buf, int64(r.Parent))
 	}
+	if nConts > 0 {
+		buf = wire.AppendList(buf, len(b.Requests))
+		for _, r := range b.Requests {
+			buf = wire.AppendBytes(buf, r.Cont)
+		}
+	}
 	return finishEncode(bp, buf)
 }
 
@@ -398,10 +447,24 @@ func encodeRequestBatch(b requestBatch) []byte {
 // batches, the header count (9 vs the legacy 8) is the version signal;
 // legacy decoders read exactly the values their header promised and never
 // see the credit, so old senders accept new batches unchanged.
+//
+// When any reply carries a chain-final (piped) outcome the header becomes
+// 10 and a trailing list of the piped seqs is appended; batches without
+// piped replies keep the 9-value header unchanged.
 func encodeReplyBatch(b replyBatch) []byte {
+	nPiped := 0
+	for _, r := range b.Replies {
+		if r.Outcome.Piped {
+			nPiped++
+		}
+	}
+	hdr := 9
+	if nPiped > 0 {
+		hdr = 10
+	}
 	bp := encodeScratch.Get().(*[]byte)
 	buf := (*bp)[:0]
-	buf = wire.AppendHeader(buf, 9)
+	buf = wire.AppendHeader(buf, hdr)
 	buf = wire.AppendInt(buf, kindReplyBatch)
 	buf = wire.AppendString(buf, b.Agent)
 	buf = wire.AppendString(buf, b.Group)
@@ -418,12 +481,134 @@ func encodeReplyBatch(b replyBatch) []byte {
 		buf = wire.AppendBytes(buf, r.Outcome.Payload)
 	}
 	buf = wire.AppendInt(buf, int64(b.Credit))
+	if nPiped > 0 {
+		buf = wire.AppendList(buf, nPiped)
+		for _, r := range b.Replies {
+			if r.Outcome.Piped {
+				buf = wire.AppendInt(buf, int64(r.Seq))
+			}
+		}
+	}
 	return finishEncode(bp, buf)
 }
 
 func encodeBreak(b breakMsg) []byte {
 	return mustMarshal(kindBreak, b.Agent, b.Group, int64(b.Incarnation),
 		b.Synchronous, int64(b.BrokenAfter), b.ExcName, b.Reason)
+}
+
+// resolveMsg is a forwarded chain resolution (kindResolve) or its
+// acknowledgement (kindResolveAck). Agent/Group/Incarnation plus the two
+// node names identify the ORIGIN stream — the one the pipelined call was
+// issued on — and Seq is the call's seq there; together they are the
+// promise reference the chain carried. Acks echo the identification and
+// omit the outcome.
+type resolveMsg struct {
+	Agent       string
+	Group       string
+	Incarnation uint64
+	SenderNode  string // origin stream's sending node (the caller)
+	RecvNode    string // origin stream's receiving node (the first guardian)
+	Seq         uint64
+	Outcome     Outcome // kindResolve only
+}
+
+// encodeResolve writes a chain resolution or (ack=true) its ack. Both
+// share decodeMessage's common prefix (kind, agent, group, incarnation) so
+// routing stays uniform; resolves are rare — one per chain, not per call —
+// so these are plain Marshal-style encodes with no pooling.
+func encodeResolve(m resolveMsg, ack bool) []byte {
+	bp := encodeScratch.Get().(*[]byte)
+	buf := (*bp)[:0]
+	if ack {
+		buf = wire.AppendHeader(buf, 7)
+		buf = wire.AppendInt(buf, kindResolveAck)
+	} else {
+		buf = wire.AppendHeader(buf, 10)
+		buf = wire.AppendInt(buf, kindResolve)
+	}
+	buf = wire.AppendString(buf, m.Agent)
+	buf = wire.AppendString(buf, m.Group)
+	buf = wire.AppendInt(buf, int64(m.Incarnation))
+	buf = wire.AppendString(buf, m.SenderNode)
+	buf = wire.AppendString(buf, m.RecvNode)
+	buf = wire.AppendInt(buf, int64(m.Seq))
+	if !ack {
+		buf = wire.AppendBool(buf, m.Outcome.Normal)
+		buf = wire.AppendString(buf, m.Outcome.Exception)
+		buf = wire.AppendBytes(buf, m.Outcome.Payload)
+	}
+	return finishEncode(bp, buf)
+}
+
+// decodeResolve parses a kindResolve or kindResolveAck message in full
+// (decodeMessage only classifies them; the peer re-parses here — these
+// are off the hot path). Views alias payload.
+func decodeResolve(payload []byte) (*resolveMsg, bool, error) {
+	d := wire.NewDecoder(payload)
+	nvals, err := d.Header()
+	if err != nil {
+		return nil, false, err
+	}
+	kind, err := d.Int()
+	if err != nil {
+		return nil, false, err
+	}
+	if kind != kindResolve && kind != kindResolveAck {
+		return nil, false, fmt.Errorf("stream: not a resolve message: kind %d", kind)
+	}
+	ack := kind == kindResolveAck
+	if ack && nvals < 7 || !ack && nvals < 10 {
+		return nil, false, fmt.Errorf("stream: short resolve message: %d values", nvals)
+	}
+	m := &resolveMsg{}
+	agent, err := d.StringView()
+	if err != nil {
+		return nil, false, err
+	}
+	m.Agent = internString(agent)
+	group, err := d.StringView()
+	if err != nil {
+		return nil, false, err
+	}
+	m.Group = internString(group)
+	inc, err := d.Int()
+	if err != nil {
+		return nil, false, err
+	}
+	m.Incarnation = uint64(inc)
+	sn, err := d.StringView()
+	if err != nil {
+		return nil, false, err
+	}
+	m.SenderNode = internString(sn)
+	rn, err := d.StringView()
+	if err != nil {
+		return nil, false, err
+	}
+	m.RecvNode = internString(rn)
+	seq, err := d.Int()
+	if err != nil {
+		return nil, false, err
+	}
+	m.Seq = uint64(seq)
+	if ack {
+		return m, true, nil
+	}
+	norm, err := d.Bool()
+	if err != nil {
+		return nil, false, err
+	}
+	exc, err := d.StringView()
+	if err != nil {
+		return nil, false, err
+	}
+	pl, err := d.BytesView()
+	if err != nil {
+		return nil, false, err
+	}
+	m.Outcome = Outcome{Normal: norm, Exception: internString(exc), Payload: pl, Piped: true}
+	return m, false, nil
 }
 
 // Batch struct pools for the zero-copy decode path: one request or reply
@@ -523,6 +708,11 @@ func decodeMessage(payload []byte) (kind int64, rb *requestBatch, pb *replyBatch
 		b.Incarnation = uint64(inc)
 		return kind, nil, nil, b, nil
 
+	case kindResolve, kindResolveAck:
+		// Classified only; the peer re-parses with decodeResolve. Rare —
+		// one message per chain, not per call.
+		return kind, nil, nil, nil, nil
+
 	default:
 		return 0, nil, nil, nil, fmt.Errorf("stream: unknown message kind %d", kind)
 	}
@@ -609,6 +799,22 @@ func decodeRequests(d *wire.Decoder, b *requestBatch, nvals int) error {
 			b.Requests[j].Parent = uint64(parent)
 		}
 	}
+	if nvals < 9 {
+		return nil // no pipelined calls in this batch
+	}
+	pn, err := d.List()
+	if err != nil {
+		return err
+	}
+	for i := 0; i < pn; i++ {
+		cont, err := d.BytesView()
+		if err != nil {
+			return err
+		}
+		if i < len(b.Requests) && len(cont) > 0 {
+			b.Requests[i].Cont = cont
+		}
+	}
 	return nil
 }
 
@@ -672,6 +878,25 @@ func decodeReplies(d *wire.Decoder, b *replyBatch, nvals int) error {
 		return err
 	}
 	b.Credit = uint64(credit)
+	if nvals < 10 {
+		return nil // no piped replies in this batch
+	}
+	pn, err := d.List()
+	if err != nil {
+		return err
+	}
+	for i := 0; i < pn; i++ {
+		seq, err := d.Int()
+		if err != nil {
+			return err
+		}
+		for j := range b.Replies {
+			if b.Replies[j].Seq == uint64(seq) {
+				b.Replies[j].Outcome.Piped = true
+				break
+			}
+		}
+	}
 	return nil
 }
 

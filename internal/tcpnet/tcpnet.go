@@ -131,6 +131,10 @@ type Stats struct {
 	BytesRecv     int64 // wire bytes read (payload + prefixes)
 	Writevs       int64 // vectored write calls (frames amortize over these)
 	FramesDropped int64 // frames dropped: queue overflow, dead peer, write error
+	// FramesUnreachable counts the subset of FramesDropped lost because
+	// the peer could not be dialed at all — the silent-blackhole case
+	// that looks identical to packet loss from the stream layer's side.
+	FramesUnreachable int64
 }
 
 // endpoint counters, mirrored into the metrics registry when one is
@@ -140,6 +144,7 @@ type tcpMetrics struct {
 	framesSent, framesRecv *metrics.Counter
 	bytesSent, bytesRecv   *metrics.Counter
 	writevs, drops         *metrics.Counter
+	unreachableDrops       *metrics.Counter
 }
 
 func newTCPMetrics(reg *metrics.Registry) *tcpMetrics {
@@ -155,6 +160,9 @@ func newTCPMetrics(reg *metrics.Registry) *tcpMetrics {
 		bytesRecv:  reg.Counter("tcp_bytes_recv_total"),
 		writevs:    reg.Counter("tcp_writev_total"),
 		drops:      reg.Counter("tcp_frames_dropped_total"),
+		// Named per the experiment tooling's convention for the
+		// unreachable-peer drop specifically, distinct from the aggregate.
+		unreachableDrops: reg.Counter("tcpnet_frames_dropped"),
 	}
 }
 
@@ -252,14 +260,15 @@ func (ep *Endpoint) Metrics() *metrics.Registry { return ep.cfg.Metrics }
 // Stats snapshots the endpoint's socket counters.
 func (ep *Endpoint) Stats() Stats {
 	return Stats{
-		Dials:         atomic.LoadInt64(&ep.st.Dials),
-		Accepts:       atomic.LoadInt64(&ep.st.Accepts),
-		FramesSent:    atomic.LoadInt64(&ep.st.FramesSent),
-		FramesRecv:    atomic.LoadInt64(&ep.st.FramesRecv),
-		BytesSent:     atomic.LoadInt64(&ep.st.BytesSent),
-		BytesRecv:     atomic.LoadInt64(&ep.st.BytesRecv),
-		Writevs:       atomic.LoadInt64(&ep.st.Writevs),
-		FramesDropped: atomic.LoadInt64(&ep.st.FramesDropped),
+		Dials:             atomic.LoadInt64(&ep.st.Dials),
+		Accepts:           atomic.LoadInt64(&ep.st.Accepts),
+		FramesSent:        atomic.LoadInt64(&ep.st.FramesSent),
+		FramesRecv:        atomic.LoadInt64(&ep.st.FramesRecv),
+		BytesSent:         atomic.LoadInt64(&ep.st.BytesSent),
+		BytesRecv:         atomic.LoadInt64(&ep.st.BytesRecv),
+		Writevs:           atomic.LoadInt64(&ep.st.Writevs),
+		FramesDropped:     atomic.LoadInt64(&ep.st.FramesDropped),
+		FramesUnreachable: atomic.LoadInt64(&ep.st.FramesUnreachable),
 	}
 }
 
@@ -469,6 +478,18 @@ func (ep *Endpoint) countDrops(n int64) {
 	atomic.AddInt64(&ep.st.FramesDropped, n)
 	if ep.tm != nil {
 		ep.tm.drops.Add(uint64(n))
+	}
+}
+
+// countUnreachableDrops records frames lost because the peer could not
+// be dialed: counted in the aggregate drop counter AND in the dedicated
+// unreachable metric, so an operator can tell a blackholed peer from
+// ordinary queue overflow at a glance.
+func (ep *Endpoint) countUnreachableDrops(n int64) {
+	ep.countDrops(n)
+	atomic.AddInt64(&ep.st.FramesUnreachable, n)
+	if ep.tm != nil {
+		ep.tm.unreachableDrops.Add(uint64(n))
 	}
 }
 
@@ -738,7 +759,7 @@ func (l *link) writeLoop() {
 				// Unreachable: this round is lost (datagram semantics;
 				// the stream layer retransmits). Back off before burning
 				// another dial on a dead peer.
-				l.ep.countDrops(int64(len(frames)))
+				l.ep.countUnreachableDrops(int64(len(frames)))
 				clear(frames)
 				select {
 				case <-l.dead:

@@ -279,3 +279,44 @@ func TestGarbageConnectionIgnored(t *testing.T) {
 func dialRaw(addr string) (net.Conn, error) {
 	return net.DialTimeout("tcp", addr, time.Second)
 }
+
+// TestUnreachablePeerDropsCounted: frames queued for a peer that cannot
+// be dialed are dropped AND counted — in the aggregate drop counter and
+// in the dedicated unreachable counter (PR 7 dropped them silently; the
+// metric makes a blackholed peer distinguishable from queue overflow).
+func TestUnreachablePeerDropsCounted(t *testing.T) {
+	// Reserve a port and close the listener so the route points at a
+	// dead address.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := ln.Addr().String()
+	ln.Close()
+
+	ep, err := Listen("a", "127.0.0.1:0", Config{
+		Routes:      map[string]string{"ghost": dead},
+		DialTimeout: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ep.Close() })
+
+	if err := ep.Send("ghost", []byte("into the void")); err != nil {
+		t.Fatalf("Send to unreachable peer should be accepted-and-lost, got %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		st := ep.Stats()
+		if st.FramesUnreachable > 0 {
+			if st.FramesDropped < st.FramesUnreachable {
+				t.Fatalf("aggregate drops %d < unreachable drops %d",
+					st.FramesDropped, st.FramesUnreachable)
+			}
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("unreachable drop never counted: %+v", ep.Stats())
+}

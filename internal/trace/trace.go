@@ -45,10 +45,17 @@ const (
 	// CallReplied: a call's reply entered the receiver's reply buffer,
 	// ready for (re)transmission (Detail: outcome).
 	CallReplied
+	// ContForwarded: a pipelined call's result was spliced into the next
+	// continuation stage and forwarded to its guardian (Detail:
+	// "node/group:port").
+	ContForwarded
+	// ResolveForwarded: a continuation chain's final outcome was forwarded
+	// to the promise reference's subscribers (Detail: outcome).
+	ResolveForwarded
 )
 
 // numKinds bounds the Kind enum for the ring's per-kind count table.
-const numKinds = int(CallReplied) + 1
+const numKinds = int(ResolveForwarded) + 1
 
 var kindNames = map[Kind]string{
 	CallEnqueued:    "call-enqueued",
@@ -58,8 +65,10 @@ var kindNames = map[Kind]string{
 	PromiseResolved: "promise-resolved",
 	StreamBroken:    "stream-broken",
 	StreamRestarted: "stream-restarted",
-	CallDelivered:   "call-delivered",
-	CallReplied:     "call-replied",
+	CallDelivered:    "call-delivered",
+	CallReplied:      "call-replied",
+	ContForwarded:    "cont-forwarded",
+	ResolveForwarded: "resolve-forwarded",
 }
 
 func (k Kind) String() string {

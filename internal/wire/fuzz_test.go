@@ -44,10 +44,34 @@ func fuzzSeeds() [][]byte {
 	causal = AppendInt(causal, 0x777)
 	causal = AppendInt(causal, 0x1233)
 
+	// The 9-value request batch: the causal form plus a trailing list of
+	// per-request continuation blobs (promise pipelining). The blob itself
+	// is opaque bytes at this layer.
+	var piped []byte
+	piped = AppendHeader(piped, 9)
+	piped = AppendInt(piped, 1)
+	piped = AppendString(piped, "agent")
+	piped = AppendString(piped, "group")
+	piped = AppendInt(piped, 1)
+	piped = AppendInt(piped, 0)
+	piped = AppendList(piped, 1)
+	piped = AppendList(piped, 4)
+	piped = AppendInt(piped, 1)
+	piped = AppendString(piped, "echo")
+	piped = AppendInt(piped, 0)
+	piped = AppendBytes(piped, []byte("argument-bytes"))
+	piped = AppendList(piped, 1)
+	piped = AppendInt(piped, 0x1234)
+	piped = AppendList(piped, 2)
+	piped = AppendInt(piped, 0x777)
+	piped = AppendInt(piped, 0x1233)
+	piped = AppendList(piped, 1)
+	piped = AppendBytes(piped, []byte("continuation-blob"))
+
 	misc, _ := Marshal(nil, true, false, int64(-5), 3.25, "str", []byte{9},
 		[]any{int64(1), "two"}, map[string]any{"k": int64(7)}, Ref{Kind: "port", Name: "p"})
 
-	return [][]byte{reqBatch, causal, misc, {}, {0x07, 0xff}, {0x05, 0x80}}
+	return [][]byte{reqBatch, causal, piped, misc, {}, {0x07, 0xff}, {0x05, 0x80}}
 }
 
 // FuzzDecoder drives the zero-copy cursor over arbitrary input: it must
